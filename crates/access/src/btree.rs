@@ -1,0 +1,702 @@
+//! Page-backed B+tree index.
+//!
+//! Paper §3.1: "Access Services manage ... access path structure, such as
+//! B-trees". Each node occupies one slotted page (the serialised node is
+//! the page's single record), so all index I/O flows through the buffer
+//! pool like every other page access.
+//!
+//! Entries are `(key, rid)` composites ordered by key then rid, which
+//! makes duplicate keys unambiguous: separators in internal nodes carry
+//! the rid too, so equal keys never straddle a split boundary ambiguously.
+//! Deletion removes entries without rebalancing (underfull nodes are
+//! tolerated; classic simplification, noted in DESIGN.md).
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_storage::buffer::BufferPool;
+use sbdms_storage::page::PageId;
+
+use crate::heap::Rid;
+use crate::record::Datum;
+
+/// Serialised nodes above this size split. Leaves headroom under the
+/// single-record page capacity (~4084 bytes).
+const MAX_NODE_BYTES: usize = 3500;
+
+/// One index entry: key plus the rid it points at.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    key: Datum,
+    rid: Rid,
+}
+
+impl Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        self.key.order(&other.key).then(self.rid.cmp(&other.rid))
+    }
+}
+
+enum Node {
+    Leaf { entries: Vec<Entry>, next: PageId },
+    Internal { seps: Vec<Entry>, children: Vec<PageId> },
+}
+
+impl Node {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        match self {
+            Node::Leaf { entries, next } => {
+                out.push(1);
+                out.extend_from_slice(&next.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for e in entries {
+                    encode_entry(&mut out, e);
+                }
+            }
+            Node::Internal { seps, children } => {
+                out.push(0);
+                out.extend_from_slice(&(seps.len() as u16).to_le_bytes());
+                out.extend_from_slice(&children[0].to_le_bytes());
+                for (e, child) in seps.iter().zip(&children[1..]) {
+                    encode_entry(&mut out, e);
+                    out.extend_from_slice(&child.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<Node> {
+        let corrupt = || ServiceError::Storage("corrupt btree node".into());
+        let tag = *data.first().ok_or_else(corrupt)?;
+        let mut pos = 1usize;
+        match tag {
+            1 => {
+                let next = read_u64(data, &mut pos)?;
+                let count = read_u16(data, &mut pos)? as usize;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(decode_entry(data, &mut pos)?);
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            0 => {
+                let count = read_u16(data, &mut pos)? as usize;
+                let mut children = Vec::with_capacity(count + 1);
+                children.push(read_u64(data, &mut pos)?);
+                let mut seps = Vec::with_capacity(count);
+                for _ in 0..count {
+                    seps.push(decode_entry(data, &mut pos)?);
+                    children.push(read_u64(data, &mut pos)?);
+                }
+                Ok(Node::Internal { seps, children })
+            }
+            _ => Err(corrupt()),
+        }
+    }
+}
+
+fn encode_entry(out: &mut Vec<u8>, e: &Entry) {
+    let kbytes = e.key.encode();
+    out.extend_from_slice(&(kbytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(&kbytes);
+    out.extend_from_slice(&e.rid.page.to_le_bytes());
+    out.extend_from_slice(&e.rid.slot.to_le_bytes());
+}
+
+fn decode_entry(data: &[u8], pos: &mut usize) -> Result<Entry> {
+    let klen = read_u16(data, pos)? as usize;
+    let corrupt = || ServiceError::Storage("corrupt btree entry".into());
+    let kbytes = data.get(*pos..*pos + klen).ok_or_else(corrupt)?;
+    *pos += klen;
+    let key = Datum::decode(kbytes)?;
+    let page = read_u64(data, pos)?;
+    let slot = read_u16(data, pos)?;
+    Ok(Entry {
+        key,
+        rid: Rid::new(page, slot),
+    })
+}
+
+fn read_u64(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let bytes = data
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| ServiceError::Storage("corrupt btree node".into()))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_u16(data: &[u8], pos: &mut usize) -> Result<u16> {
+    let bytes = data
+        .get(*pos..*pos + 2)
+        .ok_or_else(|| ServiceError::Storage("corrupt btree node".into()))?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+/// A persistent B+tree mapping datum keys to rids (duplicates allowed).
+pub struct BTree {
+    buffer: Arc<BufferPool>,
+    meta_page: PageId,
+    /// Cached root id; the authoritative copy lives in the meta page.
+    root: Mutex<PageId>,
+}
+
+impl BTree {
+    /// Create an empty index; returns it with a fresh meta page (persist
+    /// [`BTree::meta_page`] to reopen).
+    pub fn create(buffer: Arc<BufferPool>) -> Result<BTree> {
+        let root = buffer.new_page()?;
+        Self::write_node(
+            &buffer,
+            root,
+            &Node::Leaf {
+                entries: Vec::new(),
+                next: 0,
+            },
+            true,
+        )?;
+        let meta_page = buffer.new_page()?;
+        buffer.try_with_page_mut(meta_page, |p| p.insert(&root.to_le_bytes()))?;
+        Ok(BTree {
+            buffer,
+            meta_page,
+            root: Mutex::new(root),
+        })
+    }
+
+    /// Open an existing index rooted at `meta_page`.
+    pub fn open(buffer: Arc<BufferPool>, meta_page: PageId) -> Result<BTree> {
+        let root = buffer.with_page(meta_page, |p| {
+            p.get(0)
+                .ok()
+                .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+        })?;
+        let root = root.ok_or_else(|| ServiceError::Storage("corrupt index meta page".into()))?;
+        Ok(BTree {
+            buffer,
+            meta_page,
+            root: Mutex::new(root),
+        })
+    }
+
+    /// The meta page id to persist for [`BTree::open`].
+    pub fn meta_page(&self) -> PageId {
+        self.meta_page
+    }
+
+    /// Insert an entry (duplicate keys allowed; the (key, rid) pair must
+    /// be unique, duplicates of the exact pair are ignored).
+    pub fn insert(&self, key: &Datum, rid: Rid) -> Result<()> {
+        let root_guard = self.root.lock();
+        let root = *root_guard;
+        drop(root_guard);
+        let entry = Entry {
+            key: key.clone(),
+            rid,
+        };
+        if let Some((sep, new_right)) = self.insert_rec(root, &entry)? {
+            // Root split: grow the tree by one level.
+            let new_root = self.buffer.new_page()?;
+            Self::write_node(
+                &self.buffer,
+                new_root,
+                &Node::Internal {
+                    seps: vec![sep],
+                    children: vec![root, new_right],
+                },
+                true,
+            )?;
+            *self.root.lock() = new_root;
+            self.buffer
+                .try_with_page_mut(self.meta_page, |p| p.update(0, &new_root.to_le_bytes()))?;
+        }
+        Ok(())
+    }
+
+    /// All rids stored under `key`.
+    pub fn search(&self, key: &Datum) -> Result<Vec<Rid>> {
+        let mut out = Vec::new();
+        let mut page = self.find_leaf(key)?;
+        loop {
+            let node = self.read_node(page)?;
+            let Node::Leaf { entries, next } = node else {
+                return Err(ServiceError::Storage("expected leaf".into()));
+            };
+            let mut past_key = false;
+            for e in &entries {
+                match e.key.order(key) {
+                    Ordering::Less => {}
+                    Ordering::Equal => out.push(e.rid),
+                    Ordering::Greater => {
+                        past_key = true;
+                        break;
+                    }
+                }
+            }
+            if past_key || next == 0 {
+                break;
+            }
+            page = next;
+        }
+        Ok(out)
+    }
+
+    /// Range scan: entries with `lo <= key <= hi` (bounds optional;
+    /// `hi_inclusive` controls the upper comparison).
+    pub fn range(
+        &self,
+        lo: Option<&Datum>,
+        hi: Option<&Datum>,
+        hi_inclusive: bool,
+    ) -> Result<Vec<(Datum, Rid)>> {
+        let mut out = Vec::new();
+        let mut page = match lo {
+            Some(k) => self.find_leaf(k)?,
+            None => self.leftmost_leaf()?,
+        };
+        loop {
+            let node = self.read_node(page)?;
+            let Node::Leaf { entries, next } = node else {
+                return Err(ServiceError::Storage("expected leaf".into()));
+            };
+            for e in entries {
+                if let Some(lo) = lo {
+                    if e.key.order(lo) == Ordering::Less {
+                        continue;
+                    }
+                }
+                if let Some(hi) = hi {
+                    let c = e.key.order(hi);
+                    if c == Ordering::Greater || (c == Ordering::Equal && !hi_inclusive) {
+                        return Ok(out);
+                    }
+                }
+                out.push((e.key, e.rid));
+            }
+            if next == 0 {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Remove one `(key, rid)` entry. Returns whether it existed.
+    pub fn delete(&self, key: &Datum, rid: Rid) -> Result<bool> {
+        let target = Entry {
+            key: key.clone(),
+            rid,
+        };
+        let mut page = self.find_leaf(key)?;
+        loop {
+            let node = self.read_node(page)?;
+            let Node::Leaf { mut entries, next } = node else {
+                return Err(ServiceError::Storage("expected leaf".into()));
+            };
+            if let Some(idx) = entries.iter().position(|e| e.cmp(&target) == Ordering::Equal) {
+                entries.remove(idx);
+                Self::write_node(&self.buffer, page, &Node::Leaf { entries, next }, false)?;
+                return Ok(true);
+            }
+            // Entry may live in a later leaf when duplicates span nodes.
+            let continue_scan = entries
+                .last()
+                .map(|e| e.key.order(key) != Ordering::Greater)
+                .unwrap_or(true);
+            if !continue_scan || next == 0 {
+                return Ok(false);
+            }
+            page = next;
+        }
+    }
+
+    /// Total number of entries (full leaf walk).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        let mut page = self.leftmost_leaf()?;
+        loop {
+            let Node::Leaf { entries, next } = self.read_node(page)? else {
+                return Err(ServiceError::Storage("expected leaf".into()));
+            };
+            n += entries.len();
+            if next == 0 {
+                return Ok(n);
+            }
+            page = next;
+        }
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Tree height (1 = just a leaf). Useful for experiments and tests.
+    pub fn height(&self) -> Result<usize> {
+        let mut page = *self.root.lock();
+        let mut h = 1;
+        loop {
+            match self.read_node(page)? {
+                Node::Leaf { .. } => return Ok(h),
+                Node::Internal { children, .. } => {
+                    page = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    fn insert_rec(&self, page: PageId, entry: &Entry) -> Result<Option<(Entry, PageId)>> {
+        match self.read_node(page)? {
+            Node::Leaf { mut entries, next } => {
+                match entries.binary_search_by(|e| e.cmp(entry)) {
+                    Ok(_) => return Ok(None), // exact duplicate: idempotent
+                    Err(idx) => entries.insert(idx, entry.clone()),
+                }
+                let node = Node::Leaf { entries, next };
+                if node.encode().len() <= MAX_NODE_BYTES {
+                    Self::write_node(&self.buffer, page, &node, false)?;
+                    return Ok(None);
+                }
+                // Split the leaf.
+                let Node::Leaf { mut entries, next } = node else {
+                    unreachable!()
+                };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].clone();
+                let right_page = self.buffer.new_page()?;
+                Self::write_node(
+                    &self.buffer,
+                    right_page,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                    true,
+                )?;
+                Self::write_node(
+                    &self.buffer,
+                    page,
+                    &Node::Leaf {
+                        entries,
+                        next: right_page,
+                    },
+                    false,
+                )?;
+                Ok(Some((sep, right_page)))
+            }
+            Node::Internal { mut seps, mut children } => {
+                let idx = seps.partition_point(|s| s.cmp(entry) != Ordering::Greater);
+                let child = children[idx];
+                let Some((sep, new_child)) = self.insert_rec(child, entry)? else {
+                    return Ok(None);
+                };
+                seps.insert(idx, sep);
+                children.insert(idx + 1, new_child);
+                let node = Node::Internal { seps, children };
+                if node.encode().len() <= MAX_NODE_BYTES {
+                    Self::write_node(&self.buffer, page, &node, false)?;
+                    return Ok(None);
+                }
+                // Split the internal node: middle separator moves up.
+                let Node::Internal { mut seps, mut children } = node else {
+                    unreachable!()
+                };
+                let mid = seps.len() / 2;
+                let up = seps[mid].clone();
+                let right_seps = seps.split_off(mid + 1);
+                seps.pop(); // `up` moves to the parent
+                let right_children = children.split_off(mid + 1);
+                let right_page = self.buffer.new_page()?;
+                Self::write_node(
+                    &self.buffer,
+                    right_page,
+                    &Node::Internal {
+                        seps: right_seps,
+                        children: right_children,
+                    },
+                    true,
+                )?;
+                Self::write_node(&self.buffer, page, &Node::Internal { seps, children }, false)?;
+                Ok(Some((up, right_page)))
+            }
+        }
+    }
+
+    /// Leaf that may contain the *leftmost* occurrence of `key`.
+    fn find_leaf(&self, key: &Datum) -> Result<PageId> {
+        let mut page = *self.root.lock();
+        loop {
+            match self.read_node(page)? {
+                Node::Leaf { .. } => return Ok(page),
+                Node::Internal { seps, children } => {
+                    // Descend left of any separator whose key >= key so
+                    // leftmost duplicates are not skipped.
+                    let idx = seps.partition_point(|s| s.key.order(key) == Ordering::Less);
+                    page = children[idx];
+                }
+            }
+        }
+    }
+
+    fn leftmost_leaf(&self) -> Result<PageId> {
+        let mut page = *self.root.lock();
+        loop {
+            match self.read_node(page)? {
+                Node::Leaf { .. } => return Ok(page),
+                Node::Internal { children, .. } => page = children[0],
+            }
+        }
+    }
+
+    fn read_node(&self, page: PageId) -> Result<Node> {
+        let bytes = self
+            .buffer
+            .with_page(page, |p| p.get(0).map(|r| r.to_vec()))??;
+        Node::decode(&bytes)
+    }
+
+    fn write_node(buffer: &BufferPool, page: PageId, node: &Node, fresh: bool) -> Result<()> {
+        let bytes = node.encode();
+        buffer.try_with_page_mut(page, |p| {
+            if fresh {
+                p.insert(&bytes).map(|_| ())
+            } else {
+                p.update(0, &bytes)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sbdms_storage::replacement::PolicyKind;
+    use sbdms_storage::services::StorageEngine;
+
+    fn btree(name: &str) -> BTree {
+        let dir = std::env::temp_dir()
+            .join("sbdms-btree-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = StorageEngine::open(&dir, 64, PolicyKind::Lru).unwrap();
+        BTree::create(engine.buffer).unwrap()
+    }
+
+    fn rid(n: u64) -> Rid {
+        Rid::new(n, (n % 100) as u16)
+    }
+
+    #[test]
+    fn insert_and_search() {
+        let t = btree("basic");
+        t.insert(&Datum::Int(5), rid(1)).unwrap();
+        t.insert(&Datum::Int(3), rid(2)).unwrap();
+        t.insert(&Datum::Int(7), rid(3)).unwrap();
+        assert_eq!(t.search(&Datum::Int(3)).unwrap(), vec![rid(2)]);
+        assert_eq!(t.search(&Datum::Int(5)).unwrap(), vec![rid(1)]);
+        assert!(t.search(&Datum::Int(4)).unwrap().is_empty());
+        assert_eq!(t.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_supported() {
+        let t = btree("dups");
+        for i in 0..10 {
+            t.insert(&Datum::Int(42), rid(i)).unwrap();
+        }
+        let found = t.search(&Datum::Int(42)).unwrap();
+        assert_eq!(found.len(), 10);
+        // Exact duplicate (key, rid) is idempotent.
+        t.insert(&Datum::Int(42), rid(0)).unwrap();
+        assert_eq!(t.search(&Datum::Int(42)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn splits_grow_the_tree() {
+        let t = btree("split");
+        for i in 0..2000i64 {
+            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+        }
+        assert!(t.height().unwrap() >= 2, "2000 entries must split");
+        assert_eq!(t.len().unwrap(), 2000);
+        for i in (0..2000i64).step_by(97) {
+            assert_eq!(t.search(&Datum::Int(i)).unwrap(), vec![rid(i as u64)]);
+        }
+    }
+
+    #[test]
+    fn reverse_and_random_insert_orders() {
+        let t = btree("orders");
+        let mut keys: Vec<i64> = (0..1000).collect();
+        // Deterministic shuffle.
+        for i in 0..keys.len() {
+            let j = (i * 7919) % keys.len();
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            t.insert(&Datum::Int(k), rid(k as u64)).unwrap();
+        }
+        let all = t.range(None, None, true).unwrap();
+        assert_eq!(all.len(), 1000);
+        // Range output is sorted.
+        for w in all.windows(2) {
+            assert_ne!(w[0].0.order(&w[1].0), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let t = btree("range");
+        for i in 0..100i64 {
+            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+        }
+        let r = t
+            .range(Some(&Datum::Int(10)), Some(&Datum::Int(20)), true)
+            .unwrap();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r[0].0, Datum::Int(10));
+        assert_eq!(r[10].0, Datum::Int(20));
+
+        let r = t
+            .range(Some(&Datum::Int(10)), Some(&Datum::Int(20)), false)
+            .unwrap();
+        assert_eq!(r.len(), 10);
+
+        let r = t.range(None, Some(&Datum::Int(5)), true).unwrap();
+        assert_eq!(r.len(), 6);
+        let r = t.range(Some(&Datum::Int(95)), None, true).unwrap();
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn string_keys() {
+        let t = btree("strings");
+        for name in ["mercury", "venus", "earth", "mars", "jupiter"] {
+            t.insert(&Datum::Str(name.into()), rid(name.len() as u64)).unwrap();
+        }
+        assert_eq!(
+            t.search(&Datum::Str("earth".into())).unwrap(),
+            vec![rid(5)]
+        );
+        let r = t
+            .range(
+                Some(&Datum::Str("earth".into())),
+                Some(&Datum::Str("mercury".into())),
+                true,
+            )
+            .unwrap();
+        let keys: Vec<String> = r.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["earth", "jupiter", "mars", "mercury"]);
+    }
+
+    #[test]
+    fn delete_specific_entries() {
+        let t = btree("delete");
+        for i in 0..50i64 {
+            t.insert(&Datum::Int(i % 10), rid(i as u64)).unwrap();
+        }
+        assert_eq!(t.search(&Datum::Int(3)).unwrap().len(), 5);
+        assert!(t.delete(&Datum::Int(3), rid(3)).unwrap());
+        assert_eq!(t.search(&Datum::Int(3)).unwrap().len(), 4);
+        assert!(!t.delete(&Datum::Int(3), rid(3)).unwrap(), "already gone");
+        assert!(!t.delete(&Datum::Int(99), rid(0)).unwrap(), "never existed");
+        assert_eq!(t.len().unwrap(), 49);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir()
+            .join("sbdms-btree-tests")
+            .join(format!("reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = StorageEngine::open(&dir, 64, PolicyKind::Lru).unwrap();
+        let buffer = engine.buffer.clone();
+
+        let meta = {
+            let t = BTree::create(buffer.clone()).unwrap();
+            for i in 0..500i64 {
+                t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+            }
+            buffer.flush_all().unwrap();
+            t.meta_page()
+        };
+        let t = BTree::open(buffer, meta).unwrap();
+        assert_eq!(t.len().unwrap(), 500);
+        assert_eq!(t.search(&Datum::Int(123)).unwrap(), vec![rid(123)]);
+    }
+
+    #[test]
+    fn large_string_keys_split_correctly() {
+        let t = btree("bigkeys");
+        for i in 0..200 {
+            let key = format!("{:03}-{}", i, "k".repeat(200));
+            t.insert(&Datum::Str(key), rid(i)).unwrap();
+        }
+        assert!(t.height().unwrap() >= 2);
+        assert_eq!(t.len().unwrap(), 200);
+        let key = format!("{:03}-{}", 150, "k".repeat(200));
+        assert_eq!(t.search(&Datum::Str(key)).unwrap(), vec![rid(150)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_matches_btreemap_model(
+            keys in proptest::collection::vec(-500i64..500, 1..400),
+            deletions in proptest::collection::vec(any::<prop::sample::Index>(), 0..50),
+        ) {
+            let dir = std::env::temp_dir().join("sbdms-btree-tests").join(format!(
+                "prop-{}-{:x}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let engine = StorageEngine::open(&dir, 32, PolicyKind::Clock).unwrap();
+            let t = BTree::create(engine.buffer).unwrap();
+
+            let mut model: std::collections::BTreeSet<(i64, u64)> = Default::default();
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert(&Datum::Int(k), rid(i as u64)).unwrap();
+                model.insert((k, i as u64));
+            }
+            for idx in &deletions {
+                if model.is_empty() {
+                    break;
+                }
+                let &(k, r) = idx.get(&model.iter().copied().collect::<Vec<_>>());
+                t.delete(&Datum::Int(k), rid(r)).unwrap();
+                model.remove(&(k, r));
+            }
+
+            prop_assert_eq!(t.len().unwrap(), model.len());
+            // Point lookups agree.
+            for &k in keys.iter().take(20) {
+                let got: std::collections::BTreeSet<u64> = t
+                    .search(&Datum::Int(k))
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| r.page)
+                    .collect();
+                let want: std::collections::BTreeSet<u64> = model
+                    .iter()
+                    .filter(|(mk, _)| *mk == k)
+                    .map(|(_, r)| rid(*r).page)
+                    .collect();
+                prop_assert_eq!(got, want);
+            }
+            // Full range agrees and is sorted.
+            let all = t.range(None, None, true).unwrap();
+            prop_assert_eq!(all.len(), model.len());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

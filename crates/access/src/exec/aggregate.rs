@@ -1,0 +1,351 @@
+//! Grouped aggregation.
+//!
+//! Hash aggregation over group-by columns with the classical aggregate
+//! functions. NULLs are ignored by all aggregates except `CountAll`
+//! (SQL semantics); an empty input with no grouping yields one row of
+//! aggregate identities.
+
+use sbdms_kernel::error::{Result, ServiceError};
+
+use super::expr::Expr;
+use super::TupleStream;
+use crate::record::{Datum, Tuple};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT(*) — counts rows, including NULL inputs.
+    CountAll,
+    /// COUNT(expr) — counts non-NULL values.
+    Count,
+    /// SUM(expr).
+    Sum,
+    /// AVG(expr).
+    Avg,
+    /// MIN(expr).
+    Min,
+    /// MAX(expr).
+    Max,
+}
+
+/// One aggregate column specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// The argument (ignored for `CountAll`).
+    pub arg: Expr,
+}
+
+impl AggSpec {
+    /// Shorthand constructor.
+    pub fn new(func: AggFunc, arg: Expr) -> AggSpec {
+        AggSpec { func, arg }
+    }
+}
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { total: f64, all_int: bool, seen: bool },
+    Avg { total: f64, n: i64 },
+    MinMax { best: Option<Datum>, is_min: bool },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::CountAll | AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                all_int: true,
+                seen: false,
+            },
+            AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                is_min: false,
+            },
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, value: Datum) -> Result<()> {
+        if func == AggFunc::CountAll {
+            if let AggState::Count(n) = self {
+                *n += 1;
+            }
+            return Ok(());
+        }
+        if value.is_null() {
+            return Ok(());
+        }
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum { total, all_int, seen } => {
+                match value {
+                    Datum::Int(i) => *total += i as f64,
+                    Datum::Float(x) => {
+                        *total += x;
+                        *all_int = false;
+                    }
+                    other => {
+                        return Err(ServiceError::InvalidInput(format!(
+                            "SUM requires numbers, got {other}"
+                        )))
+                    }
+                }
+                *seen = true;
+            }
+            AggState::Avg { total, n } => {
+                match value {
+                    Datum::Int(i) => *total += i as f64,
+                    Datum::Float(x) => *total += x,
+                    other => {
+                        return Err(ServiceError::InvalidInput(format!(
+                            "AVG requires numbers, got {other}"
+                        )))
+                    }
+                }
+                *n += 1;
+            }
+            AggState::MinMax { best, is_min } => {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let c = value.order(b);
+                        if *is_min {
+                            c == std::cmp::Ordering::Less
+                        } else {
+                            c == std::cmp::Ordering::Greater
+                        }
+                    }
+                };
+                if better {
+                    *best = Some(value);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Datum {
+        match self {
+            AggState::Count(n) => Datum::Int(n),
+            AggState::Sum { total, all_int, seen } => {
+                if !seen {
+                    Datum::Null
+                } else if all_int {
+                    Datum::Int(total as i64)
+                } else {
+                    Datum::Float(total)
+                }
+            }
+            AggState::Avg { total, n } => {
+                if n == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Float(total / n as f64)
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Datum::Null),
+        }
+    }
+}
+
+/// Hash-aggregate `input` grouped by `group_by` expressions; output tuples
+/// are `group values ++ aggregate values`, grouped rows in first-seen
+/// order.
+pub fn hash_aggregate(
+    input: TupleStream,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+) -> Result<TupleStream> {
+    // Group key = encoded group datums (Datum has no Eq/Hash; its binary
+    // encoding is canonical enough for grouping — NULL groups together,
+    // which matches SQL GROUP BY).
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut groups: std::collections::HashMap<Vec<u8>, (Tuple, Vec<AggState>)> =
+        std::collections::HashMap::new();
+
+    for row in input {
+        let tuple = row?;
+        let key_vals: Tuple = group_by
+            .iter()
+            .map(|e| e.eval(&tuple))
+            .collect::<Result<_>>()?;
+        let key: Vec<u8> = key_vals.iter().flat_map(|d| d.encode()).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (
+                key_vals,
+                aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            )
+        });
+        for (state, spec) in entry.1.iter_mut().zip(&aggs) {
+            let v = if spec.func == AggFunc::CountAll {
+                Datum::Null
+            } else {
+                spec.arg.eval(&tuple)?
+            };
+            state.update(spec.func, v)?;
+        }
+    }
+
+    // Global aggregate over empty input: one identity row.
+    if groups.is_empty() && group_by.is_empty() {
+        let row: Tuple = aggs
+            .iter()
+            .map(|a| AggState::new(a.func).finish())
+            .collect();
+        return Ok(Box::new(std::iter::once(Ok(row))));
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let (group_vals, states) = groups.remove(&key).expect("group vanished");
+        let mut row = group_vals;
+        row.extend(states.into_iter().map(AggState::finish));
+        out.push(Ok(row));
+    }
+    Ok(Box::new(out.into_iter()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ops::values_scan;
+
+    fn sales() -> Vec<Tuple> {
+        // (region, amount)
+        vec![
+            vec![Datum::Str("eu".into()), Datum::Int(10)],
+            vec![Datum::Str("us".into()), Datum::Int(20)],
+            vec![Datum::Str("eu".into()), Datum::Int(30)],
+            vec![Datum::Str("us".into()), Datum::Null],
+            vec![Datum::Str("eu".into()), Datum::Int(2)],
+        ]
+    }
+
+    fn run(group_by: Vec<Expr>, aggs: Vec<AggSpec>) -> Vec<Tuple> {
+        hash_aggregate(values_scan(sales()), group_by, aggs)
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn grouped_count_sum_avg() {
+        let rows = run(
+            vec![Expr::col(0)],
+            vec![
+                AggSpec::new(AggFunc::CountAll, Expr::int(0)),
+                AggSpec::new(AggFunc::Count, Expr::col(1)),
+                AggSpec::new(AggFunc::Sum, Expr::col(1)),
+                AggSpec::new(AggFunc::Avg, Expr::col(1)),
+            ],
+        );
+        assert_eq!(rows.len(), 2);
+        // First-seen order: eu then us.
+        assert_eq!(rows[0][0], Datum::Str("eu".into()));
+        assert_eq!(rows[0][1], Datum::Int(3)); // count(*)
+        assert_eq!(rows[0][2], Datum::Int(3)); // count(amount)
+        assert_eq!(rows[0][3], Datum::Int(42)); // sum
+        assert_eq!(rows[0][4], Datum::Float(14.0)); // avg
+
+        assert_eq!(rows[1][0], Datum::Str("us".into()));
+        assert_eq!(rows[1][1], Datum::Int(2)); // count(*) includes the NULL row
+        assert_eq!(rows[1][2], Datum::Int(1)); // count(amount) skips it
+        assert_eq!(rows[1][3], Datum::Int(20));
+    }
+
+    #[test]
+    fn min_max() {
+        let rows = run(
+            vec![],
+            vec![
+                AggSpec::new(AggFunc::Min, Expr::col(1)),
+                AggSpec::new(AggFunc::Max, Expr::col(1)),
+            ],
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Datum::Int(2));
+        assert_eq!(rows[0][1], Datum::Int(30));
+    }
+
+    #[test]
+    fn empty_input_global_aggregate() {
+        let rows = hash_aggregate(
+            values_scan(vec![]),
+            vec![],
+            vec![
+                AggSpec::new(AggFunc::CountAll, Expr::int(0)),
+                AggSpec::new(AggFunc::Sum, Expr::col(0)),
+                AggSpec::new(AggFunc::Min, Expr::col(0)),
+            ],
+        )
+        .unwrap()
+        .collect::<Result<Vec<_>>>()
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Datum::Int(0));
+        assert_eq!(rows[0][1], Datum::Null);
+        assert_eq!(rows[0][2], Datum::Null);
+    }
+
+    #[test]
+    fn empty_input_grouped_yields_nothing() {
+        let rows = hash_aggregate(
+            values_scan(vec![]),
+            vec![Expr::col(0)],
+            vec![AggSpec::new(AggFunc::CountAll, Expr::int(0))],
+        )
+        .unwrap()
+        .count();
+        assert_eq!(rows, 0);
+    }
+
+    #[test]
+    fn float_sum_promotes() {
+        let input = values_scan(vec![
+            vec![Datum::Int(1)],
+            vec![Datum::Float(0.5)],
+        ]);
+        let rows = hash_aggregate(input, vec![], vec![AggSpec::new(AggFunc::Sum, Expr::col(0))])
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(rows[0][0], Datum::Float(1.5));
+    }
+
+    #[test]
+    fn sum_of_strings_errors() {
+        let input = values_scan(vec![vec![Datum::Str("x".into())]]);
+        let result: Result<Vec<Tuple>> =
+            hash_aggregate(input, vec![], vec![AggSpec::new(AggFunc::Sum, Expr::col(0))])
+                .and_then(|s| s.collect());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn null_group_key_groups_together() {
+        let input = values_scan(vec![
+            vec![Datum::Null, Datum::Int(1)],
+            vec![Datum::Null, Datum::Int(2)],
+        ]);
+        let rows = hash_aggregate(
+            input,
+            vec![Expr::col(0)],
+            vec![AggSpec::new(AggFunc::CountAll, Expr::int(0))],
+        )
+        .unwrap()
+        .collect::<Result<Vec<_>>>()
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Datum::Int(2));
+    }
+}

@@ -1,0 +1,475 @@
+//! Row expressions evaluated by the operators.
+//!
+//! Expressions reference tuple columns by position; name resolution is the
+//! data layer's job (paper Fig. 2: the data layer "presents the data in
+//! logical structures", the access layer executes over physical tuples).
+//! Comparison and logic follow SQL three-valued semantics: any comparison
+//! with NULL yields NULL, AND/OR use Kleene logic.
+
+use sbdms_kernel::error::{Result, ServiceError};
+
+use crate::record::{Datum, Tuple};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (numeric) or concatenation (strings).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (errors on zero divisor).
+    Div,
+    /// Remainder (integers only).
+    Mod,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// SQL LIKE pattern match (`%` any run, `_` any one char).
+    Like,
+    /// Logical AND (Kleene).
+    And,
+    /// Logical OR (Kleene).
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT (Kleene).
+    Not,
+    /// Numeric negation.
+    Neg,
+    /// `IS NULL` test (never NULL itself).
+    IsNull,
+    /// `IS NOT NULL` test.
+    IsNotNull,
+}
+
+/// An expression over a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Datum),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Datum::Int(v))
+    }
+
+    /// String literal.
+    pub fn str(s: &str) -> Expr {
+        Expr::Lit(Datum::Str(s.to_string()))
+    }
+
+    /// Build a binary expression.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, other)
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Datum> {
+        match self {
+            Expr::Col(i) => tuple
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| ServiceError::InvalidInput(format!("column {i} out of range"))),
+            Expr::Lit(d) => Ok(d.clone()),
+            Expr::Unary(op, e) => {
+                let v = e.eval(tuple)?;
+                eval_unary(*op, v)
+            }
+            Expr::Binary(op, l, r) => {
+                let lv = l.eval(tuple)?;
+                let rv = r.eval(tuple)?;
+                eval_binary(*op, lv, rv)
+            }
+        }
+    }
+
+    /// Greatest column index referenced, if any; used by planners to
+    /// validate expressions against schemas.
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            Expr::Lit(_) => None,
+            Expr::Unary(_, e) => e.max_column(),
+            Expr::Binary(_, l, r) => match (l.max_column(), r.max_column()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Datum) -> Result<Datum> {
+    match op {
+        UnaryOp::Not => Ok(match v {
+            Datum::Null => Datum::Null,
+            Datum::Bool(b) => Datum::Bool(!b),
+            other => {
+                return Err(ServiceError::InvalidInput(format!(
+                    "NOT requires bool, got {other}"
+                )))
+            }
+        }),
+        UnaryOp::Neg => Ok(match v {
+            Datum::Null => Datum::Null,
+            Datum::Int(i) => Datum::Int(-i),
+            Datum::Float(x) => Datum::Float(-x),
+            other => {
+                return Err(ServiceError::InvalidInput(format!(
+                    "negation requires a number, got {other}"
+                )))
+            }
+        }),
+        UnaryOp::IsNull => Ok(Datum::Bool(v.is_null())),
+        UnaryOp::IsNotNull => Ok(Datum::Bool(!v.is_null())),
+    }
+}
+
+fn eval_binary(op: BinOp, l: Datum, r: Datum) -> Result<Datum> {
+    use BinOp::*;
+    match op {
+        And => return kleene_and(l, r),
+        Or => return kleene_or(l, r),
+        _ => {}
+    }
+    // Comparisons and arithmetic are NULL-propagating.
+    if l.is_null() || r.is_null() {
+        return Ok(Datum::Null);
+    }
+    match op {
+        Eq => Ok(Datum::Bool(l.order(&r) == std::cmp::Ordering::Equal)),
+        Ne => Ok(Datum::Bool(l.order(&r) != std::cmp::Ordering::Equal)),
+        Lt => Ok(Datum::Bool(l.order(&r) == std::cmp::Ordering::Less)),
+        Le => Ok(Datum::Bool(l.order(&r) != std::cmp::Ordering::Greater)),
+        Gt => Ok(Datum::Bool(l.order(&r) == std::cmp::Ordering::Greater)),
+        Ge => Ok(Datum::Bool(l.order(&r) != std::cmp::Ordering::Less)),
+        Like => match (&l, &r) {
+            (Datum::Str(s), Datum::Str(p)) => Ok(Datum::Bool(like_match(s, p))),
+            _ => Err(ServiceError::InvalidInput(format!(
+                "LIKE requires strings, got {l} and {r}"
+            ))),
+        },
+        Add => match (l, r) {
+            (Datum::Str(a), Datum::Str(b)) => Ok(Datum::Str(a + &b)),
+            (l, r) => numeric(l, r, "+"),
+        },
+        Sub => numeric_op(l, r, "-"),
+        Mul => numeric_op(l, r, "*"),
+        Div => numeric_op(l, r, "/"),
+        Mod => match (l, r) {
+            (Datum::Int(_), Datum::Int(0)) => {
+                Err(ServiceError::InvalidInput("modulo by zero".into()))
+            }
+            (Datum::Int(a), Datum::Int(b)) => Ok(Datum::Int(a % b)),
+            (l, r) => Err(ServiceError::InvalidInput(format!(
+                "% requires integers, got {l} and {r}"
+            ))),
+        },
+        And | Or => unreachable!(),
+    }
+}
+
+fn numeric_op(l: Datum, r: Datum, sym: &str) -> Result<Datum> {
+    numeric(l, r, sym)
+}
+
+fn numeric(l: Datum, r: Datum, sym: &str) -> Result<Datum> {
+    match (l, r, sym) {
+        (Datum::Int(a), Datum::Int(b), "+") => Ok(Datum::Int(a.wrapping_add(b))),
+        (Datum::Int(a), Datum::Int(b), "-") => Ok(Datum::Int(a.wrapping_sub(b))),
+        (Datum::Int(a), Datum::Int(b), "*") => Ok(Datum::Int(a.wrapping_mul(b))),
+        (Datum::Int(_), Datum::Int(0), "/") => {
+            Err(ServiceError::InvalidInput("division by zero".into()))
+        }
+        (Datum::Int(a), Datum::Int(b), "/") => Ok(Datum::Int(a / b)),
+        (l, r, sym) => {
+            let a = as_f64(&l)?;
+            let b = as_f64(&r)?;
+            let out = match sym {
+                "+" => a + b,
+                "-" => a - b,
+                "*" => a * b,
+                "/" => {
+                    if b == 0.0 {
+                        return Err(ServiceError::InvalidInput("division by zero".into()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Datum::Float(out))
+        }
+    }
+}
+
+fn as_f64(d: &Datum) -> Result<f64> {
+    match d {
+        Datum::Int(i) => Ok(*i as f64),
+        Datum::Float(x) => Ok(*x),
+        other => Err(ServiceError::InvalidInput(format!(
+            "arithmetic requires numbers, got {other}"
+        ))),
+    }
+}
+
+/// SQL LIKE: `%` matches any (possibly empty) run, `_` any single char.
+/// Case-sensitive, no escape syntax. Iterative greedy matching with
+/// backtracking to the last `%` — O(n·m), immune to pathological
+/// patterns.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut star_si = 0usize;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_si = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            // Give the last % one more character and retry.
+            pi = sp + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn kleene_and(l: Datum, r: Datum) -> Result<Datum> {
+    Ok(match (to_tri(l)?, to_tri(r)?) {
+        (Some(false), _) | (_, Some(false)) => Datum::Bool(false),
+        (Some(true), Some(true)) => Datum::Bool(true),
+        _ => Datum::Null,
+    })
+}
+
+fn kleene_or(l: Datum, r: Datum) -> Result<Datum> {
+    Ok(match (to_tri(l)?, to_tri(r)?) {
+        (Some(true), _) | (_, Some(true)) => Datum::Bool(true),
+        (Some(false), Some(false)) => Datum::Bool(false),
+        _ => Datum::Null,
+    })
+}
+
+fn to_tri(d: Datum) -> Result<Option<bool>> {
+    match d {
+        Datum::Null => Ok(None),
+        Datum::Bool(b) => Ok(Some(b)),
+        other => Err(ServiceError::InvalidInput(format!(
+            "logic requires bool, got {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Tuple {
+        vec![
+            Datum::Int(10),
+            Datum::Str("alice".into()),
+            Datum::Float(1.5),
+            Datum::Null,
+            Datum::Bool(true),
+        ]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(Expr::col(0).eval(&row()).unwrap(), Datum::Int(10));
+        assert_eq!(Expr::int(7).eval(&row()).unwrap(), Datum::Int(7));
+        assert!(Expr::col(99).eval(&row()).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::bin(BinOp::Add, Expr::col(0), Expr::int(5));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Int(15));
+        let e = Expr::bin(BinOp::Mul, Expr::col(2), Expr::int(4));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Float(6.0));
+        let e = Expr::bin(BinOp::Div, Expr::int(7), Expr::int(2));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Int(3));
+        let e = Expr::bin(BinOp::Mod, Expr::int(7), Expr::int(3));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Int(1));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0)).eval(&row()).is_err());
+        assert!(Expr::bin(BinOp::Mod, Expr::int(1), Expr::int(0)).eval(&row()).is_err());
+        let float_zero = Expr::Lit(Datum::Float(0.0));
+        assert!(Expr::bin(BinOp::Div, Expr::int(1), float_zero).eval(&row()).is_err());
+    }
+
+    #[test]
+    fn string_concat_and_compare() {
+        let e = Expr::bin(BinOp::Add, Expr::col(1), Expr::str("!"));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Str("alice!".into()));
+        let e = Expr::col(1).eq(Expr::str("alice"));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Bool(true));
+        let e = Expr::col(1).lt(Expr::str("bob"));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn null_propagation() {
+        let e = Expr::col(3).eq(Expr::int(1));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Null);
+        let e = Expr::bin(BinOp::Add, Expr::col(3), Expr::int(1));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Null);
+        let e = Expr::Unary(UnaryOp::IsNull, Box::new(Expr::col(3)));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Bool(true));
+        let e = Expr::Unary(UnaryOp::IsNotNull, Box::new(Expr::col(0)));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let null = || Expr::Lit(Datum::Null);
+        let t = || Expr::Lit(Datum::Bool(true));
+        let f = || Expr::Lit(Datum::Bool(false));
+        // NULL AND FALSE = FALSE; NULL AND TRUE = NULL
+        assert_eq!(null().and(f()).eval(&row()).unwrap(), Datum::Bool(false));
+        assert_eq!(null().and(t()).eval(&row()).unwrap(), Datum::Null);
+        // NULL OR TRUE = TRUE; NULL OR FALSE = NULL
+        assert_eq!(
+            Expr::bin(BinOp::Or, null(), t()).eval(&row()).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Or, null(), f()).eval(&row()).unwrap(),
+            Datum::Null
+        );
+        // NOT NULL = NULL
+        assert_eq!(
+            Expr::Unary(UnaryOp::Not, Box::new(null())).eval(&row()).unwrap(),
+            Datum::Null
+        );
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let e = Expr::bin(BinOp::And, Expr::int(1), Expr::int(2));
+        assert!(e.eval(&row()).is_err());
+        let e = Expr::Unary(UnaryOp::Neg, Box::new(Expr::str("x")));
+        assert!(e.eval(&row()).is_err());
+        let e = Expr::bin(BinOp::Add, Expr::col(4), Expr::int(1));
+        assert!(e.eval(&row()).is_err());
+    }
+
+    #[test]
+    fn max_column_tracks_references() {
+        assert_eq!(Expr::int(1).max_column(), None);
+        assert_eq!(Expr::col(3).max_column(), Some(3));
+        let e = Expr::col(1).and(Expr::col(7).eq(Expr::int(0)));
+        assert_eq!(e.max_column(), Some(7));
+    }
+}
+
+#[cfg(test)]
+mod like_tests {
+    use super::*;
+
+    #[test]
+    fn like_basic_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%o"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("hello", "h"));
+        assert!(!like_match("hello", "hello_"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn like_multiple_wildcards() {
+        assert!(like_match("abcXdefYghi", "abc%def%ghi"));
+        assert!(!like_match("abcXdefYgh", "abc%def%ghi"));
+        assert!(like_match("aaa", "%a%a%"));
+        assert!(like_match("a_b", "a_b"));
+        assert!(like_match("axb", "a_b"));
+    }
+
+    #[test]
+    fn like_pathological_pattern_terminates_fast() {
+        let s = "a".repeat(200);
+        let p = "%a".repeat(50) + "b";
+        let start = std::time::Instant::now();
+        assert!(!like_match(&s, &p));
+        assert!(start.elapsed() < std::time::Duration::from_millis(200));
+    }
+
+    #[test]
+    fn like_in_expressions() {
+        let row: Tuple = vec![Datum::Str("wildcard".into())];
+        let e = Expr::bin(BinOp::Like, Expr::col(0), Expr::str("wild%"));
+        assert_eq!(e.eval(&row).unwrap(), Datum::Bool(true));
+        let e = Expr::bin(BinOp::Like, Expr::col(0), Expr::str("tame%"));
+        assert_eq!(e.eval(&row).unwrap(), Datum::Bool(false));
+        // NULL propagates; non-strings error.
+        let e = Expr::bin(BinOp::Like, Expr::Lit(Datum::Null), Expr::str("%"));
+        assert_eq!(e.eval(&row).unwrap(), Datum::Null);
+        let e = Expr::bin(BinOp::Like, Expr::int(1), Expr::str("%"));
+        assert!(e.eval(&row).is_err());
+    }
+}

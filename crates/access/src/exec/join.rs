@@ -1,0 +1,293 @@
+//! Join operators: nested-loop, hash, and sort-merge.
+//!
+//! Paper §3.1: the access layer "is also responsible for higher level
+//! operations, such as joins". All three classical algorithms are
+//! provided so the data layer's planner (and the E1/E3 workloads) can
+//! choose per-query.
+
+use std::collections::HashMap;
+
+use sbdms_kernel::error::Result;
+
+use super::expr::Expr;
+use super::TupleStream;
+use crate::record::{Datum, Tuple};
+use crate::sort::{compare_tuples, ExternalSorter, SortKey};
+
+/// Hash key for equi-joins: a datum rendered into a hashable form.
+/// (f64 is hashed by bits; NULL never matches so it gets no entry.)
+fn hash_key(d: &Datum) -> Option<HashKey> {
+    match d {
+        Datum::Null => None,
+        Datum::Bool(b) => Some(HashKey::Bool(*b)),
+        Datum::Int(i) => Some(HashKey::Num((*i as f64).to_bits())),
+        Datum::Float(x) => Some(HashKey::Num(x.to_bits())),
+        Datum::Str(s) => Some(HashKey::Str(s.clone())),
+    }
+}
+
+#[derive(Hash, PartialEq, Eq)]
+enum HashKey {
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+fn concat(left: &Tuple, right: &Tuple) -> Tuple {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out
+}
+
+/// Nested-loop join with an arbitrary predicate over the concatenated
+/// tuple (left columns first). The general (and slowest) join.
+pub fn nested_loop_join(
+    left: TupleStream,
+    right: TupleStream,
+    predicate: Expr,
+) -> Result<TupleStream> {
+    let left_rows: Vec<Tuple> = left.collect::<Result<_>>()?;
+    let right_rows: Vec<Tuple> = right.collect::<Result<_>>()?;
+    let mut out = Vec::new();
+    for l in &left_rows {
+        for r in &right_rows {
+            let joined = concat(l, r);
+            if predicate.eval(&joined)?.is_true() {
+                out.push(joined);
+            }
+        }
+    }
+    Ok(Box::new(out.into_iter().map(Ok)))
+}
+
+/// Hash equi-join on `left[left_col] == right[right_col]`. NULL keys never
+/// match (SQL semantics).
+pub fn hash_join(
+    left: TupleStream,
+    right: TupleStream,
+    left_col: usize,
+    right_col: usize,
+) -> Result<TupleStream> {
+    // Build on the right input, probe with the left.
+    let mut table: HashMap<HashKey, Vec<Tuple>> = HashMap::new();
+    for row in right {
+        let tuple = row?;
+        if let Some(key) = tuple.get(right_col).and_then(hash_key) {
+            table.entry(key).or_default().push(tuple);
+        }
+    }
+    let mut out = Vec::new();
+    for row in left {
+        let tuple = row?;
+        if let Some(key) = tuple.get(left_col).and_then(hash_key) {
+            if let Some(matches) = table.get(&key) {
+                for r in matches {
+                    // Hash collisions across numeric types are resolved by
+                    // a real comparison.
+                    if tuple[left_col].sql_eq(&r[right_col]) {
+                        out.push(concat(&tuple, r));
+                    }
+                }
+            }
+        }
+    }
+    Ok(Box::new(out.into_iter().map(Ok)))
+}
+
+/// Sort-merge equi-join on one column per side.
+pub fn merge_join(
+    left: TupleStream,
+    right: TupleStream,
+    left_col: usize,
+    right_col: usize,
+) -> Result<TupleStream> {
+    let sorter = ExternalSorter::new(1 << 22);
+    let l = sorter
+        .sort(left.collect::<Result<_>>()?, &[SortKey::asc(left_col)])?
+        .tuples;
+    let r = sorter
+        .sort(right.collect::<Result<_>>()?, &[SortKey::asc(right_col)])?
+        .tuples;
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        let lk = &l[i][left_col];
+        let rk = &r[j][right_col];
+        if lk.is_null() {
+            i += 1;
+            continue;
+        }
+        if rk.is_null() {
+            j += 1;
+            continue;
+        }
+        match lk.order(rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the cross product of the equal groups.
+                let mut j2 = j;
+                while j2 < r.len() && lk.sql_eq(&r[j2][right_col]) {
+                    out.push(concat(&l[i], &r[j2]));
+                    j2 += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    Ok(Box::new(out.into_iter().map(Ok)))
+}
+
+/// Which join algorithm to run; used by planners and experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgorithm {
+    /// Nested loop (general predicate).
+    NestedLoop,
+    /// Hash join (equi only).
+    Hash,
+    /// Sort-merge join (equi only).
+    Merge,
+}
+
+/// Run an equi-join with the chosen algorithm.
+pub fn equi_join(
+    algorithm: JoinAlgorithm,
+    left: TupleStream,
+    right: TupleStream,
+    left_col: usize,
+    right_col: usize,
+    right_offset_for_nl: usize,
+) -> Result<TupleStream> {
+    match algorithm {
+        JoinAlgorithm::Hash => hash_join(left, right, left_col, right_col),
+        JoinAlgorithm::Merge => merge_join(left, right, left_col, right_col),
+        JoinAlgorithm::NestedLoop => {
+            let predicate =
+                Expr::col(left_col).eq(Expr::col(right_offset_for_nl + right_col));
+            nested_loop_join(left, right, predicate)
+        }
+    }
+}
+
+/// Sort joined output for deterministic comparisons in tests/benches.
+pub fn sorted_rows(stream: TupleStream) -> Result<Vec<Tuple>> {
+    let mut rows: Vec<Tuple> = stream.collect::<Result<_>>()?;
+    let keys: Vec<SortKey> = (0..rows.first().map(|r| r.len()).unwrap_or(0))
+        .map(SortKey::asc)
+        .collect();
+    rows.sort_by(|a, b| compare_tuples(a, b, &keys));
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ops::values_scan;
+
+    fn users() -> Vec<Tuple> {
+        vec![
+            vec![Datum::Int(1), Datum::Str("alice".into())],
+            vec![Datum::Int(2), Datum::Str("bob".into())],
+            vec![Datum::Int(3), Datum::Str("carol".into())],
+            vec![Datum::Null, Datum::Str("ghost".into())],
+        ]
+    }
+
+    fn orders() -> Vec<Tuple> {
+        vec![
+            vec![Datum::Int(10), Datum::Int(1)],
+            vec![Datum::Int(11), Datum::Int(1)],
+            vec![Datum::Int(12), Datum::Int(3)],
+            vec![Datum::Int(13), Datum::Null],
+            vec![Datum::Int(14), Datum::Int(9)],
+        ]
+    }
+
+    fn run(algo: JoinAlgorithm) -> Vec<Tuple> {
+        let out = equi_join(
+            algo,
+            values_scan(users()),
+            values_scan(orders()),
+            0, // users.id
+            1, // orders.user_id
+            2, // user tuple width for the NL predicate
+        )
+        .unwrap();
+        sorted_rows(out).unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let nl = run(JoinAlgorithm::NestedLoop);
+        let hash = run(JoinAlgorithm::Hash);
+        let merge = run(JoinAlgorithm::Merge);
+        assert_eq!(nl.len(), 3, "alice×2 + carol×1");
+        assert_eq!(nl, hash);
+        assert_eq!(nl, merge);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        for algo in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash, JoinAlgorithm::Merge] {
+            let rows = run(algo);
+            assert!(rows.iter().all(|r| !r[0].is_null() && !r[3].is_null()));
+        }
+    }
+
+    #[test]
+    fn joined_tuple_is_left_then_right() {
+        let rows = run(JoinAlgorithm::Hash);
+        // [user.id, user.name, order.id, order.user_id]
+        assert_eq!(rows[0].len(), 4);
+        assert_eq!(rows[0][1], Datum::Str("alice".into()));
+        assert_eq!(rows[0][2], Datum::Int(10));
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        let left = values_scan(vec![vec![Datum::Int(2)]]);
+        let right = values_scan(vec![vec![Datum::Float(2.0)], vec![Datum::Float(2.5)]]);
+        let out = hash_join(left, right, 0, 0).unwrap();
+        let rows: Vec<Tuple> = out.collect::<Result<_>>().unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_supports_non_equi() {
+        // users.id < orders.user_id
+        let predicate = Expr::col(0).lt(Expr::col(3));
+        let out = nested_loop_join(values_scan(users()), values_scan(orders()), predicate).unwrap();
+        let rows: Vec<Tuple> = out.collect::<Result<_>>().unwrap();
+        // pairs where id < user_id (NULLs never true):
+        // alice(1)<3, alice(1)<9, bob(2)<3, bob(2)<9, carol(3)<9 => 5
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for algo in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash, JoinAlgorithm::Merge] {
+            let out = equi_join(algo, values_scan(vec![]), values_scan(orders()), 0, 1, 0).unwrap();
+            assert_eq!(out.count(), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_join() {
+        let left: Vec<Tuple> = (0..20).map(|_| vec![Datum::Int(7)]).collect();
+        let right: Vec<Tuple> = (0..30).map(|_| vec![Datum::Int(7)]).collect();
+        for algo in [JoinAlgorithm::Hash, JoinAlgorithm::Merge, JoinAlgorithm::NestedLoop] {
+            let out = equi_join(
+                algo,
+                values_scan(left.clone()),
+                values_scan(right.clone()),
+                0,
+                0,
+                1,
+            )
+            .unwrap();
+            assert_eq!(out.count(), 600, "{algo:?} cross product of equals");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Execution operators over tuple streams.
+//!
+//! Paper §3.1: the access layer is "responsible for higher level
+//! operations, such as joins, selections, and sorting of record sets".
+//! Everything here is a pull-based iterator over [`TupleStream`].
+
+pub mod aggregate;
+pub mod expr;
+pub mod join;
+pub mod ops;
+
+use sbdms_kernel::error::Result;
+
+use crate::record::Tuple;
+
+/// A stream of tuples, the execution currency of the access layer.
+pub type TupleStream = Box<dyn Iterator<Item = Result<Tuple>> + Send>;
+
+pub use aggregate::{hash_aggregate, AggFunc, AggSpec};
+pub use expr::{BinOp, Expr, UnaryOp};
+pub use join::{equi_join, hash_join, merge_join, nested_loop_join, JoinAlgorithm};
+pub use ops::{distinct, filter, limit, project, seq_scan, sort, values_scan};

@@ -1,0 +1,164 @@
+//! Unary operators: scan, filter, project, sort, limit, distinct.
+//!
+//! Operators consume and produce [`TupleStream`]s (pull-based iterators of
+//! `Result<Tuple>`), the access layer's execution currency.
+
+use sbdms_kernel::error::Result;
+
+use super::expr::Expr;
+use super::TupleStream;
+use crate::heap::HeapFile;
+use crate::record::{decode_tuple, Tuple};
+use crate::sort::{ExternalSorter, SortKey};
+
+/// Sequential scan of a heap file, decoding each record as a tuple.
+pub fn seq_scan(heap: &HeapFile) -> Result<TupleStream> {
+    let rows = heap.scan()?;
+    Ok(Box::new(
+        rows.into_iter().map(|(_, bytes)| decode_tuple(&bytes)),
+    ))
+}
+
+/// Scan of pre-materialised tuples (index scans and tests).
+pub fn values_scan(tuples: Vec<Tuple>) -> TupleStream {
+    Box::new(tuples.into_iter().map(Ok))
+}
+
+/// Keep tuples for which `predicate` evaluates to TRUE (NULL drops).
+pub fn filter(input: TupleStream, predicate: Expr) -> TupleStream {
+    Box::new(input.filter_map(move |row| match row {
+        Ok(tuple) => match predicate.eval(&tuple) {
+            Ok(v) if v.is_true() => Some(Ok(tuple)),
+            Ok(_) => None,
+            Err(e) => Some(Err(e)),
+        },
+        Err(e) => Some(Err(e)),
+    }))
+}
+
+/// Evaluate one expression per output column.
+pub fn project(input: TupleStream, exprs: Vec<Expr>) -> TupleStream {
+    Box::new(input.map(move |row| {
+        let tuple = row?;
+        exprs.iter().map(|e| e.eval(&tuple)).collect()
+    }))
+}
+
+/// Sort the input (materialising; spills past `memory_budget` bytes).
+pub fn sort(input: TupleStream, keys: Vec<SortKey>, memory_budget: usize) -> Result<TupleStream> {
+    let tuples: Vec<Tuple> = input.collect::<Result<_>>()?;
+    let out = ExternalSorter::new(memory_budget).sort(tuples, &keys)?;
+    Ok(values_scan(out.tuples))
+}
+
+/// Pass at most `n` tuples, after skipping `offset`.
+pub fn limit(input: TupleStream, n: usize, offset: usize) -> TupleStream {
+    Box::new(input.skip(offset).take(n))
+}
+
+/// Remove duplicate tuples (materialising; order of first occurrence).
+pub fn distinct(input: TupleStream) -> TupleStream {
+    let mut seen: Vec<Tuple> = Vec::new();
+    let mut out: Vec<Result<Tuple>> = Vec::new();
+    for row in input {
+        match row {
+            Ok(tuple) => {
+                let dup = seen.iter().any(|s| {
+                    s.len() == tuple.len()
+                        && s.iter()
+                            .zip(&tuple)
+                            .all(|(a, b)| a.order(b) == std::cmp::Ordering::Equal)
+                });
+                if !dup {
+                    seen.push(tuple.clone());
+                    out.push(Ok(tuple));
+                }
+            }
+            Err(e) => out.push(Err(e)),
+        }
+    }
+    Box::new(out.into_iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::expr::BinOp;
+    use crate::record::Datum;
+
+    fn rows(vals: &[(i64, &str)]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|(a, b)| vec![Datum::Int(*a), Datum::Str(b.to_string())])
+            .collect()
+    }
+
+    fn collect(s: TupleStream) -> Vec<Tuple> {
+        s.collect::<Result<Vec<_>>>().unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_true_only() {
+        let input = values_scan(rows(&[(1, "a"), (5, "b"), (3, "c")]));
+        let out = collect(filter(input, Expr::col(0).ge(Expr::int(3))));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][0], Datum::Int(5));
+    }
+
+    #[test]
+    fn filter_drops_null_predicate_rows() {
+        let input = values_scan(vec![
+            vec![Datum::Null],
+            vec![Datum::Int(1)],
+        ]);
+        let out = collect(filter(input, Expr::col(0).eq(Expr::int(1))));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn project_reorders_and_computes() {
+        let input = values_scan(rows(&[(2, "x")]));
+        let out = collect(project(
+            input,
+            vec![
+                Expr::col(1),
+                Expr::bin(BinOp::Mul, Expr::col(0), Expr::int(10)),
+            ],
+        ));
+        assert_eq!(out[0], vec![Datum::Str("x".into()), Datum::Int(20)]);
+    }
+
+    #[test]
+    fn sort_and_limit_compose() {
+        let input = values_scan(rows(&[(3, "c"), (1, "a"), (2, "b"), (5, "e"), (4, "d")]));
+        let sorted = sort(input, vec![SortKey::desc(0)], 1 << 20).unwrap();
+        let out = collect(limit(sorted, 2, 1));
+        assert_eq!(out[0][0], Datum::Int(4));
+        assert_eq!(out[1][0], Datum::Int(3));
+    }
+
+    #[test]
+    fn limit_zero_and_overrun() {
+        let input = values_scan(rows(&[(1, "a")]));
+        assert!(collect(limit(input, 0, 0)).is_empty());
+        let input = values_scan(rows(&[(1, "a")]));
+        assert_eq!(collect(limit(input, 10, 0)).len(), 1);
+        let input = values_scan(rows(&[(1, "a")]));
+        assert!(collect(limit(input, 10, 5)).is_empty());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let input = values_scan(rows(&[(1, "a"), (2, "b"), (1, "a"), (1, "c")]));
+        let out = collect(distinct(input));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn errors_propagate_through_pipeline() {
+        // col(9) is out of range -> every row errors in project.
+        let input = values_scan(rows(&[(1, "a")]));
+        let projected = project(input, vec![Expr::col(9)]);
+        let result: Result<Vec<Tuple>> = projected.collect();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # sbdms-access — the access layer of the Service-Based DBMS
+//!
+//! Paper Fig. 2, second layer: "Access Services manage physical data
+//! representations of data records and access path structure, such as
+//! B-trees. This layer is also responsible for higher level operations,
+//! such as joins, selections, and sorting of record sets."
+//!
+//! * [`record`]: the datum/tuple model and binary codec,
+//! * [`heap`]: heap files with stable rids over the buffer pool,
+//! * [`btree`]: a page-backed B+tree index with duplicate-key support,
+//! * [`sort`]: external merge sort with a bounded memory budget,
+//! * [`exec`]: pull-based operators (scan, filter, project, sort, limit,
+//!   distinct, three join algorithms, hash aggregation),
+//! * [`services`]: the heap/index service facades for the kernel bus.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod exec;
+pub mod heap;
+pub mod record;
+pub mod services;
+pub mod sort;
+
+pub use btree::BTree;
+pub use heap::{HeapFile, Rid};
+pub use record::{decode_tuple, encode_tuple, Datum, Tuple};
+pub use services::{HeapService, IndexService};
+pub use sort::{ExternalSorter, SortKey, SortOrder};

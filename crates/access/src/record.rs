@@ -1,0 +1,334 @@
+//! Typed records: the datum/tuple model and its binary codec.
+//!
+//! Paper §3.1: "Access Services manage physical data representations of
+//! data records". A record is a tuple of datums; the codec is a simple
+//! tagged binary format used by heap files and indexes.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_kernel::value::Value;
+
+/// One typed field of a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+/// A record: an ordered tuple of datums.
+pub type Tuple = Vec<Datum>;
+
+impl Datum {
+    /// Total order used by sorting, indexes and comparisons. NULL sorts
+    /// first; numeric types compare cross-type; distinct non-comparable
+    /// types order by a fixed type rank.
+    pub fn order(&self, other: &Datum) -> Ordering {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Datum::Null => 0,
+            Datum::Bool(_) => 1,
+            Datum::Int(_) | Datum::Float(_) => 2,
+            Datum::Str(_) => 3,
+        }
+    }
+
+    /// Whether this datum equals another under SQL-ish semantics
+    /// (NULL != NULL).
+    pub fn sql_eq(&self, other: &Datum) -> bool {
+        !matches!(self, Datum::Null)
+            && !matches!(other, Datum::Null)
+            && self.order(other) == Ordering::Equal
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Truthiness for filter predicates (NULL and non-bool are false).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Datum::Bool(true))
+    }
+
+    /// Encode into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Datum::Null => out.push(0),
+            Datum::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Datum::Int(i) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Datum::Float(x) => {
+                out.push(3);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Datum::Str(s) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Encode to a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode one datum from `data[*pos..]`, advancing `pos`.
+    pub fn decode_from(data: &[u8], pos: &mut usize) -> Result<Datum> {
+        let corrupt = || ServiceError::Storage("corrupt record encoding".into());
+        let tag = *data.get(*pos).ok_or_else(corrupt)?;
+        *pos += 1;
+        match tag {
+            0 => Ok(Datum::Null),
+            1 => {
+                let b = *data.get(*pos).ok_or_else(corrupt)?;
+                *pos += 1;
+                Ok(Datum::Bool(b != 0))
+            }
+            2 => {
+                let bytes = data.get(*pos..*pos + 8).ok_or_else(corrupt)?;
+                *pos += 8;
+                Ok(Datum::Int(i64::from_le_bytes(bytes.try_into().unwrap())))
+            }
+            3 => {
+                let bytes = data.get(*pos..*pos + 8).ok_or_else(corrupt)?;
+                *pos += 8;
+                Ok(Datum::Float(f64::from_le_bytes(bytes.try_into().unwrap())))
+            }
+            4 => {
+                let len_bytes = data.get(*pos..*pos + 4).ok_or_else(corrupt)?;
+                let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+                *pos += 4;
+                let bytes = data.get(*pos..*pos + len).ok_or_else(corrupt)?;
+                *pos += len;
+                let s = std::str::from_utf8(bytes).map_err(|_| corrupt())?;
+                Ok(Datum::Str(s.to_string()))
+            }
+            _ => Err(corrupt()),
+        }
+    }
+
+    /// Decode a single datum occupying the whole buffer.
+    pub fn decode(data: &[u8]) -> Result<Datum> {
+        let mut pos = 0;
+        let d = Datum::decode_from(data, &mut pos)?;
+        if pos != data.len() {
+            return Err(ServiceError::Storage("trailing bytes after datum".into()));
+        }
+        Ok(d)
+    }
+
+    /// Convert to the kernel `Value` for service payloads.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Datum::Null => Value::Null,
+            Datum::Bool(b) => Value::Bool(*b),
+            Datum::Int(i) => Value::Int(*i),
+            Datum::Float(x) => Value::Float(*x),
+            Datum::Str(s) => Value::Str(s.clone()),
+        }
+    }
+
+    /// Convert from a kernel `Value` (scalar kinds only).
+    pub fn from_value(v: &Value) -> Result<Datum> {
+        match v {
+            Value::Null => Ok(Datum::Null),
+            Value::Bool(b) => Ok(Datum::Bool(*b)),
+            Value::Int(i) => Ok(Datum::Int(*i)),
+            Value::Float(x) => Ok(Datum::Float(*x)),
+            Value::Str(s) => Ok(Datum::Str(s.clone())),
+            other => Err(ServiceError::InvalidInput(format!(
+                "cannot convert {:?} to a datum",
+                other.type_tag()
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Float(x) => write!(f, "{x}"),
+            Datum::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Encode a tuple: field count then each datum.
+pub fn encode_tuple(tuple: &[Datum]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + tuple.len() * 9);
+    out.extend_from_slice(&(tuple.len() as u16).to_le_bytes());
+    for d in tuple {
+        d.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decode a tuple produced by [`encode_tuple`].
+pub fn decode_tuple(data: &[u8]) -> Result<Tuple> {
+    if data.len() < 2 {
+        return Err(ServiceError::Storage("corrupt tuple encoding".into()));
+    }
+    let n = u16::from_le_bytes(data[0..2].try_into().unwrap()) as usize;
+    let mut pos = 2;
+    let mut tuple = Vec::with_capacity(n);
+    for _ in 0..n {
+        tuple.push(Datum::decode_from(data, &mut pos)?);
+    }
+    if pos != data.len() {
+        return Err(ServiceError::Storage("trailing bytes after tuple".into()));
+    }
+    Ok(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for d in [
+            Datum::Null,
+            Datum::Bool(true),
+            Datum::Bool(false),
+            Datum::Int(-42),
+            Datum::Int(i64::MAX),
+            Datum::Float(3.75),
+            Datum::Str("héllo".into()),
+            Datum::Str(String::new()),
+        ] {
+            assert_eq!(Datum::decode(&d.encode()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = vec![
+            Datum::Int(1),
+            Datum::Str("alice".into()),
+            Datum::Float(99.5),
+            Datum::Null,
+            Datum::Bool(true),
+        ];
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+        assert_eq!(decode_tuple(&encode_tuple(&[])).unwrap(), Vec::<Datum>::new());
+    }
+
+    #[test]
+    fn corrupt_encodings_rejected() {
+        assert!(Datum::decode(&[]).is_err());
+        assert!(Datum::decode(&[9]).is_err());
+        assert!(Datum::decode(&[2, 1, 2]).is_err()); // short int
+        assert!(Datum::decode(&[4, 5, 0, 0, 0, b'a']).is_err()); // short str
+        assert!(decode_tuple(&[1]).is_err());
+        // Trailing garbage.
+        let mut enc = Datum::Int(1).encode();
+        enc.push(0);
+        assert!(Datum::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn ordering_semantics() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Datum::Null.order(&Datum::Int(0)), Less);
+        assert_eq!(Datum::Int(1).order(&Datum::Int(2)), Less);
+        assert_eq!(Datum::Int(2).order(&Datum::Float(1.5)), Greater);
+        assert_eq!(Datum::Float(2.0).order(&Datum::Int(2)), Equal);
+        assert_eq!(Datum::Str("a".into()).order(&Datum::Str("b".into())), Less);
+        // Cross-type rank: bool < numeric < string.
+        assert_eq!(Datum::Bool(true).order(&Datum::Int(0)), Less);
+        assert_eq!(Datum::Str("x".into()).order(&Datum::Int(9)), Greater);
+    }
+
+    #[test]
+    fn sql_null_semantics() {
+        assert!(!Datum::Null.sql_eq(&Datum::Null));
+        assert!(!Datum::Null.sql_eq(&Datum::Int(1)));
+        assert!(Datum::Int(1).sql_eq(&Datum::Int(1)));
+        assert!(Datum::Null.is_null());
+        assert!(!Datum::Bool(false).is_true());
+        assert!(Datum::Bool(true).is_true());
+        assert!(!Datum::Int(1).is_true());
+    }
+
+    #[test]
+    fn value_conversion() {
+        let d = Datum::Str("x".into());
+        assert_eq!(Datum::from_value(&d.to_value()).unwrap(), d);
+        assert!(Datum::from_value(&Value::Bytes(vec![1])).is_err());
+        assert!(Datum::from_value(&Value::List(vec![])).is_err());
+    }
+
+    fn arb_datum() -> impl Strategy<Value = Datum> {
+        prop_oneof![
+            Just(Datum::Null),
+            any::<bool>().prop_map(Datum::Bool),
+            any::<i64>().prop_map(Datum::Int),
+            (-1e15f64..1e15f64).prop_map(Datum::Float),
+            "[a-zA-Z0-9 ]{0,40}".prop_map(Datum::Str),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tuple_roundtrip(t in proptest::collection::vec(arb_datum(), 0..12)) {
+            prop_assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+        }
+
+        #[test]
+        fn prop_order_total_and_antisymmetric(a in arb_datum(), b in arb_datum()) {
+            let ab = a.order(&b);
+            let ba = b.order(&a);
+            prop_assert_eq!(ab, ba.reverse());
+            prop_assert_eq!(a.order(&a), std::cmp::Ordering::Equal);
+        }
+
+        #[test]
+        fn prop_order_transitive(a in arb_datum(), b in arb_datum(), c in arb_datum()) {
+            use std::cmp::Ordering::*;
+            let mut v = [a, b, c];
+            v.sort_by(|x, y| x.order(y));
+            // sorted ⇒ pairwise ordered
+            prop_assert_ne!(v[0].order(&v[1]), Greater);
+            prop_assert_ne!(v[1].order(&v[2]), Greater);
+            prop_assert_ne!(v[0].order(&v[2]), Greater);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! External merge sort over encoded tuples.
+//!
+//! Paper §3.1 assigns "sorting of record sets" to the access layer. Runs
+//! that exceed the configured memory budget spill to temporary run files
+//! and are k-way merged back; small inputs sort entirely in memory.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use sbdms_kernel::error::{Result, ServiceError};
+
+use crate::record::{decode_tuple, encode_tuple, Datum, Tuple};
+
+/// Sort direction per key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (NULLs first, per `Datum::order`).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One sort key: column index + direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column index within the tuple.
+    pub column: usize,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    /// Ascending key on a column.
+    pub fn asc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            order: SortOrder::Asc,
+        }
+    }
+
+    /// Descending key on a column.
+    pub fn desc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            order: SortOrder::Desc,
+        }
+    }
+}
+
+/// Compare two tuples under a key list.
+pub fn compare_tuples(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> std::cmp::Ordering {
+    for key in keys {
+        let da = a.get(key.column).unwrap_or(&Datum::Null);
+        let db = b.get(key.column).unwrap_or(&Datum::Null);
+        let c = da.order(db);
+        let c = match key.order {
+            SortOrder::Asc => c,
+            SortOrder::Desc => c.reverse(),
+        };
+        if c != std::cmp::Ordering::Equal {
+            return c;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// External merge sorter with a bounded in-memory budget.
+pub struct ExternalSorter {
+    /// Maximum bytes of tuple data held in memory before spilling.
+    memory_budget: usize,
+    spill_dir: PathBuf,
+}
+
+impl ExternalSorter {
+    /// Sorter spilling to the system temp directory.
+    pub fn new(memory_budget: usize) -> ExternalSorter {
+        ExternalSorter {
+            memory_budget: memory_budget.max(1),
+            spill_dir: std::env::temp_dir().join("sbdms-sort-spill"),
+        }
+    }
+
+    /// Sort tuples by `keys`, stable within equal keys. Statistics about
+    /// spilled runs are returned alongside the data.
+    pub fn sort(&self, tuples: Vec<Tuple>, keys: &[SortKey]) -> Result<SortOutput> {
+        // Estimate memory as encoded size (stable, deterministic).
+        let mut run: Vec<(Vec<u8>, Tuple)> = Vec::new();
+        let mut run_bytes = 0usize;
+        let mut run_files: Vec<PathBuf> = Vec::new();
+
+        std::fs::create_dir_all(&self.spill_dir)?;
+        for tuple in tuples {
+            let enc = encode_tuple(&tuple);
+            run_bytes += enc.len();
+            run.push((enc, tuple));
+            if run_bytes > self.memory_budget {
+                run_files.push(self.spill_run(&mut run, keys)?);
+                run_bytes = 0;
+            }
+        }
+
+        if run_files.is_empty() {
+            // Pure in-memory sort.
+            let mut tuples: Vec<Tuple> = run.into_iter().map(|(_, t)| t).collect();
+            tuples.sort_by(|a, b| compare_tuples(a, b, keys));
+            return Ok(SortOutput {
+                tuples,
+                spilled_runs: 0,
+            });
+        }
+        if !run.is_empty() {
+            run_files.push(self.spill_run(&mut run, keys)?);
+        }
+
+        // K-way merge of the run files.
+        let spilled_runs = run_files.len();
+        let mut readers: Vec<RunReader> = run_files
+            .iter()
+            .map(RunReader::open)
+            .collect::<Result<_>>()?;
+        let mut heads: Vec<Option<Tuple>> = readers
+            .iter_mut()
+            .map(|r| r.next_tuple())
+            .collect::<Result<_>>()?;
+
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(t) = head {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            compare_tuples(t, heads[b].as_ref().unwrap(), keys)
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            let tuple = heads[i].take().unwrap();
+            out.push(tuple);
+            heads[i] = readers[i].next_tuple()?;
+        }
+
+        for f in run_files {
+            let _ = std::fs::remove_file(f);
+        }
+        Ok(SortOutput {
+            tuples: out,
+            spilled_runs,
+        })
+    }
+
+    fn spill_run(&self, run: &mut Vec<(Vec<u8>, Tuple)>, keys: &[SortKey]) -> Result<PathBuf> {
+        run.sort_by(|(_, a), (_, b)| compare_tuples(a, b, keys));
+        let path = self.spill_dir.join(format!(
+            "run-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_err(|e| ServiceError::Internal(e.to_string()))?
+                .as_nanos()
+        ));
+        let mut w = BufWriter::new(File::create(&path)?);
+        for (enc, _) in run.drain(..) {
+            w.write_all(&(enc.len() as u32).to_le_bytes())?;
+            w.write_all(&enc)?;
+        }
+        w.flush()?;
+        Ok(path)
+    }
+}
+
+/// Result of a sort: the ordered tuples plus spill statistics.
+pub struct SortOutput {
+    /// The sorted tuples.
+    pub tuples: Vec<Tuple>,
+    /// How many runs were spilled to disk (0 = in-memory sort).
+    pub spilled_runs: usize,
+}
+
+struct RunReader {
+    reader: BufReader<File>,
+}
+
+impl RunReader {
+    fn open(path: &PathBuf) -> Result<RunReader> {
+        Ok(RunReader {
+            reader: BufReader::new(File::open(path)?),
+        })
+    }
+
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        let mut len_buf = [0u8; 4];
+        match self.reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        self.reader.read_exact(&mut buf)?;
+        Ok(Some(decode_tuple(&buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Datum::Int(v)).collect()
+    }
+
+    #[test]
+    fn in_memory_sort_asc_desc() {
+        let sorter = ExternalSorter::new(1 << 20);
+        let input = vec![t(&[3, 1]), t(&[1, 2]), t(&[2, 3])];
+        let out = sorter.sort(input.clone(), &[SortKey::asc(0)]).unwrap();
+        assert_eq!(out.spilled_runs, 0);
+        assert_eq!(out.tuples, vec![t(&[1, 2]), t(&[2, 3]), t(&[3, 1])]);
+
+        let out = sorter.sort(input, &[SortKey::desc(0)]).unwrap();
+        assert_eq!(out.tuples, vec![t(&[3, 1]), t(&[2, 3]), t(&[1, 2])]);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let sorter = ExternalSorter::new(1 << 20);
+        let input = vec![t(&[1, 9]), t(&[1, 3]), t(&[0, 5])];
+        let out = sorter
+            .sort(input, &[SortKey::asc(0), SortKey::desc(1)])
+            .unwrap();
+        assert_eq!(out.tuples, vec![t(&[0, 5]), t(&[1, 9]), t(&[1, 3])]);
+    }
+
+    #[test]
+    fn spills_with_tiny_budget() {
+        let sorter = ExternalSorter::new(64);
+        let input: Vec<Tuple> = (0..500).rev().map(|i| t(&[i, i * 2])).collect();
+        let out = sorter.sort(input, &[SortKey::asc(0)]).unwrap();
+        assert!(out.spilled_runs > 1, "tiny budget must spill multiple runs");
+        assert_eq!(out.tuples.len(), 500);
+        for (i, tuple) in out.tuples.iter().enumerate() {
+            assert_eq!(tuple[0], Datum::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let sorter = ExternalSorter::new(1 << 20);
+        let input = vec![
+            vec![Datum::Int(1)],
+            vec![Datum::Null],
+            vec![Datum::Int(0)],
+        ];
+        let out = sorter.sort(input, &[SortKey::asc(0)]).unwrap();
+        assert_eq!(out.tuples[0], vec![Datum::Null]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let sorter = ExternalSorter::new(16);
+        assert!(sorter.sort(vec![], &[SortKey::asc(0)]).unwrap().tuples.is_empty());
+        let out = sorter.sort(vec![t(&[9])], &[SortKey::asc(0)]).unwrap();
+        assert_eq!(out.tuples, vec![t(&[9])]);
+    }
+
+    #[test]
+    fn mixed_types_sort_by_datum_order() {
+        let sorter = ExternalSorter::new(1 << 20);
+        let input = vec![
+            vec![Datum::Str("b".into())],
+            vec![Datum::Int(5)],
+            vec![Datum::Str("a".into())],
+            vec![Datum::Float(2.5)],
+        ];
+        let out = sorter.sort(input, &[SortKey::asc(0)]).unwrap();
+        // numerics (2.5 < 5) then strings.
+        assert_eq!(out.tuples[0], vec![Datum::Float(2.5)]);
+        assert_eq!(out.tuples[1], vec![Datum::Int(5)]);
+        assert_eq!(out.tuples[2], vec![Datum::Str("a".into())]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spilled_equals_in_memory(
+            vals in proptest::collection::vec((any::<i32>(), any::<i32>()), 0..300)
+        ) {
+            let input: Vec<Tuple> = vals
+                .iter()
+                .map(|(a, b)| t(&[*a as i64, *b as i64]))
+                .collect();
+            let keys = [SortKey::asc(0), SortKey::asc(1)];
+            let big = ExternalSorter::new(1 << 24).sort(input.clone(), &keys).unwrap();
+            let small = ExternalSorter::new(128).sort(input, &keys).unwrap();
+            prop_assert_eq!(big.spilled_runs, 0);
+            prop_assert_eq!(big.tuples, small.tuples);
+        }
+    }
+}

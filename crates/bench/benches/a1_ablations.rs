@@ -1,0 +1,153 @@
+//! A1 — ablations of SBDMS design choices (beyond the paper's figures):
+//!
+//! * contract policy enforcement on/off — what the §3.2 policy pipeline
+//!   costs per call,
+//! * buffer replacement policy (LRU vs Clock) under scan vs hot-set
+//!   access patterns,
+//! * commit durability (Relaxed vs Full) — the price of force-at-commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::data::txn::Durability;
+use sbdms::data::Database;
+use sbdms::kernel::bus::ServiceBus;
+use sbdms::kernel::contract::{Assertion, Contract};
+use sbdms::kernel::interface::{Interface, Operation, Param};
+use sbdms::kernel::service::FnService;
+use sbdms::kernel::value::{TypeTag, Value};
+use sbdms::storage::replacement::PolicyKind;
+use sbdms::storage::services::StorageEngine;
+use sbdms_bench::bench_dir;
+
+/// Policy enforcement cost: the same call with 3 assertions, enforced
+/// vs. skipped.
+fn bench_policy_enforcement(c: &mut Criterion) {
+    let bus = ServiceBus::new();
+    bus.properties().set("free_memory", 1_000_000i64);
+    let iface = Interface::new(
+        "abl.Echo",
+        1,
+        vec![Operation::new(
+            "echo",
+            vec![Param::required("v", TypeTag::Int)],
+            TypeTag::Int,
+        )],
+    );
+    let contract = Contract::for_interface(iface)
+        .assert(Assertion::RequiresField("v".into()))
+        .assert(Assertion::PropertyAtLeast("free_memory".into(), 1024))
+        .assert(Assertion::MaxRequestBytes(1024));
+    let id = bus
+        .deploy(FnService::new("echo", contract, |_, v| Ok(v)).into_ref())
+        .unwrap();
+
+    let mut group = c.benchmark_group("a1_policy_enforcement");
+    for (name, enforce) in [("enforced", true), ("skipped", false)] {
+        bus.set_enforce_policies(enforce);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    bus.invoke(id, "echo", Value::map().with("v", 1i64)).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Replacement policy under two access patterns over a pool of 32 frames
+/// and 128 pages: sequential scans (Clock's home turf) and a hot set
+/// (LRU's home turf).
+fn bench_replacement_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_replacement");
+    for policy in [PolicyKind::Lru, PolicyKind::Clock] {
+        let engine = StorageEngine::open(bench_dir("a1-repl"), 32, policy).unwrap();
+        let pages: Vec<u64> = (0..128).map(|_| engine.buffer.new_page().unwrap()).collect();
+        for &p in &pages {
+            engine
+                .buffer
+                .try_with_page_mut(p, |page| page.insert(b"x").map(|_| ()))
+                .unwrap();
+        }
+        let name = match policy {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Clock => "clock",
+        };
+        let mut i = 0usize;
+        group.bench_function(format!("{name}/sequential"), |b| {
+            b.iter(|| {
+                i += 1;
+                engine.buffer.with_page(pages[i % pages.len()], |p| p.live_records()).unwrap()
+            })
+        });
+        let mut j = 0usize;
+        group.bench_function(format!("{name}/hot-set"), |b| {
+            b.iter(|| {
+                j += 1;
+                // 90% of accesses hit the first 16 pages.
+                let idx = if j.is_multiple_of(10) { j % pages.len() } else { j % 16 };
+                engine.buffer.with_page(pages[idx], |p| p.live_records()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Commit durability: an insert inside a committed transaction, with
+/// buffered vs. force-at-commit durability.
+fn bench_durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_durability");
+    group.sample_size(20);
+    for (name, durability) in [("relaxed", Durability::Relaxed), ("full", Durability::Full)] {
+        let db = Database::open(bench_dir("a1-dur")).unwrap();
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        db.set_durability(durability);
+        let mut i = 0i64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i += 1;
+                db.begin().unwrap();
+                db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+                db.commit().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Join algorithm ablation: the same 200x1000 equi-join through hash,
+/// merge, and nested-loop plans.
+fn bench_join_algorithms(c: &mut Criterion) {
+    use sbdms::access::exec::join::JoinAlgorithm;
+    let db = Database::open(bench_dir("a1-join")).unwrap();
+    db.execute("CREATE TABLE dim (id INT NOT NULL, label TEXT NOT NULL)").unwrap();
+    db.execute("CREATE TABLE fact (fid INT NOT NULL, dim_id INT NOT NULL)").unwrap();
+    let dims: Vec<String> = (0..200).map(|i| format!("({i}, 'd{i}')")).collect();
+    db.execute(&format!("INSERT INTO dim VALUES {}", dims.join(","))).unwrap();
+    for chunk in (0..1000).collect::<Vec<i64>>().chunks(250) {
+        let rows: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i % 200)).collect();
+        db.execute(&format!("INSERT INTO fact VALUES {}", rows.join(","))).unwrap();
+    }
+    let sql = "SELECT label, COUNT(*) AS n FROM dim d JOIN fact f ON d.id = f.dim_id GROUP BY label";
+
+    let mut group = c.benchmark_group("a1_join_algorithms");
+    group.sample_size(20);
+    for (name, algo) in [
+        ("hash", JoinAlgorithm::Hash),
+        ("merge", JoinAlgorithm::Merge),
+        ("nested-loop", JoinAlgorithm::NestedLoop),
+    ] {
+        db.set_join_algorithm(algo);
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(db.execute(sql).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_policy_enforcement, bench_replacement_policies, bench_durability,
+        bench_join_algorithms
+}
+criterion_main!(benches);

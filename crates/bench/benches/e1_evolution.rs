@@ -1,0 +1,44 @@
+//! E1 (paper Fig. 1): the architecture-evolution ladder.
+//!
+//! The same OLTP-ish op mix (1 insert + 3 point reads + 1 scan) runs over
+//! identical engine code through four architectural call paths:
+//! monolithic, extensible, component, service-based. Expected shape:
+//! monolithic ≥ extensible ≥ component ≥ service-based throughput; the
+//! gaps are dispatch-table, marshalling, and bus/contract costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::baseline::ArchitectureStyle;
+use sbdms_bench::experiments::{e1_point_read, e1_round, e1_scan, e1_style};
+
+const PRELOAD: i64 = 2_000;
+
+fn bench_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_evolution");
+    for style in ArchitectureStyle::all() {
+        let system = e1_style(style, PRELOAD);
+        let mut round = 0i64;
+        group.bench_function(format!("{}/point-read", style.name()), |b| {
+            b.iter(|| {
+                round += 1;
+                e1_point_read(&system, round, PRELOAD)
+            })
+        });
+        group.bench_function(format!("{}/oltp-round", style.name()), |b| {
+            b.iter(|| {
+                round += 1;
+                std::hint::black_box(e1_round(&system, round, PRELOAD))
+            })
+        });
+        group.bench_function(format!("{}/full-scan", style.name()), |b| {
+            b.iter(|| std::hint::black_box(e1_scan(&system)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_styles
+}
+criterion_main!(benches);

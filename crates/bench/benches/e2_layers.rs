@@ -1,0 +1,31 @@
+//! E2 (paper Fig. 2): per-layer service invocation cost.
+//!
+//! One representative, side-effect-free operation per functional layer
+//! (storage/access/data/extension), invoked through the bus. Expected
+//! shape: costs differ by orders of magnitude across layers — validating
+//! that the *boundary* overhead (measured by E3) is negligible against
+//! data-layer work but visible against storage-layer micro-ops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms_bench::experiments::{e2_layer_op, e2_system};
+
+fn bench_layers(c: &mut Criterion) {
+    let system = e2_system();
+    let mut group = c.benchmark_group("e2_layers");
+    for layer in ["storage", "access", "data", "extension"] {
+        let (id, op, input) = e2_layer_op(&system, layer);
+        group.bench_function(layer, |b| {
+            b.iter(|| {
+                std::hint::black_box(system.bus().invoke(id, op, input.clone()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_layers
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E3 (paper §5 future work): service granularity vs performance.
+//!
+//! A record insert+read pair runs through 1 (coarse), 2 (medium), or 4
+//! (fine) service boundaries, each boundary over a configurable binding.
+//! Expected shape: throughput falls monotonically with finer granularity,
+//! and the fall steepens as the binding gets more expensive (in-process →
+//! serialised → channel → simulated LAN).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::granularity::Granularity;
+use sbdms::kernel::binding::BindingKind;
+use sbdms_bench::experiments::e3_deployment;
+
+fn binding_name(b: BindingKind) -> &'static str {
+    match b {
+        BindingKind::InProcess => "in-process",
+        BindingKind::Channel => "channel",
+        BindingKind::SerialisedOnly => "serialised",
+        BindingKind::SimulatedLan => "sim-lan",
+        BindingKind::SimulatedWan => "sim-wan",
+    }
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_granularity");
+    for binding in [
+        BindingKind::InProcess,
+        BindingKind::SerialisedOnly,
+        BindingKind::Channel,
+        BindingKind::SimulatedLan,
+    ] {
+        for g in Granularity::all() {
+            // Fixed state: one pre-inserted record, read repeatedly —
+            // Criterion's unbounded iteration count would otherwise grow
+            // the heap and swamp the boundary cost being measured (the
+            // `report` binary measures the bounded insert+read pair).
+            let dep = e3_deployment(g, binding);
+            let (page, slot) = dep.insert(b"fixed-probe-record-for-criterion").unwrap();
+            group.bench_function(format!("{}/{}", binding_name(binding), g.name()), |b| {
+                b.iter(|| std::hint::black_box(dep.get(page, slot).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_granularity
+}
+criterion_main!(benches);

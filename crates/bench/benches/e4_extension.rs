@@ -1,0 +1,31 @@
+//! E4 (paper Fig. 5): flexibility by extension.
+//!
+//! Cost of publishing a new service at run time (deploy + register +
+//! archive contract) and of its first use, as the registry grows.
+//! Expected shape: publish cost stays small and roughly flat in registry
+//! size (registration is hash-map work), so run-time extension is cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms_bench::experiments::{e4_bus, e4_publish_once};
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_extension");
+    for registry_size in [10usize, 100, 1000] {
+        let bus = e4_bus(registry_size);
+        let mut n = 0u64;
+        group.bench_function(format!("publish/registry-{registry_size}"), |b| {
+            b.iter(|| {
+                n += 1;
+                std::hint::black_box(e4_publish_once(&bus, n))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_publish
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 (paper Fig. 6): flexibility by selection.
+//!
+//! Selection + invocation of one among N alternate providers of the same
+//! task, per strategy. Expected shape: all strategies stay within a small
+//! constant of a direct call; by-quality is cheapest (single ranked
+//! lookup), least-loaded pays a metrics scan per call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::flexibility::selection::SelectionStrategy;
+use sbdms::kernel::value::Value;
+use sbdms_bench::experiments::e5_setup;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_selection");
+    for n in [2usize, 8, 32] {
+        for strategy in SelectionStrategy::all() {
+            let selector = e5_setup(n, strategy);
+            group.bench_function(format!("{}/alternates-{n}", strategy.name()), |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        selector
+                            .invoke("bench.Kv", "get", Value::map().with("key", "k"))
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_selection
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E6 (paper Fig. 7): flexibility by adaptation.
+//!
+//! Full failover latency — detect the failed service, disable it, find a
+//! substitute, recompose — for both recovery paths. Expected shape: both
+//! complete in microseconds-to-milliseconds; the adaptor path costs more
+//! (schema lookup + adaptor generation + deployment) than direct
+//! substitution, and afterwards the system keeps operating at degraded
+//! advertised quality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms_bench::experiments::{e6_failover_once, E6Scenario};
+
+fn bench_adaptation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_adaptation");
+    group.bench_function("direct-substitute", |b| {
+        b.iter(|| std::hint::black_box(e6_failover_once(E6Scenario::DirectSubstitute)))
+    });
+    group.bench_function("adapted-substitute", |b| {
+        b.iter(|| std::hint::black_box(e6_failover_once(E6Scenario::AdaptedSubstitute)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_adaptation
+}
+criterion_main!(benches);

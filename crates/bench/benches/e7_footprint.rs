@@ -1,0 +1,28 @@
+//! E7 (paper §4 embedded scenario): setup-phase cost per profile.
+//!
+//! Time to deploy a full-fledged vs an embedded SBDMS (the footprint
+//! numbers themselves are printed by the `report` binary). Expected
+//! shape: the embedded profile deploys faster and smaller — fewer
+//! services composed, smaller buffer allocated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::Profile;
+use sbdms_bench::experiments::e7_deploy;
+
+fn bench_deploy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_footprint");
+    group.bench_function("deploy/full-fledged", |b| {
+        b.iter(|| std::hint::black_box(e7_deploy(Profile::FullFledged)))
+    });
+    group.bench_function("deploy/embedded", |b| {
+        b.iter(|| std::hint::black_box(e7_deploy(Profile::Embedded)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deploy
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E8 (paper §4 distribution): proximity composition.
+//!
+//! A read served under latency-aware (nearest) vs naive (first)
+//! placement, for clients at increasing distance from the naive choice.
+//! Expected shape: nearest placement wins, and the win grows with the
+//! client's distance from the naive device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::distributed::PlacementStrategy;
+use sbdms_bench::experiments::{e8_cluster, e8_read};
+
+fn bench_placement(c: &mut Criterion) {
+    let cluster = e8_cluster();
+    let mut group = c.benchmark_group("e8_distribution");
+    for zone in [0i64, 25, 50] {
+        for (name, strategy) in [
+            ("nearest", PlacementStrategy::Nearest),
+            ("naive-first", PlacementStrategy::First),
+        ] {
+            group.bench_function(format!("{name}/client-zone-{zone}"), |b| {
+                b.iter(|| e8_read(&cluster, zone, strategy))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_placement
+}
+criterion_main!(benches);

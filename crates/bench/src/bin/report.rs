@@ -1,0 +1,318 @@
+//! The experiment report: runs every experiment (E1–E8) with plain
+//! timers and prints the tables recorded in EXPERIMENTS.md.
+//!
+//! `cargo run --release -p sbdms-bench --bin report`
+//!
+//! Criterion gives careful statistics per data point (`cargo bench`);
+//! this binary gives the complete paper-vs-measured picture in one run.
+
+use std::time::{Duration, Instant};
+
+use sbdms::baseline::ArchitectureStyle;
+use sbdms::distributed::PlacementStrategy;
+use sbdms::flexibility::selection::SelectionStrategy;
+use sbdms::granularity::Granularity;
+use sbdms::kernel::binding::BindingKind;
+use sbdms::kernel::value::Value;
+use sbdms::Profile;
+use sbdms_bench::experiments::*;
+
+fn time<F: FnMut()>(iterations: u32, mut f: F) -> Duration {
+    // One warmup pass.
+    f();
+    let start = Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    start.elapsed() / iterations
+}
+
+fn per_sec(d: Duration) -> f64 {
+    if d.as_nanos() == 0 {
+        f64::INFINITY
+    } else {
+        1e9 / d.as_nanos() as f64
+    }
+}
+
+fn main() {
+    println!("SBDMS experiment report (one-shot timings; see `cargo bench` for full statistics)");
+    println!("================================================================================");
+
+    e1();
+    e2();
+    e3();
+    e4();
+    e5();
+    e6();
+    e7();
+    e8();
+    a1();
+
+    println!("\ndone.");
+}
+
+fn e1() {
+    println!("\nE1 — Fig. 1 architecture evolution over identical engine code");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14}",
+        "style", "point read", "oltp round", "full scan"
+    );
+    const PRELOAD: i64 = 2_000;
+    for style in ArchitectureStyle::all() {
+        let s = e1_style(style, PRELOAD);
+        let mut round = 0i64;
+        let read = time(2_000, || {
+            round += 1;
+            e1_point_read(&s, round, PRELOAD);
+        });
+        let mixed = time(200, || {
+            round += 1;
+            e1_round(&s, round, PRELOAD);
+        });
+        let scan = time(50, || {
+            e1_scan(&s);
+        });
+        println!(
+            "{:<16} {:>12.2}µs {:>12.1}µs {:>12.1}µs",
+            style.name(),
+            read.as_nanos() as f64 / 1e3,
+            mixed.as_nanos() as f64 / 1e3,
+            scan.as_nanos() as f64 / 1e3
+        );
+    }
+}
+
+fn e2() {
+    println!("\nE2 — Fig. 2 per-layer representative op (bus-routed, in-process binding)");
+    println!("{:<12} {:>14}", "layer", "op latency");
+    let system = e2_system();
+    for layer in ["storage", "access", "data", "extension"] {
+        let (id, op, input) = e2_layer_op(&system, layer);
+        let d = time(500, || {
+            system.bus().invoke(id, op, input.clone()).unwrap();
+        });
+        println!("{:<12} {:>12.1}µs", layer, d.as_nanos() as f64 / 1e3);
+    }
+}
+
+fn e3() {
+    println!("\nE3 — §5 granularity sweep (record insert+read pair)");
+    println!(
+        "{:<12} {:<10} {:>12} {:>12}",
+        "binding", "granularity", "pair latency", "pairs/s"
+    );
+    for binding in [
+        BindingKind::InProcess,
+        BindingKind::SerialisedOnly,
+        BindingKind::Channel,
+        BindingKind::SimulatedLan,
+    ] {
+        for g in Granularity::all() {
+            let dep = e3_deployment(g, binding);
+            let mut i = 0u64;
+            let iters = if binding == BindingKind::SimulatedLan { 50 } else { 300 };
+            let d = time(iters, || {
+                i += 1;
+                e3_op(&dep, i);
+            });
+            println!(
+                "{:<12} {:<10} {:>10.1}µs {:>12.0}",
+                format!("{binding:?}"),
+                g.name(),
+                d.as_nanos() as f64 / 1e3,
+                per_sec(d)
+            );
+        }
+    }
+}
+
+fn e4() {
+    println!("\nE4 — Fig. 5 run-time extension (publish + first use)");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "registry size", "publish", "first use"
+    );
+    for registry_size in [10usize, 100, 1000] {
+        let bus = e4_bus(registry_size);
+        let mut publishes = Vec::new();
+        let mut first_uses = Vec::new();
+        for n in 0..50u64 {
+            let (p, f) = e4_publish_once(&bus, n);
+            publishes.push(p);
+            first_uses.push(f);
+        }
+        let mean = |v: &[Duration]| v.iter().sum::<Duration>() / v.len() as u32;
+        println!(
+            "{:<16} {:>12.1}µs {:>12.1}µs",
+            registry_size,
+            mean(&publishes).as_nanos() as f64 / 1e3,
+            mean(&first_uses).as_nanos() as f64 / 1e3
+        );
+    }
+}
+
+fn e5() {
+    println!("\nE5 — Fig. 6 selection among alternates (select + invoke)");
+    println!("{:<14} {:>11} {:>14}", "strategy", "alternates", "call latency");
+    for n in [2usize, 8, 32] {
+        for strategy in SelectionStrategy::all() {
+            let selector = e5_setup(n, strategy);
+            let d = time(500, || {
+                selector
+                    .invoke("bench.Kv", "get", Value::map().with("key", "k"))
+                    .unwrap();
+            });
+            println!(
+                "{:<14} {:>11} {:>12.2}µs",
+                strategy.name(),
+                n,
+                d.as_nanos() as f64 / 1e3
+            );
+        }
+    }
+}
+
+fn e6() {
+    println!("\nE6 — Fig. 7 adaptation (detect -> substitute -> recompose, full pass)");
+    println!("{:<20} {:>16}", "recovery path", "failover latency");
+    for (name, scenario) in [
+        ("direct-substitute", E6Scenario::DirectSubstitute),
+        ("adapted-substitute", E6Scenario::AdaptedSubstitute),
+    ] {
+        let mut samples = Vec::new();
+        for _ in 0..30 {
+            samples.push(e6_failover_once(scenario));
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!("{:<20} {:>14.1}µs", name, mean.as_nanos() as f64 / 1e3);
+    }
+}
+
+fn e7() {
+    println!("\nE7 — §4 profiles: setup time and footprint");
+    println!(
+        "{:<14} {:>12} {:>10} {:>16} {:>12}",
+        "profile", "setup time", "services", "advertised bytes", "buffer KiB"
+    );
+    for (name, profile) in [
+        ("full-fledged", Profile::FullFledged),
+        ("embedded", Profile::Embedded),
+    ] {
+        let (setup, fp) = e7_deploy(profile);
+        println!(
+            "{:<14} {:>10.2}ms {:>10} {:>16} {:>12}",
+            name,
+            setup.as_nanos() as f64 / 1e6,
+            fp.enabled_services,
+            fp.footprint_bytes,
+            fp.buffer_bytes / 1024
+        );
+    }
+}
+
+fn a1() {
+    use sbdms::access::exec::join::JoinAlgorithm;
+    use sbdms::data::txn::Durability;
+    use sbdms::data::Database;
+    use sbdms::kernel::bus::ServiceBus;
+    use sbdms::kernel::contract::{Assertion, Contract};
+    use sbdms::kernel::interface::{Interface, Operation, Param};
+    use sbdms::kernel::service::FnService;
+    use sbdms::kernel::value::TypeTag;
+    use sbdms_bench::bench_dir;
+
+    println!("\nA1 — ablations");
+
+    // Contract policy enforcement.
+    let bus = ServiceBus::new();
+    bus.properties().set("free_memory", 1_000_000i64);
+    let iface = Interface::new(
+        "abl.Echo",
+        1,
+        vec![Operation::new(
+            "echo",
+            vec![Param::required("v", TypeTag::Int)],
+            TypeTag::Int,
+        )],
+    );
+    let contract = Contract::for_interface(iface)
+        .assert(Assertion::RequiresField("v".into()))
+        .assert(Assertion::PropertyAtLeast("free_memory".into(), 1024))
+        .assert(Assertion::MaxRequestBytes(1024));
+    let id = bus
+        .deploy(FnService::new("echo", contract, |_, v| Ok(v)).into_ref())
+        .unwrap();
+    print!("  policy checks (3 assertions): ");
+    for (name, on) in [("enforced", true), ("skipped", false)] {
+        bus.set_enforce_policies(on);
+        let d = time(2_000, || {
+            bus.invoke(id, "echo", Value::map().with("v", 1i64)).unwrap();
+        });
+        print!("{name}={:.2}µs  ", d.as_nanos() as f64 / 1e3);
+    }
+    println!();
+
+    // Commit durability.
+    print!("  txn commit (1 insert):        ");
+    for (name, durability) in [("relaxed", Durability::Relaxed), ("full", Durability::Full)] {
+        let db = Database::open(bench_dir("rep-a1-dur")).unwrap();
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        db.set_durability(durability);
+        let mut i = 0i64;
+        let d = time(100, || {
+            i += 1;
+            db.begin().unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+            db.commit().unwrap();
+        });
+        print!("{name}={:.1}µs  ", d.as_nanos() as f64 / 1e3);
+    }
+    println!();
+
+    // Join algorithms on a 200x1000 equi-join.
+    let db = Database::open(bench_dir("rep-a1-join")).unwrap();
+    db.execute("CREATE TABLE dim (id INT NOT NULL, label TEXT NOT NULL)").unwrap();
+    db.execute("CREATE TABLE fact (fid INT NOT NULL, dim_id INT NOT NULL)").unwrap();
+    let dims: Vec<String> = (0..200).map(|i| format!("({i}, 'd{i}')")).collect();
+    db.execute(&format!("INSERT INTO dim VALUES {}", dims.join(","))).unwrap();
+    for chunk in (0..1000i64).collect::<Vec<_>>().chunks(250) {
+        let rows: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i % 200)).collect();
+        db.execute(&format!("INSERT INTO fact VALUES {}", rows.join(","))).unwrap();
+    }
+    let sql =
+        "SELECT label, COUNT(*) AS n FROM dim d JOIN fact f ON d.id = f.dim_id GROUP BY label";
+    print!("  200x1000 equi-join:           ");
+    for (name, algo) in [
+        ("hash", JoinAlgorithm::Hash),
+        ("merge", JoinAlgorithm::Merge),
+        ("nested-loop", JoinAlgorithm::NestedLoop),
+    ] {
+        db.set_join_algorithm(algo);
+        let d = time(20, || {
+            db.execute(sql).unwrap();
+        });
+        print!("{name}={:.2}ms  ", d.as_nanos() as f64 / 1e6);
+    }
+    println!();
+}
+
+fn e8() {
+    println!("\nE8 — §4 proximity composition (device zones 0/25/50; 200µs per zone hop)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "client zone", "nearest", "naive-first", "speedup"
+    );
+    let cluster = e8_cluster();
+    for zone in [0i64, 25, 50] {
+        let near = time(50, || e8_read(&cluster, zone, PlacementStrategy::Nearest));
+        let naive = time(50, || e8_read(&cluster, zone, PlacementStrategy::First));
+        println!(
+            "{:<12} {:>12.1}µs {:>12.1}µs {:>7.1}x",
+            zone,
+            near.as_nanos() as f64 / 1e3,
+            naive.as_nanos() as f64 / 1e3,
+            naive.as_nanos() as f64 / near.as_nanos().max(1) as f64
+        );
+    }
+}

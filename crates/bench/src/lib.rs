@@ -1,0 +1,417 @@
+//! Shared workload helpers for the SBDMS experiment harness.
+//!
+//! One function per experiment lives in [`experiments`]; the Criterion
+//! benches wrap them for statistically careful timing, and the `report`
+//! binary runs them once with plain timers to print the
+//! paper-vs-measured tables recorded in EXPERIMENTS.md.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod workload;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique temp directory for one experiment instance.
+pub fn bench_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("sbdms-bench")
+        .join(format!("{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic payload generator for record workloads.
+pub fn payload(i: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    while out.len() < len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+pub mod experiments {
+    //! One self-contained runner per experiment, shared by the Criterion
+    //! benches and the report binary.
+
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use sbdms::baseline::{ArchitectureStyle, StyleUnderTest};
+    use sbdms::distributed::{Cluster, PlacementStrategy};
+    use sbdms::embedded::footprint;
+    use sbdms::flexibility::adaptation::AdaptationManager;
+    use sbdms::flexibility::extension::publish_and_probe;
+    use sbdms::flexibility::selection::{SelectionStrategy, ServiceSelector};
+    use sbdms::granularity::{GranularDeployment, Granularity};
+    use sbdms::kernel::binding::BindingKind;
+    use sbdms::kernel::bus::ServiceBus;
+    use sbdms::kernel::contract::{Contract, Quality};
+    use sbdms::kernel::coordinator::Coordinator;
+    use sbdms::kernel::faults::{FaultHandle, FaultableService};
+    use sbdms::kernel::interface::{Interface, Operation, Param};
+    use sbdms::kernel::resource::ResourceManager;
+    use sbdms::kernel::service::{FnService, ServiceRef};
+    use sbdms::kernel::value::{TypeTag, Value};
+    use sbdms::{Profile, Sbdms};
+
+    use super::{bench_dir, payload};
+
+    /// E1 workload driver: build one architecture style pre-loaded with
+    /// `preload` records.
+    pub fn e1_style(style: ArchitectureStyle, preload: i64) -> StyleUnderTest {
+        let s = StyleUnderTest::new(style, bench_dir(&format!("e1-{}", style.name()))).unwrap();
+        for i in 0..preload {
+            s.insert(i, std::str::from_utf8(&payload(i as u64, 64)).unwrap_or("x")).unwrap();
+        }
+        s
+    }
+
+    /// E1: run the OLTP op round (1 insert + 3 point reads), returning
+    /// ops done. The scan is measured separately — against a 2000-row
+    /// scan the per-call architecture overhead would be invisible, and
+    /// that *contrast* is itself part of the E1 result.
+    pub fn e1_round(s: &StyleUnderTest, round: i64, preload: i64) -> usize {
+        s.insert(preload + round, "new-record").unwrap();
+        for k in 0..3 {
+            let _ = s.point_read((round * 37 + k) % preload).unwrap();
+        }
+        4
+    }
+
+    /// E1: a single point read (the micro-op where dispatch overhead is
+    /// most visible).
+    pub fn e1_point_read(s: &StyleUnderTest, round: i64, preload: i64) {
+        let _ = s.point_read((round * 17) % preload).unwrap();
+    }
+
+    /// E1: a full scan (functional work dominates; overheads vanish).
+    pub fn e1_scan(s: &StyleUnderTest) -> usize {
+        s.scan_count().unwrap()
+    }
+
+    /// E2: a deployed full system plus prepared state (one table, one
+    /// heap, one XML doc) so every layer has a cheap, side-effect-free
+    /// representative op. The heap handle is parked in the property store.
+    pub fn e2_system() -> Sbdms {
+        let system = Sbdms::open(Profile::FullFledged, bench_dir("e2")).unwrap();
+        system.execute_sql("CREATE TABLE probe (x INT)").unwrap();
+        system.execute_sql("INSERT INTO probe VALUES (1)").unwrap();
+        let bus = system.bus();
+        bus.invoke(
+            system.service("xml").unwrap(),
+            "put",
+            Value::map().with("name", "probe").with("xml", "<p><v>1</v></p>"),
+        )
+        .unwrap();
+        let heap = bus
+            .invoke(system.service("heap").unwrap(), "create_heap", Value::map())
+            .unwrap();
+        bus.invoke(
+            system.service("heap").unwrap(),
+            "insert",
+            Value::map()
+                .with("heap", heap.as_int().unwrap())
+                .with("record", b"probe".to_vec()),
+        )
+        .unwrap();
+        bus.properties().set("bench.e2.heap", heap);
+        system
+    }
+
+    /// E2: the representative op for one layer, returning the op spec.
+    pub fn e2_layer_op(
+        system: &Sbdms,
+        layer: &str,
+    ) -> (sbdms::kernel::service::ServiceId, &'static str, Value) {
+        match layer {
+            "storage" => (system.service("buffer").unwrap(), "stats", Value::map()),
+            "access" => {
+                let heap = system.bus().properties().get("bench.e2.heap").unwrap();
+                (
+                    system.service("heap").unwrap(),
+                    "count",
+                    Value::map().with("heap", heap),
+                )
+            }
+            "data" => (
+                system.service("query").unwrap(),
+                "execute",
+                Value::map().with("sql", "SELECT x FROM probe"),
+            ),
+            "extension" => (
+                system.service("xml").unwrap(),
+                "query",
+                Value::map().with("name", "probe").with("path", "p/v"),
+            ),
+            other => panic!("unknown layer {other}"),
+        }
+    }
+
+    /// E3: build a granularity × binding deployment.
+    pub fn e3_deployment(g: Granularity, binding: BindingKind) -> GranularDeployment {
+        GranularDeployment::new(g, binding, bench_dir(&format!("e3-{}", g.name()))).unwrap()
+    }
+
+    /// E3: one operation pair (insert + read back).
+    pub fn e3_op(dep: &GranularDeployment, i: u64) {
+        let (page, slot) = dep.insert(&payload(i, 100)).unwrap();
+        let got = dep.get(page, slot).unwrap();
+        assert_eq!(got.len(), 100);
+    }
+
+    /// E4: a bus pre-populated with `registry_size` services.
+    pub fn e4_bus(registry_size: usize) -> ServiceBus {
+        let bus = ServiceBus::new();
+        for i in 0..registry_size {
+            let iface = Interface::new(&format!("filler.I{i}"), 1, vec![Operation::opaque("noop")]);
+            bus.deploy(
+                FnService::new(
+                    &format!("filler-{i}"),
+                    Contract::for_interface(iface),
+                    |_, v| Ok(v),
+                )
+                .into_ref(),
+            )
+            .unwrap();
+        }
+        bus
+    }
+
+    /// E4: publish one new service and first-use it; returns both times.
+    pub fn e4_publish_once(bus: &ServiceBus, n: u64) -> (Duration, Duration) {
+        let iface = Interface::new(
+            &format!("user.Published{n}"),
+            1,
+            vec![Operation::opaque("ping")],
+        );
+        let svc =
+            FnService::new(&format!("published-{n}"), Contract::for_interface(iface), |_, v| Ok(v))
+                .into_ref();
+        let report = publish_and_probe(bus, svc, "ping", Value::map()).unwrap();
+        (report.publish_time, report.first_use_time)
+    }
+
+    /// E5/E6 shared: the kv interface used by alternates.
+    pub fn kv_interface() -> Interface {
+        Interface::new(
+            "bench.Kv",
+            1,
+            vec![Operation::new(
+                "get",
+                vec![Param::required("key", TypeTag::Str)],
+                TypeTag::Str,
+            )],
+        )
+    }
+
+    /// A kv provider with an advertised latency.
+    pub fn kv_service(name: &str, advertised_ns: u64) -> ServiceRef {
+        let marker = name.to_string();
+        FnService::new(
+            name,
+            Contract::for_interface(kv_interface()).quality(Quality {
+                expected_latency_ns: advertised_ns,
+                ..Quality::default()
+            }),
+            move |_, input| {
+                let key = input.require("key")?.as_str()?;
+                Ok(Value::Str(format!("{marker}:{key}")))
+            },
+        )
+        .into_ref()
+    }
+
+    /// E5: bus with `n` alternates and a selector.
+    pub fn e5_setup(n: usize, strategy: SelectionStrategy) -> ServiceSelector {
+        let bus = ServiceBus::new();
+        for i in 0..n {
+            bus.deploy(kv_service(&format!("alt-{i}"), 100 * (i as u64 + 1)))
+                .unwrap();
+        }
+        ServiceSelector::new(bus, strategy)
+    }
+
+    /// E6 scenario variants.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum E6Scenario {
+        /// A same-interface twin exists (direct substitution).
+        DirectSubstitute,
+        /// Only an incompatible service + schema exist (adaptor path).
+        AdaptedSubstitute,
+    }
+
+    /// E6: build a bus with a killable primary and the chosen substitute,
+    /// returning (bus, manager, kill-switch).
+    pub fn e6_setup(scenario: E6Scenario) -> (ServiceBus, AdaptationManager, FaultHandle) {
+        let bus = ServiceBus::new();
+        let (primary, handle) = FaultableService::wrap(kv_service("primary", 10));
+        bus.deploy(primary).unwrap();
+        match scenario {
+            E6Scenario::DirectSubstitute => {
+                bus.deploy(kv_service("twin", 50)).unwrap();
+            }
+            E6Scenario::AdaptedSubstitute => {
+                let alt_iface = Interface::new(
+                    "bench.AltKv",
+                    1,
+                    vec![Operation::new(
+                        "lookup",
+                        vec![Param::required("k", TypeTag::Str)],
+                        TypeTag::Map,
+                    )],
+                );
+                bus.deploy(
+                    FnService::new("alt", Contract::for_interface(alt_iface), |_, input| {
+                        let k = input.require("k")?.as_str()?;
+                        Ok(Value::map().with("v", format!("alt:{k}")))
+                    })
+                    .into_ref(),
+                )
+                .unwrap();
+                bus.repository().store_schema(
+                    sbdms::kernel::repository::TransformationalSchema::new(
+                        "bench.Kv",
+                        "bench.AltKv",
+                    )
+                    .with_op(
+                        sbdms::kernel::repository::OperationMapping::identity("get")
+                            .to_op("lookup")
+                            .rename("key", "k")
+                            .extract("v"),
+                    ),
+                );
+            }
+        }
+        let resources = ResourceManager::new(bus.events().clone(), bus.properties().clone());
+        let manager =
+            AdaptationManager::new(bus.clone(), Coordinator::new(bus.clone(), resources));
+        (bus, manager, handle)
+    }
+
+    /// E6: kill, recover, verify routing; returns the recovery latency.
+    pub fn e6_failover_once(scenario: E6Scenario) -> Duration {
+        let (bus, manager, handle) = e6_setup(scenario);
+        handle.kill("bench");
+        let start = Instant::now();
+        let report = manager.tick();
+        let elapsed = start.elapsed();
+        assert_eq!(report.recovered(), 1, "{scenario:?}");
+        let out = bus
+            .invoke_interface("bench.Kv", "get", Value::map().with("key", "k"))
+            .unwrap();
+        assert!(matches!(out, Value::Str(_)));
+        elapsed
+    }
+
+    /// E7: deploy a profile, returning (setup time, footprint report).
+    pub fn e7_deploy(profile: Profile) -> (Duration, sbdms::embedded::FootprintReport) {
+        let start = Instant::now();
+        let system = Sbdms::open(profile, bench_dir("e7")).unwrap();
+        let setup = start.elapsed();
+        (setup, footprint(&system))
+    }
+
+    /// E8: a 3-device cluster spanning zones 0/25/50 with generous
+    /// batteries (placement is the variable, not redirection).
+    pub fn e8_cluster() -> Arc<Cluster> {
+        let cluster = Arc::new(Cluster::new(&[0, 25, 50], u64::MAX / 2, 0, 1).unwrap());
+        cluster.seed(&[("k", "v")]);
+        cluster
+    }
+
+    /// E8: one read from a client at `zone` under a strategy.
+    pub fn e8_read(cluster: &Cluster, zone: i64, strategy: PlacementStrategy) {
+        let (out, _) = cluster
+            .request(zone, strategy, "get", Value::map().with("key", "k"))
+            .unwrap();
+        assert_eq!(out, Value::Str("v".into()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::experiments::*;
+    use super::*;
+    use sbdms::baseline::ArchitectureStyle;
+    use sbdms::distributed::PlacementStrategy;
+    use sbdms::flexibility::selection::SelectionStrategy;
+    use sbdms::granularity::Granularity;
+    use sbdms::kernel::binding::BindingKind;
+    use sbdms::kernel::value::Value;
+
+    #[test]
+    fn payload_is_deterministic() {
+        assert_eq!(payload(7, 32), payload(7, 32));
+        assert_ne!(payload(7, 32), payload(8, 32));
+        assert_eq!(payload(1, 100).len(), 100);
+    }
+
+    #[test]
+    fn e1_harness_runs() {
+        let s = e1_style(ArchitectureStyle::ServiceBased, 50);
+        assert_eq!(e1_round(&s, 0, 50), 4);
+        e1_point_read(&s, 1, 50);
+        assert!(e1_scan(&s) >= 50);
+    }
+
+    #[test]
+    fn e2_harness_runs_every_layer() {
+        let system = e2_system();
+        for layer in ["storage", "access", "data", "extension"] {
+            let (id, op, input) = e2_layer_op(&system, layer);
+            system.bus().invoke(id, op, input).unwrap();
+        }
+    }
+
+    #[test]
+    fn e3_harness_runs() {
+        let dep = e3_deployment(Granularity::Medium, BindingKind::InProcess);
+        e3_op(&dep, 1);
+        e3_op(&dep, 2);
+    }
+
+    #[test]
+    fn e4_harness_runs() {
+        let bus = e4_bus(10);
+        let (publish, first_use) = e4_publish_once(&bus, 0);
+        assert!(publish.as_nanos() > 0 && first_use.as_nanos() > 0);
+    }
+
+    #[test]
+    fn e5_harness_runs() {
+        let selector = e5_setup(4, SelectionStrategy::RoundRobin);
+        for _ in 0..8 {
+            selector
+                .invoke("bench.Kv", "get", Value::map().with("key", "x"))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn e6_both_scenarios_recover() {
+        let direct = e6_failover_once(E6Scenario::DirectSubstitute);
+        let adapted = e6_failover_once(E6Scenario::AdaptedSubstitute);
+        assert!(direct.as_nanos() > 0 && adapted.as_nanos() > 0);
+    }
+
+    #[test]
+    fn e7_profiles_deploy() {
+        let (_, full) = e7_deploy(sbdms::Profile::FullFledged);
+        let (_, embedded) = e7_deploy(sbdms::Profile::Embedded);
+        assert!(embedded.footprint_bytes < full.footprint_bytes);
+    }
+
+    #[test]
+    fn e8_harness_runs() {
+        let cluster = e8_cluster();
+        e8_read(&cluster, 50, PlacementStrategy::Nearest);
+        e8_read(&cluster, 50, PlacementStrategy::First);
+    }
+}

@@ -1,0 +1,204 @@
+//! Workload generation: key distributions and mixed operation streams
+//! for the experiment harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(α) sampler over `0..n` via inverse-CDF lookup (precomputed,
+/// O(log n) per sample). α = 0 degenerates to uniform; α ≈ 1 is the
+/// classic web/OLTP skew.
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Build a sampler over `0..n` with skew `alpha`, seeded
+    /// deterministically.
+    pub fn new(n: usize, alpha: f64, seed: u64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point drift at the top.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf {
+            cdf: weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Operation mix of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Fraction of point reads.
+    pub reads: f64,
+    /// Fraction of inserts.
+    pub inserts: f64,
+    /// Fraction of updates.
+    pub updates: f64,
+    /// Fraction of deletes (remainder after the other three).
+    pub deletes: f64,
+}
+
+impl OpMix {
+    /// A read-heavy OLTP mix (80/10/8/2).
+    pub fn read_heavy() -> OpMix {
+        OpMix {
+            reads: 0.80,
+            inserts: 0.10,
+            updates: 0.08,
+            deletes: 0.02,
+        }
+    }
+
+    /// A write-heavy ingest mix (20/60/15/5).
+    pub fn write_heavy() -> OpMix {
+        OpMix {
+            reads: 0.20,
+            inserts: 0.60,
+            updates: 0.15,
+            deletes: 0.05,
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp {
+    /// Point read of a key.
+    Read(u64),
+    /// Insert of a fresh key with a payload length.
+    Insert(u64, usize),
+    /// Update of an existing key.
+    Update(u64, usize),
+    /// Delete of a key.
+    Delete(u64),
+}
+
+/// A deterministic mixed-workload generator with zipfian key skew for
+/// reads/updates/deletes and sequentially increasing insert keys.
+pub struct WorkloadGen {
+    mix: OpMix,
+    keys: Zipf,
+    rng: StdRng,
+    next_insert_key: u64,
+    key_space: u64,
+    payload_len: usize,
+}
+
+impl WorkloadGen {
+    /// Build a generator over an existing key space `0..key_space`.
+    pub fn new(mix: OpMix, key_space: u64, skew: f64, payload_len: usize, seed: u64) -> WorkloadGen {
+        WorkloadGen {
+            mix,
+            keys: Zipf::new(key_space.max(1) as usize, skew, seed ^ 0x5eed),
+            rng: StdRng::seed_from_u64(seed),
+            next_insert_key: key_space,
+            key_space,
+            payload_len,
+        }
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> WorkloadOp {
+        let u: f64 = self.rng.gen();
+        if u < self.mix.reads {
+            WorkloadOp::Read(self.keys.sample() as u64)
+        } else if u < self.mix.reads + self.mix.inserts {
+            let k = self.next_insert_key;
+            self.next_insert_key += 1;
+            WorkloadOp::Insert(k, self.payload_len)
+        } else if u < self.mix.reads + self.mix.inserts + self.mix.updates {
+            WorkloadOp::Update(self.keys.sample() as u64, self.payload_len)
+        } else {
+            WorkloadOp::Delete(self.keys.sample() as u64)
+        }
+    }
+
+    /// Size of the pre-existing key space.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let mut a = Zipf::new(1000, 1.0, 42);
+        let mut b = Zipf::new(1000, 1.0, 42);
+        let sa: Vec<usize> = (0..100).map(|_| a.sample()).collect();
+        let sb: Vec<usize> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(sa, sb, "same seed, same stream");
+
+        // Skew: rank 0 appears far more often than deep ranks.
+        let mut z = Zipf::new(100, 1.2, 7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        let tail: u32 = counts[90..].iter().sum();
+        assert!(counts[0] > tail, "head dominates the tail");
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_roughly_uniform() {
+        let mut z = Zipf::new(10, 0.0, 3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn mix_ratios_hold() {
+        let mut g = WorkloadGen::new(OpMix::read_heavy(), 1000, 1.0, 64, 99);
+        let mut reads = 0;
+        let mut inserts = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            match g.next_op() {
+                WorkloadOp::Read(_) => reads += 1,
+                WorkloadOp::Insert(..) => inserts += 1,
+                _ => {}
+            }
+        }
+        let read_frac = reads as f64 / n as f64;
+        let insert_frac = inserts as f64 / n as f64;
+        assert!((read_frac - 0.80).abs() < 0.03, "{read_frac}");
+        assert!((insert_frac - 0.10).abs() < 0.02, "{insert_frac}");
+    }
+
+    #[test]
+    fn insert_keys_are_fresh_and_sequential() {
+        let mut g = WorkloadGen::new(OpMix::write_heavy(), 100, 1.0, 32, 5);
+        let mut last = 99;
+        for _ in 0..1000 {
+            if let WorkloadOp::Insert(k, _) = g.next_op() {
+                assert_eq!(k, last + 1);
+                last = k;
+            }
+        }
+        assert!(last > 99, "some inserts generated");
+    }
+}

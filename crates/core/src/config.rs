@@ -1,0 +1,199 @@
+//! Architecture configuration: what a deployment installs and how.
+//!
+//! Paper §3.3: "Configurations of the SBDMS depend on the specific
+//! environment requirements and on the available services in the system.
+//! ... The setup phase consists of process composition according to
+//! architectural properties and service configuration. These properties
+//! specify the installed services, available resources, and service
+//! specific settings."
+
+use std::path::PathBuf;
+
+use sbdms_kernel::binding::BindingKind;
+use sbdms_storage::replacement::PolicyKind;
+
+/// Which functional services a deployment installs (paper Fig. 2 layers
+/// plus individual extensions). Downsizing = turning entries off
+/// (paper §2: "the architecture should be able to adapt to downsized
+/// requirements as well").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSelection {
+    /// Storage layer: disk service.
+    pub disk: bool,
+    /// Storage layer: buffer service.
+    pub buffer: bool,
+    /// Storage layer: log service.
+    pub log: bool,
+    /// Access layer: heap service.
+    pub heap: bool,
+    /// Access layer: index service.
+    pub index: bool,
+    /// Data layer: query service.
+    pub query: bool,
+    /// Extension: XML document store.
+    pub xml: bool,
+    /// Extension: streaming.
+    pub streaming: bool,
+    /// Extension: stored procedures.
+    pub procedures: bool,
+    /// Extension: storage monitor (§4).
+    pub monitor: bool,
+}
+
+impl ServiceSelection {
+    /// Everything on.
+    pub fn all() -> ServiceSelection {
+        ServiceSelection {
+            disk: true,
+            buffer: true,
+            log: true,
+            heap: true,
+            index: true,
+            query: true,
+            xml: true,
+            streaming: true,
+            procedures: true,
+            monitor: true,
+        }
+    }
+
+    /// The minimal relational core: storage + query, no extensions.
+    pub fn minimal() -> ServiceSelection {
+        ServiceSelection {
+            xml: false,
+            streaming: false,
+            procedures: false,
+            monitor: false,
+            heap: false,
+            index: false,
+            ..ServiceSelection::all()
+        }
+    }
+
+    /// Number of enabled services.
+    pub fn count(&self) -> usize {
+        [
+            self.disk,
+            self.buffer,
+            self.log,
+            self.heap,
+            self.index,
+            self.query,
+            self.xml,
+            self.streaming,
+            self.procedures,
+            self.monitor,
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
+    }
+}
+
+/// Deployment profiles from the paper's §4 discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// "A fully-fledged DBMS bundled with extensions."
+    FullFledged,
+    /// "A small footprint DBMS capable of running in an embedded system
+    /// environment": extensions off, tiny buffer, resource budgets low.
+    Embedded,
+}
+
+/// Full configuration for the setup phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureConfig {
+    /// Where data files live.
+    pub data_dir: PathBuf,
+    /// Installed services.
+    pub services: ServiceSelection,
+    /// Binding used for deployed services.
+    pub binding: BindingKind,
+    /// Buffer pool frames.
+    pub buffer_frames: usize,
+    /// Replacement policy.
+    pub replacement: PolicyKind,
+    /// Memory budget tracked by the resource manager, bytes.
+    pub memory_budget: u64,
+    /// Memory alert threshold, bytes.
+    pub memory_alert_below: u64,
+    /// Whether policy assertions are enforced on the hot path.
+    pub enforce_policies: bool,
+}
+
+impl ArchitectureConfig {
+    /// Configuration for a profile rooted at `data_dir`.
+    pub fn for_profile(profile: Profile, data_dir: impl Into<PathBuf>) -> ArchitectureConfig {
+        match profile {
+            Profile::FullFledged => ArchitectureConfig {
+                data_dir: data_dir.into(),
+                services: ServiceSelection::all(),
+                binding: BindingKind::InProcess,
+                buffer_frames: 256,
+                replacement: PolicyKind::Lru,
+                memory_budget: 64 << 20,
+                memory_alert_below: 4 << 20,
+                enforce_policies: true,
+            },
+            Profile::Embedded => ArchitectureConfig {
+                data_dir: data_dir.into(),
+                services: ServiceSelection::minimal(),
+                binding: BindingKind::InProcess,
+                buffer_frames: 16,
+                replacement: PolicyKind::Clock,
+                memory_budget: 1 << 20,
+                memory_alert_below: 128 << 10,
+                enforce_policies: true,
+            },
+        }
+    }
+
+    /// Builder: override the binding.
+    pub fn with_binding(mut self, binding: BindingKind) -> ArchitectureConfig {
+        self.binding = binding;
+        self
+    }
+
+    /// Builder: override the buffer size.
+    pub fn with_buffer_frames(mut self, frames: usize) -> ArchitectureConfig {
+        self.buffer_frames = frames;
+        self
+    }
+
+    /// Builder: override the service selection.
+    pub fn with_services(mut self, services: ServiceSelection) -> ArchitectureConfig {
+        self.services = services;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_meaningfully() {
+        let full = ArchitectureConfig::for_profile(Profile::FullFledged, "/tmp/x");
+        let embedded = ArchitectureConfig::for_profile(Profile::Embedded, "/tmp/x");
+        assert!(full.services.count() > embedded.services.count());
+        assert!(full.buffer_frames > embedded.buffer_frames);
+        assert!(full.memory_budget > embedded.memory_budget);
+    }
+
+    #[test]
+    fn selection_counting() {
+        assert_eq!(ServiceSelection::all().count(), 10);
+        let minimal = ServiceSelection::minimal();
+        assert_eq!(minimal.count(), 4);
+        assert!(minimal.query && minimal.disk && !minimal.xml);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = ArchitectureConfig::for_profile(Profile::FullFledged, "/tmp/x")
+            .with_binding(BindingKind::Channel)
+            .with_buffer_frames(8);
+        assert_eq!(c.binding, BindingKind::Channel);
+        assert_eq!(c.buffer_frames, 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Small-footprint deployments: downsizing a running SBDMS.
+//!
+//! Paper §4: "In resource restricted environments, our architecture
+//! allows to disable unwanted services and to deploy small collections of
+//! services to mobile or embedded devices. ... Disabling services
+//! requires that policies of currently running services are respected and
+//! all dependencies are met."
+
+use sbdms_kernel::error::Result;
+use sbdms_kernel::service::ServiceId;
+
+use crate::system::Sbdms;
+
+/// Footprint summary of a deployment (experiment E7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintReport {
+    /// Enabled services.
+    pub enabled_services: usize,
+    /// Advertised footprint of enabled services, bytes.
+    pub footprint_bytes: u64,
+    /// Buffer pool size in bytes (frames × page size).
+    pub buffer_bytes: u64,
+}
+
+/// Measure the current footprint of a deployment.
+pub fn footprint(system: &Sbdms) -> FootprintReport {
+    let stats = system.database().storage().buffer.stats();
+    FootprintReport {
+        enabled_services: system.bus().enabled_count(),
+        footprint_bytes: system.footprint_bytes(),
+        buffer_bytes: (stats.capacity * sbdms_storage::page::PAGE_SIZE) as u64,
+    }
+}
+
+/// Disable a set of services by role key, respecting dependencies: the
+/// bus rejects disabling anything another enabled service depends on.
+/// Returns the services actually disabled.
+pub fn downsize(system: &Sbdms, roles: &[&str]) -> Result<Vec<ServiceId>> {
+    let mut disabled = Vec::new();
+    for role in roles {
+        if let Some(id) = system.service(role) {
+            system.bus().disable(id)?;
+            disabled.push(id);
+        }
+    }
+    Ok(disabled)
+}
+
+/// Re-enable previously disabled services.
+pub fn upsize(system: &Sbdms, ids: &[ServiceId]) {
+    for id in ids {
+        system.bus().enable(*id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+
+    fn system(name: &str) -> Sbdms {
+        let dir = std::env::temp_dir()
+            .join("sbdms-embedded-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Sbdms::open(Profile::FullFledged, dir).unwrap()
+    }
+
+    #[test]
+    fn downsizing_reduces_footprint() {
+        let s = system("downsize");
+        let before = footprint(&s);
+        let disabled = downsize(&s, &["xml", "stream", "procedures", "monitor"]).unwrap();
+        assert_eq!(disabled.len(), 4);
+        let after = footprint(&s);
+        assert!(after.enabled_services < before.enabled_services);
+        assert!(after.footprint_bytes < before.footprint_bytes);
+
+        upsize(&s, &disabled);
+        assert_eq!(footprint(&s).enabled_services, before.enabled_services);
+    }
+
+    #[test]
+    fn dependency_protected_services_cannot_be_disabled() {
+        let s = system("deps");
+        // The buffer service is depended on by heap/index/xml/query/monitor.
+        let err = downsize(&s, &["buffer"]);
+        assert!(err.is_err(), "dependencies must be respected");
+        // But dependents can go first, then the dependency.
+        downsize(&s, &["procedures", "heap", "index", "xml", "query", "monitor"]).unwrap();
+        assert!(downsize(&s, &["buffer"]).is_ok());
+    }
+
+    #[test]
+    fn downsized_system_still_answers_queries() {
+        let s = system("query-still-works");
+        downsize(&s, &["xml", "stream", "procedures", "monitor"]).unwrap();
+        s.execute_sql("CREATE TABLE t (x INT)").unwrap();
+        s.execute_sql("INSERT INTO t VALUES (1)").unwrap();
+        let out = s.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+        let rows = out.get("rows").unwrap().as_list().unwrap();
+        assert_eq!(
+            rows[0].as_list().unwrap()[0],
+            sbdms_kernel::value::Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn embedded_profile_vs_downsized_full() {
+        // Deploying Embedded directly and downsizing FullFledged should
+        // land in the same ballpark of enabled services.
+        let dir = std::env::temp_dir()
+            .join("sbdms-embedded-tests")
+            .join(format!("profile-cmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let embedded = Sbdms::open(Profile::Embedded, dir).unwrap();
+
+        let full = system("to-downsize");
+        downsize(&full, &["xml", "stream", "procedures", "monitor", "heap", "index"]).unwrap();
+        assert_eq!(
+            footprint(&full).enabled_services,
+            footprint(&embedded).enabled_services
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Flexibility by adaptation (paper §3.6, Fig. 7).
+//!
+//! "If a service is erroneous or missing, the solution is to find a
+//! substitute. If no other service is available to provide the same
+//! functionality through the same interfaces, but if there are other
+//! components with different interfaces that can provide the original
+//! functionality, the architecture can adapt the service interfaces to
+//! meet the new requirements."
+//!
+//! `AdaptationManager` drives the full loop — detect (health monitor) →
+//! disable → substitute/adapt (coordinator) — and measures it, since E6
+//! reports the detect-to-recovered latency.
+
+use std::time::{Duration, Instant};
+
+use sbdms_kernel::bus::ServiceBus;
+use sbdms_kernel::coordinator::{Coordinator, Recovery};
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_kernel::interface::Interface;
+use sbdms_kernel::monitor::HealthMonitor;
+use sbdms_kernel::service::ServiceId;
+
+/// Outcome of one adaptation pass.
+#[derive(Debug)]
+pub struct AdaptationReport {
+    /// Failures newly detected this pass.
+    pub detected: Vec<ServiceId>,
+    /// Recoveries attempted, with outcomes.
+    pub recoveries: Vec<(ServiceId, Result<Recovery>)>,
+    /// Wall-clock time of the whole pass.
+    pub elapsed: Duration,
+}
+
+impl AdaptationReport {
+    /// Count of successful recoveries.
+    pub fn recovered(&self) -> usize {
+        self.recoveries.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Whether any recovery went through a generated adaptor.
+    pub fn used_adaptor(&self) -> bool {
+        self.recoveries
+            .iter()
+            .any(|(_, r)| matches!(r, Ok(Recovery::AdaptedSubstitute { .. })))
+    }
+}
+
+/// Drives detect → substitute → recompose.
+pub struct AdaptationManager {
+    monitor: HealthMonitor,
+    coordinator: Coordinator,
+}
+
+impl AdaptationManager {
+    /// Create from a bus and its coordinator.
+    pub fn new(bus: ServiceBus, coordinator: Coordinator) -> AdaptationManager {
+        AdaptationManager {
+            monitor: HealthMonitor::new(bus),
+            coordinator,
+        }
+    }
+
+    /// One full adaptation pass (the Fig. 7 sequence), timed.
+    pub fn tick(&self) -> AdaptationReport {
+        let start = Instant::now();
+        let scan = self.monitor.scan_once();
+        let recoveries = self.coordinator.supervise_once();
+        AdaptationReport {
+            detected: scan.new_failures,
+            recoveries,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Force recovery of one interface now (when the caller already knows
+    /// it failed), returning the recovery and its latency.
+    pub fn recover_now(
+        &self,
+        interface: &Interface,
+        failed: Option<ServiceId>,
+    ) -> Result<(Recovery, Duration)> {
+        let start = Instant::now();
+        let recovery = self.coordinator.recover_interface(interface, failed)?;
+        Ok((recovery, start.elapsed()))
+    }
+
+    /// Run ticks until the interface is routable again or `budget` passes
+    /// (keeps the "system continues to operate" property observable).
+    pub fn recover_within(
+        &self,
+        bus: &ServiceBus,
+        interface_name: &str,
+        budget: Duration,
+    ) -> Result<Duration> {
+        let start = Instant::now();
+        loop {
+            self.tick();
+            if bus.resolve_interface(interface_name).is_ok() {
+                return Ok(start.elapsed());
+            }
+            if start.elapsed() > budget {
+                return Err(ServiceError::NoAlternateWorkflow(interface_name.to_string()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbdms_kernel::contract::Contract;
+    use sbdms_kernel::faults::FaultableService;
+    use sbdms_kernel::interface::{Operation, Param};
+    use sbdms_kernel::repository::{OperationMapping, TransformationalSchema};
+    use sbdms_kernel::resource::ResourceManager;
+    use sbdms_kernel::service::{FnService, ServiceRef};
+    use sbdms_kernel::value::{TypeTag, Value};
+
+    fn page_interface() -> Interface {
+        Interface::new(
+            "sbdms.Page",
+            1,
+            vec![Operation::new(
+                "read_page",
+                vec![Param::required("page_id", TypeTag::Int)],
+                TypeTag::Bytes,
+            )],
+        )
+    }
+
+    fn page_service(name: &str, marker: u8) -> ServiceRef {
+        FnService::new(name, Contract::for_interface(page_interface()), move |_, input| {
+            let pid = input.require("page_id")?.as_int()?;
+            Ok(Value::Bytes(vec![marker, pid as u8]))
+        })
+        .into_ref()
+    }
+
+    fn manager_for(bus: &ServiceBus) -> AdaptationManager {
+        let rm = ResourceManager::new(bus.events().clone(), bus.properties().clone());
+        AdaptationManager::new(bus.clone(), Coordinator::new(bus.clone(), rm))
+    }
+
+    #[test]
+    fn fig7_failure_detected_and_directly_substituted() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a", 1));
+        bus.deploy(faulty).unwrap();
+        bus.deploy(page_service("page-b", 2)).unwrap();
+        let manager = manager_for(&bus);
+
+        // Healthy pass: nothing to do.
+        let report = manager.tick();
+        assert!(report.detected.is_empty());
+        assert_eq!(report.recovered(), 0);
+
+        handle.kill("disk gone");
+        let report = manager.tick();
+        assert_eq!(report.detected.len(), 1);
+        assert_eq!(report.recovered(), 1);
+        assert!(!report.used_adaptor());
+
+        // The system continues to operate (paper: "the system can
+        // continue to operate").
+        let out = bus
+            .invoke_interface("sbdms.Page", "read_page", Value::map().with("page_id", 3i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![2, 3]));
+    }
+
+    #[test]
+    fn fig7_adaptor_generated_when_interfaces_differ() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a", 1));
+        bus.deploy(faulty).unwrap();
+
+        // Only an incompatible vendor service remains…
+        let vendor_iface = Interface::new(
+            "vendor.PageMgr",
+            1,
+            vec![Operation::new(
+                "get",
+                vec![Param::required("pid", TypeTag::Int)],
+                TypeTag::Map,
+            )],
+        );
+        let vendor = FnService::new("vendor", Contract::for_interface(vendor_iface), |_, input| {
+            let pid = input.require("pid")?.as_int()?;
+            Ok(Value::map().with("data", Value::Bytes(vec![9, pid as u8])))
+        })
+        .into_ref();
+        bus.deploy(vendor).unwrap();
+        // …but the repository knows the mediation recipe.
+        bus.repository().store_schema(
+            TransformationalSchema::new("sbdms.Page", "vendor.PageMgr").with_op(
+                OperationMapping::identity("read_page")
+                    .to_op("get")
+                    .rename("page_id", "pid")
+                    .extract("data"),
+            ),
+        );
+
+        handle.kill("gone");
+        let manager = manager_for(&bus);
+        let report = manager.tick();
+        assert_eq!(report.recovered(), 1);
+        assert!(report.used_adaptor());
+
+        let out = bus
+            .invoke_interface("sbdms.Page", "read_page", Value::map().with("page_id", 5i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![9, 5]));
+    }
+
+    #[test]
+    fn recover_within_budget() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a", 1));
+        bus.deploy(faulty).unwrap();
+        bus.deploy(page_service("page-b", 2)).unwrap();
+        handle.kill("x");
+        let manager = manager_for(&bus);
+        let elapsed = manager
+            .recover_within(&bus, "sbdms.Page", Duration::from_secs(2))
+            .unwrap();
+        assert!(elapsed < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn unrecoverable_interface_errors_out() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a", 1));
+        bus.deploy(faulty).unwrap();
+        handle.kill("x");
+        let manager = manager_for(&bus);
+        let report = manager.tick();
+        assert_eq!(report.recovered(), 0);
+        assert!(manager
+            .recover_now(&page_interface(), None)
+            .is_err());
+    }
+}

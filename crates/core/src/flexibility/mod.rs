@@ -1,0 +1,11 @@
+//! The paper's three flexibility mechanisms (§2, §3.4–3.6), as runnable
+//! subsystems:
+//!
+//! * [`extension`] — publish new services at run time (Fig. 5),
+//! * [`selection`] — choose among alternates for the same task (Fig. 6),
+//! * [`adaptation`] — substitute failed services, via adaptors when
+//!   interfaces differ (Fig. 7).
+
+pub mod adaptation;
+pub mod extension;
+pub mod selection;

@@ -1,0 +1,209 @@
+//! Flexibility by selection (paper §3.5, Fig. 6).
+//!
+//! "By being able to support multiple workflows for the same task, our
+//! SBDMS architecture can choose and use them according to specific
+//! requirements. If a user wants some information from different storage
+//! services, the architecture can select the order in which the services
+//! are invoked based on available resources or other criteria."
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sbdms_kernel::bus::ServiceBus;
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_kernel::service::ServiceId;
+use sbdms_kernel::value::Value;
+
+/// How to pick among alternate providers of the same interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Best advertised quality (the contract's quality document; §3.2
+    /// "a service quality description enables service coordinators to
+    /// take actions based on functional service properties").
+    ByQuality,
+    /// Rotate across providers.
+    RoundRobin,
+    /// Least bus calls so far (balances observed load).
+    LeastLoaded,
+}
+
+impl SelectionStrategy {
+    /// All strategies, for experiment sweeps.
+    pub fn all() -> [SelectionStrategy; 3] {
+        [
+            SelectionStrategy::ByQuality,
+            SelectionStrategy::RoundRobin,
+            SelectionStrategy::LeastLoaded,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionStrategy::ByQuality => "by-quality",
+            SelectionStrategy::RoundRobin => "round-robin",
+            SelectionStrategy::LeastLoaded => "least-loaded",
+        }
+    }
+}
+
+/// Selects providers of an interface under a strategy.
+pub struct ServiceSelector {
+    bus: ServiceBus,
+    strategy: SelectionStrategy,
+    rr_counter: AtomicUsize,
+}
+
+impl ServiceSelector {
+    /// Create a selector over a bus.
+    pub fn new(bus: ServiceBus, strategy: SelectionStrategy) -> ServiceSelector {
+        ServiceSelector {
+            bus,
+            strategy,
+            rr_counter: AtomicUsize::new(0),
+        }
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Enabled, usable providers of the interface, id-ordered.
+    pub fn candidates(&self, interface: &str) -> Vec<ServiceId> {
+        self.bus
+            .registry()
+            .find_by_interface(interface)
+            .into_iter()
+            .map(|d| d.id)
+            .filter(|id| self.bus.is_enabled(*id))
+            .filter(|id| {
+                self.bus
+                    .health(*id)
+                    .map(|h| h.is_usable())
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Pick a provider.
+    pub fn select(&self, interface: &str) -> Result<ServiceId> {
+        let candidates = self.candidates(interface);
+        if candidates.is_empty() {
+            return Err(ServiceError::ServiceNotFound(interface.to_string()));
+        }
+        let chosen = match self.strategy {
+            SelectionStrategy::ByQuality => {
+                // Delegate to the bus's quality-ranked resolution.
+                return self.bus.resolve_interface(interface);
+            }
+            SelectionStrategy::RoundRobin => {
+                let n = self.rr_counter.fetch_add(1, Ordering::Relaxed);
+                candidates[n % candidates.len()]
+            }
+            SelectionStrategy::LeastLoaded => candidates
+                .iter()
+                .copied()
+                .min_by_key(|id| {
+                    let s = self.bus.metrics().snapshot(*id);
+                    s.calls + s.errors
+                })
+                .unwrap(),
+        };
+        Ok(chosen)
+    }
+
+    /// Select and invoke in one step.
+    pub fn invoke(&self, interface: &str, op: &str, input: Value) -> Result<Value> {
+        let id = self.select(interface)?;
+        self.bus.invoke(id, op, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbdms_kernel::contract::{Contract, Quality};
+    use sbdms_kernel::interface::{Interface, Operation};
+    use sbdms_kernel::service::FnService;
+
+    fn deploy_provider(bus: &ServiceBus, name: &str, latency: u64) -> ServiceId {
+        let iface = Interface::new("t.Store", 1, vec![Operation::opaque("read")]);
+        let contract = Contract::for_interface(iface).quality(Quality {
+            expected_latency_ns: latency,
+            ..Quality::default()
+        });
+        let name2 = name.to_string();
+        bus.deploy(
+            FnService::new(name, contract, move |_, _| Ok(Value::Str(name2.clone()))).into_ref(),
+        )
+        .unwrap()
+    }
+
+    fn bus_with_three() -> (ServiceBus, [ServiceId; 3]) {
+        let bus = ServiceBus::new();
+        let a = deploy_provider(&bus, "fast", 10);
+        let b = deploy_provider(&bus, "medium", 100);
+        let c = deploy_provider(&bus, "slow", 1000);
+        (bus, [a, b, c])
+    }
+
+    #[test]
+    fn by_quality_picks_fastest_advertised() {
+        let (bus, [fast, ..]) = bus_with_three();
+        let selector = ServiceSelector::new(bus, SelectionStrategy::ByQuality);
+        for _ in 0..5 {
+            assert_eq!(selector.select("t.Store").unwrap(), fast);
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let (bus, ids) = bus_with_three();
+        let selector = ServiceSelector::new(bus, SelectionStrategy::RoundRobin);
+        let picks: Vec<ServiceId> = (0..6).map(|_| selector.select("t.Store").unwrap()).collect();
+        assert_eq!(&picks[0..3], &ids);
+        assert_eq!(&picks[3..6], &ids);
+    }
+
+    #[test]
+    fn least_loaded_balances_observed_calls() {
+        let (bus, _) = bus_with_three();
+        let selector = ServiceSelector::new(bus.clone(), SelectionStrategy::LeastLoaded);
+        for _ in 0..9 {
+            selector.invoke("t.Store", "read", Value::map()).unwrap();
+        }
+        // 9 calls over 3 providers: each gets exactly 3.
+        for d in bus.registry().find_by_interface("t.Store") {
+            assert_eq!(bus.metrics().snapshot(d.id).calls, 3);
+        }
+    }
+
+    #[test]
+    fn disabled_candidates_are_skipped() {
+        let (bus, [fast, medium, slow]) = bus_with_three();
+        bus.disable(fast).unwrap();
+        let selector = ServiceSelector::new(bus.clone(), SelectionStrategy::RoundRobin);
+        let picks: std::collections::HashSet<ServiceId> =
+            (0..4).map(|_| selector.select("t.Store").unwrap()).collect();
+        assert!(!picks.contains(&fast));
+        assert!(picks.contains(&medium) && picks.contains(&slow));
+    }
+
+    #[test]
+    fn no_candidates_is_an_error() {
+        let bus = ServiceBus::new();
+        let selector = ServiceSelector::new(bus, SelectionStrategy::ByQuality);
+        assert!(matches!(
+            selector.select("t.Ghost"),
+            Err(ServiceError::ServiceNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn strategies_enumerable() {
+        assert_eq!(SelectionStrategy::all().len(), 3);
+        let names: std::collections::HashSet<_> =
+            SelectionStrategy::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

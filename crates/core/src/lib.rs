@@ -1,0 +1,58 @@
+//! # sbdms — a Service-Based Data Management System
+//!
+//! A full reproduction of *"Architectural Concerns for Flexible Data
+//! Management"* (Subasu, Ziegler, Dittrich, Gall; EDBT 2008 workshops):
+//! a DBMS decomposed into loosely coupled services over an SOA/SCA
+//! kernel, with the paper's three flexibility mechanisms — selection,
+//! adaptation, extension — implemented and measurable.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sbdms::{Profile, Sbdms};
+//!
+//! let dir = std::env::temp_dir().join(format!("sbdms-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let system = Sbdms::open(Profile::FullFledged, dir).unwrap();
+//! system.execute_sql("CREATE TABLE users (id INT NOT NULL, name TEXT)").unwrap();
+//! system.execute_sql("INSERT INTO users VALUES (1, 'alice')").unwrap();
+//! let out = system.execute_sql("SELECT name FROM users WHERE id = 1").unwrap();
+//! let rows = out.get("rows").unwrap().as_list().unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`config`] / [`system`] — the setup phase: [`ArchitectureConfig`],
+//!   deployment profiles (paper §4's full-fledged vs. embedded), and the
+//!   assembled [`Sbdms`];
+//! * [`flexibility`] — the paper's §3.4–3.6 mechanisms;
+//! * [`baseline`] — the Fig. 1 architecture-evolution ladder over
+//!   identical engine code (experiment E1);
+//! * [`granularity`] — the §5 service-granularity sweep (experiment E3);
+//! * [`embedded`] — §4 downsizing and footprint accounting (E7);
+//! * [`distributed`] — §4 simulated devices, proximity composition, and
+//!   low-battery workload redirection (E7/E8).
+//!
+//! The substrates live in sibling crates: `sbdms-kernel` (SOA/SCA),
+//! `sbdms-storage`, `sbdms-access`, `sbdms-data`, `sbdms-extension`.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod distributed;
+pub mod embedded;
+pub mod flexibility;
+pub mod granularity;
+pub mod system;
+
+pub use config::{ArchitectureConfig, Profile, ServiceSelection};
+pub use system::Sbdms;
+
+// Re-export the substrate crates so downstream users need one dependency.
+pub use sbdms_access as access;
+pub use sbdms_data as data;
+pub use sbdms_extension as extension;
+pub use sbdms_kernel as kernel;
+pub use sbdms_storage as storage;

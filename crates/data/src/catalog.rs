@@ -1,0 +1,349 @@
+//! The catalog: persistent metadata for tables, indexes, and views.
+//!
+//! Catalog records are serde-serialised documents in a dedicated heap
+//! file whose directory page is — by convention — the first page ever
+//! allocated in the database file (page 1), so a reopened database finds
+//! its catalog without external state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use sbdms_access::heap::{HeapFile, Rid};
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_storage::buffer::BufferPool;
+use sbdms_storage::page::PageId;
+
+use crate::schema::Schema;
+
+/// Metadata of one secondary index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexMeta {
+    /// Index name (unique per table).
+    pub name: String,
+    /// Indexed column name.
+    pub column: String,
+    /// B+tree meta page.
+    pub meta_page: PageId,
+}
+
+/// Metadata of one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Table name (lower-cased).
+    pub name: String,
+    /// The schema.
+    pub schema: Schema,
+    /// Root directory page of the table's heap file.
+    pub heap_dir_page: PageId,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexMeta>,
+}
+
+/// Metadata of one view: a named, stored query text (paper §3.1 "logical
+/// structures like tables or views").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewMeta {
+    /// View name (lower-cased).
+    pub name: String,
+    /// The stored SELECT text.
+    pub query: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum CatalogRecord {
+    Table(TableMeta),
+    View(ViewMeta),
+}
+
+/// The persistent catalog.
+pub struct Catalog {
+    buffer: Arc<BufferPool>,
+    heap: HeapFile,
+    tables: Mutex<HashMap<String, (Rid, TableMeta)>>,
+    views: Mutex<HashMap<String, (Rid, ViewMeta)>>,
+}
+
+/// The conventional page id of the catalog heap directory.
+pub const CATALOG_DIR_PAGE: PageId = 1;
+
+impl Catalog {
+    /// Open the catalog, bootstrapping it in a fresh database (detected
+    /// by the disk having no user pages yet).
+    pub fn open(buffer: Arc<BufferPool>) -> Result<Catalog> {
+        let heap = if buffer.disk().page_count() <= 1 {
+            let heap = HeapFile::create(buffer.clone())?;
+            if heap.dir_page() != CATALOG_DIR_PAGE {
+                return Err(ServiceError::Storage(format!(
+                    "catalog bootstrap expected page {CATALOG_DIR_PAGE}, got {}",
+                    heap.dir_page()
+                )));
+            }
+            heap
+        } else {
+            HeapFile::open(buffer.clone(), CATALOG_DIR_PAGE)
+        };
+
+        let catalog = Catalog {
+            buffer,
+            heap,
+            tables: Mutex::new(HashMap::new()),
+            views: Mutex::new(HashMap::new()),
+        };
+        catalog.reload()?;
+        Ok(catalog)
+    }
+
+    /// The buffer pool backing this catalog.
+    pub fn buffer(&self) -> &Arc<BufferPool> {
+        &self.buffer
+    }
+
+    /// Re-read all catalog records from disk into the cache.
+    pub fn reload(&self) -> Result<()> {
+        let mut tables = HashMap::new();
+        let mut views = HashMap::new();
+        for (rid, bytes) in self.heap.scan()? {
+            let record: CatalogRecord = serde_json::from_slice(&bytes)
+                .map_err(|e| ServiceError::Storage(format!("corrupt catalog record: {e}")))?;
+            match record {
+                CatalogRecord::Table(meta) => {
+                    tables.insert(meta.name.clone(), (rid, meta));
+                }
+                CatalogRecord::View(meta) => {
+                    views.insert(meta.name.clone(), (rid, meta));
+                }
+            }
+        }
+        *self.tables.lock() = tables;
+        *self.views.lock() = views;
+        Ok(())
+    }
+
+    /// Register a new table.
+    pub fn create_table(&self, meta: TableMeta) -> Result<()> {
+        let name = meta.name.clone();
+        if self.tables.lock().contains_key(&name) || self.views.lock().contains_key(&name) {
+            return Err(ServiceError::InvalidInput(format!(
+                "table or view `{name}` already exists"
+            )));
+        }
+        let rid = self.persist(&CatalogRecord::Table(meta.clone()))?;
+        self.tables.lock().insert(name, (rid, meta));
+        Ok(())
+    }
+
+    /// Fetch a table's metadata.
+    pub fn table(&self, name: &str) -> Result<TableMeta> {
+        self.tables
+            .lock()
+            .get(&name.to_lowercase())
+            .map(|(_, m)| m.clone())
+            .ok_or_else(|| ServiceError::InvalidInput(format!("no such table `{name}`")))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Rewrite a table's metadata (e.g. after adding an index).
+    pub fn update_table(&self, meta: TableMeta) -> Result<()> {
+        let name = meta.name.clone();
+        let tables = self.tables.lock();
+        let (rid, _) = tables
+            .get(&name)
+            .ok_or_else(|| ServiceError::InvalidInput(format!("no such table `{name}`")))?;
+        let old_rid = *rid;
+        drop(tables);
+
+        self.heap.delete(old_rid)?;
+        let new_rid = self.persist(&CatalogRecord::Table(meta.clone()))?;
+        self.tables.lock().insert(name, (new_rid, meta));
+        Ok(())
+    }
+
+    /// Remove a table's metadata; the caller destroys its storage.
+    pub fn drop_table(&self, name: &str) -> Result<TableMeta> {
+        let name = name.to_lowercase();
+        let (rid, meta) = self
+            .tables
+            .lock()
+            .remove(&name)
+            .ok_or_else(|| ServiceError::InvalidInput(format!("no such table `{name}`")))?;
+        self.heap.delete(rid)?;
+        Ok(meta)
+    }
+
+    /// Register a view.
+    pub fn create_view(&self, meta: ViewMeta) -> Result<()> {
+        let name = meta.name.clone();
+        if self.tables.lock().contains_key(&name) || self.views.lock().contains_key(&name) {
+            return Err(ServiceError::InvalidInput(format!(
+                "table or view `{name}` already exists"
+            )));
+        }
+        let rid = self.persist(&CatalogRecord::View(meta.clone()))?;
+        self.views.lock().insert(name, (rid, meta));
+        Ok(())
+    }
+
+    /// Fetch a view.
+    pub fn view(&self, name: &str) -> Option<ViewMeta> {
+        self.views.lock().get(&name.to_lowercase()).map(|(_, m)| m.clone())
+    }
+
+    /// Remove a view.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        let name = name.to_lowercase();
+        let (rid, _) = self
+            .views
+            .lock()
+            .remove(&name)
+            .ok_or_else(|| ServiceError::InvalidInput(format!("no such view `{name}`")))?;
+        self.heap.delete(rid)
+    }
+
+    /// All view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn persist(&self, record: &CatalogRecord) -> Result<Rid> {
+        let bytes = serde_json::to_vec(record)
+            .map_err(|e| ServiceError::Internal(format!("catalog serialise: {e}")))?;
+        self.heap.insert(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use sbdms_storage::replacement::PolicyKind;
+    use sbdms_storage::services::StorageEngine;
+
+    fn fresh(name: &str) -> (Arc<BufferPool>, std::path::PathBuf) {
+        let dir = std::env::temp_dir()
+            .join("sbdms-catalog-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = StorageEngine::open(&dir, 32, PolicyKind::Lru).unwrap();
+        (engine.buffer, dir)
+    }
+
+    fn users_meta(heap_dir_page: PageId) -> TableMeta {
+        TableMeta {
+            name: "users".into(),
+            schema: Schema::new(vec![
+                Column::not_null("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+            ])
+            .unwrap(),
+            heap_dir_page,
+            indexes: vec![],
+        }
+    }
+
+    #[test]
+    fn create_and_fetch_table() {
+        let (buffer, _) = fresh("create");
+        let catalog = Catalog::open(buffer).unwrap();
+        catalog.create_table(users_meta(42)).unwrap();
+        let meta = catalog.table("USERS").unwrap();
+        assert_eq!(meta.heap_dir_page, 42);
+        assert_eq!(meta.schema.len(), 2);
+        assert!(catalog.table("ghosts").is_err());
+        assert_eq!(catalog.table_names(), vec!["users"]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (buffer, _) = fresh("dup");
+        let catalog = Catalog::open(buffer).unwrap();
+        catalog.create_table(users_meta(1)).unwrap();
+        assert!(catalog.create_table(users_meta(2)).is_err());
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir()
+            .join("sbdms-catalog-tests")
+            .join(format!("reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let engine = StorageEngine::open(&dir, 32, PolicyKind::Lru).unwrap();
+            let catalog = Catalog::open(engine.buffer.clone()).unwrap();
+            catalog.create_table(users_meta(7)).unwrap();
+            catalog
+                .create_view(ViewMeta {
+                    name: "adults".into(),
+                    query: "SELECT * FROM users".into(),
+                })
+                .unwrap();
+            engine.buffer.flush_all().unwrap();
+        }
+        let engine = StorageEngine::open(&dir, 32, PolicyKind::Lru).unwrap();
+        let catalog = Catalog::open(engine.buffer).unwrap();
+        assert_eq!(catalog.table("users").unwrap().heap_dir_page, 7);
+        assert_eq!(catalog.view("adults").unwrap().query, "SELECT * FROM users");
+    }
+
+    #[test]
+    fn update_table_replaces_record() {
+        let (buffer, _) = fresh("update");
+        let catalog = Catalog::open(buffer).unwrap();
+        catalog.create_table(users_meta(1)).unwrap();
+        let mut meta = catalog.table("users").unwrap();
+        meta.indexes.push(IndexMeta {
+            name: "users_id".into(),
+            column: "id".into(),
+            meta_page: 99,
+        });
+        catalog.update_table(meta).unwrap();
+        let fetched = catalog.table("users").unwrap();
+        assert_eq!(fetched.indexes.len(), 1);
+        // Reload from disk agrees (no duplicate records).
+        catalog.reload().unwrap();
+        assert_eq!(catalog.table("users").unwrap().indexes.len(), 1);
+        assert_eq!(catalog.table_names().len(), 1);
+    }
+
+    #[test]
+    fn drop_table_and_view() {
+        let (buffer, _) = fresh("drop");
+        let catalog = Catalog::open(buffer).unwrap();
+        catalog.create_table(users_meta(1)).unwrap();
+        catalog
+            .create_view(ViewMeta {
+                name: "v".into(),
+                query: "SELECT 1".into(),
+            })
+            .unwrap();
+        catalog.drop_table("users").unwrap();
+        assert!(catalog.table("users").is_err());
+        catalog.drop_view("v").unwrap();
+        assert!(catalog.view("v").is_none());
+        assert!(catalog.drop_view("v").is_err());
+        // Names are reusable after drop.
+        catalog.create_table(users_meta(5)).unwrap();
+    }
+
+    #[test]
+    fn view_name_collides_with_table() {
+        let (buffer, _) = fresh("collide");
+        let catalog = Catalog::open(buffer).unwrap();
+        catalog.create_table(users_meta(1)).unwrap();
+        let v = ViewMeta {
+            name: "users".into(),
+            query: "SELECT 1".into(),
+        };
+        assert!(catalog.create_view(v).is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! The database engine: statement execution over plans, tables, and
+//! transactions. This is the object both the monolithic baseline and the
+//! data-layer services wrap.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sbdms_access::exec::join::JoinAlgorithm;
+use sbdms_access::exec::{self, TupleStream};
+use sbdms_access::heap::Rid;
+use sbdms_access::record::{Datum, Tuple};
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_storage::replacement::PolicyKind;
+use sbdms_storage::services::StorageEngine;
+
+use crate::ast::{AstExpr, Select, Statement};
+use crate::catalog::{Catalog, ViewMeta};
+use crate::parser::parse;
+use crate::planner::{compile_expr, plan_select, BindEnv, CatalogView, Plan};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::txn::{Durability, TableResolver, TransactionManager, TxnId, UndoOp};
+
+fn err(msg: impl Into<String>) -> ServiceError {
+    ServiceError::InvalidInput(msg.into())
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column labels (SELECT only).
+    pub columns: Vec<String>,
+    /// Output rows (SELECT only).
+    pub rows: Vec<Tuple>,
+    /// Rows affected (DML) or 0.
+    pub affected: usize,
+}
+
+impl QueryResult {
+    fn affected(n: usize) -> QueryResult {
+        QueryResult {
+            affected: n,
+            ..QueryResult::default()
+        }
+    }
+}
+
+/// Memory budget for sorts before spilling.
+const SORT_BUDGET: usize = 8 << 20;
+
+/// An embedded SBDMS database engine.
+pub struct Database {
+    engine: StorageEngine,
+    catalog: Catalog,
+    txns: TransactionManager,
+    /// The session's explicit transaction, if one is open.
+    current_txn: Mutex<Option<TxnId>>,
+    tables: Mutex<HashMap<String, Arc<Table>>>,
+    join_algorithm: Mutex<JoinAlgorithm>,
+}
+
+impl Database {
+    /// Open (or create) a database in `dir` with default settings
+    /// (256-frame LRU buffer pool). Runs crash recovery.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(dir, 256, PolicyKind::Lru)
+    }
+
+    /// Open with explicit buffer configuration. Runs crash recovery.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        buffer_frames: usize,
+        policy: PolicyKind,
+    ) -> Result<Database> {
+        let engine = StorageEngine::open(dir, buffer_frames, policy)?;
+        let catalog = Catalog::open(engine.buffer.clone())?;
+        let txns = TransactionManager::new(engine.wal.clone(), engine.buffer.clone());
+        let db = Database {
+            engine,
+            catalog,
+            txns,
+            current_txn: Mutex::new(None),
+            tables: Mutex::new(HashMap::new()),
+            join_algorithm: Mutex::new(JoinAlgorithm::Hash),
+        };
+        db.txns.recover(&DbResolver { db: &db })?;
+        Ok(db)
+    }
+
+    /// The underlying storage engine (for services and monitoring).
+    pub fn storage(&self) -> &StorageEngine {
+        &self.engine
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Set commit durability.
+    pub fn set_durability(&self, d: Durability) {
+        self.txns.set_durability(d);
+    }
+
+    /// Choose the equi-join algorithm the planner uses (hash by default;
+    /// merge and nested-loop are available for experiments/ablations).
+    pub fn set_join_algorithm(&self, algorithm: JoinAlgorithm) {
+        *self.join_algorithm.lock() = algorithm;
+    }
+
+    /// Begin an explicit transaction (one per session).
+    pub fn begin(&self) -> Result<TxnId> {
+        let mut current = self.current_txn.lock();
+        if current.is_some() {
+            return Err(ServiceError::Transaction("transaction already open".into()));
+        }
+        let txn = self.txns.begin();
+        *current = Some(txn);
+        Ok(txn)
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&self) -> Result<()> {
+        let txn = self
+            .current_txn
+            .lock()
+            .take()
+            .ok_or_else(|| ServiceError::Transaction("no open transaction".into()))?;
+        self.txns.commit(txn)
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&self) -> Result<()> {
+        let txn = self
+            .current_txn
+            .lock()
+            .take()
+            .ok_or_else(|| ServiceError::Transaction("no open transaction".into()))?;
+        self.txns.rollback(txn, &DbResolver { db: self })
+    }
+
+    /// Flush everything and truncate the log.
+    pub fn checkpoint(&self) -> Result<()> {
+        if self.current_txn.lock().is_some() {
+            return Err(ServiceError::Transaction(
+                "cannot checkpoint inside a transaction".into(),
+            ));
+        }
+        self.txns.checkpoint()
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_statement(&self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(columns)?;
+                Table::create(&self.catalog, &name, schema)?;
+                self.tables.lock().remove(&name);
+                Ok(QueryResult::affected(0))
+            }
+            Statement::CreateIndex { name, table, column } => {
+                let mut t = Table::open(&self.catalog, &table)?;
+                t.create_index(&self.catalog, &name, &column)?;
+                self.tables.lock().remove(&table);
+                Ok(QueryResult::affected(0))
+            }
+            Statement::CreateView { name, query_text, query } => {
+                // Validate the view by planning it now.
+                plan_select(&query, self)?;
+                self.catalog.create_view(ViewMeta {
+                    name,
+                    query: query_text,
+                })?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::DropTable { name } => {
+                let table = Table::open(&self.catalog, &name)?;
+                table.drop(&self.catalog)?;
+                self.tables.lock().remove(&name);
+                Ok(QueryResult::affected(0))
+            }
+            Statement::DropView { name } => {
+                self.catalog.drop_view(&name)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::Insert { table, columns, rows } => self.run_insert(&table, columns, rows),
+            Statement::Update { table, set, filter } => self.run_update(&table, set, filter),
+            Statement::Delete { table, filter } => self.run_delete(&table, filter),
+            Statement::Select(select) => self.run_select(&select),
+        }
+    }
+
+    /// Execute a SELECT and materialise the result.
+    pub fn run_select(&self, select: &Select) -> Result<QueryResult> {
+        let planned = plan_select(select, self)?;
+        let stream = self.run_plan(&planned.plan)?;
+        let rows: Vec<Tuple> = stream.collect::<Result<_>>()?;
+        Ok(QueryResult {
+            columns: planned.columns,
+            rows,
+            affected: 0,
+        })
+    }
+
+    /// Table handle (cached).
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        let name = name.to_lowercase();
+        if let Some(t) = self.tables.lock().get(&name) {
+            return Ok(t.clone());
+        }
+        let t = Arc::new(Table::open(&self.catalog, &name)?);
+        self.tables.lock().insert(name, t.clone());
+        Ok(t)
+    }
+
+    fn active_txn(&self) -> Option<TxnId> {
+        *self.current_txn.lock()
+    }
+
+    fn log_if_txn(&self, op: impl FnOnce() -> UndoOp) -> Result<()> {
+        if let Some(txn) = self.active_txn() {
+            self.txns.record(txn, op())?;
+        }
+        Ok(())
+    }
+
+    fn run_insert(
+        &self,
+        table: &str,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<AstExpr>>,
+    ) -> Result<QueryResult> {
+        let t = self.table(table)?;
+        let schema = t.schema().clone();
+        // Map provided columns onto schema positions; missing -> NULL.
+        let positions: Vec<usize> = match &columns {
+            None => (0..schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    schema
+                        .index_of(c)
+                        .ok_or_else(|| err(format!("no column `{c}` in `{table}`")))
+                })
+                .collect::<Result<_>>()?,
+        };
+        let empty_env = BindEnv::default();
+        let mut inserted = 0;
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(err(format!(
+                    "INSERT expects {} values, got {}",
+                    positions.len(),
+                    row.len()
+                )));
+            }
+            let mut tuple: Tuple = vec![Datum::Null; schema.len()];
+            for (expr, &pos) in row.iter().zip(&positions) {
+                // Literal-only expressions (no columns in scope).
+                let compiled = compile_expr(expr, &empty_env)?;
+                tuple[pos] = compiled.eval(&vec![])?;
+            }
+            let row_for_log = tuple.clone();
+            t.insert(tuple)?;
+            self.log_if_txn(|| UndoOp::insert(table, &row_for_log))?;
+            inserted += 1;
+        }
+        Ok(QueryResult::affected(inserted))
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        set: Vec<(String, AstExpr)>,
+        filter: Option<AstExpr>,
+    ) -> Result<QueryResult> {
+        let t = self.table(table)?;
+        let schema = t.schema().clone();
+        let mut env = BindEnv::default();
+        env_push(&mut env, table, &schema);
+
+        let assignments: Vec<(usize, exec::Expr)> = set
+            .iter()
+            .map(|(col, e)| {
+                let pos = schema
+                    .index_of(col)
+                    .ok_or_else(|| err(format!("no column `{col}` in `{table}`")))?;
+                Ok((pos, compile_expr(e, &env)?))
+            })
+            .collect::<Result<_>>()?;
+        let predicate = filter.map(|f| compile_expr(&f, &env)).transpose()?;
+
+        let matches = self.matching_rids(&t, &predicate)?;
+        let mut affected = 0;
+        for (rid, old) in matches {
+            let mut new = old.clone();
+            for (pos, expr) in &assignments {
+                new[*pos] = expr.eval(&old)?;
+            }
+            // The stored image may differ from `new` (int -> float column
+            // widening), so log what validation actually stores.
+            let stored = schema.validate(new)?;
+            t.update(rid, stored.clone())?;
+            self.log_if_txn(|| UndoOp::update(table, &old, &stored))?;
+            affected += 1;
+        }
+        Ok(QueryResult::affected(affected))
+    }
+
+    fn run_delete(&self, table: &str, filter: Option<AstExpr>) -> Result<QueryResult> {
+        let t = self.table(table)?;
+        let schema = t.schema().clone();
+        let mut env = BindEnv::default();
+        env_push(&mut env, table, &schema);
+        let predicate = filter.map(|f| compile_expr(&f, &env)).transpose()?;
+
+        let matches = self.matching_rids(&t, &predicate)?;
+        let mut affected = 0;
+        for (rid, old) in matches {
+            t.delete(rid)?;
+            self.log_if_txn(|| UndoOp::delete(table, &old))?;
+            affected += 1;
+        }
+        Ok(QueryResult::affected(affected))
+    }
+
+    fn matching_rids(
+        &self,
+        t: &Table,
+        predicate: &Option<exec::Expr>,
+    ) -> Result<Vec<(Rid, Tuple)>> {
+        let mut out = Vec::new();
+        for (rid, tuple) in t.scan()? {
+            let keep = match predicate {
+                None => true,
+                Some(p) => p.eval(&tuple)?.is_true(),
+            };
+            if keep {
+                out.push((rid, tuple));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluate a physical plan into a tuple stream.
+    pub fn run_plan(&self, plan: &Plan) -> Result<TupleStream> {
+        match plan {
+            Plan::TableScan { table } => {
+                let t = self.table(table)?;
+                let rows: Vec<Tuple> = t.scan()?.into_iter().map(|(_, row)| row).collect();
+                Ok(exec::values_scan(rows))
+            }
+            Plan::IndexScan {
+                table,
+                column,
+                lo,
+                hi,
+                hi_inclusive,
+            } => {
+                let t = self.table(table)?;
+                let tree = t
+                    .index_on(column)
+                    .ok_or_else(|| ServiceError::Internal(format!("lost index on {column}")))?;
+                let rids = tree.range(lo.as_ref(), hi.as_ref(), *hi_inclusive)?;
+                let rows: Vec<Tuple> = rids
+                    .into_iter()
+                    .map(|(_, rid)| t.get(rid))
+                    .collect::<Result<_>>()?;
+                Ok(exec::values_scan(rows))
+            }
+            Plan::Values { rows } => Ok(exec::values_scan(rows.clone())),
+            Plan::Filter { input, predicate } => {
+                Ok(exec::filter(self.run_plan(input)?, predicate.clone()))
+            }
+            Plan::EquiJoin {
+                left,
+                right,
+                algorithm,
+                left_col,
+                right_col,
+                left_width,
+            } => exec::equi_join(
+                *algorithm,
+                self.run_plan(left)?,
+                self.run_plan(right)?,
+                *left_col,
+                *right_col,
+                *left_width,
+            ),
+            Plan::NlJoin {
+                left,
+                right,
+                predicate,
+                left_width: _,
+            } => exec::nested_loop_join(
+                self.run_plan(left)?,
+                self.run_plan(right)?,
+                predicate.clone(),
+            ),
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => exec::hash_aggregate(self.run_plan(input)?, group_by.clone(), aggs.clone()),
+            Plan::Project { input, exprs } => {
+                Ok(exec::project(self.run_plan(input)?, exprs.clone()))
+            }
+            Plan::Distinct { input } => Ok(exec::distinct(self.run_plan(input)?)),
+            Plan::Sort { input, keys } => {
+                exec::sort(self.run_plan(input)?, keys.clone(), SORT_BUDGET)
+            }
+            Plan::Limit { input, n, offset } => {
+                Ok(exec::limit(self.run_plan(input)?, *n, *offset))
+            }
+        }
+    }
+}
+
+fn env_push(env: &mut BindEnv, table: &str, schema: &Schema) {
+    env.push_table(table, schema);
+}
+
+impl CatalogView for Database {
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        Ok(self.catalog.table(name)?.schema)
+    }
+
+    fn view_query(&self, name: &str) -> Option<String> {
+        self.catalog.view(name).map(|v| v.query)
+    }
+
+    fn has_index(&self, table: &str, column: &str) -> bool {
+        self.catalog
+            .table(table)
+            .map(|m| m.indexes.iter().any(|i| i.column == column.to_lowercase()))
+            .unwrap_or(false)
+    }
+
+    fn preferred_equi_join(&self) -> JoinAlgorithm {
+        *self.join_algorithm.lock()
+    }
+}
+
+struct DbResolver<'a> {
+    db: &'a Database,
+}
+
+impl TableResolver for DbResolver<'_> {
+    fn resolve(&self, name: &str) -> Result<Table> {
+        Table::open(&self.db.catalog, name)
+    }
+}

@@ -1,0 +1,34 @@
+//! # sbdms-data — the data layer of the Service-Based DBMS
+//!
+//! Paper Fig. 2, third layer: "Data Services present the data in logical
+//! structures like tables or views."
+//!
+//! * [`schema`]: typed, named columns with validation,
+//! * [`catalog`]: persistent metadata for tables, indexes and views,
+//! * [`table`]: schema-checked row storage with index maintenance,
+//! * [`ast`] / [`parser`]: a compact SQL dialect,
+//! * [`planner`]: name resolution, index selection, join planning,
+//! * [`executor`]: the [`executor::Database`] engine executing plans,
+//! * [`txn`]: WAL-logged transactions (undo rollback + crash recovery),
+//! * [`services`]: the query-service facade for the kernel bus.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod executor;
+pub mod parser;
+pub mod planner;
+pub mod schema;
+pub mod services;
+pub mod table;
+pub mod txn;
+
+pub use catalog::{Catalog, IndexMeta, TableMeta, ViewMeta};
+pub use executor::{Database, QueryResult};
+pub use parser::parse;
+pub use planner::{plan_select, Plan, PlannedQuery};
+pub use schema::{Column, ColumnType, Schema};
+pub use services::QueryService;
+pub use table::Table;
+pub use txn::{Durability, TransactionManager, TxnId};

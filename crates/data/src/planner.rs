@@ -1,0 +1,1160 @@
+//! Query planning: name resolution, plan construction, index selection.
+//!
+//! The planner turns a parsed [`Select`] into a [`Plan`] tree of physical
+//! operators over *positional* expressions, choosing an index scan when a
+//! WHERE conjunct constrains an indexed column, and a hash join for
+//! equi-join conditions (nested loop otherwise).
+
+use sbdms_access::exec::aggregate::AggSpec;
+use sbdms_access::exec::expr::{BinOp, Expr};
+use sbdms_access::exec::join::JoinAlgorithm;
+use sbdms_access::record::{Datum, Tuple};
+use sbdms_access::sort::SortKey;
+use sbdms_kernel::error::{Result, ServiceError};
+
+use crate::ast::{AstExpr, OrderKey, Select, SelectItem};
+use crate::schema::Schema;
+
+fn err(msg: impl Into<String>) -> ServiceError {
+    ServiceError::InvalidInput(format!("plan: {}", msg.into()))
+}
+
+/// What the planner needs to know about the database.
+pub trait CatalogView {
+    /// Schema of a table (error if absent).
+    fn table_schema(&self, name: &str) -> Result<Schema>;
+    /// Stored query text of a view, if `name` is a view.
+    fn view_query(&self, name: &str) -> Option<String>;
+    /// Whether `table.column` has a secondary index.
+    fn has_index(&self, table: &str, column: &str) -> bool;
+    /// The equi-join algorithm to plan with (a session knob; hash join is
+    /// the right default for unsorted inputs).
+    fn preferred_equi_join(&self) -> JoinAlgorithm {
+        JoinAlgorithm::Hash
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Full scan of a table.
+    TableScan {
+        /// Table name.
+        table: String,
+    },
+    /// Index range scan; `predicate` is re-applied as a residual filter.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// Indexed column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: Option<Datum>,
+        /// Upper bound.
+        hi: Option<Datum>,
+        /// Whether the upper bound is inclusive.
+        hi_inclusive: bool,
+    },
+    /// Literal rows.
+    Values {
+        /// The rows.
+        rows: Vec<Tuple>,
+    },
+    /// Filter by predicate.
+    Filter {
+        /// Input.
+        input: Box<Plan>,
+        /// Predicate over input columns.
+        predicate: Expr,
+    },
+    /// Equi-join (hash or merge).
+    EquiJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Algorithm.
+        algorithm: JoinAlgorithm,
+        /// Join column on the left input.
+        left_col: usize,
+        /// Join column on the right input.
+        right_col: usize,
+        /// Width of the left input (for residual predicates).
+        left_width: usize,
+    },
+    /// Nested-loop join with arbitrary predicate over `left ++ right`.
+    NlJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Predicate over the concatenated tuple.
+        predicate: Expr,
+        /// Width of the left input (for predicate pushdown).
+        left_width: usize,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input.
+        input: Box<Plan>,
+        /// Group-by expressions.
+        group_by: Vec<Expr>,
+        /// Aggregate specs.
+        aggs: Vec<AggSpec>,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<Plan>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input.
+        input: Box<Plan>,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Box<Plan>,
+        /// Keys.
+        keys: Vec<SortKey>,
+    },
+    /// Limit/offset.
+    Limit {
+        /// Input.
+        input: Box<Plan>,
+        /// Max rows.
+        n: usize,
+        /// Rows to skip.
+        offset: usize,
+    },
+}
+
+impl Plan {
+    /// One-line-per-node rendering (EXPLAIN-style), for tests and docs.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            Plan::TableScan { table } => format!("TableScan {table}"),
+            Plan::IndexScan { table, column, lo, hi, hi_inclusive } => format!(
+                "IndexScan {table}.{column} lo={lo:?} hi={hi:?} hi_inc={hi_inclusive}"
+            ),
+            Plan::Values { rows } => format!("Values ({} rows)", rows.len()),
+            Plan::Filter { .. } => "Filter".to_string(),
+            Plan::EquiJoin { algorithm, left_col, right_col, .. } => {
+                format!("EquiJoin[{algorithm:?}] l{left_col}=r{right_col}")
+            }
+            Plan::NlJoin { .. } => "NlJoin".to_string(),
+            Plan::Aggregate { group_by, aggs, .. } => {
+                format!("Aggregate groups={} aggs={}", group_by.len(), aggs.len())
+            }
+            Plan::Project { exprs, .. } => format!("Project ({} cols)", exprs.len()),
+            Plan::Distinct { .. } => "Distinct".to_string(),
+            Plan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            Plan::Limit { n, offset, .. } => format!("Limit {n} offset {offset}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        match self {
+            Plan::Filter { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.explain_into(out, depth + 1),
+            Plan::EquiJoin { left, right, .. } | Plan::NlJoin { left, right, .. } => {
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A fully planned query: the plan plus output column labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// The physical plan.
+    pub plan: Plan,
+    /// Output column names.
+    pub columns: Vec<String>,
+}
+
+/// Column environment during binding: `(qualifier, name)` per position.
+#[derive(Debug, Clone, Default)]
+pub struct BindEnv {
+    cols: Vec<(Option<String>, String)>,
+}
+
+impl BindEnv {
+    /// Bind a table's columns under a qualifier (used by DML binding in
+    /// the executor as well as FROM-clause planning).
+    pub fn push_table(&mut self, qualifier: &str, schema: &Schema) {
+        self.push_schema(qualifier, schema)
+    }
+
+    fn push_schema(&mut self, qualifier: &str, schema: &Schema) {
+        for c in &schema.columns {
+            self.cols
+                .push((Some(qualifier.to_lowercase()), c.name.clone()));
+        }
+    }
+
+    fn push_labels(&mut self, qualifier: &str, labels: &[String]) {
+        for l in labels {
+            self.cols
+                .push((Some(qualifier.to_lowercase()), l.to_lowercase()));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.cols.iter().map(|(_, n)| n.clone()).collect()
+    }
+
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_lowercase();
+        let qualifier = qualifier.map(|q| q.to_lowercase());
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (q, n))| {
+                *n == name && qualifier.as_ref().map(|want| q.as_deref() == Some(want)).unwrap_or(true)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(err(format!(
+                "unknown column `{}{}`",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                name
+            ))),
+            1 => Ok(matches[0]),
+            _ => Err(err(format!("ambiguous column `{name}`"))),
+        }
+    }
+}
+
+/// Compile a non-aggregate AST expression into a positional one.
+pub fn compile_expr(ast: &AstExpr, env: &BindEnv) -> Result<Expr> {
+    match ast {
+        AstExpr::Column(q, n) => Ok(Expr::Col(env.resolve(q.as_deref(), n)?)),
+        AstExpr::Literal(d) => Ok(Expr::Lit(d.clone())),
+        AstExpr::Unary(op, e) => Ok(Expr::Unary(*op, Box::new(compile_expr(e, env)?))),
+        AstExpr::Binary(op, l, r) => Ok(Expr::Binary(
+            *op,
+            Box::new(compile_expr(l, env)?),
+            Box::new(compile_expr(r, env)?),
+        )),
+        AstExpr::Agg(..) => Err(err("aggregate not allowed here")),
+    }
+}
+
+/// Compile a HAVING expression against the aggregate row
+/// `[group values ++ agg values]`. Aggregate calls reuse an existing agg
+/// slot when structurally identical, otherwise append a hidden one (the
+/// final projection drops it). Bare columns resolve through SELECT-item
+/// aliases, then GROUP BY column names.
+#[allow(clippy::too_many_arguments)]
+fn compile_having(
+    ast: &AstExpr,
+    group_by: &[AstExpr],
+    env: &BindEnv,
+    aggs: &mut Vec<AggSpec>,
+    agg_asts: &mut Vec<AstExpr>,
+    group_len: usize,
+    item_positions: &[(Option<String>, usize)],
+    columns: &[String],
+) -> Result<Expr> {
+    match ast {
+        AstExpr::Agg(func, arg) => {
+            if let Some(idx) = agg_asts.iter().position(|a| a == ast) {
+                return Ok(Expr::Col(group_len + idx));
+            }
+            let compiled_arg = match arg {
+                Some(a) => compile_expr(a, env)?,
+                None => Expr::Lit(Datum::Int(0)),
+            };
+            let pos = group_len + aggs.len();
+            aggs.push(AggSpec::new(*func, compiled_arg));
+            agg_asts.push(ast.clone());
+            Ok(Expr::Col(pos))
+        }
+        AstExpr::Column(None, name) => {
+            // 1. SELECT-item alias or label.
+            if let Some(i) = columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                return Ok(Expr::Col(item_positions[i].1));
+            }
+            // 2. A GROUP BY column name.
+            if let Some(idx) = group_by
+                .iter()
+                .position(|g| matches!(g, AstExpr::Column(_, n) if n.eq_ignore_ascii_case(name)))
+            {
+                return Ok(Expr::Col(idx));
+            }
+            Err(err(format!(
+                "HAVING: `{name}` is neither an output column nor a grouped column"
+            )))
+        }
+        AstExpr::Column(Some(q), name) => {
+            // Qualified names must match a GROUP BY column exactly.
+            if let Some(idx) = group_by.iter().position(|g| {
+                matches!(g, AstExpr::Column(Some(gq), n)
+                    if n.eq_ignore_ascii_case(name) && gq.eq_ignore_ascii_case(q))
+            }) {
+                return Ok(Expr::Col(idx));
+            }
+            Err(err(format!("HAVING: `{q}.{name}` is not a grouped column")))
+        }
+        AstExpr::Literal(d) => Ok(Expr::Lit(d.clone())),
+        AstExpr::Unary(op, e) => Ok(Expr::Unary(
+            *op,
+            Box::new(compile_having(
+                e,
+                group_by,
+                env,
+                aggs,
+                agg_asts,
+                group_len,
+                item_positions,
+                columns,
+            )?),
+        )),
+        AstExpr::Binary(op, l, r) => Ok(Expr::Binary(
+            *op,
+            Box::new(compile_having(
+                l, group_by, env, aggs, agg_asts, group_len, item_positions, columns,
+            )?),
+            Box::new(compile_having(
+                r, group_by, env, aggs, agg_asts, group_len, item_positions, columns,
+            )?),
+        )),
+    }
+}
+
+const MAX_VIEW_DEPTH: usize = 8;
+
+/// Plan a SELECT.
+pub fn plan_select(select: &Select, catalog: &dyn CatalogView) -> Result<PlannedQuery> {
+    plan_select_depth(select, catalog, 0)
+}
+
+fn plan_select_depth(
+    select: &Select,
+    catalog: &dyn CatalogView,
+    depth: usize,
+) -> Result<PlannedQuery> {
+    if depth > MAX_VIEW_DEPTH {
+        return Err(err("view nesting too deep (cycle?)"));
+    }
+    if select.items.is_empty() {
+        return Err(err("SELECT list is empty"));
+    }
+
+    // ── 1. FROM + JOINs ──────────────────────────────────────────────
+    let mut env = BindEnv::default();
+    let mut plan = match &select.from {
+        None => {
+            // SELECT <exprs>: a single empty row.
+            Plan::Values { rows: vec![vec![]] }
+        }
+        Some(table) => {
+            let qualifier = select.from_alias.clone().unwrap_or_else(|| table.clone());
+            let (p, labels) = plan_relation(table, catalog, depth)?;
+            env.push_labels(&qualifier, &labels);
+            p
+        }
+    };
+
+    for join in &select.joins {
+        let left_width = env.len();
+        let qualifier = join.alias.clone().unwrap_or_else(|| join.table.clone());
+        let (right_plan, labels) = plan_relation(&join.table, catalog, depth)?;
+        env.push_labels(&qualifier, &labels);
+        // The ON expression binds over left ++ right.
+        let on = compile_expr(&join.on, &env)?;
+        plan = match split_equi(&on, left_width, env.len()) {
+            Some((left_col, right_col)) => Plan::EquiJoin {
+                left: Box::new(plan),
+                right: Box::new(right_plan),
+                algorithm: catalog.preferred_equi_join(),
+                left_col,
+                right_col: right_col - left_width,
+                left_width,
+            },
+            None => Plan::NlJoin {
+                left: Box::new(plan),
+                right: Box::new(right_plan),
+                predicate: on,
+                left_width,
+            },
+        };
+    }
+
+    // ── 2. WHERE (with index selection on bare single-table scans) ───
+    if let Some(filter_ast) = &select.filter {
+        let predicate = compile_expr(filter_ast, &env)?;
+        let scan_table = match &plan {
+            Plan::TableScan { table } => Some(table.clone()),
+            _ => None,
+        };
+        if let Some(table) = scan_table {
+            if let Some(scan) = try_index_scan(&table, filter_ast, catalog)? {
+                plan = scan;
+            }
+        }
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicate,
+        };
+    }
+
+    // ── 3. Aggregation ───────────────────────────────────────────────
+    let has_aggs = select.group_by.is_empty()
+        && select
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || !select.group_by.is_empty();
+
+    let mut columns: Vec<String> = Vec::new();
+    if has_aggs {
+        let group_exprs: Vec<Expr> = select
+            .group_by
+            .iter()
+            .map(|g| compile_expr(g, &env))
+            .collect::<Result<_>>()?;
+        // Aggregate specs, with the AST of each aggregate recorded so
+        // HAVING can reuse (or extend) them.
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        let mut agg_asts: Vec<AstExpr> = Vec::new();
+        // Output = per item either a group column or an aggregate; the
+        // positions reference the aggregate row [groups ++ aggs].
+        let mut output_exprs: Vec<Expr> = Vec::new();
+        // (alias, aggregate-row position) per item, for HAVING aliases.
+        let mut item_positions: Vec<(Option<String>, usize)> = Vec::new();
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(err("cannot use * with GROUP BY / aggregates"))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    if let AstExpr::Agg(func, arg) = expr {
+                        let compiled_arg = match arg {
+                            Some(a) => compile_expr(a, &env)?,
+                            None => Expr::Lit(Datum::Int(0)),
+                        };
+                        let pos = select.group_by.len() + aggs.len();
+                        aggs.push(AggSpec::new(*func, compiled_arg));
+                        agg_asts.push(expr.clone());
+                        output_exprs.push(Expr::Col(pos));
+                        columns.push(alias.clone().unwrap_or_else(|| agg_label(*func)));
+                        item_positions.push((alias.clone(), pos));
+                    } else {
+                        // Must structurally match a GROUP BY expression.
+                        let idx = select
+                            .group_by
+                            .iter()
+                            .position(|g| g == expr)
+                            .ok_or_else(|| {
+                                err("non-aggregate SELECT item must appear in GROUP BY")
+                            })?;
+                        output_exprs.push(Expr::Col(idx));
+                        columns.push(alias.clone().unwrap_or_else(|| label_of(expr)));
+                        item_positions.push((alias.clone(), idx));
+                    }
+                }
+            }
+        }
+        // HAVING compiles against the aggregate row [groups ++ aggs]:
+        // aggregate calls reuse (or append) agg slots, aliases map to the
+        // item's position, bare names map to group columns.
+        let having_predicate = select
+            .having
+            .as_ref()
+            .map(|having| {
+                compile_having(
+                    having,
+                    &select.group_by,
+                    &env,
+                    &mut aggs,
+                    &mut agg_asts,
+                    select.group_by.len(),
+                    &item_positions,
+                    &columns,
+                )
+            })
+            .transpose()?;
+        plan = Plan::Aggregate {
+            input: Box::new(plan),
+            group_by: group_exprs,
+            aggs,
+        };
+        if let Some(predicate) = having_predicate {
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+        plan = Plan::Project {
+            input: Box::new(plan),
+            exprs: output_exprs,
+        };
+    } else {
+        if select.having.is_some() {
+            return Err(err("HAVING requires GROUP BY or aggregates"));
+        }
+        let mut output_exprs = Vec::new();
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, name) in env.names().into_iter().enumerate() {
+                        output_exprs.push(Expr::Col(i));
+                        columns.push(name);
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    output_exprs.push(compile_expr(expr, &env)?);
+                    columns.push(alias.clone().unwrap_or_else(|| label_of(expr)));
+                }
+            }
+        }
+        // ORDER BY keys that do not name an output column may still name
+        // an *input* column (standard SQL allows `SELECT a ... ORDER BY
+        // b`); those sort below the projection.
+        if !select.order_by.is_empty() {
+            let output_keys: Result<Vec<SortKey>> = select
+                .order_by
+                .iter()
+                .map(|k| order_key(k, &columns))
+                .collect();
+            match output_keys {
+                Ok(_) => {} // handled after projection, below
+                Err(_) => {
+                    let keys = select
+                        .order_by
+                        .iter()
+                        .map(|k| input_order_key(k, &env))
+                        .collect::<Result<Vec<_>>>()?;
+                    plan = Plan::Sort {
+                        input: Box::new(plan),
+                        keys,
+                    };
+                }
+            }
+        }
+        plan = Plan::Project {
+            input: Box::new(plan),
+            exprs: output_exprs,
+        };
+    }
+
+    // ── 4. DISTINCT / ORDER BY / LIMIT over the output schema ────────
+    if select.distinct {
+        plan = Plan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    if !select.order_by.is_empty() {
+        let keys: Result<Vec<SortKey>> = select
+            .order_by
+            .iter()
+            .map(|k| order_key(k, &columns))
+            .collect();
+        match keys {
+            Ok(keys) => {
+                plan = Plan::Sort {
+                    input: Box::new(plan),
+                    keys,
+                };
+            }
+            // Already sorted below the projection (non-aggregate path);
+            // aggregate queries must order by output columns.
+            Err(e) if has_aggs => return Err(e),
+            Err(_) => {}
+        }
+    }
+    if select.limit.is_some() || select.offset.is_some() {
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n: select.limit.unwrap_or(usize::MAX),
+            offset: select.offset.unwrap_or(0),
+        };
+    }
+
+    let plan = push_down_filters(plan);
+    Ok(PlannedQuery { plan, columns })
+}
+
+/// Optimizer pass: push filter conjuncts that reference only one side of
+/// a join below that join (classic predicate pushdown). Mixed conjuncts
+/// stay above. Applied bottom-up over the whole plan.
+pub fn push_down_filters(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = push_down_filters(*input);
+            match input {
+                Plan::EquiJoin {
+                    left,
+                    right,
+                    algorithm,
+                    left_col,
+                    right_col,
+                    left_width,
+                } => {
+                    let (new_left, new_right, residual) =
+                        split_pushdown(predicate, *left, *right, left_width);
+                    let join = Plan::EquiJoin {
+                        left: Box::new(new_left),
+                        right: Box::new(new_right),
+                        algorithm,
+                        left_col,
+                        right_col,
+                        left_width,
+                    };
+                    wrap_filter(join, residual)
+                }
+                Plan::NlJoin {
+                    left,
+                    right,
+                    predicate: on,
+                    left_width,
+                } => {
+                    let (new_left, new_right, residual) =
+                        split_pushdown(predicate, *left, *right, left_width);
+                    let join = Plan::NlJoin {
+                        left: Box::new(new_left),
+                        right: Box::new(new_right),
+                        predicate: on,
+                        left_width,
+                    };
+                    wrap_filter(join, residual)
+                }
+                other => Plan::Filter {
+                    input: Box::new(other),
+                    predicate,
+                },
+            }
+        }
+        Plan::EquiJoin {
+            left,
+            right,
+            algorithm,
+            left_col,
+            right_col,
+            left_width,
+        } => Plan::EquiJoin {
+            left: Box::new(push_down_filters(*left)),
+            right: Box::new(push_down_filters(*right)),
+            algorithm,
+            left_col,
+            right_col,
+            left_width,
+        },
+        Plan::NlJoin {
+            left,
+            right,
+            predicate,
+            left_width,
+        } => Plan::NlJoin {
+            left: Box::new(push_down_filters(*left)),
+            right: Box::new(push_down_filters(*right)),
+            predicate,
+            left_width,
+        },
+        Plan::Aggregate { input, group_by, aggs } => Plan::Aggregate {
+            input: Box::new(push_down_filters(*input)),
+            group_by,
+            aggs,
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(push_down_filters(*input)),
+            exprs,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(push_down_filters(*input)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(push_down_filters(*input)),
+            keys,
+        },
+        Plan::Limit { input, n, offset } => Plan::Limit {
+            input: Box::new(push_down_filters(*input)),
+            n,
+            offset,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Split `predicate` into conjuncts, push side-local ones into the join
+/// inputs (recursively re-optimised), and return the residual.
+fn split_pushdown(
+    predicate: Expr,
+    left: Plan,
+    right: Plan,
+    left_width: usize,
+) -> (Plan, Plan, Option<Expr>) {
+    let mut conjuncts = Vec::new();
+    flatten_and(predicate, &mut conjuncts);
+    let mut left_preds = Vec::new();
+    let mut right_preds = Vec::new();
+    let mut residual = Vec::new();
+    for c in conjuncts {
+        let cols = expr_columns(&c);
+        if cols.iter().all(|&i| i < left_width) {
+            left_preds.push(c);
+        } else if cols.iter().all(|&i| i >= left_width) {
+            right_preds.push(shift_columns(c, left_width));
+        } else {
+            residual.push(c);
+        }
+    }
+    let new_left = push_down_filters(wrap_filter(left, combine_and(left_preds)));
+    let new_right = push_down_filters(wrap_filter(right, combine_and(right_preds)));
+    (new_left, new_right, combine_and(residual))
+}
+
+fn wrap_filter(plan: Plan, predicate: Option<Expr>) -> Plan {
+    match predicate {
+        None => plan,
+        Some(predicate) => Plan::Filter {
+            input: Box::new(plan),
+            predicate,
+        },
+    }
+}
+
+fn flatten_and(e: Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary(BinOp::And, l, r) = e {
+        flatten_and(*l, out);
+        flatten_and(*r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn combine_and(mut preds: Vec<Expr>) -> Option<Expr> {
+    let mut acc = preds.pop()?;
+    while let Some(p) = preds.pop() {
+        acc = Expr::Binary(BinOp::And, Box::new(p), Box::new(acc));
+    }
+    Some(acc)
+}
+
+fn expr_columns(e: &Expr) -> Vec<usize> {
+    fn walk(e: &Expr, out: &mut Vec<usize>) {
+        match e {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Unary(_, inner) => walk(inner, out),
+            Expr::Binary(_, l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(e, &mut out);
+    out
+}
+
+fn shift_columns(e: Expr, delta: usize) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(i - delta),
+        Expr::Lit(d) => Expr::Lit(d),
+        Expr::Unary(op, inner) => Expr::Unary(op, Box::new(shift_columns(*inner, delta))),
+        Expr::Binary(op, l, r) => Expr::Binary(
+            op,
+            Box::new(shift_columns(*l, delta)),
+            Box::new(shift_columns(*r, delta)),
+        ),
+    }
+}
+
+/// Plan a FROM/JOIN relation: a base table or an expanded view.
+fn plan_relation(
+    name: &str,
+    catalog: &dyn CatalogView,
+    depth: usize,
+) -> Result<(Plan, Vec<String>)> {
+    if let Some(text) = catalog.view_query(name) {
+        let select = match crate::parser::parse(&text)? {
+            crate::ast::Statement::Select(s) => *s,
+            _ => return Err(err(format!("view `{name}` does not store a SELECT"))),
+        };
+        let planned = plan_select_depth(&select, catalog, depth + 1)?;
+        return Ok((planned.plan, planned.columns));
+    }
+    let schema = catalog.table_schema(name)?;
+    let labels = schema.columns.iter().map(|c| c.name.clone()).collect();
+    Ok((
+        Plan::TableScan {
+            table: name.to_lowercase(),
+        },
+        labels,
+    ))
+}
+
+fn label_of(expr: &AstExpr) -> String {
+    match expr {
+        AstExpr::Column(_, n) => n.clone(),
+        AstExpr::Agg(f, _) => agg_label(*f),
+        _ => "expr".to_string(),
+    }
+}
+
+fn agg_label(f: sbdms_access::exec::aggregate::AggFunc) -> String {
+    use sbdms_access::exec::aggregate::AggFunc::*;
+    match f {
+        CountAll | Count => "count",
+        Sum => "sum",
+        Avg => "avg",
+        Min => "min",
+        Max => "max",
+    }
+    .to_string()
+}
+
+/// Resolve an ORDER BY key against the pre-projection input environment
+/// (bare or qualified column references only).
+fn input_order_key(key: &OrderKey, env: &BindEnv) -> Result<SortKey> {
+    let column = match &key.expr {
+        AstExpr::Column(q, name) => env.resolve(q.as_deref(), name)?,
+        other => {
+            return Err(err(format!(
+                "ORDER BY must name an output or input column: {other:?}"
+            )))
+        }
+    };
+    Ok(if key.asc {
+        SortKey::asc(column)
+    } else {
+        SortKey::desc(column)
+    })
+}
+
+fn order_key(key: &OrderKey, columns: &[String]) -> Result<SortKey> {
+    let column = match &key.expr {
+        AstExpr::Column(None, name) => columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| err(format!("ORDER BY: unknown output column `{name}`")))?,
+        AstExpr::Literal(Datum::Int(i)) if *i >= 1 && (*i as usize) <= columns.len() => {
+            *i as usize - 1
+        }
+        other => return Err(err(format!("ORDER BY must name an output column: {other:?}"))),
+    };
+    Ok(if key.asc {
+        SortKey::asc(column)
+    } else {
+        SortKey::desc(column)
+    })
+}
+
+/// Detect `Col(a) = Col(b)` with a, b on opposite sides of the boundary.
+fn split_equi(on: &Expr, left_width: usize, total: usize) -> Option<(usize, usize)> {
+    if let Expr::Binary(BinOp::Eq, l, r) = on {
+        if let (Expr::Col(a), Expr::Col(b)) = (l.as_ref(), r.as_ref()) {
+            let (a, b) = (*a, *b);
+            if a < left_width && b >= left_width && b < total {
+                return Some((a, b));
+            }
+            if b < left_width && a >= left_width && a < total {
+                return Some((b, a));
+            }
+        }
+    }
+    None
+}
+
+/// Find an indexable conjunct (`col OP literal` on an indexed column) in
+/// the WHERE clause and turn it into an index scan. The full predicate is
+/// re-applied as a residual filter by the caller, so bounds may be a
+/// superset.
+fn try_index_scan(
+    table: &str,
+    filter: &AstExpr,
+    catalog: &dyn CatalogView,
+) -> Result<Option<Plan>> {
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(filter, &mut conjuncts);
+    for c in conjuncts {
+        if let AstExpr::Binary(op, l, r) = c {
+            let (column, lit, op) = match (l.as_ref(), r.as_ref()) {
+                (AstExpr::Column(_, col), AstExpr::Literal(d)) => (col, d, *op),
+                (AstExpr::Literal(d), AstExpr::Column(_, col)) => (col, d, flip(*op)),
+                _ => continue,
+            };
+            if !catalog.has_index(table, column) {
+                continue;
+            }
+            let (lo, hi, hi_inclusive) = match op {
+                BinOp::Eq => (Some(lit.clone()), Some(lit.clone()), true),
+                BinOp::Lt => (None, Some(lit.clone()), false),
+                BinOp::Le => (None, Some(lit.clone()), true),
+                // Inclusive lower bound is a superset for Gt; the
+                // residual filter removes the boundary row.
+                BinOp::Gt | BinOp::Ge => (Some(lit.clone()), None, true),
+                _ => continue,
+            };
+            return Ok(Some(Plan::IndexScan {
+                table: table.to_lowercase(),
+                column: column.clone(),
+                lo,
+                hi,
+                hi_inclusive,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn collect_conjuncts<'a>(e: &'a AstExpr, out: &mut Vec<&'a AstExpr>) {
+    if let AstExpr::Binary(BinOp::And, l, r) = e {
+        collect_conjuncts(l, out);
+        collect_conjuncts(r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::{Column, ColumnType};
+
+    struct FakeCatalog;
+
+    impl CatalogView for FakeCatalog {
+        fn table_schema(&self, name: &str) -> Result<Schema> {
+            match name {
+                "users" => Schema::new(vec![
+                    Column::not_null("id", ColumnType::Int),
+                    Column::not_null("name", ColumnType::Text),
+                    Column::new("score", ColumnType::Float),
+                ]),
+                "orders" => Schema::new(vec![
+                    Column::not_null("oid", ColumnType::Int),
+                    Column::not_null("user_id", ColumnType::Int),
+                    Column::new("amount", ColumnType::Int),
+                ]),
+                other => Err(err(format!("no such table `{other}`"))),
+            }
+        }
+
+        fn view_query(&self, name: &str) -> Option<String> {
+            (name == "big_spenders")
+                .then(|| "SELECT user_id, amount FROM orders WHERE amount > 100".to_string())
+        }
+
+        fn has_index(&self, table: &str, column: &str) -> bool {
+            table == "users" && column == "id"
+        }
+    }
+
+    fn plan(sql: &str) -> PlannedQuery {
+        let crate::ast::Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        plan_select(&s, &FakeCatalog).unwrap()
+    }
+
+    fn plan_err(sql: &str) -> ServiceError {
+        let crate::ast::Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        plan_select(&s, &FakeCatalog).unwrap_err()
+    }
+
+    #[test]
+    fn wildcard_projects_all_columns() {
+        let p = plan("SELECT * FROM users");
+        assert_eq!(p.columns, vec!["id", "name", "score"]);
+        assert!(p.plan.explain().contains("TableScan users"));
+    }
+
+    #[test]
+    fn equality_on_indexed_column_uses_index() {
+        let p = plan("SELECT * FROM users WHERE id = 5");
+        let explain = p.plan.explain();
+        assert!(explain.contains("IndexScan users.id"), "{explain}");
+        assert!(explain.contains("Filter"), "residual filter kept: {explain}");
+    }
+
+    #[test]
+    fn range_on_indexed_column_uses_index() {
+        let p = plan("SELECT * FROM users WHERE id > 10 AND name = 'x'");
+        assert!(p.plan.explain().contains("IndexScan"));
+        let p = plan("SELECT * FROM users WHERE 10 >= id");
+        let explain = p.plan.explain();
+        assert!(explain.contains("IndexScan"), "flipped literal: {explain}");
+    }
+
+    #[test]
+    fn unindexed_column_stays_seq_scan() {
+        let p = plan("SELECT * FROM users WHERE name = 'x'");
+        assert!(p.plan.explain().contains("TableScan"));
+        assert!(!p.plan.explain().contains("IndexScan"));
+    }
+
+    #[test]
+    fn equi_join_uses_hash() {
+        let p = plan("SELECT name, amount FROM users u JOIN orders o ON u.id = o.user_id");
+        let explain = p.plan.explain();
+        assert!(explain.contains("EquiJoin[Hash] l0=r1"), "{explain}");
+        assert_eq!(p.columns, vec!["name", "amount"]);
+    }
+
+    #[test]
+    fn non_equi_join_uses_nested_loop() {
+        let p = plan("SELECT * FROM users u JOIN orders o ON u.id < o.user_id");
+        assert!(p.plan.explain().contains("NlJoin"));
+    }
+
+    #[test]
+    fn aggregates_plan_correctly() {
+        let p = plan("SELECT name, COUNT(*) AS n, SUM(score) FROM users GROUP BY name");
+        assert_eq!(p.columns, vec!["name", "n", "sum"]);
+        let explain = p.plan.explain();
+        assert!(explain.contains("Aggregate groups=1 aggs=2"), "{explain}");
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let p = plan("SELECT COUNT(*) FROM users");
+        assert!(p.plan.explain().contains("Aggregate groups=0 aggs=1"));
+        assert_eq!(p.columns, vec!["count"]);
+    }
+
+    #[test]
+    fn having_filters_output() {
+        let p = plan("SELECT name, COUNT(*) AS n FROM users GROUP BY name HAVING n > 1");
+        let explain = p.plan.explain();
+        // Filter sits above Project above Aggregate.
+        let filter_pos = explain.find("Filter").unwrap();
+        let agg_pos = explain.find("Aggregate").unwrap();
+        assert!(filter_pos < agg_pos);
+    }
+
+    #[test]
+    fn non_grouped_item_rejected() {
+        let e = plan_err("SELECT name, score, COUNT(*) FROM users GROUP BY name");
+        assert!(e.to_string().contains("GROUP BY"));
+        let e = plan_err("SELECT * FROM users GROUP BY name");
+        assert!(e.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn order_by_name_and_position() {
+        let p = plan("SELECT name, score FROM users ORDER BY score DESC, 1");
+        let Plan::Sort { keys, .. } = &p.plan else {
+            panic!("{}", p.plan.explain())
+        };
+        assert_eq!(keys[0], SortKey::desc(1));
+        assert_eq!(keys[1], SortKey::asc(0));
+        assert!(plan_err("SELECT name FROM users ORDER BY ghost")
+            .to_string()
+            .contains("ghost"));
+    }
+
+    #[test]
+    fn view_expands_inline() {
+        let p = plan("SELECT * FROM big_spenders");
+        assert_eq!(p.columns, vec!["user_id", "amount"]);
+        let explain = p.plan.explain();
+        assert!(explain.contains("TableScan orders"), "{explain}");
+        assert!(explain.contains("Filter"));
+    }
+
+    #[test]
+    fn view_joins_like_a_table() {
+        let p = plan("SELECT name FROM users u JOIN big_spenders b ON u.id = b.user_id");
+        assert!(p.plan.explain().contains("EquiJoin"));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(plan_err("SELECT * FROM ghosts").to_string().contains("ghosts"));
+        assert!(plan_err("SELECT ghost FROM users").to_string().contains("ghost"));
+        let e = plan_err("SELECT amount FROM orders o JOIN orders o2 ON o.oid = o2.oid");
+        assert!(e.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let p = plan("SELECT 1 + 2 AS three");
+        assert_eq!(p.columns, vec!["three"]);
+        assert!(p.plan.explain().contains("Values (1 rows)"));
+    }
+
+    #[test]
+    fn predicate_pushdown_below_joins() {
+        // name = 'x' references only users; amount > 10 only orders; the
+        // cross-side comparison stays above the join.
+        let p = plan(
+            "SELECT name FROM users u JOIN orders o ON u.id = o.user_id \
+             WHERE name = 'x' AND amount > 10 AND id < oid",
+        );
+        let explain = p.plan.explain();
+        let lines: Vec<&str> = explain.lines().collect();
+        // Expected shape:
+        // Project
+        //   Filter            (residual id < oid)
+        //     EquiJoin
+        //       Filter        (name = 'x')
+        //         TableScan users
+        //       Filter        (amount > 10)
+        //         TableScan orders
+        assert_eq!(lines[0].trim(), "Project (1 cols)", "{explain}");
+        assert_eq!(lines[1].trim(), "Filter", "{explain}");
+        assert!(lines[2].trim().starts_with("EquiJoin"), "{explain}");
+        assert_eq!(lines[3].trim(), "Filter", "{explain}");
+        assert!(lines[4].trim().starts_with("TableScan users"), "{explain}");
+        assert_eq!(lines[5].trim(), "Filter", "{explain}");
+        assert!(lines[6].trim().starts_with("TableScan orders"), "{explain}");
+    }
+
+    #[test]
+    fn pushdown_preserves_results_semantics() {
+        // All conjuncts one-sided: no residual filter remains above.
+        let p = plan(
+            "SELECT name FROM users u JOIN orders o ON u.id = o.user_id WHERE amount > 10",
+        );
+        let explain = p.plan.explain();
+        let lines: Vec<&str> = explain.lines().collect();
+        assert!(lines[1].trim().starts_with("EquiJoin"), "{explain}");
+        assert_eq!(lines[2].trim(), "TableScan users", "{explain}");
+        assert_eq!(lines[3].trim(), "Filter", "right side filtered: {explain}");
+    }
+
+    #[test]
+    fn limit_offset_plans() {
+        let p = plan("SELECT * FROM users LIMIT 5 OFFSET 2");
+        assert!(p.plan.explain().contains("Limit 5 offset 2"));
+    }
+}

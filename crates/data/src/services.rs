@@ -1,0 +1,133 @@
+//! Data-layer service facade: the query service (paper Fig. 2 "Data
+//! Services ... present the data in logical structures like tables or
+//! views").
+
+use std::sync::Arc;
+
+use sbdms_kernel::contract::{Contract, Quality};
+use sbdms_kernel::error::Result;
+use sbdms_kernel::interface::{Interface, Operation, Param};
+use sbdms_kernel::service::{unknown_op, Descriptor, Service, ServiceRef};
+use sbdms_kernel::value::{TypeTag, Value};
+
+use crate::executor::{Database, QueryResult};
+
+/// Interface name of the query service.
+pub const QUERY_INTERFACE: &str = "sbdms.data.Query";
+
+/// The canonical query interface.
+pub fn query_interface() -> Interface {
+    Interface::new(
+        QUERY_INTERFACE,
+        1,
+        vec![
+            Operation::new(
+                "execute",
+                vec![Param::required("sql", TypeTag::Str)],
+                TypeTag::Map,
+            ),
+            Operation::new("begin", vec![], TypeTag::Int),
+            Operation::new("commit", vec![], TypeTag::Null),
+            Operation::new("rollback", vec![], TypeTag::Null),
+            Operation::new("checkpoint", vec![], TypeTag::Null),
+            Operation::new("tables", vec![], TypeTag::List),
+        ],
+    )
+}
+
+/// Render a query result into a service payload.
+pub fn result_to_value(result: &QueryResult) -> Value {
+    Value::map()
+        .with(
+            "columns",
+            Value::List(result.columns.iter().map(|c| Value::Str(c.clone())).collect()),
+        )
+        .with(
+            "rows",
+            Value::List(
+                result
+                    .rows
+                    .iter()
+                    .map(|row| Value::List(row.iter().map(|d| d.to_value()).collect()))
+                    .collect(),
+            ),
+        )
+        .with("affected", result.affected)
+}
+
+/// The SQL engine published as a service.
+pub struct QueryService {
+    descriptor: Descriptor,
+    db: Arc<Database>,
+}
+
+impl QueryService {
+    /// Wrap a database.
+    pub fn new(name: &str, db: Arc<Database>) -> QueryService {
+        let contract = Contract::for_interface(query_interface())
+            .describe("SQL over tables and views", "data")
+            .capability("task:query")
+            .depends_on(sbdms_storage::services::BUFFER_INTERFACE)
+            .quality(Quality {
+                expected_latency_ns: 50_000,
+                footprint_bytes: 256 * 1024,
+                ..Quality::default()
+            });
+        QueryService {
+            descriptor: Descriptor::new(name, contract),
+            db,
+        }
+    }
+
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> ServiceRef {
+        Arc::new(self)
+    }
+
+    /// The wrapped database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+}
+
+impl Service for QueryService {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, input: Value) -> Result<Value> {
+        match op {
+            "execute" => {
+                let sql = input.require("sql")?.as_str()?;
+                let result = self.db.execute(sql)?;
+                Ok(result_to_value(&result))
+            }
+            "begin" => Ok(Value::Int(self.db.begin()? as i64)),
+            "commit" => {
+                self.db.commit()?;
+                Ok(Value::Null)
+            }
+            "rollback" => {
+                self.db.rollback()?;
+                Ok(Value::Null)
+            }
+            "checkpoint" => {
+                self.db.checkpoint()?;
+                Ok(Value::Null)
+            }
+            "tables" => Ok(Value::List(
+                self.db
+                    .catalog()
+                    .table_names()
+                    .into_iter()
+                    .map(Value::Str)
+                    .collect(),
+            )),
+            other => Err(unknown_op(&self.descriptor, other)),
+        }
+    }
+
+    fn stop(&self) -> Result<()> {
+        self.db.checkpoint()
+    }
+}

@@ -1,0 +1,305 @@
+//! Transactions: WAL-logged atomicity with undo-based rollback/recovery.
+//!
+//! The protocol is steal/undo: dirty pages may reach disk before commit,
+//! so every change logs its undo information to the WAL first; rollback
+//! (and crash recovery) applies undo records of unfinished transactions
+//! in reverse order. Durability is configurable:
+//!
+//! * [`Durability::Full`] — commit syncs the WAL and force-flushes pages
+//!   (no redo needed, committed data survives a crash).
+//! * [`Durability::Relaxed`] — commit only appends to the WAL buffer;
+//!   atomicity is preserved but a crash may lose recent commits (the
+//!   classic `synchronous=off` trade).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use sbdms_access::heap::Rid;
+use sbdms_access::record::Tuple;
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_storage::buffer::BufferPool;
+use sbdms_storage::wal::Wal;
+
+use crate::table::Table;
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// WAL record kinds.
+const KIND_DATA: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_ABORT: u8 = 3;
+
+/// Durability level at commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Sync WAL + force-flush pages at every commit.
+    Full,
+    /// Buffered commit; atomic but a crash may lose recent commits.
+    Relaxed,
+}
+
+/// One logged, undoable change.
+///
+/// Undo is *value-based* (logical): records carry row images, not rids.
+/// Rids are unsafe as undo anchors because slot recycling lets a
+/// delete-undo reinsertion land in the slot a later (in reverse order)
+/// insert-undo would delete — value-based application preserves the
+/// table's multiset of rows regardless of physical placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UndoOp {
+    /// A row was inserted; undo deletes one row equal to it.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Binary-encoded inserted tuple.
+        row: Vec<u8>,
+    },
+    /// A row was deleted; undo re-inserts it.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Binary-encoded old tuple.
+        old: Vec<u8>,
+    },
+    /// A row was updated; undo restores the old image over one row equal
+    /// to the new image.
+    Update {
+        /// Table name.
+        table: String,
+        /// Binary-encoded old tuple.
+        old: Vec<u8>,
+        /// Binary-encoded new tuple.
+        new: Vec<u8>,
+    },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LogPayload {
+    txn: TxnId,
+    op: UndoOp,
+}
+
+/// Resolves table names to live handles during rollback/recovery.
+pub trait TableResolver {
+    /// Open a table by name.
+    fn resolve(&self, name: &str) -> Result<Table>;
+}
+
+/// The transaction manager.
+pub struct TransactionManager {
+    wal: Arc<Wal>,
+    buffer: Arc<BufferPool>,
+    next_txn: AtomicU64,
+    active: Mutex<HashMap<TxnId, Vec<UndoOp>>>,
+    durability: Mutex<Durability>,
+}
+
+impl TransactionManager {
+    /// Create a manager over a WAL and buffer pool.
+    pub fn new(wal: Arc<Wal>, buffer: Arc<BufferPool>) -> TransactionManager {
+        TransactionManager {
+            wal,
+            buffer,
+            next_txn: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+            durability: Mutex::new(Durability::Relaxed),
+        }
+    }
+
+    /// Set the commit durability level.
+    pub fn set_durability(&self, d: Durability) {
+        *self.durability.lock() = d;
+    }
+
+    /// Current durability level.
+    pub fn durability(&self) -> Durability {
+        *self.durability.lock()
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        let txn = self.next_txn.fetch_add(1, Ordering::SeqCst);
+        self.active.lock().insert(txn, Vec::new());
+        txn
+    }
+
+    /// Whether a transaction is active.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.active.lock().contains_key(&txn)
+    }
+
+    /// Record a change made by `txn`: logs the undo information to the
+    /// WAL *before* the caller's page changes can be flushed (the heap
+    /// mutation already happened in memory; what matters is that the log
+    /// record precedes any flush, which the force-at-commit/steal policy
+    /// guarantees because flushes happen under commit or eviction after
+    /// this append).
+    pub fn record(&self, txn: TxnId, op: UndoOp) -> Result<()> {
+        let payload = serde_json::to_vec(&LogPayload { txn, op: op.clone() })
+            .map_err(|e| ServiceError::Internal(format!("log encode: {e}")))?;
+        self.wal.append(KIND_DATA, &payload)?;
+        let mut active = self.active.lock();
+        let undo = active
+            .get_mut(&txn)
+            .ok_or_else(|| ServiceError::Transaction(format!("txn {txn} is not active")))?;
+        undo.push(op);
+        Ok(())
+    }
+
+    /// Commit: append the commit record and apply the durability policy.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        if self.active.lock().remove(&txn).is_none() {
+            return Err(ServiceError::Transaction(format!("txn {txn} is not active")));
+        }
+        self.wal.append(KIND_COMMIT, &txn.to_le_bytes())?;
+        if self.durability() == Durability::Full {
+            self.wal.sync()?;
+            self.buffer.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Roll back: apply the undo log in reverse, then mark aborted.
+    pub fn rollback(&self, txn: TxnId, resolver: &dyn TableResolver) -> Result<()> {
+        let undo = self
+            .active
+            .lock()
+            .remove(&txn)
+            .ok_or_else(|| ServiceError::Transaction(format!("txn {txn} is not active")))?;
+        apply_undo(&undo, resolver)?;
+        self.wal.append(KIND_ABORT, &txn.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Crash recovery: scan the WAL, find transactions with data records
+    /// but no commit/abort, and undo them in reverse order. Returns the
+    /// ids of the rolled-back transactions. Call once at open, before any
+    /// new transaction starts.
+    pub fn recover(&self, resolver: &dyn TableResolver) -> Result<Vec<TxnId>> {
+        let records = self.wal.records()?;
+        let mut pending: HashMap<TxnId, Vec<UndoOp>> = HashMap::new();
+        let mut max_txn = 0;
+        for r in &records {
+            match r.kind {
+                KIND_DATA => {
+                    let payload: LogPayload = serde_json::from_slice(&r.payload)
+                        .map_err(|e| ServiceError::Storage(format!("corrupt log: {e}")))?;
+                    max_txn = max_txn.max(payload.txn);
+                    pending.entry(payload.txn).or_default().push(payload.op);
+                }
+                KIND_COMMIT | KIND_ABORT
+                    if r.payload.len() == 8 => {
+                        let txn = u64::from_le_bytes(r.payload[..8].try_into().unwrap());
+                        max_txn = max_txn.max(txn);
+                        pending.remove(&txn);
+                    }
+                _ => {}
+            }
+        }
+        let mut rolled_back: Vec<TxnId> = pending.keys().copied().collect();
+        rolled_back.sort_unstable();
+        // Undo in reverse txn order, each txn's ops in reverse.
+        for txn in rolled_back.iter().rev() {
+            apply_undo(&pending[txn], resolver)?;
+        }
+        self.next_txn.store(max_txn + 1, Ordering::SeqCst);
+        // Checkpoint: recovered state is the new baseline.
+        self.buffer.flush_all()?;
+        self.wal.reset()?;
+        Ok(rolled_back)
+    }
+
+    /// Checkpoint: flush all pages and truncate the log. Only valid with
+    /// no active transactions.
+    pub fn checkpoint(&self) -> Result<()> {
+        if !self.active.lock().is_empty() {
+            return Err(ServiceError::Transaction(
+                "cannot checkpoint with active transactions".into(),
+            ));
+        }
+        self.buffer.flush_all()?;
+        self.wal.sync()?;
+        self.wal.reset()
+    }
+}
+
+/// Find one row equal to `target` and return its rid.
+fn find_equal(t: &Table, target: &Tuple) -> Result<Option<Rid>> {
+    for (rid, row) in t.scan()? {
+        if row == *target {
+            return Ok(Some(rid));
+        }
+    }
+    Ok(None)
+}
+
+fn apply_undo(undo: &[UndoOp], resolver: &dyn TableResolver) -> Result<()> {
+    for op in undo.iter().rev() {
+        match op {
+            UndoOp::Insert { table, row } => {
+                let t = resolver.resolve(table)?;
+                let tuple: Tuple = sbdms_access::record::decode_tuple(row)?;
+                match find_equal(&t, &tuple)? {
+                    Some(rid) => t.delete(rid).map(|_| ())?,
+                    None => {
+                        return Err(ServiceError::Transaction(format!(
+                            "undo insert: row missing from `{table}`"
+                        )))
+                    }
+                }
+            }
+            UndoOp::Delete { table, old } => {
+                let t = resolver.resolve(table)?;
+                let tuple: Tuple = sbdms_access::record::decode_tuple(old)?;
+                t.insert(tuple)?;
+            }
+            UndoOp::Update { table, old, new } => {
+                let t = resolver.resolve(table)?;
+                let old_tuple: Tuple = sbdms_access::record::decode_tuple(old)?;
+                let new_tuple: Tuple = sbdms_access::record::decode_tuple(new)?;
+                match find_equal(&t, &new_tuple)? {
+                    Some(rid) => t.update(rid, old_tuple).map(|_| ())?,
+                    None => {
+                        return Err(ServiceError::Transaction(format!(
+                            "undo update: row missing from `{table}`"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Helpers to build undo ops from table mutations.
+impl UndoOp {
+    /// Undo record for an insert.
+    pub fn insert(table: &str, row: &Tuple) -> UndoOp {
+        UndoOp::Insert {
+            table: table.to_string(),
+            row: sbdms_access::record::encode_tuple(row),
+        }
+    }
+
+    /// Undo record for a delete.
+    pub fn delete(table: &str, old: &Tuple) -> UndoOp {
+        UndoOp::Delete {
+            table: table.to_string(),
+            old: sbdms_access::record::encode_tuple(old),
+        }
+    }
+
+    /// Undo record for an update.
+    pub fn update(table: &str, old: &Tuple, new: &Tuple) -> UndoOp {
+        UndoOp::Update {
+            table: table.to_string(),
+            old: sbdms_access::record::encode_tuple(old),
+            new: sbdms_access::record::encode_tuple(new),
+        }
+    }
+}

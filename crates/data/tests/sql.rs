@@ -1,0 +1,557 @@
+//! End-to-end SQL tests against the `Database` engine.
+
+use sbdms_access::record::Datum;
+use sbdms_data::executor::Database;
+use sbdms_data::txn::Durability;
+use sbdms_storage::replacement::PolicyKind;
+
+fn db(name: &str) -> Database {
+    let dir = std::env::temp_dir()
+        .join("sbdms-sql-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Database::open(&dir).unwrap()
+}
+
+fn seed(db: &Database) {
+    db.execute("CREATE TABLE users (id INT NOT NULL, name TEXT NOT NULL, age INT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO users VALUES \
+         (1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35), (4, 'dave', NULL)",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE orders (oid INT NOT NULL, user_id INT NOT NULL, amount INT NOT NULL)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO orders VALUES \
+         (100, 1, 50), (101, 1, 75), (102, 2, 20), (103, 3, 500), (104, 3, 1)",
+    )
+    .unwrap();
+}
+
+fn ints(db: &Database, sql: &str) -> Vec<i64> {
+    db.execute(sql)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Datum::Int(i) => *i,
+            other => panic!("expected int, got {other:?}"),
+        })
+        .collect()
+}
+
+fn strs(db: &Database, sql: &str) -> Vec<String> {
+    db.execute(sql)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].to_string())
+        .collect()
+}
+
+#[test]
+fn create_insert_select() {
+    let db = db("basic");
+    seed(&db);
+    let r = db.execute("SELECT * FROM users ORDER BY id").unwrap();
+    assert_eq!(r.columns, vec!["id", "name", "age"]);
+    assert_eq!(r.rows.len(), 4);
+    assert_eq!(r.rows[0][1], Datum::Str("alice".into()));
+    assert_eq!(r.rows[3][2], Datum::Null);
+}
+
+#[test]
+fn where_filters_and_null_semantics() {
+    let db = db("where");
+    seed(&db);
+    assert_eq!(ints(&db, "SELECT id FROM users WHERE age > 26 ORDER BY id"), vec![1, 3]);
+    // dave (NULL age) is dropped by any comparison.
+    assert_eq!(
+        ints(&db, "SELECT id FROM users WHERE age > 0 OR age <= 0 ORDER BY id"),
+        vec![1, 2, 3]
+    );
+    assert_eq!(ints(&db, "SELECT id FROM users WHERE age IS NULL"), vec![4]);
+    assert_eq!(
+        ints(&db, "SELECT id FROM users WHERE age IS NOT NULL ORDER BY id"),
+        vec![1, 2, 3]
+    );
+}
+
+#[test]
+fn projection_expressions_and_aliases() {
+    let db = db("project");
+    seed(&db);
+    let r = db
+        .execute("SELECT name, age * 2 AS double_age FROM users WHERE id = 1")
+        .unwrap();
+    assert_eq!(r.columns, vec!["name", "double_age"]);
+    assert_eq!(r.rows[0][1], Datum::Int(60));
+}
+
+#[test]
+fn joins_two_and_three_way() {
+    let db = db("joins");
+    seed(&db);
+    let r = db
+        .execute(
+            "SELECT name, amount FROM users u JOIN orders o ON u.id = o.user_id \
+             ORDER BY amount DESC",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    assert_eq!(r.rows[0][0], Datum::Str("carol".into()));
+    assert_eq!(r.rows[0][1], Datum::Int(500));
+
+    // Self-join through qualifiers.
+    let r = db
+        .execute(
+            "SELECT a.oid FROM orders a JOIN orders b ON a.user_id = b.user_id \
+             WHERE a.oid <> b.oid ORDER BY a.oid",
+        )
+        .unwrap();
+    // pairs within user 1 (100,101) and user 3 (103,104): each direction.
+    assert_eq!(r.rows.len(), 4);
+}
+
+#[test]
+fn aggregates_group_by_having() {
+    let db = db("aggs");
+    seed(&db);
+    let r = db
+        .execute(
+            "SELECT user_id, COUNT(*) AS n, SUM(amount) AS total \
+             FROM orders GROUP BY user_id ORDER BY user_id",
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["user_id", "n", "total"]);
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[0], vec![Datum::Int(1), Datum::Int(2), Datum::Int(125)]);
+    assert_eq!(r.rows[2], vec![Datum::Int(3), Datum::Int(2), Datum::Int(501)]);
+
+    // HAVING may use aggregates that are not projected: a hidden agg
+    // slot is appended and dropped by the final projection.
+    let r = db
+        .execute(
+            "SELECT user_id FROM orders GROUP BY user_id HAVING COUNT(*) > 1 ORDER BY user_id",
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["user_id"]);
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0], vec![Datum::Int(1)]);
+    assert_eq!(r.rows[1], vec![Datum::Int(3)]);
+
+    // And mixed forms: alias + hidden aggregate + group column.
+    let r = db
+        .execute(
+            "SELECT user_id, COUNT(*) AS n FROM orders GROUP BY user_id \
+             HAVING SUM(amount) > 100 AND user_id > 0 ORDER BY user_id",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2); // users 1 (125) and 3 (501)
+
+    let r = db
+        .execute(
+            "SELECT user_id, COUNT(*) AS n FROM orders GROUP BY user_id \
+             HAVING n > 1 ORDER BY user_id",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn global_aggregates() {
+    let db = db("global-aggs");
+    seed(&db);
+    let r = db
+        .execute("SELECT COUNT(*), AVG(amount), MIN(amount), MAX(amount) FROM orders")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(5));
+    assert_eq!(r.rows[0][1], Datum::Float(129.2));
+    assert_eq!(r.rows[0][2], Datum::Int(1));
+    assert_eq!(r.rows[0][3], Datum::Int(500));
+    // COUNT(age) skips NULLs.
+    let r = db.execute("SELECT COUNT(age) FROM users").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(3));
+}
+
+#[test]
+fn distinct_order_limit_offset() {
+    let db = db("dlo");
+    seed(&db);
+    assert_eq!(
+        ints(&db, "SELECT DISTINCT user_id FROM orders ORDER BY user_id"),
+        vec![1, 2, 3]
+    );
+    assert_eq!(
+        ints(&db, "SELECT oid FROM orders ORDER BY amount DESC LIMIT 2"),
+        vec![103, 101]
+    );
+    assert_eq!(
+        ints(&db, "SELECT oid FROM orders ORDER BY amount DESC LIMIT 2 OFFSET 1"),
+        vec![101, 100]
+    );
+}
+
+#[test]
+fn update_and_delete() {
+    let db = db("dml");
+    seed(&db);
+    let r = db.execute("UPDATE users SET age = age + 1 WHERE age IS NOT NULL").unwrap();
+    assert_eq!(r.affected, 3);
+    assert_eq!(ints(&db, "SELECT age FROM users WHERE id = 1"), vec![31]);
+
+    let r = db.execute("DELETE FROM orders WHERE amount < 50").unwrap();
+    assert_eq!(r.affected, 2);
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM orders"), vec![3]);
+
+    let r = db.execute("DELETE FROM orders").unwrap();
+    assert_eq!(r.affected, 3);
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM orders"), vec![0]);
+}
+
+#[test]
+fn insert_with_column_list_fills_nulls() {
+    let db = db("collist");
+    seed(&db);
+    db.execute("INSERT INTO users (name, id) VALUES ('eve', 9)").unwrap();
+    let r = db.execute("SELECT age, name FROM users WHERE id = 9").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Null);
+    assert_eq!(r.rows[0][1], Datum::Str("eve".into()));
+    // NOT NULL violation when omitted.
+    assert!(db.execute("INSERT INTO users (id) VALUES (10)").is_err());
+}
+
+#[test]
+fn index_accelerated_queries_agree_with_scans() {
+    let db = db("index");
+    seed(&db);
+    let before = strs(&db, "SELECT name FROM users WHERE id = 3");
+    db.execute("CREATE INDEX users_id ON users (id)").unwrap();
+    let after = strs(&db, "SELECT name FROM users WHERE id = 3");
+    assert_eq!(before, after);
+    // Range through the index.
+    assert_eq!(
+        ints(&db, "SELECT id FROM users WHERE id >= 2 AND id < 4 ORDER BY id"),
+        vec![2, 3]
+    );
+    // DML keeps the index fresh.
+    db.execute("DELETE FROM users WHERE id = 3").unwrap();
+    assert!(strs(&db, "SELECT name FROM users WHERE id = 3").is_empty());
+}
+
+#[test]
+fn views_select_and_join() {
+    let db = db("views");
+    seed(&db);
+    db.execute("CREATE VIEW big_orders AS SELECT user_id, amount FROM orders WHERE amount >= 50")
+        .unwrap();
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM big_orders"), vec![3]);
+    let r = db
+        .execute(
+            "SELECT name FROM users u JOIN big_orders b ON u.id = b.user_id \
+             ORDER BY name",
+        )
+        .unwrap();
+    let names: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["alice", "alice", "carol"]);
+    db.execute("DROP VIEW big_orders").unwrap();
+    assert!(db.execute("SELECT * FROM big_orders").is_err());
+}
+
+#[test]
+fn transaction_commit_and_rollback() {
+    let db = db("txn");
+    seed(&db);
+    db.begin().unwrap();
+    db.execute("INSERT INTO users VALUES (50, 'temp', 1)").unwrap();
+    db.execute("UPDATE users SET name = 'bobby' WHERE id = 2").unwrap();
+    db.execute("DELETE FROM users WHERE id = 1").unwrap();
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM users"), vec![4]);
+    db.rollback().unwrap();
+
+    // Everything restored.
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM users"), vec![4]);
+    assert_eq!(strs(&db, "SELECT name FROM users WHERE id = 2"), vec!["bob"]);
+    assert_eq!(strs(&db, "SELECT name FROM users WHERE id = 1"), vec!["alice"]);
+    assert!(strs(&db, "SELECT name FROM users WHERE id = 50").is_empty());
+
+    // Commit persists.
+    db.begin().unwrap();
+    db.execute("INSERT INTO users VALUES (60, 'kept', 2)").unwrap();
+    db.commit().unwrap();
+    assert_eq!(strs(&db, "SELECT name FROM users WHERE id = 60"), vec!["kept"]);
+}
+
+#[test]
+fn transaction_misuse_errors() {
+    let db = db("txn-misuse");
+    assert!(db.commit().is_err());
+    assert!(db.rollback().is_err());
+    db.begin().unwrap();
+    assert!(db.begin().is_err(), "one txn per session");
+    assert!(db.checkpoint().is_err(), "no checkpoint inside txn");
+    db.commit().unwrap();
+    db.checkpoint().unwrap();
+}
+
+#[test]
+fn crash_recovery_undoes_uncommitted() {
+    let dir = std::env::temp_dir()
+        .join("sbdms-sql-tests")
+        .join(format!("recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        db.set_durability(Durability::Full);
+        seed(&db);
+        db.checkpoint().unwrap();
+        db.begin().unwrap();
+        db.execute("DELETE FROM users WHERE id = 1").unwrap();
+        db.execute("INSERT INTO users VALUES (99, 'phantom', 1)").unwrap();
+        // Simulate a crash: flush dirty pages (steal) and the WAL, but
+        // never commit.
+        db.storage().buffer.flush_all().unwrap();
+        db.storage().wal.sync().unwrap();
+        // Drop without commit = crash.
+    }
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(strs(&db, "SELECT name FROM users WHERE id = 1"), vec!["alice"]);
+    assert!(strs(&db, "SELECT name FROM users WHERE id = 99").is_empty());
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM users"), vec![4]);
+}
+
+#[test]
+fn reopen_preserves_committed_data() {
+    let dir = std::env::temp_dir()
+        .join("sbdms-sql-tests")
+        .join(format!("reopen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        seed(&db);
+        db.execute("CREATE INDEX users_id ON users (id)").unwrap();
+        db.checkpoint().unwrap();
+    }
+    let db = Database::open_with(&dir, 32, PolicyKind::Clock).unwrap();
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM users"), vec![4]);
+    assert_eq!(strs(&db, "SELECT name FROM users WHERE id = 2"), vec!["bob"]);
+    assert_eq!(
+        db.catalog().table_names(),
+        vec!["orders".to_string(), "users".to_string()]
+    );
+}
+
+#[test]
+fn drop_table_frees_name() {
+    let db = db("drop");
+    seed(&db);
+    db.execute("DROP TABLE orders").unwrap();
+    assert!(db.execute("SELECT * FROM orders").is_err());
+    db.execute("CREATE TABLE orders (x INT)").unwrap();
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM orders"), vec![0]);
+}
+
+#[test]
+fn select_without_from_and_errors() {
+    let db = db("misc");
+    let r = db.execute("SELECT 2 + 3 AS five, 'hi'").unwrap();
+    assert_eq!(r.rows[0], vec![Datum::Int(5), Datum::Str("hi".into())]);
+    assert!(db.execute("SELECT * FROM nothing").is_err());
+    assert!(db.execute("INSERT INTO nothing VALUES (1)").is_err());
+    assert!(db.execute("total nonsense").is_err());
+    assert!(db.execute("SELECT 1 / 0").is_err());
+}
+
+#[test]
+fn larger_workload_spans_pages() {
+    let db = db("volume");
+    db.execute("CREATE TABLE items (id INT NOT NULL, payload TEXT NOT NULL)")
+        .unwrap();
+    for batch in 0..20 {
+        let values: Vec<String> = (0..50)
+            .map(|i| {
+                let id = batch * 50 + i;
+                format!("({id}, 'payload-{id}-{}')", "x".repeat(60))
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO items VALUES {}", values.join(",")))
+            .unwrap();
+    }
+    assert_eq!(ints(&db, "SELECT COUNT(*) FROM items"), vec![1000]);
+    assert_eq!(
+        ints(&db, "SELECT id FROM items WHERE id % 250 = 0 ORDER BY id"),
+        vec![0, 250, 500, 750]
+    );
+    db.execute("CREATE INDEX items_id ON items (id)").unwrap();
+    assert_eq!(ints(&db, "SELECT id FROM items WHERE id = 777"), vec![777]);
+}
+
+#[test]
+fn nested_views_expand_transitively() {
+    let db = db("nested-views");
+    seed(&db);
+    db.execute("CREATE VIEW adults AS SELECT id, name, age FROM users WHERE age >= 30")
+        .unwrap();
+    db.execute("CREATE VIEW adult_names AS SELECT name FROM adults ORDER BY name")
+        .unwrap();
+    assert_eq!(strs(&db, "SELECT * FROM adult_names"), vec!["alice", "carol"]);
+    // A view of a view of a view.
+    db.execute("CREATE VIEW first_adult AS SELECT name FROM adult_names LIMIT 1")
+        .unwrap();
+    assert_eq!(strs(&db, "SELECT * FROM first_adult"), vec!["alice"]);
+}
+
+#[test]
+fn dropping_base_table_breaks_views_gracefully() {
+    let db = db("view-dangles");
+    seed(&db);
+    db.execute("CREATE VIEW v AS SELECT id FROM users").unwrap();
+    db.execute("DROP TABLE users").unwrap();
+    // The view survives in the catalog but queries error cleanly.
+    assert!(db.execute("SELECT * FROM v").is_err());
+    db.execute("DROP VIEW v").unwrap();
+}
+
+#[test]
+fn qualified_star_semantics_and_multi_join() {
+    let db = db("multi-join");
+    seed(&db);
+    db.execute("CREATE TABLE regions (uid INT NOT NULL, region TEXT NOT NULL)")
+        .unwrap();
+    db.execute("INSERT INTO regions VALUES (1, 'eu'), (2, 'us'), (3, 'eu')")
+        .unwrap();
+    // Three-way join: users -> orders -> regions.
+    let r = db
+        .execute(
+            "SELECT region, SUM(amount) AS total \
+             FROM users u JOIN orders o ON u.id = o.user_id \
+             JOIN regions r ON u.id = r.uid \
+             GROUP BY region ORDER BY region",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Datum::Str("eu".into()));
+    assert_eq!(r.rows[0][1], Datum::Int(626)); // alice 125 + carol 501
+    assert_eq!(r.rows[1][1], Datum::Int(20)); // bob
+}
+
+#[test]
+fn update_with_expression_over_multiple_columns() {
+    let db = db("update-expr");
+    seed(&db);
+    db.execute("UPDATE orders SET amount = amount * 2 + oid WHERE user_id = 1")
+        .unwrap();
+    assert_eq!(
+        ints(&db, "SELECT amount FROM orders WHERE user_id = 1 ORDER BY oid"),
+        vec![200, 251] // 50*2+100, 75*2+101
+    );
+}
+
+#[test]
+fn boolean_columns_and_literals() {
+    let db = db("bools");
+    db.execute("CREATE TABLE flags (name TEXT NOT NULL, active BOOL NOT NULL)")
+        .unwrap();
+    db.execute("INSERT INTO flags VALUES ('a', true), ('b', false), ('c', true)")
+        .unwrap();
+    assert_eq!(
+        strs(&db, "SELECT name FROM flags WHERE active = true ORDER BY name"),
+        vec!["a", "c"]
+    );
+    assert_eq!(
+        strs(&db, "SELECT name FROM flags WHERE NOT active"),
+        vec!["b"]
+    );
+}
+
+#[test]
+fn text_ordering_and_like_free_filters() {
+    let db = db("text-order");
+    seed(&db);
+    // ORDER BY text column descending.
+    assert_eq!(
+        strs(&db, "SELECT name FROM users ORDER BY name DESC LIMIT 2"),
+        vec!["dave", "carol"]
+    );
+    // String comparison predicates.
+    assert_eq!(
+        strs(&db, "SELECT name FROM users WHERE name >= 'c' ORDER BY name"),
+        vec!["carol", "dave"]
+    );
+}
+
+#[test]
+fn large_text_values_roundtrip_via_overflow() {
+    let db = db("big-text");
+    db.execute("CREATE TABLE blobs (id INT NOT NULL, body TEXT NOT NULL)")
+        .unwrap();
+    let big = "z".repeat(12_000);
+    db.execute(&format!("INSERT INTO blobs VALUES (1, '{big}')")).unwrap();
+    let r = db.execute("SELECT body FROM blobs WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Datum::Str(big));
+    // Update shrinks it back inline.
+    db.execute("UPDATE blobs SET body = 'small' WHERE id = 1").unwrap();
+    assert_eq!(strs(&db, "SELECT body FROM blobs"), vec!["small"]);
+}
+
+#[test]
+fn order_by_expression_via_alias() {
+    let db = db("alias-order");
+    seed(&db);
+    let r = db
+        .execute("SELECT oid, amount * 2 AS doubled FROM orders ORDER BY doubled DESC LIMIT 1")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Datum::Int(103));
+    assert_eq!(r.rows[0][1], Datum::Int(1000));
+}
+
+#[test]
+fn like_in_between_end_to_end() {
+    let db = db("like-in-between");
+    seed(&db);
+    assert_eq!(
+        strs(&db, "SELECT name FROM users WHERE name LIKE '%a%' ORDER BY name"),
+        vec!["alice", "carol", "dave"]
+    );
+    assert_eq!(
+        strs(&db, "SELECT name FROM users WHERE name LIKE '_ob'"),
+        vec!["bob"]
+    );
+    assert_eq!(
+        ints(&db, "SELECT oid FROM orders WHERE amount BETWEEN 20 AND 75 ORDER BY oid"),
+        vec![100, 101, 102]
+    );
+    assert_eq!(
+        ints(&db, "SELECT id FROM users WHERE id IN (1, 3, 99) ORDER BY id"),
+        vec![1, 3]
+    );
+    assert_eq!(
+        ints(&db, "SELECT id FROM users WHERE id NOT IN (1, 3) ORDER BY id"),
+        vec![2, 4]
+    );
+    assert_eq!(
+        strs(&db, "SELECT name FROM users WHERE name NOT LIKE '%a%' ORDER BY name"),
+        vec!["bob"]
+    );
+    assert_eq!(
+        ints(&db, "SELECT oid FROM orders WHERE amount NOT BETWEEN 20 AND 500"),
+        vec![104]
+    );
+}
+
+#[test]
+fn join_algorithms_agree_through_sql() {
+    use sbdms_access::exec::join::JoinAlgorithm;
+    let db = db("join-algos");
+    seed(&db);
+    let sql = "SELECT name, amount FROM users u JOIN orders o ON u.id = o.user_id \
+               ORDER BY amount, name";
+    let reference = db.execute(sql).unwrap().rows;
+    assert_eq!(reference.len(), 5);
+    for algo in [JoinAlgorithm::Merge, JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash] {
+        db.set_join_algorithm(algo);
+        assert_eq!(db.execute(sql).unwrap().rows, reference, "{algo:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The §4 custom monitoring service.
+//!
+//! Paper §4: "developers may require additional information to monitor
+//! the state of a storage service (e.g., work load, buffer size, page
+//! size, and data fragmentation). Here, developers invoke existing
+//! coordinator services, or create customised monitoring services that
+//! read the properties from the storage service and retrieve data."
+//!
+//! `StorageMonitorService` is exactly that customised service: it samples
+//! a buffer pool and publishes the four quantities the paper names, both
+//! as a response payload and into the architecture property store.
+
+use std::sync::Arc;
+
+use sbdms_kernel::contract::{Contract, Quality};
+use sbdms_kernel::error::Result;
+use sbdms_kernel::interface::{Interface, Operation};
+use sbdms_kernel::property::PropertyStore;
+use sbdms_kernel::service::{unknown_op, Descriptor, Service, ServiceRef};
+use sbdms_kernel::value::{TypeTag, Value};
+use sbdms_storage::buffer::BufferPool;
+use sbdms_storage::page::PAGE_SIZE;
+
+/// Interface name of the storage monitor.
+pub const MONITOR_INTERFACE: &str = "sbdms.extension.StorageMonitor";
+
+/// The canonical monitor interface.
+pub fn monitor_interface() -> Interface {
+    Interface::new(
+        MONITOR_INTERFACE,
+        1,
+        vec![
+            Operation::new("sample", vec![], TypeTag::Map),
+        ],
+    )
+}
+
+/// A user-created monitoring service over one buffer pool.
+pub struct StorageMonitorService {
+    descriptor: Descriptor,
+    pool: Arc<BufferPool>,
+    properties: PropertyStore,
+    prefix: String,
+}
+
+impl StorageMonitorService {
+    /// Create a monitor publishing under `storage.<prefix>.*` properties.
+    pub fn new(
+        name: &str,
+        pool: Arc<BufferPool>,
+        properties: PropertyStore,
+        prefix: &str,
+    ) -> StorageMonitorService {
+        let contract = Contract::for_interface(monitor_interface())
+            .describe(
+                "samples work load, buffer size, page size and fragmentation",
+                "extension",
+            )
+            .capability("task:monitoring")
+            .depends_on(sbdms_storage::services::BUFFER_INTERFACE)
+            .quality(Quality {
+                expected_latency_ns: 1_000,
+                footprint_bytes: 4 * 1024,
+                ..Quality::default()
+            });
+        StorageMonitorService {
+            descriptor: Descriptor::new(name, contract),
+            pool,
+            properties,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> ServiceRef {
+        Arc::new(self)
+    }
+
+    /// Take one sample: returns the paper's four quantities and mirrors
+    /// them into the property store.
+    pub fn sample(&self) -> Value {
+        let stats = self.pool.stats();
+        let workload = stats.hits + stats.misses;
+        let p = &self.prefix;
+        self.properties
+            .set(&format!("storage.{p}.workload"), workload as i64);
+        self.properties
+            .set(&format!("storage.{p}.buffer_size"), stats.capacity as i64);
+        self.properties
+            .set(&format!("storage.{p}.page_size"), PAGE_SIZE as i64);
+        self.properties
+            .set(&format!("storage.{p}.fragmentation"), stats.mean_fragmentation);
+        Value::map()
+            .with("workload", workload)
+            .with("buffer_size", stats.capacity)
+            .with("page_size", PAGE_SIZE)
+            .with("fragmentation", stats.mean_fragmentation)
+            .with("hit_ratio", stats.hit_ratio())
+            .with("dirty", stats.dirty)
+            .with("resident", stats.resident)
+    }
+}
+
+impl Service for StorageMonitorService {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, _input: Value) -> Result<Value> {
+        match op {
+            "sample" => Ok(self.sample()),
+            other => Err(unknown_op(&self.descriptor, other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbdms_storage::replacement::PolicyKind;
+    use sbdms_storage::services::StorageEngine;
+
+    fn pool(name: &str) -> Arc<BufferPool> {
+        let dir = std::env::temp_dir()
+            .join("sbdms-monitor-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        StorageEngine::open(&dir, 8, PolicyKind::Lru).unwrap().buffer
+    }
+
+    #[test]
+    fn sample_reports_paper_quantities() {
+        let pool = pool("quantities");
+        let props = PropertyStore::new();
+        let monitor = StorageMonitorService::new("mon", pool.clone(), props.clone(), "main");
+
+        // Generate some activity with fragmentation.
+        let page = pool.new_page().unwrap();
+        let slot = pool
+            .try_with_page_mut(page, |p| {
+                p.insert(&[0u8; 500])?;
+                p.insert(&[1u8; 500])
+            })
+            .unwrap();
+        pool.try_with_page_mut(page, |p| p.delete(slot)).unwrap();
+
+        let sample = monitor.sample();
+        assert!(sample.get("workload").unwrap().as_int().unwrap() > 0);
+        assert_eq!(sample.get("buffer_size").unwrap().as_int().unwrap(), 8);
+        assert_eq!(
+            sample.get("page_size").unwrap().as_int().unwrap(),
+            PAGE_SIZE as i64
+        );
+        assert!(sample.get("fragmentation").unwrap().as_float().unwrap() > 0.0);
+
+        // Mirrored into architecture properties for policy gating.
+        assert_eq!(props.get_int("storage.main.buffer_size"), Some(8));
+        assert!(props.get("storage.main.fragmentation").is_some());
+        assert_eq!(
+            props.get_int("storage.main.page_size"),
+            Some(PAGE_SIZE as i64)
+        );
+    }
+
+    #[test]
+    fn deployable_on_bus_like_any_extension() {
+        let bus = sbdms_kernel::bus::ServiceBus::new();
+        let monitor = StorageMonitorService::new(
+            "mon",
+            pool("bus"),
+            bus.properties().clone(),
+            "embedded",
+        );
+        let id = bus.deploy(monitor.into_ref()).unwrap();
+        let sample = bus.invoke(id, "sample", Value::map()).unwrap();
+        assert!(sample.get("page_size").is_some());
+        assert!(bus.invoke(id, "explode", Value::map()).is_err());
+        // Discoverable by capability, like the paper's developer would.
+        assert_eq!(
+            bus.registry().find_by_capability("task:monitoring").len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,452 @@
+//! Streaming-data extension: keyed event streams with windowed
+//! aggregation.
+//!
+//! Paper Fig. 2 lists "streaming" among the extension services. Events
+//! are `(timestamp, key, value)` triples kept in a bounded in-memory
+//! buffer (streams are transient by nature); queries aggregate per key
+//! over tumbling event-time windows.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sbdms_kernel::contract::{Contract, Quality};
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_kernel::interface::{Interface, Operation, Param};
+use sbdms_kernel::service::{unknown_op, Descriptor, Service, ServiceRef};
+use sbdms_kernel::value::{TypeTag, Value};
+
+fn err(msg: impl Into<String>) -> ServiceError {
+    ServiceError::InvalidInput(format!("stream: {}", msg.into()))
+}
+
+/// One stream event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event time.
+    pub timestamp: i64,
+    /// Partition key.
+    pub key: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Windowed aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAgg {
+    /// Count of events.
+    Count,
+    /// Sum of values.
+    Sum,
+    /// Mean of values.
+    Avg,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+impl WindowAgg {
+    /// Parse a function name.
+    pub fn parse(s: &str) -> Option<WindowAgg> {
+        match s.to_ascii_lowercase().as_str() {
+            "count" => Some(WindowAgg::Count),
+            "sum" => Some(WindowAgg::Sum),
+            "avg" => Some(WindowAgg::Avg),
+            "min" => Some(WindowAgg::Min),
+            "max" => Some(WindowAgg::Max),
+            _ => None,
+        }
+    }
+}
+
+/// One row of a windowed aggregation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// Window start (inclusive; windows are `[start, start + width)`).
+    pub window_start: i64,
+    /// Partition key.
+    pub key: String,
+    /// Aggregate value.
+    pub value: f64,
+}
+
+/// A bounded, in-memory event stream.
+pub struct Stream {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Stream {
+    fn new(capacity: usize) -> Stream {
+        Stream {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+}
+
+/// Manages named streams and executes window queries.
+#[derive(Clone, Default)]
+pub struct StreamEngine {
+    streams: Arc<Mutex<HashMap<String, Stream>>>,
+}
+
+impl StreamEngine {
+    /// New empty engine.
+    pub fn new() -> StreamEngine {
+        StreamEngine::default()
+    }
+
+    /// Create a stream with a retention capacity (events).
+    pub fn create(&self, name: &str, capacity: usize) -> Result<()> {
+        if capacity == 0 {
+            return Err(err("capacity must be positive"));
+        }
+        let mut streams = self.streams.lock();
+        if streams.contains_key(name) {
+            return Err(err(format!("stream `{name}` already exists")));
+        }
+        streams.insert(name.to_string(), Stream::new(capacity));
+        Ok(())
+    }
+
+    /// Append one event.
+    pub fn push(&self, name: &str, event: Event) -> Result<()> {
+        let mut streams = self.streams.lock();
+        let stream = streams
+            .get_mut(name)
+            .ok_or_else(|| err(format!("no stream `{name}`")))?;
+        stream.push(event);
+        Ok(())
+    }
+
+    /// Retained event count and dropped-event count.
+    pub fn stats(&self, name: &str) -> Result<(usize, u64)> {
+        let streams = self.streams.lock();
+        let s = streams
+            .get(name)
+            .ok_or_else(|| err(format!("no stream `{name}`")))?;
+        Ok((s.events.len(), s.dropped))
+    }
+
+    /// Tumbling-window aggregation: group events into `[k*width,
+    /// (k+1)*width)` by key, apply `agg`, and return rows ordered by
+    /// window then key.
+    pub fn window_agg(&self, name: &str, width: i64, agg: WindowAgg) -> Result<Vec<WindowRow>> {
+        if width <= 0 {
+            return Err(err("window width must be positive"));
+        }
+        let streams = self.streams.lock();
+        let stream = streams
+            .get(name)
+            .ok_or_else(|| err(format!("no stream `{name}`")))?;
+
+        let mut groups: BTreeMap<(i64, String), Vec<f64>> = BTreeMap::new();
+        for e in &stream.events {
+            let start = e.timestamp.div_euclid(width) * width;
+            groups
+                .entry((start, e.key.clone()))
+                .or_default()
+                .push(e.value);
+        }
+        Ok(groups
+            .into_iter()
+            .map(|((window_start, key), values)| {
+                let value = match agg {
+                    WindowAgg::Count => values.len() as f64,
+                    WindowAgg::Sum => values.iter().sum(),
+                    WindowAgg::Avg => values.iter().sum::<f64>() / values.len() as f64,
+                    WindowAgg::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+                    WindowAgg::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                };
+                WindowRow {
+                    window_start,
+                    key,
+                    value,
+                }
+            })
+            .collect())
+    }
+
+    /// Drop a stream.
+    pub fn drop_stream(&self, name: &str) -> Result<()> {
+        self.streams
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| err(format!("no stream `{name}`")))
+    }
+}
+
+/// Interface name of the stream service.
+pub const STREAM_INTERFACE: &str = "sbdms.extension.Stream";
+
+/// The canonical stream interface.
+pub fn stream_interface() -> Interface {
+    Interface::new(
+        STREAM_INTERFACE,
+        1,
+        vec![
+            Operation::new(
+                "create",
+                vec![
+                    Param::required("name", TypeTag::Str),
+                    Param::optional("capacity", TypeTag::Int),
+                ],
+                TypeTag::Null,
+            ),
+            Operation::new(
+                "push",
+                vec![
+                    Param::required("name", TypeTag::Str),
+                    Param::required("timestamp", TypeTag::Int),
+                    Param::required("key", TypeTag::Str),
+                    Param::required("value", TypeTag::Float),
+                ],
+                TypeTag::Null,
+            ),
+            Operation::new(
+                "window_agg",
+                vec![
+                    Param::required("name", TypeTag::Str),
+                    Param::required("width", TypeTag::Int),
+                    Param::required("agg", TypeTag::Str),
+                ],
+                TypeTag::List,
+            ),
+            Operation::new(
+                "stats",
+                vec![Param::required("name", TypeTag::Str)],
+                TypeTag::Map,
+            ),
+            Operation::new(
+                "drop",
+                vec![Param::required("name", TypeTag::Str)],
+                TypeTag::Null,
+            ),
+        ],
+    )
+}
+
+/// The stream engine published as a service.
+pub struct StreamService {
+    descriptor: Descriptor,
+    engine: StreamEngine,
+}
+
+impl StreamService {
+    /// Wrap an engine.
+    pub fn new(name: &str, engine: StreamEngine) -> StreamService {
+        let contract = Contract::for_interface(stream_interface())
+            .describe("keyed event streams with tumbling-window aggregation", "extension")
+            .capability("task:streaming")
+            .quality(Quality {
+                expected_latency_ns: 2_000,
+                footprint_bytes: 512 * 1024,
+                ..Quality::default()
+            });
+        StreamService {
+            descriptor: Descriptor::new(name, contract),
+            engine,
+        }
+    }
+
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> ServiceRef {
+        Arc::new(self)
+    }
+}
+
+impl Service for StreamService {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, input: Value) -> Result<Value> {
+        match op {
+            "create" => {
+                let capacity = input
+                    .get("capacity")
+                    .map(|v| v.as_u64())
+                    .transpose()?
+                    .unwrap_or(100_000) as usize;
+                self.engine.create(input.require("name")?.as_str()?, capacity)?;
+                Ok(Value::Null)
+            }
+            "push" => {
+                self.engine.push(
+                    input.require("name")?.as_str()?,
+                    Event {
+                        timestamp: input.require("timestamp")?.as_int()?,
+                        key: input.require("key")?.as_str()?.to_string(),
+                        value: input.require("value")?.as_float()?,
+                    },
+                )?;
+                Ok(Value::Null)
+            }
+            "window_agg" => {
+                let agg = WindowAgg::parse(input.require("agg")?.as_str()?)
+                    .ok_or_else(|| err("unknown aggregate"))?;
+                let rows = self.engine.window_agg(
+                    input.require("name")?.as_str()?,
+                    input.require("width")?.as_int()?,
+                    agg,
+                )?;
+                Ok(Value::List(
+                    rows.into_iter()
+                        .map(|r| {
+                            Value::map()
+                                .with("window_start", r.window_start)
+                                .with("key", r.key)
+                                .with("value", r.value)
+                        })
+                        .collect(),
+                ))
+            }
+            "stats" => {
+                let (retained, dropped) = self.engine.stats(input.require("name")?.as_str()?)?;
+                Ok(Value::map().with("retained", retained).with("dropped", dropped))
+            }
+            "drop" => {
+                self.engine.drop_stream(input.require("name")?.as_str()?)?;
+                Ok(Value::Null)
+            }
+            other => Err(unknown_op(&self.descriptor, other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_events() -> StreamEngine {
+        let e = StreamEngine::new();
+        e.create("sensors", 1000).unwrap();
+        for (ts, key, v) in [
+            (0, "a", 1.0),
+            (5, "a", 3.0),
+            (7, "b", 10.0),
+            (12, "a", 5.0),
+            (19, "b", 2.0),
+            (23, "a", 7.0),
+        ] {
+            e.push(
+                "sensors",
+                Event {
+                    timestamp: ts,
+                    key: key.into(),
+                    value: v,
+                },
+            )
+            .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn tumbling_window_sum() {
+        let e = engine_with_events();
+        let rows = e.window_agg("sensors", 10, WindowAgg::Sum).unwrap();
+        // windows: [0,10): a=4, b=10; [10,20): a=5, b=2; [20,30): a=7
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], WindowRow { window_start: 0, key: "a".into(), value: 4.0 });
+        assert_eq!(rows[1], WindowRow { window_start: 0, key: "b".into(), value: 10.0 });
+        assert_eq!(rows[4], WindowRow { window_start: 20, key: "a".into(), value: 7.0 });
+    }
+
+    #[test]
+    fn all_aggregates() {
+        let e = engine_with_events();
+        let count = e.window_agg("sensors", 100, WindowAgg::Count).unwrap();
+        assert_eq!(count[0].value, 4.0); // key a
+        assert_eq!(count[1].value, 2.0); // key b
+        let avg = e.window_agg("sensors", 100, WindowAgg::Avg).unwrap();
+        assert_eq!(avg[0].value, 4.0);
+        let min = e.window_agg("sensors", 100, WindowAgg::Min).unwrap();
+        assert_eq!(min[0].value, 1.0);
+        let max = e.window_agg("sensors", 100, WindowAgg::Max).unwrap();
+        assert_eq!(max[0].value, 7.0);
+    }
+
+    #[test]
+    fn negative_timestamps_window_correctly() {
+        let e = StreamEngine::new();
+        e.create("s", 10).unwrap();
+        e.push("s", Event { timestamp: -5, key: "k".into(), value: 1.0 }).unwrap();
+        let rows = e.window_agg("s", 10, WindowAgg::Count).unwrap();
+        assert_eq!(rows[0].window_start, -10, "euclidean division");
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let e = StreamEngine::new();
+        e.create("tiny", 3).unwrap();
+        for i in 0..5 {
+            e.push("tiny", Event { timestamp: i, key: "k".into(), value: i as f64 }).unwrap();
+        }
+        let (retained, dropped) = e.stats("tiny").unwrap();
+        assert_eq!((retained, dropped), (3, 2));
+        let rows = e.window_agg("tiny", 100, WindowAgg::Min).unwrap();
+        assert_eq!(rows[0].value, 2.0, "oldest two dropped");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let e = StreamEngine::new();
+        assert!(e.create("s", 0).is_err());
+        e.create("s", 10).unwrap();
+        assert!(e.create("s", 10).is_err());
+        assert!(e.push("ghost", Event { timestamp: 0, key: "k".into(), value: 0.0 }).is_err());
+        assert!(e.window_agg("s", 0, WindowAgg::Sum).is_err());
+        assert!(e.window_agg("ghost", 10, WindowAgg::Sum).is_err());
+        e.drop_stream("s").unwrap();
+        assert!(e.drop_stream("s").is_err());
+    }
+
+    #[test]
+    fn service_over_bus() {
+        let bus = sbdms_kernel::bus::ServiceBus::new();
+        let id = bus
+            .deploy(StreamService::new("stream", StreamEngine::new()).into_ref())
+            .unwrap();
+        bus.invoke(id, "create", Value::map().with("name", "s")).unwrap();
+        for i in 0..10i64 {
+            bus.invoke(
+                id,
+                "push",
+                Value::map()
+                    .with("name", "s")
+                    .with("timestamp", i)
+                    .with("key", "k")
+                    .with("value", i as f64),
+            )
+            .unwrap();
+        }
+        let rows = bus
+            .invoke(
+                id,
+                "window_agg",
+                Value::map().with("name", "s").with("width", 5i64).with("agg", "sum"),
+            )
+            .unwrap();
+        let rows = rows.as_list().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("value").unwrap().as_float().unwrap(), 10.0); // 0+1+2+3+4
+        assert_eq!(rows[1].get("value").unwrap().as_float().unwrap(), 35.0); // 5..9
+        let stats = bus.invoke(id, "stats", Value::map().with("name", "s")).unwrap();
+        assert_eq!(stats.get("retained").unwrap().as_int().unwrap(), 10);
+    }
+}

@@ -1,0 +1,254 @@
+//! Adaptor services: interface mediation.
+//!
+//! Paper §3.1: "adaptor services mediate the interaction between services
+//! that have different interfaces and protocols. A predefined set of
+//! adapters can be provided ... while specialized adaptors can be
+//! automatically generated or manually created by the developer".
+//!
+//! An adaptor *is itself a service*: it exposes the interface callers
+//! expect and forwards to a provider with a different interface, applying
+//! a transformational schema from the repository.
+
+use std::sync::Arc;
+
+use crate::contract::Contract;
+use crate::error::{Result, ServiceError};
+use crate::interface::Interface;
+use crate::repository::{Repository, TransformationalSchema};
+use crate::service::{Descriptor, Health, Service, ServiceRef};
+use crate::value::Value;
+
+/// A generated or hand-written adaptor wrapping a provider service.
+pub struct AdaptorService {
+    descriptor: Descriptor,
+    schema: TransformationalSchema,
+    provider: ServiceRef,
+}
+
+impl AdaptorService {
+    /// Create an adaptor that exposes `exposed` (the interface callers
+    /// expect) and forwards to `provider` using `schema`.
+    ///
+    /// The adaptor inherits the provider's quality but degrades the
+    /// advertised latency slightly (mediation is not free) so selection
+    /// prefers direct providers when both exist.
+    pub fn new(
+        exposed: Interface,
+        schema: TransformationalSchema,
+        provider: ServiceRef,
+    ) -> AdaptorService {
+        let provider_desc = provider.descriptor();
+        let mut quality = provider_desc.contract.quality.clone();
+        quality.expected_latency_ns = quality.expected_latency_ns.saturating_add(200);
+        let name = format!("adaptor:{}->{}", exposed.name, provider_desc.name);
+        let contract = Contract::for_interface(exposed)
+            .describe(
+                &format!("adaptor mediating to {}", provider_desc.name),
+                &provider_desc.contract.description.layer.clone(),
+            )
+            .capability("role:adaptor")
+            .quality(quality);
+        AdaptorService {
+            descriptor: Descriptor::new(&name, contract),
+            schema,
+            provider,
+        }
+    }
+
+    /// Automatically generate an adaptor for `expected` backed by
+    /// `provider`, looking up a transformational schema in the repository;
+    /// falls back to an identity schema when the provider is structurally
+    /// compatible (paper §3.6: recompose directly if interfaces are
+    /// compatible, otherwise create adaptors).
+    pub fn generate(
+        expected: &Interface,
+        provider: ServiceRef,
+        repository: &Repository,
+    ) -> Result<AdaptorService> {
+        let provided = &provider.descriptor().contract.interface;
+        if let Some(schema) = repository.schema(&expected.name, &provided.name) {
+            return Ok(AdaptorService::new(expected.clone(), schema, provider));
+        }
+        if expected.structurally_satisfied_by(provided) {
+            let schema = TransformationalSchema::new(&expected.name, &provided.name);
+            return Ok(AdaptorService::new(expected.clone(), schema, provider));
+        }
+        Err(ServiceError::IncompatibleInterface {
+            expected: expected.name.clone(),
+            found: provided.name.clone(),
+        })
+    }
+
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> ServiceRef {
+        Arc::new(self)
+    }
+
+    /// The provider this adaptor forwards to.
+    pub fn provider(&self) -> &ServiceRef {
+        &self.provider
+    }
+}
+
+impl Service for AdaptorService {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, input: Value) -> Result<Value> {
+        match self.schema.mapping_for(op) {
+            Some(mapping) => {
+                let mapped_in = mapping.map_request(input)?;
+                let out = self.provider.invoke(&mapping.to_op, mapped_in)?;
+                mapping.map_response(out)
+            }
+            // No explicit mapping: forward unchanged (identity schema).
+            None => self.provider.invoke(op, input),
+        }
+    }
+
+    fn health(&self) -> Health {
+        // An adaptor is only as healthy as its provider.
+        self.provider.health()
+    }
+
+    fn stop(&self) -> Result<()> {
+        // Stopping an adaptor must not stop the shared provider.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::{Operation, Param};
+    use crate::repository::OperationMapping;
+    use crate::service::FnService;
+    use crate::value::TypeTag;
+
+    /// The interface our callers are written against.
+    fn page_iface() -> Interface {
+        Interface::new(
+            "sbdms.Page",
+            1,
+            vec![Operation::new(
+                "read_page",
+                vec![Param::required("page_id", TypeTag::Int)],
+                TypeTag::Bytes,
+            )],
+        )
+    }
+
+    /// A vendor service with a different shape: `get(pid) -> {data}`.
+    fn vendor_service() -> ServiceRef {
+        let iface = Interface::new(
+            "vendor.PageMgr",
+            1,
+            vec![Operation::new(
+                "get",
+                vec![Param::required("pid", TypeTag::Int)],
+                TypeTag::Map,
+            )],
+        );
+        FnService::new("vendor", Contract::for_interface(iface), |op, input| {
+            assert_eq!(op, "get");
+            let pid = input.require("pid")?.as_int()?;
+            Ok(Value::map().with("data", Value::Bytes(vec![pid as u8; 4])))
+        })
+        .into_ref()
+    }
+
+    fn page_to_vendor_schema() -> TransformationalSchema {
+        TransformationalSchema::new("sbdms.Page", "vendor.PageMgr").with_op(
+            OperationMapping::identity("read_page")
+                .to_op("get")
+                .rename("page_id", "pid")
+                .extract("data"),
+        )
+    }
+
+    #[test]
+    fn adaptor_mediates_renamed_interface() {
+        let adaptor = AdaptorService::new(page_iface(), page_to_vendor_schema(), vendor_service());
+        let out = adaptor
+            .invoke("read_page", Value::map().with("page_id", 7i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![7, 7, 7, 7]));
+        assert_eq!(adaptor.descriptor().interface_name(), "sbdms.Page");
+    }
+
+    #[test]
+    fn generate_uses_repository_schema() {
+        let repo = Repository::new();
+        repo.store_schema(page_to_vendor_schema());
+        let adaptor = AdaptorService::generate(&page_iface(), vendor_service(), &repo).unwrap();
+        let out = adaptor
+            .invoke("read_page", Value::map().with("page_id", 2i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![2; 4]));
+    }
+
+    #[test]
+    fn generate_identity_for_structural_match() {
+        let repo = Repository::new();
+        // Provider has a different interface *name* but identical shape.
+        let iface = Interface::new("clone.Page", 1, page_iface().operations);
+        let provider = FnService::new("clone", Contract::for_interface(iface), |_, input| {
+            let pid = input.require("page_id")?.as_int()?;
+            Ok(Value::Bytes(vec![pid as u8]))
+        })
+        .into_ref();
+        let adaptor = AdaptorService::generate(&page_iface(), provider, &repo).unwrap();
+        let out = adaptor
+            .invoke("read_page", Value::map().with("page_id", 9i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![9]));
+    }
+
+    #[test]
+    fn generate_fails_without_schema_or_compat() {
+        let repo = Repository::new();
+        let incompatible = FnService::new(
+            "weird",
+            Contract::for_interface(Interface::new(
+                "weird.Thing",
+                1,
+                vec![Operation::opaque("zap")],
+            )),
+            |_, i| Ok(i),
+        )
+        .into_ref();
+        let err = AdaptorService::generate(&page_iface(), incompatible, &repo)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::IncompatibleInterface { .. }));
+    }
+
+    #[test]
+    fn adaptor_advertises_mediation_penalty() {
+        let adaptor = AdaptorService::new(page_iface(), page_to_vendor_schema(), vendor_service());
+        let provider_latency = vendor_service()
+            .descriptor()
+            .contract
+            .quality
+            .expected_latency_ns;
+        assert!(
+            adaptor.descriptor().contract.quality.expected_latency_ns > provider_latency,
+            "adaptors must rank behind direct providers"
+        );
+        assert!(adaptor
+            .descriptor()
+            .contract
+            .description
+            .capabilities
+            .contains(&"role:adaptor".to_string()));
+    }
+
+    #[test]
+    fn provider_errors_propagate() {
+        let adaptor = AdaptorService::new(page_iface(), page_to_vendor_schema(), vendor_service());
+        // Missing page_id -> rename produces no pid -> provider errors.
+        let err = adaptor.invoke("read_page", Value::map()).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidInput(_)));
+    }
+}

@@ -1,0 +1,325 @@
+//! Bindings: how a call travels from caller to service.
+//!
+//! Paper §3.6 (SCA): "a binding specifies exactly how communication should
+//! be done between the parties involved ... a binding separates the
+//! communication from the functionality". The paper lists SOAP, RMI,
+//! CORBA, COM, web services; per DESIGN.md §4 we substitute a
+//! *simulated network binding* that exercises the same code path —
+//! serialisation to an open wire format plus a configurable latency /
+//! bandwidth model — without a real network stack, so experiments can
+//! sweep protocol cost as a parameter.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::error::{Result, ServiceError};
+use crate::service::ServiceRef;
+use crate::value::Value;
+
+/// A communication mechanism between caller and service.
+pub trait Binding: Send + Sync {
+    /// Deliver one call through this binding.
+    fn call(&self, service: &ServiceRef, op: &str, input: Value) -> Result<Value>;
+
+    /// Human-readable protocol name for contracts and reports.
+    fn protocol(&self) -> &str;
+}
+
+/// Shared handle to a binding.
+pub type BindingRef = Arc<dyn Binding>;
+
+/// Direct in-process invocation: the cheapest binding, used for services
+/// co-located in one composite (SCA local wiring).
+#[derive(Default)]
+pub struct InProcessBinding;
+
+impl Binding for InProcessBinding {
+    fn call(&self, service: &ServiceRef, op: &str, input: Value) -> Result<Value> {
+        service.invoke(op, input)
+    }
+
+    fn protocol(&self) -> &str {
+        "in-process"
+    }
+}
+
+type WorkItem = (ServiceRef, String, Value, Sender<Result<Value>>);
+
+/// Cross-thread channel binding: each call is handed to a dedicated worker
+/// thread and the reply returned over a rendezvous channel. Models RMI-like
+/// same-host IPC where caller and callee do not share a stack.
+pub struct ChannelBinding {
+    tx: Sender<WorkItem>,
+}
+
+impl ChannelBinding {
+    /// Spawn the worker and return the binding.
+    pub fn new() -> ChannelBinding {
+        let (tx, rx) = unbounded::<WorkItem>();
+        thread::Builder::new()
+            .name("sbdms-channel-binding".into())
+            .spawn(move || {
+                while let Ok((svc, op, input, reply)) = rx.recv() {
+                    let out = svc.invoke(&op, input);
+                    // Caller may have given up; dropping the reply is fine.
+                    let _ = reply.send(out);
+                }
+            })
+            .expect("spawn channel binding worker");
+        ChannelBinding { tx }
+    }
+}
+
+impl Default for ChannelBinding {
+    fn default() -> Self {
+        ChannelBinding::new()
+    }
+}
+
+impl Binding for ChannelBinding {
+    fn call(&self, service: &ServiceRef, op: &str, input: Value) -> Result<Value> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send((service.clone(), op.to_string(), input, reply_tx))
+            .map_err(|_| ServiceError::Internal("channel binding worker gone".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| ServiceError::Internal("channel binding reply lost".into()))?
+    }
+
+    fn protocol(&self) -> &str {
+        "channel"
+    }
+}
+
+/// Latency/bandwidth model for the simulated network binding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed round-trip time added to every call, nanoseconds.
+    pub rtt_ns: u64,
+    /// Per-byte transfer cost (request + response), nanoseconds.
+    pub ns_per_byte: u64,
+}
+
+impl LatencyModel {
+    /// A fast LAN-like link (~20µs RTT, 10 GbE-ish transfer cost).
+    pub fn lan() -> LatencyModel {
+        LatencyModel {
+            rtt_ns: 20_000,
+            ns_per_byte: 1,
+        }
+    }
+
+    /// A WAN-like link (~2ms RTT).
+    pub fn wan() -> LatencyModel {
+        LatencyModel {
+            rtt_ns: 2_000_000,
+            ns_per_byte: 10,
+        }
+    }
+
+    /// Zero-cost model: serialisation only. Useful to isolate the
+    /// marshalling component of protocol overhead in experiments.
+    pub fn free() -> LatencyModel {
+        LatencyModel {
+            rtt_ns: 0,
+            ns_per_byte: 0,
+        }
+    }
+
+    /// Total injected delay for a payload of `bytes` bytes.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        Duration::from_nanos(self.rtt_ns + self.ns_per_byte * bytes as u64)
+    }
+}
+
+/// Busy-wait for sub-millisecond precision; `thread::sleep` granularity is
+/// far too coarse for the microsecond-scale costs the experiments model.
+fn precise_delay(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d > Duration::from_millis(2) {
+        thread::sleep(d - Duration::from_millis(1));
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// Simulated network binding: marshals the request and response through the
+/// open wire format (JSON), charging the latency model for the transfer.
+/// Stands in for SOAP / web-service bindings (DESIGN.md §4).
+pub struct SimulatedNetworkBinding {
+    model: LatencyModel,
+    name: String,
+}
+
+impl SimulatedNetworkBinding {
+    /// Create with an explicit latency model.
+    pub fn new(model: LatencyModel) -> SimulatedNetworkBinding {
+        let name = format!("sim-net(rtt={}ns)", model.rtt_ns);
+        SimulatedNetworkBinding { model, name }
+    }
+}
+
+impl Binding for SimulatedNetworkBinding {
+    fn call(&self, service: &ServiceRef, op: &str, input: Value) -> Result<Value> {
+        // Marshal request, charge the wire, unmarshal on the "server".
+        let request_bytes = input.to_wire()?;
+        precise_delay(self.model.delay_for(request_bytes.len()));
+        let server_input = Value::from_wire(&request_bytes)?;
+
+        let output = service.invoke(op, server_input)?;
+
+        // Marshal response and charge the return leg (RTT already charged).
+        let response_bytes = output.to_wire()?;
+        precise_delay(Duration::from_nanos(
+            self.model.ns_per_byte * response_bytes.len() as u64,
+        ));
+        Value::from_wire(&response_bytes)
+    }
+
+    fn protocol(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The binding families a deployment can choose from, used in configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingKind {
+    /// Direct in-process call.
+    InProcess,
+    /// Cross-thread channel.
+    Channel,
+    /// Simulated LAN web-service binding.
+    SimulatedLan,
+    /// Simulated WAN web-service binding.
+    SimulatedWan,
+    /// Serialisation only, zero injected latency.
+    SerialisedOnly,
+}
+
+impl BindingKind {
+    /// Instantiate the binding.
+    pub fn build(self) -> BindingRef {
+        match self {
+            BindingKind::InProcess => Arc::new(InProcessBinding),
+            BindingKind::Channel => Arc::new(ChannelBinding::new()),
+            BindingKind::SimulatedLan => Arc::new(SimulatedNetworkBinding::new(LatencyModel::lan())),
+            BindingKind::SimulatedWan => Arc::new(SimulatedNetworkBinding::new(LatencyModel::wan())),
+            BindingKind::SerialisedOnly => {
+                Arc::new(SimulatedNetworkBinding::new(LatencyModel::free()))
+            }
+        }
+    }
+
+    /// All kinds, for experiment sweeps.
+    pub fn all() -> [BindingKind; 5] {
+        [
+            BindingKind::InProcess,
+            BindingKind::Channel,
+            BindingKind::SimulatedLan,
+            BindingKind::SimulatedWan,
+            BindingKind::SerialisedOnly,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use crate::interface::{Interface, Operation};
+    use crate::service::FnService;
+
+    fn echo() -> ServiceRef {
+        let iface = Interface::new("t.echo", 1, vec![Operation::opaque("echo")]);
+        FnService::new("echo", Contract::for_interface(iface), |_, input| Ok(input)).into_ref()
+    }
+
+    #[test]
+    fn in_process_binding_is_transparent() {
+        let b = InProcessBinding;
+        let svc = echo();
+        let v = Value::map().with("x", 1i64);
+        assert_eq!(b.call(&svc, "echo", v.clone()).unwrap(), v);
+        assert_eq!(b.protocol(), "in-process");
+    }
+
+    #[test]
+    fn channel_binding_round_trips() {
+        let b = ChannelBinding::new();
+        let svc = echo();
+        for i in 0..100i64 {
+            let out = b.call(&svc, "echo", Value::Int(i)).unwrap();
+            assert_eq!(out, Value::Int(i));
+        }
+    }
+
+    #[test]
+    fn channel_binding_usable_from_many_threads() {
+        let b = Arc::new(ChannelBinding::new());
+        let svc = echo();
+        let mut handles = vec![];
+        for t in 0..4 {
+            let b = b.clone();
+            let svc = svc.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..50 {
+                    let v = Value::Int(t * 1000 + i);
+                    assert_eq!(b.call(&svc, "echo", v.clone()).unwrap(), v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn simulated_network_preserves_payload() {
+        let b = SimulatedNetworkBinding::new(LatencyModel::free());
+        let svc = echo();
+        let v = Value::map()
+            .with("blob", Value::Bytes(vec![1, 2, 3]))
+            .with("n", 42i64);
+        assert_eq!(b.call(&svc, "echo", v.clone()).unwrap(), v);
+    }
+
+    #[test]
+    fn simulated_network_charges_latency() {
+        let model = LatencyModel {
+            rtt_ns: 200_000,
+            ns_per_byte: 0,
+        };
+        let b = SimulatedNetworkBinding::new(model);
+        let svc = echo();
+        let start = Instant::now();
+        b.call(&svc, "echo", Value::Int(1)).unwrap();
+        assert!(start.elapsed() >= Duration::from_nanos(200_000));
+    }
+
+    #[test]
+    fn latency_model_scales_with_bytes() {
+        let m = LatencyModel {
+            rtt_ns: 100,
+            ns_per_byte: 10,
+        };
+        assert_eq!(m.delay_for(0), Duration::from_nanos(100));
+        assert_eq!(m.delay_for(50), Duration::from_nanos(600));
+    }
+
+    #[test]
+    fn binding_kind_builds_all() {
+        for kind in BindingKind::all() {
+            let b = kind.build();
+            let svc = echo();
+            assert_eq!(b.call(&svc, "echo", Value::Int(9)).unwrap(), Value::Int(9));
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The service bus: the SBDMS runtime that deploys services, routes calls
+//! through bindings, enforces contracts, and feeds monitors.
+//!
+//! This is the kernel's composition root: a deployed SBDMS is a bus
+//! populated with layer services (paper Fig. 2), watched by coordinator
+//! services, and reconfigured at run time through the registry it carries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use crate::binding::{BindingRef, InProcessBinding};
+use crate::error::{Result, ServiceError};
+use crate::events::{Event, EventBus};
+use crate::metrics::Metrics;
+use crate::property::PropertyStore;
+use crate::registry::Registry;
+use crate::repository::Repository;
+use crate::service::{Descriptor, Health, ServiceId, ServiceRef};
+use crate::value::Value;
+
+/// A deployed service: the live handle plus the binding calls travel over.
+struct Deployed {
+    service: ServiceRef,
+    binding: BindingRef,
+    enabled: Arc<AtomicBool>,
+}
+
+/// The shared runtime of one SBDMS deployment.
+#[derive(Clone)]
+pub struct ServiceBus {
+    services: Arc<RwLock<HashMap<ServiceId, Deployed>>>,
+    registry: Registry,
+    repository: Repository,
+    properties: PropertyStore,
+    events: EventBus,
+    metrics: Metrics,
+    /// When false, contract policy assertions are skipped on the hot path;
+    /// configurable because E1/E3 measure the cost of contract checking.
+    enforce_policies: Arc<AtomicBool>,
+}
+
+impl Default for ServiceBus {
+    fn default() -> Self {
+        ServiceBus::new()
+    }
+}
+
+impl ServiceBus {
+    /// Create an empty bus with fresh registry, repository, property
+    /// store, event bus, and metrics.
+    pub fn new() -> ServiceBus {
+        ServiceBus {
+            services: Arc::new(RwLock::new(HashMap::new())),
+            registry: Registry::new(),
+            repository: Repository::new(),
+            properties: PropertyStore::new(),
+            events: EventBus::new(),
+            metrics: Metrics::new(),
+            enforce_policies: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// The discovery registry of this deployment.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The contract/schema repository of this deployment.
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// The architecture property store (paper §3.6).
+    pub fn properties(&self) -> &PropertyStore {
+        &self.properties
+    }
+
+    /// The architectural event bus.
+    pub fn events(&self) -> &EventBus {
+        &self.events
+    }
+
+    /// Per-service invocation metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Toggle policy enforcement (benchmarks sweep this).
+    pub fn set_enforce_policies(&self, on: bool) {
+        self.enforce_policies.store(on, Ordering::Relaxed);
+    }
+
+    /// Deploy a service over an explicit binding: starts it, advertises it
+    /// in the registry, archives its contract in the repository, and
+    /// publishes `ServiceRegistered` (flexibility by extension, Fig. 5 —
+    /// "the user creates the required component and then publishes the
+    /// desired interfaces as services in the architecture").
+    pub fn deploy_with_binding(&self, service: ServiceRef, binding: BindingRef) -> Result<ServiceId> {
+        let descriptor = service.descriptor().clone();
+        service.start()?;
+        self.repository
+            .store_contract(&descriptor.name, &descriptor.contract)?;
+        self.registry.register(descriptor.clone());
+        self.services.write().insert(
+            descriptor.id,
+            Deployed {
+                service,
+                binding,
+                enabled: Arc::new(AtomicBool::new(true)),
+            },
+        );
+        self.events.publish(Event::ServiceRegistered {
+            id: descriptor.id,
+            name: descriptor.name.clone(),
+            interface: descriptor.interface_name().to_string(),
+        });
+        Ok(descriptor.id)
+    }
+
+    /// Deploy over the default in-process binding.
+    pub fn deploy(&self, service: ServiceRef) -> Result<ServiceId> {
+        self.deploy_with_binding(service, Arc::new(InProcessBinding))
+    }
+
+    /// Stop and remove a service. The registry keeps a tombstone so P2P
+    /// sync does not resurrect it.
+    pub fn undeploy(&self, id: ServiceId) -> Result<()> {
+        let deployed = self
+            .services
+            .write()
+            .remove(&id)
+            .ok_or(ServiceError::StaleService(id))?;
+        let name = deployed.service.descriptor().name.clone();
+        deployed.service.stop()?;
+        self.registry.unregister(id);
+        self.events.publish(Event::ServiceUnregistered { id, name });
+        Ok(())
+    }
+
+    /// Whether a service id is currently deployed.
+    pub fn is_deployed(&self, id: ServiceId) -> bool {
+        self.services.read().contains_key(&id)
+    }
+
+    /// Enable/disable routing to a service without undeploying it.
+    /// Disabling checks service policies: a service may only be disabled
+    /// if no *other enabled* service depends on its interface, unless some
+    /// other enabled service still provides that interface (paper §4:
+    /// "disabling services requires that policies of currently running
+    /// services are respected and all dependencies are met").
+    pub fn disable(&self, id: ServiceId) -> Result<()> {
+        let descriptor = self
+            .registry
+            .get(id)
+            .ok_or(ServiceError::StaleService(id))?;
+        let iface = descriptor.interface_name().to_string();
+
+        let services = self.services.read();
+        let another_provider = services.iter().any(|(other_id, d)| {
+            *other_id != id
+                && d.enabled.load(Ordering::Relaxed)
+                && d.service.descriptor().interface_name() == iface
+        });
+        if !another_provider {
+            for d in services.values() {
+                if !d.enabled.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let dep_desc = d.service.descriptor();
+                if dep_desc.id != id
+                    && dep_desc.contract.policy.dependencies.iter().any(|dep| dep == &iface)
+                {
+                    return Err(ServiceError::PolicyViolation(format!(
+                        "cannot disable {}: {} depends on interface {}",
+                        descriptor.name, dep_desc.name, iface
+                    )));
+                }
+            }
+        }
+        if let Some(d) = services.get(&id) {
+            d.enabled.store(false, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Re-enable routing to a disabled service.
+    pub fn enable(&self, id: ServiceId) {
+        if let Some(d) = self.services.read().get(&id) {
+            d.enabled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the service is enabled for routing.
+    pub fn is_enabled(&self, id: ServiceId) -> bool {
+        self.services
+            .read()
+            .get(&id)
+            .map(|d| d.enabled.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Health of a deployed service as self-reported.
+    pub fn health(&self, id: ServiceId) -> Option<Health> {
+        self.services.read().get(&id).map(|d| d.service.health())
+    }
+
+    /// Ids of all deployed services, sorted.
+    pub fn deployed_ids(&self) -> Vec<ServiceId> {
+        let mut ids: Vec<_> = self.services.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Descriptor of a deployed service.
+    pub fn descriptor(&self, id: ServiceId) -> Option<Descriptor> {
+        self.services
+            .read()
+            .get(&id)
+            .map(|d| d.service.descriptor().clone())
+    }
+
+    /// Invoke an operation on a service by id. The full contract pipeline
+    /// runs: enabled check → health check → operation existence → policy
+    /// assertions → binding dispatch → metrics.
+    pub fn invoke(&self, id: ServiceId, op: &str, input: Value) -> Result<Value> {
+        let (service, binding, enabled) = {
+            let services = self.services.read();
+            let d = services.get(&id).ok_or(ServiceError::StaleService(id))?;
+            (d.service.clone(), d.binding.clone(), d.enabled.clone())
+        };
+        let descriptor = service.descriptor();
+
+        if !enabled.load(Ordering::Relaxed) {
+            return Err(ServiceError::ServiceUnavailable {
+                service: descriptor.name.clone(),
+                reason: "disabled".into(),
+            });
+        }
+        match service.health() {
+            Health::Failed(reason) => {
+                return Err(ServiceError::ServiceUnavailable {
+                    service: descriptor.name.clone(),
+                    reason,
+                })
+            }
+            Health::Healthy | Health::Degraded(_) => {}
+        }
+
+        let iface = &descriptor.contract.interface;
+        if !iface.operations.is_empty() && iface.operation(op).is_none() {
+            return Err(ServiceError::UnknownOperation {
+                service: descriptor.name.clone(),
+                operation: op.to_string(),
+            });
+        }
+
+        if self.enforce_policies.load(Ordering::Relaxed)
+            && !descriptor.contract.policy.assertions.is_empty()
+        {
+            let props = &self.properties;
+            descriptor
+                .contract
+                .check_policy(&input, &|key| props.get(key))?;
+        }
+
+        let request_bytes = input.approx_size() as u64;
+        let start = Instant::now();
+        let result = binding.call(&service, op, input);
+        let latency = start.elapsed().as_nanos() as u64;
+        self.metrics
+            .counters(id)
+            .record(result.is_ok(), latency, request_bytes);
+        result
+    }
+
+    /// Invoke by deployment name.
+    pub fn invoke_by_name(&self, name: &str, op: &str, input: Value) -> Result<Value> {
+        let d = self
+            .registry
+            .find_by_name(name)
+            .ok_or_else(|| ServiceError::ServiceNotFound(name.to_string()))?;
+        self.invoke(d.id, op, input)
+    }
+
+    /// Invoke the best-quality enabled provider of an interface — the
+    /// default late-binding resolution (paper §3.3 "services are designed
+    /// for late binding").
+    pub fn invoke_interface(&self, interface: &str, op: &str, input: Value) -> Result<Value> {
+        let id = self.resolve_interface(interface)?;
+        self.invoke(id, op, input)
+    }
+
+    /// Resolve an interface to the best enabled, usable provider.
+    pub fn resolve_interface(&self, interface: &str) -> Result<ServiceId> {
+        let mut candidates = self.registry.find_by_interface(interface);
+        candidates.sort_by(|a, b| {
+            a.contract
+                .quality
+                .score()
+                .total_cmp(&b.contract.quality.score())
+        });
+        for c in candidates {
+            if self.is_enabled(c.id)
+                && self
+                    .health(c.id)
+                    .map(|h| h.is_usable())
+                    .unwrap_or(false)
+            {
+                return Ok(c.id);
+            }
+        }
+        Err(ServiceError::ServiceNotFound(interface.to_string()))
+    }
+
+    /// Approximate deployed footprint: the sum of the advertised
+    /// footprints of all *enabled* services (experiment E7).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.services
+            .read()
+            .values()
+            .filter(|d| d.enabled.load(Ordering::Relaxed))
+            .map(|d| d.service.descriptor().contract.quality.footprint_bytes)
+            .sum()
+    }
+
+    /// Count of enabled services.
+    pub fn enabled_count(&self) -> usize {
+        self.services
+            .read()
+            .values()
+            .filter(|d| d.enabled.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{Assertion, Contract, Quality};
+    use crate::interface::{Interface, Operation, Param};
+    use crate::service::FnService;
+    use crate::value::TypeTag;
+
+    fn echo_contract(iface: &str) -> Contract {
+        Contract::for_interface(Interface::new(
+            iface,
+            1,
+            vec![Operation::new(
+                "echo",
+                vec![Param::required("v", TypeTag::Any)],
+                TypeTag::Any,
+            )],
+        ))
+    }
+
+    fn deploy_echo(bus: &ServiceBus, name: &str, iface: &str) -> ServiceId {
+        let svc = FnService::new(name, echo_contract(iface), |_, input| Ok(input)).into_ref();
+        bus.deploy(svc).unwrap()
+    }
+
+    #[test]
+    fn deploy_invoke_undeploy() {
+        let bus = ServiceBus::new();
+        let id = deploy_echo(&bus, "e1", "t.Echo");
+        assert!(bus.is_deployed(id));
+        let out = bus.invoke(id, "echo", Value::map().with("v", 1i64)).unwrap();
+        assert_eq!(out.get("v").unwrap().as_int().unwrap(), 1);
+
+        bus.undeploy(id).unwrap();
+        assert!(!bus.is_deployed(id));
+        assert!(matches!(
+            bus.invoke(id, "echo", Value::map()),
+            Err(ServiceError::StaleService(_))
+        ));
+    }
+
+    #[test]
+    fn deployment_publishes_events_and_archives_contract() {
+        let bus = ServiceBus::new();
+        let rx = bus.events().subscribe();
+        let id = deploy_echo(&bus, "e1", "t.Echo");
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            Event::ServiceRegistered { interface, .. } if interface == "t.Echo"
+        ));
+        assert!(bus.repository().contract("e1").is_ok());
+        bus.undeploy(id).unwrap();
+        assert!(matches!(rx.try_recv().unwrap(), Event::ServiceUnregistered { .. }));
+    }
+
+    #[test]
+    fn unknown_operation_rejected_before_dispatch() {
+        let bus = ServiceBus::new();
+        let id = deploy_echo(&bus, "e1", "t.Echo");
+        assert!(matches!(
+            bus.invoke(id, "nope", Value::map()),
+            Err(ServiceError::UnknownOperation { .. })
+        ));
+        // And the error is still metered.
+        assert_eq!(bus.metrics().snapshot(id).errors, 0); // rejected pre-dispatch, not counted
+    }
+
+    #[test]
+    fn policy_assertions_enforced_and_toggleable() {
+        let bus = ServiceBus::new();
+        let contract = echo_contract("t.Echo").assert(Assertion::RequiresField("v".into()));
+        let svc = FnService::new("p1", contract, |_, input| Ok(input)).into_ref();
+        let id = bus.deploy(svc).unwrap();
+
+        assert!(matches!(
+            bus.invoke(id, "echo", Value::map()),
+            Err(ServiceError::PolicyViolation(_))
+        ));
+        bus.set_enforce_policies(false);
+        assert!(bus.invoke(id, "echo", Value::map()).is_ok());
+    }
+
+    #[test]
+    fn policy_reads_architecture_properties() {
+        let bus = ServiceBus::new();
+        let contract =
+            echo_contract("t.Echo").assert(Assertion::PropertyAtLeast("free_memory".into(), 100));
+        let svc = FnService::new("p2", contract, |_, input| Ok(input)).into_ref();
+        let id = bus.deploy(svc).unwrap();
+
+        assert!(bus.invoke(id, "echo", Value::map().with("v", 0i64)).is_err());
+        bus.properties().set("free_memory", 512i64);
+        assert!(bus.invoke(id, "echo", Value::map().with("v", 0i64)).is_ok());
+    }
+
+    #[test]
+    fn disabled_service_unroutable_until_enabled() {
+        let bus = ServiceBus::new();
+        let id = deploy_echo(&bus, "e1", "t.Echo");
+        bus.disable(id).unwrap();
+        assert!(matches!(
+            bus.invoke(id, "echo", Value::map().with("v", 0i64)),
+            Err(ServiceError::ServiceUnavailable { .. })
+        ));
+        bus.enable(id);
+        assert!(bus.invoke(id, "echo", Value::map().with("v", 0i64)).is_ok());
+    }
+
+    #[test]
+    fn disable_blocked_by_dependent_service() {
+        let bus = ServiceBus::new();
+        let storage_id = deploy_echo(&bus, "disk", "t.Disk");
+        let dependent = FnService::new(
+            "buffer",
+            echo_contract("t.Buffer").depends_on("t.Disk"),
+            |_, input| Ok(input),
+        )
+        .into_ref();
+        bus.deploy(dependent).unwrap();
+
+        assert!(matches!(
+            bus.disable(storage_id),
+            Err(ServiceError::PolicyViolation(_))
+        ));
+
+        // A second provider of t.Disk unblocks disabling the first.
+        deploy_echo(&bus, "disk-b", "t.Disk");
+        assert!(bus.disable(storage_id).is_ok());
+    }
+
+    #[test]
+    fn interface_resolution_prefers_quality_and_skips_disabled() {
+        let bus = ServiceBus::new();
+        let slow_contract = echo_contract("t.Echo").quality(Quality {
+            expected_latency_ns: 1_000_000,
+            ..Quality::default()
+        });
+        let fast_contract = echo_contract("t.Echo").quality(Quality {
+            expected_latency_ns: 10,
+            ..Quality::default()
+        });
+        let slow = bus
+            .deploy(FnService::new("slow", slow_contract, |_, i| Ok(i)).into_ref())
+            .unwrap();
+        let fast = bus
+            .deploy(FnService::new("fast", fast_contract, |_, i| Ok(i)).into_ref())
+            .unwrap();
+
+        assert_eq!(bus.resolve_interface("t.Echo").unwrap(), fast);
+        bus.disable(fast).unwrap();
+        assert_eq!(bus.resolve_interface("t.Echo").unwrap(), slow);
+        bus.disable(slow).unwrap();
+        assert!(bus.resolve_interface("t.Echo").is_err());
+    }
+
+    #[test]
+    fn metrics_recorded_per_call() {
+        let bus = ServiceBus::new();
+        let id = deploy_echo(&bus, "e1", "t.Echo");
+        for _ in 0..5 {
+            bus.invoke(id, "echo", Value::map().with("v", 1i64)).unwrap();
+        }
+        let snap = bus.metrics().snapshot(id);
+        assert_eq!(snap.calls, 5);
+        assert_eq!(snap.errors, 0);
+        assert!(snap.total_latency_ns > 0);
+    }
+
+    #[test]
+    fn footprint_tracks_enabled_services() {
+        let bus = ServiceBus::new();
+        let c = echo_contract("t.A").quality(Quality {
+            footprint_bytes: 1000,
+            ..Quality::default()
+        });
+        let a = bus.deploy(FnService::new("a", c, |_, i| Ok(i)).into_ref()).unwrap();
+        let c2 = echo_contract("t.B").quality(Quality {
+            footprint_bytes: 500,
+            ..Quality::default()
+        });
+        bus.deploy(FnService::new("b", c2, |_, i| Ok(i)).into_ref()).unwrap();
+
+        assert_eq!(bus.footprint_bytes(), 1500);
+        assert_eq!(bus.enabled_count(), 2);
+        bus.disable(a).unwrap();
+        assert_eq!(bus.footprint_bytes(), 500);
+        assert_eq!(bus.enabled_count(), 1);
+    }
+
+    #[test]
+    fn invoke_by_name_and_interface() {
+        let bus = ServiceBus::new();
+        deploy_echo(&bus, "named", "t.Echo");
+        let v = Value::map().with("v", 3i64);
+        assert!(bus.invoke_by_name("named", "echo", v.clone()).is_ok());
+        assert!(bus.invoke_interface("t.Echo", "echo", v).is_ok());
+        assert!(bus.invoke_by_name("ghost", "echo", Value::map()).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! The SCA component/composite model.
+//!
+//! Paper §3.6 and Figs. 3–4: "the most atomic structure of the SCA is the
+//! component ... components can be combined in larger structures forming
+//! composites. Both components and composites can be recursively
+//! contained. Every component exposes functionality in form of one or more
+//! services ... components use references [to describe dependencies] ...
+//! a component can define one or more properties \[read\] when it is
+//! instantiated ... SCA organises the architecture in a hierarchical way,
+//! from coarse grained to fine grained components."
+//!
+//! `Composite::instantiate` is the paper's *setup phase* (§3.3): it walks
+//! the hierarchy, applies component properties, deploys every leaf service
+//! over its configured binding, and validates that all references resolve.
+
+use crate::binding::BindingKind;
+use crate::bus::ServiceBus;
+use crate::error::{Result, ServiceError};
+use crate::service::{ServiceId, ServiceRef};
+use crate::value::Value;
+
+/// A dependency of a component on some interface (paper Fig. 3
+/// "references").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reference {
+    /// Local reference name within the component.
+    pub name: String,
+    /// The interface the referenced service must expose.
+    pub target_interface: String,
+    /// Optional references may be unresolved at instantiation.
+    pub optional: bool,
+}
+
+impl Reference {
+    /// A required reference.
+    pub fn required(name: &str, target_interface: &str) -> Reference {
+        Reference {
+            name: name.to_string(),
+            target_interface: target_interface.to_string(),
+            optional: false,
+        }
+    }
+
+    /// An optional reference.
+    pub fn optional(name: &str, target_interface: &str) -> Reference {
+        Reference {
+            name: name.to_string(),
+            target_interface: target_interface.to_string(),
+            optional: true,
+        }
+    }
+}
+
+/// What a component is implemented by (paper Fig. 3 "Implementation —
+/// Java / BPEL / Composite ...", here: a Rust service or a nested
+/// composite).
+pub enum Implementation {
+    /// A leaf service implementation.
+    Service(ServiceRef),
+    /// A nested composite (recursive containment, paper Fig. 4).
+    Composite(Composite),
+}
+
+/// An SCA component: implementation + references + properties + binding.
+pub struct Component {
+    /// Component name, unique within its composite.
+    pub name: String,
+    /// The implementation.
+    pub implementation: Implementation,
+    /// Declared dependencies.
+    pub references: Vec<Reference>,
+    /// Instantiation-time properties, published to the architecture
+    /// property store as `component.<name>.<key>`.
+    pub properties: Vec<(String, Value)>,
+    /// The binding its services are deployed over.
+    pub binding: BindingKind,
+}
+
+impl Component {
+    /// A leaf component around a service, with in-process binding.
+    pub fn service(name: &str, service: ServiceRef) -> Component {
+        Component {
+            name: name.to_string(),
+            implementation: Implementation::Service(service),
+            references: Vec::new(),
+            properties: Vec::new(),
+            binding: BindingKind::InProcess,
+        }
+    }
+
+    /// A component implemented by a nested composite.
+    pub fn composite(name: &str, composite: Composite) -> Component {
+        Component {
+            name: name.to_string(),
+            implementation: Implementation::Composite(composite),
+            references: Vec::new(),
+            properties: Vec::new(),
+            binding: BindingKind::InProcess,
+        }
+    }
+
+    /// Builder: add a reference.
+    pub fn with_reference(mut self, r: Reference) -> Component {
+        self.references.push(r);
+        self
+    }
+
+    /// Builder: add a property.
+    pub fn with_property(mut self, key: &str, value: impl Into<Value>) -> Component {
+        self.properties.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Builder: set the binding.
+    pub fn with_binding(mut self, binding: BindingKind) -> Component {
+        self.binding = binding;
+        self
+    }
+}
+
+/// An SCA composite: a named assembly of components.
+pub struct Composite {
+    /// Composite name.
+    pub name: String,
+    /// Contained components.
+    pub components: Vec<Component>,
+}
+
+impl Composite {
+    /// Create an empty composite.
+    pub fn new(name: &str) -> Composite {
+        Composite {
+            name: name.to_string(),
+            components: Vec::new(),
+        }
+    }
+
+    /// Builder: add a component.
+    pub fn with(mut self, component: Component) -> Composite {
+        self.components.push(component);
+        self
+    }
+
+    /// Instantiate the composite on a bus: the setup phase. Properties are
+    /// applied first (components "read \[properties\] when instantiated"),
+    /// then services deploy depth-first, then references are validated
+    /// against the registry. On a missing required reference the
+    /// instantiation fails with `IncompatibleInterface` — a configuration
+    /// error, caught before the operational phase begins.
+    pub fn instantiate(self, bus: &ServiceBus) -> Result<Deployment> {
+        let mut deployment = Deployment {
+            composite: self.name.clone(),
+            services: Vec::new(),
+        };
+        self.deploy_tree(bus, &mut deployment)?;
+        deployment.validate_references(bus)?;
+        Ok(deployment)
+    }
+
+    fn deploy_tree(self, bus: &ServiceBus, deployment: &mut Deployment) -> Result<()> {
+        for component in self.components {
+            for (key, value) in &component.properties {
+                bus.properties()
+                    .set(&format!("component.{}.{}", component.name, key), value.clone());
+            }
+            match component.implementation {
+                Implementation::Service(svc) => {
+                    let id = bus.deploy_with_binding(svc, component.binding.build())?;
+                    deployment.services.push(DeployedComponent {
+                        component: component.name.clone(),
+                        id,
+                        references: component.references.clone(),
+                    });
+                }
+                Implementation::Composite(nested) => {
+                    // Recursive containment: the nested composite's
+                    // components deploy into the same bus; references of
+                    // the wrapping component are validated against it too.
+                    nested.deploy_tree(bus, deployment)?;
+                    if !component.references.is_empty() {
+                        deployment.services.push(DeployedComponent {
+                            component: component.name.clone(),
+                            id: ServiceId(0),
+                            references: component.references.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One deployed component and its declared references.
+#[derive(Debug, Clone)]
+pub struct DeployedComponent {
+    /// Component name.
+    pub component: String,
+    /// Deployed service id (0 for pure-composite wrappers).
+    pub id: ServiceId,
+    /// Declared references, validated at instantiation.
+    pub references: Vec<Reference>,
+}
+
+/// The result of instantiating a composite.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Name of the root composite.
+    pub composite: String,
+    /// Every deployed component.
+    pub services: Vec<DeployedComponent>,
+}
+
+impl Deployment {
+    /// Service ids deployed by this composite (excluding wrappers).
+    pub fn service_ids(&self) -> Vec<ServiceId> {
+        self.services
+            .iter()
+            .map(|c| c.id)
+            .filter(|id| id.0 != 0)
+            .collect()
+    }
+
+    /// Undeploy everything this composite deployed.
+    pub fn teardown(&self, bus: &ServiceBus) -> Result<()> {
+        for id in self.service_ids() {
+            if bus.is_deployed(id) {
+                bus.undeploy(id)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_references(&self, bus: &ServiceBus) -> Result<()> {
+        for component in &self.services {
+            for reference in &component.references {
+                if reference.optional {
+                    continue;
+                }
+                if bus
+                    .registry()
+                    .find_by_interface(&reference.target_interface)
+                    .is_empty()
+                {
+                    return Err(ServiceError::IncompatibleInterface {
+                        expected: reference.target_interface.clone(),
+                        found: format!(
+                            "nothing (unresolved reference `{}` of component `{}`)",
+                            reference.name, component.component
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use crate::interface::{Interface, Operation};
+    use crate::service::FnService;
+
+    fn svc(name: &str, iface: &str) -> ServiceRef {
+        let interface = Interface::new(iface, 1, vec![Operation::opaque("run")]);
+        FnService::new(name, Contract::for_interface(interface), |_, i| Ok(i)).into_ref()
+    }
+
+    #[test]
+    fn flat_composite_deploys_all() {
+        let bus = ServiceBus::new();
+        let composite = Composite::new("storage-layer")
+            .with(Component::service("disk", svc("disk", "i.Disk")))
+            .with(Component::service("buffer", svc("buffer", "i.Buffer")));
+        let deployment = composite.instantiate(&bus).unwrap();
+        assert_eq!(deployment.service_ids().len(), 2);
+        assert_eq!(bus.deployed_ids().len(), 2);
+    }
+
+    #[test]
+    fn properties_published_at_instantiation() {
+        let bus = ServiceBus::new();
+        let composite = Composite::new("c").with(
+            Component::service("buffer", svc("buffer", "i.Buffer"))
+                .with_property("frames", 128i64)
+                .with_property("policy", "lru"),
+        );
+        composite.instantiate(&bus).unwrap();
+        assert_eq!(bus.properties().get_int("component.buffer.frames"), Some(128));
+        assert_eq!(
+            bus.properties().get("component.buffer.policy").unwrap(),
+            Value::Str("lru".into())
+        );
+    }
+
+    #[test]
+    fn unresolved_required_reference_fails_setup() {
+        let bus = ServiceBus::new();
+        let composite = Composite::new("c").with(
+            Component::service("buffer", svc("buffer", "i.Buffer"))
+                .with_reference(Reference::required("disk", "i.Disk")),
+        );
+        let err = composite.instantiate(&bus).unwrap_err();
+        assert!(matches!(err, ServiceError::IncompatibleInterface { .. }));
+    }
+
+    #[test]
+    fn optional_reference_may_dangle() {
+        let bus = ServiceBus::new();
+        let composite = Composite::new("c").with(
+            Component::service("buffer", svc("buffer", "i.Buffer"))
+                .with_reference(Reference::optional("replica", "i.Replica")),
+        );
+        assert!(composite.instantiate(&bus).is_ok());
+    }
+
+    #[test]
+    fn reference_satisfied_by_sibling() {
+        let bus = ServiceBus::new();
+        let composite = Composite::new("c")
+            .with(Component::service("disk", svc("disk", "i.Disk")))
+            .with(
+                Component::service("buffer", svc("buffer", "i.Buffer"))
+                    .with_reference(Reference::required("disk", "i.Disk")),
+            );
+        assert!(composite.instantiate(&bus).is_ok());
+    }
+
+    #[test]
+    fn recursive_composites_deploy_depth_first() {
+        let bus = ServiceBus::new();
+        let storage = Composite::new("storage")
+            .with(Component::service("disk", svc("disk", "i.Disk")))
+            .with(Component::service("buffer", svc("buffer", "i.Buffer")));
+        let root = Composite::new("dbms")
+            .with(Component::composite("storage", storage))
+            .with(
+                Component::service("query", svc("query", "i.Query"))
+                    .with_reference(Reference::required("buf", "i.Buffer")),
+            );
+        let deployment = root.instantiate(&bus).unwrap();
+        assert_eq!(deployment.service_ids().len(), 3);
+    }
+
+    #[test]
+    fn teardown_undeploys_everything() {
+        let bus = ServiceBus::new();
+        let composite = Composite::new("c")
+            .with(Component::service("a", svc("a", "i.A")))
+            .with(Component::service("b", svc("b", "i.B")));
+        let deployment = composite.instantiate(&bus).unwrap();
+        assert_eq!(bus.deployed_ids().len(), 2);
+        deployment.teardown(&bus).unwrap();
+        assert!(bus.deployed_ids().is_empty());
+    }
+
+    #[test]
+    fn composite_wrapper_references_validated() {
+        let bus = ServiceBus::new();
+        let inner = Composite::new("inner").with(Component::service("x", svc("x", "i.X")));
+        let root = Composite::new("root").with(
+            Component::composite("wrap", inner)
+                .with_reference(Reference::required("dep", "i.Missing")),
+        );
+        assert!(root.instantiate(&bus).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Service contracts: description, policy, and quality documents.
+//!
+//! Paper §3.2: "Services present their purpose and capabilities through a
+//! service contract that is comprised of one or more service documents":
+//! a *description* (data types, semantics), a *policy* ("conditions of
+//! interaction, dependencies, and assertions that have to be fulfilled
+//! before a service is invoked"), and a *quality description* that "enables
+//! service coordinators to take actions based on functional service
+//! properties". Contracts are plain serde types rendered to JSON, our open
+//! format standing in for WSDL / WS-Policy (see DESIGN.md §4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, ServiceError};
+use crate::interface::Interface;
+use crate::value::Value;
+
+/// Descriptive information about a service (paper: "semantic description
+/// of services and interfaces").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Description {
+    /// Human-readable purpose.
+    pub summary: String,
+    /// The functional layer the service belongs to (storage/access/...).
+    pub layer: String,
+    /// Free-form capability tags used for discovery, e.g. `task:page-io`.
+    pub capabilities: Vec<String>,
+}
+
+/// A single policy assertion evaluated against the request payload and the
+/// architecture property store before every invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Assertion {
+    /// Request payload must contain this field.
+    RequiresField(String),
+    /// The named architecture property must equal the given value.
+    PropertyEquals(String, Value),
+    /// The named architecture property, interpreted as an integer, must be
+    /// at least this large (e.g. minimum free memory before invoking).
+    PropertyAtLeast(String, i64),
+    /// The request payload size must not exceed this many bytes.
+    MaxRequestBytes(usize),
+}
+
+/// Interaction conditions and dependencies (paper §3.2 "service policy").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Policy {
+    /// Services (by interface name) this service depends on. Disabling a
+    /// service is only allowed when no enabled service lists it here
+    /// (paper §4: "Disabling services requires that policies of currently
+    /// running services are respected and all dependencies are met").
+    pub dependencies: Vec<String>,
+    /// Assertions checked before invocation.
+    pub assertions: Vec<Assertion>,
+    /// Whether several callers may invoke concurrently.
+    pub concurrent: bool,
+}
+
+/// Functional quality properties used for selection decisions
+/// (paper §3.5 "the service coordinators can create task plans" using
+/// "extra information"; §4 "which service qualities are generally important
+/// in a DBMS ... remains an open issue" — we pick latency, reliability,
+/// cost and footprint as a concrete, measurable set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quality {
+    /// Expected per-call latency in nanoseconds (advertised, not enforced).
+    pub expected_latency_ns: u64,
+    /// Advertised probability of a successful call, 0.0..=1.0.
+    pub reliability: f64,
+    /// Abstract invocation cost (e.g. monetary or energy), lower is better.
+    pub cost: f64,
+    /// Approximate resident memory footprint in bytes when deployed.
+    pub footprint_bytes: u64,
+}
+
+impl Default for Quality {
+    fn default() -> Self {
+        Quality {
+            expected_latency_ns: 1_000,
+            reliability: 0.999,
+            cost: 1.0,
+            footprint_bytes: 4096,
+        }
+    }
+}
+
+impl Quality {
+    /// Scalar score for ranking candidate services; lower is better.
+    /// Weights chosen so latency dominates at equal reliability.
+    pub fn score(&self) -> f64 {
+        let unreliability_penalty = (1.0 - self.reliability.clamp(0.0, 1.0)) * 1e9;
+        self.expected_latency_ns as f64 + self.cost * 1e3 + unreliability_penalty
+    }
+}
+
+/// The complete service contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contract {
+    /// The interface this contract governs.
+    pub interface: Interface,
+    /// Descriptive document.
+    pub description: Description,
+    /// Policy document.
+    pub policy: Policy,
+    /// Quality document.
+    pub quality: Quality,
+}
+
+impl Contract {
+    /// Minimal contract for an interface with default policy/quality.
+    pub fn for_interface(interface: Interface) -> Contract {
+        Contract {
+            interface,
+            description: Description::default(),
+            policy: Policy {
+                concurrent: true,
+                ..Policy::default()
+            },
+            quality: Quality::default(),
+        }
+    }
+
+    /// Builder: set the description summary and layer.
+    pub fn describe(mut self, summary: &str, layer: &str) -> Contract {
+        self.description.summary = summary.to_string();
+        self.description.layer = layer.to_string();
+        self
+    }
+
+    /// Builder: add a capability tag.
+    pub fn capability(mut self, tag: &str) -> Contract {
+        self.description.capabilities.push(tag.to_string());
+        self
+    }
+
+    /// Builder: add a dependency on another interface.
+    pub fn depends_on(mut self, interface_name: &str) -> Contract {
+        self.policy.dependencies.push(interface_name.to_string());
+        self
+    }
+
+    /// Builder: add a policy assertion.
+    pub fn assert(mut self, a: Assertion) -> Contract {
+        self.policy.assertions.push(a);
+        self
+    }
+
+    /// Builder: replace the quality document.
+    pub fn quality(mut self, q: Quality) -> Contract {
+        self.quality = q;
+        self
+    }
+
+    /// Render the contract as an open-format (JSON) document
+    /// (paper §3.2: open formats such as WSDL / WS-Policy).
+    pub fn to_document(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| ServiceError::Internal(format!("contract serialise: {e}")))
+    }
+
+    /// Parse a contract back from its open-format document.
+    pub fn from_document(doc: &str) -> Result<Contract> {
+        serde_json::from_str(doc)
+            .map_err(|e| ServiceError::Internal(format!("contract parse: {e}")))
+    }
+
+    /// Evaluate all policy assertions against a request payload and the
+    /// architecture property lookup. Returns the first violated assertion.
+    pub fn check_policy(
+        &self,
+        request: &Value,
+        property: &dyn Fn(&str) -> Option<Value>,
+    ) -> Result<()> {
+        for a in &self.policy.assertions {
+            match a {
+                Assertion::RequiresField(field) => {
+                    if request.get(field).is_none() {
+                        return Err(ServiceError::PolicyViolation(format!(
+                            "required field `{field}` missing"
+                        )));
+                    }
+                }
+                Assertion::PropertyEquals(prop, expected) => {
+                    let actual = property(prop);
+                    if actual.as_ref() != Some(expected) {
+                        return Err(ServiceError::PolicyViolation(format!(
+                            "property `{prop}` != expected (actual {actual:?})"
+                        )));
+                    }
+                }
+                Assertion::PropertyAtLeast(prop, min) => {
+                    let ok = property(prop)
+                        .and_then(|v| v.as_int().ok())
+                        .is_some_and(|v| v >= *min);
+                    if !ok {
+                        return Err(ServiceError::PolicyViolation(format!(
+                            "property `{prop}` below required minimum {min}"
+                        )));
+                    }
+                }
+                Assertion::MaxRequestBytes(max) => {
+                    let size = request.approx_size();
+                    if size > *max {
+                        return Err(ServiceError::PolicyViolation(format!(
+                            "request size {size} exceeds max {max}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::Operation;
+    use crate::value::TypeTag;
+
+    fn contract() -> Contract {
+        Contract::for_interface(Interface::new(
+            "sbdms.test",
+            1,
+            vec![Operation::new("ping", vec![], TypeTag::Str)],
+        ))
+        .describe("test service", "storage")
+        .capability("task:test")
+        .depends_on("sbdms.storage.Disk")
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let c = contract();
+        let doc = c.to_document().unwrap();
+        assert!(doc.contains("sbdms.test"));
+        assert!(doc.contains("task:test"));
+        let back = Contract::from_document(&doc).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn requires_field_assertion() {
+        let c = contract().assert(Assertion::RequiresField("page_id".into()));
+        let no_props = |_: &str| None;
+        let bad = Value::map();
+        assert!(matches!(
+            c.check_policy(&bad, &no_props),
+            Err(ServiceError::PolicyViolation(_))
+        ));
+        let good = Value::map().with("page_id", 1i64);
+        assert!(c.check_policy(&good, &no_props).is_ok());
+    }
+
+    #[test]
+    fn property_assertions() {
+        let c = contract()
+            .assert(Assertion::PropertyAtLeast("free_memory".into(), 1024))
+            .assert(Assertion::PropertyEquals("mode".into(), Value::Str("rw".into())));
+        let req = Value::map();
+        let props_ok = |name: &str| match name {
+            "free_memory" => Some(Value::Int(4096)),
+            "mode" => Some(Value::Str("rw".into())),
+            _ => None,
+        };
+        assert!(c.check_policy(&req, &props_ok).is_ok());
+
+        let props_low_mem = |name: &str| match name {
+            "free_memory" => Some(Value::Int(10)),
+            "mode" => Some(Value::Str("rw".into())),
+            _ => None,
+        };
+        assert!(c.check_policy(&req, &props_low_mem).is_err());
+
+        let props_missing = |_: &str| None;
+        assert!(c.check_policy(&req, &props_missing).is_err());
+    }
+
+    #[test]
+    fn max_request_bytes() {
+        let c = contract().assert(Assertion::MaxRequestBytes(32));
+        let no_props = |_: &str| None;
+        let small = Value::map().with("k", 1i64);
+        assert!(c.check_policy(&small, &no_props).is_ok());
+        let big = Value::map().with("blob", vec![0u8; 1000]);
+        assert!(c.check_policy(&big, &no_props).is_err());
+    }
+
+    #[test]
+    fn quality_score_orders_candidates() {
+        let fast = Quality {
+            expected_latency_ns: 100,
+            reliability: 0.999,
+            cost: 1.0,
+            footprint_bytes: 1,
+        };
+        let slow = Quality {
+            expected_latency_ns: 1_000_000,
+            reliability: 0.999,
+            cost: 1.0,
+            footprint_bytes: 1,
+        };
+        let unreliable = Quality {
+            expected_latency_ns: 100,
+            reliability: 0.5,
+            cost: 1.0,
+            footprint_bytes: 1,
+        };
+        assert!(fast.score() < slow.score());
+        assert!(fast.score() < unreliable.score());
+    }
+}

@@ -1,0 +1,574 @@
+//! Coordinator services: supervision and run-time reconfiguration.
+//!
+//! Paper §3.1: "these services are managed by coordinator services that
+//! have the task to monitor the service activity and handle service
+//! reconfigurations as required"; §3.3: "if a change occurs resource
+//! management services find alternate workflows ... adaptor services are
+//! created around the component services of the workflows to provide the
+//! original functionality based on alternative services. The architecture
+//! then undergoes a configuration and composition process."
+//!
+//! `Coordinator::recover_interface` is the paper's Fig. 7 sequence made
+//! concrete: detect → look for a same-interface substitute → else search
+//! deployed services for one reachable via a transformational schema or
+//! structural compatibility → generate and deploy an adaptor → publish
+//! `WorkflowRecomposed`.
+
+use std::sync::Arc;
+
+use crate::adaptor::AdaptorService;
+use crate::bus::ServiceBus;
+use crate::error::{Result, ServiceError};
+use crate::events::Event;
+use crate::interface::Interface;
+use crate::resource::ResourceManager;
+use crate::service::{Descriptor, Health, Service, ServiceId, ServiceRef};
+use crate::value::Value;
+use crate::contract::Contract;
+use crate::interface::Operation;
+
+/// Result of a recovery attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recovery {
+    /// Another direct provider of the interface already exists; late
+    /// binding will route to it, nothing was deployed.
+    DirectSubstitute(ServiceId),
+    /// An adaptor was generated around an alternative service and
+    /// deployed under the expected interface.
+    AdaptedSubstitute {
+        /// The freshly deployed adaptor.
+        adaptor: ServiceId,
+        /// The service the adaptor forwards to.
+        provider: ServiceId,
+    },
+}
+
+/// A coordinator supervising one bus.
+#[derive(Clone)]
+pub struct Coordinator {
+    bus: ServiceBus,
+    resources: ResourceManager,
+}
+
+impl Coordinator {
+    /// Create a coordinator for a bus with its resource manager.
+    pub fn new(bus: ServiceBus, resources: ResourceManager) -> Coordinator {
+        Coordinator { bus, resources }
+    }
+
+    /// The resource manager this coordinator administers.
+    pub fn resources(&self) -> &ResourceManager {
+        &self.resources
+    }
+
+    /// Handle a `Release Resources` request (paper Fig. 6): free the
+    /// requested amount and notify the architecture.
+    pub fn release_resources(&self, requester: ServiceId, resource: &str, amount: u64) {
+        self.resources.release(resource, amount);
+        self.bus.events().publish(Event::ReleaseResourcesRequested {
+            requester,
+            resource: resource.to_string(),
+            amount,
+        });
+    }
+
+    /// Recover the given interface after one of its providers failed or
+    /// went missing. `failed` is the unusable provider (it is disabled so
+    /// late binding stops routing to it).
+    pub fn recover_interface(&self, interface: &Interface, failed: Option<ServiceId>) -> Result<Recovery> {
+        if let Some(id) = failed {
+            // Best effort: the failed provider may already be undeployed.
+            if self.bus.is_deployed(id) {
+                let _ = self.bus.disable(id);
+            }
+        }
+
+        // 1. Direct substitute: another usable provider of the same
+        //    interface (paper §3.7: "coordinator services will create
+        //    alternate processes that will compose the equivalent
+        //    services").
+        if let Ok(id) = self.bus.resolve_interface(&interface.name) {
+            self.bus.events().publish(Event::WorkflowRecomposed {
+                task: interface.name.clone(),
+                replacement: id,
+                via_adaptor: false,
+            });
+            return Ok(Recovery::DirectSubstitute(id));
+        }
+
+        // 2. Adapted substitute: any usable deployed service reachable via
+        //    a transformational schema or structural compatibility
+        //    ("otherwise adaptor services have to be created to mediate
+        //    service interaction").
+        let candidates = self.usable_candidates(failed);
+        for candidate in candidates {
+            let Some(provider) = self.service_handle(candidate.id) else {
+                continue;
+            };
+            match AdaptorService::generate(interface, provider, self.bus.repository()) {
+                Ok(adaptor) => {
+                    let adaptor_id = self.bus.deploy(adaptor.into_ref())?;
+                    self.bus.events().publish(Event::WorkflowRecomposed {
+                        task: interface.name.clone(),
+                        replacement: adaptor_id,
+                        via_adaptor: true,
+                    });
+                    return Ok(Recovery::AdaptedSubstitute {
+                        adaptor: adaptor_id,
+                        provider: candidate.id,
+                    });
+                }
+                Err(_) => continue,
+            }
+        }
+
+        Err(ServiceError::NoAlternateWorkflow(interface.name.clone()))
+    }
+
+    /// One supervision pass: find failed services, disable them, and try
+    /// to recover each affected interface. Returns the recoveries made.
+    pub fn supervise_once(&self) -> Vec<(ServiceId, Result<Recovery>)> {
+        let mut out = Vec::new();
+        for id in self.bus.deployed_ids() {
+            let failed = matches!(self.bus.health(id), Some(Health::Failed(_)));
+            if failed && self.bus.is_enabled(id) {
+                if let Some(desc) = self.bus.descriptor(id) {
+                    let recovery =
+                        self.recover_interface(&desc.contract.interface, Some(id));
+                    out.push((id, recovery));
+                }
+            }
+        }
+        out
+    }
+
+    /// Quality calibration: replace each service's *advertised* quality
+    /// with its *observed* behaviour (mean latency and error rate from
+    /// bus metrics), re-registering the updated descriptor. Services with
+    /// fewer than `min_calls` observations keep their advertised values.
+    ///
+    /// This answers the paper's §4 open issue — "which service qualities
+    /// are generally important in a DBMS and what methods or metrics
+    /// should be used to quantify them" — operationally: latency and
+    /// reliability are *measured*, so quality-driven selection converges
+    /// on real behaviour rather than vendor claims. Returns the services
+    /// whose quality changed.
+    pub fn calibrate_quality(&self, min_calls: u64) -> Vec<ServiceId> {
+        let mut changed = Vec::new();
+        for id in self.bus.deployed_ids() {
+            let snapshot = self.bus.metrics().snapshot(id);
+            let observations = snapshot.calls + snapshot.errors;
+            if observations < min_calls {
+                continue;
+            }
+            let Some(mut descriptor) = self.bus.descriptor(id) else {
+                continue;
+            };
+            let observed_latency = snapshot.mean_latency_ns().round() as u64;
+            let observed_reliability = 1.0 - snapshot.error_rate();
+            let quality = &mut descriptor.contract.quality;
+            if quality.expected_latency_ns != observed_latency
+                || (quality.reliability - observed_reliability).abs() > f64::EPSILON
+            {
+                quality.expected_latency_ns = observed_latency.max(1);
+                quality.reliability = observed_reliability;
+                self.bus.registry().register(descriptor);
+                changed.push(id);
+            }
+        }
+        changed
+    }
+
+    fn usable_candidates(&self, excluding: Option<ServiceId>) -> Vec<Descriptor> {
+        let mut out: Vec<Descriptor> = self
+            .bus
+            .deployed_ids()
+            .into_iter()
+            .filter(|id| Some(*id) != excluding)
+            .filter(|id| self.bus.is_enabled(*id))
+            .filter(|id| {
+                self.bus
+                    .health(*id)
+                    .map(|h| h.is_usable())
+                    .unwrap_or(false)
+            })
+            .filter_map(|id| self.bus.descriptor(id))
+            // Never chain adaptors onto adaptors.
+            .filter(|d| {
+                !d.contract
+                    .description
+                    .capabilities
+                    .iter()
+                    .any(|c| c == "role:adaptor")
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.contract
+                .quality
+                .score()
+                .total_cmp(&b.contract.quality.score())
+        });
+        out
+    }
+
+    fn service_handle(&self, id: ServiceId) -> Option<ServiceRef> {
+        // The bus does not expose raw handles; wrap bus dispatch so the
+        // adaptor's calls still go through contract enforcement/metrics.
+        let bus = self.bus.clone();
+        let descriptor = bus.descriptor(id)?;
+        Some(Arc::new(BusBacked { bus, descriptor }))
+    }
+}
+
+/// A `Service` view of an already-deployed bus service; used so adaptors
+/// keep routing through the bus pipeline rather than bypassing it.
+struct BusBacked {
+    bus: ServiceBus,
+    descriptor: Descriptor,
+}
+
+impl Service for BusBacked {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, input: Value) -> Result<Value> {
+        self.bus.invoke(self.descriptor.id, op, input)
+    }
+
+    fn health(&self) -> Health {
+        self.bus
+            .health(self.descriptor.id)
+            .unwrap_or(Health::Failed("undeployed".into()))
+    }
+}
+
+/// Expose a coordinator as a service so applications can invoke it like
+/// any other component (paper §4: "developers invoke existing coordinator
+/// services"). Operations: `status`, `release_resources`, `supervise`.
+pub struct CoordinatorService {
+    descriptor: Descriptor,
+    coordinator: Coordinator,
+}
+
+impl CoordinatorService {
+    /// The interface coordinators advertise.
+    pub fn interface() -> Interface {
+        Interface::new(
+            "sbdms.kernel.Coordinator",
+            1,
+            vec![
+                Operation::opaque("status"),
+                Operation::opaque("release_resources"),
+                Operation::opaque("supervise"),
+            ],
+        )
+    }
+
+    /// Wrap a coordinator.
+    pub fn new(name: &str, coordinator: Coordinator) -> CoordinatorService {
+        let contract = Contract::for_interface(Self::interface())
+            .describe("coordinator service: supervision and reconfiguration", "coordination")
+            .capability("role:coordinator");
+        CoordinatorService {
+            descriptor: Descriptor::new(name, contract),
+            coordinator,
+        }
+    }
+
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> ServiceRef {
+        Arc::new(self)
+    }
+}
+
+impl Service for CoordinatorService {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, input: Value) -> Result<Value> {
+        match op {
+            "status" => {
+                let bus = &self.coordinator.bus;
+                Ok(Value::map()
+                    .with("deployed", bus.deployed_ids().len())
+                    .with("enabled", bus.enabled_count())
+                    .with("footprint_bytes", bus.footprint_bytes()))
+            }
+            "release_resources" => {
+                let requester = ServiceId(input.require("requester")?.as_u64()?);
+                let resource = input.require("resource")?.as_str()?.to_string();
+                let amount = input.require("amount")?.as_u64()?;
+                self.coordinator
+                    .release_resources(requester, &resource, amount);
+                Ok(Value::Null)
+            }
+            "supervise" => {
+                let results = self.coordinator.supervise_once();
+                let recovered = results.iter().filter(|(_, r)| r.is_ok()).count();
+                Ok(Value::map()
+                    .with("handled", results.len())
+                    .with("recovered", recovered))
+            }
+            other => Err(crate::service::unknown_op(&self.descriptor, other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use crate::events::EventBus;
+    use crate::faults::FaultableService;
+    use crate::interface::Param;
+    use crate::property::PropertyStore;
+    use crate::repository::{OperationMapping, TransformationalSchema};
+    use crate::value::TypeTag;
+    use crate::service::FnService;
+
+    fn page_interface() -> Interface {
+        Interface::new(
+            "sbdms.Page",
+            1,
+            vec![Operation::new(
+                "read_page",
+                vec![Param::required("page_id", TypeTag::Int)],
+                TypeTag::Bytes,
+            )],
+        )
+    }
+
+    fn page_service(name: &str) -> ServiceRef {
+        FnService::new(name, Contract::for_interface(page_interface()), |_, input| {
+            let pid = input.require("page_id")?.as_int()?;
+            Ok(Value::Bytes(vec![pid as u8]))
+        })
+        .into_ref()
+    }
+
+    fn coordinator_for(bus: &ServiceBus) -> Coordinator {
+        let rm = ResourceManager::new(bus.events().clone(), bus.properties().clone());
+        Coordinator::new(bus.clone(), rm)
+    }
+
+    #[test]
+    fn direct_substitute_preferred() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a"));
+        let failed_id = bus.deploy(faulty).unwrap();
+        bus.deploy(page_service("page-b")).unwrap();
+
+        handle.kill("gone");
+        let coord = coordinator_for(&bus);
+        let recovery = coord.recover_interface(&page_interface(), Some(failed_id)).unwrap();
+        assert!(matches!(recovery, Recovery::DirectSubstitute(_)));
+
+        // The interface is routable again.
+        let out = bus
+            .invoke_interface("sbdms.Page", "read_page", Value::map().with("page_id", 5i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![5]));
+    }
+
+    #[test]
+    fn adapted_substitute_via_schema() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a"));
+        let failed_id = bus.deploy(faulty).unwrap();
+
+        // A vendor service with a different interface.
+        let vendor_iface = Interface::new(
+            "vendor.PageMgr",
+            1,
+            vec![Operation::new(
+                "get",
+                vec![Param::required("pid", TypeTag::Int)],
+                TypeTag::Map,
+            )],
+        );
+        let vendor = FnService::new("vendor", Contract::for_interface(vendor_iface), |_, input| {
+            let pid = input.require("pid")?.as_int()?;
+            Ok(Value::map().with("data", Value::Bytes(vec![pid as u8, 99])))
+        })
+        .into_ref();
+        bus.deploy(vendor).unwrap();
+
+        // The repository knows how to mediate.
+        bus.repository().store_schema(
+            TransformationalSchema::new("sbdms.Page", "vendor.PageMgr").with_op(
+                OperationMapping::identity("read_page")
+                    .to_op("get")
+                    .rename("page_id", "pid")
+                    .extract("data"),
+            ),
+        );
+
+        handle.kill("gone");
+        let rx = bus.events().subscribe();
+        let coord = coordinator_for(&bus);
+        let recovery = coord
+            .recover_interface(&page_interface(), Some(failed_id))
+            .unwrap();
+        assert!(matches!(recovery, Recovery::AdaptedSubstitute { .. }));
+
+        // Calls against the original interface now succeed through the adaptor.
+        let out = bus
+            .invoke_interface("sbdms.Page", "read_page", Value::map().with("page_id", 3i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![3, 99]));
+
+        let recomposed: Vec<_> = rx
+            .try_iter()
+            .filter(|e| matches!(e, Event::WorkflowRecomposed { via_adaptor: true, .. }))
+            .collect();
+        assert_eq!(recomposed.len(), 1);
+    }
+
+    #[test]
+    fn unrecoverable_when_nothing_compatible() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a"));
+        let failed_id = bus.deploy(faulty).unwrap();
+        handle.kill("gone");
+
+        let coord = coordinator_for(&bus);
+        let err = coord
+            .recover_interface(&page_interface(), Some(failed_id))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::NoAlternateWorkflow(_)));
+    }
+
+    #[test]
+    fn supervise_once_recovers_failed_services() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a"));
+        bus.deploy(faulty).unwrap();
+        bus.deploy(page_service("page-b")).unwrap();
+        handle.kill("dead");
+
+        let coord = coordinator_for(&bus);
+        let results = coord.supervise_once();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_ok());
+        // Second pass: already disabled, nothing to do.
+        assert!(coord.supervise_once().is_empty());
+    }
+
+    #[test]
+    fn coordinator_service_operations() {
+        let bus = ServiceBus::new();
+        bus.deploy(page_service("page-a")).unwrap();
+        let coord = coordinator_for(&bus);
+        coord.resources().define("memory", 1000, 0);
+        coord.resources().request("memory", 600).unwrap();
+
+        let svc = CoordinatorService::new("coordinator", coord.clone());
+        let coord_id = bus.deploy(svc.into_ref()).unwrap();
+
+        let status = bus.invoke(coord_id, "status", Value::map()).unwrap();
+        assert_eq!(status.get("deployed").unwrap().as_int().unwrap(), 2);
+
+        bus.invoke(
+            coord_id,
+            "release_resources",
+            Value::map()
+                .with("requester", 1u64)
+                .with("resource", "memory")
+                .with("amount", 600u64),
+        )
+        .unwrap();
+        assert_eq!(coord.resources().budget("memory").unwrap().used, 0);
+
+        let sup = bus.invoke(coord_id, "supervise", Value::map()).unwrap();
+        assert_eq!(sup.get("handled").unwrap().as_int().unwrap(), 0);
+        assert!(bus.invoke(coord_id, "bogus", Value::map()).is_err());
+    }
+
+    #[test]
+    fn quality_calibration_corrects_misleading_claims() {
+        use crate::contract::Quality;
+        let bus = ServiceBus::new();
+        // "liar" advertises 10ns but busy-works; "honest" advertises
+        // 100µs but returns immediately.
+        let liar_contract = Contract::for_interface(page_interface()).quality(Quality {
+            expected_latency_ns: 10,
+            ..Quality::default()
+        });
+        let liar = FnService::new("liar", liar_contract, |_, input| {
+            let start = std::time::Instant::now();
+            while start.elapsed() < std::time::Duration::from_micros(300) {
+                std::hint::spin_loop();
+            }
+            let pid = input.require("page_id")?.as_int()?;
+            Ok(Value::Bytes(vec![pid as u8]))
+        })
+        .into_ref();
+        let honest_contract = Contract::for_interface(page_interface()).quality(Quality {
+            expected_latency_ns: 100_000,
+            ..Quality::default()
+        });
+        let honest = FnService::new("honest", honest_contract, |_, input| {
+            let pid = input.require("page_id")?.as_int()?;
+            Ok(Value::Bytes(vec![pid as u8]))
+        })
+        .into_ref();
+        let liar_id = bus.deploy(liar).unwrap();
+        let honest_id = bus.deploy(honest).unwrap();
+
+        // Advertised quality picks the liar.
+        assert_eq!(bus.resolve_interface("sbdms.Page").unwrap(), liar_id);
+
+        // Observe both under real traffic.
+        for _ in 0..20 {
+            for id in [liar_id, honest_id] {
+                bus.invoke(id, "read_page", Value::map().with("page_id", 1i64))
+                    .unwrap();
+            }
+        }
+        let coord = coordinator_for(&bus);
+        let changed = coord.calibrate_quality(10);
+        assert!(changed.contains(&liar_id) || changed.contains(&honest_id));
+
+        // Measured quality now picks the honest service.
+        assert_eq!(bus.resolve_interface("sbdms.Page").unwrap(), honest_id);
+
+        // Calibration skips services without enough observations.
+        let fresh = bus.deploy(page_service("fresh")).unwrap();
+        assert!(!coord.calibrate_quality(10).contains(&fresh));
+    }
+
+    #[test]
+    fn adaptors_never_chain() {
+        // If the only candidate is itself an adaptor, recovery must fail
+        // rather than stack mediation layers.
+        let bus = ServiceBus::new();
+        let provider = page_service("real");
+        let adaptor = AdaptorService::generate(&page_interface(), provider, bus.repository())
+            .unwrap();
+        bus.deploy(adaptor.into_ref()).unwrap();
+        // Disable it so resolve_interface cannot return it directly.
+        let adaptor_id = bus.deployed_ids()[0];
+        bus.disable(adaptor_id).unwrap();
+
+        let coord = coordinator_for(&bus);
+        assert!(coord.recover_interface(&page_interface(), None).is_err());
+    }
+
+    #[test]
+    fn release_resources_publishes_event() {
+        let bus = ServiceBus::new();
+        let rx = bus.events().subscribe();
+        let rm = ResourceManager::new(bus.events().clone(), PropertyStore::new());
+        rm.define("memory", 100, 0);
+        rm.request("memory", 50).unwrap();
+        let coord = Coordinator::new(bus, rm);
+        coord.release_resources(ServiceId(9), "memory", 50);
+        assert!(rx
+            .try_iter()
+            .any(|e| matches!(e, Event::ReleaseResourcesRequested { amount: 50, .. })));
+        // Sanity: the EventBus used by rm is the same as coordinator's bus events.
+        let _ = EventBus::new();
+    }
+}

@@ -1,0 +1,199 @@
+//! Error types shared by every SBDMS service.
+//!
+//! The paper requires that services expose failures in a way coordinators
+//! can act on (§3.6 "make the architecture aware of missing or erroneous
+//! services"). `ServiceError` therefore distinguishes *recoverable*
+//! conditions — for which the architecture should look for an alternate
+//! workflow or substitute service — from plain caller errors.
+
+use std::fmt;
+
+use crate::service::ServiceId;
+
+/// The error type used by all service invocations in the SBDMS kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The requested service is not registered on the bus or in the
+    /// registry. Triggers flexibility-by-adaptation (paper §3.6).
+    ServiceNotFound(String),
+    /// The service exists but reported itself unavailable (stopped,
+    /// failed health check, or fault-injected).
+    ServiceUnavailable {
+        /// The service that is unavailable.
+        service: String,
+        /// Human-readable reason supplied by the monitor or the service.
+        reason: String,
+    },
+    /// The service does not expose the requested operation.
+    UnknownOperation {
+        /// The service that rejected the call.
+        service: String,
+        /// The operation that was requested.
+        operation: String,
+    },
+    /// The input value did not match the operation signature.
+    InvalidInput(String),
+    /// A service-contract policy assertion failed before invocation
+    /// (paper §3.2 "assertions that have to be fulfilled before a
+    /// service is invoked").
+    PolicyViolation(String),
+    /// Two interfaces are incompatible and no transformational schema is
+    /// available to generate an adaptor.
+    IncompatibleInterface {
+        /// Interface expected by the caller.
+        expected: String,
+        /// Interface actually provided.
+        found: String,
+    },
+    /// A resource budget was exhausted (paper Fig. 6 "Release Resources").
+    ResourceExhausted {
+        /// The resource kind, e.g. "memory" or "battery".
+        resource: String,
+        /// How much was requested.
+        requested: u64,
+        /// How much was available.
+        available: u64,
+    },
+    /// The underlying storage layer failed (I/O, corruption, ...).
+    Storage(String),
+    /// A workflow could not be completed and no alternate workflow was
+    /// found (paper §3.3 operational phase).
+    NoAlternateWorkflow(String),
+    /// A transaction conflict or abort.
+    Transaction(String),
+    /// Catch-all for domain-specific failures carried across the bus.
+    Internal(String),
+    /// The call was routed to a concrete service id that has since been
+    /// unregistered; carries the stale id for diagnostics.
+    StaleService(ServiceId),
+}
+
+impl ServiceError {
+    /// Whether the coordinator should attempt recovery (substitute
+    /// service / alternate workflow) for this error, per §3.6.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::ServiceNotFound(_)
+                | ServiceError::ServiceUnavailable { .. }
+                | ServiceError::ResourceExhausted { .. }
+                | ServiceError::StaleService(_)
+        )
+    }
+
+    /// Short machine-readable error code used in event payloads.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::ServiceNotFound(_) => "not_found",
+            ServiceError::ServiceUnavailable { .. } => "unavailable",
+            ServiceError::UnknownOperation { .. } => "unknown_op",
+            ServiceError::InvalidInput(_) => "invalid_input",
+            ServiceError::PolicyViolation(_) => "policy",
+            ServiceError::IncompatibleInterface { .. } => "incompatible",
+            ServiceError::ResourceExhausted { .. } => "resources",
+            ServiceError::Storage(_) => "storage",
+            ServiceError::NoAlternateWorkflow(_) => "no_workflow",
+            ServiceError::Transaction(_) => "txn",
+            ServiceError::Internal(_) => "internal",
+            ServiceError::StaleService(_) => "stale",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ServiceNotFound(name) => write!(f, "service not found: {name}"),
+            ServiceError::ServiceUnavailable { service, reason } => {
+                write!(f, "service {service} unavailable: {reason}")
+            }
+            ServiceError::UnknownOperation { service, operation } => {
+                write!(f, "service {service} has no operation {operation}")
+            }
+            ServiceError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ServiceError::PolicyViolation(msg) => write!(f, "policy violation: {msg}"),
+            ServiceError::IncompatibleInterface { expected, found } => {
+                write!(f, "incompatible interface: expected {expected}, found {found}")
+            }
+            ServiceError::ResourceExhausted {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "resource {resource} exhausted: requested {requested}, available {available}"
+            ),
+            ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ServiceError::NoAlternateWorkflow(task) => {
+                write!(f, "no alternate workflow for task {task}")
+            }
+            ServiceError::Transaction(msg) => write!(f, "transaction error: {msg}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServiceError::StaleService(id) => write!(f, "stale service id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Storage(e.to_string())
+    }
+}
+
+/// Result alias used throughout the kernel and every layer above it.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverable_classification() {
+        assert!(ServiceError::ServiceNotFound("x".into()).is_recoverable());
+        assert!(ServiceError::ServiceUnavailable {
+            service: "s".into(),
+            reason: "down".into()
+        }
+        .is_recoverable());
+        assert!(ServiceError::ResourceExhausted {
+            resource: "memory".into(),
+            requested: 10,
+            available: 1
+        }
+        .is_recoverable());
+        assert!(!ServiceError::InvalidInput("bad".into()).is_recoverable());
+        assert!(!ServiceError::PolicyViolation("p".into()).is_recoverable());
+        assert!(!ServiceError::Storage("io".into()).is_recoverable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServiceError::UnknownOperation {
+            service: "buffer".into(),
+            operation: "pin".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("buffer"));
+        assert!(s.contains("pin"));
+    }
+
+    #[test]
+    fn io_error_converts_to_storage() {
+        let io = std::io::Error::other("disk on fire");
+        let e: ServiceError = io.into();
+        assert_eq!(e.code(), "storage");
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique_enough() {
+        let errs = [ServiceError::ServiceNotFound("a".into()),
+            ServiceError::InvalidInput("b".into()),
+            ServiceError::PolicyViolation("c".into()),
+            ServiceError::Storage("d".into())];
+        let codes: Vec<_> = errs.iter().map(|e| e.code()).collect();
+        assert_eq!(codes, vec!["not_found", "invalid_input", "policy", "storage"]);
+    }
+}

@@ -1,0 +1,186 @@
+//! The kernel event bus.
+//!
+//! Paper §3.1: resource management processes "process notifications";
+//! §3.3: "in the operational phase coordinator services monitor
+//! architectural changes and service properties. If a change occurs
+//! resource management services find alternate workflows". Events are how
+//! monitors tell coordinators that the architecture changed.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::service::ServiceId;
+
+/// Architectural events flowing between monitors, coordinators and users.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A service was registered on the bus (flexibility by extension).
+    ServiceRegistered {
+        /// The new service.
+        id: ServiceId,
+        /// Its deployment name.
+        name: String,
+        /// Its interface name.
+        interface: String,
+    },
+    /// A service was removed from the bus.
+    ServiceUnregistered {
+        /// The removed service.
+        id: ServiceId,
+        /// Its deployment name.
+        name: String,
+    },
+    /// A monitor observed a service failure (flexibility by adaptation).
+    ServiceFailed {
+        /// The failed service.
+        id: ServiceId,
+        /// Failure description.
+        reason: String,
+    },
+    /// A monitor observed a degraded service.
+    ServiceDegraded {
+        /// The degraded service.
+        id: ServiceId,
+        /// Degradation description.
+        reason: String,
+    },
+    /// A resource fell below its alert threshold (paper §4 "low resource
+    /// alert, which can be caused by low battery capacity or high
+    /// computation load").
+    LowResource {
+        /// Resource kind, e.g. `memory`, `battery`.
+        resource: String,
+        /// Remaining capacity.
+        available: u64,
+        /// Total capacity.
+        capacity: u64,
+    },
+    /// A service explicitly asked the coordinator to free resources
+    /// (paper Fig. 6 "Release Resources").
+    ReleaseResourcesRequested {
+        /// The requesting service.
+        requester: ServiceId,
+        /// Resource kind.
+        resource: String,
+        /// Amount requested.
+        amount: u64,
+    },
+    /// A coordinator recomposed a workflow around a failed/missing service.
+    WorkflowRecomposed {
+        /// Logical task whose workflow changed.
+        task: String,
+        /// The service now serving the task.
+        replacement: ServiceId,
+        /// Whether an adaptor had to be generated.
+        via_adaptor: bool,
+    },
+    /// Free-form application event.
+    Custom {
+        /// Topic string.
+        topic: String,
+        /// Payload description.
+        detail: String,
+    },
+}
+
+/// Multi-producer multi-consumer event bus with per-subscriber queues.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    subscribers: Arc<RwLock<Vec<Sender<Event>>>>,
+}
+
+impl EventBus {
+    /// Create an empty bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Subscribe; every event published after this call is delivered to
+    /// the returned receiver.
+    pub fn subscribe(&self) -> Receiver<Event> {
+        let (tx, rx) = unbounded();
+        self.subscribers.write().push(tx);
+        rx
+    }
+
+    /// Publish an event to all live subscribers; dead subscribers are
+    /// pruned lazily.
+    pub fn publish(&self, event: Event) {
+        let mut subs = self.subscribers.write();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscribers (diagnostics).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_all_subscribers() {
+        let bus = EventBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        bus.publish(Event::Custom {
+            topic: "t".into(),
+            detail: "d".into(),
+        });
+        assert!(matches!(rx1.try_recv().unwrap(), Event::Custom { .. }));
+        assert!(matches!(rx2.try_recv().unwrap(), Event::Custom { .. }));
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let bus = EventBus::new();
+        {
+            let _rx = bus.subscribe();
+            assert_eq!(bus.subscriber_count(), 1);
+        }
+        bus.publish(Event::Custom {
+            topic: "x".into(),
+            detail: String::new(),
+        });
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn events_queue_in_order() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        for i in 0..5u64 {
+            bus.publish(Event::LowResource {
+                resource: "memory".into(),
+                available: i,
+                capacity: 10,
+            });
+        }
+        for i in 0..5u64 {
+            match rx.try_recv().unwrap() {
+                Event::LowResource { available, .. } => assert_eq!(available, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        let bus2 = bus.clone();
+        let h = std::thread::spawn(move || {
+            bus2.publish(Event::Custom {
+                topic: "from-thread".into(),
+                detail: String::new(),
+            });
+        });
+        h.join().unwrap();
+        assert!(matches!(rx.recv().unwrap(), Event::Custom { topic, .. } if topic == "from-thread"));
+    }
+}

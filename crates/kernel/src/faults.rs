@@ -1,0 +1,193 @@
+//! Fault injection: controlled service failures for testing and for the
+//! adaptation experiments.
+//!
+//! Paper §3.6 is about reacting to "missing or erroneous services"; to
+//! reproduce Fig. 7 deterministically we need services that become
+//! erroneous on command. `FaultableService` wraps any service with a
+//! switchable fault mode.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, ServiceError};
+use crate::service::{Descriptor, Health, Service, ServiceRef};
+use crate::value::Value;
+
+/// The failure behaviour currently injected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultMode {
+    /// Pass every call through.
+    None,
+    /// Fail every call and report `Health::Failed`.
+    FailAlways(String),
+    /// Pass calls through until `remaining` reaches zero, then behave as
+    /// `FailAlways` (models a service that dies mid-run).
+    FailAfter(u64),
+    /// Add fixed latency to every call and report `Health::Degraded`.
+    Slow(Duration),
+}
+
+/// A service wrapper with runtime-switchable fault injection.
+pub struct FaultableService {
+    inner: ServiceRef,
+    mode: RwLock<FaultMode>,
+    calls_until_failure: AtomicU64,
+}
+
+/// Shared control handle to flip fault modes from tests/benchmarks while
+/// the service is deployed on a bus.
+#[derive(Clone)]
+pub struct FaultHandle(Arc<FaultableService>);
+
+impl FaultHandle {
+    /// Switch the fault mode.
+    pub fn set_mode(&self, mode: FaultMode) {
+        if let FaultMode::FailAfter(n) = &mode {
+            self.0.calls_until_failure.store(*n, Ordering::SeqCst);
+        }
+        *self.0.mode.write() = mode;
+    }
+
+    /// Convenience: kill the service.
+    pub fn kill(&self, reason: &str) {
+        self.set_mode(FaultMode::FailAlways(reason.to_string()));
+    }
+
+    /// Convenience: restore normal operation.
+    pub fn heal(&self) {
+        self.set_mode(FaultMode::None);
+    }
+}
+
+impl FaultableService {
+    /// Wrap a service; returns the service handle for deployment and the
+    /// control handle for injecting faults.
+    pub fn wrap(inner: ServiceRef) -> (ServiceRef, FaultHandle) {
+        let svc = Arc::new(FaultableService {
+            inner,
+            mode: RwLock::new(FaultMode::None),
+            calls_until_failure: AtomicU64::new(0),
+        });
+        let handle = FaultHandle(svc.clone());
+        (svc, handle)
+    }
+}
+
+impl Service for FaultableService {
+    fn descriptor(&self) -> &Descriptor {
+        self.inner.descriptor()
+    }
+
+    fn invoke(&self, op: &str, input: Value) -> Result<Value> {
+        let mode = self.mode.read().clone();
+        match mode {
+            FaultMode::None => self.inner.invoke(op, input),
+            FaultMode::FailAlways(reason) => Err(ServiceError::ServiceUnavailable {
+                service: self.inner.descriptor().name.clone(),
+                reason,
+            }),
+            FaultMode::FailAfter(_) => {
+                let before = self.calls_until_failure.fetch_update(
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    |n| n.checked_sub(1),
+                );
+                match before {
+                    Ok(_) => self.inner.invoke(op, input),
+                    Err(_) => {
+                        *self.mode.write() = FaultMode::FailAlways("fault budget exhausted".into());
+                        Err(ServiceError::ServiceUnavailable {
+                            service: self.inner.descriptor().name.clone(),
+                            reason: "fault budget exhausted".into(),
+                        })
+                    }
+                }
+            }
+            FaultMode::Slow(delay) => {
+                std::thread::sleep(delay);
+                self.inner.invoke(op, input)
+            }
+        }
+    }
+
+    fn health(&self) -> Health {
+        match &*self.mode.read() {
+            FaultMode::None | FaultMode::FailAfter(_) => self.inner.health(),
+            FaultMode::FailAlways(reason) => Health::Failed(reason.clone()),
+            FaultMode::Slow(_) => Health::Degraded("fault-injected latency".into()),
+        }
+    }
+
+    fn start(&self) -> Result<()> {
+        self.inner.start()
+    }
+
+    fn stop(&self) -> Result<()> {
+        self.inner.stop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use crate::interface::{Interface, Operation};
+    use crate::service::FnService;
+
+    fn echo() -> ServiceRef {
+        let iface = Interface::new("t.echo", 1, vec![Operation::opaque("echo")]);
+        FnService::new("echo", Contract::for_interface(iface), |_, i| Ok(i)).into_ref()
+    }
+
+    #[test]
+    fn no_fault_passes_through() {
+        let (svc, _h) = FaultableService::wrap(echo());
+        assert_eq!(svc.invoke("echo", Value::Int(1)).unwrap(), Value::Int(1));
+        assert_eq!(svc.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn kill_and_heal() {
+        let (svc, h) = FaultableService::wrap(echo());
+        h.kill("power cut");
+        assert!(matches!(
+            svc.invoke("echo", Value::Int(1)),
+            Err(ServiceError::ServiceUnavailable { .. })
+        ));
+        assert!(matches!(svc.health(), Health::Failed(_)));
+        h.heal();
+        assert!(svc.invoke("echo", Value::Int(1)).is_ok());
+    }
+
+    #[test]
+    fn fail_after_budget() {
+        let (svc, h) = FaultableService::wrap(echo());
+        h.set_mode(FaultMode::FailAfter(3));
+        for _ in 0..3 {
+            assert!(svc.invoke("echo", Value::Int(0)).is_ok());
+        }
+        assert!(svc.invoke("echo", Value::Int(0)).is_err());
+        // Once tripped it stays failed.
+        assert!(svc.invoke("echo", Value::Int(0)).is_err());
+        assert!(matches!(svc.health(), Health::Failed(_)));
+    }
+
+    #[test]
+    fn slow_mode_degrades_health() {
+        let (svc, h) = FaultableService::wrap(echo());
+        h.set_mode(FaultMode::Slow(Duration::from_millis(1)));
+        let start = std::time::Instant::now();
+        assert!(svc.invoke("echo", Value::Int(0)).is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(1));
+        assert!(matches!(svc.health(), Health::Degraded(_)));
+    }
+
+    #[test]
+    fn descriptor_is_transparent() {
+        let (svc, _h) = FaultableService::wrap(echo());
+        assert_eq!(svc.descriptor().name, "echo");
+    }
+}

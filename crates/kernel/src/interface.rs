@@ -1,0 +1,264 @@
+//! Service interfaces and interface-compatibility checking.
+//!
+//! Paper §3: services are "accessible through a well defined and precisely
+//! described interface"; §3.6: when a substitute service provides "the
+//! original functionality" through *different* interfaces, adaptors mediate.
+//! The compatibility predicates here are what the coordinator uses to decide
+//! whether a substitute can be wired directly or needs an adaptor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::TypeTag;
+
+/// A named, typed parameter of a service operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    /// Field name within the request map.
+    pub name: String,
+    /// Declared type of the field.
+    pub ty: TypeTag,
+    /// Optional parameters may be omitted by callers.
+    pub optional: bool,
+}
+
+impl Param {
+    /// A required parameter.
+    pub fn required(name: &str, ty: TypeTag) -> Param {
+        Param {
+            name: name.to_string(),
+            ty,
+            optional: false,
+        }
+    }
+
+    /// An optional parameter.
+    pub fn optional(name: &str, ty: TypeTag) -> Param {
+        Param {
+            name: name.to_string(),
+            ty,
+            optional: true,
+        }
+    }
+}
+
+/// Signature of one operation exposed by a service interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Operation name, e.g. `read_page`.
+    pub name: String,
+    /// Request parameters (fields of the request `Value::Map`).
+    pub params: Vec<Param>,
+    /// Type of the response value.
+    pub returns: TypeTag,
+}
+
+impl Operation {
+    /// Construct an operation signature.
+    pub fn new(name: &str, params: Vec<Param>, returns: TypeTag) -> Operation {
+        Operation {
+            name: name.to_string(),
+            params,
+            returns,
+        }
+    }
+
+    /// An operation taking an opaque map and returning an opaque value;
+    /// used by coordinator-style generic endpoints.
+    pub fn opaque(name: &str) -> Operation {
+        Operation::new(name, vec![], TypeTag::Any)
+    }
+}
+
+/// A versioned service interface: the unit of substitutability.
+///
+/// Two services exposing equal interfaces are interchangeable without
+/// mediation (flexibility by selection); services with different interfaces
+/// need an adaptor generated from a transformational schema (flexibility by
+/// adaptation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interface {
+    /// Interface name, e.g. `sbdms.storage.Page`.
+    pub name: String,
+    /// Interface major version; different majors are never call-compatible.
+    pub version: u32,
+    /// Operations exposed.
+    pub operations: Vec<Operation>,
+}
+
+impl Interface {
+    /// Construct an interface.
+    pub fn new(name: &str, version: u32, operations: Vec<Operation>) -> Interface {
+        Interface {
+            name: name.to_string(),
+            version,
+            operations,
+        }
+    }
+
+    /// Look up an operation signature by name.
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Exact call compatibility: same name, same version, and every
+    /// operation the *expected* interface declares is provided with an
+    /// identical signature. The provider may offer extra operations.
+    pub fn is_call_compatible(&self, provider: &Interface) -> bool {
+        if self.name != provider.name || self.version != provider.version {
+            return false;
+        }
+        self.structurally_satisfied_by(provider)
+    }
+
+    /// Structural compatibility, ignoring names/versions: every operation
+    /// we expect exists on the provider with matching parameter names,
+    /// acceptable parameter types, and acceptable return type. This is the
+    /// predicate for "other components with different interfaces that can
+    /// provide the original functionality" *without* an adaptor (§3.6).
+    pub fn structurally_satisfied_by(&self, provider: &Interface) -> bool {
+        self.operations.iter().all(|want| {
+            provider.operation(&want.name).is_some_and(|have| {
+                signatures_compatible(want, have)
+            })
+        })
+    }
+
+    /// Operations declared here but missing (or signature-incompatible)
+    /// on `provider`; used by the adaptor generator to report precisely
+    /// what a transformational schema must cover.
+    pub fn missing_from<'a>(&'a self, provider: &Interface) -> Vec<&'a Operation> {
+        self.operations
+            .iter()
+            .filter(|want| {
+                !provider
+                    .operation(&want.name)
+                    .is_some_and(|have| signatures_compatible(want, have))
+            })
+            .collect()
+    }
+}
+
+/// Whether a provider operation `have` can serve calls written against
+/// `want`: all required params of `have` appear in `want` with acceptable
+/// types, and the return type of `have` is acceptable where `want.returns`
+/// is expected.
+fn signatures_compatible(want: &Operation, have: &Operation) -> bool {
+    let params_ok = have.params.iter().all(|hp| {
+        if hp.optional {
+            return true;
+        }
+        want.params
+            .iter()
+            .any(|wp| wp.name == hp.name && hp.ty.accepts(wp.ty))
+    });
+    params_ok && want.returns.accepts(have.returns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_iface() -> Interface {
+        Interface::new(
+            "sbdms.storage.Page",
+            1,
+            vec![
+                Operation::new(
+                    "read_page",
+                    vec![Param::required("page_id", TypeTag::Int)],
+                    TypeTag::Bytes,
+                ),
+                Operation::new(
+                    "write_page",
+                    vec![
+                        Param::required("page_id", TypeTag::Int),
+                        Param::required("data", TypeTag::Bytes),
+                    ],
+                    TypeTag::Null,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_interfaces_are_compatible() {
+        let a = page_iface();
+        let b = page_iface();
+        assert!(a.is_call_compatible(&b));
+        assert!(a.structurally_satisfied_by(&b));
+        assert!(a.missing_from(&b).is_empty());
+    }
+
+    #[test]
+    fn provider_may_offer_extra_operations() {
+        let want = page_iface();
+        let mut have = page_iface();
+        have.operations.push(Operation::opaque("compact"));
+        assert!(want.is_call_compatible(&have));
+    }
+
+    #[test]
+    fn version_mismatch_breaks_call_compat_but_not_structural() {
+        let want = page_iface();
+        let mut have = page_iface();
+        have.version = 2;
+        assert!(!want.is_call_compatible(&have));
+        assert!(want.structurally_satisfied_by(&have));
+    }
+
+    #[test]
+    fn different_name_same_shape_is_structural_only() {
+        let want = page_iface();
+        let mut have = page_iface();
+        have.name = "vendor.PageManager".into();
+        assert!(!want.is_call_compatible(&have));
+        assert!(want.structurally_satisfied_by(&have));
+    }
+
+    #[test]
+    fn missing_operation_detected() {
+        let want = page_iface();
+        let have = Interface::new(
+            "sbdms.storage.Page",
+            1,
+            vec![want.operations[0].clone()],
+        );
+        assert!(!want.is_call_compatible(&have));
+        let missing = want.missing_from(&have);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].name, "write_page");
+    }
+
+    #[test]
+    fn extra_required_param_on_provider_breaks_compat() {
+        let want = page_iface();
+        let mut have = page_iface();
+        have.operations[0]
+            .params
+            .push(Param::required("tenant", TypeTag::Str));
+        assert!(!want.structurally_satisfied_by(&have));
+    }
+
+    #[test]
+    fn extra_optional_param_on_provider_is_fine() {
+        let want = page_iface();
+        let mut have = page_iface();
+        have.operations[0]
+            .params
+            .push(Param::optional("hint", TypeTag::Str));
+        assert!(want.is_call_compatible(&have));
+    }
+
+    #[test]
+    fn return_type_widening_respected() {
+        let want = Interface::new(
+            "i",
+            1,
+            vec![Operation::new("f", vec![], TypeTag::Float)],
+        );
+        let have_int = Interface::new("i", 1, vec![Operation::new("f", vec![], TypeTag::Int)]);
+        let have_str = Interface::new("i", 1, vec![Operation::new("f", vec![], TypeTag::Str)]);
+        assert!(want.is_call_compatible(&have_int));
+        assert!(!want.is_call_compatible(&have_str));
+    }
+}

@@ -1,0 +1,57 @@
+//! # sbdms-kernel — the SOA/SCA kernel of the Service-Based DBMS
+//!
+//! This crate implements the architectural substrate of *"Architectural
+//! Concerns for Flexible Data Management"* (Subasu, Ziegler, Dittrich,
+//! Gall; EDBT 2008 workshops): everything the paper's Service-Based Data
+//! Management System (SBDMS) needs before any database functionality
+//! exists —
+//!
+//! * the [`service::Service`] trait and [`contract::Contract`] documents
+//!   (description, policy, quality; §3.2),
+//! * [`binding`]s separating communication from functionality (SCA §3.6),
+//! * [`registry::Registry`] discovery with P2P-style sync and
+//!   [`repository::Repository`] transformational schemas (§3.1, §4),
+//! * the [`bus::ServiceBus`] runtime enforcing contracts and collecting
+//!   metrics,
+//! * [`component`]: the SCA component/composite model (Figs. 3–4),
+//! * [`coordinator`], [`resource`], [`monitor`]: supervision, resource
+//!   management and health monitoring (§3.1, Fig. 6),
+//! * [`adaptor`]: generated interface mediation (§3.6, Fig. 7),
+//! * [`workflow`]: late-bound multi-step compositions with alternate
+//!   workflows (§3.3, §3.5),
+//! * [`faults`]: deterministic fault injection for the adaptation
+//!   experiments.
+//!
+//! The database layers (storage/access/data/extension) and the assembled
+//! SBDMS live in the sibling crates `sbdms-storage`, `sbdms-access`,
+//! `sbdms-data`, `sbdms-extension` and `sbdms`.
+
+#![warn(missing_docs)]
+
+pub mod adaptor;
+pub mod binding;
+pub mod bus;
+pub mod component;
+pub mod contract;
+pub mod coordinator;
+pub mod error;
+pub mod events;
+pub mod faults;
+pub mod interface;
+pub mod metrics;
+pub mod monitor;
+pub mod property;
+pub mod registry;
+pub mod repository;
+pub mod resource;
+pub mod service;
+pub mod value;
+pub mod workflow;
+
+pub use binding::{Binding, BindingKind, BindingRef};
+pub use bus::ServiceBus;
+pub use contract::{Assertion, Contract, Description, Policy, Quality};
+pub use error::{Result, ServiceError};
+pub use interface::{Interface, Operation, Param};
+pub use service::{Descriptor, FnService, Health, Service, ServiceId, ServiceRef};
+pub use value::{TypeTag, Value};

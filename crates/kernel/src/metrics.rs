@@ -1,0 +1,217 @@
+//! Invocation metrics collected by the service bus.
+//!
+//! Paper §3.1: resource-management processes "support information about
+//! service working states"; §4: developers "require additional information
+//! to monitor the state of a storage service (e.g., work load ...)".
+//! The bus records per-service counters that coordinators and monitoring
+//! services read, and that the benchmark harness uses to report overheads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::service::ServiceId;
+
+/// Lock-free counters for one service.
+#[derive(Default)]
+pub struct ServiceCounters {
+    /// Successful invocations.
+    pub calls: AtomicU64,
+    /// Failed invocations.
+    pub errors: AtomicU64,
+    /// Total latency of completed invocations, nanoseconds.
+    pub total_latency_ns: AtomicU64,
+    /// Total request payload bytes (approximate).
+    pub request_bytes: AtomicU64,
+}
+
+impl ServiceCounters {
+    /// Record one completed call.
+    pub fn record(&self, ok: bool, latency_ns: u64, request_bytes: u64) {
+        if ok {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_latency_ns.fetch_add(latency_ns, Ordering::Relaxed);
+        self.request_bytes.fetch_add(request_bytes, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            total_latency_ns: self.total_latency_ns.load(Ordering::Relaxed),
+            request_bytes: self.request_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of one service's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountersSnapshot {
+    /// Successful invocations.
+    pub calls: u64,
+    /// Failed invocations.
+    pub errors: u64,
+    /// Total latency, nanoseconds.
+    pub total_latency_ns: u64,
+    /// Total request bytes.
+    pub request_bytes: u64,
+}
+
+impl CountersSnapshot {
+    /// Mean latency per completed call, nanoseconds.
+    pub fn mean_latency_ns(&self) -> f64 {
+        let n = self.calls + self.errors;
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency_ns as f64 / n as f64
+        }
+    }
+
+    /// Error rate among completed calls.
+    pub fn error_rate(&self) -> f64 {
+        let n = self.calls + self.errors;
+        if n == 0 {
+            0.0
+        } else {
+            self.errors as f64 / n as f64
+        }
+    }
+}
+
+/// Registry of per-service counters, shared by the bus and monitors.
+#[derive(Default, Clone)]
+pub struct Metrics {
+    inner: Arc<RwLock<HashMap<ServiceId, Arc<ServiceCounters>>>>,
+}
+
+impl Metrics {
+    /// Create an empty metrics registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Counters for a service, created on first use.
+    pub fn counters(&self, id: ServiceId) -> Arc<ServiceCounters> {
+        if let Some(c) = self.inner.read().get(&id) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .entry(id)
+            .or_insert_with(|| Arc::new(ServiceCounters::default()))
+            .clone()
+    }
+
+    /// Snapshot for one service (zeroes if never invoked).
+    pub fn snapshot(&self, id: ServiceId) -> CountersSnapshot {
+        self.inner
+            .read()
+            .get(&id)
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of every tracked service.
+    pub fn snapshot_all(&self) -> Vec<(ServiceId, CountersSnapshot)> {
+        let mut out: Vec<_> = self
+            .inner
+            .read()
+            .iter()
+            .map(|(id, c)| (*id, c.snapshot()))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Drop counters of an unregistered service.
+    pub fn forget(&self, id: ServiceId) {
+        self.inner.write().remove(&id);
+    }
+
+    /// Total calls across all services — the bus-level "work load" figure.
+    pub fn total_calls(&self) -> u64 {
+        self.inner
+            .read()
+            .values()
+            .map(|c| c.calls.load(Ordering::Relaxed) + c.errors.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = Metrics::new();
+        let id = ServiceId(1);
+        m.counters(id).record(true, 100, 10);
+        m.counters(id).record(false, 300, 20);
+        let s = m.snapshot(id);
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.total_latency_ns, 400);
+        assert_eq!(s.request_bytes, 30);
+        assert_eq!(s.mean_latency_ns(), 200.0);
+        assert_eq!(s.error_rate(), 0.5);
+    }
+
+    #[test]
+    fn snapshot_of_unknown_service_is_zero() {
+        let m = Metrics::new();
+        let s = m.snapshot(ServiceId(99));
+        assert_eq!(s.calls, 0);
+        assert_eq!(s.mean_latency_ns(), 0.0);
+        assert_eq!(s.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn forget_removes_counters() {
+        let m = Metrics::new();
+        let id = ServiceId(7);
+        m.counters(id).record(true, 1, 1);
+        assert_eq!(m.total_calls(), 1);
+        m.forget(id);
+        assert_eq!(m.total_calls(), 0);
+        assert_eq!(m.snapshot_all().len(), 0);
+    }
+
+    #[test]
+    fn counters_shared_across_lookups() {
+        let m = Metrics::new();
+        let id = ServiceId(3);
+        let a = m.counters(id);
+        let b = m.counters(id);
+        a.record(true, 5, 0);
+        b.record(true, 7, 0);
+        assert_eq!(m.snapshot(id).calls, 2);
+        assert_eq!(m.snapshot(id).total_latency_ns, 12);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let m = Metrics::new();
+        let id = ServiceId(11);
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.counters(id).record(true, 1, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot(id).calls, 8000);
+    }
+}

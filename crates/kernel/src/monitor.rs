@@ -1,0 +1,278 @@
+//! Health monitoring services.
+//!
+//! Paper §3.1: coordinator services "monitor the service activity";
+//! §3.6: "the main issue here is to make the architecture aware of missing
+//! or erroneous services. To achieve this we introduce architecture
+//! properties that can be set by users or by monitoring services".
+//!
+//! `HealthMonitor` scans deployed services, publishes failure/degradation
+//! events, and mirrors per-service state into the property store so other
+//! services (and policy assertions) can read it. Scanning is an explicit
+//! `scan_once` tick — deterministic for tests and experiments — with an
+//! optional background pump for long-running deployments.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::bus::ServiceBus;
+use crate::events::Event;
+use crate::service::{Health, ServiceId};
+
+/// Summary of one monitoring sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScanReport {
+    /// Services scanned.
+    pub scanned: usize,
+    /// Newly observed failures this sweep.
+    pub new_failures: Vec<ServiceId>,
+    /// Newly observed degradations this sweep.
+    pub new_degradations: Vec<ServiceId>,
+    /// Services that recovered since the previous sweep.
+    pub recovered: Vec<ServiceId>,
+}
+
+/// Periodically inspects every deployed service's health.
+#[derive(Clone)]
+pub struct HealthMonitor {
+    bus: ServiceBus,
+    last_seen: Arc<Mutex<HashMap<ServiceId, Health>>>,
+}
+
+impl HealthMonitor {
+    /// Create a monitor over a bus.
+    pub fn new(bus: ServiceBus) -> HealthMonitor {
+        HealthMonitor {
+            bus,
+            last_seen: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Perform one monitoring sweep: compare each service's health to the
+    /// previously observed state, publish events for transitions, and
+    /// mirror health plus workload counters into architecture properties.
+    pub fn scan_once(&self) -> ScanReport {
+        let mut report = ScanReport::default();
+        let ids = self.bus.deployed_ids();
+        let mut last = self.last_seen.lock();
+
+        for id in ids {
+            let Some(health) = self.bus.health(id) else {
+                continue;
+            };
+            report.scanned += 1;
+            let name = self
+                .bus
+                .descriptor(id)
+                .map(|d| d.name)
+                .unwrap_or_else(|| id.to_string());
+
+            let previous = last.get(&id);
+            match (&health, previous) {
+                (Health::Failed(reason), prev)
+                    if !matches!(prev, Some(Health::Failed(_))) =>
+                {
+                    report.new_failures.push(id);
+                    self.bus.events().publish(Event::ServiceFailed {
+                        id,
+                        reason: reason.clone(),
+                    });
+                }
+                (Health::Degraded(reason), prev)
+                    if !matches!(prev, Some(Health::Degraded(_))) =>
+                {
+                    report.new_degradations.push(id);
+                    self.bus.events().publish(Event::ServiceDegraded {
+                        id,
+                        reason: reason.clone(),
+                    });
+                }
+                (Health::Healthy, Some(Health::Failed(_) | Health::Degraded(_))) => {
+                    report.recovered.push(id);
+                }
+                _ => {}
+            }
+
+            let status = match &health {
+                Health::Healthy => "healthy",
+                Health::Degraded(_) => "degraded",
+                Health::Failed(_) => "failed",
+            };
+            self.bus
+                .properties()
+                .set(&format!("service.{name}.health"), status);
+            let calls = self.bus.metrics().snapshot(id).calls;
+            self.bus
+                .properties()
+                .set(&format!("service.{name}.workload"), calls as i64);
+            last.insert(id, health);
+        }
+
+        // Forget services that were undeployed since the last sweep.
+        let deployed: std::collections::HashSet<_> =
+            self.bus.deployed_ids().into_iter().collect();
+        last.retain(|id, _| deployed.contains(id));
+        report
+    }
+
+    /// Spawn a background pump calling `scan_once` every `interval` until
+    /// the returned guard is dropped or stopped.
+    pub fn spawn(self, interval: Duration) -> MonitorGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("sbdms-health-monitor".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    self.scan_once();
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn health monitor");
+        MonitorGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background monitor on drop.
+pub struct MonitorGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MonitorGuard {
+    /// Stop the monitor and wait for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MonitorGuard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use crate::faults::FaultableService;
+    use crate::interface::{Interface, Operation};
+    use crate::service::FnService;
+    use crate::value::Value;
+
+    fn bus_with_faultable(name: &str) -> (ServiceBus, crate::faults::FaultHandle) {
+        let bus = ServiceBus::new();
+        let iface = Interface::new("t.E", 1, vec![Operation::opaque("echo")]);
+        let inner = FnService::new(name, Contract::for_interface(iface), |_, i| Ok(i)).into_ref();
+        let (svc, handle) = FaultableService::wrap(inner);
+        bus.deploy(svc).unwrap();
+        (bus, handle)
+    }
+
+    #[test]
+    fn failure_transition_published_once() {
+        let (bus, handle) = bus_with_faultable("svc-a");
+        let rx = bus.events().subscribe();
+        let monitor = HealthMonitor::new(bus.clone());
+
+        let r = monitor.scan_once();
+        assert_eq!(r.scanned, 1);
+        assert!(r.new_failures.is_empty());
+
+        handle.kill("cable pulled");
+        let r = monitor.scan_once();
+        assert_eq!(r.new_failures.len(), 1);
+        // Repeat scan: already-known failure, no duplicate event.
+        let r2 = monitor.scan_once();
+        assert!(r2.new_failures.is_empty());
+
+        let failures: Vec<_> = rx
+            .try_iter()
+            .filter(|e| matches!(e, Event::ServiceFailed { .. }))
+            .collect();
+        assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn recovery_detected() {
+        let (bus, handle) = bus_with_faultable("svc-b");
+        let monitor = HealthMonitor::new(bus);
+        monitor.scan_once();
+        handle.kill("x");
+        monitor.scan_once();
+        handle.heal();
+        let r = monitor.scan_once();
+        assert_eq!(r.recovered.len(), 1);
+    }
+
+    #[test]
+    fn properties_mirror_health_and_workload() {
+        let (bus, handle) = bus_with_faultable("svc-c");
+        let monitor = HealthMonitor::new(bus.clone());
+        let id = bus.deployed_ids()[0];
+        bus.invoke(id, "echo", Value::Int(1)).unwrap();
+        monitor.scan_once();
+        assert_eq!(
+            bus.properties().get("service.svc-c.health").unwrap(),
+            Value::Str("healthy".into())
+        );
+        assert_eq!(bus.properties().get_int("service.svc-c.workload"), Some(1));
+
+        handle.kill("dead");
+        monitor.scan_once();
+        assert_eq!(
+            bus.properties().get("service.svc-c.health").unwrap(),
+            Value::Str("failed".into())
+        );
+    }
+
+    #[test]
+    fn undeployed_services_forgotten() {
+        let (bus, _handle) = bus_with_faultable("svc-d");
+        let monitor = HealthMonitor::new(bus.clone());
+        monitor.scan_once();
+        let id = bus.deployed_ids()[0];
+        bus.undeploy(id).unwrap();
+        let r = monitor.scan_once();
+        assert_eq!(r.scanned, 0);
+        assert!(monitor.last_seen.lock().is_empty());
+    }
+
+    #[test]
+    fn background_pump_runs_and_stops() {
+        let (bus, handle) = bus_with_faultable("svc-e");
+        let rx = bus.events().subscribe();
+        let guard = HealthMonitor::new(bus).spawn(Duration::from_millis(5));
+        handle.kill("bg");
+        // Wait for the pump to notice.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let mut saw_failure = false;
+        while std::time::Instant::now() < deadline {
+            if rx
+                .try_iter()
+                .any(|e| matches!(e, Event::ServiceFailed { .. }))
+            {
+                saw_failure = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        guard.stop();
+        assert!(saw_failure);
+    }
+}

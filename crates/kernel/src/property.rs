@@ -1,0 +1,210 @@
+//! Architecture properties.
+//!
+//! Paper §3.6: "we introduce architecture properties that can be set by
+//! users or by monitoring services when existing components are removed or
+//! are erroneous" and (SCA, Fig. 3) "properties are read by the component
+//! when it is instantiated, allowing to customize its behaviour according
+//! to the current state of the architecture". The property store is the
+//! shared blackboard between users, monitors, coordinators and components.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::value::Value;
+
+/// A change observed on the property store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyChange {
+    /// Property key, e.g. `buffer.free_frames`.
+    pub key: String,
+    /// Previous value, if any.
+    pub old: Option<Value>,
+    /// New value (`None` means the property was removed).
+    pub new: Option<Value>,
+}
+
+type Watcher = Box<dyn Fn(&PropertyChange) + Send + Sync>;
+
+/// Shared, watchable key/value store of architecture state.
+#[derive(Clone, Default)]
+pub struct PropertyStore {
+    inner: Arc<RwLock<BTreeMap<String, Value>>>,
+    watchers: Arc<RwLock<Vec<Watcher>>>,
+}
+
+impl PropertyStore {
+    /// Create an empty store.
+    pub fn new() -> PropertyStore {
+        PropertyStore::default()
+    }
+
+    /// Read a property.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Read a property as i64 if present and integral.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(|v| v.as_int().ok())
+    }
+
+    /// Set a property, notifying watchers of the change.
+    pub fn set(&self, key: &str, value: impl Into<Value>) {
+        let value = value.into();
+        let old = self.inner.write().insert(key.to_string(), value.clone());
+        if old.as_ref() != Some(&value) {
+            self.notify(PropertyChange {
+                key: key.to_string(),
+                old,
+                new: Some(value),
+            });
+        }
+    }
+
+    /// Remove a property, notifying watchers if it existed.
+    pub fn remove(&self, key: &str) {
+        let old = self.inner.write().remove(key);
+        if old.is_some() {
+            self.notify(PropertyChange {
+                key: key.to_string(),
+                old,
+                new: None,
+            });
+        }
+    }
+
+    /// Atomically add `delta` to an integer property (missing counts as 0)
+    /// and return the new value. Used by resource monitors.
+    pub fn add_int(&self, key: &str, delta: i64) -> i64 {
+        let (old, new) = {
+            let mut map = self.inner.write();
+            let old = map.get(key).and_then(|v| v.as_int().ok());
+            let new = old.unwrap_or(0) + delta;
+            map.insert(key.to_string(), Value::Int(new));
+            (old, new)
+        };
+        self.notify(PropertyChange {
+            key: key.to_string(),
+            old: old.map(Value::Int),
+            new: Some(Value::Int(new)),
+        });
+        new
+    }
+
+    /// Register a watcher invoked on every change. Watchers run on the
+    /// mutating thread; they must be quick and must not mutate the store
+    /// (re-entrancy would deadlock by design — properties are state, not a
+    /// message bus; use `EventBus` for reactions that cascade).
+    pub fn watch(&self, watcher: impl Fn(&PropertyChange) + Send + Sync + 'static) {
+        self.watchers.write().push(Box::new(watcher));
+    }
+
+    /// Keys currently present, in sorted order.
+    pub fn keys(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Snapshot of all properties with a given prefix, e.g. `buffer.`.
+    pub fn with_prefix(&self, prefix: &str) -> BTreeMap<String, Value> {
+        self.inner
+            .read()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn notify(&self, change: PropertyChange) {
+        for w in self.watchers.read().iter() {
+            w(&change);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn set_get_remove() {
+        let p = PropertyStore::new();
+        assert_eq!(p.get("x"), None);
+        p.set("x", 7i64);
+        assert_eq!(p.get_int("x"), Some(7));
+        p.remove("x");
+        assert_eq!(p.get("x"), None);
+    }
+
+    #[test]
+    fn watchers_see_changes() {
+        let p = PropertyStore::new();
+        let seen = Arc::new(RwLock::new(Vec::new()));
+        let seen2 = seen.clone();
+        p.watch(move |c| seen2.write().push(c.clone()));
+
+        p.set("mode", "rw");
+        p.set("mode", "ro");
+        p.remove("mode");
+
+        let changes = seen.read();
+        assert_eq!(changes.len(), 3);
+        assert_eq!(changes[0].old, None);
+        assert_eq!(changes[1].old, Some(Value::Str("rw".into())));
+        assert_eq!(changes[2].new, None);
+    }
+
+    #[test]
+    fn redundant_set_does_not_notify() {
+        let p = PropertyStore::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = count.clone();
+        p.watch(move |_| {
+            count2.fetch_add(1, Ordering::SeqCst);
+        });
+        p.set("k", 1i64);
+        p.set("k", 1i64);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn add_int_accumulates() {
+        let p = PropertyStore::new();
+        assert_eq!(p.add_int("counter", 5), 5);
+        assert_eq!(p.add_int("counter", -2), 3);
+        assert_eq!(p.get_int("counter"), Some(3));
+    }
+
+    #[test]
+    fn prefix_snapshot() {
+        let p = PropertyStore::new();
+        p.set("buffer.frames", 100i64);
+        p.set("buffer.dirty", 3i64);
+        p.set("disk.pages", 9i64);
+        let snap = p.with_prefix("buffer.");
+        assert_eq!(snap.len(), 2);
+        assert!(snap.contains_key("buffer.frames"));
+        assert!(!snap.contains_key("disk.pages"));
+        assert_eq!(p.keys().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_add_int_is_atomic() {
+        let p = PropertyStore::new();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    p.add_int("n", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.get_int("n"), Some(4000));
+    }
+}

@@ -1,0 +1,274 @@
+//! Service registries: discovery of services by interface, capability,
+//! and layer.
+//!
+//! Paper §3.1: "service registries enable service discovery"; §4: "to
+//! enable service discovery, service repositories are required. For highly
+//! distributed and dynamic settings, P2P style service information updates
+//! can be used to transmit information between service repositories" —
+//! implemented here as `Registry::sync_from` gossip merging.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, ServiceError};
+use crate::service::{Descriptor, ServiceId};
+
+/// One discoverable entry. Registries hold descriptors, not live service
+/// handles — resolution to a callable endpoint happens on the bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registration {
+    /// The advertised descriptor.
+    pub descriptor: Descriptor,
+    /// Lamport-style version used to merge gossip updates; the higher
+    /// version wins for a given service id.
+    pub version: u64,
+    /// Whether the entry is a tombstone (unregistered but remembered so
+    /// gossip does not resurrect it).
+    pub removed: bool,
+}
+
+/// A service registry with P2P-style synchronisation.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<RwLock<HashMap<ServiceId, Registration>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Advertise a service.
+    pub fn register(&self, descriptor: Descriptor) {
+        let mut map = self.entries.write();
+        let version = map.get(&descriptor.id).map(|r| r.version + 1).unwrap_or(1);
+        map.insert(
+            descriptor.id,
+            Registration {
+                descriptor,
+                version,
+                removed: false,
+            },
+        );
+    }
+
+    /// Withdraw a service advertisement (tombstoned for gossip).
+    pub fn unregister(&self, id: ServiceId) {
+        let mut map = self.entries.write();
+        if let Some(reg) = map.get_mut(&id) {
+            reg.removed = true;
+            reg.version += 1;
+        }
+    }
+
+    /// Look up a live descriptor by id.
+    pub fn get(&self, id: ServiceId) -> Option<Descriptor> {
+        self.entries
+            .read()
+            .get(&id)
+            .filter(|r| !r.removed)
+            .map(|r| r.descriptor.clone())
+    }
+
+    /// Live descriptor by deployment name.
+    pub fn find_by_name(&self, name: &str) -> Option<Descriptor> {
+        self.live()
+            .into_iter()
+            .find(|d| d.name == name)
+    }
+
+    /// All live services exposing the given interface name, any version.
+    pub fn find_by_interface(&self, interface: &str) -> Vec<Descriptor> {
+        let mut out: Vec<_> = self
+            .live()
+            .into_iter()
+            .filter(|d| d.interface_name() == interface)
+            .collect();
+        out.sort_by_key(|d| d.id);
+        out
+    }
+
+    /// All live services advertising the capability tag.
+    pub fn find_by_capability(&self, tag: &str) -> Vec<Descriptor> {
+        let mut out: Vec<_> = self
+            .live()
+            .into_iter()
+            .filter(|d| d.contract.description.capabilities.iter().any(|c| c == tag))
+            .collect();
+        out.sort_by_key(|d| d.id);
+        out
+    }
+
+    /// All live services in a functional layer (paper Fig. 2).
+    pub fn find_by_layer(&self, layer: &str) -> Vec<Descriptor> {
+        let mut out: Vec<_> = self
+            .live()
+            .into_iter()
+            .filter(|d| d.contract.description.layer == layer)
+            .collect();
+        out.sort_by_key(|d| d.id);
+        out
+    }
+
+    /// Best live provider of an interface ranked by advertised quality
+    /// (lowest `Quality::score`). Used by flexibility-by-selection.
+    pub fn best_by_interface(&self, interface: &str) -> Result<Descriptor> {
+        self.find_by_interface(interface)
+            .into_iter()
+            .min_by(|a, b| {
+                a.contract
+                    .quality
+                    .score()
+                    .total_cmp(&b.contract.quality.score())
+            })
+            .ok_or_else(|| ServiceError::ServiceNotFound(interface.to_string()))
+    }
+
+    /// Count of live registrations.
+    pub fn len(&self) -> usize {
+        self.live().len()
+    }
+
+    /// True when no live registrations exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// P2P-style merge: pull every entry from `other` that is newer than
+    /// what we hold (or that we do not hold at all). Symmetric calls on
+    /// both registries converge them (§4 "P2P style service information
+    /// updates ... between service repositories"). Returns how many
+    /// entries changed locally.
+    pub fn sync_from(&self, other: &Registry) -> usize {
+        let theirs = other.entries.read().clone();
+        let mut ours = self.entries.write();
+        let mut changed = 0;
+        for (id, reg) in theirs {
+            let newer = ours
+                .get(&id)
+                .map(|mine| reg.version > mine.version)
+                .unwrap_or(true);
+            if newer {
+                ours.insert(id, reg);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    fn live(&self) -> Vec<Descriptor> {
+        self.entries
+            .read()
+            .values()
+            .filter(|r| !r.removed)
+            .map(|r| r.descriptor.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{Contract, Quality};
+    use crate::interface::{Interface, Operation};
+
+    fn desc(name: &str, iface: &str, layer: &str, latency: u64) -> Descriptor {
+        let interface = Interface::new(iface, 1, vec![Operation::opaque("run")]);
+        let contract = Contract::for_interface(interface)
+            .describe("test", layer)
+            .capability(&format!("task:{layer}"))
+            .quality(Quality {
+                expected_latency_ns: latency,
+                ..Quality::default()
+            });
+        Descriptor::new(name, contract)
+    }
+
+    #[test]
+    fn register_and_find() {
+        let r = Registry::new();
+        let d = desc("buf-a", "sbdms.Buffer", "storage", 100);
+        let id = d.id;
+        r.register(d);
+        assert_eq!(r.len(), 1);
+        assert!(r.get(id).is_some());
+        assert!(r.find_by_name("buf-a").is_some());
+        assert_eq!(r.find_by_interface("sbdms.Buffer").len(), 1);
+        assert_eq!(r.find_by_layer("storage").len(), 1);
+        assert_eq!(r.find_by_capability("task:storage").len(), 1);
+        assert!(r.find_by_interface("other").is_empty());
+    }
+
+    #[test]
+    fn unregister_hides_entry() {
+        let r = Registry::new();
+        let d = desc("buf-a", "sbdms.Buffer", "storage", 100);
+        let id = d.id;
+        r.register(d);
+        r.unregister(id);
+        assert!(r.get(id).is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn best_by_interface_prefers_quality() {
+        let r = Registry::new();
+        r.register(desc("slow", "sbdms.Buffer", "storage", 1_000_000));
+        r.register(desc("fast", "sbdms.Buffer", "storage", 50));
+        let best = r.best_by_interface("sbdms.Buffer").unwrap();
+        assert_eq!(best.name, "fast");
+        assert!(matches!(
+            r.best_by_interface("missing"),
+            Err(ServiceError::ServiceNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn gossip_sync_converges() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.register(desc("only-a", "i.A", "storage", 1));
+        b.register(desc("only-b", "i.B", "access", 1));
+
+        assert_eq!(a.sync_from(&b), 1);
+        assert_eq!(b.sync_from(&a), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        // Idempotent once converged.
+        assert_eq!(a.sync_from(&b), 0);
+    }
+
+    #[test]
+    fn gossip_does_not_resurrect_tombstones() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let d = desc("svc", "i.X", "data", 1);
+        let id = d.id;
+        a.register(d);
+        b.sync_from(&a);
+        assert_eq!(b.len(), 1);
+
+        // a removes; the tombstone (higher version) must win on b.
+        a.unregister(id);
+        b.sync_from(&a);
+        assert!(b.get(id).is_none());
+
+        // and syncing back from b must not resurrect on a.
+        a.sync_from(&b);
+        assert!(a.get(id).is_none());
+    }
+
+    #[test]
+    fn re_register_after_unregister_wins() {
+        let r = Registry::new();
+        let d = desc("svc", "i.X", "data", 1);
+        let id = d.id;
+        r.register(d.clone());
+        r.unregister(id);
+        r.register(d);
+        assert!(r.get(id).is_some());
+    }
+}

@@ -1,0 +1,297 @@
+//! Service repositories: contract documents and transformational schemas.
+//!
+//! Paper §3.1: "service repositories handle service schemas and
+//! transformational schemas, while service registries enable service
+//! discovery". A *transformational schema* describes how calls against one
+//! interface map onto another; the adaptor generator consumes them to
+//! mediate between mismatched services (paper §3.6, \[17\] semi-automated
+//! adaptation of service interactions).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::contract::Contract;
+use crate::error::{Result, ServiceError};
+use crate::value::Value;
+
+/// How one operation of a source interface maps to a target interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationMapping {
+    /// Operation name on the interface callers expect.
+    pub from_op: String,
+    /// Operation name on the substitute service.
+    pub to_op: String,
+    /// Request field renames, `caller field name -> provider field name`.
+    pub rename_params: Vec<(String, String)>,
+    /// Constant fields injected into the provider request (e.g. a default
+    /// tenant or mode the provider requires but the caller never sends).
+    pub inject_params: Vec<(String, Value)>,
+    /// If set, the provider's response map is unwrapped to this field.
+    pub extract_result: Option<String>,
+}
+
+impl OperationMapping {
+    /// Identity mapping for an operation (same name, same fields).
+    pub fn identity(op: &str) -> OperationMapping {
+        OperationMapping {
+            from_op: op.to_string(),
+            to_op: op.to_string(),
+            rename_params: Vec::new(),
+            inject_params: Vec::new(),
+            extract_result: None,
+        }
+    }
+
+    /// Builder: rename the operation on the provider side.
+    pub fn to_op(mut self, op: &str) -> OperationMapping {
+        self.to_op = op.to_string();
+        self
+    }
+
+    /// Builder: rename a request field.
+    pub fn rename(mut self, from: &str, to: &str) -> OperationMapping {
+        self.rename_params.push((from.to_string(), to.to_string()));
+        self
+    }
+
+    /// Builder: inject a constant field.
+    pub fn inject(mut self, key: &str, value: impl Into<Value>) -> OperationMapping {
+        self.inject_params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Builder: extract a response field as the result.
+    pub fn extract(mut self, key: &str) -> OperationMapping {
+        self.extract_result = Some(key.to_string());
+        self
+    }
+
+    /// Transform a caller request into the provider's shape.
+    pub fn map_request(&self, input: Value) -> Result<Value> {
+        if self.rename_params.is_empty() && self.inject_params.is_empty() {
+            return Ok(input);
+        }
+        let mut map = match input {
+            Value::Map(m) => m,
+            other if self.rename_params.is_empty() => {
+                // Non-map payloads pass through; injections need a map.
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("value".to_string(), other);
+                m
+            }
+            other => {
+                return Err(ServiceError::InvalidInput(format!(
+                    "mapping with renames requires a map payload, got {:?}",
+                    other.type_tag()
+                )))
+            }
+        };
+        for (from, to) in &self.rename_params {
+            if let Some(v) = map.remove(from) {
+                map.insert(to.clone(), v);
+            }
+        }
+        for (key, value) in &self.inject_params {
+            map.insert(key.clone(), value.clone());
+        }
+        Ok(Value::Map(map))
+    }
+
+    /// Transform the provider response back into the caller's shape.
+    pub fn map_response(&self, output: Value) -> Result<Value> {
+        match &self.extract_result {
+            None => Ok(output),
+            Some(field) => output
+                .get(field)
+                .cloned()
+                .ok_or_else(|| {
+                    ServiceError::InvalidInput(format!(
+                        "provider response missing extract field `{field}`"
+                    ))
+                }),
+        }
+    }
+}
+
+/// A transformational schema: a full mediation recipe between a source
+/// interface (what callers expect) and a target interface (what the
+/// substitute provides).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformationalSchema {
+    /// Interface name callers are written against.
+    pub from_interface: String,
+    /// Interface name of the substitute provider.
+    pub to_interface: String,
+    /// Per-operation mappings.
+    pub operations: Vec<OperationMapping>,
+}
+
+impl TransformationalSchema {
+    /// New empty schema between two interfaces.
+    pub fn new(from_interface: &str, to_interface: &str) -> TransformationalSchema {
+        TransformationalSchema {
+            from_interface: from_interface.to_string(),
+            to_interface: to_interface.to_string(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Builder: add an operation mapping.
+    pub fn with_op(mut self, mapping: OperationMapping) -> TransformationalSchema {
+        self.operations.push(mapping);
+        self
+    }
+
+    /// Find the mapping for a caller-side operation.
+    pub fn mapping_for(&self, from_op: &str) -> Option<&OperationMapping> {
+        self.operations.iter().find(|m| m.from_op == from_op)
+    }
+}
+
+/// The service repository: contract documents plus transformational
+/// schemas, both keyed for lookup by the coordinator and adaptor layers.
+#[derive(Clone, Default)]
+pub struct Repository {
+    contracts: Arc<RwLock<HashMap<String, String>>>,
+    schemas: Arc<RwLock<HashMap<(String, String), TransformationalSchema>>>,
+}
+
+impl Repository {
+    /// Create an empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Store a contract document under the service's deployment name,
+    /// rendered to the open format (paper §3.2).
+    pub fn store_contract(&self, name: &str, contract: &Contract) -> Result<()> {
+        let doc = contract.to_document()?;
+        self.contracts.write().insert(name.to_string(), doc);
+        Ok(())
+    }
+
+    /// Fetch and parse a stored contract document.
+    pub fn contract(&self, name: &str) -> Result<Contract> {
+        let doc = self
+            .contracts
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::ServiceNotFound(format!("contract for {name}")))?;
+        Contract::from_document(&doc)
+    }
+
+    /// Raw contract document (for tooling/inspection).
+    pub fn contract_document(&self, name: &str) -> Option<String> {
+        self.contracts.read().get(name).cloned()
+    }
+
+    /// Store a transformational schema.
+    pub fn store_schema(&self, schema: TransformationalSchema) {
+        self.schemas.write().insert(
+            (schema.from_interface.clone(), schema.to_interface.clone()),
+            schema,
+        );
+    }
+
+    /// Look up a schema mediating `from` (expected) to `to` (provided).
+    pub fn schema(&self, from: &str, to: &str) -> Option<TransformationalSchema> {
+        self.schemas
+            .read()
+            .get(&(from.to_string(), to.to_string()))
+            .cloned()
+    }
+
+    /// All schemas that mediate *from* the given interface, used when the
+    /// coordinator searches for any adaptable substitute (§3.6).
+    pub fn schemas_from(&self, from: &str) -> Vec<TransformationalSchema> {
+        let mut out: Vec<_> = self
+            .schemas
+            .read()
+            .values()
+            .filter(|s| s.from_interface == from)
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.to_interface.cmp(&b.to_interface));
+        out
+    }
+
+    /// Number of stored contracts.
+    pub fn contract_count(&self) -> usize {
+        self.contracts.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::{Interface, Operation};
+
+    #[test]
+    fn request_mapping_renames_and_injects() {
+        let m = OperationMapping::identity("read_page")
+            .to_op("fetch")
+            .rename("page_id", "pid")
+            .inject("mode", "ro");
+        let req = Value::map().with("page_id", 7i64).with("other", true);
+        let out = m.map_request(req).unwrap();
+        assert_eq!(out.get("pid").unwrap().as_int().unwrap(), 7);
+        assert!(out.get("page_id").is_none());
+        assert_eq!(out.get("mode").unwrap().as_str().unwrap(), "ro");
+        assert!(out.get("other").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn response_extraction() {
+        let m = OperationMapping::identity("read").extract("data");
+        let resp = Value::map().with("data", Value::Bytes(vec![1, 2])).with("meta", 0i64);
+        assert_eq!(m.map_response(resp).unwrap(), Value::Bytes(vec![1, 2]));
+        let missing = Value::map().with("meta", 0i64);
+        assert!(m.map_response(missing).is_err());
+    }
+
+    #[test]
+    fn identity_mapping_is_transparent() {
+        let m = OperationMapping::identity("op");
+        let v = Value::Bytes(vec![9]);
+        assert_eq!(m.map_request(v.clone()).unwrap(), v);
+        assert_eq!(m.map_response(v.clone()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_map_payload_with_renames_rejected() {
+        let m = OperationMapping::identity("op").rename("a", "b");
+        assert!(m.map_request(Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let repo = Repository::new();
+        let schema = TransformationalSchema::new("sbdms.Page", "vendor.PageMgr")
+            .with_op(OperationMapping::identity("read_page").to_op("get"));
+        repo.store_schema(schema.clone());
+        assert_eq!(repo.schema("sbdms.Page", "vendor.PageMgr"), Some(schema));
+        assert_eq!(repo.schema("sbdms.Page", "other"), None);
+        assert_eq!(repo.schemas_from("sbdms.Page").len(), 1);
+        assert!(repo.schemas_from("nothing").is_empty());
+    }
+
+    #[test]
+    fn contract_document_storage() {
+        let repo = Repository::new();
+        let c = Contract::for_interface(Interface::new(
+            "i.X",
+            1,
+            vec![Operation::opaque("go")],
+        ));
+        repo.store_contract("svc-x", &c).unwrap();
+        assert_eq!(repo.contract_count(), 1);
+        let fetched = repo.contract("svc-x").unwrap();
+        assert_eq!(fetched, c);
+        assert!(repo.contract("nope").is_err());
+        assert!(repo.contract_document("svc-x").unwrap().contains("i.X"));
+    }
+}

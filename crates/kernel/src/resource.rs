@@ -1,0 +1,232 @@
+//! Resource management services.
+//!
+//! Paper §3.1: functional services "are handled by resource management
+//! processes which support information about service working states,
+//! process notifications, and manage service configurations"; Fig. 6: a
+//! service that needs more resources "invokes a Release Resources method
+//! on the coordinator services to free additional resources"; §4: "in case
+//! of a low resource alert, which can be caused by low battery capacity or
+//! high computation load, our SBDMS architecture can direct the workload
+//! to other devices".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, ServiceError};
+use crate::events::{Event, EventBus};
+use crate::property::PropertyStore;
+
+/// One tracked resource pool (memory, battery, file handles, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Total capacity in resource units.
+    pub capacity: u64,
+    /// Currently allocated units.
+    pub used: u64,
+    /// Alert threshold: publishing `LowResource` when available falls to
+    /// or below this many units.
+    pub alert_below: u64,
+}
+
+impl Budget {
+    /// Remaining capacity.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+}
+
+/// Tracks resource budgets, grants/releases allocations, publishes low
+/// resource alerts, and mirrors state into the architecture property store
+/// so policy assertions can gate on it.
+#[derive(Clone)]
+pub struct ResourceManager {
+    budgets: Arc<Mutex<HashMap<String, Budget>>>,
+    events: EventBus,
+    properties: PropertyStore,
+}
+
+impl ResourceManager {
+    /// Create a manager publishing to the given event bus and mirroring
+    /// into the given property store under `resource.<kind>.*` keys.
+    pub fn new(events: EventBus, properties: PropertyStore) -> ResourceManager {
+        ResourceManager {
+            budgets: Arc::new(Mutex::new(HashMap::new())),
+            events,
+            properties,
+        }
+    }
+
+    /// Define (or redefine) a resource pool.
+    pub fn define(&self, resource: &str, capacity: u64, alert_below: u64) {
+        let budget = Budget {
+            capacity,
+            used: 0,
+            alert_below,
+        };
+        self.budgets.lock().insert(resource.to_string(), budget);
+        self.mirror(resource, &budget);
+    }
+
+    /// Current budget for a resource.
+    pub fn budget(&self, resource: &str) -> Option<Budget> {
+        self.budgets.lock().get(resource).copied()
+    }
+
+    /// Request an allocation. Fails with `ResourceExhausted` when the pool
+    /// cannot satisfy it — a *recoverable* error that triggers selection
+    /// of an alternate workflow (paper Fig. 6).
+    pub fn request(&self, resource: &str, amount: u64) -> Result<()> {
+        let (budget, alert) = {
+            let mut budgets = self.budgets.lock();
+            let b = budgets
+                .get_mut(resource)
+                .ok_or_else(|| ServiceError::Internal(format!("unknown resource {resource}")))?;
+            if b.available() < amount {
+                return Err(ServiceError::ResourceExhausted {
+                    resource: resource.to_string(),
+                    requested: amount,
+                    available: b.available(),
+                });
+            }
+            b.used += amount;
+            (*b, b.available() <= b.alert_below)
+        };
+        self.mirror(resource, &budget);
+        if alert {
+            self.events.publish(Event::LowResource {
+                resource: resource.to_string(),
+                available: budget.available(),
+                capacity: budget.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Release a previous allocation (over-release clamps to zero).
+    pub fn release(&self, resource: &str, amount: u64) {
+        let budget = {
+            let mut budgets = self.budgets.lock();
+            match budgets.get_mut(resource) {
+                Some(b) => {
+                    b.used = b.used.saturating_sub(amount);
+                    Some(*b)
+                }
+                None => None,
+            }
+        };
+        if let Some(b) = budget {
+            self.mirror(resource, &b);
+        }
+    }
+
+    /// Fraction of capacity in use, 0.0..=1.0.
+    pub fn utilisation(&self, resource: &str) -> f64 {
+        self.budget(resource)
+            .map(|b| {
+                if b.capacity == 0 {
+                    1.0
+                } else {
+                    b.used as f64 / b.capacity as f64
+                }
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Whether the pool is currently in its alert region.
+    pub fn is_low(&self, resource: &str) -> bool {
+        self.budget(resource)
+            .map(|b| b.available() <= b.alert_below)
+            .unwrap_or(false)
+    }
+
+    fn mirror(&self, resource: &str, budget: &Budget) {
+        self.properties
+            .set(&format!("resource.{resource}.available"), budget.available() as i64);
+        self.properties
+            .set(&format!("resource.{resource}.capacity"), budget.capacity as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> (ResourceManager, crossbeam::channel::Receiver<Event>) {
+        let events = EventBus::new();
+        let rx = events.subscribe();
+        let rm = ResourceManager::new(events, PropertyStore::new());
+        (rm, rx)
+    }
+
+    #[test]
+    fn request_and_release_lifecycle() {
+        let (rm, _rx) = manager();
+        rm.define("memory", 1000, 100);
+        rm.request("memory", 400).unwrap();
+        assert_eq!(rm.budget("memory").unwrap().used, 400);
+        assert!((rm.utilisation("memory") - 0.4).abs() < 1e-9);
+        rm.release("memory", 400);
+        assert_eq!(rm.budget("memory").unwrap().used, 0);
+    }
+
+    #[test]
+    fn exhaustion_is_recoverable_error() {
+        let (rm, _rx) = manager();
+        rm.define("memory", 100, 0);
+        let err = rm.request("memory", 200).unwrap_err();
+        assert!(err.is_recoverable());
+        assert!(matches!(err, ServiceError::ResourceExhausted { available: 100, .. }));
+    }
+
+    #[test]
+    fn low_resource_alert_published() {
+        let (rm, rx) = manager();
+        rm.define("battery", 100, 20);
+        rm.request("battery", 70).unwrap();
+        assert!(rx.try_recv().is_err(), "not yet low");
+        rm.request("battery", 15).unwrap();
+        match rx.try_recv().unwrap() {
+            Event::LowResource {
+                resource,
+                available,
+                capacity,
+            } => {
+                assert_eq!(resource, "battery");
+                assert_eq!(available, 15);
+                assert_eq!(capacity, 100);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(rm.is_low("battery"));
+    }
+
+    #[test]
+    fn properties_mirrored_for_policy_gating() {
+        let events = EventBus::new();
+        let props = PropertyStore::new();
+        let rm = ResourceManager::new(events, props.clone());
+        rm.define("memory", 1000, 10);
+        rm.request("memory", 999).unwrap();
+        assert_eq!(props.get_int("resource.memory.available"), Some(1));
+        assert_eq!(props.get_int("resource.memory.capacity"), Some(1000));
+    }
+
+    #[test]
+    fn over_release_clamps() {
+        let (rm, _rx) = manager();
+        rm.define("handles", 10, 0);
+        rm.request("handles", 5).unwrap();
+        rm.release("handles", 50);
+        assert_eq!(rm.budget("handles").unwrap().used, 0);
+    }
+
+    #[test]
+    fn unknown_resource_rejected() {
+        let (rm, _rx) = manager();
+        assert!(rm.request("plutonium", 1).is_err());
+        assert_eq!(rm.utilisation("plutonium"), 0.0);
+        assert!(!rm.is_low("plutonium"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The `Service` trait: the atomic unit of the SBDMS architecture.
+//!
+//! Paper §3: "services are accessed only by means of a well defined
+//! interface, without requiring detailed knowledge on their
+//! implementation" and "due to loose coupling, services are not aware of
+//! which services they are called from". Accordingly a service sees only
+//! `(operation, request value)` and returns a value; callers see only the
+//! descriptor (identity + contract).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::contract::Contract;
+use crate::error::{Result, ServiceError};
+use crate::value::Value;
+
+/// Unique identity of a deployed service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceId(pub u64);
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc#{}", self.0)
+    }
+}
+
+static NEXT_SERVICE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl ServiceId {
+    /// Allocate a fresh process-unique service id.
+    pub fn fresh() -> ServiceId {
+        ServiceId(NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Health as observed by monitoring services (paper §3.1: coordinator
+/// services "monitor the service activity").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Health {
+    /// Operating normally.
+    Healthy,
+    /// Operating but degraded (e.g. under resource pressure); coordinators
+    /// may prefer alternates but need not reconfigure.
+    Degraded(String),
+    /// Not usable; coordinators must reconfigure around it (§3.6).
+    Failed(String),
+}
+
+impl Health {
+    /// Whether the service can still accept calls.
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, Health::Failed(_))
+    }
+}
+
+/// Static identity + contract of a deployed service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Descriptor {
+    /// Instance id.
+    pub id: ServiceId,
+    /// Instance name, unique per deployment, e.g. `buffer-manager-a`.
+    pub name: String,
+    /// The governing contract (interface + description + policy + quality).
+    pub contract: Contract,
+}
+
+impl Descriptor {
+    /// Build a descriptor with a fresh id.
+    pub fn new(name: &str, contract: Contract) -> Descriptor {
+        Descriptor {
+            id: ServiceId::fresh(),
+            name: name.to_string(),
+            contract,
+        }
+    }
+
+    /// The interface name, a frequent lookup key.
+    pub fn interface_name(&self) -> &str {
+        &self.contract.interface.name
+    }
+}
+
+/// The atomic architectural unit: everything in SBDMS — storage managers,
+/// query processors, coordinators, adaptors, user extensions — implements
+/// this trait.
+pub trait Service: Send + Sync {
+    /// Identity and contract.
+    fn descriptor(&self) -> &Descriptor;
+
+    /// Handle one operation. `op` must be declared by the contract
+    /// interface; `input` is a `Value` (usually a map of named params).
+    fn invoke(&self, op: &str, input: Value) -> Result<Value>;
+
+    /// Transition into the operational phase (paper §3.3). Default no-op.
+    fn start(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Leave the operational phase, releasing resources. Default no-op.
+    fn stop(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Current health as self-reported; monitors may override this view.
+    fn health(&self) -> Health {
+        Health::Healthy
+    }
+}
+
+/// Shared handle to a deployed service.
+pub type ServiceRef = Arc<dyn Service>;
+
+/// Convenience: build the standard "unknown operation" error.
+pub fn unknown_op(descriptor: &Descriptor, op: &str) -> ServiceError {
+    ServiceError::UnknownOperation {
+        service: descriptor.name.clone(),
+        operation: op.to_string(),
+    }
+}
+
+/// A service implemented by a closure; the workhorse for tests, examples,
+/// and quick user extensions (paper §3.4: applications can directly
+/// integrate their own functionality as services).
+pub struct FnService {
+    descriptor: Descriptor,
+    #[allow(clippy::type_complexity)]
+    handler: Box<dyn Fn(&str, Value) -> Result<Value> + Send + Sync>,
+}
+
+impl FnService {
+    /// Wrap a closure as a service.
+    pub fn new(
+        name: &str,
+        contract: Contract,
+        handler: impl Fn(&str, Value) -> Result<Value> + Send + Sync + 'static,
+    ) -> FnService {
+        FnService {
+            descriptor: Descriptor::new(name, contract),
+            handler: Box::new(handler),
+        }
+    }
+
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> ServiceRef {
+        Arc::new(self)
+    }
+}
+
+impl Service for FnService {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, input: Value) -> Result<Value> {
+        (self.handler)(op, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use crate::interface::{Interface, Operation};
+
+    fn echo_service() -> FnService {
+        let iface = Interface::new("t.echo", 1, vec![Operation::opaque("echo")]);
+        FnService::new("echo-1", Contract::for_interface(iface), |op, input| {
+            if op == "echo" {
+                Ok(input)
+            } else {
+                Err(ServiceError::Internal("nope".into()))
+            }
+        })
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = ServiceId::fresh();
+        let b = ServiceId::fresh();
+        assert_ne!(a, b);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn fn_service_dispatch() {
+        let svc = echo_service();
+        let out = svc.invoke("echo", Value::Int(7)).unwrap();
+        assert_eq!(out, Value::Int(7));
+        assert!(svc.invoke("other", Value::Null).is_err());
+        assert_eq!(svc.descriptor().interface_name(), "t.echo");
+    }
+
+    #[test]
+    fn default_lifecycle_and_health() {
+        let svc = echo_service();
+        assert!(svc.start().is_ok());
+        assert!(svc.stop().is_ok());
+        assert_eq!(svc.health(), Health::Healthy);
+        assert!(Health::Healthy.is_usable());
+        assert!(Health::Degraded("busy".into()).is_usable());
+        assert!(!Health::Failed("dead".into()).is_usable());
+    }
+
+    #[test]
+    fn display_service_id() {
+        assert_eq!(ServiceId(42).to_string(), "svc#42");
+    }
+}

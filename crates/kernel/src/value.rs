@@ -1,0 +1,394 @@
+//! The dynamic value model exchanged between services.
+//!
+//! Paper §3.2: "service contract documents should be described using open
+//! formats" and services "communicate using an arbitrary protocol". The
+//! kernel therefore carries a self-describing `Value` across every service
+//! boundary; bindings may serialise it to an open wire format (JSON) or
+//! pass it in memory untouched.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, ServiceError};
+
+/// Self-describing payload exchanged through service interfaces.
+///
+/// `Map` uses a `BTreeMap` so payloads have a deterministic field order,
+/// which keeps contract hashing, logging, and test assertions stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absence of a value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes (page images, record payloads).
+    Bytes(Vec<u8>),
+    /// Ordered list.
+    List(Vec<Value>),
+    /// String-keyed map with deterministic ordering.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Type tag of this value; used for interface signature checking.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            Value::Null => TypeTag::Null,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Int(_) => TypeTag::Int,
+            Value::Float(_) => TypeTag::Float,
+            Value::Str(_) => TypeTag::Str,
+            Value::Bytes(_) => TypeTag::Bytes,
+            Value::List(_) => TypeTag::List,
+            Value::Map(_) => TypeTag::Map,
+        }
+    }
+
+    /// Build an empty map value.
+    pub fn map() -> Value {
+        Value::Map(BTreeMap::new())
+    }
+
+    /// Builder-style field insertion; only valid on `Map` values.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Value {
+        if let Value::Map(m) = &mut self {
+            m.insert(key.to_string(), value.into());
+        }
+        self
+    }
+
+    /// Fetch a field from a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Fetch a required field, erroring with a contract-style message.
+    pub fn require(&self, key: &str) -> Result<&Value> {
+        self.get(key)
+            .ok_or_else(|| ServiceError::InvalidInput(format!("missing field `{key}`")))
+    }
+
+    /// Interpret as i64.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(ServiceError::InvalidInput(format!(
+                "expected int, found {:?}",
+                other.type_tag()
+            ))),
+        }
+    }
+
+    /// Interpret as u64 (rejecting negatives).
+    pub fn as_u64(&self) -> Result<u64> {
+        let i = self.as_int()?;
+        u64::try_from(i)
+            .map_err(|_| ServiceError::InvalidInput(format!("expected non-negative int, got {i}")))
+    }
+
+    /// Interpret as f64 (ints widen losslessly enough for our payloads).
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(ServiceError::InvalidInput(format!(
+                "expected float, found {:?}",
+                other.type_tag()
+            ))),
+        }
+    }
+
+    /// Interpret as bool.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ServiceError::InvalidInput(format!(
+                "expected bool, found {:?}",
+                other.type_tag()
+            ))),
+        }
+    }
+
+    /// Interpret as string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(ServiceError::InvalidInput(format!(
+                "expected string, found {:?}",
+                other.type_tag()
+            ))),
+        }
+    }
+
+    /// Interpret as byte slice.
+    pub fn as_bytes(&self) -> Result<&[u8]> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            other => Err(ServiceError::InvalidInput(format!(
+                "expected bytes, found {:?}",
+                other.type_tag()
+            ))),
+        }
+    }
+
+    /// Interpret as list slice.
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(l) => Ok(l),
+            other => Err(ServiceError::InvalidInput(format!(
+                "expected list, found {:?}",
+                other.type_tag()
+            ))),
+        }
+    }
+
+    /// Interpret as map.
+    pub fn as_map(&self) -> Result<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => Err(ServiceError::InvalidInput(format!(
+                "expected map, found {:?}",
+                other.type_tag()
+            ))),
+        }
+    }
+
+    /// Serialise to the open wire format used by network-style bindings.
+    pub fn to_wire(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| ServiceError::Internal(format!("serialise: {e}")))
+    }
+
+    /// Deserialise from the open wire format.
+    pub fn from_wire(bytes: &[u8]) -> Result<Value> {
+        serde_json::from_slice(bytes).map_err(|e| ServiceError::Internal(format!("deserialise: {e}")))
+    }
+
+    /// Approximate in-memory size in bytes; used by resource accounting
+    /// and by the simulated network binding's transfer-cost model.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len() + 8,
+            Value::Bytes(b) => b.len() + 8,
+            Value::List(l) => 8 + l.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Map(m) => {
+                8 + m
+                    .iter()
+                    .map(|(k, v)| k.len() + 8 + v.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Type tags for interface signatures (paper §3.2: contracts carry "used
+/// data types").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeTag {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool,
+    /// Integer.
+    Int,
+    /// Float.
+    Float,
+    /// String.
+    Str,
+    /// Byte array.
+    Bytes,
+    /// List of values.
+    List,
+    /// String-keyed map.
+    Map,
+    /// Accepts any value; used by generic coordinator operations.
+    Any,
+}
+
+impl TypeTag {
+    /// Whether a value of tag `actual` is acceptable where `self` is
+    /// declared.
+    pub fn accepts(&self, actual: TypeTag) -> bool {
+        *self == TypeTag::Any || *self == actual || (*self == TypeTag::Float && actual == TypeTag::Int)
+    }
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TypeTag::Null => "null",
+            TypeTag::Bool => "bool",
+            TypeTag::Int => "int",
+            TypeTag::Float => "float",
+            TypeTag::Str => "str",
+            TypeTag::Bytes => "bytes",
+            TypeTag::List => "list",
+            TypeTag::Map => "map",
+            TypeTag::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn map_builder_roundtrip() {
+        let v = Value::map().with("page", 7i64).with("dirty", true).with("name", "users");
+        assert_eq!(v.get("page").unwrap().as_int().unwrap(), 7);
+        assert!(v.get("dirty").unwrap().as_bool().unwrap());
+        assert_eq!(v.get("name").unwrap().as_str().unwrap(), "users");
+        assert!(v.get("missing").is_none());
+        assert!(v.require("missing").is_err());
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let v = Value::Str("hello".into());
+        assert!(v.as_int().is_err());
+        assert!(v.as_bool().is_err());
+        assert!(v.as_bytes().is_err());
+        assert_eq!(v.as_str().unwrap(), "hello");
+    }
+
+    #[test]
+    fn float_accepts_int_widening() {
+        assert!(TypeTag::Float.accepts(TypeTag::Int));
+        assert!(!TypeTag::Int.accepts(TypeTag::Float));
+        assert!(TypeTag::Any.accepts(TypeTag::Bytes));
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn u64_rejects_negative() {
+        assert!(Value::Int(-1).as_u64().is_err());
+        assert_eq!(Value::Int(42).as_u64().unwrap(), 42);
+    }
+
+    #[test]
+    fn wire_roundtrip_nested() {
+        let v = Value::map()
+            .with("rows", Value::List(vec![Value::Int(1), Value::Str("a".into())]))
+            .with("blob", Value::Bytes(vec![0, 1, 255]));
+        let bytes = v.to_wire().unwrap();
+        let back = Value::from_wire(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn approx_size_monotone_in_content() {
+        let small = Value::map().with("k", "v");
+        let large = Value::map().with("k", "v".repeat(100));
+        assert!(large.approx_size() > small.approx_size());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
+            (-1e12f64..1e12f64).prop_map(Value::Float),
+            "[a-z]{0,12}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        ];
+        leaf.prop_recursive(3, 32, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+                proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Map),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wire_roundtrip(v in arb_value()) {
+            let bytes = v.to_wire().unwrap();
+            let back = Value::from_wire(&bytes).unwrap();
+            prop_assert_eq!(v, back);
+        }
+
+        #[test]
+        fn prop_approx_size_positive(v in arb_value()) {
+            prop_assert!(v.approx_size() >= 1);
+        }
+
+        #[test]
+        fn prop_type_tag_self_accepts(v in arb_value()) {
+            let t = v.type_tag();
+            prop_assert!(t.accepts(t));
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Workflows: late-bound multi-step service compositions.
+//!
+//! Paper §3.3: "services are composed dynamically at run time according to
+//! architectural changes and user requirements ... services are designed
+//! for late binding"; §3.5: "by being able to support multiple workflows
+//! for the same task, our SBDMS architecture can choose and use them
+//! according to specific requirements ... either based on a service
+//! description or by the user who manually specifies different workflows."
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::bus::ServiceBus;
+use crate::error::{Result, ServiceError};
+use crate::service::ServiceId;
+use crate::value::Value;
+
+/// How a step finds its service: the *late-binding* selectors resolve at
+/// execution time through the registry, so recomposed architectures are
+/// picked up without editing workflows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selector {
+    /// A concrete deployed instance (early binding).
+    ById(ServiceId),
+    /// A deployment name, resolved at execution time.
+    ByName(String),
+    /// Best enabled provider of an interface, resolved at execution time.
+    ByInterface(String),
+}
+
+/// Where a field of a composed step input comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// A literal value.
+    Literal(Value),
+    /// The whole output of the previous step.
+    Prev,
+    /// The whole output of a named earlier step.
+    Step(String),
+    /// One field of a named earlier step's map output.
+    Field(String, String),
+}
+
+/// How a step builds its request payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSpec {
+    /// A fixed payload.
+    Literal(Value),
+    /// The previous step's output, verbatim.
+    Prev,
+    /// A map assembled from sources.
+    Compose(Vec<(String, Source)>),
+}
+
+/// One step of a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Step label; the step's output is stored in the environment under
+    /// this name for later steps to reference.
+    pub name: String,
+    /// Service selection.
+    pub selector: Selector,
+    /// Operation to invoke.
+    pub op: String,
+    /// Request construction.
+    pub input: InputSpec,
+}
+
+impl Step {
+    /// Step invoking the best provider of an interface (late bound).
+    pub fn interface(name: &str, interface: &str, op: &str, input: InputSpec) -> Step {
+        Step {
+            name: name.to_string(),
+            selector: Selector::ByInterface(interface.to_string()),
+            op: op.to_string(),
+            input,
+        }
+    }
+
+    /// Step invoking a named deployment.
+    pub fn named(name: &str, service: &str, op: &str, input: InputSpec) -> Step {
+        Step {
+            name: name.to_string(),
+            selector: Selector::ByName(service.to_string()),
+            op: op.to_string(),
+            input,
+        }
+    }
+}
+
+/// A named, ordered composition of steps serving one logical task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workflow {
+    /// Workflow name (unique within its task's alternatives).
+    pub name: String,
+    /// The logical task it serves, e.g. `task:page-read`.
+    pub task: String,
+    /// Ordered steps.
+    pub steps: Vec<Step>,
+}
+
+impl Workflow {
+    /// Create an empty workflow for a task.
+    pub fn new(name: &str, task: &str) -> Workflow {
+        Workflow {
+            name: name.to_string(),
+            task: task.to_string(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Builder: append a step.
+    pub fn step(mut self, step: Step) -> Workflow {
+        self.steps.push(step);
+        self
+    }
+}
+
+/// Outcome of a workflow execution, including which alternative ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// The output of the final step.
+    pub output: Value,
+    /// Name of the workflow that completed.
+    pub workflow: String,
+    /// How many alternatives failed before this one succeeded.
+    pub failovers: usize,
+}
+
+/// Executes workflows against a bus, resolving late-bound selectors at
+/// run time and failing over across registered alternatives.
+#[derive(Clone)]
+pub struct WorkflowEngine {
+    bus: ServiceBus,
+    library: Arc<RwLock<HashMap<String, Vec<Workflow>>>>,
+}
+
+impl WorkflowEngine {
+    /// Create an engine bound to a bus.
+    pub fn new(bus: ServiceBus) -> WorkflowEngine {
+        WorkflowEngine {
+            bus,
+            library: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// Register a workflow as an alternative for its task. Order of
+    /// registration is the default preference order (paper §3.5: users can
+    /// manually specify different workflows).
+    pub fn register(&self, workflow: Workflow) {
+        self.library
+            .write()
+            .entry(workflow.task.clone())
+            .or_default()
+            .push(workflow);
+    }
+
+    /// Remove all workflows of a task (used when recomposing).
+    pub fn clear_task(&self, task: &str) {
+        self.library.write().remove(task);
+    }
+
+    /// The registered alternatives for a task, in preference order.
+    pub fn alternatives(&self, task: &str) -> Vec<Workflow> {
+        self.library.read().get(task).cloned().unwrap_or_default()
+    }
+
+    /// Execute one workflow: resolve each step, build its input from the
+    /// environment of earlier step results, invoke, and record the output.
+    pub fn execute(&self, workflow: &Workflow) -> Result<Value> {
+        let mut env: BTreeMap<String, Value> = BTreeMap::new();
+        let mut prev = Value::Null;
+        for step in &workflow.steps {
+            let id = self.resolve(&step.selector)?;
+            let input = self.build_input(&step.input, &prev, &env)?;
+            let out = self.bus.invoke(id, &step.op, input)?;
+            env.insert(step.name.clone(), out.clone());
+            prev = out;
+        }
+        Ok(prev)
+    }
+
+    /// Execute the task through its registered alternatives: try each in
+    /// preference order, failing over on *recoverable* errors (paper §3.3:
+    /// "if a change occurs resource management services find alternate
+    /// workflows to manage the new situation"). Non-recoverable errors
+    /// (bad input, policy violations) propagate immediately — retrying a
+    /// different workflow cannot fix a malformed request.
+    pub fn execute_task(&self, task: &str) -> Result<Execution> {
+        let alternatives = self.alternatives(task);
+        if alternatives.is_empty() {
+            return Err(ServiceError::NoAlternateWorkflow(task.to_string()));
+        }
+        let mut failovers = 0;
+        let mut last_err = None;
+        for wf in &alternatives {
+            match self.execute(wf) {
+                Ok(output) => {
+                    return Ok(Execution {
+                        output,
+                        workflow: wf.name.clone(),
+                        failovers,
+                    })
+                }
+                Err(e) if e.is_recoverable() => {
+                    failovers += 1;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| ServiceError::NoAlternateWorkflow(task.to_string())))
+    }
+
+    fn resolve(&self, selector: &Selector) -> Result<ServiceId> {
+        match selector {
+            Selector::ById(id) => Ok(*id),
+            Selector::ByName(name) => self
+                .bus
+                .registry()
+                .find_by_name(name)
+                .map(|d| d.id)
+                .ok_or_else(|| ServiceError::ServiceNotFound(name.clone())),
+            Selector::ByInterface(iface) => self.bus.resolve_interface(iface),
+        }
+    }
+
+    fn build_input(
+        &self,
+        spec: &InputSpec,
+        prev: &Value,
+        env: &BTreeMap<String, Value>,
+    ) -> Result<Value> {
+        match spec {
+            InputSpec::Literal(v) => Ok(v.clone()),
+            InputSpec::Prev => Ok(prev.clone()),
+            InputSpec::Compose(fields) => {
+                let mut out = BTreeMap::new();
+                for (key, source) in fields {
+                    let v = match source {
+                        Source::Literal(v) => v.clone(),
+                        Source::Prev => prev.clone(),
+                        Source::Step(step) => env
+                            .get(step)
+                            .cloned()
+                            .ok_or_else(|| {
+                                ServiceError::Internal(format!("unknown step `{step}`"))
+                            })?,
+                        Source::Field(step, field) => env
+                            .get(step)
+                            .and_then(|v| v.get(field))
+                            .cloned()
+                            .ok_or_else(|| {
+                                ServiceError::Internal(format!(
+                                    "step `{step}` has no field `{field}`"
+                                ))
+                            })?,
+                    };
+                    out.insert(key.clone(), v);
+                }
+                Ok(Value::Map(out))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Contract;
+    use crate::interface::{Interface, Operation};
+    use crate::service::FnService;
+
+    fn bus_with_math() -> ServiceBus {
+        let bus = ServiceBus::new();
+        let iface = Interface::new(
+            "t.Math",
+            1,
+            vec![Operation::opaque("double"), Operation::opaque("add")],
+        );
+        let svc = FnService::new("math", Contract::for_interface(iface), |op, input| match op {
+            "double" => Ok(Value::Int(input.require("x")?.as_int()? * 2)),
+            "add" => Ok(Value::Int(
+                input.require("a")?.as_int()? + input.require("b")?.as_int()?,
+            )),
+            _ => Err(ServiceError::Internal("bad op".into())),
+        })
+        .into_ref();
+        bus.deploy(svc).unwrap();
+        bus
+    }
+
+    #[test]
+    fn pipeline_threads_results_through_env() {
+        let bus = bus_with_math();
+        let engine = WorkflowEngine::new(bus);
+        // double(3) = 6; add(6, 10) = 16
+        let wf = Workflow::new("calc", "task:calc")
+            .step(Step::interface(
+                "doubled",
+                "t.Math",
+                "double",
+                InputSpec::Literal(Value::map().with("x", 3i64)),
+            ))
+            .step(Step::interface(
+                "sum",
+                "t.Math",
+                "add",
+                InputSpec::Compose(vec![
+                    ("a".into(), Source::Step("doubled".into())),
+                    ("b".into(), Source::Literal(Value::Int(10))),
+                ]),
+            ));
+        assert_eq!(engine.execute(&wf).unwrap(), Value::Int(16));
+    }
+
+    #[test]
+    fn field_source_extracts_from_maps() {
+        let bus = ServiceBus::new();
+        let iface = Interface::new("t.Pair", 1, vec![Operation::opaque("make"), Operation::opaque("pick")]);
+        let svc = FnService::new("pair", Contract::for_interface(iface), |op, input| match op {
+            "make" => Ok(Value::map().with("left", 1i64).with("right", 2i64)),
+            "pick" => Ok(input),
+            _ => unreachable!(),
+        })
+        .into_ref();
+        bus.deploy(svc).unwrap();
+        let engine = WorkflowEngine::new(bus);
+        let wf = Workflow::new("w", "t")
+            .step(Step::named("pair", "pair", "make", InputSpec::Literal(Value::Null)))
+            .step(Step::named(
+                "picked",
+                "pair",
+                "pick",
+                InputSpec::Compose(vec![("v".into(), Source::Field("pair".into(), "right".into()))]),
+            ));
+        let out = engine.execute(&wf).unwrap();
+        assert_eq!(out.get("v").unwrap().as_int().unwrap(), 2);
+    }
+
+    #[test]
+    fn task_failover_on_recoverable_error() {
+        let bus = bus_with_math();
+        let engine = WorkflowEngine::new(bus);
+        // First alternative points at a missing service; second works.
+        engine.register(Workflow::new("broken", "task:calc").step(Step::named(
+            "a",
+            "ghost-service",
+            "double",
+            InputSpec::Literal(Value::map().with("x", 1i64)),
+        )));
+        engine.register(Workflow::new("good", "task:calc").step(Step::interface(
+            "a",
+            "t.Math",
+            "double",
+            InputSpec::Literal(Value::map().with("x", 1i64)),
+        )));
+        let exec = engine.execute_task("task:calc").unwrap();
+        assert_eq!(exec.output, Value::Int(2));
+        assert_eq!(exec.workflow, "good");
+        assert_eq!(exec.failovers, 1);
+    }
+
+    #[test]
+    fn non_recoverable_errors_do_not_fail_over() {
+        let bus = bus_with_math();
+        let engine = WorkflowEngine::new(bus);
+        // "add" without fields -> InvalidInput, which is NOT recoverable.
+        engine.register(Workflow::new("bad-input", "task:sum").step(Step::interface(
+            "a",
+            "t.Math",
+            "add",
+            InputSpec::Literal(Value::map()),
+        )));
+        engine.register(Workflow::new("never-reached", "task:sum").step(Step::interface(
+            "a",
+            "t.Math",
+            "add",
+            InputSpec::Literal(Value::map().with("a", 1i64).with("b", 2i64)),
+        )));
+        assert!(matches!(
+            engine.execute_task("task:sum"),
+            Err(ServiceError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn no_alternatives_is_an_error() {
+        let bus = ServiceBus::new();
+        let engine = WorkflowEngine::new(bus);
+        assert!(matches!(
+            engine.execute_task("task:void"),
+            Err(ServiceError::NoAlternateWorkflow(_))
+        ));
+    }
+
+    #[test]
+    fn late_binding_picks_up_recomposition() {
+        let bus = bus_with_math();
+        let engine = WorkflowEngine::new(bus.clone());
+        let wf = Workflow::new("calc", "task:calc").step(Step::interface(
+            "a",
+            "t.Math",
+            "double",
+            InputSpec::Literal(Value::map().with("x", 5i64)),
+        ));
+        assert_eq!(engine.execute(&wf).unwrap(), Value::Int(10));
+
+        // Replace the provider with one that triples; the same workflow
+        // must route to it without modification (late binding).
+        let old = bus.registry().find_by_name("math").unwrap().id;
+        bus.undeploy(old).unwrap();
+        let iface = Interface::new("t.Math", 1, vec![Operation::opaque("double")]);
+        let tripler = FnService::new("math-v2", Contract::for_interface(iface), |_, input| {
+            Ok(Value::Int(input.require("x")?.as_int()? * 3))
+        })
+        .into_ref();
+        bus.deploy(tripler).unwrap();
+        assert_eq!(engine.execute(&wf).unwrap(), Value::Int(15));
+    }
+
+    #[test]
+    fn clear_task_removes_alternatives() {
+        let bus = bus_with_math();
+        let engine = WorkflowEngine::new(bus);
+        engine.register(Workflow::new("w", "task:x"));
+        assert_eq!(engine.alternatives("task:x").len(), 1);
+        engine.clear_task("task:x");
+        assert!(engine.alternatives("task:x").is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Kernel-level integration: P2P registry gossip networks (paper §4) and
+//! concurrent bus traffic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sbdms_kernel::bus::ServiceBus;
+use sbdms_kernel::contract::Contract;
+use sbdms_kernel::interface::{Interface, Operation};
+use sbdms_kernel::registry::Registry;
+use sbdms_kernel::service::{Descriptor, FnService};
+use sbdms_kernel::value::Value;
+
+fn descriptor(name: &str, iface: &str) -> Descriptor {
+    let interface = Interface::new(iface, 1, vec![Operation::opaque("run")]);
+    Descriptor::new(name, Contract::for_interface(interface))
+}
+
+/// A ring of registries: gossip rounds propagate every registration to
+/// every node (paper §4: "P2P style service information updates can be
+/// used to transmit information between service repositories").
+#[test]
+fn gossip_ring_converges() {
+    let nodes: Vec<Registry> = (0..6).map(|_| Registry::new()).collect();
+    // Each node registers two local services.
+    let mut total = 0;
+    for (i, node) in nodes.iter().enumerate() {
+        node.register(descriptor(&format!("svc-{i}-a"), &format!("i.A{i}")));
+        node.register(descriptor(&format!("svc-{i}-b"), &format!("i.B{i}")));
+        total += 2;
+    }
+    // Ring gossip: node i pulls from node i-1, for enough rounds to
+    // circulate everything.
+    for _round in 0..nodes.len() {
+        for i in 0..nodes.len() {
+            let from = (i + nodes.len() - 1) % nodes.len();
+            let target = &nodes[i];
+            target.sync_from(&nodes[from]);
+        }
+    }
+    for node in &nodes {
+        assert_eq!(node.len(), total);
+    }
+    // A removal propagates the same way.
+    let victim = nodes[0].find_by_name("svc-0-a").unwrap().id;
+    nodes[0].unregister(victim);
+    for _round in 0..nodes.len() {
+        for i in 0..nodes.len() {
+            let from = (i + nodes.len() - 1) % nodes.len();
+            nodes[i].sync_from(&nodes[from]);
+        }
+    }
+    for node in &nodes {
+        assert_eq!(node.len(), total - 1);
+        assert!(node.get(victim).is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Any sequence of register/unregister on random nodes followed by
+    /// enough pairwise syncs converges all nodes to the same live set,
+    /// with no tombstone resurrection.
+    #[test]
+    fn prop_gossip_convergence(
+        ops in proptest::collection::vec((0usize..4, any::<bool>()), 1..30),
+    ) {
+        let nodes: Vec<Registry> = (0..4).map(|_| Registry::new()).collect();
+        let mut live_names: std::collections::BTreeSet<String> = Default::default();
+        let mut ids = std::collections::HashMap::new();
+
+        for (step, (node_idx, is_register)) in ops.iter().enumerate() {
+            let node = &nodes[*node_idx];
+            if *is_register || live_names.is_empty() {
+                let name = format!("svc-{step}");
+                let d = descriptor(&name, &format!("i.{step}"));
+                ids.insert(name.clone(), d.id);
+                node.register(d);
+                live_names.insert(name);
+            } else {
+                // Remove a name this node knows about (sync first so the
+                // unregister produces a proper tombstone everywhere).
+                let name = live_names.iter().next().unwrap().clone();
+                for other in &nodes {
+                    node.sync_from(other);
+                }
+                node.unregister(ids[&name]);
+                live_names.remove(&name);
+            }
+        }
+
+        // All-pairs gossip until fixpoint.
+        loop {
+            let mut changed = 0;
+            for a in 0..nodes.len() {
+                for b in 0..nodes.len() {
+                    if a != b {
+                        changed += nodes[a].sync_from(&nodes[b]);
+                    }
+                }
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+
+        for node in &nodes {
+            let names: std::collections::BTreeSet<String> = live_names
+                .iter()
+                .filter(|n| node.get(ids[*n]).is_some())
+                .cloned()
+                .collect();
+            prop_assert_eq!(&names, &live_names, "node missing live services");
+            prop_assert_eq!(node.len(), live_names.len());
+        }
+    }
+}
+
+/// Hammer one bus from many threads: deploys, invokes, disables — no
+/// lost updates, no panics, metrics add up.
+#[test]
+fn concurrent_bus_stress() {
+    let bus = ServiceBus::new();
+    let iface = Interface::new("stress.Echo", 1, vec![Operation::opaque("echo")]);
+    let id = bus
+        .deploy(
+            FnService::new("echo", Contract::for_interface(iface), |_, v| Ok(v)).into_ref(),
+        )
+        .unwrap();
+
+    let bus = Arc::new(bus);
+    let threads = 8;
+    let calls_per_thread = 500;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let bus = bus.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..calls_per_thread {
+                let v = Value::map().with("t", t as i64).with("i", i as i64);
+                let out = bus.invoke(id, "echo", v.clone()).unwrap();
+                assert_eq!(out, v);
+            }
+        }));
+    }
+    // Concurrently, deploy and undeploy other services.
+    let bus2 = bus.clone();
+    let churn = std::thread::spawn(move || {
+        for i in 0..50 {
+            let iface = Interface::new(&format!("stress.Churn{i}"), 1, vec![Operation::opaque("x")]);
+            let churn_id = bus2
+                .deploy(
+                    FnService::new(&format!("churn-{i}"), Contract::for_interface(iface), |_, v| {
+                        Ok(v)
+                    })
+                    .into_ref(),
+                )
+                .unwrap();
+            bus2.undeploy(churn_id).unwrap();
+        }
+    });
+    for h in handles {
+        h.join().unwrap();
+    }
+    churn.join().unwrap();
+
+    let snap = bus.metrics().snapshot(id);
+    assert_eq!(snap.calls, (threads * calls_per_thread) as u64);
+    assert_eq!(snap.errors, 0);
+    assert_eq!(bus.deployed_ids().len(), 1, "churned services all gone");
+}

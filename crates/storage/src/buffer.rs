@@ -1,0 +1,453 @@
+//! The buffer pool: cached page frames over a disk manager.
+//!
+//! Paper Fig. 6 stars the "Buffer Manager" as the service that adapts to
+//! resource pressure; §4 lists "work load, buffer size, page size, and
+//! data fragmentation" as the monitorable state of a storage service. The
+//! pool exposes exactly those statistics.
+//!
+//! Access is closure-scoped (`with_page` / `with_page_mut`): the pool's
+//! lock is held while the closure runs, so eviction cannot race with
+//! access, and no guard lifetimes leak across the service boundary.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sbdms_kernel::error::{Result, ServiceError};
+
+use crate::disk::DiskManager;
+use crate::page::{Page, PageId};
+use crate::replacement::{FrameId, PolicyKind, ReplacementPolicy};
+
+struct Frame {
+    page: Page,
+    page_id: Option<PageId>,
+    dirty: bool,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    page_table: HashMap<PageId, FrameId>,
+    policy: Box<dyn ReplacementPolicy>,
+    free_frames: Vec<FrameId>,
+}
+
+/// Point-in-time buffer statistics (the §4 monitoring example).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferStats {
+    /// Configured frame count ("buffer size").
+    pub capacity: usize,
+    /// Frames currently holding a page.
+    pub resident: usize,
+    /// Dirty frames awaiting flush.
+    pub dirty: usize,
+    /// Cache hits since creation ("work load").
+    pub hits: u64,
+    /// Cache misses since creation.
+    pub misses: u64,
+    /// Mean fragmentation across resident pages.
+    pub mean_fragmentation: f64,
+}
+
+impl BufferStats {
+    /// Hit ratio in 0.0..=1.0.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity page cache with pluggable replacement.
+pub struct BufferPool {
+    disk: Arc<DiskManager>,
+    inner: Mutex<PoolInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over a disk manager.
+    pub fn new(disk: Arc<DiskManager>, capacity: usize, policy: PolicyKind) -> BufferPool {
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: Page::new(),
+                page_id: None,
+                dirty: false,
+            })
+            .collect();
+        BufferPool {
+            disk,
+            inner: Mutex::new(PoolInner {
+                frames,
+                page_table: HashMap::with_capacity(capacity),
+                policy: policy.build(capacity),
+                free_frames: (0..capacity).rev().collect(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying disk manager.
+    pub fn disk(&self) -> &Arc<DiskManager> {
+        &self.disk
+    }
+
+    /// Allocate a fresh page on disk and cache it zeroed. Returns its id.
+    pub fn new_page(&self) -> Result<PageId> {
+        let id = self.disk.allocate_page()?;
+        let mut inner = self.inner.lock();
+        let frame = self.obtain_frame(&mut inner)?;
+        inner.frames[frame] = Frame {
+            page: Page::new(),
+            page_id: Some(id),
+            dirty: true,
+        };
+        inner.page_table.insert(id, frame);
+        inner.policy.on_access(frame);
+        Ok(id)
+    }
+
+    /// Drop a page: evict it from the cache (without write-back) and
+    /// return it to the disk free list.
+    pub fn free_page(&self, id: PageId) -> Result<()> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(frame) = inner.page_table.remove(&id) {
+                inner.frames[frame].page_id = None;
+                inner.frames[frame].dirty = false;
+                inner.free_frames.push(frame);
+            }
+        }
+        self.disk.free_page(id)
+    }
+
+    /// Run `f` over an immutable view of the page.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let frame = self.fetch(&mut inner, id)?;
+        Ok(f(&inner.frames[frame].page))
+    }
+
+    /// Run `f` over a mutable view of the page, marking it dirty.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let frame = self.fetch(&mut inner, id)?;
+        inner.frames[frame].dirty = true;
+        Ok(f(&mut inner.frames[frame].page))
+    }
+
+    /// Like [`BufferPool::with_page_mut`] but propagates the closure's own
+    /// result; the page is marked dirty only on success.
+    pub fn try_with_page_mut<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> Result<R>,
+    ) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let frame = self.fetch(&mut inner, id)?;
+        let out = f(&mut inner.frames[frame].page);
+        if out.is_ok() {
+            inner.frames[frame].dirty = true;
+        }
+        out
+    }
+
+    /// Write one page back if dirty.
+    pub fn flush_page(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(&frame) = inner.page_table.get(&id) {
+            if inner.frames[frame].dirty {
+                self.disk.write_page(id, inner.frames[frame].page.as_bytes())?;
+                inner.frames[frame].dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write back every dirty page and sync the file.
+    pub fn flush_all(&self) -> Result<()> {
+        {
+            let mut inner = self.inner.lock();
+            let dirty: Vec<(FrameId, PageId)> = inner
+                .frames
+                .iter()
+                .enumerate()
+                .filter_map(|(f, fr)| fr.page_id.filter(|_| fr.dirty).map(|id| (f, id)))
+                .collect();
+            for (frame, id) in dirty {
+                self.disk.write_page(id, inner.frames[frame].page.as_bytes())?;
+                inner.frames[frame].dirty = false;
+            }
+        }
+        self.disk.sync()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BufferStats {
+        let inner = self.inner.lock();
+        let resident: Vec<&Frame> = inner.frames.iter().filter(|f| f.page_id.is_some()).collect();
+        let dirty = resident.iter().filter(|f| f.dirty).count();
+        let mean_fragmentation = if resident.is_empty() {
+            0.0
+        } else {
+            resident.iter().map(|f| f.page.fragmentation()).sum::<f64>() / resident.len() as f64
+        };
+        BufferStats {
+            capacity: inner.frames.len(),
+            resident: resident.len(),
+            dirty,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            mean_fragmentation,
+        }
+    }
+
+    /// Shrink or grow the pool to `capacity` frames, flushing evicted
+    /// pages. Used when the architecture adapts to resource pressure
+    /// (paper Fig. 6: the Buffer Coordinator "advises the Buffer Manager
+    /// to adapt to the new situation").
+    pub fn resize(&self, capacity: usize) -> Result<()> {
+        self.flush_all()?;
+        let mut inner = self.inner.lock();
+        let policy_name = inner.policy.name();
+        let kind = PolicyKind::parse(policy_name)
+            .ok_or_else(|| ServiceError::Internal("unknown policy".into()))?;
+        let mut frames: Vec<Frame> = Vec::with_capacity(capacity);
+        let mut page_table = HashMap::with_capacity(capacity);
+        // Keep as many resident pages as fit.
+        let resident: Vec<Frame> = inner
+            .frames
+            .drain(..)
+            .filter(|f| f.page_id.is_some())
+            .take(capacity)
+            .collect();
+        for (idx, frame) in resident.into_iter().enumerate() {
+            page_table.insert(frame.page_id.unwrap(), idx);
+            frames.push(frame);
+        }
+        let mut policy = kind.build(capacity);
+        for idx in 0..frames.len() {
+            policy.on_access(idx);
+        }
+        let free_frames = (frames.len()..capacity).rev().collect();
+        while frames.len() < capacity {
+            frames.push(Frame {
+                page: Page::new(),
+                page_id: None,
+                dirty: false,
+            });
+        }
+        *inner = PoolInner {
+            frames,
+            page_table,
+            policy,
+            free_frames,
+        };
+        Ok(())
+    }
+
+    fn fetch(&self, inner: &mut PoolInner, id: PageId) -> Result<FrameId> {
+        if let Some(&frame) = inner.page_table.get(&id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            inner.policy.on_access(frame);
+            return Ok(frame);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let frame = self.obtain_frame(inner)?;
+        let bytes = self.disk.read_page(id)?;
+        let page = if bytes.iter().all(|&b| b == 0) {
+            // Never-written page: a fresh empty page (all-zero images have
+            // free_end == 0, which from_bytes rightly rejects).
+            Page::new()
+        } else {
+            Page::from_bytes(&bytes)?
+        };
+        inner.frames[frame] = Frame {
+            page,
+            page_id: Some(id),
+            dirty: false,
+        };
+        inner.page_table.insert(id, frame);
+        inner.policy.on_access(frame);
+        Ok(frame)
+    }
+
+    fn obtain_frame(&self, inner: &mut PoolInner) -> Result<FrameId> {
+        if let Some(frame) = inner.free_frames.pop() {
+            return Ok(frame);
+        }
+        let victim = inner
+            .policy
+            .evict()
+            .ok_or_else(|| ServiceError::Storage("buffer pool exhausted".into()))?;
+        if let Some(old_id) = inner.frames[victim].page_id.take() {
+            if inner.frames[victim].dirty {
+                self.disk.write_page(old_id, inner.frames[victim].page.as_bytes())?;
+                inner.frames[victim].dirty = false;
+            }
+            inner.page_table.remove(&old_id);
+        }
+        Ok(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(name: &str, capacity: usize, policy: PolicyKind) -> BufferPool {
+        let dir = std::env::temp_dir().join("sbdms-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        BufferPool::new(Arc::new(DiskManager::open(path).unwrap()), capacity, policy)
+    }
+
+    #[test]
+    fn new_page_insert_read() {
+        let pool = pool("basic", 4, PolicyKind::Lru);
+        let id = pool.new_page().unwrap();
+        let slot = pool
+            .with_page_mut(id, |p| p.insert(b"cached").unwrap())
+            .unwrap();
+        let data = pool.with_page(id, |p| p.get(slot).unwrap().to_vec()).unwrap();
+        assert_eq!(data, b"cached");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let pool = pool("evict", 2, PolicyKind::Lru);
+        let ids: Vec<PageId> = (0..5)
+            .map(|i| {
+                let id = pool.new_page().unwrap();
+                pool.with_page_mut(id, |p| p.insert(format!("page-{i}").as_bytes()).unwrap())
+                    .unwrap();
+                id
+            })
+            .collect();
+        // All five pages must read back correctly through refetch.
+        for (i, id) in ids.iter().enumerate() {
+            let data = pool.with_page(*id, |p| p.get(0).unwrap().to_vec()).unwrap();
+            assert_eq!(data, format!("page-{i}").as_bytes());
+        }
+        let stats = pool.stats();
+        assert!(stats.misses >= 3, "capacity 2 must evict: {stats:?}");
+    }
+
+    #[test]
+    fn hit_ratio_reflects_locality() {
+        let pool = pool("hits", 4, PolicyKind::Clock);
+        let id = pool.new_page().unwrap();
+        for _ in 0..99 {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 99); // page resident since new_page; every read hits
+        assert_eq!(stats.misses, 0);
+        assert!(stats.hit_ratio() > 0.99);
+    }
+
+    #[test]
+    fn flush_all_persists() {
+        let dir = std::env::temp_dir().join("sbdms-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("persist-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let id = {
+            let pool = BufferPool::new(
+                Arc::new(DiskManager::open(&path).unwrap()),
+                4,
+                PolicyKind::Lru,
+            );
+            let id = pool.new_page().unwrap();
+            pool.with_page_mut(id, |p| p.insert(b"durable").unwrap()).unwrap();
+            pool.flush_all().unwrap();
+            id
+        };
+        let pool2 = BufferPool::new(
+            Arc::new(DiskManager::open(&path).unwrap()),
+            4,
+            PolicyKind::Lru,
+        );
+        let data = pool2.with_page(id, |p| p.get(0).unwrap().to_vec()).unwrap();
+        assert_eq!(data, b"durable");
+    }
+
+    #[test]
+    fn free_page_recycles() {
+        let pool = pool("free", 4, PolicyKind::Lru);
+        let id = pool.new_page().unwrap();
+        pool.free_page(id).unwrap();
+        let id2 = pool.new_page().unwrap();
+        assert_eq!(id2, id);
+        // And the recycled page is empty, not stale.
+        let live = pool.with_page(id2, |p| p.live_records()).unwrap();
+        assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn stats_track_dirty_and_fragmentation() {
+        let pool = pool("stats", 4, PolicyKind::Lru);
+        let id = pool.new_page().unwrap();
+        let slot = pool
+            .with_page_mut(id, |p| {
+                p.insert(&[0u8; 500]).unwrap();
+                p.insert(&[1u8; 500]).unwrap()
+            })
+            .unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().dirty, 0);
+        pool.with_page_mut(id, |p| p.delete(slot).unwrap()).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.dirty, 1);
+        assert!(stats.mean_fragmentation > 0.0);
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows() {
+        let pool = pool("resize", 8, PolicyKind::Lru);
+        let ids: Vec<PageId> = (0..6).map(|_| pool.new_page().unwrap()).collect();
+        for id in &ids {
+            pool.with_page_mut(*id, |p| p.insert(b"x").unwrap()).unwrap();
+        }
+        pool.resize(2).unwrap();
+        assert_eq!(pool.stats().capacity, 2);
+        // All pages still reachable (from disk).
+        for id in &ids {
+            let n = pool.with_page(*id, |p| p.live_records()).unwrap();
+            assert_eq!(n, 1);
+        }
+        pool.resize(16).unwrap();
+        assert_eq!(pool.stats().capacity, 16);
+    }
+
+    #[test]
+    fn pool_exhaustion_impossible_with_closure_api() {
+        // With closure-scoped access every fetch releases the frame, so a
+        // capacity-1 pool still serves many pages.
+        let pool = pool("tiny", 1, PolicyKind::Clock);
+        let ids: Vec<PageId> = (0..10).map(|_| pool.new_page().unwrap()).collect();
+        for id in ids {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+    }
+
+    #[test]
+    fn try_with_page_mut_only_dirties_on_success() {
+        let pool = pool("trymut", 2, PolicyKind::Lru);
+        let id = pool.new_page().unwrap();
+        pool.flush_all().unwrap();
+        let r = pool.try_with_page_mut(id, |p| p.get(42).map(|_| ()));
+        assert!(r.is_err());
+        assert_eq!(pool.stats().dirty, 0);
+        pool.try_with_page_mut(id, |p| p.insert(b"ok").map(|_| ())).unwrap();
+        assert_eq!(pool.stats().dirty, 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! The disk manager: file-backed page storage.
+//!
+//! Paper §3.1 puts "the physical specification of non-volatile devices" in
+//! the storage layer. `DiskManager` owns one file of [`PAGE_SIZE`] pages:
+//! page 0 is a metadata page (page counter + free list), pages 1.. are
+//! user pages. Allocation reuses freed pages before extending the file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sbdms_kernel::error::{Result, ServiceError};
+
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Maximum free-list entries the metadata page can hold.
+/// Layout of page 0: next_page_id u64 | free_count u64 | free entries u64…
+const MAX_FREE_LIST: usize = (PAGE_SIZE - 16) / 8;
+
+/// File-backed page storage with allocate/free and read/write.
+pub struct DiskManager {
+    file: Mutex<File>,
+    path: PathBuf,
+    next_page_id: AtomicU64,
+    free_list: Mutex<Vec<PageId>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskManager {
+    /// Open (or create) the database file at `path`, restoring the page
+    /// counter and free list from the metadata page.
+    pub fn open(path: impl AsRef<Path>) -> Result<DiskManager> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let len = file.metadata()?.len();
+        let (next_page_id, free_list) = if len >= PAGE_SIZE as u64 {
+            let mut meta = [0u8; PAGE_SIZE];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut meta)?;
+            let next = u64::from_le_bytes(meta[0..8].try_into().unwrap());
+            let count = u64::from_le_bytes(meta[8..16].try_into().unwrap()) as usize;
+            if count > MAX_FREE_LIST {
+                return Err(ServiceError::Storage("corrupt metadata page".into()));
+            }
+            let mut free = Vec::with_capacity(count);
+            for i in 0..count {
+                let base = 16 + i * 8;
+                free.push(u64::from_le_bytes(meta[base..base + 8].try_into().unwrap()));
+            }
+            (next.max(1), free)
+        } else {
+            (1, Vec::new())
+        };
+
+        let dm = DiskManager {
+            file: Mutex::new(file),
+            path,
+            next_page_id: AtomicU64::new(next_page_id),
+            free_list: Mutex::new(free_list),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        };
+        dm.persist_meta()?;
+        Ok(dm)
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Allocate a page id, reusing freed pages first.
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let reused = self.free_list.lock().pop();
+        let id = match reused {
+            Some(id) => id,
+            None => self.next_page_id.fetch_add(1, Ordering::SeqCst),
+        };
+        self.persist_meta()?;
+        Ok(id)
+    }
+
+    /// Return a page to the free list. Excess entries beyond the metadata
+    /// page's capacity are leaked (space, not correctness).
+    pub fn free_page(&self, id: PageId) -> Result<()> {
+        if id == 0 {
+            return Err(ServiceError::Storage("page 0 is reserved".into()));
+        }
+        {
+            let mut free = self.free_list.lock();
+            if free.len() < MAX_FREE_LIST {
+                free.push(id);
+            }
+        }
+        self.persist_meta()
+    }
+
+    /// Read a page image. Reading a never-written page yields zeroes.
+    pub fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
+        if id == 0 {
+            return Err(ServiceError::Storage("page 0 is reserved".into()));
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut file = self.file.lock();
+        let offset = id * PAGE_SIZE as u64;
+        let len = file.metadata()?.len();
+        if offset + PAGE_SIZE as u64 <= len {
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+
+    /// Write a page image.
+    pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        if id == 0 {
+            return Err(ServiceError::Storage("page 0 is reserved".into()));
+        }
+        if data.len() != PAGE_SIZE {
+            return Err(ServiceError::Storage(format!(
+                "page image must be {PAGE_SIZE} bytes, got {}",
+                data.len()
+            )));
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    /// Flush file contents to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    /// Highest page id ever allocated (exclusive bound on user pages).
+    pub fn page_count(&self) -> u64 {
+        self.next_page_id.load(Ordering::SeqCst)
+    }
+
+    /// I/O counters: (reads, writes) since open.
+    pub fn io_counts(&self) -> (u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+        )
+    }
+
+    fn persist_meta(&self) -> Result<()> {
+        let mut meta = [0u8; PAGE_SIZE];
+        let next = self.next_page_id.load(Ordering::SeqCst);
+        meta[0..8].copy_from_slice(&next.to_le_bytes());
+        let free = self.free_list.lock();
+        meta[8..16].copy_from_slice(&(free.len() as u64).to_le_bytes());
+        for (i, id) in free.iter().enumerate() {
+            let base = 16 + i * 8;
+            meta[base..base + 8].copy_from_slice(&id.to_le_bytes());
+        }
+        drop(free);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&meta)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::Page;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sbdms-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let dm = DiskManager::open(tmpfile("rw")).unwrap();
+        let id = dm.allocate_page().unwrap();
+        assert!(id >= 1);
+        let mut page = Page::new();
+        page.insert(b"on disk").unwrap();
+        dm.write_page(id, page.as_bytes()).unwrap();
+        let back = dm.read_page(id).unwrap();
+        let restored = Page::from_bytes(&back).unwrap();
+        assert_eq!(restored.get(0).unwrap(), b"on disk");
+        let (reads, writes) = dm.io_counts();
+        assert_eq!((reads, writes), (1, 1));
+    }
+
+    #[test]
+    fn page_zero_is_reserved() {
+        let dm = DiskManager::open(tmpfile("reserved")).unwrap();
+        assert!(dm.read_page(0).is_err());
+        assert!(dm.write_page(0, &[0u8; PAGE_SIZE]).is_err());
+        assert!(dm.free_page(0).is_err());
+    }
+
+    #[test]
+    fn wrong_size_write_rejected() {
+        let dm = DiskManager::open(tmpfile("size")).unwrap();
+        let id = dm.allocate_page().unwrap();
+        assert!(dm.write_page(id, &[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn free_pages_are_reused() {
+        let dm = DiskManager::open(tmpfile("reuse")).unwrap();
+        let a = dm.allocate_page().unwrap();
+        let b = dm.allocate_page().unwrap();
+        assert_ne!(a, b);
+        dm.free_page(a).unwrap();
+        let c = dm.allocate_page().unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn unwritten_page_reads_zeroes() {
+        let dm = DiskManager::open(tmpfile("zeroes")).unwrap();
+        let id = dm.allocate_page().unwrap();
+        let data = dm.read_page(id).unwrap();
+        assert!(data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let path = tmpfile("reopen");
+        let (a, freed) = {
+            let dm = DiskManager::open(&path).unwrap();
+            let a = dm.allocate_page().unwrap();
+            let b = dm.allocate_page().unwrap();
+            let mut page = Page::new();
+            page.insert(b"durable").unwrap();
+            dm.write_page(a, page.as_bytes()).unwrap();
+            dm.free_page(b).unwrap();
+            dm.sync().unwrap();
+            (a, b)
+        };
+        let dm = DiskManager::open(&path).unwrap();
+        // Data still readable.
+        let restored = Page::from_bytes(&dm.read_page(a).unwrap()).unwrap();
+        assert_eq!(restored.get(0).unwrap(), b"durable");
+        // Free list restored: the freed page is handed out again.
+        assert_eq!(dm.allocate_page().unwrap(), freed);
+        // Page counter restored: fresh pages do not collide with `a`.
+        let fresh = dm.allocate_page().unwrap();
+        assert!(fresh > a);
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_distinct_ids() {
+        let dm = std::sync::Arc::new(DiskManager::open(tmpfile("concurrent")).unwrap());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let dm = dm.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..50).map(|_| dm.allocate_page().unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<PageId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sbdms-storage — the storage layer of the Service-Based DBMS
+//!
+//! Paper Fig. 2, bottom layer: "Storage Services work at byte level and
+//! handle the physical specification of non-volatile devices. This
+//! includes services for updating and finding data."
+//!
+//! The crate provides a real (if compact) storage engine:
+//!
+//! * [`page`]: slotted pages with insert/get/update/delete, compaction and
+//!   fragmentation accounting,
+//! * [`disk`]: a file-backed disk manager with a persisted free list,
+//! * [`buffer`]: a buffer pool with pluggable [`replacement`] policies
+//!   (LRU, Clock) and the §4 monitoring statistics,
+//! * [`wal`]: a checksummed write-ahead log with crash-tail recovery,
+//! * [`services`]: the kernel `Service` facades publishing all of the
+//!   above on the bus, plus [`services::StorageEngine`] bundling the raw
+//!   engine objects for co-located (monolithic) use.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod disk;
+pub mod page;
+pub mod replacement;
+pub mod services;
+pub mod wal;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use disk::DiskManager;
+pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use replacement::PolicyKind;
+pub use services::{BufferService, DiskService, LogService, StorageEngine};
+pub use wal::{Lsn, Wal, WalRecord};

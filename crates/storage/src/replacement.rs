@@ -1,0 +1,244 @@
+//! Buffer replacement policies.
+//!
+//! The buffer pool delegates victim selection to a policy object. Two
+//! classical policies are provided — LRU and Clock (second chance) — and
+//! the policy is a component *property* of the buffer service (paper
+//! Fig. 3: properties customise component behaviour at instantiation).
+
+use std::collections::HashMap;
+
+/// Index of a frame within the buffer pool.
+pub type FrameId = usize;
+
+/// A victim-selection policy over buffer frames.
+///
+/// The pool calls `on_access` for every hit/fill, `on_unpinned`/`on_pinned`
+/// as pin counts change, and `evict` to pick an unpinned victim.
+pub trait ReplacementPolicy: Send {
+    /// A frame was accessed (hit or fill).
+    fn on_access(&mut self, frame: FrameId);
+    /// A frame's pin count rose above zero: not evictable.
+    fn on_pinned(&mut self, frame: FrameId);
+    /// A frame's pin count dropped to zero: evictable again.
+    fn on_unpinned(&mut self, frame: FrameId);
+    /// Choose an unpinned victim, or `None` when everything is pinned.
+    fn evict(&mut self) -> Option<FrameId>;
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Strict least-recently-used via logical access timestamps.
+#[derive(Default)]
+pub struct LruPolicy {
+    clock: u64,
+    last_access: HashMap<FrameId, u64>,
+    pinned: HashMap<FrameId, bool>,
+}
+
+impl LruPolicy {
+    /// New empty policy.
+    pub fn new() -> LruPolicy {
+        LruPolicy::default()
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn on_access(&mut self, frame: FrameId) {
+        self.clock += 1;
+        self.last_access.insert(frame, self.clock);
+    }
+
+    fn on_pinned(&mut self, frame: FrameId) {
+        self.pinned.insert(frame, true);
+    }
+
+    fn on_unpinned(&mut self, frame: FrameId) {
+        self.pinned.insert(frame, false);
+    }
+
+    fn evict(&mut self) -> Option<FrameId> {
+        let victim = self
+            .last_access
+            .iter()
+            .filter(|(f, _)| !self.pinned.get(*f).copied().unwrap_or(false))
+            .min_by_key(|(_, t)| **t)
+            .map(|(f, _)| *f)?;
+        self.last_access.remove(&victim);
+        self.pinned.remove(&victim);
+        Some(victim)
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// Clock (second chance): cheap approximation of LRU.
+pub struct ClockPolicy {
+    reference: Vec<bool>,
+    present: Vec<bool>,
+    pinned: Vec<bool>,
+    hand: usize,
+}
+
+impl ClockPolicy {
+    /// Policy sized for `capacity` frames.
+    pub fn new(capacity: usize) -> ClockPolicy {
+        ClockPolicy {
+            reference: vec![false; capacity],
+            present: vec![false; capacity],
+            pinned: vec![false; capacity],
+            hand: 0,
+        }
+    }
+}
+
+impl ReplacementPolicy for ClockPolicy {
+    fn on_access(&mut self, frame: FrameId) {
+        if frame < self.reference.len() {
+            self.reference[frame] = true;
+            self.present[frame] = true;
+        }
+    }
+
+    fn on_pinned(&mut self, frame: FrameId) {
+        if frame < self.pinned.len() {
+            self.pinned[frame] = true;
+        }
+    }
+
+    fn on_unpinned(&mut self, frame: FrameId) {
+        if frame < self.pinned.len() {
+            self.pinned[frame] = false;
+        }
+    }
+
+    fn evict(&mut self) -> Option<FrameId> {
+        let n = self.reference.len();
+        if n == 0 {
+            return None;
+        }
+        // Two full sweeps guarantee termination: the first clears
+        // reference bits, the second must find a victim unless all frames
+        // are pinned or absent.
+        for _ in 0..2 * n {
+            let f = self.hand;
+            self.hand = (self.hand + 1) % n;
+            if !self.present[f] || self.pinned[f] {
+                continue;
+            }
+            if self.reference[f] {
+                self.reference[f] = false;
+            } else {
+                self.present[f] = false;
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+}
+
+/// Which policy a buffer pool is configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Strict LRU.
+    Lru,
+    /// Clock / second chance.
+    Clock,
+}
+
+impl PolicyKind {
+    /// Instantiate the policy for a pool of `capacity` frames.
+    pub fn build(self, capacity: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::new()),
+            PolicyKind::Clock => Box::new(ClockPolicy::new(capacity)),
+        }
+    }
+
+    /// Parse from a component property string.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "lru" => Some(PolicyKind::Lru),
+            "clock" => Some(PolicyKind::Clock),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = LruPolicy::new();
+        p.on_access(0);
+        p.on_access(1);
+        p.on_access(2);
+        p.on_access(0); // 1 is now least recent
+        assert_eq!(p.evict(), Some(1));
+        assert_eq!(p.evict(), Some(2));
+        assert_eq!(p.evict(), Some(0));
+        assert_eq!(p.evict(), None);
+    }
+
+    #[test]
+    fn lru_skips_pinned() {
+        let mut p = LruPolicy::new();
+        p.on_access(0);
+        p.on_access(1);
+        p.on_pinned(0);
+        assert_eq!(p.evict(), Some(1));
+        assert_eq!(p.evict(), None);
+        p.on_unpinned(0);
+        assert_eq!(p.evict(), Some(0));
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut p = ClockPolicy::new(3);
+        p.on_access(0);
+        p.on_access(1);
+        p.on_access(2);
+        // First sweep clears all reference bits; frame 0 is the first to
+        // lose its second chance.
+        assert_eq!(p.evict(), Some(0));
+        // Re-reference 1: 2 falls first.
+        p.on_access(1);
+        assert_eq!(p.evict(), Some(2));
+        assert_eq!(p.evict(), Some(1));
+        assert_eq!(p.evict(), None);
+    }
+
+    #[test]
+    fn clock_respects_pins() {
+        let mut p = ClockPolicy::new(2);
+        p.on_access(0);
+        p.on_access(1);
+        p.on_pinned(0);
+        p.on_pinned(1);
+        assert_eq!(p.evict(), None);
+        p.on_unpinned(1);
+        assert_eq!(p.evict(), Some(1));
+    }
+
+    #[test]
+    fn clock_empty_pool() {
+        let mut p = ClockPolicy::new(0);
+        assert_eq!(p.evict(), None);
+    }
+
+    #[test]
+    fn kind_parsing_and_naming() {
+        assert_eq!(PolicyKind::parse("lru"), Some(PolicyKind::Lru));
+        assert_eq!(PolicyKind::parse("clock"), Some(PolicyKind::Clock));
+        assert_eq!(PolicyKind::parse("arc"), None);
+        assert_eq!(PolicyKind::Lru.build(4).name(), "lru");
+        assert_eq!(PolicyKind::Clock.build(4).name(), "clock");
+    }
+}

@@ -1,0 +1,319 @@
+//! Write-ahead log with checksummed records and redo recovery support.
+//!
+//! Paper Fig. 2 places logging ("Log Services") in the storage layer. The
+//! WAL is deliberately simple: an append-only file of framed records, each
+//! protected by a CRC32, with a scan that stops cleanly at the first
+//! torn/corrupt record (the usual crash-tail semantics).
+//!
+//! Record frame (little-endian):
+//! ```text
+//! lsn: u64 | kind: u8 | len: u32 | payload: [u8; len] | crc: u32
+//! ```
+//! The CRC covers everything before it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use sbdms_kernel::error::{Result, ServiceError};
+
+/// Log sequence number: byte offset of the record in the log file.
+pub type Lsn = u64;
+
+/// One recovered log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// This record's LSN.
+    pub lsn: Lsn,
+    /// Application-defined record kind.
+    pub kind: u8,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3), bitwise implementation — slow but dependency-free
+/// and only on the logging path.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+struct WalInner {
+    writer: BufWriter<File>,
+    next_lsn: Lsn,
+}
+
+/// An append-only, checksummed write-ahead log.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, positioning the append cursor
+    /// after the last *valid* record (a torn tail is truncated away).
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let valid_len = match Self::scan_file(&path) {
+            Ok(records) => records.last().map(Self::frame_end).unwrap_or(0),
+            Err(_) => 0,
+        };
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        file.set_len(valid_len)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::Start(valid_len))?;
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                writer,
+                next_lsn: valid_len,
+            }),
+            path,
+        })
+    }
+
+    /// Append one record; returns its LSN. Buffered — call [`Wal::sync`]
+    /// for durability.
+    pub fn append(&self, kind: u8, payload: &[u8]) -> Result<Lsn> {
+        if payload.len() > u32::MAX as usize {
+            return Err(ServiceError::Storage("wal payload too large".into()));
+        }
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        let mut frame = Vec::with_capacity(13 + payload.len() + 4);
+        frame.extend_from_slice(&lsn.to_le_bytes());
+        frame.push(kind);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        inner.writer.write_all(&frame)?;
+        inner.next_lsn += frame.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Flush buffered records to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        inner.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Read every valid record from the start of the log. Scanning stops
+    /// silently at the first torn or corrupt frame.
+    pub fn records(&self) -> Result<Vec<WalRecord>> {
+        self.inner.lock().writer.flush()?;
+        Self::scan_file(&self.path)
+    }
+
+    /// Truncate the log (checkpoint): all records are discarded and the
+    /// LSN counter restarts at zero.
+    pub fn reset(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        inner.writer.get_ref().set_len(0)?;
+        inner.writer.seek(SeekFrom::Start(0))?;
+        inner.next_lsn = 0;
+        Ok(())
+    }
+
+    /// Next LSN to be assigned (== current log length in bytes).
+    pub fn next_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn
+    }
+
+    fn frame_end(record: &WalRecord) -> u64 {
+        record.lsn + 13 + record.payload.len() as u64 + 4
+    }
+
+    fn scan_file(path: &Path) -> Result<Vec<WalRecord>> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 17 <= data.len() {
+            let lsn = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+            let kind = data[pos + 8];
+            let len = u32::from_le_bytes(data[pos + 9..pos + 13].try_into().unwrap()) as usize;
+            let frame_len = 13 + len + 4;
+            if lsn != pos as u64 || pos + frame_len > data.len() {
+                break; // torn tail or corrupt length
+            }
+            let crc_stored =
+                u32::from_le_bytes(data[pos + 13 + len..pos + frame_len].try_into().unwrap());
+            if crc32(&data[pos..pos + 13 + len]) != crc_stored {
+                break; // corrupt record
+            }
+            records.push(WalRecord {
+                lsn,
+                kind,
+                payload: data[pos + 13..pos + 13 + len].to_vec(),
+            });
+            pos += frame_len;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tmpwal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sbdms-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let wal = Wal::open(tmpwal("basic")).unwrap();
+        let l1 = wal.append(1, b"first").unwrap();
+        let l2 = wal.append(2, b"second").unwrap();
+        assert!(l2 > l1);
+        let records = wal.records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].payload, b"first");
+        assert_eq!(records[0].kind, 1);
+        assert_eq!(records[1].payload, b"second");
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let path = tmpwal("reopen");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(1, b"persisted").unwrap();
+            wal.sync().unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        let records = wal.records().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"persisted");
+        // New appends continue after the existing tail.
+        let lsn = wal.append(1, b"more").unwrap();
+        assert!(lsn > 0);
+        assert_eq!(wal.records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmpwal("torn");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(1, b"good").unwrap();
+            wal.append(1, b"will be torn").unwrap();
+            wal.sync().unwrap();
+        }
+        // Chop the last 5 bytes, simulating a crash mid-write.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let wal = Wal::open(&path).unwrap();
+        let records = wal.records().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"good");
+        // Appending after recovery produces a valid log.
+        wal.append(2, b"after crash").unwrap();
+        assert_eq!(wal.records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_record_stops_scan() {
+        let path = tmpwal("corrupt");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(1, b"ok").unwrap();
+            wal.append(1, b"bad").unwrap();
+            wal.append(1, b"unreachable").unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a payload byte of the middle record.
+        let mut data = std::fs::read(&path).unwrap();
+        let second_payload_start = 17 + 2 + 13; // frame1 (13+2+4=19) + header2
+        data[second_payload_start] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let records = Wal::scan_file(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"ok");
+    }
+
+    #[test]
+    fn reset_clears_log() {
+        let wal = Wal::open(tmpwal("reset")).unwrap();
+        wal.append(1, b"x").unwrap();
+        wal.reset().unwrap();
+        assert!(wal.records().unwrap().is_empty());
+        assert_eq!(wal.next_lsn(), 0);
+        wal.append(1, b"fresh").unwrap();
+        assert_eq!(wal.records().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_payload_allowed() {
+        let wal = Wal::open(tmpwal("empty")).unwrap();
+        wal.append(7, b"").unwrap();
+        let records = wal.records().unwrap();
+        assert_eq!(records[0].kind, 7);
+        assert!(records[0].payload.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_payloads(payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..20
+        )) {
+            let dir = std::env::temp_dir().join("sbdms-wal-tests");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!(
+                "prop-{}-{:x}.wal",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            let wal = Wal::open(&path).unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                wal.append((i % 250) as u8, p).unwrap();
+            }
+            let records = wal.records().unwrap();
+            prop_assert_eq!(records.len(), payloads.len());
+            for (r, p) in records.iter().zip(&payloads) {
+                prop_assert_eq!(&r.payload, p);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

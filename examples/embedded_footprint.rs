@@ -1,0 +1,91 @@
+//! The paper's §4 embedded scenario: a small-footprint deployment on a
+//! resource-restricted "device", with downsizing and low-battery
+//! workload redirection across simulated devices.
+//!
+//! Run with: `cargo run --example embedded_footprint`
+
+use sbdms::distributed::{Cluster, PlacementStrategy};
+use sbdms::embedded::{downsize, footprint};
+use sbdms::kernel::value::Value;
+use sbdms::{Profile, Sbdms};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = std::env::temp_dir().join(format!("sbdms-embedded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // ── 1. Footprint: full-fledged vs embedded profile.
+    let full = Sbdms::open(Profile::FullFledged, base.join("full"))?;
+    let embedded = Sbdms::open(Profile::Embedded, base.join("embedded"))?;
+    let f = footprint(&full);
+    let e = footprint(&embedded);
+    println!("profile        services  advertised-footprint  buffer");
+    println!(
+        "full-fledged   {:8}  {:17} KiB  {:4} KiB",
+        f.enabled_services,
+        f.footprint_bytes / 1024,
+        f.buffer_bytes / 1024
+    );
+    println!(
+        "embedded       {:8}  {:17} KiB  {:4} KiB",
+        e.enabled_services,
+        e.footprint_bytes / 1024,
+        e.buffer_bytes / 1024
+    );
+
+    // ── 2. Downsizing a running system ("disable unwanted services"),
+    //      dependency-checked.
+    let disabled = downsize(&full, &["xml", "stream", "procedures", "monitor"])?;
+    let after = footprint(&full);
+    println!(
+        "\ndownsized full-fledged: {} services disabled, footprint {} -> {} KiB",
+        disabled.len(),
+        f.footprint_bytes / 1024,
+        after.footprint_bytes / 1024
+    );
+    match full.bus().disable(full.service("buffer").unwrap()) {
+        Err(e) => println!("disabling the buffer is rejected: {e}"),
+        Ok(_) => println!("unexpected: buffer disabled despite dependents"),
+    }
+
+    // The downsized system still answers queries.
+    full.execute_sql("CREATE TABLE readings (v INT)")?;
+    full.execute_sql("INSERT INTO readings VALUES (42)")?;
+    let out = full.execute_sql("SELECT v FROM readings")?;
+    println!(
+        "downsized system still answers: v = {:?}",
+        out.get("rows").unwrap().as_list()?[0].as_list()?[0]
+    );
+
+    // ── 3. Low-battery workload redirection across simulated devices.
+    //      device-0 is nearest but has a small battery; once it alerts,
+    //      placements redirect to device-1 ("direct the workload to other
+    //      devices to maintain the system operational").
+    println!("\nlow-battery redirection:");
+    let cluster = Cluster::new(&[0, 40], 20, 8, 5)?;
+    cluster.seed(&[("sensor", "21.5C")]);
+    for i in 0..6 {
+        let (out, device) = cluster.request(
+            0,
+            PlacementStrategy::Nearest,
+            "get",
+            Value::map().with("key", "sensor"),
+        )?;
+        let battery: Vec<String> = cluster
+            .devices()
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}={}",
+                    d.name,
+                    d.resources.budget("battery").map(|b| b.available()).unwrap_or(0)
+                )
+            })
+            .collect();
+        println!(
+            "  request {i}: served by {device} -> {:?}   (battery: {})",
+            out,
+            battery.join(", ")
+        );
+    }
+    Ok(())
+}

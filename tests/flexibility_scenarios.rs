@@ -1,0 +1,251 @@
+//! The paper's three flexibility mechanisms exercised end-to-end against
+//! a deployed SBDMS (Figs. 5–7 as integration scenarios).
+
+use sbdms::flexibility::adaptation::AdaptationManager;
+use sbdms::flexibility::extension::{page_coordinator, publish_and_probe};
+use sbdms::flexibility::selection::{SelectionStrategy, ServiceSelector};
+use sbdms::kernel::contract::{Contract, Quality};
+use sbdms::kernel::coordinator::Coordinator;
+use sbdms::kernel::faults::FaultableService;
+use sbdms::kernel::interface::{Interface, Operation, Param};
+use sbdms::kernel::repository::{OperationMapping, TransformationalSchema};
+use sbdms::kernel::resource::ResourceManager;
+use sbdms::kernel::service::{FnService, ServiceRef};
+use sbdms::kernel::value::{TypeTag, Value};
+use sbdms::kernel::workflow::{InputSpec, Step, Workflow, WorkflowEngine};
+use sbdms::{Profile, Sbdms};
+
+fn system(name: &str) -> Sbdms {
+    let dir = std::env::temp_dir()
+        .join("sbdms-flex-scenarios")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Sbdms::open(Profile::FullFledged, dir).unwrap()
+}
+
+fn kv_interface() -> Interface {
+    Interface::new(
+        "scenario.Kv",
+        1,
+        vec![Operation::new(
+            "get",
+            vec![Param::required("key", TypeTag::Str)],
+            TypeTag::Str,
+        )],
+    )
+}
+
+fn kv_service(name: &str, latency_ns: u64) -> ServiceRef {
+    let marker = name.to_string();
+    FnService::new(
+        name,
+        Contract::for_interface(kv_interface()).quality(Quality {
+            expected_latency_ns: latency_ns,
+            ..Quality::default()
+        }),
+        move |_, input| {
+            let key = input.require("key")?.as_str()?;
+            Ok(Value::Str(format!("{marker}:{key}")))
+        },
+    )
+    .into_ref()
+}
+
+#[test]
+fn fig5_extension_into_a_live_system() {
+    let s = system("fig5");
+    let services_before = s.bus().deployed_ids().len();
+
+    let report = publish_and_probe(
+        s.bus(),
+        page_coordinator("pc", s.database().storage().buffer.clone()),
+        "page_stats",
+        Value::map(),
+    )
+    .unwrap();
+
+    assert_eq!(s.bus().deployed_ids().len(), services_before + 1);
+    // Immediately composable with existing services: a workflow mixing
+    // the new component and the query service.
+    s.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    let engine = WorkflowEngine::new(s.bus().clone());
+    let wf = Workflow::new("mixed", "task:mixed")
+        .step(Step::interface(
+            "stats",
+            "sbdms.user.PageCoordinator",
+            "page_stats",
+            InputSpec::Literal(Value::map()),
+        ))
+        .step(Step::interface(
+            "count",
+            "sbdms.data.Query",
+            "execute",
+            InputSpec::Literal(Value::map().with("sql", "SELECT COUNT(*) FROM t")),
+        ));
+    let out = engine.execute(&wf).unwrap();
+    assert!(out.get("rows").is_some());
+    assert!(report.publish_time.as_nanos() > 0);
+}
+
+#[test]
+fn fig6_selection_among_alternate_storage_services() {
+    let s = system("fig6");
+    // Three alternate providers of the same task.
+    s.bus().deploy(kv_service("store-fast", 10)).unwrap();
+    s.bus().deploy(kv_service("store-medium", 1_000)).unwrap();
+    s.bus().deploy(kv_service("store-slow", 100_000)).unwrap();
+
+    // Quality-driven selection always picks the fast one.
+    let by_quality = ServiceSelector::new(s.bus().clone(), SelectionStrategy::ByQuality);
+    let out = by_quality
+        .invoke("scenario.Kv", "get", Value::map().with("key", "k"))
+        .unwrap();
+    assert_eq!(out, Value::Str("store-fast:k".into()));
+
+    // Load balancing spreads calls.
+    let balanced = ServiceSelector::new(s.bus().clone(), SelectionStrategy::LeastLoaded);
+    for _ in 0..12 {
+        balanced
+            .invoke("scenario.Kv", "get", Value::map().with("key", "k"))
+            .unwrap();
+    }
+    for d in s.bus().registry().find_by_interface("scenario.Kv") {
+        let calls = s.bus().metrics().snapshot(d.id).calls;
+        assert!(calls >= 4, "{}: {calls} calls (should be balanced)", d.name);
+    }
+
+    // Fig. 6's trigger: a service asks to release resources; the
+    // coordinator frees them and the architecture can route elsewhere.
+    let coordinator = s.service("coordinator").unwrap();
+    s.coordinator().resources().request("memory", 1024).unwrap();
+    s.bus()
+        .invoke(
+            coordinator,
+            "release_resources",
+            Value::map()
+                .with("requester", 1u64)
+                .with("resource", "memory")
+                .with("amount", 1024u64),
+        )
+        .unwrap();
+    assert_eq!(s.coordinator().resources().budget("memory").unwrap().used, 0);
+}
+
+#[test]
+fn fig6_workflow_alternates_failover() {
+    let s = system("fig6-workflows");
+    let (faulty, handle) = FaultableService::wrap(kv_service("primary", 10));
+    s.bus().deploy(faulty).unwrap();
+    s.bus().deploy(kv_service("backup", 100)).unwrap();
+
+    let engine = WorkflowEngine::new(s.bus().clone());
+    engine.register(Workflow::new("primary-route", "task:kv-get").step(Step::named(
+        "get",
+        "primary",
+        "get",
+        InputSpec::Literal(Value::map().with("key", "k")),
+    )));
+    engine.register(Workflow::new("backup-route", "task:kv-get").step(Step::named(
+        "get",
+        "backup",
+        "get",
+        InputSpec::Literal(Value::map().with("key", "k")),
+    )));
+
+    let exec = engine.execute_task("task:kv-get").unwrap();
+    assert_eq!(exec.workflow, "primary-route");
+    assert_eq!(exec.failovers, 0);
+
+    handle.kill("outage");
+    let exec = engine.execute_task("task:kv-get").unwrap();
+    assert_eq!(exec.workflow, "backup-route");
+    assert_eq!(exec.failovers, 1);
+    assert_eq!(exec.output, Value::Str("backup:k".into()));
+}
+
+#[test]
+fn fig7_adaptation_inside_a_full_deployment() {
+    let s = system("fig7");
+    let (faulty, handle) = FaultableService::wrap(kv_service("kv-main", 10));
+    s.bus().deploy(faulty).unwrap();
+
+    // Substitute with a different interface + mediation schema.
+    let alt_iface = Interface::new(
+        "scenario.AltKv",
+        1,
+        vec![Operation::new(
+            "lookup",
+            vec![Param::required("k", TypeTag::Str)],
+            TypeTag::Map,
+        )],
+    );
+    let alt = FnService::new("kv-alt", Contract::for_interface(alt_iface), |_, input| {
+        let k = input.require("k")?.as_str()?;
+        Ok(Value::map().with("v", format!("alt:{k}")))
+    })
+    .into_ref();
+    s.bus().deploy(alt).unwrap();
+    s.bus().repository().store_schema(
+        TransformationalSchema::new("scenario.Kv", "scenario.AltKv").with_op(
+            OperationMapping::identity("get")
+                .to_op("lookup")
+                .rename("key", "k")
+                .extract("v"),
+        ),
+    );
+
+    handle.kill("dead");
+    let resources = ResourceManager::new(s.bus().events().clone(), s.bus().properties().clone());
+    let manager = AdaptationManager::new(
+        s.bus().clone(),
+        Coordinator::new(s.bus().clone(), resources),
+    );
+    let report = manager.tick();
+    assert_eq!(report.recovered(), 1);
+    assert!(report.used_adaptor());
+
+    let out = s
+        .bus()
+        .invoke_interface("scenario.Kv", "get", Value::map().with("key", "x"))
+        .unwrap();
+    assert_eq!(out, Value::Str("alt:x".into()));
+
+    // The rest of the system was untouched: SQL still works.
+    s.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    let check = s.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+    assert!(check.get("rows").is_some());
+}
+
+#[test]
+fn operational_tick_recovers_layer_services() {
+    // Kill a deployed extension replica and verify the system-level tick
+    // (monitor + coordinator) recovers routing via a same-interface twin.
+    let s = system("tick-recovery");
+    let (faulty, handle) = FaultableService::wrap(kv_service("replica-a", 10));
+    s.bus().deploy(faulty).unwrap();
+    s.bus().deploy(kv_service("replica-b", 50)).unwrap();
+
+    handle.kill("gone");
+    let (_, recoveries) = s.operational_tick();
+    assert_eq!(recoveries.len(), 1);
+    assert!(recoveries[0].1.is_ok());
+    let out = s
+        .bus()
+        .invoke_interface("scenario.Kv", "get", Value::map().with("key", "z"))
+        .unwrap();
+    assert_eq!(out, Value::Str("replica-b:z".into()));
+}
+
+#[test]
+fn selection_respects_runtime_disable() {
+    let s = system("disable");
+    let fast = s.bus().deploy(kv_service("s-fast", 10)).unwrap();
+    s.bus().deploy(kv_service("s-slow", 10_000)).unwrap();
+
+    let selector = ServiceSelector::new(s.bus().clone(), SelectionStrategy::ByQuality);
+    assert_eq!(selector.select("scenario.Kv").unwrap(), fast);
+    s.bus().disable(fast).unwrap();
+    assert_ne!(selector.select("scenario.Kv").unwrap(), fast);
+    s.bus().enable(fast);
+    assert_eq!(selector.select("scenario.Kv").unwrap(), fast);
+}
