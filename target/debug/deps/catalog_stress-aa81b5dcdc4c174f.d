@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_stress-aa81b5dcdc4c174f.d: crates/data/tests/catalog_stress.rs
+
+/root/repo/target/debug/deps/catalog_stress-aa81b5dcdc4c174f: crates/data/tests/catalog_stress.rs
+
+crates/data/tests/catalog_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-9047e5139c80d0b8.d: crates/storage/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-9047e5139c80d0b8: crates/storage/tests/concurrency.rs
+
+crates/storage/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexibility_scenarios-79e9a620c54cd764.d: crates/core/../../tests/flexibility_scenarios.rs
+
+/root/repo/target/debug/deps/flexibility_scenarios-79e9a620c54cd764: crates/core/../../tests/flexibility_scenarios.rs
+
+crates/core/../../tests/flexibility_scenarios.rs:

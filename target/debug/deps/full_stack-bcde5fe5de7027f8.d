@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-bcde5fe5de7027f8.d: crates/core/../../tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-bcde5fe5de7027f8: crates/core/../../tests/full_stack.rs
+
+crates/core/../../tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gossip_and_concurrency-f7bf3358e511ce13.d: crates/kernel/tests/gossip_and_concurrency.rs
+
+/root/repo/target/debug/deps/gossip_and_concurrency-f7bf3358e511ce13: crates/kernel/tests/gossip_and_concurrency.rs
+
+crates/kernel/tests/gossip_and_concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_roundtrip-ccec451f4165213b.d: crates/data/tests/parser_roundtrip.rs
+
+/root/repo/target/debug/deps/parser_roundtrip-ccec451f4165213b: crates/data/tests/parser_roundtrip.rs
+
+crates/data/tests/parser_roundtrip.rs:

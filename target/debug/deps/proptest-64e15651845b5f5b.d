@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-64e15651845b5f5b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-64e15651845b5f5b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-64e15651845b5f5b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_prop-c77d811874394fcb.d: crates/data/tests/recovery_prop.rs
+
+/root/repo/target/debug/deps/recovery_prop-c77d811874394fcb: crates/data/tests/recovery_prop.rs
+
+crates/data/tests/recovery_prop.rs:

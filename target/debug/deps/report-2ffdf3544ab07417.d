@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-2ffdf3544ab07417.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-2ffdf3544ab07417: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

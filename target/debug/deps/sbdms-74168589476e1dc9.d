@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbdms-74168589476e1dc9.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/distributed.rs crates/core/src/embedded.rs crates/core/src/flexibility/mod.rs crates/core/src/flexibility/adaptation.rs crates/core/src/flexibility/extension.rs crates/core/src/flexibility/selection.rs crates/core/src/granularity.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/sbdms-74168589476e1dc9: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/distributed.rs crates/core/src/embedded.rs crates/core/src/flexibility/mod.rs crates/core/src/flexibility/adaptation.rs crates/core/src/flexibility/extension.rs crates/core/src/flexibility/selection.rs crates/core/src/granularity.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/distributed.rs:
+crates/core/src/embedded.rs:
+crates/core/src/flexibility/mod.rs:
+crates/core/src/flexibility/adaptation.rs:
+crates/core/src/flexibility/extension.rs:
+crates/core/src/flexibility/selection.rs:
+crates/core/src/granularity.rs:
+crates/core/src/system.rs:

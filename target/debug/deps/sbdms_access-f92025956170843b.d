@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbdms_access-f92025956170843b.d: crates/access/src/lib.rs crates/access/src/btree.rs crates/access/src/exec/mod.rs crates/access/src/exec/aggregate.rs crates/access/src/exec/expr.rs crates/access/src/exec/join.rs crates/access/src/exec/ops.rs crates/access/src/heap.rs crates/access/src/record.rs crates/access/src/services.rs crates/access/src/sort.rs
+
+/root/repo/target/debug/deps/sbdms_access-f92025956170843b: crates/access/src/lib.rs crates/access/src/btree.rs crates/access/src/exec/mod.rs crates/access/src/exec/aggregate.rs crates/access/src/exec/expr.rs crates/access/src/exec/join.rs crates/access/src/exec/ops.rs crates/access/src/heap.rs crates/access/src/record.rs crates/access/src/services.rs crates/access/src/sort.rs
+
+crates/access/src/lib.rs:
+crates/access/src/btree.rs:
+crates/access/src/exec/mod.rs:
+crates/access/src/exec/aggregate.rs:
+crates/access/src/exec/expr.rs:
+crates/access/src/exec/join.rs:
+crates/access/src/exec/ops.rs:
+crates/access/src/heap.rs:
+crates/access/src/record.rs:
+crates/access/src/services.rs:
+crates/access/src/sort.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbdms_bench-cdae19ad94f1af16.d: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/sbdms_bench-cdae19ad94f1af16: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:

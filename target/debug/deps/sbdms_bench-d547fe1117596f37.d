@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbdms_bench-d547fe1117596f37.d: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libsbdms_bench-d547fe1117596f37.rlib: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libsbdms_bench-d547fe1117596f37.rmeta: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sbdms_data-185df8990953c873.d: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+/root/repo/target/debug/deps/libsbdms_data-185df8990953c873.rlib: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+/root/repo/target/debug/deps/libsbdms_data-185df8990953c873.rmeta: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ast.rs:
+crates/data/src/catalog.rs:
+crates/data/src/executor.rs:
+crates/data/src/parser.rs:
+crates/data/src/planner.rs:
+crates/data/src/schema.rs:
+crates/data/src/services.rs:
+crates/data/src/table.rs:
+crates/data/src/txn.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sbdms_data-d721161b738f0dea.d: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+/root/repo/target/debug/deps/sbdms_data-d721161b738f0dea: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ast.rs:
+crates/data/src/catalog.rs:
+crates/data/src/executor.rs:
+crates/data/src/parser.rs:
+crates/data/src/planner.rs:
+crates/data/src/schema.rs:
+crates/data/src/services.rs:
+crates/data/src/table.rs:
+crates/data/src/txn.rs:

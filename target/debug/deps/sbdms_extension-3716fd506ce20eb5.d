@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbdms_extension-3716fd506ce20eb5.d: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+/root/repo/target/debug/deps/libsbdms_extension-3716fd506ce20eb5.rlib: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+/root/repo/target/debug/deps/libsbdms_extension-3716fd506ce20eb5.rmeta: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+crates/extension/src/lib.rs:
+crates/extension/src/monitoring.rs:
+crates/extension/src/procedures.rs:
+crates/extension/src/replication.rs:
+crates/extension/src/stream.rs:
+crates/extension/src/xml.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbdms_extension-679ddc2617d8f8c7.d: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+/root/repo/target/debug/deps/sbdms_extension-679ddc2617d8f8c7: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+crates/extension/src/lib.rs:
+crates/extension/src/monitoring.rs:
+crates/extension/src/procedures.rs:
+crates/extension/src/replication.rs:
+crates/extension/src/stream.rs:
+crates/extension/src/xml.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/sbdms_kernel-04bdc9a27819987a.d: crates/kernel/src/lib.rs crates/kernel/src/adaptor.rs crates/kernel/src/binding.rs crates/kernel/src/bus.rs crates/kernel/src/component.rs crates/kernel/src/contract.rs crates/kernel/src/coordinator.rs crates/kernel/src/error.rs crates/kernel/src/events.rs crates/kernel/src/faults.rs crates/kernel/src/interface.rs crates/kernel/src/metrics.rs crates/kernel/src/monitor.rs crates/kernel/src/property.rs crates/kernel/src/registry.rs crates/kernel/src/repository.rs crates/kernel/src/resource.rs crates/kernel/src/service.rs crates/kernel/src/value.rs crates/kernel/src/workflow.rs
+
+/root/repo/target/debug/deps/libsbdms_kernel-04bdc9a27819987a.rlib: crates/kernel/src/lib.rs crates/kernel/src/adaptor.rs crates/kernel/src/binding.rs crates/kernel/src/bus.rs crates/kernel/src/component.rs crates/kernel/src/contract.rs crates/kernel/src/coordinator.rs crates/kernel/src/error.rs crates/kernel/src/events.rs crates/kernel/src/faults.rs crates/kernel/src/interface.rs crates/kernel/src/metrics.rs crates/kernel/src/monitor.rs crates/kernel/src/property.rs crates/kernel/src/registry.rs crates/kernel/src/repository.rs crates/kernel/src/resource.rs crates/kernel/src/service.rs crates/kernel/src/value.rs crates/kernel/src/workflow.rs
+
+/root/repo/target/debug/deps/libsbdms_kernel-04bdc9a27819987a.rmeta: crates/kernel/src/lib.rs crates/kernel/src/adaptor.rs crates/kernel/src/binding.rs crates/kernel/src/bus.rs crates/kernel/src/component.rs crates/kernel/src/contract.rs crates/kernel/src/coordinator.rs crates/kernel/src/error.rs crates/kernel/src/events.rs crates/kernel/src/faults.rs crates/kernel/src/interface.rs crates/kernel/src/metrics.rs crates/kernel/src/monitor.rs crates/kernel/src/property.rs crates/kernel/src/registry.rs crates/kernel/src/repository.rs crates/kernel/src/resource.rs crates/kernel/src/service.rs crates/kernel/src/value.rs crates/kernel/src/workflow.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/adaptor.rs:
+crates/kernel/src/binding.rs:
+crates/kernel/src/bus.rs:
+crates/kernel/src/component.rs:
+crates/kernel/src/contract.rs:
+crates/kernel/src/coordinator.rs:
+crates/kernel/src/error.rs:
+crates/kernel/src/events.rs:
+crates/kernel/src/faults.rs:
+crates/kernel/src/interface.rs:
+crates/kernel/src/metrics.rs:
+crates/kernel/src/monitor.rs:
+crates/kernel/src/property.rs:
+crates/kernel/src/registry.rs:
+crates/kernel/src/repository.rs:
+crates/kernel/src/resource.rs:
+crates/kernel/src/service.rs:
+crates/kernel/src/value.rs:
+crates/kernel/src/workflow.rs:

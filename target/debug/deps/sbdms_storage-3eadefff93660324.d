@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbdms_storage-3eadefff93660324.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/sbdms_storage-3eadefff93660324: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/page.rs:
+crates/storage/src/replacement.rs:
+crates/storage/src/services.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbdms_storage-94b68bc58b8caa2d.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libsbdms_storage-94b68bc58b8caa2d.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libsbdms_storage-94b68bc58b8caa2d.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/page.rs:
+crates/storage/src/replacement.rs:
+crates/storage/src/services.rs:
+crates/storage/src/wal.rs:

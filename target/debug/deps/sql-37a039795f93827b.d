@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql-37a039795f93827b.d: crates/data/tests/sql.rs
+
+/root/repo/target/debug/deps/sql-37a039795f93827b: crates/data/tests/sql.rs
+
+crates/data/tests/sql.rs:

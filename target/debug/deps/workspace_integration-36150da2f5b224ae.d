@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_integration-36150da2f5b224ae.d: crates/core/../../tests/workspace_integration.rs
+
+/root/repo/target/debug/deps/workspace_integration-36150da2f5b224ae: crates/core/../../tests/workspace_integration.rs
+
+crates/core/../../tests/workspace_integration.rs:

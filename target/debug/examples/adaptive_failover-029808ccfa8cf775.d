@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_failover-029808ccfa8cf775.d: crates/core/../../examples/adaptive_failover.rs
+
+/root/repo/target/debug/examples/adaptive_failover-029808ccfa8cf775: crates/core/../../examples/adaptive_failover.rs
+
+crates/core/../../examples/adaptive_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedded_footprint-ae568c0cc346f7cb.d: crates/core/../../examples/embedded_footprint.rs
+
+/root/repo/target/debug/examples/embedded_footprint-ae568c0cc346f7cb: crates/core/../../examples/embedded_footprint.rs
+
+crates/core/../../examples/embedded_footprint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b4291aa7aaf4c945.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b4291aa7aaf4c945: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

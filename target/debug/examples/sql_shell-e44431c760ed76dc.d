@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_shell-e44431c760ed76dc.d: crates/core/../../examples/sql_shell.rs
+
+/root/repo/target/debug/examples/sql_shell-e44431c760ed76dc: crates/core/../../examples/sql_shell.rs
+
+crates/core/../../examples/sql_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_dataflow-c7ab981c752fc2dc.d: crates/core/../../examples/streaming_dataflow.rs
+
+/root/repo/target/debug/examples/streaming_dataflow-c7ab981c752fc2dc: crates/core/../../examples/streaming_dataflow.rs
+
+crates/core/../../examples/streaming_dataflow.rs:

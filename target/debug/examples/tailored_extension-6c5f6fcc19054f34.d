@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tailored_extension-6c5f6fcc19054f34.d: crates/core/../../examples/tailored_extension.rs
+
+/root/repo/target/debug/examples/tailored_extension-6c5f6fcc19054f34: crates/core/../../examples/tailored_extension.rs
+
+crates/core/../../examples/tailored_extension.rs:

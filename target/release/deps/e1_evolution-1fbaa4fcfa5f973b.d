@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_evolution-1fbaa4fcfa5f973b.d: crates/bench/benches/e1_evolution.rs
+
+/root/repo/target/release/deps/e1_evolution-1fbaa4fcfa5f973b: crates/bench/benches/e1_evolution.rs
+
+crates/bench/benches/e1_evolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_adaptation-9ab18b66154097e2.d: crates/bench/benches/e6_adaptation.rs
+
+/root/repo/target/release/deps/e6_adaptation-9ab18b66154097e2: crates/bench/benches/e6_adaptation.rs
+
+crates/bench/benches/e6_adaptation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9b2ef1b9d20ccc2f.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9b2ef1b9d20ccc2f.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9b2ef1b9d20ccc2f.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-a7ef50c0c4e3bf63.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-a7ef50c0c4e3bf63: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

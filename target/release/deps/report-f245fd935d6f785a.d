@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-f245fd935d6f785a.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-f245fd935d6f785a: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sbdms-3e85199adbd6b683.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/distributed.rs crates/core/src/embedded.rs crates/core/src/flexibility/mod.rs crates/core/src/flexibility/adaptation.rs crates/core/src/flexibility/extension.rs crates/core/src/flexibility/selection.rs crates/core/src/granularity.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libsbdms-3e85199adbd6b683.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/distributed.rs crates/core/src/embedded.rs crates/core/src/flexibility/mod.rs crates/core/src/flexibility/adaptation.rs crates/core/src/flexibility/extension.rs crates/core/src/flexibility/selection.rs crates/core/src/granularity.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libsbdms-3e85199adbd6b683.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/distributed.rs crates/core/src/embedded.rs crates/core/src/flexibility/mod.rs crates/core/src/flexibility/adaptation.rs crates/core/src/flexibility/extension.rs crates/core/src/flexibility/selection.rs crates/core/src/granularity.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/distributed.rs:
+crates/core/src/embedded.rs:
+crates/core/src/flexibility/mod.rs:
+crates/core/src/flexibility/adaptation.rs:
+crates/core/src/flexibility/extension.rs:
+crates/core/src/flexibility/selection.rs:
+crates/core/src/granularity.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sbdms_access-fb04023cfbc0858d.d: crates/access/src/lib.rs crates/access/src/btree.rs crates/access/src/exec/mod.rs crates/access/src/exec/aggregate.rs crates/access/src/exec/expr.rs crates/access/src/exec/join.rs crates/access/src/exec/ops.rs crates/access/src/heap.rs crates/access/src/record.rs crates/access/src/services.rs crates/access/src/sort.rs
+
+/root/repo/target/release/deps/libsbdms_access-fb04023cfbc0858d.rlib: crates/access/src/lib.rs crates/access/src/btree.rs crates/access/src/exec/mod.rs crates/access/src/exec/aggregate.rs crates/access/src/exec/expr.rs crates/access/src/exec/join.rs crates/access/src/exec/ops.rs crates/access/src/heap.rs crates/access/src/record.rs crates/access/src/services.rs crates/access/src/sort.rs
+
+/root/repo/target/release/deps/libsbdms_access-fb04023cfbc0858d.rmeta: crates/access/src/lib.rs crates/access/src/btree.rs crates/access/src/exec/mod.rs crates/access/src/exec/aggregate.rs crates/access/src/exec/expr.rs crates/access/src/exec/join.rs crates/access/src/exec/ops.rs crates/access/src/heap.rs crates/access/src/record.rs crates/access/src/services.rs crates/access/src/sort.rs
+
+crates/access/src/lib.rs:
+crates/access/src/btree.rs:
+crates/access/src/exec/mod.rs:
+crates/access/src/exec/aggregate.rs:
+crates/access/src/exec/expr.rs:
+crates/access/src/exec/join.rs:
+crates/access/src/exec/ops.rs:
+crates/access/src/heap.rs:
+crates/access/src/record.rs:
+crates/access/src/services.rs:
+crates/access/src/sort.rs:

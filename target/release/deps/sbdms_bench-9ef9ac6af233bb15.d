@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sbdms_bench-9ef9ac6af233bb15.d: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libsbdms_bench-9ef9ac6af233bb15.rlib: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libsbdms_bench-9ef9ac6af233bb15.rmeta: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sbdms_bench-fad352966a1a2437.d: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libsbdms_bench-fad352966a1a2437.rlib: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libsbdms_bench-fad352966a1a2437.rmeta: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sbdms_data-363af1d7db1d7379.d: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+/root/repo/target/release/deps/libsbdms_data-363af1d7db1d7379.rlib: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+/root/repo/target/release/deps/libsbdms_data-363af1d7db1d7379.rmeta: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ast.rs:
+crates/data/src/catalog.rs:
+crates/data/src/executor.rs:
+crates/data/src/parser.rs:
+crates/data/src/planner.rs:
+crates/data/src/schema.rs:
+crates/data/src/services.rs:
+crates/data/src/table.rs:
+crates/data/src/txn.rs:

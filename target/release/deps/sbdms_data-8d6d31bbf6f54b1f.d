@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sbdms_data-8d6d31bbf6f54b1f.d: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+/root/repo/target/release/deps/libsbdms_data-8d6d31bbf6f54b1f.rlib: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+/root/repo/target/release/deps/libsbdms_data-8d6d31bbf6f54b1f.rmeta: crates/data/src/lib.rs crates/data/src/ast.rs crates/data/src/catalog.rs crates/data/src/executor.rs crates/data/src/parser.rs crates/data/src/planner.rs crates/data/src/schema.rs crates/data/src/services.rs crates/data/src/table.rs crates/data/src/txn.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ast.rs:
+crates/data/src/catalog.rs:
+crates/data/src/executor.rs:
+crates/data/src/parser.rs:
+crates/data/src/planner.rs:
+crates/data/src/schema.rs:
+crates/data/src/services.rs:
+crates/data/src/table.rs:
+crates/data/src/txn.rs:

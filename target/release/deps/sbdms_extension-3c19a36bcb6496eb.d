@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sbdms_extension-3c19a36bcb6496eb.d: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+/root/repo/target/release/deps/libsbdms_extension-3c19a36bcb6496eb.rlib: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+/root/repo/target/release/deps/libsbdms_extension-3c19a36bcb6496eb.rmeta: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+crates/extension/src/lib.rs:
+crates/extension/src/monitoring.rs:
+crates/extension/src/procedures.rs:
+crates/extension/src/replication.rs:
+crates/extension/src/stream.rs:
+crates/extension/src/xml.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sbdms_extension-7f0d2ac82945e3e6.d: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+/root/repo/target/release/deps/libsbdms_extension-7f0d2ac82945e3e6.rlib: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+/root/repo/target/release/deps/libsbdms_extension-7f0d2ac82945e3e6.rmeta: crates/extension/src/lib.rs crates/extension/src/monitoring.rs crates/extension/src/procedures.rs crates/extension/src/replication.rs crates/extension/src/stream.rs crates/extension/src/xml.rs
+
+crates/extension/src/lib.rs:
+crates/extension/src/monitoring.rs:
+crates/extension/src/procedures.rs:
+crates/extension/src/replication.rs:
+crates/extension/src/stream.rs:
+crates/extension/src/xml.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sbdms_storage-c579c4c25d84ada4.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libsbdms_storage-c579c4c25d84ada4.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libsbdms_storage-c579c4c25d84ada4.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/page.rs crates/storage/src/replacement.rs crates/storage/src/services.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/page.rs:
+crates/storage/src/replacement.rs:
+crates/storage/src/services.rs:
+crates/storage/src/wal.rs:

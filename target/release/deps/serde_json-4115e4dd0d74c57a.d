@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-4115e4dd0d74c57a.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4115e4dd0d74c57a.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4115e4dd0d74c57a.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,148 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API subset the
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! `bench_function`, `sample_size`, `finish`, and the `criterion_group!`
+//! / `criterion_main!` macros. Reports mean time per iteration to
+//! stdout; no statistics, plots, or baseline comparison.
+
+use std::time::Instant;
+
+/// Benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(&name.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
+    // Warm-up / calibration: find an iteration count that takes ~2ms.
+    f(&mut bencher);
+    let per_iter = (bencher.elapsed_ns / bencher.iters as f64).max(0.5);
+    bencher.iters = ((2_000_000.0 / per_iter) as u64).clamp(1, 100_000);
+
+    let mut total_ns = 0.0;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        total_ns += bencher.elapsed_ns;
+        total_iters += bencher.iters;
+    }
+    let mean = total_ns / total_iters.max(1) as f64;
+    println!("bench {name:<60} {:>12.1} ns/iter ({total_iters} iters)", mean);
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Prevent the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,346 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The real serde is unavailable (no network access to a registry), so
+//! this shim provides just what the workspace needs: `Serialize` /
+//! `Deserialize` traits over an owned JSON tree ([`Json`]), derive macros
+//! for plain structs and externally-tagged enums (via the sibling
+//! `serde_derive` shim), and impls for the primitive/collection types
+//! that appear in derived fields. `serde_json` (also shimmed) prints and
+//! parses the tree. Wire compatibility with real serde_json is preserved
+//! for the shapes used here: externally tagged enums, arrays for
+//! sequences and tuple variants, objects for maps and structs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned JSON tree all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (fits i64).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::I64(_) | Json::U64(_) => "integer",
+            Json::F64(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error describing a type mismatch.
+    pub fn expected(what: &str, found: &Json) -> DeError {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Json`] tree.
+pub trait Serialize {
+    /// Convert to the JSON tree.
+    fn ser_json(&self) -> Json;
+}
+
+/// Types that can reconstruct themselves from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the JSON tree.
+    fn deser_json(v: &Json) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn ser_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            // Irrefutable for i64 itself; the macro covers narrower types too.
+            #[allow(irrefutable_let_patterns)]
+            fn ser_json(&self) -> Json {
+                if let Ok(i) = i64::try_from(*self) {
+                    Json::I64(i)
+                } else {
+                    Json::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deser_json(v: &Json) -> Result<Self, DeError> {
+                match v {
+                    Json::I64(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    Json::U64(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("integer {u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn ser_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::F64(f) => Ok(*f),
+            Json::I64(i) => Ok(*i as f64),
+            Json::U64(u) => Ok(*u as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn ser_json(&self) -> Json {
+        Json::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        f64::deser_json(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn ser_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn ser_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_json(&self) -> Json {
+        (**self).ser_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn ser_json(&self) -> Json {
+        (**self).ser_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        T::deser_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_json(&self) -> Json {
+        match self {
+            Some(t) => t.ser_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::deser_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::ser_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::deser_json).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::ser_json).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.ser_json())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deser_json(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn ser_json(&self) -> Json {
+        // Sort keys so serialization is deterministic, like a BTreeMap.
+        let mut fields: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.clone(), v.ser_json())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deser_json(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.ser_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deser_json(v: &Json) -> Result<Self, DeError> {
+                match v {
+                    Json::Arr(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            $name::deser_json(
+                                it.next().ok_or_else(|| DeError("tuple too short".into()))?
+                            )?,
+                        )+))
+                    }
+                    other => Err(DeError::expected("array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Json {
+    fn ser_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn deser_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) that
+//! supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields, tuple structs, unit structs, and
+//! externally-tagged enums whose variants are unit, tuple, or
+//! struct-like. Generated impls target the vendored `serde` shim's
+//! `Serialize`/`Deserialize` traits over its `Json` tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with N unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum; each variant is (name, shape).
+    Enum { name: String, variants: Vec<(String, Shape)> },
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip attributes (`#[...]` / doc comments) and visibility modifiers.
+fn skip_meta(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Count top-level comma-separated entries in a tuple field list,
+/// tracking `<...>` nesting so generic arguments don't split fields.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_meta(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        fields.push(name.to_string());
+        // Skip `: Type` until a top-level comma.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_meta(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type {name} not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde shim derive: malformed struct {name}: {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: malformed enum {name}: {other:?}"),
+            };
+            let mut vt = body.into_iter().peekable();
+            let mut variants = Vec::new();
+            loop {
+                skip_meta(&mut vt);
+                let Some(TokenTree::Ident(vname)) = vt.next() else {
+                    break;
+                };
+                let shape = match vt.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = tuple_arity(g.stream());
+                        vt.next();
+                        Shape::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = named_fields(g.stream());
+                        vt.next();
+                        Shape::Named(fields)
+                    }
+                    _ => Shape::Unit,
+                };
+                variants.push((vname.to_string(), shape));
+                // Skip any `= discriminant` and the trailing comma.
+                for tt in vt.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: unsupported item kind {other}"),
+    }
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::ser_json(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn ser_json(&self) -> serde::Json {{\n\
+                         serde::Json::Obj(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "serde::Serialize::ser_json(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("serde::Serialize::ser_json(&self.{i}),"))
+                    .collect();
+                format!("serde::Json::Arr(vec![{items}])")
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn ser_json(&self) -> serde::Json {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn ser_json(&self) -> serde::Json {{ serde::Json::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => serde::Json::Str(\"{v}\".to_string()),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => serde::Json::Obj(vec![(\"{v}\".to_string(), \
+                         serde::Serialize::ser_json(f0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::ser_json({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::Json::Obj(vec![(\"{v}\".to_string(), \
+                             serde::Json::Arr(vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::ser_json({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Json::Obj(vec![(\
+                             \"{v}\".to_string(), serde::Json::Obj(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn ser_json(&self) -> serde::Json {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::deser_json(\
+                             v.get(\"{f}\").unwrap_or(&serde::Json::Null)\
+                         ).map_err(|e| serde::DeError(format!(\"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deser_json(v: &serde::Json) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Json::Obj(_) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(serde::DeError::expected(\"object ({name})\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(serde::Deserialize::deser_json(v)?))")
+            } else {
+                let inits: String = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "serde::Deserialize::deser_json(items.get({i})\
+                             .ok_or_else(|| serde::DeError(\"{name}: tuple too short\"\
+                             .to_string()))?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         serde::Json::Arr(items) => Ok({name}({inits})),\n\
+                         other => Err(serde::DeError::expected(\"array ({name})\", other)),\n\
+                     }}"
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deser_json(v: &serde::Json) -> ::core::result::Result<Self, serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn deser_json(_v: &serde::Json) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(\
+                         serde::Deserialize::deser_json(payload)\
+                         .map_err(|e| serde::DeError(format!(\"{name}::{v}: {{e}}\")))?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let inits: String = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::deser_json(items.get({i})\
+                                     .ok_or_else(|| serde::DeError(\
+                                     \"{name}::{v}: tuple too short\".to_string()))?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match payload {{\n\
+                                 serde::Json::Arr(items) => Ok({name}::{v}({inits})),\n\
+                                 other => Err(serde::DeError::expected(\
+                                     \"array ({name}::{v})\", other)),\n\
+                             }},"
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::deser_json(\
+                                         payload.get(\"{f}\").unwrap_or(&serde::Json::Null)\
+                                     ).map_err(|e| serde::DeError(\
+                                         format!(\"{name}::{v}.{f}: {{e}}\")))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match payload {{\n\
+                                 serde::Json::Obj(_) => Ok({name}::{v} {{ {inits} }}),\n\
+                                 other => Err(serde::DeError::expected(\
+                                     \"object ({name}::{v})\", other)),\n\
+                             }},"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deser_json(v: &serde::Json) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Json::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::DeError(\
+                                     format!(\"unknown {name} variant {{other}}\"))),\n\
+                             }},\n\
+                             serde::Json::Obj(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, payload) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(serde::DeError(\
+                                         format!(\"unknown {name} variant {{other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::DeError::expected(\
+                                 \"string or single-key object ({name})\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,450 @@
+//! Offline shim for `serde_json`.
+//!
+//! Prints and parses standard JSON text over the vendored `serde`
+//! shim's [`serde::Json`] tree. Covers the workspace's usage:
+//! [`to_string`], [`to_string_pretty`], [`to_vec`], [`from_str`],
+//! [`from_slice`]. Floats are printed via `{:?}` (shortest
+//! representation that round-trips); strings are escaped per RFC 8259.
+
+use serde::{DeError, Deserialize, Json, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Shorthand result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- printing --------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn print_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // {:?} gives the shortest string that round-trips to the same f64.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // Real serde_json rejects non-finite floats; the shim prints null
+        // to stay total (nothing in this workspace serialises NaN/inf).
+        out.push_str("null");
+    }
+}
+
+fn print_compact(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::I64(i) => out.push_str(&i.to_string()),
+        Json::U64(u) => out.push_str(&u.to_string()),
+        Json::F64(f) => print_float(*f, out),
+        Json::Str(s) => escape_into(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                print_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                print_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn print_pretty(v: &Json, indent: usize, out: &mut String) {
+    const STEP: usize = 2;
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                print_pretty(item, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(k, out);
+                out.push_str(": ");
+                print_pretty(val, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => print_compact(other, out),
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    print_compact(&value.ser_json(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    print_pretty(&value.ser_json(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+            b'n' => {
+                if self.eat_keyword("null") {
+                    Ok(Json::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b't' => {
+                if self.eat_keyword("true") {
+                    Ok(Json::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'f' => {
+                if self.eat_keyword("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'"' => self.string().map(Json::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("missing low surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 encoded char. Input came from &str,
+                    // so byte boundaries are valid.
+                    let start = self.pos;
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos += len;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parse a JSON value from text.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let mut p = Parser::new(input);
+    let tree = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::deser_json(&tree).map_err(Error::from)
+}
+
+/// Parse a JSON value from bytes.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(input).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_tree() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::I64(-3)),
+            ("b".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("c".into(), Json::F64(1.5)),
+            ("s".into(), Json::Str("he\"llo\n".into())),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Json = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_roundtrips() {
+        for f in [0.1, 1e300, -2.5e-10, 123456.789] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(f, back);
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: String = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(s, "A\u{1F600}");
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = Json::Obj(vec![("k".into(), Json::Arr(vec![Json::I64(1), Json::I64(2)]))]);
+        let text = to_string_pretty(&v).unwrap();
+        let back: Json = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Json>("1 2").is_err());
+    }
+}
