@@ -6,9 +6,17 @@
 //! (schema lookup + adaptor generation + deployment) than direct
 //! substitution, and afterwards the system keeps operating at degraded
 //! advertised quality.
+//!
+//! The `mttr-*` benches measure the resilient invocation layer against a
+//! *silent* failure (health keeps reporting healthy while every call
+//! fails): with resilience on, the wall time is the cost of masking the
+//! whole outage inside one call (retries + breaker trip + failover); the
+//! run asserts the caller sees zero errors and recovers in <= retries + 1
+//! calls. Resilience off is timed over the same capped caller loop, in
+//! which the outage is never recovered.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbdms_bench::experiments::{e6_failover_once, E6Scenario};
+use sbdms_bench::experiments::{e6_failover_once, e6_mttr, E6Scenario};
 
 fn bench_adaptation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_adaptation");
@@ -17,6 +25,17 @@ fn bench_adaptation(c: &mut Criterion) {
     });
     group.bench_function("adapted-substitute", |b| {
         b.iter(|| std::hint::black_box(e6_failover_once(E6Scenario::AdaptedSubstitute)))
+    });
+    group.bench_function("mttr-resilience-on", |b| {
+        b.iter(|| {
+            let (calls, errors) = e6_mttr(true, 50);
+            assert!(calls <= 4, "MTTR {calls} calls exceeds retries + 1");
+            assert_eq!(errors, 0);
+            std::hint::black_box(calls)
+        })
+    });
+    group.bench_function("mttr-resilience-off", |b| {
+        b.iter(|| std::hint::black_box(e6_mttr(false, 50)))
     });
     group.finish();
 }

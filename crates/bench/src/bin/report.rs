@@ -187,6 +187,14 @@ fn e6() {
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
         println!("{:<20} {:>14.1}µs", name, mean.as_nanos() as f64 / 1e3);
     }
+
+    println!("\nE6b — MTTR under a silent failure (caller calls until first success, cap 50)");
+    println!("{:<20} {:>16} {:>16}", "invocation layer", "calls to recover", "caller errors");
+    for (name, on) in [("resilience on", true), ("resilience off", false)] {
+        let (calls, errors) = e6_mttr(on, 50);
+        let calls_s = if on { calls.to_string() } else { format!(">{calls}") };
+        println!("{:<20} {:>16} {:>16}", name, calls_s, errors);
+    }
 }
 
 fn e7() {

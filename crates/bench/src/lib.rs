@@ -54,7 +54,7 @@ pub mod experiments {
     use sbdms::kernel::bus::ServiceBus;
     use sbdms::kernel::contract::{Contract, Quality};
     use sbdms::kernel::coordinator::Coordinator;
-    use sbdms::kernel::faults::{FaultHandle, FaultableService};
+    use sbdms::kernel::faults::{FaultHandle, FaultMode, FaultableService};
     use sbdms::kernel::interface::{Interface, Operation, Param};
     use sbdms::kernel::resource::ResourceManager;
     use sbdms::kernel::service::{FnService, ServiceRef};
@@ -310,6 +310,42 @@ pub mod experiments {
         elapsed
     }
 
+    /// E6 MTTR: recovery from a *silent* failure, measured in
+    /// caller-visible calls. The primary keeps reporting
+    /// `Health::Healthy` while every call fails, so late binding cannot
+    /// route around it and the health monitor cannot detect it — only
+    /// the resilient invocation layer (retry → breaker trip → failover)
+    /// sees the failures. Returns `(calls_until_success,
+    /// caller_visible_errors)`; callers that never recover within `cap`
+    /// calls report `(cap, cap)`.
+    ///
+    /// With resilience on, the first call already succeeds: the breaker
+    /// trips inside it and the coordinator's hook re-routes to the twin
+    /// (MTTR = 1 call ≤ retries + 1). With resilience off, the seed
+    /// dispatch returns the error every time — the outage is permanent.
+    pub fn e6_mttr(resilience_on: bool, cap: u32) -> (u32, u32) {
+        let bus = ServiceBus::new();
+        let (primary, handle) = FaultableService::wrap(kv_service("primary", 10));
+        bus.deploy(primary).unwrap();
+        bus.deploy(kv_service("twin", 50)).unwrap();
+        let resources = ResourceManager::new(bus.events().clone(), bus.properties().clone());
+        let coordinator = Coordinator::new(bus.clone(), resources);
+        coordinator.install_failover();
+        bus.resilience().set_enabled(resilience_on);
+        handle.set_mode(FaultMode::Flaky {
+            period: u64::MAX,
+            fail_every: u64::MAX,
+        });
+        let mut errors = 0;
+        for call in 1..=cap {
+            match bus.invoke_interface("bench.Kv", "get", Value::map().with("key", "k")) {
+                Ok(_) => return (call, errors),
+                Err(_) => errors += 1,
+            }
+        }
+        (cap, errors)
+    }
+
     /// E7: deploy a profile, returning (setup time, footprint report).
     pub fn e7_deploy(profile: Profile) -> (Duration, sbdms::embedded::FootprintReport) {
         let start = Instant::now();
@@ -399,6 +435,21 @@ mod tests {
         let direct = e6_failover_once(E6Scenario::DirectSubstitute);
         let adapted = e6_failover_once(E6Scenario::AdaptedSubstitute);
         assert!(direct.as_nanos() > 0 && adapted.as_nanos() > 0);
+    }
+
+    #[test]
+    fn e6_mttr_on_recovers_within_retry_budget() {
+        // Acceptance: with resilience on, a masked failover means the
+        // very first call succeeds — well inside retries + 1.
+        let (calls, errors) = e6_mttr(true, 50);
+        assert!(calls <= 4, "calls to recover: {calls}");
+        assert_eq!(errors, 0, "the outage must be invisible to callers");
+    }
+
+    #[test]
+    fn e6_mttr_off_never_recovers_from_silent_failure() {
+        let (calls, errors) = e6_mttr(false, 20);
+        assert_eq!((calls, errors), (20, 20));
     }
 
     #[test]

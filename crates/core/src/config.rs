@@ -8,8 +8,10 @@
 //! specific settings."
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use sbdms_kernel::binding::BindingKind;
+use sbdms_kernel::resilience::{BreakerConfig, InvokePolicy};
 use sbdms_storage::replacement::PolicyKind;
 
 /// Which functional services a deployment installs (paper Fig. 2 layers
@@ -90,6 +92,47 @@ impl ServiceSelection {
     }
 }
 
+/// Tuning of the bus's resilient invocation layer (retries, deadlines,
+/// circuit breakers) for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Whether the resilient invocation path is active at all. Off means
+    /// the seed single-attempt dispatch (benchmarks sweep this).
+    pub enabled: bool,
+    /// Retries after the first attempt for recoverable errors.
+    pub retries: u32,
+    /// Total wall-clock budget per invocation, milliseconds (`None` =
+    /// unbounded).
+    pub deadline_ms: Option<u64>,
+    /// Consecutive failures that trip a service's circuit breaker.
+    pub breaker_failure_threshold: u32,
+    /// Rejected calls while open before a half-open probe is admitted.
+    pub breaker_cooldown_calls: u64,
+    /// Route around providers self-reporting `Health::Degraded`.
+    pub hedge_on_degraded: bool,
+}
+
+impl ResilienceConfig {
+    /// The kernel invocation policy this configuration selects.
+    pub fn invoke_policy(&self) -> InvokePolicy {
+        InvokePolicy {
+            retries: self.retries,
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            hedge_on_degraded: self.hedge_on_degraded,
+            ..InvokePolicy::default()
+        }
+    }
+
+    /// The kernel breaker configuration this configuration selects.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: self.breaker_failure_threshold,
+            cooldown_calls: self.breaker_cooldown_calls,
+            ..BreakerConfig::default()
+        }
+    }
+}
+
 /// Deployment profiles from the paper's §4 discussion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {
@@ -119,6 +162,8 @@ pub struct ArchitectureConfig {
     pub memory_alert_below: u64,
     /// Whether policy assertions are enforced on the hot path.
     pub enforce_policies: bool,
+    /// Resilient invocation tuning.
+    pub resilience: ResilienceConfig,
 }
 
 impl ArchitectureConfig {
@@ -134,6 +179,16 @@ impl ArchitectureConfig {
                 memory_budget: 64 << 20,
                 memory_alert_below: 4 << 20,
                 enforce_policies: true,
+                // Plenty of headroom: retry generously and hedge away
+                // from degraded providers.
+                resilience: ResilienceConfig {
+                    enabled: true,
+                    retries: 3,
+                    deadline_ms: Some(250),
+                    breaker_failure_threshold: 3,
+                    breaker_cooldown_calls: 8,
+                    hedge_on_degraded: true,
+                },
             },
             Profile::Embedded => ArchitectureConfig {
                 data_dir: data_dir.into(),
@@ -144,6 +199,18 @@ impl ArchitectureConfig {
                 memory_budget: 1 << 20,
                 memory_alert_below: 128 << 10,
                 enforce_policies: true,
+                // Constrained device: fail fast (tight deadline, single
+                // retry, eager breaker) rather than burn battery on
+                // backoff loops; no hedging — redundant providers are
+                // unlikely in an embedded deployment.
+                resilience: ResilienceConfig {
+                    enabled: true,
+                    retries: 1,
+                    deadline_ms: Some(50),
+                    breaker_failure_threshold: 2,
+                    breaker_cooldown_calls: 4,
+                    hedge_on_degraded: false,
+                },
             },
         }
     }
@@ -165,6 +232,12 @@ impl ArchitectureConfig {
         self.services = services;
         self
     }
+
+    /// Builder: override the resilience tuning.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> ArchitectureConfig {
+        self.resilience = resilience;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +251,22 @@ mod tests {
         assert!(full.services.count() > embedded.services.count());
         assert!(full.buffer_frames > embedded.buffer_frames);
         assert!(full.memory_budget > embedded.memory_budget);
+        // The embedded profile fails fast; the full profile tries harder.
+        assert!(full.resilience.retries > embedded.resilience.retries);
+        assert!(full.resilience.deadline_ms > embedded.resilience.deadline_ms);
+        assert!(full.resilience.hedge_on_degraded && !embedded.resilience.hedge_on_degraded);
+    }
+
+    #[test]
+    fn resilience_config_maps_to_kernel_policy() {
+        let r = ArchitectureConfig::for_profile(Profile::FullFledged, "/tmp/x").resilience;
+        let policy = r.invoke_policy();
+        assert_eq!(policy.retries, 3);
+        assert_eq!(policy.deadline, Some(Duration::from_millis(250)));
+        assert!(policy.hedge_on_degraded);
+        let breaker = r.breaker_config();
+        assert_eq!(breaker.failure_threshold, 3);
+        assert_eq!(breaker.cooldown_calls, 8);
     }
 
     #[test]

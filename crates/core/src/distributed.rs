@@ -23,6 +23,7 @@ use sbdms_kernel::error::{Result, ServiceError};
 use sbdms_kernel::events::Event;
 use sbdms_kernel::interface::{Interface, Operation, Param};
 use sbdms_kernel::property::PropertyStore;
+use sbdms_kernel::resilience::BreakerState;
 use sbdms_kernel::resource::ResourceManager;
 use sbdms_kernel::service::{FnService, ServiceId};
 use sbdms_kernel::value::{TypeTag, Value};
@@ -159,11 +160,31 @@ impl Cluster {
         &self.devices
     }
 
+    /// Whether a device's replica is currently fenced off by an open
+    /// circuit breaker on the cluster bus.
+    fn breaker_open(&self, id: ServiceId) -> bool {
+        matches!(
+            self.bus.resilience().breaker_state(id),
+            Some(BreakerState::Open)
+        )
+    }
+
     /// Pick the serving device for a client at `client_zone`. Devices in
-    /// their battery-alert region are skipped (workload redirection) —
-    /// unless every device is low, in which case the nearest is used so
-    /// the system stays operational.
+    /// their battery-alert region or with an open circuit breaker are
+    /// skipped (workload redirection) — unless every device is impaired,
+    /// in which case the nearest is used so the system stays operational.
     pub fn place(&self, client_zone: i64, strategy: PlacementStrategy) -> Result<&Device> {
+        self.place_excluding(client_zone, strategy, None)
+    }
+
+    /// `place`, optionally excluding one device (used to retry a request
+    /// on an alternate placement after its first device failed).
+    fn place_excluding(
+        &self,
+        client_zone: i64,
+        strategy: PlacementStrategy,
+        exclude: Option<ServiceId>,
+    ) -> Result<&Device> {
         fn pick(
             candidates: Vec<&Device>,
             strategy: PlacementStrategy,
@@ -176,20 +197,27 @@ impl Cluster {
                 PlacementStrategy::First => candidates.into_iter().next(),
             }
         }
-        let healthy: Vec<&Device> = self
+        let eligible: Vec<&Device> = self
             .devices
             .iter()
-            .filter(|d| !d.resources.is_low("battery"))
+            .filter(|d| Some(d.service) != exclude)
+            .collect();
+        let healthy: Vec<&Device> = eligible
+            .iter()
+            .copied()
+            .filter(|d| !d.resources.is_low("battery") && !self.breaker_open(d.service))
             .collect();
         if let Some(d) = pick(healthy, strategy, client_zone) {
             return Ok(d);
         }
-        pick(self.devices.iter().collect(), strategy, client_zone)
+        pick(eligible, strategy, client_zone)
             .ok_or_else(|| ServiceError::ServiceNotFound("no devices".into()))
     }
 
     /// Serve one request from a client at `client_zone`: pick a device,
-    /// pay the zone latency both ways, drain its battery. Returns the
+    /// pay the zone latency both ways, drain its battery. If the chosen
+    /// device fails recoverably (e.g. its breaker trips open mid-call),
+    /// the request is retried once on an alternate placement. Returns the
     /// response and the serving device name.
     pub fn request(
         &self,
@@ -199,6 +227,29 @@ impl Cluster {
         input: Value,
     ) -> Result<(Value, String)> {
         let device = self.place(client_zone, strategy)?;
+        let err = match self.request_on(device, client_zone, op, input.clone()) {
+            Ok(out) => return Ok(out),
+            Err(e) => e,
+        };
+        if !err.is_recoverable() {
+            return Err(err);
+        }
+        match self.place_excluding(client_zone, strategy, Some(device.service)) {
+            Ok(alternate) => self.request_on(alternate, client_zone, op, input),
+            // No alternate (single-device cluster): the original error
+            // explains the failure better than "no devices".
+            Err(_) => Err(err),
+        }
+    }
+
+    /// Serve one request on a specific device.
+    fn request_on(
+        &self,
+        device: &Device,
+        client_zone: i64,
+        op: &str,
+        input: Value,
+    ) -> Result<(Value, String)> {
         let distance = (device.zone - client_zone).unsigned_abs() as u32;
         precise_delay(ZONE_LATENCY * distance);
         let out = self.bus.invoke(device.service, op, input)?;
@@ -298,6 +349,33 @@ mod tests {
             serving.iter().any(|d| d == "device-1"),
             "workload must redirect: {serving:?}"
         );
+    }
+
+    #[test]
+    fn open_breaker_redirects_to_alternate_device() {
+        let cluster = Cluster::new(&[0, 100], 1_000_000, 0, 1).unwrap();
+        cluster.seed(&[("k", "v")]);
+        let dead = cluster.devices()[0].service;
+        // Administratively fence device-0's replica: calls to it fail
+        // recoverably, so the bus retries until the breaker trips open.
+        cluster.bus().disable(dead).unwrap();
+
+        // The request still succeeds — served by device-1 on the second
+        // placement, despite device-0 being nearest.
+        let (out, device) = cluster
+            .request(0, PlacementStrategy::Nearest, "get", Value::map().with("key", "k"))
+            .unwrap();
+        assert_eq!(out, Value::Str("v".into()));
+        assert_eq!(device, "device-1");
+
+        // The failed attempts tripped device-0's breaker, so subsequent
+        // placements skip it up front.
+        assert_eq!(
+            cluster.bus().resilience().breaker_state(dead),
+            Some(BreakerState::Open)
+        );
+        let placed = cluster.place(0, PlacementStrategy::Nearest).unwrap();
+        assert_eq!(placed.name, "device-1");
     }
 
     #[test]

@@ -41,6 +41,48 @@ pub const MIN_BUFFER_FRAMES: usize = 8;
 /// catalog).
 const XML_STORE_KEY: &str = "__sbdms_xml_store_root";
 
+/// Resilience interventions observed during one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interventions {
+    /// Retries spent.
+    pub retries: u64,
+    /// Synchronous failovers to a substitute provider.
+    pub failovers: u64,
+    /// Hedges away from degraded providers.
+    pub hedges: u64,
+}
+
+/// Outcome of a resilient SQL execution: the caller got an answer either
+/// way, but `Degraded` says the invocation layer had to intervene —
+/// the paper's "the system can continue to operate" made observable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// Served cleanly on the first attempt.
+    Ok(Value),
+    /// Served, but only after retries, failover, or hedging.
+    Degraded {
+        /// The (complete, correct) result.
+        value: Value,
+        /// What the resilience layer had to do to produce it.
+        interventions: Interventions,
+    },
+}
+
+impl ExecOutcome {
+    /// The result value, regardless of how it was obtained.
+    pub fn value(&self) -> &Value {
+        match self {
+            ExecOutcome::Ok(v) => v,
+            ExecOutcome::Degraded { value, .. } => value,
+        }
+    }
+
+    /// Whether the resilience layer had to intervene.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ExecOutcome::Degraded { .. })
+    }
+}
+
 /// A deployed Service-Based Data Management System.
 pub struct Sbdms {
     config: ArchitectureConfig,
@@ -68,10 +110,17 @@ impl Sbdms {
         )?);
         let bus = ServiceBus::new();
         bus.set_enforce_policies(config.enforce_policies);
+        bus.resilience().set_enabled(config.resilience.enabled);
+        bus.resilience().set_policy(config.resilience.invoke_policy());
+        bus.resilience()
+            .set_breaker_config(config.resilience.breaker_config());
 
         let resources = ResourceManager::new(bus.events().clone(), bus.properties().clone());
         resources.define("memory", config.memory_budget, config.memory_alert_below);
         let coordinator = Coordinator::new(bus.clone(), resources);
+        // Synchronous failover: a tripped breaker recovers inside the
+        // failing call instead of waiting for the next operational tick.
+        coordinator.install_failover();
         let monitor = HealthMonitor::new(bus.clone());
         let workflows = WorkflowEngine::new(bus.clone());
 
@@ -290,6 +339,46 @@ impl Sbdms {
         )
     }
 
+    /// Execute SQL and report whether the resilience layer had to step
+    /// in. The result value is identical to [`Sbdms::execute_sql`]; the
+    /// outcome type makes graceful degradation visible to callers that
+    /// care (monitoring, benchmarks) without changing the plain API.
+    pub fn execute_sql_outcome(&self, sql: &str) -> Result<ExecOutcome> {
+        let before = self.query_fabric_interventions();
+        let value = self.execute_sql(sql)?;
+        let after = self.query_fabric_interventions();
+        let interventions = Interventions {
+            retries: after.retries - before.retries,
+            failovers: after.failovers - before.failovers,
+            hedges: after.hedges - before.hedges,
+        };
+        if interventions.retries == 0 && interventions.failovers == 0 && interventions.hedges == 0 {
+            Ok(ExecOutcome::Ok(value))
+        } else {
+            Ok(ExecOutcome::Degraded {
+                value,
+                interventions,
+            })
+        }
+    }
+
+    /// Sum of resilience interventions across all providers of the query
+    /// interface (the call path `execute_sql` routes over).
+    fn query_fabric_interventions(&self) -> Interventions {
+        let mut total = Interventions::default();
+        for d in self
+            .bus
+            .registry()
+            .find_by_interface(sbdms_data::services::QUERY_INTERFACE)
+        {
+            let snap = self.bus.metrics().snapshot(d.id);
+            total.retries += snap.retries;
+            total.failovers += snap.failovers;
+            total.hedges += snap.hedges;
+        }
+        total
+    }
+
     /// One beat of the operational phase: health sweep, supervision
     /// (recovery of failed services), and resource reaction (paper
     /// Fig. 6: under memory pressure the Buffer Coordinator "advises the
@@ -396,6 +485,94 @@ mod tests {
         // The query service is metered because the call went over the bus.
         let qid = system.service("query").unwrap();
         assert!(system.bus().metrics().snapshot(qid).calls >= 3);
+    }
+
+    /// Shadow provider of the query interface that out-ranks the real
+    /// one on advertised quality, so `invoke_interface` routes to it.
+    fn shadow_query_provider() -> sbdms_kernel::service::ServiceRef {
+        use sbdms_kernel::contract::{Contract, Quality};
+        use sbdms_kernel::service::FnService;
+        let contract = Contract::for_interface(sbdms_data::services::query_interface()).quality(
+            Quality {
+                expected_latency_ns: 10,
+                ..Quality::default()
+            },
+        );
+        FnService::new("query-shadow", contract, |_, _| {
+            Ok(Value::map()
+                .with("columns", Value::List(vec![]))
+                .with("rows", Value::List(vec![]))
+                .with("affected", 0i64))
+        })
+        .into_ref()
+    }
+
+    #[test]
+    fn execute_sql_outcome_is_clean_on_the_happy_path() {
+        let system = Sbdms::open(Profile::FullFledged, data_dir("outcome-clean")).unwrap();
+        let outcome = system.execute_sql_outcome("CREATE TABLE t (x INT)").unwrap();
+        assert!(!outcome.is_degraded());
+        assert!(matches!(outcome, ExecOutcome::Ok(_)));
+    }
+
+    #[test]
+    fn execute_sql_outcome_reports_retries_as_degraded() {
+        use sbdms_kernel::faults::{FaultMode, FaultableService};
+        let system = Sbdms::open(Profile::FullFledged, data_dir("outcome-retry")).unwrap();
+        // A flaky shadow wins routing, fails its first two calls, then
+        // serves; the resilient bus steps over the failures invisibly.
+        let (faulty, handle) = FaultableService::wrap(shadow_query_provider());
+        system.bus().deploy(faulty).unwrap();
+        handle.set_mode(FaultMode::Flaky {
+            period: 1_000_000,
+            fail_every: 2,
+        });
+        let outcome = system.execute_sql_outcome("SELECT 1").unwrap();
+        match outcome {
+            ExecOutcome::Degraded { interventions, .. } => {
+                assert!(interventions.retries >= 2, "retries: {interventions:?}");
+                assert_eq!(interventions.failovers, 0);
+            }
+            other => panic!("expected a degraded outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_sql_outcome_survives_a_dead_provider_via_failover() {
+        use sbdms_kernel::faults::{FaultMode, FaultableService};
+        let system = Sbdms::open(Profile::FullFledged, data_dir("outcome-failover")).unwrap();
+        system.execute_sql("CREATE TABLE t (x INT)").unwrap();
+        system.execute_sql("INSERT INTO t VALUES (1), (2)").unwrap();
+
+        // A silently-broken shadow wins routing: it still reports
+        // `Health::Healthy` (so resolution cannot route around it — that
+        // is what breakers are for) but every call fails. The breaker
+        // trips and the deploy-time failover hook re-routes the call to
+        // the real query service inside the same invocation.
+        let (faulty, handle) = FaultableService::wrap(shadow_query_provider());
+        let shadow = system.bus().deploy(faulty).unwrap();
+        handle.set_mode(FaultMode::Flaky {
+            period: 1_000_000,
+            fail_every: 1_000_000,
+        });
+
+        let outcome = system
+            .execute_sql_outcome("SELECT COUNT(*) FROM t")
+            .unwrap();
+        match outcome {
+            ExecOutcome::Degraded {
+                value,
+                interventions,
+            } => {
+                assert!(interventions.failovers >= 1, "failovers: {interventions:?}");
+                let rows = value.get("rows").unwrap().as_list().unwrap();
+                assert_eq!(rows[0].as_list().unwrap()[0], Value::Int(2));
+            }
+            other => panic!("expected a degraded outcome, got {other:?}"),
+        }
+        // The dead provider is quarantined, not just stepped around.
+        assert!(!system.bus().is_enabled(shadow));
+        assert!(system.bus().metrics().snapshot(shadow).breaker_trips >= 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
@@ -19,8 +19,13 @@ use crate::metrics::Metrics;
 use crate::property::PropertyStore;
 use crate::registry::Registry;
 use crate::repository::Repository;
+use crate::resilience::{Admission, Resilience};
 use crate::service::{Descriptor, Health, ServiceId, ServiceRef};
 use crate::value::Value;
+
+/// Hard cap on synchronous failovers inside one invocation, so a
+/// recovery hook that keeps returning broken substitutes cannot loop.
+const MAX_FAILOVERS_PER_CALL: u32 = 2;
 
 /// A deployed service: the live handle plus the binding calls travel over.
 struct Deployed {
@@ -41,6 +46,8 @@ pub struct ServiceBus {
     /// When false, contract policy assertions are skipped on the hot path;
     /// configurable because E1/E3 measure the cost of contract checking.
     enforce_policies: Arc<AtomicBool>,
+    /// Retry/deadline/circuit-breaker layer guarding [`Self::invoke`].
+    resilience: Resilience,
 }
 
 impl Default for ServiceBus {
@@ -61,6 +68,7 @@ impl ServiceBus {
             events: EventBus::new(),
             metrics: Metrics::new(),
             enforce_policies: Arc::new(AtomicBool::new(true)),
+            resilience: Resilience::new(),
         }
     }
 
@@ -92,6 +100,12 @@ impl ServiceBus {
     /// Toggle policy enforcement (benchmarks sweep this).
     pub fn set_enforce_policies(&self, on: bool) {
         self.enforce_policies.store(on, Ordering::Relaxed);
+    }
+
+    /// The resilience layer: invocation policy, per-service circuit
+    /// breakers, and the coordinator's recovery hook.
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
     }
 
     /// Deploy a service over an explicit binding: starts it, advertises it
@@ -137,6 +151,7 @@ impl ServiceBus {
         let name = deployed.service.descriptor().name.clone();
         deployed.service.stop()?;
         self.registry.unregister(id);
+        self.resilience.forget(id);
         self.events.publish(Event::ServiceUnregistered { id, name });
         Ok(())
     }
@@ -187,11 +202,13 @@ impl ServiceBus {
         Ok(())
     }
 
-    /// Re-enable routing to a disabled service.
+    /// Re-enable routing to a disabled service. Administratively resets
+    /// the service's circuit breaker: the operator is vouching for it.
     pub fn enable(&self, id: ServiceId) {
         if let Some(d) = self.services.read().get(&id) {
             d.enabled.store(true, Ordering::Relaxed);
         }
+        self.resilience.reset(id);
     }
 
     /// Whether the service is enabled for routing.
@@ -223,10 +240,138 @@ impl ServiceBus {
             .map(|d| d.service.descriptor().clone())
     }
 
-    /// Invoke an operation on a service by id. The full contract pipeline
-    /// runs: enabled check → health check → operation existence → policy
-    /// assertions → binding dispatch → metrics.
+    /// Invoke an operation on a service by id, resiliently.
+    ///
+    /// Each attempt runs the full contract pipeline (see
+    /// [`Self::invoke_once`]). On a *recoverable* error the resilience
+    /// layer takes over: the failure is charged to the service's circuit
+    /// breaker, the attempt is retried with exponential backoff and
+    /// deterministic jitter up to `InvokePolicy::retries` times within
+    /// `InvokePolicy::deadline`, and when the breaker trips the service
+    /// is quarantined (disabled, `CircuitOpened` published) and the
+    /// coordinator's recovery hook re-routes the call to a substitute
+    /// *inside this invocation* (§3.6 — the caller never sees the
+    /// failure if a substitute exists). Non-recoverable errors (bad
+    /// input, unknown operation, policy violations) surface immediately.
+    ///
+    /// With `resilience().set_enabled(false)` this is exactly one
+    /// attempt — the configuration benchmarks sweep that switch.
     pub fn invoke(&self, id: ServiceId, op: &str, input: Value) -> Result<Value> {
+        if !self.resilience.enabled() {
+            return self.invoke_once(id, op, input);
+        }
+        let policy = self.resilience.policy();
+        let start = Instant::now();
+        let mut current = id;
+        let mut attempt: u32 = 0;
+        let mut failovers_used: u32 = 0;
+        loop {
+            if let Some(budget) = policy.deadline {
+                if start.elapsed() >= budget {
+                    return Err(self.deadline_error(current, budget));
+                }
+            }
+
+            let breaker = self.resilience.breaker(current);
+            let probing = match breaker.admit() {
+                Admission::Reject => match self.failover(current, &mut failovers_used) {
+                    Some(next) => {
+                        current = next;
+                        continue;
+                    }
+                    None => {
+                        return Err(ServiceError::ServiceUnavailable {
+                            service: self.service_name(current),
+                            reason: "circuit open".into(),
+                        })
+                    }
+                },
+                Admission::Allow => false,
+                // A half-open probe may reach a quarantined service: the
+                // routing-disable *is* the fence the breaker put up, and
+                // the probe is the sanctioned call through it.
+                Admission::Probe => true,
+            };
+
+            let err = match self.invoke_attempt(current, op, input.clone(), probing) {
+                Ok(out) => {
+                    if breaker.on_success() {
+                        // The probe succeeded: lift the quarantine so the
+                        // service rejoins routing (enable also resets the
+                        // now-closed breaker, which is a no-op).
+                        self.enable(current);
+                        self.events.publish(Event::CircuitClosed { id: current });
+                    }
+                    return Ok(out);
+                }
+                Err(e) => e,
+            };
+            if !err.is_recoverable() {
+                return Err(err);
+            }
+            if matches!(err, ServiceError::StaleService(_)) {
+                // The id will never come back; recoverable only by
+                // re-routing (the caller should re-resolve), not by
+                // retrying the same id.
+                if let Some(next) = self.failover(current, &mut failovers_used) {
+                    current = next;
+                    continue;
+                }
+                return Err(err);
+            }
+
+            if breaker.on_failure() {
+                self.metrics.counters(current).record_trip();
+                self.events.publish(Event::CircuitOpened {
+                    id: current,
+                    name: self.service_name(current),
+                    consecutive_failures: breaker.consecutive_failures(),
+                });
+                // Quarantine. Best effort: the dependency policy may
+                // forbid disabling a sole provider — the open breaker
+                // still fences it off.
+                let _ = self.disable(current);
+                if let Some(next) = self.failover(current, &mut failovers_used) {
+                    // Re-routing to a fresh provider does not consume a
+                    // retry; the substitute gets a full first attempt.
+                    current = next;
+                    continue;
+                }
+            }
+
+            if attempt >= policy.retries {
+                return Err(err);
+            }
+            attempt += 1;
+            self.metrics.counters(current).record_retry();
+            let mut delay = policy.backoff(attempt, current.0);
+            if let Some(budget) = policy.deadline {
+                let left = budget.saturating_sub(start.elapsed());
+                if left.is_zero() {
+                    return Err(self.deadline_error(current, budget));
+                }
+                delay = delay.min(left);
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+
+    /// One bare invocation attempt — the full contract pipeline with no
+    /// retries, breakers, or failover: enabled check → health check →
+    /// operation existence → policy assertions → binding dispatch →
+    /// metrics. This is the seed dispatch path the resilient loop builds
+    /// on.
+    pub fn invoke_once(&self, id: ServiceId, op: &str, input: Value) -> Result<Value> {
+        self.invoke_attempt(id, op, input, false)
+    }
+
+    /// [`Self::invoke_once`], with `probing` letting a half-open breaker
+    /// probe through the routing-disable of a quarantined service (the
+    /// health check still applies: probing a service that self-reports
+    /// `Failed` fails and re-opens the breaker).
+    fn invoke_attempt(&self, id: ServiceId, op: &str, input: Value, probing: bool) -> Result<Value> {
         let (service, binding, enabled) = {
             let services = self.services.read();
             let d = services.get(&id).ok_or(ServiceError::StaleService(id))?;
@@ -234,7 +379,7 @@ impl ServiceBus {
         };
         let descriptor = service.descriptor();
 
-        if !enabled.load(Ordering::Relaxed) {
+        if !probing && !enabled.load(Ordering::Relaxed) {
             return Err(ServiceError::ServiceUnavailable {
                 service: descriptor.name.clone(),
                 reason: "disabled".into(),
@@ -277,6 +422,44 @@ impl ServiceBus {
         result
     }
 
+    /// Deployment name of a service, or a placeholder for stale ids.
+    fn service_name(&self, id: ServiceId) -> String {
+        self.descriptor(id)
+            .map(|d| d.name)
+            .unwrap_or_else(|| format!("service#{}", id.0))
+    }
+
+    fn deadline_error(&self, id: ServiceId, budget: Duration) -> ServiceError {
+        ServiceError::DeadlineExceeded {
+            service: self.service_name(id),
+            budget_ms: budget.as_millis() as u64,
+        }
+    }
+
+    /// Ask the coordinator's recovery hook for a substitute for `failed`,
+    /// bounded by [`MAX_FAILOVERS_PER_CALL`]. Publishes
+    /// `FailoverPerformed` and meters the failover on success.
+    fn failover(&self, failed: ServiceId, used: &mut u32) -> Option<ServiceId> {
+        if *used >= MAX_FAILOVERS_PER_CALL {
+            return None;
+        }
+        let hook = self.resilience.recovery_hook()?;
+        let interface = self.descriptor(failed)?.contract.interface.clone();
+        match hook(&interface, failed) {
+            Ok(next) if next != failed => {
+                *used += 1;
+                self.metrics.counters(failed).record_failover();
+                self.events.publish(Event::FailoverPerformed {
+                    interface: interface.name.clone(),
+                    from: failed,
+                    to: next,
+                });
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+
     /// Invoke by deployment name.
     pub fn invoke_by_name(&self, name: &str, op: &str, input: Value) -> Result<Value> {
         let d = self
@@ -288,10 +471,41 @@ impl ServiceBus {
 
     /// Invoke the best-quality enabled provider of an interface — the
     /// default late-binding resolution (paper §3.3 "services are designed
-    /// for late binding").
+    /// for late binding"). When `InvokePolicy::hedge_on_degraded` is set
+    /// and the best provider self-reports `Health::Degraded`, the call is
+    /// hedged to the best fully-healthy provider instead (if any).
     pub fn invoke_interface(&self, interface: &str, op: &str, input: Value) -> Result<Value> {
-        let id = self.resolve_interface(interface)?;
+        let mut id = self.resolve_interface(interface)?;
+        if self.resilience.enabled()
+            && self.resilience.policy().hedge_on_degraded
+            && matches!(self.health(id), Some(Health::Degraded(_)))
+        {
+            if let Some(alt) = self.resolve_healthy_alternative(interface, id) {
+                self.metrics.counters(id).record_hedge();
+                id = alt;
+            }
+        }
         self.invoke(id, op, input)
+    }
+
+    /// Best enabled provider of `interface` other than `not` that is
+    /// fully healthy (not merely usable).
+    fn resolve_healthy_alternative(&self, interface: &str, not: ServiceId) -> Option<ServiceId> {
+        let mut candidates = self.registry.find_by_interface(interface);
+        candidates.sort_by(|a, b| {
+            a.contract
+                .quality
+                .score()
+                .total_cmp(&b.contract.quality.score())
+        });
+        candidates
+            .into_iter()
+            .find(|c| {
+                c.id != not
+                    && self.is_enabled(c.id)
+                    && matches!(self.health(c.id), Some(Health::Healthy))
+            })
+            .map(|c| c.id)
     }
 
     /// Resolve an interface to the best enabled, usable provider.
@@ -524,6 +738,163 @@ mod tests {
         bus.disable(a).unwrap();
         assert_eq!(bus.footprint_bytes(), 500);
         assert_eq!(bus.enabled_count(), 1);
+    }
+
+    #[test]
+    fn retries_step_around_flaky_provider() {
+        use crate::faults::{FaultMode, FaultableService};
+        let bus = ServiceBus::new();
+        let svc = FnService::new("flaky", echo_contract("t.Echo"), |_, i| Ok(i)).into_ref();
+        let (svc, handle) = FaultableService::wrap(svc);
+        let id = bus.deploy(svc).unwrap();
+        // One failure at the start of every 4-call window: a single retry
+        // always lands on a passing call.
+        handle.set_mode(FaultMode::Flaky {
+            period: 4,
+            fail_every: 1,
+        });
+
+        for i in 0..12 {
+            assert!(
+                bus.invoke(id, "echo", Value::map().with("v", 1i64)).is_ok(),
+                "caller saw an error on call {i}"
+            );
+        }
+        let snap = bus.metrics().snapshot(id);
+        assert!(snap.retries >= 3, "expected retries, got {}", snap.retries);
+        assert_eq!(snap.breaker_trips, 0); // single failures never trip
+    }
+
+    #[test]
+    fn breaker_trips_quarantines_and_resets_on_enable() {
+        use crate::faults::FaultableService;
+        use crate::resilience::BreakerState;
+        let bus = ServiceBus::new();
+        let svc = FnService::new("mortal", echo_contract("t.Echo"), |_, i| Ok(i)).into_ref();
+        let (svc, handle) = FaultableService::wrap(svc);
+        let id = bus.deploy(svc).unwrap();
+        let rx = bus.events().subscribe();
+
+        handle.kill("power cut");
+        // No substitute exists, so the caller sees the failure — but the
+        // breaker trips and the service is quarantined.
+        assert!(bus.invoke(id, "echo", Value::map().with("v", 1i64)).is_err());
+        assert_eq!(bus.resilience().breaker_state(id), Some(BreakerState::Open));
+        assert!(!bus.is_enabled(id));
+        assert!(bus.metrics().snapshot(id).breaker_trips >= 1);
+        assert!(rx
+            .try_iter()
+            .any(|e| matches!(e, Event::CircuitOpened { id: i, .. } if i == id)));
+
+        // Operator heals and re-enables: breaker resets, calls flow.
+        handle.heal();
+        bus.enable(id);
+        assert_eq!(
+            bus.resilience().breaker_state(id),
+            Some(BreakerState::Closed)
+        );
+        assert!(bus.invoke(id, "echo", Value::map().with("v", 1i64)).is_ok());
+    }
+
+    #[test]
+    fn resilience_off_is_single_attempt() {
+        use crate::faults::FaultableService;
+        let bus = ServiceBus::new();
+        bus.resilience().set_enabled(false);
+        let svc = FnService::new("mortal", echo_contract("t.Echo"), |_, i| Ok(i)).into_ref();
+        let (svc, handle) = FaultableService::wrap(svc);
+        let id = bus.deploy(svc).unwrap();
+        handle.kill("gone");
+        assert!(bus.invoke(id, "echo", Value::map().with("v", 1i64)).is_err());
+        let snap = bus.metrics().snapshot(id);
+        assert_eq!(snap.retries, 0);
+        assert_eq!(snap.breaker_trips, 0);
+        assert!(bus.is_enabled(id)); // no quarantine either
+    }
+
+    #[test]
+    fn deadline_bounds_total_invocation_time() {
+        use crate::faults::FaultableService;
+        use crate::resilience::{BreakerConfig, InvokePolicy};
+        let bus = ServiceBus::new();
+        // Keep the breaker out of the way: this test isolates the deadline.
+        bus.resilience().set_breaker_config(BreakerConfig {
+            failure_threshold: u32::MAX,
+            ..BreakerConfig::default()
+        });
+        bus.resilience().set_policy(InvokePolicy {
+            retries: 1_000,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(2),
+            deadline: Some(Duration::from_millis(20)),
+            ..InvokePolicy::default()
+        });
+        let svc = FnService::new("mortal", echo_contract("t.Echo"), |_, i| Ok(i)).into_ref();
+        let (svc, handle) = FaultableService::wrap(svc);
+        let id = bus.deploy(svc).unwrap();
+        handle.kill("gone");
+
+        let start = Instant::now();
+        let err = bus
+            .invoke(id, "echo", Value::map().with("v", 1i64))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }));
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "deadline did not bound the retry loop"
+        );
+    }
+
+    #[test]
+    fn breaker_trip_triggers_synchronous_failover() {
+        use crate::faults::FaultableService;
+        let bus = ServiceBus::new();
+        let svc = FnService::new("primary", echo_contract("t.Echo"), |_, i| Ok(i)).into_ref();
+        let (svc, handle) = FaultableService::wrap(svc);
+        let primary = bus.deploy(svc).unwrap();
+        let backup = deploy_echo(&bus, "backup", "t.Echo");
+        // Stand-in for the coordinator: resolve another enabled provider.
+        let resolver = bus.clone();
+        bus.resilience().install_recovery_hook(Arc::new(move |iface, failed| {
+            let _ = resolver.disable(failed);
+            resolver.resolve_interface(&iface.name)
+        }));
+        let rx = bus.events().subscribe();
+
+        handle.kill("power cut");
+        // The call that observes the trip is transparently re-routed.
+        let out = bus
+            .invoke(primary, "echo", Value::map().with("v", 7i64))
+            .unwrap();
+        assert_eq!(out.get("v").unwrap().as_int().unwrap(), 7);
+        assert!(bus.metrics().snapshot(primary).failovers >= 1);
+        assert!(rx.try_iter().any(|e| matches!(
+            e,
+            Event::FailoverPerformed { from, to, .. } if from == primary && to == backup
+        )));
+    }
+
+    #[test]
+    fn degraded_provider_hedged_to_healthy_one() {
+        use crate::faults::{FaultMode, FaultableService};
+        let bus = ServiceBus::new();
+        // "best" has the better advertised quality but is degraded.
+        let best_contract = echo_contract("t.Echo").quality(Quality {
+            expected_latency_ns: 10,
+            ..Quality::default()
+        });
+        let svc = FnService::new("best", best_contract, |_, i| Ok(i)).into_ref();
+        let (svc, handle) = FaultableService::wrap(svc);
+        let best = bus.deploy(svc).unwrap();
+        deploy_echo(&bus, "steady", "t.Echo");
+        handle.set_mode(FaultMode::Slow(Duration::from_micros(10)));
+
+        assert!(bus
+            .invoke_interface("t.Echo", "echo", Value::map().with("v", 1i64))
+            .is_ok());
+        assert_eq!(bus.metrics().snapshot(best).hedges, 1);
+        // The degraded provider never served the call.
+        assert_eq!(bus.metrics().snapshot(best).calls, 0);
     }
 
     #[test]

@@ -61,6 +61,25 @@ impl Coordinator {
         &self.resources
     }
 
+    /// Register this coordinator as the bus's synchronous failover
+    /// authority: when a circuit breaker trips inside an invocation, the
+    /// bus calls [`Coordinator::recover_interface`] *on the failing
+    /// call's thread* and re-routes to the substitute it returns, instead
+    /// of surfacing the error and waiting for the next supervision tick.
+    pub fn install_failover(&self) {
+        let coordinator = self.clone();
+        self.bus
+            .resilience()
+            .install_recovery_hook(Arc::new(move |interface, failed| {
+                coordinator
+                    .recover_interface(interface, Some(failed))
+                    .map(|recovery| match recovery {
+                        Recovery::DirectSubstitute(id) => id,
+                        Recovery::AdaptedSubstitute { adaptor, .. } => adaptor,
+                    })
+            }));
+    }
+
     /// Handle a `Release Resources` request (paper Fig. 6): free the
     /// requested amount and notify the architecture.
     pub fn release_resources(&self, requester: ServiceId, resource: &str, amount: u64) {
@@ -370,6 +389,26 @@ mod tests {
             .invoke_interface("sbdms.Page", "read_page", Value::map().with("page_id", 5i64))
             .unwrap();
         assert_eq!(out, Value::Bytes(vec![5]));
+    }
+
+    #[test]
+    fn installed_failover_recovers_inside_the_call() {
+        let bus = ServiceBus::new();
+        let (faulty, handle) = FaultableService::wrap(page_service("page-a"));
+        let failed_id = bus.deploy(faulty).unwrap();
+        bus.deploy(page_service("page-b")).unwrap();
+        let coord = coordinator_for(&bus);
+        coord.install_failover();
+
+        handle.kill("gone");
+        // One caller-visible invocation: the breaker trips, the
+        // coordinator recovers synchronously, and the call succeeds.
+        let out = bus
+            .invoke(failed_id, "read_page", Value::map().with("page_id", 5i64))
+            .unwrap();
+        assert_eq!(out, Value::Bytes(vec![5]));
+        assert!(bus.metrics().snapshot(failed_id).failovers >= 1);
+        assert!(!bus.is_enabled(failed_id));
     }
 
     #[test]

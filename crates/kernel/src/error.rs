@@ -66,19 +66,47 @@ pub enum ServiceError {
     /// The call was routed to a concrete service id that has since been
     /// unregistered; carries the stale id for diagnostics.
     StaleService(ServiceId),
+    /// The invocation's wall-clock budget was exhausted before an attempt
+    /// succeeded (resilient invocation path, `InvokePolicy::deadline`).
+    DeadlineExceeded {
+        /// The service the call was made against.
+        service: String,
+        /// The deadline that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl ServiceError {
     /// Whether the coordinator should attempt recovery (substitute
-    /// service / alternate workflow) for this error, per §3.6.
+    /// service / alternate workflow) for this error, per §3.6. The
+    /// resilient invocation path also uses this to decide what to retry.
+    ///
+    /// Every variant is classified explicitly so adding one forces a
+    /// decision here (the classification is pinned by a unit test):
+    ///
+    /// * recoverable — the *provider* is at fault and another provider
+    ///   (or a later attempt) may succeed;
+    /// * not recoverable — the *call* is at fault (bad input, missing
+    ///   operation, policy), the failure is semantic (storage
+    ///   corruption, transaction conflict — retrying blind could
+    ///   duplicate effects), or recovery has already been tried and
+    ///   failed (no alternate workflow, deadline exhausted).
     pub fn is_recoverable(&self) -> bool {
-        matches!(
-            self,
-            ServiceError::ServiceNotFound(_)
-                | ServiceError::ServiceUnavailable { .. }
-                | ServiceError::ResourceExhausted { .. }
-                | ServiceError::StaleService(_)
-        )
+        match self {
+            ServiceError::ServiceNotFound(_) => true,
+            ServiceError::ServiceUnavailable { .. } => true,
+            ServiceError::ResourceExhausted { .. } => true,
+            ServiceError::StaleService(_) => true,
+            ServiceError::UnknownOperation { .. } => false,
+            ServiceError::InvalidInput(_) => false,
+            ServiceError::PolicyViolation(_) => false,
+            ServiceError::IncompatibleInterface { .. } => false,
+            ServiceError::Storage(_) => false,
+            ServiceError::NoAlternateWorkflow(_) => false,
+            ServiceError::Transaction(_) => false,
+            ServiceError::Internal(_) => false,
+            ServiceError::DeadlineExceeded { .. } => false,
+        }
     }
 
     /// Short machine-readable error code used in event payloads.
@@ -96,6 +124,7 @@ impl ServiceError {
             ServiceError::Transaction(_) => "txn",
             ServiceError::Internal(_) => "internal",
             ServiceError::StaleService(_) => "stale",
+            ServiceError::DeadlineExceeded { .. } => "deadline",
         }
     }
 }
@@ -130,6 +159,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Transaction(msg) => write!(f, "transaction error: {msg}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServiceError::StaleService(id) => write!(f, "stale service id {id:?}"),
+            ServiceError::DeadlineExceeded { service, budget_ms } => {
+                write!(f, "deadline of {budget_ms}ms exceeded invoking {service}")
+            }
         }
     }
 }
@@ -166,6 +198,73 @@ mod tests {
         assert!(!ServiceError::InvalidInput("bad".into()).is_recoverable());
         assert!(!ServiceError::PolicyViolation("p".into()).is_recoverable());
         assert!(!ServiceError::Storage("io".into()).is_recoverable());
+    }
+
+    /// Pins the full classification table: every variant, one expected
+    /// bit. A new variant fails to compile in `is_recoverable` (explicit
+    /// match) and fails here until it is added with a decided class.
+    #[test]
+    fn recoverable_classification_is_exhaustive() {
+        let table: Vec<(ServiceError, bool)> = vec![
+            (ServiceError::ServiceNotFound("i".into()), true),
+            (
+                ServiceError::ServiceUnavailable {
+                    service: "s".into(),
+                    reason: "r".into(),
+                },
+                true,
+            ),
+            (
+                ServiceError::ResourceExhausted {
+                    resource: "mem".into(),
+                    requested: 2,
+                    available: 1,
+                },
+                true,
+            ),
+            (ServiceError::StaleService(ServiceId(1)), true),
+            (
+                ServiceError::UnknownOperation {
+                    service: "s".into(),
+                    operation: "op".into(),
+                },
+                false,
+            ),
+            (ServiceError::InvalidInput("x".into()), false),
+            (ServiceError::PolicyViolation("x".into()), false),
+            (
+                ServiceError::IncompatibleInterface {
+                    expected: "a".into(),
+                    found: "b".into(),
+                },
+                false,
+            ),
+            (ServiceError::Storage("io".into()), false),
+            (ServiceError::NoAlternateWorkflow("t".into()), false),
+            (ServiceError::Transaction("conflict".into()), false),
+            (ServiceError::Internal("bug".into()), false),
+            (
+                ServiceError::DeadlineExceeded {
+                    service: "s".into(),
+                    budget_ms: 250,
+                },
+                false,
+            ),
+        ];
+        // One row per variant: a variant added to the enum without a row
+        // here shows up as a count mismatch.
+        let distinct_codes: std::collections::BTreeSet<_> =
+            table.iter().map(|(e, _)| e.code()).collect();
+        assert_eq!(distinct_codes.len(), table.len());
+        for (err, expected) in &table {
+            assert_eq!(
+                err.is_recoverable(),
+                *expected,
+                "classification changed for {:?} ({})",
+                err,
+                err.code()
+            );
+        }
     }
 
     #[test]

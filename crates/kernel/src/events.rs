@@ -76,6 +76,31 @@ pub enum Event {
         /// Whether an adaptor had to be generated.
         via_adaptor: bool,
     },
+    /// A circuit breaker tripped open: the provider is quarantined and
+    /// the coordinator's recovery hook runs synchronously (§3.6).
+    CircuitOpened {
+        /// The quarantined service.
+        id: ServiceId,
+        /// Its deployment name.
+        name: String,
+        /// Consecutive recoverable failures that tripped the breaker.
+        consecutive_failures: u32,
+    },
+    /// A half-open probe succeeded and the breaker closed again.
+    CircuitClosed {
+        /// The service whose breaker closed.
+        id: ServiceId,
+    },
+    /// The resilient invocation path re-routed a call from a quarantined
+    /// provider to a substitute inside the failing invocation.
+    FailoverPerformed {
+        /// Interface the call was made against.
+        interface: String,
+        /// The quarantined provider.
+        from: ServiceId,
+        /// The substitute now serving the call.
+        to: ServiceId,
+    },
     /// Free-form application event.
     Custom {
         /// Topic string.

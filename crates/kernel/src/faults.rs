@@ -28,6 +28,17 @@ pub enum FaultMode {
     FailAfter(u64),
     /// Add fixed latency to every call and report `Health::Degraded`.
     Slow(Duration),
+    /// Deterministic intermittent failure: within each window of
+    /// `period` calls, the first `fail_every` calls fail and the rest
+    /// pass. Models a flaky provider that retries can step around
+    /// (health stays as the inner service reports it, so monitors do
+    /// not see the flakiness — only the invocation layer does).
+    Flaky {
+        /// Window length in calls; must be > 0.
+        period: u64,
+        /// Calls that fail at the start of each window.
+        fail_every: u64,
+    },
 }
 
 /// A service wrapper with runtime-switchable fault injection.
@@ -35,6 +46,7 @@ pub struct FaultableService {
     inner: ServiceRef,
     mode: RwLock<FaultMode>,
     calls_until_failure: AtomicU64,
+    call_seq: AtomicU64,
 }
 
 /// Shared control handle to flip fault modes from tests/benchmarks while
@@ -70,6 +82,7 @@ impl FaultableService {
             inner,
             mode: RwLock::new(FaultMode::None),
             calls_until_failure: AtomicU64::new(0),
+            call_seq: AtomicU64::new(0),
         });
         let handle = FaultHandle(svc.clone());
         (svc, handle)
@@ -110,12 +123,25 @@ impl Service for FaultableService {
                 std::thread::sleep(delay);
                 self.inner.invoke(op, input)
             }
+            FaultMode::Flaky { period, fail_every } => {
+                let seq = self.call_seq.fetch_add(1, Ordering::SeqCst);
+                if seq % period.max(1) < fail_every {
+                    Err(ServiceError::ServiceUnavailable {
+                        service: self.inner.descriptor().name.clone(),
+                        reason: format!("flaky (call {seq} in fail window)"),
+                    })
+                } else {
+                    self.inner.invoke(op, input)
+                }
+            }
         }
     }
 
     fn health(&self) -> Health {
         match &*self.mode.read() {
-            FaultMode::None | FaultMode::FailAfter(_) => self.inner.health(),
+            FaultMode::None | FaultMode::FailAfter(_) | FaultMode::Flaky { .. } => {
+                self.inner.health()
+            }
             FaultMode::FailAlways(reason) => Health::Failed(reason.clone()),
             FaultMode::Slow(_) => Health::Degraded("fault-injected latency".into()),
         }
@@ -183,6 +209,36 @@ mod tests {
         assert!(svc.invoke("echo", Value::Int(0)).is_ok());
         assert!(start.elapsed() >= Duration::from_millis(1));
         assert!(matches!(svc.health(), Health::Degraded(_)));
+    }
+
+    #[test]
+    fn flaky_fails_deterministically_within_each_window() {
+        let (svc, h) = FaultableService::wrap(echo());
+        h.set_mode(FaultMode::Flaky {
+            period: 4,
+            fail_every: 1,
+        });
+        // Two full windows: call 0 fails, calls 1-3 pass, repeat.
+        for window in 0..2 {
+            assert!(svc.invoke("echo", Value::Int(0)).is_err(), "window {window}");
+            for i in 1..4 {
+                assert!(svc.invoke("echo", Value::Int(0)).is_ok(), "call {i}");
+            }
+        }
+        // Flakiness is invisible to health monitors.
+        assert_eq!(svc.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn flaky_zero_fail_every_never_fails() {
+        let (svc, h) = FaultableService::wrap(echo());
+        h.set_mode(FaultMode::Flaky {
+            period: 3,
+            fail_every: 0,
+        });
+        for _ in 0..10 {
+            assert!(svc.invoke("echo", Value::Int(0)).is_ok());
+        }
     }
 
     #[test]

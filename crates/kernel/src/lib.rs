@@ -20,7 +20,9 @@
 //! * [`workflow`]: late-bound multi-step compositions with alternate
 //!   workflows (§3.3, §3.5),
 //! * [`faults`]: deterministic fault injection for the adaptation
-//!   experiments.
+//!   experiments,
+//! * [`resilience`]: retries, deadlines, and per-service circuit
+//!   breakers so a single invocation survives provider failure (§3.6).
 //!
 //! The database layers (storage/access/data/extension) and the assembled
 //! SBDMS live in the sibling crates `sbdms-storage`, `sbdms-access`,
@@ -43,6 +45,7 @@ pub mod monitor;
 pub mod property;
 pub mod registry;
 pub mod repository;
+pub mod resilience;
 pub mod resource;
 pub mod service;
 pub mod value;
@@ -53,5 +56,6 @@ pub use bus::ServiceBus;
 pub use contract::{Assertion, Contract, Description, Policy, Quality};
 pub use error::{Result, ServiceError};
 pub use interface::{Interface, Operation, Param};
+pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, InvokePolicy, Resilience};
 pub use service::{Descriptor, FnService, Health, Service, ServiceId, ServiceRef};
 pub use value::{TypeTag, Value};

@@ -25,6 +25,16 @@ pub struct ServiceCounters {
     pub total_latency_ns: AtomicU64,
     /// Total request payload bytes (approximate).
     pub request_bytes: AtomicU64,
+    /// Retries spent on this service by the resilient invocation path.
+    pub retries: AtomicU64,
+    /// Times this service's circuit breaker tripped open.
+    pub breaker_trips: AtomicU64,
+    /// Times a call was re-routed *away* from this service to a
+    /// substitute (synchronous failover).
+    pub failovers: AtomicU64,
+    /// Times a call was routed around this service because it reported
+    /// `Health::Degraded` (hedging).
+    pub hedges: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -39,6 +49,26 @@ impl ServiceCounters {
         self.request_bytes.fetch_add(request_bytes, Ordering::Relaxed);
     }
 
+    /// Record one retry of a failed attempt.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one breaker trip.
+    pub fn record_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failover away from this service.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one hedge away from this service.
+    pub fn record_hedge(&self) {
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time snapshot.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -46,6 +76,10 @@ impl ServiceCounters {
             errors: self.errors.load(Ordering::Relaxed),
             total_latency_ns: self.total_latency_ns.load(Ordering::Relaxed),
             request_bytes: self.request_bytes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
         }
     }
 }
@@ -61,6 +95,14 @@ pub struct CountersSnapshot {
     pub total_latency_ns: u64,
     /// Total request bytes.
     pub request_bytes: u64,
+    /// Retries spent by the resilient invocation path.
+    pub retries: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Failovers away from this service.
+    pub failovers: u64,
+    /// Hedges away from this service while degraded.
+    pub hedges: u64,
 }
 
 impl CountersSnapshot {
@@ -162,6 +204,26 @@ mod tests {
         assert_eq!(s.request_bytes, 30);
         assert_eq!(s.mean_latency_ns(), 200.0);
         assert_eq!(s.error_rate(), 0.5);
+    }
+
+    #[test]
+    fn resilience_counters_recorded() {
+        let m = Metrics::new();
+        let id = ServiceId(2);
+        let c = m.counters(id);
+        c.record_retry();
+        c.record_retry();
+        c.record_trip();
+        c.record_failover();
+        c.record_hedge();
+        let s = m.snapshot(id);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.hedges, 1);
+        // Resilience bookkeeping does not inflate the call/error figures.
+        assert_eq!(s.calls, 0);
+        assert_eq!(s.errors, 0);
     }
 
     #[test]

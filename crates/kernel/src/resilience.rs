@@ -1,0 +1,509 @@
+//! Resilient invocation: retries, deadlines, and circuit breakers for
+//! the service bus.
+//!
+//! The paper's operational phase (§3.3, §3.6, Fig. 7) requires that the
+//! architecture "make the architecture aware of missing or erroneous
+//! services" and keep operating through substitution. The monitor /
+//! coordinator loop does that *asynchronously* (detect on the next scan,
+//! then recompose); this module adds the *synchronous* half so a single
+//! caller-visible invocation can survive a provider failure:
+//!
+//! * [`InvokePolicy`] — how hard one `ServiceBus::invoke` tries: retry
+//!   budget, exponential backoff with deterministic jitter, a total
+//!   wall-clock deadline, and optional hedging away from degraded
+//!   providers.
+//! * [`CircuitBreaker`] — per-service failure accounting. Consecutive
+//!   recoverable failures trip the breaker ([`BreakerState::Closed`] →
+//!   [`BreakerState::Open`]); after a cool-down measured in rejected
+//!   calls *or* wall time the breaker admits one probe
+//!   ([`BreakerState::HalfOpen`]) and closes again if it succeeds.
+//! * [`Resilience`] — the bus-side registry tying the two together,
+//!   plus the [`RecoveryHook`] the coordinator installs so a tripped
+//!   breaker triggers quarantine + failover *inside* the failing call
+//!   instead of waiting for the next supervision tick.
+//!
+//! Everything is deterministic: jitter derives from a seed, never from
+//! wall-clock entropy, so the chaos tests and the E6 experiment are
+//! reproducible.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::error::Result;
+use crate::interface::Interface;
+use crate::service::ServiceId;
+
+/// Where a circuit breaker is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; consecutive failures are counted.
+    Closed,
+    /// The provider is quarantined; calls are rejected without dispatch
+    /// until the cool-down elapses.
+    Open,
+    /// The cool-down elapsed; a single probe call is admitted to test
+    /// whether the provider recovered.
+    HalfOpen,
+}
+
+/// What the breaker decided about one admission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Dispatch normally (breaker closed).
+    Allow,
+    /// Dispatch as a recovery probe (breaker half-open).
+    Probe,
+    /// Do not dispatch; the breaker is open.
+    Reject,
+}
+
+/// Tuning knobs for [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive recoverable failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Rejected calls while open after which the next call becomes a
+    /// half-open probe (cool-down measured in calls).
+    pub cooldown_calls: u64,
+    /// Wall-clock time while open after which the next call becomes a
+    /// half-open probe (cool-down measured in time). Whichever of the
+    /// two cool-downs is reached first wins.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_calls: 8,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    rejected_since_open: u64,
+    opened_at: Option<Instant>,
+    trips: u64,
+}
+
+/// Per-service failure accounting with the classic three-state
+/// circuit-breaker protocol.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// Create a closed breaker with the given configuration.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                rejected_since_open: 0,
+                opened_at: None,
+                trips: 0,
+            }),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap().state
+    }
+
+    /// How many times this breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.inner.lock().unwrap().trips
+    }
+
+    /// Ask the breaker whether a call may be dispatched. While open,
+    /// this also advances the cool-down (each rejected call counts
+    /// toward `cooldown_calls`).
+    pub fn admit(&self) -> Admission {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                let cooled_by_time = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.config.cooldown)
+                    .unwrap_or(true);
+                let cooled_by_calls = inner.rejected_since_open >= self.config.cooldown_calls;
+                if cooled_by_time || cooled_by_calls {
+                    inner.state = BreakerState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    inner.rejected_since_open += 1;
+                    Admission::Reject
+                }
+            }
+        }
+    }
+
+    /// Record a successful dispatch. Returns `true` when this success
+    /// closed a half-open breaker (so the caller can publish an event).
+    pub fn on_success(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures = 0;
+        let was_probe = inner.state == BreakerState::HalfOpen;
+        if was_probe {
+            inner.rejected_since_open = 0;
+            inner.opened_at = None;
+        }
+        inner.state = BreakerState::Closed;
+        was_probe
+    }
+
+    /// Record a recoverable failure. Returns `true` when this failure
+    /// tripped the breaker open (threshold reached while closed, or a
+    /// half-open probe failed).
+    pub fn on_failure(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures += 1;
+        match inner.state {
+            BreakerState::Closed => {
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    inner.rejected_since_open = 0;
+                    inner.trips += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.rejected_since_open = 0;
+                inner.trips += 1;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Consecutive recoverable failures observed so far.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.inner.lock().unwrap().consecutive_failures
+    }
+
+    /// Administratively reset the breaker to closed (used when an
+    /// operator re-enables a quarantined service).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.rejected_since_open = 0;
+        inner.opened_at = None;
+    }
+}
+
+/// How hard one bus invocation tries before surfacing an error to the
+/// caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokePolicy {
+    /// Retries after the first attempt (recoverable errors only).
+    pub retries: u32,
+    /// Base delay of the exponential backoff between retries.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter mixed into each backoff.
+    pub jitter_seed: u64,
+    /// Total wall-clock budget for the invocation including retries;
+    /// `None` means unbounded.
+    pub deadline: Option<Duration>,
+    /// When resolving an interface, route around a provider that
+    /// self-reports `Health::Degraded` if a healthy alternative exists.
+    pub hedge_on_degraded: bool,
+}
+
+impl Default for InvokePolicy {
+    fn default() -> InvokePolicy {
+        InvokePolicy {
+            retries: 3,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(5),
+            jitter_seed: 0x5bd1_e995_9e37_79b9,
+            deadline: Some(Duration::from_millis(250)),
+            hedge_on_degraded: true,
+        }
+    }
+}
+
+impl InvokePolicy {
+    /// Backoff before retry number `attempt` (1-based) of a call against
+    /// `salt` (the service id): exponential in the attempt, capped, with
+    /// deterministic jitter of up to +50% derived from the seed.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.backoff_base.as_nanos() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u64 << attempt.min(20).saturating_sub(1));
+        let capped = exp.min(self.backoff_cap.as_nanos() as u64);
+        let jitter = splitmix64(self.jitter_seed ^ salt ^ u64::from(attempt)) % (capped / 2 + 1);
+        Duration::from_nanos(capped + jitter)
+    }
+}
+
+/// SplitMix64: cheap, deterministic bit mixer for jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Installed by the coordinator: given the interface of a quarantined
+/// provider and its id, find (or adapt) a substitute and return the id
+/// the bus should route to instead.
+pub type RecoveryHook = Arc<dyn Fn(&Interface, ServiceId) -> Result<ServiceId> + Send + Sync>;
+
+/// The bus-side resilience registry: one breaker per service, the
+/// active invocation policy, and the coordinator's recovery hook.
+#[derive(Clone, Default)]
+pub struct Resilience {
+    inner: Arc<ResilienceInner>,
+}
+
+#[derive(Default)]
+struct ResilienceInner {
+    enabled: AtomicBool,
+    policy: RwLock<InvokePolicy>,
+    breaker_config: RwLock<BreakerConfig>,
+    breakers: RwLock<HashMap<ServiceId, Arc<CircuitBreaker>>>,
+    hook: RwLock<Option<RecoveryHook>>,
+}
+
+impl Resilience {
+    /// Create a resilience registry, enabled with default policy.
+    pub fn new() -> Resilience {
+        let r = Resilience::default();
+        r.inner.enabled.store(true, Ordering::Relaxed);
+        r
+    }
+
+    /// Whether the resilient invocation path is active. When off, the
+    /// bus dispatches exactly as the bare pipeline (no retries, no
+    /// breakers) — the configuration benchmarks sweep this.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn the resilient invocation path on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The active invocation policy.
+    pub fn policy(&self) -> InvokePolicy {
+        *self.inner.policy.read()
+    }
+
+    /// Replace the invocation policy.
+    pub fn set_policy(&self, policy: InvokePolicy) {
+        *self.inner.policy.write() = policy;
+    }
+
+    /// The breaker configuration used for newly created breakers.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        *self.inner.breaker_config.read()
+    }
+
+    /// Replace the breaker configuration (existing breakers keep theirs).
+    pub fn set_breaker_config(&self, config: BreakerConfig) {
+        *self.inner.breaker_config.write() = config;
+    }
+
+    /// The breaker guarding a service, created closed on first use.
+    pub fn breaker(&self, id: ServiceId) -> Arc<CircuitBreaker> {
+        if let Some(b) = self.inner.breakers.read().get(&id) {
+            return b.clone();
+        }
+        let config = self.breaker_config();
+        self.inner
+            .breakers
+            .write()
+            .entry(id)
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(config)))
+            .clone()
+    }
+
+    /// State of a service's breaker, if one exists yet.
+    pub fn breaker_state(&self, id: ServiceId) -> Option<BreakerState> {
+        self.inner.breakers.read().get(&id).map(|b| b.state())
+    }
+
+    /// Reset a service's breaker to closed (administrative re-enable).
+    pub fn reset(&self, id: ServiceId) {
+        if let Some(b) = self.inner.breakers.read().get(&id) {
+            b.reset();
+        }
+    }
+
+    /// Drop the breaker of an undeployed service.
+    pub fn forget(&self, id: ServiceId) {
+        self.inner.breakers.write().remove(&id);
+    }
+
+    /// Total breaker trips across all services.
+    pub fn total_trips(&self) -> u64 {
+        self.inner.breakers.read().values().map(|b| b.trips()).sum()
+    }
+
+    /// Install the coordinator's failover hook. The bus calls it
+    /// synchronously when a breaker trips, so recovery happens inside
+    /// the failing invocation rather than on the next supervision tick.
+    pub fn install_recovery_hook(&self, hook: RecoveryHook) {
+        *self.inner.hook.write() = Some(hook);
+    }
+
+    /// The installed failover hook, if any.
+    pub fn recovery_hook(&self) -> Option<RecoveryHook> {
+        self.inner.hook.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_calls: 2,
+            cooldown: Duration::from_secs(3600), // only calls cool down in tests
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_probes_after_cooldown() {
+        let b = CircuitBreaker::new(fast_config());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert!(b.on_failure()); // third consecutive failure trips
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+
+        // Cool-down in calls: two rejections, then a probe.
+        assert_eq!(b.admit(), Admission::Reject);
+        assert_eq!(b.admit(), Admission::Reject);
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // Successful probe closes the breaker.
+        assert!(b.on_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(fast_config());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        b.admit();
+        b.admit();
+        assert_eq!(b.admit(), Admission::Probe);
+        assert!(b.on_failure()); // probe failed: reopen counts as a trip
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let b = CircuitBreaker::new(fast_config());
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed); // streak was broken
+    }
+
+    #[test]
+    fn time_cooldown_also_admits_probe() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_calls: u64::MAX,
+            cooldown: Duration::ZERO,
+        });
+        assert!(b.on_failure());
+        assert_eq!(b.admit(), Admission::Probe); // zero cool-down elapsed at once
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = InvokePolicy {
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_micros(400),
+            ..InvokePolicy::default()
+        };
+        let b1 = p.backoff(1, 7);
+        let b2 = p.backoff(2, 7);
+        let b3 = p.backoff(3, 7);
+        let b4 = p.backoff(9, 7);
+        assert!(b2 >= b1);
+        // Cap plus at most 50% jitter.
+        assert!(b3 <= Duration::from_micros(600));
+        assert!(b4 <= Duration::from_micros(600));
+        // Deterministic: same inputs, same delay.
+        assert_eq!(p.backoff(2, 7), b2);
+        // Different salt perturbs the jitter for at least one attempt.
+        assert!((1..=4u32).any(|a| p.backoff(a, 7) != p.backoff(a, 8)));
+    }
+
+    #[test]
+    fn zero_base_backoff_is_zero() {
+        let p = InvokePolicy {
+            backoff_base: Duration::ZERO,
+            ..InvokePolicy::default()
+        };
+        assert_eq!(p.backoff(3, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn resilience_registry_creates_and_resets_breakers() {
+        let r = Resilience::new();
+        assert!(r.enabled());
+        assert_eq!(r.breaker_state(ServiceId(1)), None);
+        let b = r.breaker(ServiceId(1));
+        assert_eq!(r.breaker_state(ServiceId(1)), Some(BreakerState::Closed));
+        for _ in 0..r.breaker_config().failure_threshold {
+            b.on_failure();
+        }
+        assert_eq!(r.breaker_state(ServiceId(1)), Some(BreakerState::Open));
+        assert_eq!(r.total_trips(), 1);
+        r.reset(ServiceId(1));
+        assert_eq!(r.breaker_state(ServiceId(1)), Some(BreakerState::Closed));
+        r.forget(ServiceId(1));
+        assert_eq!(r.breaker_state(ServiceId(1)), None);
+    }
+
+    #[test]
+    fn recovery_hook_installs_and_fires() {
+        let r = Resilience::new();
+        assert!(r.recovery_hook().is_none());
+        r.install_recovery_hook(Arc::new(|_iface, failed| Ok(ServiceId(failed.0 + 1))));
+        let hook = r.recovery_hook().unwrap();
+        let iface = Interface::new("t.X", 1, vec![]);
+        assert_eq!(hook(&iface, ServiceId(4)).unwrap(), ServiceId(5));
+    }
+}

@@ -1,0 +1,154 @@
+//! Chaos test for the resilient invocation layer: a provider is killed
+//! mid-workload and the bus masks the outage end-to-end — retries soak
+//! transient failures, the circuit breaker quarantines the dead provider,
+//! the coordinator's failover hook re-routes callers inside the failing
+//! call, and a half-open probe re-admits the provider once it heals.
+//!
+//! The caller never sees an error (paper §3.6: "the system can continue
+//! to operate").
+
+use sbdms_kernel::bus::ServiceBus;
+use sbdms_kernel::contract::Contract;
+use sbdms_kernel::coordinator::Coordinator;
+use sbdms_kernel::events::Event;
+use sbdms_kernel::faults::{FaultMode, FaultableService};
+use sbdms_kernel::interface::{Interface, Operation, Param};
+use sbdms_kernel::resilience::BreakerState;
+use sbdms_kernel::resource::ResourceManager;
+use sbdms_kernel::service::{FnService, ServiceRef};
+use sbdms_kernel::value::{TypeTag, Value};
+
+fn kv_interface() -> Interface {
+    Interface::new(
+        "chaos.Kv",
+        1,
+        vec![Operation::new(
+            "get",
+            vec![Param::required("key", TypeTag::Str)],
+            TypeTag::Str,
+        )],
+    )
+}
+
+fn kv_service(name: &str, tag: &'static str) -> ServiceRef {
+    FnService::new(name, Contract::for_interface(kv_interface()), move |_, input| {
+        let key = input.require("key")?.as_str()?;
+        Ok(Value::Str(format!("{tag}:{key}")))
+    })
+    .into_ref()
+}
+
+#[test]
+fn killed_provider_is_masked_and_rejoins_after_healing() {
+    let bus = ServiceBus::new();
+    let (faulty, chaos) = FaultableService::wrap(kv_service("kv-primary", "primary"));
+    let primary = bus.deploy(faulty).unwrap();
+    let backup = bus.deploy(kv_service("kv-backup", "backup")).unwrap();
+
+    let resources = ResourceManager::new(bus.events().clone(), bus.properties().clone());
+    let coordinator = Coordinator::new(bus.clone(), resources);
+    coordinator.install_failover();
+
+    let events = bus.events().subscribe();
+
+    // The breaker starts closed (or not yet created).
+    assert!(matches!(
+        bus.resilience().breaker_state(primary),
+        None | Some(BreakerState::Closed)
+    ));
+
+    // A client workload pinned to the primary's id, with the provider
+    // killed a third of the way in and healed a few calls later. Default
+    // InvokePolicy and BreakerConfig throughout.
+    let mut observed_states = Vec::new();
+    for i in 0..30u32 {
+        if i == 10 {
+            chaos.kill("chaos: process killed");
+        }
+        if i == 13 {
+            chaos.heal();
+        }
+        let out = bus
+            .invoke(primary, "get", Value::map().with("key", format!("k{i}")))
+            .unwrap_or_else(|e| panic!("call {i} leaked an error to the caller: {e}"));
+        // Every answer is well-formed, whoever served it.
+        let s = out.as_str().unwrap();
+        assert!(
+            s == format!("primary:k{i}") || s == format!("backup:k{i}"),
+            "call {i}: unexpected payload {s:?}"
+        );
+        if let Some(state) = bus.resilience().breaker_state(primary) {
+            observed_states.push(state);
+        }
+    }
+
+    // The outage tripped the breaker open; the healed probe closed it
+    // again (Closed -> Open -> HalfOpen -> Closed; HalfOpen is transient
+    // inside the probing call, so its evidence is the CircuitClosed event
+    // asserted below — a breaker can only close from HalfOpen).
+    assert!(
+        observed_states.contains(&BreakerState::Open),
+        "breaker never opened: {observed_states:?}"
+    );
+    assert_eq!(
+        bus.resilience().breaker_state(primary),
+        Some(BreakerState::Closed),
+        "breaker must close again after the heal"
+    );
+
+    // The quarantine was lifted: the primary serves by id again.
+    assert!(bus.is_enabled(primary));
+    let out = bus
+        .invoke(primary, "get", Value::map().with("key", "after"))
+        .unwrap();
+    assert_eq!(out, Value::Str("primary:after".into()));
+    assert!(bus.is_enabled(backup));
+
+    // The intervention is visible in metrics...
+    let snap = bus.metrics().snapshot(primary);
+    assert!(snap.retries >= 1, "retries: {snap:?}");
+    assert!(snap.breaker_trips >= 1, "trips: {snap:?}");
+    assert!(snap.failovers >= 1, "failovers: {snap:?}");
+
+    // ...and on the event log.
+    let mut saw_opened = false;
+    let mut saw_failover = false;
+    let mut saw_closed = false;
+    for event in events.try_iter() {
+        match event {
+            Event::CircuitOpened { id, .. } if id == primary => saw_opened = true,
+            Event::FailoverPerformed { from, to, .. } if from == primary && to == backup => {
+                saw_failover = true
+            }
+            Event::CircuitClosed { id } if id == primary => saw_closed = true,
+            _ => {}
+        }
+    }
+    assert!(saw_opened, "no CircuitOpened event for the primary");
+    assert!(saw_failover, "no FailoverPerformed event primary -> backup");
+    assert!(saw_closed, "no CircuitClosed event after the heal");
+}
+
+#[test]
+fn flaky_provider_is_invisible_without_a_substitute() {
+    // A single-provider deployment (no failover possible): a provider
+    // that fails intermittently is still fully masked by retries alone,
+    // without ever tripping the breaker.
+    let bus = ServiceBus::new();
+    let (faulty, chaos) = FaultableService::wrap(kv_service("kv-solo", "solo"));
+    let solo = bus.deploy(faulty).unwrap();
+    chaos.set_mode(FaultMode::Flaky {
+        period: 3,
+        fail_every: 1,
+    });
+
+    for i in 0..12u32 {
+        let out = bus
+            .invoke(solo, "get", Value::map().with("key", format!("k{i}")))
+            .unwrap_or_else(|e| panic!("call {i} leaked an error: {e}"));
+        assert_eq!(out, Value::Str(format!("solo:k{i}")));
+    }
+    let snap = bus.metrics().snapshot(solo);
+    assert!(snap.retries >= 4, "flakiness must be soaked by retries: {snap:?}");
+    assert_eq!(snap.breaker_trips, 0, "isolated failures must not trip: {snap:?}");
+}

@@ -134,6 +134,12 @@ fn fig6_selection_among_alternate_storage_services() {
 #[test]
 fn fig6_workflow_alternates_failover() {
     let s = system("fig6-workflows");
+    // This scenario exercises failover at the *workflow* layer. With the
+    // bus's resilient invocation on, the outage below would be healed by
+    // retry + breaker failover before the engine ever notices (that path
+    // is covered by the resilience tests); switch it off so the engine's
+    // own alternation logic stays observable.
+    s.bus().resilience().set_enabled(false);
     let (faulty, handle) = FaultableService::wrap(kv_service("primary", 10));
     s.bus().deploy(faulty).unwrap();
     s.bus().deploy(kv_service("backup", 100)).unwrap();
