@@ -51,6 +51,20 @@ pub fn sort(input: TupleStream, keys: Vec<SortKey>, memory_budget: usize) -> Res
     Ok(values_scan(out.tuples))
 }
 
+/// Like [`sort`] but with a worker pool: contiguous chunks sort in
+/// parallel and merge at the root. Output (including tie order) is
+/// identical to the serial sort.
+pub fn sort_parallel(
+    input: TupleStream,
+    keys: Vec<SortKey>,
+    memory_budget: usize,
+    workers: usize,
+) -> Result<TupleStream> {
+    let tuples: Vec<Tuple> = input.collect::<Result<_>>()?;
+    let out = ExternalSorter::new(memory_budget).sort_parallel(tuples, &keys, workers)?;
+    Ok(values_scan(out.tuples))
+}
+
 /// Pass at most `n` tuples, after skipping `offset`.
 pub fn limit(input: TupleStream, n: usize, offset: usize) -> TupleStream {
     Box::new(input.skip(offset).take(n))

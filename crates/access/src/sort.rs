@@ -7,10 +7,15 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sbdms_kernel::error::{Result, ServiceError};
 
 use crate::record::{decode_tuple, encode_tuple, Datum, Tuple};
+
+/// Disambiguates spill files created in the same instant (parallel sort
+/// workers spill concurrently within one process).
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Sort direction per key column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,15 +161,99 @@ impl ExternalSorter {
         })
     }
 
+    /// Sort with a small worker pool: the input splits into contiguous
+    /// chunks, one sorter (with a proportional share of the memory
+    /// budget) per chunk, and the sorted chunks merge at the root.
+    /// Equal keys preserve input order, exactly like [`ExternalSorter::sort`]:
+    /// the merge takes strictly smaller heads only, so the earlier chunk
+    /// wins ties. `workers <= 1` and small inputs fall back to the serial
+    /// sort.
+    pub fn sort_parallel(
+        &self,
+        tuples: Vec<Tuple>,
+        keys: &[SortKey],
+        workers: usize,
+    ) -> Result<SortOutput> {
+        /// Below this many tuples per worker, thread startup dominates.
+        const MIN_CHUNK: usize = 256;
+        let workers = workers.min(tuples.len() / MIN_CHUNK).max(1);
+        if workers == 1 {
+            return self.sort(tuples, keys);
+        }
+
+        let chunk_size = tuples.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<Tuple>> = Vec::with_capacity(workers);
+        let mut it = tuples.into_iter();
+        loop {
+            let chunk: Vec<Tuple> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let share = (self.memory_budget / chunks.len()).max(1);
+
+        let outputs: Vec<SortOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let worker = ExternalSorter {
+                        memory_budget: share,
+                        spill_dir: self.spill_dir.clone(),
+                    };
+                    scope.spawn(move || worker.sort(chunk, keys))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| ServiceError::Internal("sort worker panicked".into()))?
+                })
+                .collect::<Result<_>>()
+        })?;
+
+        let spilled_runs = outputs.iter().map(|o| o.spilled_runs).sum();
+        let mut iters: Vec<std::vec::IntoIter<Tuple>> =
+            outputs.into_iter().map(|o| o.tuples.into_iter()).collect();
+        let mut heads: Vec<Option<Tuple>> = iters.iter_mut().map(|i| i.next()).collect();
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(t) = head {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            compare_tuples(t, heads[b].as_ref().unwrap(), keys)
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            out.push(heads[i].take().unwrap());
+            heads[i] = iters[i].next();
+        }
+        Ok(SortOutput {
+            tuples: out,
+            spilled_runs,
+        })
+    }
+
     fn spill_run(&self, run: &mut Vec<(Vec<u8>, Tuple)>, keys: &[SortKey]) -> Result<PathBuf> {
         run.sort_by(|(_, a), (_, b)| compare_tuples(a, b, keys));
         let path = self.spill_dir.join(format!(
-            "run-{}-{:x}",
+            "run-{}-{:x}-{}",
             std::process::id(),
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map_err(|e| ServiceError::Internal(e.to_string()))?
-                .as_nanos()
+                .as_nanos(),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let mut w = BufWriter::new(File::create(&path)?);
         for (enc, _) in run.drain(..) {
@@ -286,6 +375,37 @@ mod tests {
         assert_eq!(out.tuples[0], vec![Datum::Float(2.5)]);
         assert_eq!(out.tuples[1], vec![Datum::Int(5)]);
         assert_eq!(out.tuples[2], vec![Datum::Str("a".into())]);
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_and_is_stable() {
+        let sorter = ExternalSorter::new(1 << 20);
+        // Many duplicate keys with distinct payloads expose any stability
+        // loss in the chunk merge.
+        let input: Vec<Tuple> = (0..2000i64).map(|i| t(&[i * 7 % 13, i])).collect();
+        let serial = sorter.sort(input.clone(), &[SortKey::asc(0)]).unwrap();
+        let parallel = sorter.sort_parallel(input, &[SortKey::asc(0)], 4).unwrap();
+        assert_eq!(serial.tuples, parallel.tuples);
+    }
+
+    #[test]
+    fn parallel_sort_spills_under_tiny_budget() {
+        let sorter = ExternalSorter::new(256);
+        let input: Vec<Tuple> = (0..3000i64).rev().map(|i| t(&[i])).collect();
+        let out = sorter.sort_parallel(input, &[SortKey::asc(0)], 4).unwrap();
+        assert!(out.spilled_runs > 1, "tiny budget must spill in workers");
+        assert_eq!(out.tuples.len(), 3000);
+        for (i, tuple) in out.tuples.iter().enumerate() {
+            assert_eq!(tuple[0], Datum::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn parallel_sort_small_input_falls_back() {
+        let sorter = ExternalSorter::new(1 << 20);
+        let input = vec![t(&[3]), t(&[1]), t(&[2])];
+        let out = sorter.sort_parallel(input, &[SortKey::asc(0)], 8).unwrap();
+        assert_eq!(out.tuples, vec![t(&[1]), t(&[2]), t(&[3])]);
     }
 
     proptest! {

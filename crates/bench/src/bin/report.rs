@@ -47,6 +47,7 @@ fn main() {
     e6();
     e7();
     e8();
+    e9();
     a1();
 
     println!("\ndone.");
@@ -217,6 +218,94 @@ fn e7() {
             fp.buffer_bytes / 1024
         );
     }
+}
+
+fn e9() {
+    println!("\nE9 — data-plane concurrency (sharded buffer pool, parallel scans, plan cache)");
+
+    // Cached point reads: throughput vs threads, single stripe vs 8.
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "pool", "1 thread", "2 threads", "4 threads", "8 threads", "8T/1T"
+    );
+    const PAGES: usize = 256;
+    const ITERS: usize = 40_000;
+    for shards in [1usize, 8] {
+        let (pool, pages) = e9_pool(shards, PAGES);
+        // Warm every frame once.
+        e9_point_read_throughput(&pool, &pages, 1, PAGES);
+        let mut per_thread = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            per_thread.push(e9_point_read_throughput(&pool, &pages, threads, ITERS / threads));
+        }
+        println!(
+            "{:<14} {:>10.2}M/s {:>10.2}M/s {:>10.2}M/s {:>10.2}M/s {:>9.1}x",
+            format!("{shards}-shard"),
+            per_thread[0] / 1e6,
+            per_thread[1] / 1e6,
+            per_thread[2] / 1e6,
+            per_thread[3] / 1e6,
+            per_thread[3] / per_thread[0]
+        );
+    }
+
+    // Concurrent full-scan sessions.
+    const ROWS: usize = 2_000;
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "pool", "1 session", "2 sessions", "4 sessions", "8 sessions", "8S/1S"
+    );
+    for shards in [1usize, 8] {
+        let db = e9_db(ROWS, shards, 1, true);
+        e9_scan_throughput(&db, 1, 2);
+        let mut per_threads = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            per_threads.push(e9_scan_throughput(&db, threads, 24 / threads.min(4)));
+        }
+        println!(
+            "{:<14} {:>10.0}/s {:>10.0}/s {:>10.0}/s {:>10.0}/s {:>9.1}x",
+            format!("{shards}-shard"),
+            per_threads[0],
+            per_threads[1],
+            per_threads[2],
+            per_threads[3],
+            per_threads[3] / per_threads[0]
+        );
+    }
+
+    // Morsel-parallel scan of one session.
+    print!("\n  single-session scan with morsel workers: ");
+    for workers in [1usize, 2, 4] {
+        let db = e9_db(ROWS, 8, workers, true);
+        let d = time(20, || {
+            let n = db.execute("SELECT id, label FROM events").unwrap().rows.len();
+            assert_eq!(n, ROWS);
+        });
+        print!("{workers}w={:.2}ms  ", d.as_nanos() as f64 / 1e6);
+    }
+    println!();
+
+    // Repeated-statement latency with and without the plan cache.
+    print!("  repeated point statement:                ");
+    for (name, cached) in [("cache-on", true), ("cache-off", false)] {
+        let db = e9_db(ROWS, 8, 1, cached);
+        let mut round = 0u64;
+        let d = time(400, || {
+            round += 1;
+            e9_statement(&db, round);
+        });
+        print!("{name}={:.1}µs  ", d.as_nanos() as f64 / 1e3);
+    }
+    println!();
+    let db = e9_db(ROWS, 8, 1, true);
+    for round in 0..64 {
+        e9_statement(&db, round);
+    }
+    let stats = db.plan_cache_stats();
+    println!(
+        "  plan cache after 64 statements over 16 texts: {} hits / {} misses",
+        stats.hits, stats.misses
+    );
 }
 
 fn a1() {

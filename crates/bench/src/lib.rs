@@ -369,6 +369,120 @@ pub mod experiments {
             .unwrap();
         assert_eq!(out, Value::Str("v".into()));
     }
+
+    // --- E9: data-plane concurrency -------------------------------------
+
+    use sbdms::data::executor::{Database, DbOptions};
+    use sbdms::storage::replacement::PolicyKind;
+    use sbdms::storage::{BufferPool, DiskManager};
+
+    /// E9: a warmed buffer pool with `shards` lock stripes and one frame
+    /// per preloaded page, so concurrent point reads are all cache hits —
+    /// the experiment measures lock contention, not disk I/O. Returns the
+    /// pool and the preloaded page ids.
+    pub fn e9_pool(shards: usize, pages: usize) -> (Arc<BufferPool>, Vec<u64>) {
+        let dir = bench_dir(&format!("e9-pool-{shards}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let disk = Arc::new(DiskManager::open(dir.join("data.db")).unwrap());
+        let pool = Arc::new(BufferPool::new_sharded(disk, pages, PolicyKind::Lru, shards));
+        let ids: Vec<u64> = (0..pages)
+            .map(|i| {
+                let id = pool.new_page().unwrap();
+                pool.with_page_mut(id, |p| {
+                    p.insert(&payload(i as u64, 64)).unwrap();
+                })
+                .unwrap();
+                id
+            })
+            .collect();
+        (pool, ids)
+    }
+
+    /// E9: hammer cached point reads from `threads` workers; returns
+    /// operations per second over the whole run.
+    pub fn e9_point_read_throughput(
+        pool: &Arc<BufferPool>,
+        pages: &[u64],
+        threads: usize,
+        iters_per_thread: usize,
+    ) -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    let mut x = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    for _ in 0..iters_per_thread {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let id = pages[(x % pages.len() as u64) as usize];
+                        let n = pool.with_page(id, |p| p.live_records()).unwrap();
+                        assert!(n > 0);
+                    }
+                });
+            }
+        });
+        (threads * iters_per_thread) as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// E9: a database for scan and plan-cache experiments — `rows` rows
+    /// in one table, pool striped into `shards`, morsel `parallelism`
+    /// for scans/sorts, and the plan cache on or off.
+    pub fn e9_db(rows: usize, shards: usize, parallelism: usize, plan_cache: bool) -> Database {
+        let db = Database::open_opts(
+            bench_dir(&format!("e9-db-{shards}-{parallelism}-{plan_cache}")),
+            DbOptions {
+                buffer_frames: 512,
+                buffer_shards: Some(shards),
+                parallelism,
+                plan_cache_capacity: if plan_cache { 64 } else { 0 },
+                ..DbOptions::default()
+            },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE events (id INT NOT NULL, label TEXT NOT NULL)")
+            .unwrap();
+        for chunk in (0..rows as i64).collect::<Vec<_>>().chunks(200) {
+            let values: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({i}, 'event-{i}')"))
+                .collect();
+            db.execute(&format!("INSERT INTO events VALUES {}", values.join(", ")))
+                .unwrap();
+        }
+        // Index-backed point statements: execution is cheap, so the
+        // parse+plan cost the plan cache removes is visible.
+        db.execute("CREATE INDEX events_id ON events (id)").unwrap();
+        db
+    }
+
+    /// E9: full-table-scan queries from `threads` concurrent sessions;
+    /// returns scans per second.
+    pub fn e9_scan_throughput(db: &Database, threads: usize, scans_per_thread: usize) -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..scans_per_thread {
+                        let n = db.execute("SELECT id, label FROM events").unwrap().rows.len();
+                        assert!(n > 0);
+                    }
+                });
+            }
+        });
+        (threads * scans_per_thread) as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// E9: one hot point statement — a small set of 16 distinct texts
+    /// cycled round-robin, the repeated-statement workload the plan
+    /// cache accelerates.
+    pub fn e9_statement(db: &Database, round: u64) {
+        let id = (round % 16) * 3;
+        let out = db
+            .execute(&format!("SELECT label FROM events WHERE id = {id}"))
+            .unwrap();
+        assert_eq!(out.columns.len(), 1);
+    }
 }
 
 #[cfg(test)]
@@ -464,5 +578,33 @@ mod tests {
         let cluster = e8_cluster();
         e8_read(&cluster, 50, PlacementStrategy::Nearest);
         e8_read(&cluster, 50, PlacementStrategy::First);
+    }
+
+    #[test]
+    fn e9_point_read_harness_runs() {
+        for shards in [1, 4] {
+            let (pool, pages) = e9_pool(shards, 32);
+            assert_eq!(pool.shard_count(), shards);
+            let ops = e9_point_read_throughput(&pool, &pages, 2, 50);
+            assert!(ops > 0.0);
+        }
+    }
+
+    #[test]
+    fn e9_db_harness_runs() {
+        let db = e9_db(300, 4, 2, true);
+        let scans = e9_scan_throughput(&db, 2, 3);
+        assert!(scans > 0.0);
+        for round in 0..32 {
+            e9_statement(&db, round);
+        }
+        let stats = db.plan_cache_stats();
+        assert!(stats.hits >= 16, "second pass over 16 texts must hit: {stats:?}");
+
+        let uncached = e9_db(100, 1, 1, false);
+        for round in 0..8 {
+            e9_statement(&uncached, round);
+        }
+        assert_eq!(uncached.plan_cache_stats().hits, 0);
     }
 }

@@ -156,6 +156,15 @@ pub struct ArchitectureConfig {
     pub buffer_frames: usize,
     /// Replacement policy.
     pub replacement: PolicyKind,
+    /// Buffer pool lock stripes; `None` derives a count from the
+    /// capacity.
+    pub buffer_shards: Option<usize>,
+    /// Sort memory budget in bytes before spilling to disk.
+    pub sort_budget: usize,
+    /// Worker threads for parallel scans and sorts (1 = serial).
+    pub parallelism: usize,
+    /// Plan cache entries (0 disables plan caching).
+    pub plan_cache: usize,
     /// Memory budget tracked by the resource manager, bytes.
     pub memory_budget: u64,
     /// Memory alert threshold, bytes.
@@ -176,6 +185,13 @@ impl ArchitectureConfig {
                 binding: BindingKind::InProcess,
                 buffer_frames: 256,
                 replacement: PolicyKind::Lru,
+                // A server-class deployment expects concurrent sessions:
+                // stripe the pool, scan and sort on worker threads, and
+                // cache plans for repeated statements.
+                buffer_shards: Some(8),
+                sort_budget: 8 << 20,
+                parallelism: 4,
+                plan_cache: 64,
                 memory_budget: 64 << 20,
                 memory_alert_below: 4 << 20,
                 enforce_policies: true,
@@ -196,6 +212,12 @@ impl ArchitectureConfig {
                 binding: BindingKind::InProcess,
                 buffer_frames: 16,
                 replacement: PolicyKind::Clock,
+                // One core, little RAM: a single stripe, serial
+                // execution, a small sort budget, and no plan cache.
+                buffer_shards: Some(1),
+                sort_budget: 256 << 10,
+                parallelism: 1,
+                plan_cache: 0,
                 memory_budget: 1 << 20,
                 memory_alert_below: 128 << 10,
                 enforce_policies: true,
@@ -233,6 +255,30 @@ impl ArchitectureConfig {
         self
     }
 
+    /// Builder: override the buffer shard count.
+    pub fn with_buffer_shards(mut self, shards: usize) -> ArchitectureConfig {
+        self.buffer_shards = Some(shards);
+        self
+    }
+
+    /// Builder: override the scan/sort worker count.
+    pub fn with_parallelism(mut self, workers: usize) -> ArchitectureConfig {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Builder: override the sort memory budget.
+    pub fn with_sort_budget(mut self, bytes: usize) -> ArchitectureConfig {
+        self.sort_budget = bytes.max(1);
+        self
+    }
+
+    /// Builder: override the plan cache capacity.
+    pub fn with_plan_cache(mut self, entries: usize) -> ArchitectureConfig {
+        self.plan_cache = entries;
+        self
+    }
+
     /// Builder: override the resilience tuning.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> ArchitectureConfig {
         self.resilience = resilience;
@@ -251,6 +297,12 @@ mod tests {
         assert!(full.services.count() > embedded.services.count());
         assert!(full.buffer_frames > embedded.buffer_frames);
         assert!(full.memory_budget > embedded.memory_budget);
+        // The data plane scales out on the server profile and stays
+        // strictly serial in the embedded one.
+        assert!(full.buffer_shards.unwrap() > embedded.buffer_shards.unwrap());
+        assert!(full.parallelism > 1 && embedded.parallelism == 1);
+        assert!(full.sort_budget > embedded.sort_budget);
+        assert!(full.plan_cache > 0 && embedded.plan_cache == 0);
         // The embedded profile fails fast; the full profile tries harder.
         assert!(full.resilience.retries > embedded.resilience.retries);
         assert!(full.resilience.deadline_ms > embedded.resilience.deadline_ms);
@@ -281,8 +333,17 @@ mod tests {
     fn builder_overrides() {
         let c = ArchitectureConfig::for_profile(Profile::FullFledged, "/tmp/x")
             .with_binding(BindingKind::Channel)
-            .with_buffer_frames(8);
+            .with_buffer_frames(8)
+            .with_buffer_shards(2)
+            .with_parallelism(0)
+            .with_sort_budget(0)
+            .with_plan_cache(7);
         assert_eq!(c.binding, BindingKind::Channel);
         assert_eq!(c.buffer_frames, 8);
+        assert_eq!(c.buffer_shards, Some(2));
+        // Degenerate values clamp to the serial minimum.
+        assert_eq!(c.parallelism, 1);
+        assert_eq!(c.sort_budget, 1);
+        assert_eq!(c.plan_cache, 7);
     }
 }

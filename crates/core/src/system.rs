@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sbdms_data::catalog::ViewMeta;
-use sbdms_data::executor::Database;
+use sbdms_data::executor::{Database, DbOptions};
 use sbdms_data::QueryService;
 use sbdms_extension::monitoring::StorageMonitorService;
 use sbdms_extension::procedures::{ProcedureEngine, ProcedureService};
@@ -103,10 +103,16 @@ impl Sbdms {
     /// Run the setup phase: open storage, compose and deploy the selected
     /// services over the configured binding, wire coordination.
     pub fn deploy(config: ArchitectureConfig) -> Result<Sbdms> {
-        let db = Arc::new(Database::open_with(
+        let db = Arc::new(Database::open_opts(
             &config.data_dir,
-            config.buffer_frames,
-            config.replacement,
+            DbOptions {
+                buffer_frames: config.buffer_frames,
+                replacement: config.replacement,
+                buffer_shards: config.buffer_shards,
+                sort_budget: config.sort_budget,
+                parallelism: config.parallelism,
+                plan_cache_capacity: config.plan_cache,
+            },
         )?);
         let bus = ServiceBus::new();
         bus.set_enforce_policies(config.enforce_policies);

@@ -6,6 +6,7 @@
 //! its catalog without external state.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -64,6 +65,10 @@ pub struct Catalog {
     heap: HeapFile,
     tables: Mutex<HashMap<String, (Rid, TableMeta)>>,
     views: Mutex<HashMap<String, (Rid, ViewMeta)>>,
+    /// Monotonic schema version, bumped on every DDL mutation. Cached
+    /// query plans embed the version they were built against and are
+    /// discarded when it moves.
+    version: AtomicU64,
 }
 
 /// The conventional page id of the catalog heap directory.
@@ -91,6 +96,7 @@ impl Catalog {
             heap,
             tables: Mutex::new(HashMap::new()),
             views: Mutex::new(HashMap::new()),
+            version: AtomicU64::new(0),
         };
         catalog.reload()?;
         Ok(catalog)
@@ -99,6 +105,16 @@ impl Catalog {
     /// The buffer pool backing this catalog.
     pub fn buffer(&self) -> &Arc<BufferPool> {
         &self.buffer
+    }
+
+    /// Current schema version. Any DDL (table/view/index create, update
+    /// or drop, plus [`reload`](Catalog::reload)) increments it.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Re-read all catalog records from disk into the cache.
@@ -119,6 +135,7 @@ impl Catalog {
         }
         *self.tables.lock() = tables;
         *self.views.lock() = views;
+        self.bump_version();
         Ok(())
     }
 
@@ -132,6 +149,7 @@ impl Catalog {
         }
         let rid = self.persist(&CatalogRecord::Table(meta.clone()))?;
         self.tables.lock().insert(name, (rid, meta));
+        self.bump_version();
         Ok(())
     }
 
@@ -164,6 +182,7 @@ impl Catalog {
         self.heap.delete(old_rid)?;
         let new_rid = self.persist(&CatalogRecord::Table(meta.clone()))?;
         self.tables.lock().insert(name, (new_rid, meta));
+        self.bump_version();
         Ok(())
     }
 
@@ -176,6 +195,7 @@ impl Catalog {
             .remove(&name)
             .ok_or_else(|| ServiceError::InvalidInput(format!("no such table `{name}`")))?;
         self.heap.delete(rid)?;
+        self.bump_version();
         Ok(meta)
     }
 
@@ -189,6 +209,7 @@ impl Catalog {
         }
         let rid = self.persist(&CatalogRecord::View(meta.clone()))?;
         self.views.lock().insert(name, (rid, meta));
+        self.bump_version();
         Ok(())
     }
 
@@ -205,7 +226,9 @@ impl Catalog {
             .lock()
             .remove(&name)
             .ok_or_else(|| ServiceError::InvalidInput(format!("no such view `{name}`")))?;
-        self.heap.delete(rid)
+        self.heap.delete(rid)?;
+        self.bump_version();
+        Ok(())
     }
 
     /// All view names, sorted.
@@ -333,6 +356,46 @@ mod tests {
         assert!(catalog.drop_view("v").is_err());
         // Names are reusable after drop.
         catalog.create_table(users_meta(5)).unwrap();
+    }
+
+    #[test]
+    fn version_bumps_on_every_ddl() {
+        let (buffer, _) = fresh("version");
+        let catalog = Catalog::open(buffer).unwrap();
+        let mut last = catalog.version();
+        let mut expect_bump = |catalog: &Catalog, what: &str| {
+            let v = catalog.version();
+            assert!(v > last, "{what} must bump the catalog version");
+            last = v;
+        };
+
+        catalog.create_table(users_meta(1)).unwrap();
+        expect_bump(&catalog, "create_table");
+        let mut meta = catalog.table("users").unwrap();
+        meta.indexes.push(IndexMeta {
+            name: "i".into(),
+            column: "id".into(),
+            meta_page: 9,
+        });
+        catalog.update_table(meta).unwrap();
+        expect_bump(&catalog, "update_table");
+        catalog
+            .create_view(ViewMeta {
+                name: "v".into(),
+                query: "SELECT 1".into(),
+            })
+            .unwrap();
+        expect_bump(&catalog, "create_view");
+        catalog.drop_view("v").unwrap();
+        expect_bump(&catalog, "drop_view");
+        catalog.drop_table("users").unwrap();
+        expect_bump(&catalog, "drop_table");
+        catalog.reload().unwrap();
+        expect_bump(&catalog, "reload");
+
+        // Failed DDL leaves the version alone.
+        assert!(catalog.drop_table("ghost").is_err());
+        assert_eq!(catalog.version(), last);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use sbdms_storage::services::StorageEngine;
 use crate::ast::{AstExpr, Select, Statement};
 use crate::catalog::{Catalog, ViewMeta};
 use crate::parser::parse;
-use crate::planner::{compile_expr, plan_select, BindEnv, CatalogView, Plan};
+use crate::plan_cache::{PlanCache, PlanCacheStats};
+use crate::planner::{compile_expr, plan_select, BindEnv, CatalogView, Plan, PlannedQuery};
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::txn::{Durability, TableResolver, TransactionManager, TxnId, UndoOp};
@@ -48,8 +49,37 @@ impl QueryResult {
     }
 }
 
-/// Memory budget for sorts before spilling.
-const SORT_BUDGET: usize = 8 << 20;
+/// Tunables for opening a [`Database`]. The defaults match the seed
+/// engine: 256-frame LRU pool, 8 MiB sort budget, serial execution,
+/// and a modest plan cache.
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Buffer pool capacity in frames.
+    pub buffer_frames: usize,
+    /// Buffer replacement policy.
+    pub replacement: PolicyKind,
+    /// Buffer pool shard count; `None` derives one from the capacity.
+    pub buffer_shards: Option<usize>,
+    /// Sort memory budget in bytes before spilling to disk.
+    pub sort_budget: usize,
+    /// Worker threads for parallel scans and sorts (1 = serial).
+    pub parallelism: usize,
+    /// Plan cache entries (0 disables plan caching).
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for DbOptions {
+    fn default() -> DbOptions {
+        DbOptions {
+            buffer_frames: 256,
+            replacement: PolicyKind::Lru,
+            buffer_shards: None,
+            sort_budget: 8 << 20,
+            parallelism: 1,
+            plan_cache_capacity: 64,
+        }
+    }
+}
 
 /// An embedded SBDMS database engine.
 pub struct Database {
@@ -60,13 +90,16 @@ pub struct Database {
     current_txn: Mutex<Option<TxnId>>,
     tables: Mutex<HashMap<String, Arc<Table>>>,
     join_algorithm: Mutex<JoinAlgorithm>,
+    plan_cache: PlanCache,
+    sort_budget: usize,
+    parallelism: usize,
 }
 
 impl Database {
     /// Open (or create) a database in `dir` with default settings
     /// (256-frame LRU buffer pool). Runs crash recovery.
     pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
-        Database::open_with(dir, 256, PolicyKind::Lru)
+        Database::open_opts(dir, DbOptions::default())
     }
 
     /// Open with explicit buffer configuration. Runs crash recovery.
@@ -75,7 +108,24 @@ impl Database {
         buffer_frames: usize,
         policy: PolicyKind,
     ) -> Result<Database> {
-        let engine = StorageEngine::open(dir, buffer_frames, policy)?;
+        Database::open_opts(
+            dir,
+            DbOptions {
+                buffer_frames,
+                replacement: policy,
+                ..DbOptions::default()
+            },
+        )
+    }
+
+    /// Open with the full option set. Runs crash recovery.
+    pub fn open_opts(dir: impl AsRef<Path>, opts: DbOptions) -> Result<Database> {
+        let engine = match opts.buffer_shards {
+            Some(shards) => {
+                StorageEngine::open_sharded(dir, opts.buffer_frames, opts.replacement, shards)?
+            }
+            None => StorageEngine::open(dir, opts.buffer_frames, opts.replacement)?,
+        };
         let catalog = Catalog::open(engine.buffer.clone())?;
         let txns = TransactionManager::new(engine.wal.clone(), engine.buffer.clone());
         let db = Database {
@@ -85,6 +135,9 @@ impl Database {
             current_txn: Mutex::new(None),
             tables: Mutex::new(HashMap::new()),
             join_algorithm: Mutex::new(JoinAlgorithm::Hash),
+            plan_cache: PlanCache::new(opts.plan_cache_capacity),
+            sort_budget: opts.sort_budget.max(1),
+            parallelism: opts.parallelism.max(1),
         };
         db.txns.recover(&DbResolver { db: &db })?;
         Ok(db)
@@ -152,9 +205,47 @@ impl Database {
         self.txns.checkpoint()
     }
 
-    /// Parse and execute one SQL statement.
+    /// Plan-cache hit/miss counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// The epoch cached plans are valid under: the catalog schema
+    /// version, salted with the planner's join-algorithm setting so
+    /// `set_join_algorithm` invalidates plans like DDL does.
+    fn plan_epoch(&self) -> u64 {
+        let join = match *self.join_algorithm.lock() {
+            JoinAlgorithm::NestedLoop => 0u64,
+            JoinAlgorithm::Hash => 1,
+            JoinAlgorithm::Merge => 2,
+        };
+        (self.catalog.version() << 2) | join
+    }
+
+    /// Parse and execute one SQL statement. SELECT plans are cached by
+    /// SQL text: a repeat of the same statement skips parsing and
+    /// planning unless the catalog changed underneath it.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        // Only SELECTs are cacheable; the keyword peek keeps DML and DDL
+        // off the cache (and out of its hit/miss accounting) without
+        // parsing first.
+        let is_select = sql
+            .trim_start()
+            .get(..6)
+            .is_some_and(|kw| kw.eq_ignore_ascii_case("select"));
+        if !is_select {
+            return self.execute_statement(parse(sql)?);
+        }
+        let epoch = self.plan_epoch();
+        if let Some(planned) = self.plan_cache.get(sql, epoch) {
+            return self.run_planned(&planned);
+        }
         let stmt = parse(sql)?;
+        if let Statement::Select(select) = stmt {
+            let planned = Arc::new(plan_select(&select, self)?);
+            self.plan_cache.insert(sql, epoch, planned.clone());
+            return self.run_planned(&planned);
+        }
         self.execute_statement(stmt)
     }
 
@@ -202,10 +293,14 @@ impl Database {
     /// Execute a SELECT and materialise the result.
     pub fn run_select(&self, select: &Select) -> Result<QueryResult> {
         let planned = plan_select(select, self)?;
+        self.run_planned(&planned)
+    }
+
+    fn run_planned(&self, planned: &PlannedQuery) -> Result<QueryResult> {
         let stream = self.run_plan(&planned.plan)?;
         let rows: Vec<Tuple> = stream.collect::<Result<_>>()?;
         Ok(QueryResult {
-            columns: planned.columns,
+            columns: planned.columns.clone(),
             rows,
             affected: 0,
         })
@@ -356,7 +451,12 @@ impl Database {
         match plan {
             Plan::TableScan { table } => {
                 let t = self.table(table)?;
-                let rows: Vec<Tuple> = t.scan()?.into_iter().map(|(_, row)| row).collect();
+                let scanned = if self.parallelism > 1 {
+                    t.scan_parallel(self.parallelism)?
+                } else {
+                    t.scan()?
+                };
+                let rows: Vec<Tuple> = scanned.into_iter().map(|(_, row)| row).collect();
                 Ok(exec::values_scan(rows))
             }
             Plan::IndexScan {
@@ -416,7 +516,12 @@ impl Database {
             }
             Plan::Distinct { input } => Ok(exec::distinct(self.run_plan(input)?)),
             Plan::Sort { input, keys } => {
-                exec::sort(self.run_plan(input)?, keys.clone(), SORT_BUDGET)
+                let input = self.run_plan(input)?;
+                if self.parallelism > 1 {
+                    exec::sort_parallel(input, keys.clone(), self.sort_budget, self.parallelism)
+                } else {
+                    exec::sort(input, keys.clone(), self.sort_budget)
+                }
             }
             Plan::Limit { input, n, offset } => {
                 Ok(exec::limit(self.run_plan(input)?, *n, *offset))

@@ -18,6 +18,7 @@ pub mod ast;
 pub mod catalog;
 pub mod executor;
 pub mod parser;
+pub mod plan_cache;
 pub mod planner;
 pub mod schema;
 pub mod services;
@@ -25,8 +26,9 @@ pub mod table;
 pub mod txn;
 
 pub use catalog::{Catalog, IndexMeta, TableMeta, ViewMeta};
-pub use executor::{Database, QueryResult};
+pub use executor::{Database, DbOptions, QueryResult};
 pub use parser::parse;
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use planner::{plan_select, Plan, PlannedQuery};
 pub use schema::{Column, ColumnType, Schema};
 pub use services::QueryService;

@@ -132,6 +132,16 @@ impl Table {
             .collect()
     }
 
+    /// Like [`scan`](Table::scan) but reading page morsels on `workers`
+    /// threads. Row order matches the serial scan.
+    pub fn scan_parallel(&self, workers: usize) -> Result<Vec<(Rid, Tuple)>> {
+        self.heap
+            .scan_parallel(workers)?
+            .into_iter()
+            .map(|(rid, bytes)| Ok((rid, decode_tuple(&bytes)?)))
+            .collect()
+    }
+
     /// Row count.
     pub fn len(&self) -> Result<usize> {
         self.heap.len()

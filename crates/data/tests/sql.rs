@@ -555,3 +555,130 @@ fn join_algorithms_agree_through_sql() {
         assert_eq!(db.execute(sql).unwrap().rows, reference, "{algo:?}");
     }
 }
+
+#[test]
+fn plan_cache_hits_on_repeated_select() {
+    let db = db("plan-cache-hit");
+    seed(&db);
+    let sql = "SELECT name FROM users WHERE id = 2";
+    let first = db.execute(sql).unwrap();
+    let before = db.plan_cache_stats();
+    for _ in 0..5 {
+        assert_eq!(db.execute(sql).unwrap(), first);
+    }
+    let after = db.plan_cache_stats();
+    assert_eq!(after.hits - before.hits, 5, "repeats must hit the cache");
+    assert_eq!(after.misses, before.misses);
+    assert!(after.entries >= 1);
+}
+
+#[test]
+fn plan_cache_invalidated_by_ddl() {
+    let db = db("plan-cache-ddl");
+    seed(&db);
+    let sql = "SELECT id FROM users ORDER BY id";
+    db.execute(sql).unwrap();
+    assert!(db.execute(sql).is_ok());
+    let hits_before = db.plan_cache_stats().hits;
+
+    // DDL bumps the catalog version: the cached plan must not be reused.
+    db.execute("CREATE TABLE extra (x INT)").unwrap();
+    db.execute(sql).unwrap();
+    let stats = db.plan_cache_stats();
+    assert_eq!(stats.hits, hits_before, "post-DDL lookup must miss");
+
+    // Dropping a table a cached plan depends on must not leave the
+    // stale plan runnable.
+    let scan_extra = "SELECT x FROM extra";
+    db.execute(scan_extra).unwrap();
+    db.execute("DROP TABLE extra").unwrap();
+    assert!(db.execute(scan_extra).is_err(), "dropped table must error");
+}
+
+#[test]
+fn plan_cache_invalidated_by_join_algorithm_change() {
+    use sbdms_access::exec::join::JoinAlgorithm;
+    let db = db("plan-cache-join");
+    seed(&db);
+    let sql = "SELECT name, amount FROM users u JOIN orders o ON u.id = o.user_id \
+               ORDER BY amount, name";
+    let reference = db.execute(sql).unwrap().rows;
+    let hits_before = db.plan_cache_stats().hits;
+    db.set_join_algorithm(JoinAlgorithm::Merge);
+    assert_eq!(db.execute(sql).unwrap().rows, reference);
+    assert_eq!(
+        db.plan_cache_stats().hits,
+        hits_before,
+        "join-algorithm change must invalidate cached plans"
+    );
+    // Same algorithm again: now it can hit.
+    assert_eq!(db.execute(sql).unwrap().rows, reference);
+    assert_eq!(db.plan_cache_stats().hits, hits_before + 1);
+}
+
+#[test]
+fn parallel_execution_matches_serial() {
+    use sbdms_data::executor::DbOptions;
+
+    let serial = db("parallel-serial");
+    let dir = std::env::temp_dir()
+        .join("sbdms-sql-tests")
+        .join(format!("parallel-par-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let parallel = Database::open_opts(
+        &dir,
+        DbOptions {
+            parallelism: 4,
+            buffer_shards: Some(4),
+            ..DbOptions::default()
+        },
+    )
+    .unwrap();
+
+    for db in [&serial, &parallel] {
+        db.execute("CREATE TABLE nums (n INT NOT NULL, label TEXT NOT NULL)")
+            .unwrap();
+        for chunk in (0..2000).collect::<Vec<i64>>().chunks(100) {
+            let values: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({}, 'row{}')", (i * 37) % 1000, i))
+                .collect();
+            db.execute(&format!("INSERT INTO nums VALUES {}", values.join(", ")))
+                .unwrap();
+        }
+    }
+    for sql in [
+        "SELECT n, label FROM nums ORDER BY n, label",
+        "SELECT n FROM nums WHERE n < 100 ORDER BY n DESC",
+        "SELECT COUNT(*) FROM nums",
+    ] {
+        let a = serial.execute(sql).unwrap();
+        let b = parallel.execute(sql).unwrap();
+        assert_eq!(a.rows, b.rows, "{sql}");
+        assert_eq!(a.columns, b.columns);
+    }
+}
+
+#[test]
+fn configured_sort_budget_still_sorts_correctly() {
+    use sbdms_data::executor::DbOptions;
+    let dir = std::env::temp_dir()
+        .join("sbdms-sql-tests")
+        .join(format!("tiny-sort-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // A 1 KiB budget forces external-sort spills on any real input.
+    let db = Database::open_opts(
+        &dir,
+        DbOptions {
+            sort_budget: 1 << 10,
+            ..DbOptions::default()
+        },
+    )
+    .unwrap();
+    db.execute("CREATE TABLE t (n INT NOT NULL)").unwrap();
+    let values: Vec<String> = (0..500).rev().map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    let got = ints(&db, "SELECT n FROM t ORDER BY n");
+    assert_eq!(got, (0..500).collect::<Vec<i64>>());
+}

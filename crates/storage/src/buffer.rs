@@ -1,14 +1,28 @@
-//! The buffer pool: cached page frames over a disk manager.
+//! The buffer pool: cached page frames over a disk manager, sharded for
+//! concurrency.
 //!
 //! Paper Fig. 6 stars the "Buffer Manager" as the service that adapts to
 //! resource pressure; §4 lists "work load, buffer size, page size, and
 //! data fragmentation" as the monitorable state of a storage service. The
 //! pool exposes exactly those statistics.
 //!
-//! Access is closure-scoped (`with_page` / `with_page_mut`): the pool's
-//! lock is held while the closure runs, so eviction cannot race with
-//! access, and no guard lifetimes leak across the service boundary.
+//! Access is closure-scoped (`with_page` / `with_page_mut`): no guard
+//! lifetimes leak across the service boundary. Internally the pool is
+//! split into lock-striped *shards* (page-id hash → shard), each with its
+//! own frame table, free list, and replacement-policy instance, so N
+//! threads touching different pages proceed in parallel. Each frame
+//! carries its own latch, and the shard lock is never held across disk
+//! I/O: a cold read on one shard cannot stall a hot hit on another, and
+//! even within a shard a miss only blocks accesses to the same frame.
+//!
+//! Eviction write-back runs outside the shard lock too. The dirty
+//! victim's bytes are snapshotted into a per-shard `flushing` map while
+//! the shard lock is held; a re-fetch of that page loads from the
+//! snapshot instead of racing the in-flight disk write, and exactly one
+//! writer per page drains the map (later evictions of the same page swap
+//! the snapshot and the active writer picks it up).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,17 +34,115 @@ use crate::disk::DiskManager;
 use crate::page::{Page, PageId};
 use crate::replacement::{FrameId, PolicyKind, ReplacementPolicy};
 
-struct Frame {
+/// Frame contents, protected by the per-frame latch.
+struct FrameData {
     page: Page,
+    /// The page this frame currently holds *loaded* data for. `None`
+    /// while a newly claimed frame awaits its first load.
     page_id: Option<PageId>,
     dirty: bool,
 }
 
-struct PoolInner {
-    frames: Vec<Frame>,
+/// A buffer frame: the latch guards the page image during access and
+/// during the disk read that fills it, so the shard lock never covers I/O.
+struct Frame {
+    data: Mutex<FrameData>,
+}
+
+impl Frame {
+    fn empty() -> Arc<Frame> {
+        Arc::new(Frame {
+            data: Mutex::new(FrameData {
+                page: Page::new(),
+                page_id: None,
+                dirty: false,
+            }),
+        })
+    }
+}
+
+/// Shard-lock-side frame bookkeeping (never touched without the shard lock).
+struct FrameMeta {
+    page_id: Option<PageId>,
+    pins: u32,
+}
+
+struct ShardInner {
+    frames: Vec<Arc<Frame>>,
+    metas: Vec<FrameMeta>,
     page_table: HashMap<PageId, FrameId>,
+    /// Dirty pages evicted but not yet written back: page id → snapshot
+    /// of the bytes in flight. An entry exists iff a writer is draining it.
+    flushing: HashMap<PageId, Arc<Vec<u8>>>,
     policy: Box<dyn ReplacementPolicy>,
     free_frames: Vec<FrameId>,
+}
+
+impl ShardInner {
+    fn new(capacity: usize, policy: PolicyKind) -> ShardInner {
+        ShardInner {
+            frames: (0..capacity).map(|_| Frame::empty()).collect(),
+            metas: (0..capacity)
+                .map(|_| FrameMeta {
+                    page_id: None,
+                    pins: 0,
+                })
+                .collect(),
+            page_table: HashMap::with_capacity(capacity),
+            flushing: HashMap::new(),
+            policy: policy.build(capacity),
+            free_frames: (0..capacity).rev().collect(),
+        }
+    }
+
+    fn pin(&mut self, frame: FrameId) {
+        self.metas[frame].pins += 1;
+        if self.metas[frame].pins == 1 {
+            self.policy.on_pinned(frame);
+        }
+    }
+
+    fn unpin(&mut self, frame: FrameId) {
+        debug_assert!(self.metas[frame].pins > 0, "unpin without pin");
+        self.metas[frame].pins -= 1;
+        if self.metas[frame].pins == 0 {
+            self.policy.on_unpinned(frame);
+        }
+    }
+
+    /// Take a frame for a new occupant: the free list first, then a
+    /// policy victim. Returns the frame and the page it displaced, with
+    /// the old mapping already removed. `None` when every frame is pinned.
+    fn claim(&mut self) -> Option<(FrameId, Option<PageId>)> {
+        if let Some(frame) = self.free_frames.pop() {
+            return Some((frame, None));
+        }
+        let victim = self.policy.evict()?;
+        debug_assert_eq!(self.metas[victim].pins, 0, "policy evicted a pinned frame");
+        let old = self.metas[victim].page_id.take();
+        if let Some(old_id) = old {
+            self.page_table.remove(&old_id);
+        }
+        Some((victim, old))
+    }
+}
+
+struct Shard {
+    inner: Mutex<ShardInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Shard {
+    fn new(capacity: usize, policy: PolicyKind) -> Shard {
+        Shard {
+            inner: Mutex::new(ShardInner::new(capacity, policy)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Point-in-time buffer statistics (the §4 monitoring example).
@@ -42,10 +154,16 @@ pub struct BufferStats {
     pub resident: usize,
     /// Dirty frames awaiting flush.
     pub dirty: usize,
+    /// Frames pinned by in-flight accesses.
+    pub pinned: usize,
     /// Cache hits since creation ("work load").
     pub hits: u64,
     /// Cache misses since creation.
     pub misses: u64,
+    /// Frames whose resident page was displaced to admit another.
+    pub evictions: u64,
+    /// Number of lock-striped shards.
+    pub shards: usize,
     /// Mean fragmentation across resident pages.
     pub mean_fragmentation: f64,
 }
@@ -62,34 +180,62 @@ impl BufferStats {
     }
 }
 
-/// A fixed-capacity page cache with pluggable replacement.
+/// Per-shard counters, for inspecting stripe balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Frames in this shard.
+    pub capacity: usize,
+    /// Frames holding a page.
+    pub resident: usize,
+    /// Hits against this shard.
+    pub hits: u64,
+    /// Misses against this shard.
+    pub misses: u64,
+    /// Evictions performed by this shard.
+    pub evictions: u64,
+}
+
+/// A fixed-capacity page cache with pluggable replacement, striped into
+/// independently locked shards.
 pub struct BufferPool {
     disk: Arc<DiskManager>,
-    inner: Mutex<PoolInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: Vec<Shard>,
+    policy: PolicyKind,
+}
+
+/// Retries of the claim loop before giving up on a fully pinned shard.
+const CLAIM_ATTEMPTS: usize = 100_000;
+
+fn split_capacity(capacity: usize, shards: usize) -> Vec<usize> {
+    let base = capacity / shards;
+    let extra = capacity % shards;
+    (0..shards).map(|i| base + usize::from(i < extra)).collect()
 }
 
 impl BufferPool {
-    /// Create a pool of `capacity` frames over a disk manager.
+    /// Create a pool of `capacity` frames over a disk manager, with a
+    /// shard count scaled (conservatively) to the capacity. Deployments
+    /// that know their concurrency pick the stripe count explicitly via
+    /// [`BufferPool::new_sharded`].
     pub fn new(disk: Arc<DiskManager>, capacity: usize, policy: PolicyKind) -> BufferPool {
-        let frames = (0..capacity)
-            .map(|_| Frame {
-                page: Page::new(),
-                page_id: None,
-                dirty: false,
-            })
-            .collect();
+        let shards = (capacity / 8).clamp(1, 4);
+        BufferPool::new_sharded(disk, capacity, policy, shards)
+    }
+
+    /// Create a pool with an explicit shard count (`shards = 1` degrades
+    /// to the classic single-mutex pool, which E9 uses as its baseline).
+    pub fn new_sharded(
+        disk: Arc<DiskManager>,
+        capacity: usize,
+        policy: PolicyKind,
+        shards: usize,
+    ) -> BufferPool {
+        let shards = shards.clamp(1, capacity.max(1));
+        let caps = split_capacity(capacity, shards);
         BufferPool {
             disk,
-            inner: Mutex::new(PoolInner {
-                frames,
-                page_table: HashMap::with_capacity(capacity),
-                policy: policy.build(capacity),
-                free_frames: (0..capacity).rev().collect(),
-            }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: caps.into_iter().map(|c| Shard::new(c, policy)).collect(),
+            policy,
         }
     }
 
@@ -98,48 +244,106 @@ impl BufferPool {
         &self.disk
     }
 
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, id: PageId) -> &Shard {
+        // Fibonacci multiply-shift spreads sequential page ids evenly.
+        let h = (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
     /// Allocate a fresh page on disk and cache it zeroed. Returns its id.
     pub fn new_page(&self) -> Result<PageId> {
         let id = self.disk.allocate_page()?;
-        let mut inner = self.inner.lock();
-        let frame = self.obtain_frame(&mut inner)?;
-        inner.frames[frame] = Frame {
-            page: Page::new(),
-            page_id: Some(id),
-            dirty: true,
-        };
-        inner.page_table.insert(id, frame);
-        inner.policy.on_access(frame);
-        Ok(id)
+        let shard = self.shard_for(id);
+        let mut attempts = 0usize;
+        loop {
+            let mut inner = shard.inner.lock();
+            let Some((frame_id, displaced)) = inner.claim() else {
+                drop(inner);
+                backoff(&mut attempts)?;
+                continue;
+            };
+            let frame = inner.frames[frame_id].clone();
+            // An unpinned frame's latch is always free (latch holders keep
+            // a pin for the duration), so this cannot block the shard.
+            let mut data = frame
+                .data
+                .try_lock()
+                .expect("claimed frame latch must be free");
+            let writeback = self.displace(shard, &mut inner, &mut data, displaced);
+            data.page = Page::new();
+            data.page_id = Some(id);
+            data.dirty = true;
+            inner.page_table.insert(id, frame_id);
+            inner.metas[frame_id].page_id = Some(id);
+            inner.policy.on_access(frame_id);
+            // Pin while the latch is held, like any access: an unpinned
+            // frame must never be latched, or an evictor's try_lock fails.
+            inner.pin(frame_id);
+            drop(inner);
+            drop(data);
+            let drained = match writeback {
+                Some((old_id, snap)) => self.drain_writeback(shard, old_id, snap),
+                None => Ok(()),
+            };
+            shard.inner.lock().unpin(frame_id);
+            drained?;
+            return Ok(id);
+        }
     }
 
     /// Drop a page: evict it from the cache (without write-back) and
     /// return it to the disk free list.
     pub fn free_page(&self, id: PageId) -> Result<()> {
-        {
-            let mut inner = self.inner.lock();
-            if let Some(frame) = inner.page_table.remove(&id) {
-                inner.frames[frame].page_id = None;
-                inner.frames[frame].dirty = false;
-                inner.free_frames.push(frame);
+        let shard = self.shard_for(id);
+        let mut attempts = 0usize;
+        loop {
+            let mut inner = shard.inner.lock();
+            // Wait out any in-flight write-back so a stale writer cannot
+            // clobber this id after the disk reuses it.
+            if inner.flushing.contains_key(&id) {
+                drop(inner);
+                backoff(&mut attempts)?;
+                continue;
             }
+            if let Some(&frame_id) = inner.page_table.get(&id) {
+                if inner.metas[frame_id].pins > 0 {
+                    drop(inner);
+                    backoff(&mut attempts)?;
+                    continue;
+                }
+                let frame = inner.frames[frame_id].clone();
+                let mut data = frame
+                    .data
+                    .try_lock()
+                    .expect("unpinned frame latch must be free");
+                data.page_id = None;
+                data.dirty = false;
+                inner.page_table.remove(&id);
+                inner.metas[frame_id].page_id = None;
+                inner.policy.on_freed(frame_id);
+                inner.free_frames.push(frame_id);
+            }
+            break;
         }
         self.disk.free_page(id)
     }
 
     /// Run `f` over an immutable view of the page.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let frame = self.fetch(&mut inner, id)?;
-        Ok(f(&inner.frames[frame].page))
+        self.with_frame(id, |data| f(&data.page))
     }
 
     /// Run `f` over a mutable view of the page, marking it dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let frame = self.fetch(&mut inner, id)?;
-        inner.frames[frame].dirty = true;
-        Ok(f(&mut inner.frames[frame].page))
+        self.with_frame(id, |data| {
+            data.dirty = true;
+            f(&mut data.page)
+        })
     }
 
     /// Like [`BufferPool::with_page_mut`] but propagates the closure's own
@@ -149,152 +353,363 @@ impl BufferPool {
         id: PageId,
         f: impl FnOnce(&mut Page) -> Result<R>,
     ) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let frame = self.fetch(&mut inner, id)?;
-        let out = f(&mut inner.frames[frame].page);
-        if out.is_ok() {
-            inner.frames[frame].dirty = true;
-        }
-        out
+        self.with_frame(id, |data| {
+            let out = f(&mut data.page);
+            if out.is_ok() {
+                data.dirty = true;
+            }
+            out
+        })?
     }
 
     /// Write one page back if dirty.
     pub fn flush_page(&self, id: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if let Some(&frame) = inner.page_table.get(&id) {
-            if inner.frames[frame].dirty {
-                self.disk.write_page(id, inner.frames[frame].page.as_bytes())?;
-                inner.frames[frame].dirty = false;
+        let shard = self.shard_for(id);
+        let mut attempts = 0usize;
+        loop {
+            let mut inner = shard.inner.lock();
+            // An in-flight eviction write-back *is* the flush; wait for it.
+            if inner.flushing.contains_key(&id) {
+                drop(inner);
+                backoff(&mut attempts)?;
+                continue;
             }
+            let Some(&frame_id) = inner.page_table.get(&id) else {
+                return Ok(());
+            };
+            inner.pin(frame_id);
+            let frame = inner.frames[frame_id].clone();
+            drop(inner);
+
+            let mut data = frame.data.lock();
+            let out = if data.dirty && data.page_id == Some(id) {
+                let r = self.disk.write_page(id, data.page.as_bytes());
+                if r.is_ok() {
+                    data.dirty = false;
+                }
+                r
+            } else {
+                Ok(())
+            };
+            drop(data);
+            shard.inner.lock().unpin(frame_id);
+            return out;
         }
-        Ok(())
     }
 
     /// Write back every dirty page and sync the file.
     pub fn flush_all(&self) -> Result<()> {
-        {
-            let mut inner = self.inner.lock();
-            let dirty: Vec<(FrameId, PageId)> = inner
-                .frames
-                .iter()
-                .enumerate()
-                .filter_map(|(f, fr)| fr.page_id.filter(|_| fr.dirty).map(|id| (f, id)))
-                .collect();
-            for (frame, id) in dirty {
-                self.disk.write_page(id, inner.frames[frame].page.as_bytes())?;
-                inner.frames[frame].dirty = false;
+        for shard in &self.shards {
+            let resident: Vec<PageId> = {
+                let inner = shard.inner.lock();
+                inner
+                    .metas
+                    .iter()
+                    .filter_map(|m| m.page_id)
+                    .chain(inner.flushing.keys().copied())
+                    .collect()
+            };
+            for id in resident {
+                self.flush_page(id)?;
             }
         }
         self.disk.sync()
     }
 
-    /// Current statistics.
+    /// Current statistics, rolled up across shards.
     pub fn stats(&self) -> BufferStats {
-        let inner = self.inner.lock();
-        let resident: Vec<&Frame> = inner.frames.iter().filter(|f| f.page_id.is_some()).collect();
-        let dirty = resident.iter().filter(|f| f.dirty).count();
-        let mean_fragmentation = if resident.is_empty() {
-            0.0
-        } else {
-            resident.iter().map(|f| f.page.fragmentation()).sum::<f64>() / resident.len() as f64
+        let mut stats = BufferStats {
+            capacity: 0,
+            resident: 0,
+            dirty: 0,
+            pinned: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            shards: self.shards.len(),
+            mean_fragmentation: 0.0,
         };
-        BufferStats {
-            capacity: inner.frames.len(),
-            resident: resident.len(),
-            dirty,
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            mean_fragmentation,
+        let mut frag_sum = 0.0;
+        let mut frag_n = 0usize;
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.evictions += shard.evictions.load(Ordering::Relaxed);
+            let inner = shard.inner.lock();
+            stats.capacity += inner.frames.len();
+            for (meta, frame) in inner.metas.iter().zip(&inner.frames) {
+                if meta.page_id.is_none() {
+                    continue;
+                }
+                stats.resident += 1;
+                if meta.pins > 0 {
+                    stats.pinned += 1;
+                }
+                // Latch with try_lock only: a holder may be mid-I/O, and
+                // blocking here while holding the shard lock could deadlock
+                // against its unpin. Busy frames are skipped.
+                if let Some(data) = frame.data.try_lock() {
+                    if data.dirty {
+                        stats.dirty += 1;
+                    }
+                    if data.page_id == meta.page_id {
+                        frag_sum += data.page.fragmentation();
+                        frag_n += 1;
+                    }
+                }
+            }
         }
+        if frag_n > 0 {
+            stats.mean_fragmentation = frag_sum / frag_n as f64;
+        }
+        stats
+    }
+
+    /// Per-shard counters (stripe balance).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.inner.lock();
+                ShardStats {
+                    capacity: inner.frames.len(),
+                    resident: inner.metas.iter().filter(|m| m.page_id.is_some()).count(),
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
+                    evictions: shard.evictions.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 
     /// Shrink or grow the pool to `capacity` frames, flushing evicted
     /// pages. Used when the architecture adapts to resource pressure
     /// (paper Fig. 6: the Buffer Coordinator "advises the Buffer Manager
-    /// to adapt to the new situation").
+    /// to adapt to the new situation"). The shard count is fixed at
+    /// construction; capacity is redistributed across the stripes, each
+    /// keeping at least one frame.
     pub fn resize(&self, capacity: usize) -> Result<()> {
         self.flush_all()?;
-        let mut inner = self.inner.lock();
-        let policy_name = inner.policy.name();
-        let kind = PolicyKind::parse(policy_name)
-            .ok_or_else(|| ServiceError::Internal("unknown policy".into()))?;
-        let mut frames: Vec<Frame> = Vec::with_capacity(capacity);
-        let mut page_table = HashMap::with_capacity(capacity);
-        // Keep as many resident pages as fit.
-        let resident: Vec<Frame> = inner
-            .frames
-            .drain(..)
-            .filter(|f| f.page_id.is_some())
-            .take(capacity)
-            .collect();
-        for (idx, frame) in resident.into_iter().enumerate() {
-            page_table.insert(frame.page_id.unwrap(), idx);
-            frames.push(frame);
+        let caps = split_capacity(capacity.max(self.shards.len()), self.shards.len());
+        for (shard, new_cap) in self.shards.iter().zip(caps) {
+            let mut attempts = 0usize;
+            loop {
+                let mut inner = shard.inner.lock();
+                if inner.metas.iter().any(|m| m.pins > 0) || !inner.flushing.is_empty() {
+                    drop(inner);
+                    backoff(&mut attempts)?;
+                    continue;
+                }
+                let mut frames = Vec::with_capacity(new_cap);
+                let mut metas = Vec::with_capacity(new_cap);
+                let mut page_table = HashMap::with_capacity(new_cap);
+                for (frame, meta) in inner.frames.iter().zip(&inner.metas) {
+                    let Some(id) = meta.page_id else { continue };
+                    let mut data = frame
+                        .data
+                        .try_lock()
+                        .expect("unpinned frame latch must be free");
+                    if frames.len() < new_cap {
+                        page_table.insert(id, frames.len());
+                        frames.push(frame.clone());
+                        metas.push(FrameMeta {
+                            page_id: Some(id),
+                            pins: 0,
+                        });
+                    } else {
+                        // Dropped resident page: write back if it re-dirtied
+                        // after flush_all (shard is quiesced, so this rare
+                        // I/O under the shard lock cannot stall peers).
+                        if data.dirty && data.page_id == Some(id) {
+                            self.disk.write_page(id, data.page.as_bytes())?;
+                        }
+                        data.page_id = None;
+                        data.dirty = false;
+                    }
+                }
+                let mut policy = self.policy.build(new_cap);
+                for idx in 0..frames.len() {
+                    policy.on_access(idx);
+                }
+                let free_frames: Vec<FrameId> = (frames.len()..new_cap).rev().collect();
+                while frames.len() < new_cap {
+                    frames.push(Frame::empty());
+                    metas.push(FrameMeta {
+                        page_id: None,
+                        pins: 0,
+                    });
+                }
+                *inner = ShardInner {
+                    frames,
+                    metas,
+                    page_table,
+                    flushing: HashMap::new(),
+                    policy,
+                    free_frames,
+                };
+                break;
+            }
         }
-        let mut policy = kind.build(capacity);
-        for idx in 0..frames.len() {
-            policy.on_access(idx);
-        }
-        let free_frames = (frames.len()..capacity).rev().collect();
-        while frames.len() < capacity {
-            frames.push(Frame {
-                page: Page::new(),
-                page_id: None,
-                dirty: false,
-            });
-        }
-        *inner = PoolInner {
-            frames,
-            page_table,
-            policy,
-            free_frames,
-        };
         Ok(())
     }
 
-    fn fetch(&self, inner: &mut PoolInner, id: PageId) -> Result<FrameId> {
-        if let Some(&frame) = inner.page_table.get(&id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            inner.policy.on_access(frame);
-            return Ok(frame);
+    /// The core access path: pin the page's frame, latch it outside the
+    /// shard lock, load the page image if needed, run `f`, unpin.
+    fn with_frame<R>(&self, id: PageId, f: impl FnOnce(&mut FrameData) -> R) -> Result<R> {
+        let shard = self.shard_for(id);
+        let mut attempts = 0usize;
+        loop {
+            // Phase 1 (shard lock): map the page to a pinned frame.
+            let frame;
+            let frame_id;
+            let snapshot;
+            let mut writeback = None;
+            let mut latch = None;
+            {
+                let mut inner = shard.inner.lock();
+                if let Some(&hit) = inner.page_table.get(&id) {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    inner.policy.on_access(hit);
+                    inner.pin(hit);
+                    frame_id = hit;
+                    frame = inner.frames[hit].clone();
+                } else {
+                    let Some((claimed, displaced)) = inner.claim() else {
+                        drop(inner);
+                        backoff(&mut attempts)?;
+                        continue;
+                    };
+                    shard.misses.fetch_add(1, Ordering::Relaxed);
+                    frame_id = claimed;
+                    frame = inner.frames[claimed].clone();
+                    // Latch while still holding the shard lock so no later
+                    // pinner observes the frame before its load completes.
+                    // Never blocks: unpinned frames' latches are free.
+                    let mut data = frame
+                        .data
+                        .try_lock()
+                        .expect("claimed frame latch must be free");
+                    writeback = self.displace(shard, &mut inner, &mut data, displaced);
+                    data.page_id = None;
+                    inner.page_table.insert(id, claimed);
+                    inner.metas[claimed].page_id = Some(id);
+                    inner.policy.on_access(claimed);
+                    inner.pin(claimed);
+                    latch = Some(data);
+                }
+                snapshot = inner.flushing.get(&id).cloned();
+            }
+
+            // Phase 2 (no shard lock): drain the victim, load, run `f`.
+            let result = (|| {
+                if let Some((old_id, snap)) = writeback.take() {
+                    self.drain_writeback(shard, old_id, snap)?;
+                }
+                let mut data = match latch {
+                    Some(data) => data,
+                    None => frame.data.lock(),
+                };
+                if data.page_id != Some(id) {
+                    // First load, or a previous loader failed: any latch
+                    // holder may (re)load. The in-flight eviction snapshot,
+                    // when present, is newer than the disk image.
+                    let bytes;
+                    let image = match &snapshot {
+                        Some(snap) => snap.as_slice(),
+                        None => {
+                            bytes = self.disk.read_page(id)?;
+                            &bytes
+                        }
+                    };
+                    data.page = decode_page(image)?;
+                    data.page_id = Some(id);
+                    data.dirty = false;
+                }
+                Ok(f(&mut data))
+            })();
+            shard.inner.lock().unpin(frame_id);
+            return result;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let frame = self.obtain_frame(inner)?;
-        let bytes = self.disk.read_page(id)?;
-        let page = if bytes.iter().all(|&b| b == 0) {
-            // Never-written page: a fresh empty page (all-zero images have
-            // free_end == 0, which from_bytes rightly rejects).
-            Page::new()
-        } else {
-            Page::from_bytes(&bytes)?
-        };
-        inner.frames[frame] = Frame {
-            page,
-            page_id: Some(id),
-            dirty: false,
-        };
-        inner.page_table.insert(id, frame);
-        inner.policy.on_access(frame);
-        Ok(frame)
     }
 
-    fn obtain_frame(&self, inner: &mut PoolInner) -> Result<FrameId> {
-        if let Some(frame) = inner.free_frames.pop() {
-            return Ok(frame);
+    /// Record the eviction of `displaced` from a claimed frame, while the
+    /// shard lock and the frame latch are both held. Dirty bytes are
+    /// snapshotted into `flushing`; the caller must drain the returned
+    /// write-back *after* releasing the shard lock.
+    fn displace(
+        &self,
+        shard: &Shard,
+        inner: &mut ShardInner,
+        data: &mut FrameData,
+        displaced: Option<PageId>,
+    ) -> Option<(PageId, Arc<Vec<u8>>)> {
+        let old_id = displaced?;
+        shard.evictions.fetch_add(1, Ordering::Relaxed);
+        if !data.dirty || data.page_id != Some(old_id) {
+            return None;
         }
-        let victim = inner
-            .policy
-            .evict()
-            .ok_or_else(|| ServiceError::Storage("buffer pool exhausted".into()))?;
-        if let Some(old_id) = inner.frames[victim].page_id.take() {
-            if inner.frames[victim].dirty {
-                self.disk.write_page(old_id, inner.frames[victim].page.as_bytes())?;
-                inner.frames[victim].dirty = false;
+        data.dirty = false;
+        let snap = Arc::new(data.page.as_bytes().to_vec());
+        match inner.flushing.entry(old_id) {
+            // A writer is already draining this page: swap in the newer
+            // snapshot; that writer will notice and write again.
+            Entry::Occupied(mut e) => {
+                *e.get_mut() = snap;
+                None
             }
-            inner.page_table.remove(&old_id);
+            Entry::Vacant(e) => {
+                e.insert(snap.clone());
+                Some((old_id, snap))
+            }
         }
-        Ok(victim)
     }
+
+    /// Write `snap` back to disk, re-checking the `flushing` map until our
+    /// write was the newest snapshot. Exactly one writer runs per page.
+    fn drain_writeback(&self, shard: &Shard, id: PageId, mut snap: Arc<Vec<u8>>) -> Result<()> {
+        loop {
+            let result = self.disk.write_page(id, &snap);
+            let mut inner = shard.inner.lock();
+            if result.is_err() {
+                // Don't strand waiters on a permanently failed entry.
+                inner.flushing.remove(&id);
+                return result;
+            }
+            match inner.flushing.get(&id) {
+                Some(current) if Arc::ptr_eq(current, &snap) => {
+                    inner.flushing.remove(&id);
+                    return Ok(());
+                }
+                Some(current) => snap = current.clone(),
+                None => return Ok(()),
+            }
+        }
+    }
+}
+
+fn decode_page(bytes: &[u8]) -> Result<Page> {
+    if bytes.iter().all(|&b| b == 0) {
+        // Never-written page: a fresh empty page (all-zero images have
+        // free_end == 0, which from_bytes rightly rejects).
+        Ok(Page::new())
+    } else {
+        Page::from_bytes(bytes)
+    }
+}
+
+/// Yield-then-sleep retry for transiently exhausted shards (more
+/// concurrent pins than frames). Errors out after [`CLAIM_ATTEMPTS`].
+fn backoff(attempts: &mut usize) -> Result<()> {
+    *attempts += 1;
+    if *attempts >= CLAIM_ATTEMPTS {
+        return Err(ServiceError::Storage("buffer pool exhausted".into()));
+    }
+    if (*attempts).is_multiple_of(64) {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    } else {
+        std::thread::yield_now();
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -338,6 +753,7 @@ mod tests {
         }
         let stats = pool.stats();
         assert!(stats.misses >= 3, "capacity 2 must evict: {stats:?}");
+        assert!(stats.evictions >= 3, "displacements are counted: {stats:?}");
     }
 
     #[test]
@@ -449,5 +865,60 @@ mod tests {
         assert_eq!(pool.stats().dirty, 0);
         pool.try_with_page_mut(id, |p| p.insert(b"ok").map(|_| ())).unwrap();
         assert_eq!(pool.stats().dirty, 1);
+    }
+
+    #[test]
+    fn sharded_pool_spreads_pages_and_preserves_data() {
+        let dir = std::env::temp_dir().join("sbdms-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sharded-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let pool = BufferPool::new_sharded(
+            Arc::new(DiskManager::open(path).unwrap()),
+            32,
+            PolicyKind::Lru,
+            4,
+        );
+        assert_eq!(pool.shard_count(), 4);
+        assert_eq!(pool.stats().capacity, 32);
+        let ids: Vec<PageId> = (0..64)
+            .map(|i| {
+                let id = pool.new_page().unwrap();
+                pool.with_page_mut(id, |p| p.insert(format!("s{i}").as_bytes()).unwrap())
+                    .unwrap();
+                id
+            })
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let data = pool.with_page(*id, |p| p.get(0).unwrap().to_vec()).unwrap();
+            assert_eq!(data, format!("s{i}").as_bytes());
+        }
+        // 64 pages over 32 frames: more than one stripe must be in use.
+        let used = pool.shard_stats().iter().filter(|s| s.resident > 0).count();
+        assert!(used > 1, "pages should spread across shards: {:?}", pool.shard_stats());
+    }
+
+    #[test]
+    fn single_shard_matches_seed_semantics() {
+        let dir = std::env::temp_dir().join("sbdms-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("oneshard-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let pool = BufferPool::new_sharded(
+            Arc::new(DiskManager::open(path).unwrap()),
+            2,
+            PolicyKind::Lru,
+            1,
+        );
+        assert_eq!(pool.shard_count(), 1);
+        let ids: Vec<PageId> = (0..6).map(|_| pool.new_page().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            pool.with_page_mut(*id, |p| p.insert(format!("v{i}").as_bytes()).unwrap())
+                .unwrap();
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let data = pool.with_page(*id, |p| p.get(0).unwrap().to_vec()).unwrap();
+            assert_eq!(data, format!("v{i}").as_bytes());
+        }
     }
 }

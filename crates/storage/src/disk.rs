@@ -9,11 +9,26 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sbdms_kernel::error::{Result, ServiceError};
 
 use crate::page::{PageId, PAGE_SIZE};
+
+/// Which I/O a [`DiskManager`] hook observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// A page read.
+    Read,
+    /// A page write.
+    Write,
+}
+
+/// Observer invoked before each page I/O, *outside* the file lock.
+/// Tests use it to stall a chosen page's I/O and prove that no pool- or
+/// shard-wide lock is held across disk operations.
+pub type IoHook = Arc<dyn Fn(IoKind, PageId) + Send + Sync>;
 
 /// Maximum free-list entries the metadata page can hold.
 /// Layout of page 0: next_page_id u64 | free_count u64 | free entries u64…
@@ -27,6 +42,7 @@ pub struct DiskManager {
     free_list: Mutex<Vec<PageId>>,
     reads: AtomicU64,
     writes: AtomicU64,
+    io_hook: Mutex<Option<IoHook>>,
 }
 
 impl DiskManager {
@@ -68,6 +84,7 @@ impl DiskManager {
             free_list: Mutex::new(free_list),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            io_hook: Mutex::new(None),
         };
         dm.persist_meta()?;
         Ok(dm)
@@ -76,6 +93,19 @@ impl DiskManager {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Install (or clear) the per-I/O observer. The hook runs before the
+    /// file lock is taken, so it may block without serialising other I/O.
+    pub fn set_io_hook(&self, hook: Option<IoHook>) {
+        *self.io_hook.lock() = hook;
+    }
+
+    fn observe(&self, kind: IoKind, id: PageId) {
+        let hook = self.io_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(kind, id);
+        }
     }
 
     /// Allocate a page id, reusing freed pages first.
@@ -110,6 +140,7 @@ impl DiskManager {
             return Err(ServiceError::Storage("page 0 is reserved".into()));
         }
         self.reads.fetch_add(1, Ordering::Relaxed);
+        self.observe(IoKind::Read, id);
         let mut buf = vec![0u8; PAGE_SIZE];
         let mut file = self.file.lock();
         let offset = id * PAGE_SIZE as u64;
@@ -133,6 +164,7 @@ impl DiskManager {
             )));
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
+        self.observe(IoKind::Write, id);
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
         file.write_all(data)?;

@@ -25,8 +25,8 @@ pub mod replacement;
 pub mod services;
 pub mod wal;
 
-pub use buffer::{BufferPool, BufferStats};
-pub use disk::DiskManager;
+pub use buffer::{BufferPool, BufferStats, ShardStats};
+pub use disk::{DiskManager, IoHook, IoKind};
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};
 pub use replacement::PolicyKind;
 pub use services::{BufferService, DiskService, LogService, StorageEngine};

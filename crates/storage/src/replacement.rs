@@ -23,6 +23,10 @@ pub trait ReplacementPolicy: Send {
     fn on_unpinned(&mut self, frame: FrameId);
     /// Choose an unpinned victim, or `None` when everything is pinned.
     fn evict(&mut self) -> Option<FrameId>;
+    /// A frame was emptied outside eviction (its page was dropped) and
+    /// returned to the free list: forget it, so it is not picked as a
+    /// victim while also being handed out from the free list.
+    fn on_freed(&mut self, _frame: FrameId) {}
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -66,6 +70,11 @@ impl ReplacementPolicy for LruPolicy {
         self.last_access.remove(&victim);
         self.pinned.remove(&victim);
         Some(victim)
+    }
+
+    fn on_freed(&mut self, frame: FrameId) {
+        self.last_access.remove(&frame);
+        self.pinned.remove(&frame);
     }
 
     fn name(&self) -> &'static str {
@@ -135,6 +144,14 @@ impl ReplacementPolicy for ClockPolicy {
             }
         }
         None
+    }
+
+    fn on_freed(&mut self, frame: FrameId) {
+        if frame < self.present.len() {
+            self.present[frame] = false;
+            self.reference[frame] = false;
+            self.pinned[frame] = false;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -231,6 +248,23 @@ mod tests {
     fn clock_empty_pool() {
         let mut p = ClockPolicy::new(0);
         assert_eq!(p.evict(), None);
+    }
+
+    #[test]
+    fn freed_frames_are_forgotten() {
+        let mut p = LruPolicy::new();
+        p.on_access(0);
+        p.on_access(1);
+        p.on_freed(0);
+        assert_eq!(p.evict(), Some(1));
+        assert_eq!(p.evict(), None);
+
+        let mut c = ClockPolicy::new(2);
+        c.on_access(0);
+        c.on_access(1);
+        c.on_freed(1);
+        assert_eq!(c.evict(), Some(0));
+        assert_eq!(c.evict(), None);
     }
 
     #[test]

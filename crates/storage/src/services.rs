@@ -291,8 +291,11 @@ impl Service for BufferService {
                     .with("capacity", s.capacity)
                     .with("resident", s.resident)
                     .with("dirty", s.dirty)
+                    .with("pinned", s.pinned)
                     .with("hits", s.hits)
                     .with("misses", s.misses)
+                    .with("evictions", s.evictions)
+                    .with("shards", s.shards)
                     .with("hit_ratio", s.hit_ratio())
                     .with("mean_fragmentation", s.mean_fragmentation))
             }
@@ -391,10 +394,32 @@ impl StorageEngine {
         buffer_frames: usize,
         policy: crate::replacement::PolicyKind,
     ) -> Result<StorageEngine> {
-        let dir = dir.as_ref();
+        StorageEngine::open_inner(dir.as_ref(), buffer_frames, policy, None)
+    }
+
+    /// Like [`open`](StorageEngine::open) but with an explicit buffer
+    /// pool shard count (lock stripes for concurrent access).
+    pub fn open_sharded(
+        dir: impl AsRef<std::path::Path>,
+        buffer_frames: usize,
+        policy: crate::replacement::PolicyKind,
+        shards: usize,
+    ) -> Result<StorageEngine> {
+        StorageEngine::open_inner(dir.as_ref(), buffer_frames, policy, Some(shards))
+    }
+
+    fn open_inner(
+        dir: &std::path::Path,
+        buffer_frames: usize,
+        policy: crate::replacement::PolicyKind,
+        shards: Option<usize>,
+    ) -> Result<StorageEngine> {
         std::fs::create_dir_all(dir)?;
         let disk = Arc::new(DiskManager::open(dir.join("data.db"))?);
-        let buffer = Arc::new(BufferPool::new(disk.clone(), buffer_frames, policy));
+        let buffer = Arc::new(match shards {
+            Some(n) => BufferPool::new_sharded(disk.clone(), buffer_frames, policy, n),
+            None => BufferPool::new(disk.clone(), buffer_frames, policy),
+        });
         let wal = Arc::new(Wal::open(dir.join("wal.log"))?);
         Ok(StorageEngine { disk, buffer, wal })
     }
