@@ -349,6 +349,95 @@ impl BTree {
         }
     }
 
+    /// Structural validation, for crash-recovery checks: every node
+    /// decodes, entries are sorted within nodes and bounded by their
+    /// parent separators, all leaves sit at the same depth, and the leaf
+    /// sibling chain visits exactly the leaves of the tree in order.
+    pub fn validate(&self) -> Result<()> {
+        let root = *self.root.lock();
+        let mut leaves: Vec<(PageId, PageId)> = Vec::new();
+        self.validate_rec(root, None, None, &mut leaves)?;
+        for pair in leaves.windows(2) {
+            if pair[0].1 != pair[1].0 {
+                return Err(ServiceError::Storage(format!(
+                    "btree leaf chain broken: leaf {} links to {}, expected {}",
+                    pair[0].0, pair[0].1, pair[1].0
+                )));
+            }
+        }
+        if let Some(&(last, next)) = leaves.last() {
+            if next != 0 {
+                return Err(ServiceError::Storage(format!(
+                    "btree leaf chain unterminated: last leaf {last} links to {next}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the subtree depth; collects `(leaf page, next)` pairs
+    /// left-to-right. `lo`/`hi` are the separator bounds inherited from
+    /// ancestors: every entry must satisfy `lo <= e < hi`.
+    fn validate_rec(
+        &self,
+        page: PageId,
+        lo: Option<&Entry>,
+        hi: Option<&Entry>,
+        leaves: &mut Vec<(PageId, PageId)>,
+    ) -> Result<usize> {
+        let in_bounds = |e: &Entry| {
+            lo.map(|b| b.cmp(e) != Ordering::Greater).unwrap_or(true)
+                && hi.map(|b| e.cmp(b) == Ordering::Less).unwrap_or(true)
+        };
+        let sorted = |entries: &[Entry]| {
+            entries
+                .windows(2)
+                .all(|w| w[0].cmp(&w[1]) == Ordering::Less)
+        };
+        match self.read_node(page)? {
+            Node::Leaf { entries, next } => {
+                if !sorted(&entries) {
+                    return Err(ServiceError::Storage(format!(
+                        "btree leaf {page}: entries out of order"
+                    )));
+                }
+                if !entries.iter().all(in_bounds) {
+                    return Err(ServiceError::Storage(format!(
+                        "btree leaf {page}: entry violates separator bounds"
+                    )));
+                }
+                leaves.push((page, next));
+                Ok(1)
+            }
+            Node::Internal { seps, children } => {
+                if children.len() != seps.len() + 1 || seps.is_empty() {
+                    return Err(ServiceError::Storage(format!(
+                        "btree node {page}: {} separators / {} children",
+                        seps.len(),
+                        children.len()
+                    )));
+                }
+                if !sorted(&seps) || !seps.iter().all(in_bounds) {
+                    return Err(ServiceError::Storage(format!(
+                        "btree node {page}: separators out of order or out of bounds"
+                    )));
+                }
+                let mut depth = None;
+                for (i, &child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&seps[i - 1]) };
+                    let child_hi = if i == seps.len() { hi } else { Some(&seps[i]) };
+                    let d = self.validate_rec(child, child_lo, child_hi, leaves)?;
+                    if *depth.get_or_insert(d) != d {
+                        return Err(ServiceError::Storage(format!(
+                            "btree node {page}: leaves at unequal depth"
+                        )));
+                    }
+                }
+                Ok(depth.unwrap_or(0) + 1)
+            }
+        }
+    }
+
     fn insert_rec(&self, page: PageId, entry: &Entry) -> Result<Option<(Entry, PageId)>> {
         match self.read_node(page)? {
             Node::Leaf { mut entries, next } => {
@@ -607,6 +696,49 @@ mod tests {
         assert!(!t.delete(&Datum::Int(3), rid(3)).unwrap(), "already gone");
         assert!(!t.delete(&Datum::Int(99), rid(0)).unwrap(), "never existed");
         assert_eq!(t.len().unwrap(), 49);
+    }
+
+    #[test]
+    fn validate_accepts_live_trees() {
+        let t = btree("validate-ok");
+        t.validate().unwrap(); // empty tree
+        for i in 0..2000i64 {
+            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+        }
+        assert!(t.height().unwrap() >= 2);
+        t.validate().unwrap();
+        for i in (0..2000i64).step_by(3) {
+            t.delete(&Datum::Int(i), rid(i as u64)).unwrap();
+        }
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_root() {
+        let dir = std::env::temp_dir()
+            .join("sbdms-btree-tests")
+            .join(format!("validate-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = StorageEngine::open(&dir, 64, PolicyKind::Lru).unwrap();
+        let t = BTree::create(engine.buffer.clone()).unwrap();
+        for i in 0..100i64 {
+            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+        }
+        // Clobber the root node's record with garbage.
+        let root = {
+            let meta = t.meta_page();
+            engine
+                .buffer
+                .with_page(meta, |p| {
+                    u64::from_le_bytes(p.get(0).unwrap().try_into().unwrap())
+                })
+                .unwrap()
+        };
+        engine
+            .buffer
+            .try_with_page_mut(root, |p| p.update(0, &[9u8; 16]))
+            .unwrap();
+        assert!(t.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! E10: crash recovery and durability overheads.
+//!
+//! Two groups:
+//! * recovery — time to reopen a crashed database as the WAL grows
+//!   (scan + undo of the in-flight tail); setup is excluded from the
+//!   measurement via `iter_custom`.
+//! * crc32 — the table-driven checksum against the bitwise reference it
+//!   replaced, per 64 KiB of WAL payload.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms_bench::experiments::{e10_crashed_sim, e10_crc_throughput, e10_recover};
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_recovery");
+    group.sample_size(10);
+    for committed in [4usize, 32, 128] {
+        group.bench_function(format!("{committed}-txn-wal"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (sim, _) = e10_crashed_sim(committed, 4);
+                    let (elapsed, rows) = e10_recover(&sim);
+                    assert_eq!(rows as usize, committed * 4);
+                    total += elapsed;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_crc32");
+    for (label, table_driven) in [("table", true), ("bitwise", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(e10_crc_throughput(table_driven, 64 << 10, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery, bench_crc);
+criterion_main!(benches);

@@ -143,6 +143,21 @@ pub enum Profile {
     Embedded,
 }
 
+/// Which storage device the deployment runs on. Any profile can run on
+/// either: the torture suite deploys full architectures onto the
+/// deterministic simulator to crash them reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Real files under [`ArchitectureConfig::data_dir`] (the default).
+    File,
+    /// The in-memory deterministic simulation backend with seeded fault
+    /// injection (`sbdms_storage::sim`); `data_dir` is ignored.
+    Sim {
+        /// Seed for every fault decision the device makes.
+        seed: u64,
+    },
+}
+
 /// Full configuration for the setup phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArchitectureConfig {
@@ -173,6 +188,8 @@ pub struct ArchitectureConfig {
     pub enforce_policies: bool,
     /// Resilient invocation tuning.
     pub resilience: ResilienceConfig,
+    /// Storage device: real files or the deterministic simulator.
+    pub storage_mode: StorageMode,
 }
 
 impl ArchitectureConfig {
@@ -205,6 +222,7 @@ impl ArchitectureConfig {
                     breaker_cooldown_calls: 8,
                     hedge_on_degraded: true,
                 },
+                storage_mode: StorageMode::File,
             },
             Profile::Embedded => ArchitectureConfig {
                 data_dir: data_dir.into(),
@@ -233,6 +251,7 @@ impl ArchitectureConfig {
                     breaker_cooldown_calls: 4,
                     hedge_on_degraded: false,
                 },
+                storage_mode: StorageMode::File,
             },
         }
     }
@@ -282,6 +301,13 @@ impl ArchitectureConfig {
     /// Builder: override the resilience tuning.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> ArchitectureConfig {
         self.resilience = resilience;
+        self
+    }
+
+    /// Builder: deploy onto the deterministic simulation backend with the
+    /// given fault seed instead of real files. `data_dir` is ignored.
+    pub fn with_sim_storage(mut self, seed: u64) -> ArchitectureConfig {
+        self.storage_mode = StorageMode::Sim { seed };
         self
     }
 }
@@ -345,5 +371,13 @@ mod tests {
         assert_eq!(c.parallelism, 1);
         assert_eq!(c.sort_budget, 1);
         assert_eq!(c.plan_cache, 7);
+    }
+
+    #[test]
+    fn storage_mode_defaults_to_file_and_sim_is_opt_in() {
+        let c = ArchitectureConfig::for_profile(Profile::Embedded, "/tmp/x");
+        assert_eq!(c.storage_mode, StorageMode::File);
+        let sim = c.with_sim_storage(42);
+        assert_eq!(sim.storage_mode, StorageMode::Sim { seed: 42 });
     }
 }

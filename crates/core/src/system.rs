@@ -103,17 +103,22 @@ impl Sbdms {
     /// Run the setup phase: open storage, compose and deploy the selected
     /// services over the configured binding, wire coordination.
     pub fn deploy(config: ArchitectureConfig) -> Result<Sbdms> {
-        let db = Arc::new(Database::open_opts(
-            &config.data_dir,
-            DbOptions {
-                buffer_frames: config.buffer_frames,
-                replacement: config.replacement,
-                buffer_shards: config.buffer_shards,
-                sort_budget: config.sort_budget,
-                parallelism: config.parallelism,
-                plan_cache_capacity: config.plan_cache,
-            },
-        )?);
+        let opts = DbOptions {
+            buffer_frames: config.buffer_frames,
+            replacement: config.replacement,
+            buffer_shards: config.buffer_shards,
+            sort_budget: config.sort_budget,
+            parallelism: config.parallelism,
+            plan_cache_capacity: config.plan_cache,
+        };
+        let db = Arc::new(match config.storage_mode {
+            crate::config::StorageMode::File => Database::open_opts(&config.data_dir, opts)?,
+            crate::config::StorageMode::Sim { seed } => {
+                let backend =
+                    sbdms_storage::SimBackend::new(sbdms_storage::SimConfig::seeded(seed));
+                Database::open_at(&*backend, opts)?
+            }
+        });
         let bus = ServiceBus::new();
         bus.set_enforce_policies(config.enforce_policies);
         bus.resilience().set_enabled(config.resilience.enabled);
@@ -677,6 +682,22 @@ mod tests {
         let config = ArchitectureConfig::for_profile(Profile::Embedded, data_dir("sca-invalid"))
             .with_services(services);
         assert!(Sbdms::deploy(config).is_err());
+    }
+
+    #[test]
+    fn any_profile_deploys_on_the_sim_backend() {
+        // The storage-mode knob: the same architecture configurations,
+        // but every byte lives in the deterministic simulator.
+        for profile in [Profile::FullFledged, Profile::Embedded] {
+            let config =
+                ArchitectureConfig::for_profile(profile, data_dir("sim")).with_sim_storage(7);
+            let system = Sbdms::deploy(config).unwrap();
+            system.execute_sql("CREATE TABLE t (x INT)").unwrap();
+            system.execute_sql("INSERT INTO t VALUES (1), (2)").unwrap();
+            let out = system.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+            let rows = out.get("rows").unwrap().as_list().unwrap();
+            assert_eq!(rows[0].as_list().unwrap()[0], Value::Int(2));
+        }
     }
 
     #[test]

@@ -126,6 +126,31 @@ impl Database {
             }
             None => StorageEngine::open(dir, opts.buffer_frames, opts.replacement)?,
         };
+        Database::from_engine(engine, opts)
+    }
+
+    /// Open over an arbitrary storage backend — the reopen path the
+    /// crash torture suite drives against the deterministic sim device.
+    /// Runs crash recovery exactly like the directory-based opens.
+    pub fn open_at(backend: &dyn sbdms_storage::backend::StorageBackend, opts: DbOptions) -> Result<Database> {
+        let engine = StorageEngine::open_with_backend(
+            backend,
+            opts.buffer_frames,
+            opts.replacement,
+            opts.buffer_shards,
+        )?;
+        Database::from_engine(engine, opts)
+    }
+
+    fn from_engine(engine: StorageEngine, opts: DbOptions) -> Result<Database> {
+        // The write-ahead rule: before any dirty data page is written
+        // back (commit force or steal eviction), sync the WAL so the
+        // undo records covering that page are durable first. The hook is
+        // a no-op when the log is already synced.
+        let wal = engine.wal.clone();
+        engine
+            .buffer
+            .set_write_hook(Some(Arc::new(move || wal.sync())));
         let catalog = Catalog::open(engine.buffer.clone())?;
         let txns = TransactionManager::new(engine.wal.clone(), engine.buffer.clone());
         let db = Database {
@@ -139,7 +164,18 @@ impl Database {
             sort_budget: opts.sort_budget.max(1),
             parallelism: opts.parallelism.max(1),
         };
-        db.txns.recover(&DbResolver { db: &db })?;
+        let rolled_back = db.txns.recover(&DbResolver { db: &db })?;
+        if !rolled_back.is_empty() {
+            // Steal write-back makes heap and index pages independently
+            // durable: an index entry can persist while its heap row's
+            // write was lost (or the reverse). Value-based undo restores
+            // the heap; the indexes are rebuilt from it wholesale.
+            for name in db.catalog.table_names() {
+                let mut t = Table::open(&db.catalog, &name)?;
+                t.rebuild_indexes(&db.catalog)?;
+            }
+            db.engine.buffer.flush_all()?;
+        }
         Ok(db)
     }
 

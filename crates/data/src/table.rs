@@ -177,6 +177,85 @@ impl Table {
         Ok(())
     }
 
+    /// Consistency check for crash recovery: every heap row decodes and
+    /// passes the schema, every index is structurally valid, and each
+    /// index's entry set is exactly the heap's `(column value, rid)` set.
+    pub fn validate(&self) -> Result<()> {
+        let rows = self.scan()?;
+        for (rid, row) in &rows {
+            self.meta.schema.validate(row.clone()).map_err(|e| {
+                ServiceError::Storage(format!(
+                    "table `{}`: row at {rid:?} fails schema: {e}",
+                    self.meta.name
+                ))
+            })?;
+        }
+        for (im, tree) in &self.indexes {
+            tree.validate()?;
+            let col = self.column_index(&im.column)?;
+            let entries = tree.range(None, None, true)?;
+            if entries.len() != rows.len() {
+                return Err(ServiceError::Storage(format!(
+                    "index `{}` on `{}` has {} entries for {} rows",
+                    im.name,
+                    self.meta.name,
+                    entries.len(),
+                    rows.len()
+                )));
+            }
+            let by_rid: std::collections::HashMap<Rid, &Tuple> =
+                rows.iter().map(|(rid, row)| (*rid, row)).collect();
+            for (key, rid) in entries {
+                match by_rid.get(&rid) {
+                    Some(row) if row[col] == key => {}
+                    Some(_) => {
+                        return Err(ServiceError::Storage(format!(
+                            "index `{}` on `{}`: stale key for {rid:?}",
+                            im.name, self.meta.name
+                        )))
+                    }
+                    None => {
+                        return Err(ServiceError::Storage(format!(
+                            "index `{}` on `{}`: dangling entry {rid:?}",
+                            im.name, self.meta.name
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild every index from the heap, repointing the catalog at the
+    /// fresh trees. Used after crash recovery rolled transactions back:
+    /// a stolen index page may have persisted while the matching heap
+    /// write did not (or vice versa), leaving stale or dangling entries
+    /// that incremental maintenance cannot see. The old trees' pages are
+    /// leaked rather than freed — recovery may crash again, and a freed
+    /// page that the durable catalog still references would be worse
+    /// than a space leak (the next checkpoint's fresh baseline bounds it).
+    pub fn rebuild_indexes(&mut self, catalog: &Catalog) -> Result<()> {
+        if self.indexes.is_empty() {
+            return Ok(());
+        }
+        let rows = self.scan()?;
+        let mut rebuilt = Vec::with_capacity(self.indexes.len());
+        for (im, _) in &self.indexes {
+            let col = self.column_index(&im.column)?;
+            let tree = BTree::create(self.buffer.clone())?;
+            for (rid, row) in &rows {
+                tree.insert(&row[col], *rid)?;
+            }
+            let mut im = im.clone();
+            im.meta_page = tree.meta_page();
+            rebuilt.push((im, tree));
+        }
+        self.meta.indexes = rebuilt.iter().map(|(im, _)| im.clone()).collect();
+        catalog.update_table(self.meta.clone())?;
+        self.indexes = rebuilt;
+        Ok(())
+    }
+
     /// Destroy the table's storage and remove it from the catalog.
     pub fn drop(self, catalog: &Catalog) -> Result<()> {
         catalog.drop_table(&self.meta.name)?;

@@ -29,10 +29,12 @@ use crate::table::Table;
 /// Transaction identifier.
 pub type TxnId = u64;
 
-/// WAL record kinds.
-const KIND_DATA: u8 = 1;
-const KIND_COMMIT: u8 = 2;
-const KIND_ABORT: u8 = 3;
+/// WAL record kind: an undo-logged data change (JSON payload).
+pub const KIND_DATA: u8 = 1;
+/// WAL record kind: transaction commit (payload: `TxnId` LE bytes).
+pub const KIND_COMMIT: u8 = 2;
+/// WAL record kind: transaction abort (payload: `TxnId` LE bytes).
+pub const KIND_ABORT: u8 = 3;
 
 /// Durability level at commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,15 +154,27 @@ impl TransactionManager {
     }
 
     /// Commit: append the commit record and apply the durability policy.
+    ///
+    /// Under [`Durability::Full`] the order is force-then-commit: all
+    /// dirty pages are flushed *first* (each write-back syncs the undo
+    /// records ahead of it via the buffer pool's write hook), then the
+    /// commit record is appended and the WAL synced. The commit-record
+    /// sync is the single durability point: a crash anywhere before it
+    /// leaves no commit record, and recovery rolls the transaction back
+    /// from its durable undo records. On error the transaction stays
+    /// active, so the caller may still roll back.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        if self.active.lock().remove(&txn).is_none() {
+        if !self.active.lock().contains_key(&txn) {
             return Err(ServiceError::Transaction(format!("txn {txn} is not active")));
         }
-        self.wal.append(KIND_COMMIT, &txn.to_le_bytes())?;
         if self.durability() == Durability::Full {
-            self.wal.sync()?;
             self.buffer.flush_all()?;
+            self.wal.append(KIND_COMMIT, &txn.to_le_bytes())?;
+            self.wal.sync()?;
+        } else {
+            self.wal.append(KIND_COMMIT, &txn.to_le_bytes())?;
         }
+        self.active.lock().remove(&txn);
         Ok(())
     }
 
@@ -171,7 +185,7 @@ impl TransactionManager {
             .lock()
             .remove(&txn)
             .ok_or_else(|| ServiceError::Transaction(format!("txn {txn} is not active")))?;
-        apply_undo(&undo, resolver)?;
+        apply_undo(&undo, resolver, UndoStrictness::Strict)?;
         self.wal.append(KIND_ABORT, &txn.to_le_bytes())?;
         Ok(())
     }
@@ -203,9 +217,12 @@ impl TransactionManager {
         }
         let mut rolled_back: Vec<TxnId> = pending.keys().copied().collect();
         rolled_back.sort_unstable();
-        // Undo in reverse txn order, each txn's ops in reverse.
+        // Undo in reverse txn order, each txn's ops in reverse. Lenient:
+        // after a crash, any suffix of the logged page effects may be
+        // missing from disk, so each undo applies only where its effect
+        // actually persisted.
         for txn in rolled_back.iter().rev() {
-            apply_undo(&pending[txn], resolver)?;
+            apply_undo(&pending[txn], resolver, UndoStrictness::Lenient)?;
         }
         self.next_txn.store(max_txn + 1, Ordering::SeqCst);
         // Checkpoint: recovered state is the new baseline.
@@ -238,7 +255,30 @@ fn find_equal(t: &Table, target: &Tuple) -> Result<Option<Rid>> {
     Ok(None)
 }
 
-fn apply_undo(undo: &[UndoOp], resolver: &dyn TableResolver) -> Result<()> {
+/// How [`apply_undo`] treats a logged effect whose on-disk trace is
+/// absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UndoStrictness {
+    /// Live rollback: every logged effect is in the buffer pool, so a
+    /// missing row is a logic error.
+    Strict,
+    /// Crash recovery: a logged effect may never have reached disk
+    /// (steal writes are best-effort until commit), so undo restores
+    /// from whatever actually persisted. Sound for workloads whose
+    /// rows are distinct (see DESIGN.md §4e on the multiset caveat).
+    Lenient,
+}
+
+fn apply_undo(undo: &[UndoOp], resolver: &dyn TableResolver, strictness: UndoStrictness) -> Result<()> {
+    match strictness {
+        UndoStrictness::Strict => apply_undo_strict(undo, resolver),
+        UndoStrictness::Lenient => apply_undo_recovery(undo, resolver),
+    }
+}
+
+/// Live rollback: every effect is present in the buffer pool, so each
+/// op is reverted exactly, in reverse order.
+fn apply_undo_strict(undo: &[UndoOp], resolver: &dyn TableResolver) -> Result<()> {
     for op in undo.iter().rev() {
         match op {
             UndoOp::Insert { table, row } => {
@@ -271,6 +311,114 @@ fn apply_undo(undo: &[UndoOp], resolver: &dyn TableResolver) -> Result<()> {
                     }
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// One logical row's history inside a single transaction: the image
+/// the transaction found (`pre`, `None` for a fresh insert) and every
+/// image it put in the row's heap slot along the way.
+struct UndoChain {
+    table: String,
+    pre: Option<Vec<u8>>,
+    /// The latest image (`None` once the chain ends in a delete); used
+    /// only while composing, to link the next op onto this chain.
+    cur: Option<Vec<u8>>,
+    images: Vec<Vec<u8>>,
+}
+
+/// Crash recovery: undo per row *chain*, not per op.
+///
+/// After a power loss, any prefix of a transaction's effects on one
+/// row may have persisted — the durable heap shows exactly one image
+/// of the chain (or none), because a chain occupies a single heap slot
+/// and page writes are atomic. Per-op reverse undo mis-infers here:
+/// seeing `update a→b; delete b` with neither persisted, a lenient
+/// delete-undo would re-insert `b` ("it is absent, so the delete must
+/// have stuck") and the update-undo would then turn it into a second
+/// copy of `a`. Composing each chain first and restoring its pre-image
+/// over whichever image actually survived is immune to that.
+fn apply_undo_recovery(undo: &[UndoOp], resolver: &dyn TableResolver) -> Result<()> {
+    // Compose ops (forward order) into per-row chains. Linking is by
+    // exact image bytes: an op whose `old` matches a live chain's
+    // latest image continues that chain, anything else starts one.
+    let mut chains: Vec<UndoChain> = Vec::new();
+    fn link(chains: &mut [UndoChain], table: &str, old: &[u8]) -> Option<usize> {
+        chains
+            .iter()
+            .rposition(|c| c.table == table && c.cur.as_deref() == Some(old))
+    }
+    for op in undo {
+        match op {
+            UndoOp::Insert { table, row } => chains.push(UndoChain {
+                table: table.clone(),
+                pre: None,
+                cur: Some(row.clone()),
+                images: vec![row.clone()],
+            }),
+            UndoOp::Update { table, old, new } => match link(&mut chains, table, old) {
+                Some(i) => {
+                    chains[i].cur = Some(new.clone());
+                    chains[i].images.push(new.clone());
+                }
+                None => chains.push(UndoChain {
+                    table: table.clone(),
+                    pre: Some(old.clone()),
+                    cur: Some(new.clone()),
+                    images: vec![old.clone(), new.clone()],
+                }),
+            },
+            UndoOp::Delete { table, old } => match link(&mut chains, table, old) {
+                Some(i) => chains[i].cur = None,
+                None => chains.push(UndoChain {
+                    table: table.clone(),
+                    pre: Some(old.clone()),
+                    cur: None,
+                    images: vec![old.clone()],
+                }),
+            },
+        }
+    }
+    // Undo each chain: locate whichever of its images persisted and
+    // put the pre-image back in its place.
+    for chain in chains.iter().rev() {
+        let t = resolver.resolve(&chain.table)?;
+        let images: Vec<Tuple> = chain
+            .images
+            .iter()
+            .map(|b| sbdms_access::record::decode_tuple(b))
+            .collect::<Result<_>>()?;
+        let mut found: Option<(Rid, Tuple)> = None;
+        for (rid, row) in t.scan()? {
+            if images.contains(&row) {
+                found = Some((rid, row));
+                break;
+            }
+        }
+        let pre: Option<Tuple> = chain
+            .pre
+            .as_ref()
+            .map(|b| sbdms_access::record::decode_tuple(b))
+            .transpose()?;
+        match (pre, found) {
+            // Some mid-chain image stuck: restore the pre-image over it.
+            (Some(pre), Some((rid, row))) => {
+                if row != pre {
+                    t.update(rid, pre)?;
+                }
+            }
+            // The row vanished (its delete persisted, or the slot's
+            // page never made it): put the pre-image back.
+            (Some(pre), None) => {
+                t.insert(pre)?;
+            }
+            // Fresh insert whose image stuck: remove it.
+            (None, Some((rid, _))) => {
+                t.delete(rid)?;
+            }
+            // Fresh insert that never persisted: nothing to undo.
+            (None, None) => {}
         }
     }
     Ok(())

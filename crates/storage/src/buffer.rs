@@ -195,12 +195,20 @@ pub struct ShardStats {
     pub evictions: u64,
 }
 
+/// Hook invoked before every dirty-page write-back. The transaction
+/// layer installs `wal.sync` here so the write-ahead rule holds even for
+/// evictions: no data page reaches disk before the undo records that
+/// would revert it are durable. Must be cheap when there is nothing to
+/// do — it runs on every write-back.
+pub type WriteHook = Arc<dyn Fn() -> Result<()> + Send + Sync>;
+
 /// A fixed-capacity page cache with pluggable replacement, striped into
 /// independently locked shards.
 pub struct BufferPool {
     disk: Arc<DiskManager>,
     shards: Vec<Shard>,
     policy: PolicyKind,
+    write_hook: Mutex<Option<WriteHook>>,
 }
 
 /// Retries of the claim loop before giving up on a fully pinned shard.
@@ -236,12 +244,28 @@ impl BufferPool {
             disk,
             shards: caps.into_iter().map(|c| Shard::new(c, policy)).collect(),
             policy,
+            write_hook: Mutex::new(None),
         }
     }
 
     /// The underlying disk manager.
     pub fn disk(&self) -> &Arc<DiskManager> {
         &self.disk
+    }
+
+    /// Install (or clear) the pre-write-back hook (see [`WriteHook`]).
+    pub fn set_write_hook(&self, hook: Option<WriteHook>) {
+        *self.write_hook.lock() = hook;
+    }
+
+    /// Write a page image to disk, running the write-ahead hook first.
+    /// Every dirty write-back path funnels through here.
+    fn write_back(&self, id: PageId, bytes: &[u8]) -> Result<()> {
+        let hook = self.write_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook()?;
+        }
+        self.disk.write_page(id, bytes)
     }
 
     /// Number of lock stripes.
@@ -383,7 +407,7 @@ impl BufferPool {
 
             let mut data = frame.data.lock();
             let out = if data.dirty && data.page_id == Some(id) {
-                let r = self.disk.write_page(id, data.page.as_bytes());
+                let r = self.write_back(id, data.page.as_bytes());
                 if r.is_ok() {
                     data.dirty = false;
                 }
@@ -521,7 +545,7 @@ impl BufferPool {
                         // after flush_all (shard is quiesced, so this rare
                         // I/O under the shard lock cannot stall peers).
                         if data.dirty && data.page_id == Some(id) {
-                            self.disk.write_page(id, data.page.as_bytes())?;
+                            self.write_back(id, data.page.as_bytes())?;
                         }
                         data.page_id = None;
                         data.dirty = false;
@@ -668,7 +692,7 @@ impl BufferPool {
     /// write was the newest snapshot. Exactly one writer runs per page.
     fn drain_writeback(&self, shard: &Shard, id: PageId, mut snap: Arc<Vec<u8>>) -> Result<()> {
         loop {
-            let result = self.disk.write_page(id, &snap);
+            let result = self.write_back(id, &snap);
             let mut inner = shard.inner.lock();
             if result.is_err() {
                 // Don't strand waiters on a permanently failed entry.
@@ -896,6 +920,50 @@ mod tests {
         // 64 pages over 32 frames: more than one stripe must be in use.
         let used = pool.shard_stats().iter().filter(|s| s.resident > 0).count();
         assert!(used > 1, "pages should spread across shards: {:?}", pool.shard_stats());
+    }
+
+    #[test]
+    fn write_hook_runs_before_every_write_back() {
+        let pool = Arc::new(pool("hook", 2, PolicyKind::Lru));
+        let hook_calls = Arc::new(AtomicU64::new(0));
+        let calls = hook_calls.clone();
+        pool.set_write_hook(Some(Arc::new(move || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })));
+        // Dirty more pages than frames: evictions must invoke the hook.
+        let ids: Vec<PageId> = (0..6)
+            .map(|i| {
+                let id = pool.new_page().unwrap();
+                pool.with_page_mut(id, |p| p.insert(format!("h{i}").as_bytes()).unwrap())
+                    .unwrap();
+                id
+            })
+            .collect();
+        assert!(
+            hook_calls.load(Ordering::SeqCst) > 0,
+            "eviction write-back skipped the hook"
+        );
+        let before_flush = hook_calls.load(Ordering::SeqCst);
+        pool.flush_page(ids[5]).unwrap();
+        assert!(hook_calls.load(Ordering::SeqCst) > before_flush);
+        // The hook's writes-so-far never lag the disk's: at every moment
+        // hook calls >= page writes (ignoring the disk's metadata page).
+        let (_, writes) = pool.disk().io_counts();
+        assert!(hook_calls.load(Ordering::SeqCst) <= writes * 2);
+    }
+
+    #[test]
+    fn write_hook_failure_aborts_write_back() {
+        let pool = pool("hookfail", 4, PolicyKind::Lru);
+        let id = pool.new_page().unwrap();
+        pool.with_page_mut(id, |p| p.insert(b"x").unwrap()).unwrap();
+        pool.set_write_hook(Some(Arc::new(|| {
+            Err(ServiceError::Storage("wal not durable".into()))
+        })));
+        assert!(pool.flush_page(id).is_err());
+        pool.set_write_hook(None);
+        pool.flush_page(id).unwrap();
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!
 //! * [`page`]: slotted pages with insert/get/update/delete, compaction and
 //!   fragmentation accounting,
+//! * [`backend`]: the storage-device seam — positional-I/O files with an
+//!   explicit `sync` durability barrier,
+//! * [`sim`]: a deterministic in-memory backend with seeded fault
+//!   injection (power loss, torn writes, bit flips, I/O errors) for the
+//!   crash torture suite,
 //! * [`disk`]: a file-backed disk manager with a persisted free list,
 //! * [`buffer`]: a buffer pool with pluggable [`replacement`] policies
 //!   (LRU, Clock) and the §4 monitoring statistics,
@@ -18,16 +23,20 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod buffer;
 pub mod disk;
 pub mod page;
 pub mod replacement;
 pub mod services;
+pub mod sim;
 pub mod wal;
 
-pub use buffer::{BufferPool, BufferStats, ShardStats};
+pub use backend::{BackendFile, FileBackend, RealFile, StorageBackend};
+pub use buffer::{BufferPool, BufferStats, ShardStats, WriteHook};
 pub use disk::{DiskManager, IoHook, IoKind};
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};
 pub use replacement::PolicyKind;
 pub use services::{BufferService, DiskService, LogService, StorageEngine};
+pub use sim::{SimBackend, SimConfig, SimStats};
 pub use wal::{Lsn, Wal, WalRecord};

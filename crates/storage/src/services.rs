@@ -424,6 +424,26 @@ impl StorageEngine {
         Ok(StorageEngine { disk, buffer, wal })
     }
 
+    /// Open a storage engine over an arbitrary [`StorageBackend`] — the
+    /// deterministic sim device for the torture suite, or a
+    /// [`FileBackend`](crate::backend::FileBackend) for real directories.
+    /// File names (`data.db`, `wal.log`) match the path-based open so
+    /// either construction reads the other's state.
+    pub fn open_with_backend(
+        backend: &dyn crate::backend::StorageBackend,
+        buffer_frames: usize,
+        policy: crate::replacement::PolicyKind,
+        shards: Option<usize>,
+    ) -> Result<StorageEngine> {
+        let disk = Arc::new(DiskManager::open_backend(backend.open("data.db")?)?);
+        let buffer = Arc::new(match shards {
+            Some(n) => BufferPool::new_sharded(disk.clone(), buffer_frames, policy, n),
+            None => BufferPool::new(disk.clone(), buffer_frames, policy),
+        });
+        let wal = Arc::new(Wal::open_backend(backend.open("wal.log")?)?);
+        Ok(StorageEngine { disk, buffer, wal })
+    }
+
     /// Publish the engine as three storage-layer services, named with the
     /// given prefix: `<prefix>-disk`, `<prefix>-buffer`, `<prefix>-log`.
     pub fn services(&self, prefix: &str) -> Vec<ServiceRef> {

@@ -1,0 +1,9 @@
+fn main() {
+    for seed in [0xC0FFEEu64, 0xBADF00D, 42] {
+        let t = std::time::Instant::now();
+        let r = sbdms_torture::torture(seed, sbdms_torture::TortureConfig::default());
+        println!("seed={seed:#x} crash_points={} ambiguous={} kept={} torn={} dropped={} flipped={} in {:?}",
+            r.crash_points, r.ambiguous_commits, r.ambiguous_kept,
+            r.stats.writes_torn, r.stats.writes_dropped, r.stats.bits_flipped, t.elapsed());
+    }
+}

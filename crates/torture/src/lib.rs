@@ -1,0 +1,519 @@
+//! Deterministic crash-recovery torture harness.
+//!
+//! The paper's reliability claims (§2: services "can continue to
+//! operate" through faults) are qualitative; this crate makes them
+//! falsifiable. A seeded workload runs against the deterministic
+//! simulated storage device ([`sbdms_storage::sim`]), a crash-point
+//! scheduler kills the power at *every* durability event (write,
+//! truncate, sync) the workload performs, and after each simulated
+//! power loss the database is reopened through its ordinary recovery
+//! path and checked against an in-memory oracle:
+//!
+//! * every transaction whose `commit()` returned `Ok` is fully visible;
+//! * no effect of an uncommitted transaction survives;
+//! * a commit in flight when the power failed is atomic — all or
+//!   nothing, never partial;
+//! * the catalog reloads, B-trees validate structurally, and every
+//!   index agrees with its heap;
+//! * the WAL tail was truncated cleanly at the first torn record
+//!   (recovery checkpoints, so the reopened log is empty).
+//!
+//! Everything — workload, fault decisions, torn writes, bit flips — is
+//! a pure function of one `u64` seed, so any failure reproduces from
+//! the `seed=… crash_point=…` pair its panic message prints.
+
+use std::collections::BTreeMap;
+
+use sbdms_data::executor::{Database, DbOptions};
+use sbdms_data::table::Table;
+use sbdms_data::txn::{Durability, TxnId, KIND_COMMIT};
+use sbdms_storage::replacement::PolicyKind;
+use sbdms_storage::{SimBackend, SimConfig, SimStats};
+
+/// Key-space the workload draws from (small, so updates and deletes
+/// hit existing rows often).
+const KEY_SPACE: i64 = 48;
+
+/// One mutation against the `kv (k INT, v INT)` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert `(k, v)`; `k` is free in the projected state.
+    Insert {
+        /// Key (unique among live rows).
+        k: i64,
+        /// Value (globally unique across the whole workload).
+        v: i64,
+    },
+    /// Set `v` for the existing key `k`.
+    Update {
+        /// Existing key.
+        k: i64,
+        /// New, globally unique value.
+        v: i64,
+    },
+    /// Delete the existing key `k`.
+    Delete {
+        /// Existing key.
+        k: i64,
+    },
+}
+
+impl Op {
+    /// The SQL statement performing this op.
+    pub fn sql(&self) -> String {
+        match self {
+            Op::Insert { k, v } => format!("INSERT INTO kv VALUES ({k}, {v})"),
+            Op::Update { k, v } => format!("UPDATE kv SET v = {v} WHERE k = {k}"),
+            Op::Delete { k } => format!("DELETE FROM kv WHERE k = {k}"),
+        }
+    }
+
+    /// Apply this op to a model state.
+    fn apply(&self, state: &mut BTreeMap<i64, i64>) {
+        match *self {
+            Op::Insert { k, v } | Op::Update { k, v } => {
+                state.insert(k, v);
+            }
+            Op::Delete { k } => {
+                state.remove(&k);
+            }
+        }
+    }
+}
+
+/// One transaction of the workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadTxn {
+    /// The mutations, in order.
+    pub ops: Vec<Op>,
+    /// `true` → commit, `false` → roll back.
+    pub commit: bool,
+}
+
+/// A deterministic transactional workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The transactions, in execution order.
+    pub txns: Vec<WorkloadTxn>,
+}
+
+/// splitmix64 — the same generator family the sim device uses, kept
+/// separate so workload shape and fault decisions draw independent
+/// streams from one seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+impl Workload {
+    /// Generate `txns` transactions from `seed`.
+    ///
+    /// Every inserted or updated value is globally unique, so row
+    /// images never repeat — the distinct-row precondition of the
+    /// lenient value-based undo recovery applies (see DESIGN.md §4e).
+    pub fn generate(seed: u64, txns: usize) -> Workload {
+        // Offset the stream so a workload seed and a sim seed that
+        // happen to be equal do not walk in lockstep.
+        let mut rng = Rng(seed ^ 0x5bd1_e995_7b7d_159d);
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut next_v: i64 = 1_000;
+        let mut out = Vec::with_capacity(txns);
+        for _ in 0..txns {
+            let mut staged = model.clone();
+            let mut ops = Vec::new();
+            for _ in 0..(1 + rng.below(5)) {
+                let roll = rng.below(5);
+                let op = if staged.len() < 2 || roll < 2 {
+                    // Insert a key that is free in the staged state.
+                    let mut k = rng.below(KEY_SPACE as u64) as i64;
+                    while staged.contains_key(&k) {
+                        k = (k + 1) % KEY_SPACE;
+                    }
+                    next_v += 1;
+                    Op::Insert { k, v: next_v }
+                } else {
+                    let nth = rng.below(staged.len() as u64) as usize;
+                    let k = *staged.keys().nth(nth).expect("non-empty staged state");
+                    if roll < 4 {
+                        next_v += 1;
+                        Op::Update { k, v: next_v }
+                    } else {
+                        Op::Delete { k }
+                    }
+                };
+                op.apply(&mut staged);
+                ops.push(op);
+            }
+            let commit = rng.below(5) < 4;
+            if commit {
+                model = staged;
+            }
+            out.push(WorkloadTxn { ops, commit });
+        }
+        Workload { txns: out }
+    }
+}
+
+/// Outcome of driving a workload until completion or power loss.
+#[derive(Debug, Clone)]
+pub struct CrashRun {
+    /// State as of the last transaction whose commit returned `Ok`.
+    pub committed: BTreeMap<i64, i64>,
+    /// Set when the power failed *inside* a commit call: the commit
+    /// record may or may not have become durable. The harness settles
+    /// the ambiguity by scanning the durable WAL image for this
+    /// transaction's commit record; recovery must agree exactly.
+    pub ambiguous: Option<(TxnId, BTreeMap<i64, i64>)>,
+    /// The error that stopped the run (`None` = ran to completion).
+    pub error: Option<String>,
+}
+
+/// Drive `workload` against `db`, stopping at the first error.
+///
+/// The returned oracle advances only when `commit()` returns `Ok` —
+/// the same contract the application layer sees.
+pub fn run_until_crash(db: &Database, workload: &Workload) -> CrashRun {
+    let mut committed: BTreeMap<i64, i64> = BTreeMap::new();
+    for txn in &workload.txns {
+        let mut staged = committed.clone();
+        let txn_id = match db.begin() {
+            Ok(id) => id,
+            Err(e) => {
+                return CrashRun {
+                    committed,
+                    ambiguous: None,
+                    error: Some(e.to_string()),
+                }
+            }
+        };
+        for op in &txn.ops {
+            op.apply(&mut staged);
+            if let Err(e) = db.execute(&op.sql()) {
+                return CrashRun {
+                    committed,
+                    ambiguous: None,
+                    error: Some(e.to_string()),
+                };
+            }
+        }
+        if txn.commit {
+            match db.commit() {
+                Ok(()) => committed = staged,
+                Err(e) => {
+                    return CrashRun {
+                        committed,
+                        ambiguous: Some((txn_id, staged)),
+                        error: Some(e.to_string()),
+                    }
+                }
+            }
+        } else if let Err(e) = db.rollback() {
+            return CrashRun {
+                committed,
+                ambiguous: None,
+                error: Some(e.to_string()),
+            };
+        }
+    }
+    CrashRun {
+        committed,
+        ambiguous: None,
+        error: None,
+    }
+}
+
+/// Torture-run tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureConfig {
+    /// Transactions per workload. The default is sized so one seed
+    /// yields well over 200 distinct crash points.
+    pub txns: usize,
+    /// Buffer pool frames — small, so steal evictions (dirty
+    /// write-back before commit) happen under torture.
+    pub buffer_frames: usize,
+}
+
+impl Default for TortureConfig {
+    fn default() -> TortureConfig {
+        TortureConfig {
+            txns: 48,
+            buffer_frames: 8,
+        }
+    }
+}
+
+/// What one full torture run covered.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureReport {
+    /// The seed everything derived from.
+    pub seed: u64,
+    /// Distinct crash points simulated (one reopen + check each).
+    pub crash_points: u64,
+    /// Crash points that landed inside a commit call (settled against
+    /// the durable WAL image).
+    pub ambiguous_commits: u64,
+    /// Ambiguous commits whose commit record survived the power loss
+    /// (recovery must keep the transaction).
+    pub ambiguous_kept: u64,
+    /// Summed device statistics across all crash points.
+    pub stats: SimStats,
+}
+
+fn opts(config: &TortureConfig) -> DbOptions {
+    DbOptions {
+        buffer_frames: config.buffer_frames,
+        replacement: PolicyKind::Lru,
+        buffer_shards: Some(1),
+        sort_budget: 64 << 10,
+        parallelism: 1,
+        plan_cache_capacity: 0,
+    }
+}
+
+/// Open a fresh database on `sim` and run the durable setup phase
+/// (DDL is not undo-logged, so it is confined to a checkpointed
+/// prefix the crash scheduler never points into).
+fn setup(sim: &SimBackend, config: &TortureConfig) -> Database {
+    let db = Database::open_at(sim, opts(config)).expect("setup open");
+    db.set_durability(Durability::Full);
+    db.execute("CREATE TABLE kv (k INT, v INT)").expect("setup ddl");
+    db.execute("CREATE INDEX kv_k ON kv (k)").expect("setup index");
+    db.checkpoint().expect("setup checkpoint");
+    db
+}
+
+/// Read the whole `kv` table into a map, panicking on duplicates
+/// (duplicate keys after recovery would themselves be a bug).
+fn observed_state(db: &Database, ctx: &str) -> BTreeMap<i64, i64> {
+    let result = db
+        .execute("SELECT k, v FROM kv")
+        .unwrap_or_else(|e| panic!("{ctx}: post-recovery scan failed: {e}"));
+    let mut state = BTreeMap::new();
+    for row in &result.rows {
+        let (k, v) = match (&row[0], &row[1]) {
+            (sbdms_access::record::Datum::Int(k), sbdms_access::record::Datum::Int(v)) => (*k, *v),
+            other => panic!("{ctx}: non-integer row {other:?}"),
+        };
+        if state.insert(k, v).is_some() {
+            panic!("{ctx}: duplicate key {k} after recovery");
+        }
+    }
+    state
+}
+
+/// Whether `txn`'s commit record survived in the durable WAL image —
+/// read with the same scan recovery uses, so a torn tail that swallows
+/// the record counts as "not committed" for both.
+fn commit_is_durable(sim: &SimBackend, txn: TxnId) -> bool {
+    let bytes = sim.durable_bytes("wal.log").unwrap_or_default();
+    sbdms_storage::wal::scan_bytes(&bytes)
+        .iter()
+        .any(|r| r.kind == KIND_COMMIT && r.payload == txn.to_le_bytes())
+}
+
+/// All invariants on a freshly recovered database, given the exact
+/// expected state (ambiguity already settled against the durable WAL).
+fn check_recovered(db: &Database, expected: &BTreeMap<i64, i64>, ctx: &str) {
+    let observed = observed_state(db, ctx);
+    assert_eq!(
+        &observed, expected,
+        "{ctx}: recovered state diverges from the oracle"
+    );
+    // Structural validation: B-tree shape, heap/index agreement.
+    let table = Table::open(db.catalog(), "kv")
+        .unwrap_or_else(|e| panic!("{ctx}: catalog lost table `kv`: {e}"));
+    table
+        .validate()
+        .unwrap_or_else(|e| panic!("{ctx}: structural validation failed: {e}"));
+    // Recovery checkpointed: the WAL tail (torn or not) is gone.
+    let records = db
+        .storage()
+        .wal
+        .records()
+        .unwrap_or_else(|e| panic!("{ctx}: recovered WAL does not scan: {e}"));
+    assert!(
+        records.is_empty(),
+        "{ctx}: recovery left {} records in the WAL",
+        records.len()
+    );
+}
+
+/// Profile the workload on a fault-free device: durability events
+/// consumed by setup and by the workload (= the crash-point count).
+fn profile(seed: u64, config: &TortureConfig, workload: &Workload) -> (u64, u64) {
+    let sim = SimBackend::new(SimConfig::seeded(seed));
+    let db = setup(&sim, config);
+    let base = sim.io_events();
+    let run = run_until_crash(&db, workload);
+    assert!(
+        run.error.is_none(),
+        "seed={seed:#x}: fault-free profiling run failed: {:?}",
+        run.error
+    );
+    (base, sim.io_events() - base)
+}
+
+/// Run the full torture suite for one seed: simulate a power loss at
+/// every durability event the workload performs, recover, and check
+/// every invariant. Panics (printing `seed` and `crash_point`) on the
+/// first violation.
+pub fn torture(seed: u64, config: TortureConfig) -> TortureReport {
+    let workload = Workload::generate(seed, config.txns);
+    let (base, span) = profile(seed, &config, &workload);
+    let mut report = TortureReport {
+        seed,
+        crash_points: span,
+        ambiguous_commits: 0,
+        ambiguous_kept: 0,
+        stats: SimStats::default(),
+    };
+    for point in 1..=span {
+        let ctx = format!("seed={seed:#x} crash_point={point}");
+        let sim = SimBackend::new(SimConfig::seeded(seed));
+        let db = setup(&sim, &config);
+        assert_eq!(
+            sim.io_events(),
+            base,
+            "{ctx}: nondeterministic setup phase"
+        );
+        // Durability event `base + point` (the point-th workload
+        // event) fails, and the device stays dead until power-cycled.
+        sim.crash_after_events(base + point - 1);
+        let run = run_until_crash(&db, &workload);
+        let error = run.error.clone().unwrap_or_else(|| {
+            panic!("{ctx}: armed run finished without crashing")
+        });
+        assert!(
+            error.contains("power loss"),
+            "{ctx}: crashed with an unexpected error: {error}"
+        );
+        assert!(sim.halted(), "{ctx}: device not halted after crash");
+        drop(db);
+        // Power comes back: unsynced writes independently survive,
+        // tear, or vanish per the seeded RNG.
+        sim.power_cycle();
+        // Settle an in-flight commit against the durable WAL image
+        // *before* recovery truncates it: record present → the
+        // transaction must be visible, absent → it must not be.
+        let expected = match &run.ambiguous {
+            None => &run.committed,
+            Some((txn, post)) => {
+                report.ambiguous_commits += 1;
+                if commit_is_durable(&sim, *txn) {
+                    report.ambiguous_kept += 1;
+                    post
+                } else {
+                    &run.committed
+                }
+            }
+        };
+        let expected = expected.clone();
+        let db = Database::open_at(&*sim, opts(&config))
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed to open: {e}"));
+        check_recovered(&db, &expected, &ctx);
+        let s = sim.stats();
+        report.stats.reads += s.reads;
+        report.stats.writes += s.writes;
+        report.stats.syncs += s.syncs;
+        report.stats.power_cycles += s.power_cycles;
+        report.stats.writes_dropped += s.writes_dropped;
+        report.stats.writes_torn += s.writes_torn;
+        report.stats.bits_flipped += s.bits_flipped;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbdms_kernel::faults::FaultMode;
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let a = Workload::generate(9, 20);
+        let b = Workload::generate(9, 20);
+        for (x, y) in a.txns.iter().zip(&b.txns) {
+            assert_eq!(x.ops, y.ops);
+            assert_eq!(x.commit, y.commit);
+        }
+        // Different seeds shape different workloads.
+        let c = Workload::generate(10, 20);
+        assert!(a.txns.iter().zip(&c.txns).any(|(x, y)| x.ops != y.ops));
+    }
+
+    #[test]
+    fn workload_keeps_row_images_distinct() {
+        let wl = Workload::generate(3, 60);
+        let mut values = std::collections::HashSet::new();
+        for txn in &wl.txns {
+            for op in &txn.ops {
+                if let Op::Insert { v, .. } | Op::Update { v, .. } = op {
+                    assert!(values.insert(*v), "value {v} reused");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_oracle() {
+        let config = TortureConfig::default();
+        let sim = SimBackend::new(SimConfig::seeded(11));
+        let db = setup(&sim, &config);
+        let wl = Workload::generate(11, config.txns);
+        let run = run_until_crash(&db, &wl);
+        assert!(run.error.is_none());
+        assert_eq!(observed_state(&db, "fault-free"), run.committed);
+        Table::open(db.catalog(), "kv").unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn injected_io_faults_surface_and_clear() {
+        // The kernel fault taxonomy drives the device: after the fault
+        // budget is exhausted every call fails; clearing the mode
+        // restores service and the database is still consistent.
+        let config = TortureConfig::default();
+        let sim = SimBackend::new(SimConfig::seeded(5));
+        let db = setup(&sim, &config);
+        let wl = Workload::generate(5, config.txns);
+        sim.set_fault_mode(FaultMode::FailAfter(40));
+        let run = run_until_crash(&db, &wl);
+        let err = run.error.expect("fault budget must eventually trip");
+        assert!(err.contains("sim disk fault"), "{err}");
+        sim.set_fault_mode(FaultMode::None);
+        drop(db);
+        // No power loss happened: volatile state is intact, reopen
+        // recovers the interrupted transaction. A fault inside a
+        // commit call leaves either outcome valid (never a blend).
+        let db = Database::open_at(&*sim, opts(&config)).unwrap();
+        let observed = observed_state(&db, "fault-clear");
+        match &run.ambiguous {
+            None => assert_eq!(observed, run.committed),
+            Some((_, alt)) => assert!(observed == run.committed || observed == *alt),
+        }
+        Table::open(db.catalog(), "kv").unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn a_short_torture_run_passes() {
+        let report = torture(
+            0xDECAF,
+            TortureConfig {
+                txns: 6,
+                buffer_frames: 16,
+            },
+        );
+        assert!(report.crash_points > 20, "{report:?}");
+        assert!(report.stats.power_cycles == report.crash_points);
+    }
+}

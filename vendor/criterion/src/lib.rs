@@ -112,6 +112,13 @@ impl Bencher {
         }
         self.elapsed_ns = start.elapsed().as_nanos() as f64;
     }
+
+    /// Caller-managed measurement: `routine` receives the iteration
+    /// count and returns only the time that should be charged to the
+    /// benchmark (setup excluded). Mirrors criterion's `iter_custom`.
+    pub fn iter_custom<R: FnMut(u64) -> std::time::Duration>(&mut self, mut routine: R) {
+        self.elapsed_ns = routine(self.iters).as_nanos() as f64;
+    }
 }
 
 /// Prevent the optimizer from eliding a value (re-export convenience).
