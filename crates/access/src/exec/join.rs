@@ -61,32 +61,82 @@ pub fn nested_loop_join(
     Ok(Box::new(out.into_iter().map(Ok)))
 }
 
+/// Which input a hash join builds its table from. The build side should
+/// be the smaller input: the hash table is the memory footprint, and
+/// probing is O(1) per row either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildSide {
+    /// Build the hash table from the left input, probe with the right.
+    Left,
+    /// Build the hash table from the right input, probe with the left.
+    Right,
+    /// Size-sniff: materialise both inputs and build from the smaller.
+    /// Used when no planner estimate is available.
+    #[default]
+    Auto,
+}
+
 /// Hash equi-join on `left[left_col] == right[right_col]`. NULL keys never
-/// match (SQL semantics).
+/// match (SQL semantics). `build` picks the hash-table side: the planner
+/// directs it when statistics are available, `Auto` falls back to
+/// sniffing the materialised input sizes. Output columns are always
+/// left-then-right regardless of the build side.
 pub fn hash_join(
     left: TupleStream,
     right: TupleStream,
     left_col: usize,
     right_col: usize,
+    build: BuildSide,
 ) -> Result<TupleStream> {
-    // Build on the right input, probe with the left.
+    match build {
+        BuildSide::Left => hash_join_directed(left, left_col, right, right_col, true),
+        BuildSide::Right => hash_join_directed(right, right_col, left, left_col, false),
+        BuildSide::Auto => {
+            let l: Vec<Tuple> = left.collect::<Result<_>>()?;
+            let r: Vec<Tuple> = right.collect::<Result<_>>()?;
+            let build_left = l.len() <= r.len();
+            let l: TupleStream = Box::new(l.into_iter().map(Ok));
+            let r: TupleStream = Box::new(r.into_iter().map(Ok));
+            if build_left {
+                hash_join_directed(l, left_col, r, right_col, true)
+            } else {
+                hash_join_directed(r, right_col, l, left_col, false)
+            }
+        }
+    }
+}
+
+/// Hash-join core: build from one input, stream-probe the other.
+/// `build_is_left` records which logical side the build input is, so the
+/// output tuple is always `left ++ right`.
+fn hash_join_directed(
+    build: TupleStream,
+    build_col: usize,
+    probe: TupleStream,
+    probe_col: usize,
+    build_is_left: bool,
+) -> Result<TupleStream> {
     let mut table: HashMap<HashKey, Vec<Tuple>> = HashMap::new();
-    for row in right {
+    for row in build {
         let tuple = row?;
-        if let Some(key) = tuple.get(right_col).and_then(hash_key) {
+        if let Some(key) = tuple.get(build_col).and_then(hash_key) {
             table.entry(key).or_default().push(tuple);
         }
     }
     let mut out = Vec::new();
-    for row in left {
+    for row in probe {
         let tuple = row?;
-        if let Some(key) = tuple.get(left_col).and_then(hash_key) {
+        if let Some(key) = tuple.get(probe_col).and_then(hash_key) {
             if let Some(matches) = table.get(&key) {
-                for r in matches {
+                for b in matches {
                     // Hash collisions across numeric types are resolved by
                     // a real comparison.
-                    if tuple[left_col].sql_eq(&r[right_col]) {
-                        out.push(concat(&tuple, r));
+                    if tuple[probe_col].sql_eq(&b[build_col]) {
+                        out.push(if build_is_left {
+                            concat(b, &tuple)
+                        } else {
+                            concat(&tuple, b)
+                        });
                     }
                 }
             }
@@ -151,7 +201,8 @@ pub enum JoinAlgorithm {
     Merge,
 }
 
-/// Run an equi-join with the chosen algorithm.
+/// Run an equi-join with the chosen algorithm. `build` only applies to
+/// hash joins (ignored by merge and nested-loop).
 pub fn equi_join(
     algorithm: JoinAlgorithm,
     left: TupleStream,
@@ -159,9 +210,10 @@ pub fn equi_join(
     left_col: usize,
     right_col: usize,
     right_offset_for_nl: usize,
+    build: BuildSide,
 ) -> Result<TupleStream> {
     match algorithm {
-        JoinAlgorithm::Hash => hash_join(left, right, left_col, right_col),
+        JoinAlgorithm::Hash => hash_join(left, right, left_col, right_col, build),
         JoinAlgorithm::Merge => merge_join(left, right, left_col, right_col),
         JoinAlgorithm::NestedLoop => {
             let predicate =
@@ -213,6 +265,7 @@ mod tests {
             0, // users.id
             1, // orders.user_id
             2, // user tuple width for the NL predicate
+            BuildSide::Auto,
         )
         .unwrap();
         sorted_rows(out).unwrap()
@@ -249,9 +302,46 @@ mod tests {
     fn cross_type_numeric_equality() {
         let left = values_scan(vec![vec![Datum::Int(2)]]);
         let right = values_scan(vec![vec![Datum::Float(2.0)], vec![Datum::Float(2.5)]]);
-        let out = hash_join(left, right, 0, 0).unwrap();
+        let out = hash_join(left, right, 0, 0, BuildSide::Auto).unwrap();
         let rows: Vec<Tuple> = out.collect::<Result<_>>().unwrap();
         assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn build_side_never_changes_results() {
+        let reference = run(JoinAlgorithm::Hash);
+        for build in [BuildSide::Left, BuildSide::Right, BuildSide::Auto] {
+            let out = hash_join(
+                values_scan(users()),
+                values_scan(orders()),
+                0,
+                1,
+                build,
+            )
+            .unwrap();
+            assert_eq!(sorted_rows(out).unwrap(), reference, "{build:?}");
+        }
+    }
+
+    #[test]
+    fn probe_order_preserved_for_directed_build() {
+        // Build on the smaller left; output order follows the right
+        // (probe) stream, but columns stay left-then-right.
+        let out = hash_join(
+            values_scan(users()),
+            values_scan(orders()),
+            0,
+            1,
+            BuildSide::Left,
+        )
+        .unwrap();
+        let rows: Vec<Tuple> = out.collect::<Result<_>>().unwrap();
+        let order_ids: Vec<&Datum> = rows.iter().map(|r| &r[2]).collect();
+        assert_eq!(
+            order_ids,
+            vec![&Datum::Int(10), &Datum::Int(11), &Datum::Int(12)]
+        );
+        assert_eq!(rows[0][1], Datum::Str("alice".into()));
     }
 
     #[test]
@@ -268,7 +358,16 @@ mod tests {
     #[test]
     fn empty_inputs() {
         for algo in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash, JoinAlgorithm::Merge] {
-            let out = equi_join(algo, values_scan(vec![]), values_scan(orders()), 0, 1, 0).unwrap();
+            let out = equi_join(
+                algo,
+                values_scan(vec![]),
+                values_scan(orders()),
+                0,
+                1,
+                0,
+                BuildSide::Auto,
+            )
+            .unwrap();
             assert_eq!(out.count(), 0);
         }
     }
@@ -285,6 +384,7 @@ mod tests {
                 0,
                 0,
                 1,
+                BuildSide::Auto,
             )
             .unwrap();
             assert_eq!(out.count(), 600, "{algo:?} cross product of equals");

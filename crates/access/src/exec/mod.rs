@@ -18,5 +18,5 @@ pub type TupleStream = Box<dyn Iterator<Item = Result<Tuple>> + Send>;
 
 pub use aggregate::{hash_aggregate, AggFunc, AggSpec};
 pub use expr::{BinOp, Expr, UnaryOp};
-pub use join::{equi_join, hash_join, merge_join, nested_loop_join, JoinAlgorithm};
+pub use join::{equi_join, hash_join, merge_join, nested_loop_join, BuildSide, JoinAlgorithm};
 pub use ops::{distinct, filter, limit, project, seq_scan, sort, sort_parallel, values_scan};

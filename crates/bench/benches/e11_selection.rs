@@ -1,0 +1,56 @@
+//! E11: cost-based plan selection.
+//!
+//! Two questions, one per group:
+//! * join order — on a skewed three-way join whose textual order
+//!   explodes the intermediate, how much does statistics-driven
+//!   reordering (plus algorithm and build-side choice) buy over the
+//!   forced baselines?
+//! * access paths — does the cost model take the index only when the
+//!   predicate is selective, and how do the forced always-seq and
+//!   syntactic always-index plans compare?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::access::exec::join::JoinAlgorithm;
+use sbdms_bench::experiments::{
+    e11_apply, e11_count, e11_db, E11Config, E11_IDX_NONSEL_Q, E11_IDX_SEL_Q, E11_JOIN_Q,
+};
+
+const BIG_ROWS: usize = 1_500;
+const ITEM_ROWS: usize = 20_000;
+
+fn bench_join_order(c: &mut Criterion) {
+    let db = e11_db(BIG_ROWS, ITEM_ROWS);
+    let mut group = c.benchmark_group("e11_join_order");
+    group.sample_size(10);
+    for config in [
+        E11Config::CostBased,
+        E11Config::NoReorder,
+        E11Config::StatsOff,
+        E11Config::Forced(JoinAlgorithm::NestedLoop),
+        E11Config::Forced(JoinAlgorithm::Merge),
+    ] {
+        e11_apply(&db, config);
+        group.bench_function(config.name(), |b| {
+            b.iter(|| std::hint::black_box(e11_count(&db, E11_JOIN_Q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let db = e11_db(BIG_ROWS, ITEM_ROWS);
+    let mut group = c.benchmark_group("e11_access_paths");
+    for config in [E11Config::CostBased, E11Config::NoIndex, E11Config::StatsOff] {
+        e11_apply(&db, config);
+        group.bench_function(format!("selective/{}", config.name()), |b| {
+            b.iter(|| std::hint::black_box(e11_count(&db, E11_IDX_SEL_Q)))
+        });
+        group.bench_function(format!("full-range/{}", config.name()), |b| {
+            b.iter(|| std::hint::black_box(e11_count(&db, E11_IDX_NONSEL_Q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_order, bench_access_paths);
+criterion_main!(benches);

@@ -1,7 +1,10 @@
-//! The experiment report: runs every experiment (E1–E8) with plain
+//! The experiment report: runs every experiment (E1–E11) with plain
 //! timers and prints the tables recorded in EXPERIMENTS.md.
 //!
 //! `cargo run --release -p sbdms-bench --bin report`
+//!
+//! `--only <name>` runs a single experiment (`e1` … `e11`, `a1`);
+//! `--smoke` shrinks the workloads for a fast CI sanity pass.
 //!
 //! Criterion gives careful statistics per data point (`cargo bench`);
 //! this binary gives the complete paper-vs-measured picture in one run.
@@ -36,20 +39,70 @@ fn per_sec(d: Duration) -> f64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Option<String> = None;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--only" => {
+                only = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--only requires an experiment name (e1..e11, a1)");
+                            std::process::exit(2);
+                        })
+                        .to_lowercase(),
+                )
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument `{other}` (expected --only <name> / --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let run = |name: &str| only.as_deref().is_none_or(|o| o == name);
+
     println!("SBDMS experiment report (one-shot timings; see `cargo bench` for full statistics)");
     println!("================================================================================");
 
-    e1();
-    e2();
-    e3();
-    e4();
-    e5();
-    e6();
-    e7();
-    e8();
-    e9();
-    e10();
-    a1();
+    if run("e1") {
+        e1();
+    }
+    if run("e2") {
+        e2();
+    }
+    if run("e3") {
+        e3();
+    }
+    if run("e4") {
+        e4();
+    }
+    if run("e5") {
+        e5();
+    }
+    if run("e6") {
+        e6();
+    }
+    if run("e7") {
+        e7();
+    }
+    if run("e8") {
+        e8();
+    }
+    if run("e9") {
+        e9();
+    }
+    if run("e10") {
+        e10();
+    }
+    if run("e11") {
+        e11(smoke);
+    }
+    if run("a1") {
+        a1();
+    }
 
     println!("\ndone.");
 }
@@ -353,6 +406,80 @@ fn e10() {
         print!("{name}={mibs:.0}MiB/s  ");
     }
     println!();
+}
+
+fn e11(smoke: bool) {
+    use sbdms::access::exec::join::JoinAlgorithm;
+    use sbdms_bench::experiments::{
+        e11_apply, e11_count, e11_db, E11Config, E11_IDX_NONSEL_Q, E11_IDX_SEL_Q, E11_JOIN_Q,
+    };
+
+    println!("\nE11 — cost-based plan selection (statistics, join order, access paths)");
+    let (big, items, iters) = if smoke { (300usize, 1_000usize, 2u32) } else { (1_500, 20_000, 20) };
+    let db = e11_db(big, items);
+
+    let configs = [
+        E11Config::CostBased,
+        E11Config::NoReorder,
+        E11Config::StatsOff,
+        E11Config::Forced(JoinAlgorithm::NestedLoop),
+        E11Config::Forced(JoinAlgorithm::Merge),
+        E11Config::NoIndex,
+    ];
+
+    println!(
+        "  skewed-join-order: {} ({big}-row big tables)",
+        E11_JOIN_Q.replace("SELECT COUNT(*) FROM ", "")
+    );
+    let mut cost_based = Duration::ZERO;
+    let mut reference = None;
+    for config in configs {
+        e11_apply(&db, config);
+        let mut n = 0;
+        let d = time(iters, || {
+            n = e11_count(&db, E11_JOIN_Q);
+        });
+        // Every configuration must agree on the answer.
+        match reference {
+            None => reference = Some(n),
+            Some(want) => assert_eq!(n, want, "{config:?} changed the join answer"),
+        }
+        if config == E11Config::CostBased {
+            cost_based = d;
+        }
+        println!(
+            "    {:<18} {:>10.2}ms {:>8.1}x",
+            config.name(),
+            d.as_nanos() as f64 / 1e6,
+            d.as_nanos() as f64 / cost_based.as_nanos().max(1) as f64
+        );
+    }
+
+    println!("\n  access paths over {items}-row indexed table:");
+    println!(
+        "    {:<18} {:>14} {:>14}",
+        "config", "selective 0.1%", "full-range"
+    );
+    for config in [E11Config::CostBased, E11Config::NoIndex, E11Config::StatsOff] {
+        e11_apply(&db, config);
+        let sel = time(iters * 4, || {
+            e11_count(&db, E11_IDX_SEL_Q);
+        });
+        let nonsel = time(iters, || {
+            e11_count(&db, E11_IDX_NONSEL_Q);
+        });
+        println!(
+            "    {:<18} {:>12.1}µs {:>12.2}ms",
+            config.name(),
+            sel.as_nanos() as f64 / 1e3,
+            nonsel.as_nanos() as f64 / 1e6
+        );
+    }
+    e11_apply(&db, E11Config::CostBased);
+    println!(
+        "  plans selected: {} (each knob flip re-plans via the epoch)",
+        db.plans_selected()
+    );
 }
 
 fn a1() {

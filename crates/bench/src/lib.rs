@@ -571,6 +571,128 @@ pub mod experiments {
         std::hint::black_box(acc);
         (len * rounds) as f64 / (1 << 20) as f64 / start.elapsed().as_secs_f64()
     }
+
+    // --- E11: cost-based plan selection ---------------------------------
+
+    use sbdms::access::exec::join::JoinAlgorithm;
+
+    /// E11 join-order query: textually the two big relations join first
+    /// (an exploding intermediate); the cost model starts from the
+    /// filtered tiny relation instead.
+    pub const E11_JOIN_Q: &str = "SELECT COUNT(*) FROM big1 \
+        JOIN big2 ON big1.x = big2.x \
+        JOIN tiny ON big2.y = tiny.id \
+        WHERE tiny.tag = 't7'";
+
+    /// E11 selective index probe: ~0.1% of `items` by value range — the
+    /// access path a cost model should take.
+    pub const E11_IDX_SEL_Q: &str =
+        "SELECT COUNT(*) FROM items WHERE val >= 500 AND val <= 519";
+
+    /// E11 non-selective range: matches every row — the access path a
+    /// cost model should *refuse* (the syntactic planner always takes
+    /// the index here).
+    pub const E11_IDX_NONSEL_Q: &str = "SELECT COUNT(*) FROM items WHERE val >= 0";
+
+    /// E11: the statistics-bearing database. `big_rows` sizes the two
+    /// fact-like tables (x fans out ~30-way between them, y points into
+    /// the 100-row `tiny`); `item_rows` sizes the indexed lookup table.
+    /// Every table is ANALYZEd, so planning is fully cost-based until a
+    /// knob says otherwise.
+    pub fn e11_db(big_rows: usize, item_rows: usize) -> Database {
+        let db = Database::open_opts(bench_dir("e11"), DbOptions::default()).unwrap();
+        for ddl in [
+            "CREATE TABLE big1 (id INT NOT NULL, x INT NOT NULL, y INT NOT NULL)",
+            "CREATE TABLE big2 (id INT NOT NULL, x INT NOT NULL, y INT NOT NULL)",
+            "CREATE TABLE tiny (id INT NOT NULL, tag TEXT NOT NULL)",
+            "CREATE TABLE items (id INT NOT NULL, val INT NOT NULL)",
+            "CREATE INDEX items_val ON items (val)",
+        ] {
+            db.execute(ddl).unwrap();
+        }
+        let xs = (big_rows / 30).max(1);
+        for table in ["big1", "big2"] {
+            for chunk in (0..big_rows as i64).collect::<Vec<_>>().chunks(200) {
+                let vals: Vec<String> = chunk
+                    .iter()
+                    .map(|i| format!("({i}, {}, {})", i % xs as i64, i % 100))
+                    .collect();
+                db.execute(&format!("INSERT INTO {table} VALUES {}", vals.join(", ")))
+                    .unwrap();
+            }
+        }
+        let vals: Vec<String> = (0..100i64).map(|i| format!("({i}, 't{i}')")).collect();
+        db.execute(&format!("INSERT INTO tiny VALUES {}", vals.join(", ")))
+            .unwrap();
+        // `val` is a permutation-ish spread so the histogram sees the
+        // full domain and BETWEEN windows stay narrow.
+        for chunk in (0..item_rows as i64).collect::<Vec<_>>().chunks(200) {
+            let vals: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({i}, {})", (i * 7919) % item_rows as i64))
+                .collect();
+            db.execute(&format!("INSERT INTO items VALUES {}", vals.join(", ")))
+                .unwrap();
+        }
+        for table in ["big1", "big2", "tiny", "items"] {
+            db.execute(&format!("ANALYZE {table}")).unwrap();
+        }
+        db
+    }
+
+    /// E11 planner configurations: full cost-based selection plus the
+    /// forced baselines the experiment compares it against.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum E11Config {
+        /// Statistics, reordering, access-path and algorithm selection on.
+        CostBased,
+        /// Joins stay in textual order; everything else cost-based.
+        NoReorder,
+        /// Every equi-join forced to one algorithm.
+        Forced(JoinAlgorithm),
+        /// Sequential scans only.
+        NoIndex,
+        /// Statistics ignored: the seed's syntactic planner.
+        StatsOff,
+    }
+
+    impl E11Config {
+        /// Display name for report tables.
+        pub fn name(&self) -> String {
+            match self {
+                E11Config::CostBased => "cost-based".into(),
+                E11Config::NoReorder => "textual-order".into(),
+                E11Config::Forced(a) => format!("forced-{a:?}").to_lowercase(),
+                E11Config::NoIndex => "seq-only".into(),
+                E11Config::StatsOff => "stats-off".into(),
+            }
+        }
+    }
+
+    /// E11: put the database's planner knobs into `config`.
+    pub fn e11_apply(db: &Database, config: E11Config) {
+        // Reset to the cost-based defaults first.
+        db.force_join_algorithm(None);
+        db.set_join_reordering(true);
+        db.set_index_selection(true);
+        db.set_use_stats(true);
+        match config {
+            E11Config::CostBased => {}
+            E11Config::NoReorder => db.set_join_reordering(false),
+            E11Config::Forced(a) => db.force_join_algorithm(Some(a)),
+            E11Config::NoIndex => db.set_index_selection(false),
+            E11Config::StatsOff => db.set_use_stats(false),
+        }
+    }
+
+    /// E11: run one query and return its single COUNT(*) value.
+    pub fn e11_count(db: &Database, sql: &str) -> i64 {
+        let out = db.execute(sql).unwrap();
+        let sbdms::access::record::Datum::Int(n) = out.rows[0][0] else {
+            panic!("E11 query did not return an integer count");
+        };
+        n
+    }
 }
 
 #[cfg(test)]
@@ -708,6 +830,31 @@ mod tests {
         // A bigger committed prefix means a bigger durable WAL.
         let (_, bigger) = e10_crashed_sim(12, 2);
         assert!(bigger > wal_bytes);
+    }
+
+    #[test]
+    fn e11_harness_runs() {
+        use sbdms::access::exec::join::JoinAlgorithm;
+        let db = e11_db(120, 600);
+        e11_apply(&db, E11Config::CostBased);
+        let join_ref = e11_count(&db, E11_JOIN_Q);
+        let sel_ref = e11_count(&db, E11_IDX_SEL_Q);
+        let nonsel_ref = e11_count(&db, E11_IDX_NONSEL_Q);
+        assert!(join_ref > 0, "the skewed join must produce rows");
+        assert_eq!(nonsel_ref, 600, "full range covers the table");
+        // Every forced baseline must return the same answers.
+        for config in [
+            E11Config::NoReorder,
+            E11Config::StatsOff,
+            E11Config::NoIndex,
+            E11Config::Forced(JoinAlgorithm::NestedLoop),
+            E11Config::Forced(JoinAlgorithm::Merge),
+        ] {
+            e11_apply(&db, config);
+            assert_eq!(e11_count(&db, E11_JOIN_Q), join_ref, "{config:?}");
+            assert_eq!(e11_count(&db, E11_IDX_SEL_Q), sel_ref, "{config:?}");
+            assert_eq!(e11_count(&db, E11_IDX_NONSEL_Q), nonsel_ref, "{config:?}");
+        }
     }
 
     #[test]

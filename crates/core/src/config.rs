@@ -180,6 +180,10 @@ pub struct ArchitectureConfig {
     pub parallelism: usize,
     /// Plan cache entries (0 disables plan caching).
     pub plan_cache: usize,
+    /// Equi-depth histogram buckets collected per column by `ANALYZE`
+    /// (0 keeps row counts/min/max/NDV but skips histograms — the
+    /// embedded profile's cheaper setting).
+    pub histogram_buckets: usize,
     /// Memory budget tracked by the resource manager, bytes.
     pub memory_budget: u64,
     /// Memory alert threshold, bytes.
@@ -209,6 +213,7 @@ impl ArchitectureConfig {
                 sort_budget: 8 << 20,
                 parallelism: 4,
                 plan_cache: 64,
+                histogram_buckets: 32,
                 memory_budget: 64 << 20,
                 memory_alert_below: 4 << 20,
                 enforce_policies: true,
@@ -236,6 +241,10 @@ impl ArchitectureConfig {
                 sort_budget: 256 << 10,
                 parallelism: 1,
                 plan_cache: 0,
+                // Row counts and min/max/NDV still collect (they are a
+                // few words per column); histograms are the part whose
+                // memory scales with bucket count, so they stay off.
+                histogram_buckets: 0,
                 memory_budget: 1 << 20,
                 memory_alert_below: 128 << 10,
                 enforce_policies: true,
@@ -329,6 +338,9 @@ mod tests {
         assert!(full.parallelism > 1 && embedded.parallelism == 1);
         assert!(full.sort_budget > embedded.sort_budget);
         assert!(full.plan_cache > 0 && embedded.plan_cache == 0);
+        // Full deployments afford histograms; embedded keeps only the
+        // cheap scalar statistics.
+        assert!(full.histogram_buckets > 0 && embedded.histogram_buckets == 0);
         // The embedded profile fails fast; the full profile tries harder.
         assert!(full.resilience.retries > embedded.resilience.retries);
         assert!(full.resilience.deadline_ms > embedded.resilience.deadline_ms);

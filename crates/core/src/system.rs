@@ -110,6 +110,7 @@ impl Sbdms {
             sort_budget: config.sort_budget,
             parallelism: config.parallelism,
             plan_cache_capacity: config.plan_cache,
+            histogram_buckets: config.histogram_buckets,
         };
         let db = Arc::new(match config.storage_mode {
             crate::config::StorageMode::File => Database::open_opts(&config.data_dir, opts)?,
@@ -120,6 +121,10 @@ impl Sbdms {
             }
         });
         let bus = ServiceBus::new();
+        // Planner decisions surface on the kernel bus: every freshly
+        // planned query publishes a `plan.selected` event explaining the
+        // chosen join order/algorithm and access paths.
+        db.set_event_bus(bus.events().clone());
         bus.set_enforce_policies(config.enforce_policies);
         bus.resilience().set_enabled(config.resilience.enabled);
         bus.resilience().set_policy(config.resilience.invoke_policy());

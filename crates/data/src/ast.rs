@@ -173,6 +173,15 @@ pub enum Statement {
     },
     /// A SELECT query.
     Select(Box<Select>),
+    /// `ANALYZE table` — sample the table and store optimizer statistics.
+    Analyze {
+        /// Table name.
+        table: String,
+    },
+    /// `EXPLAIN SELECT ...` — show the chosen plan (with row/cost
+    /// estimates and the planner's selection decisions) instead of
+    /// executing the query.
+    Explain(Box<Select>),
 }
 
 // ── SQL rendering ─────────────────────────────────────────────────────

@@ -18,6 +18,7 @@ use sbdms_storage::buffer::BufferPool;
 use sbdms_storage::page::PageId;
 
 use crate::schema::Schema;
+use crate::stats::TableStats;
 
 /// Metadata of one secondary index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +42,10 @@ pub struct TableMeta {
     pub heap_dir_page: PageId,
     /// Secondary indexes.
     pub indexes: Vec<IndexMeta>,
+    /// Optimiser statistics from the last `ANALYZE` (absent until one
+    /// runs; the serde shim reads a missing field as `None`, keeping
+    /// pre-stats catalog records readable).
+    pub stats: Option<TableStats>,
 }
 
 /// Metadata of one view: a named, stored query text (paper §3.1 "logical
@@ -69,7 +74,30 @@ pub struct Catalog {
     /// query plans embed the version they were built against and are
     /// discarded when it moves.
     version: AtomicU64,
+    /// Monotonic statistics version, bumped whenever a table's stats
+    /// change (ANALYZE) or cross the staleness threshold. Folded into
+    /// the plan-cache epoch alongside the DDL version so stale plans
+    /// are invalidated.
+    stats_version: AtomicU64,
+    /// Writes (inserted + deleted + updated rows) per table since its
+    /// last ANALYZE. In-memory only: after a restart counters start at
+    /// zero, which merely delays the next automatic re-sample.
+    writes: Mutex<HashMap<String, TableWrites>>,
 }
+
+#[derive(Default)]
+struct TableWrites {
+    since_analyze: u64,
+    /// Whether crossing the staleness threshold already bumped
+    /// `stats_version` (so we bump once per stale period, not per row).
+    stale_announced: bool,
+}
+
+/// Minimum write count before stats are considered stale.
+const STALE_MIN_WRITES: u64 = 64;
+/// Stats are stale once writes exceed this fraction of the analyzed
+/// row count (or `STALE_MIN_WRITES`, whichever is larger).
+const STALE_FRACTION: f64 = 0.2;
 
 /// The conventional page id of the catalog heap directory.
 pub const CATALOG_DIR_PAGE: PageId = 1;
@@ -97,6 +125,8 @@ impl Catalog {
             tables: Mutex::new(HashMap::new()),
             views: Mutex::new(HashMap::new()),
             version: AtomicU64::new(0),
+            stats_version: AtomicU64::new(0),
+            writes: Mutex::new(HashMap::new()),
         };
         catalog.reload()?;
         Ok(catalog)
@@ -115,6 +145,97 @@ impl Catalog {
 
     fn bump_version(&self) {
         self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Current statistics version. ANALYZE and staleness-threshold
+    /// crossings increment it; the plan-cache epoch folds it in.
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version.load(Ordering::Acquire)
+    }
+
+    fn bump_stats_version(&self) {
+        self.stats_version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Replace a table's optimiser statistics (the `ANALYZE` path).
+    /// Persists the enclosing catalog record, resets the table's write
+    /// counter and bumps `stats_version` — but not the DDL version, so
+    /// only plan-cache entries (not schema snapshots) are invalidated.
+    pub fn update_stats(&self, name: &str, stats: TableStats) -> Result<()> {
+        let name = name.to_lowercase();
+        let mut meta = self.table(&name)?;
+        meta.stats = Some(stats);
+
+        let tables = self.tables.lock();
+        let (rid, _) = tables
+            .get(&name)
+            .ok_or_else(|| ServiceError::InvalidInput(format!("no such table `{name}`")))?;
+        let old_rid = *rid;
+        drop(tables);
+
+        self.heap.delete(old_rid)?;
+        let new_rid = self.persist(&CatalogRecord::Table(meta.clone()))?;
+        self.tables.lock().insert(name.clone(), (new_rid, meta));
+        *self.writes.lock().entry(name).or_default() = TableWrites::default();
+        self.bump_stats_version();
+        Ok(())
+    }
+
+    /// Fetch a table's stats, if it has been analyzed.
+    pub fn stats(&self, name: &str) -> Option<TableStats> {
+        self.tables
+            .lock()
+            .get(&name.to_lowercase())
+            .and_then(|(_, m)| m.stats.clone())
+    }
+
+    /// Record `n` row writes (insert/delete/update) against a table.
+    /// Crossing the staleness threshold bumps `stats_version` once so
+    /// cached plans built on the now-stale stats stop matching.
+    pub fn note_writes(&self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let name = name.to_lowercase();
+        let analyzed_rows = match self.tables.lock().get(&name) {
+            Some((_, meta)) => meta.stats.as_ref().map(|s| s.row_count),
+            None => return,
+        };
+        let mut writes = self.writes.lock();
+        let entry = writes.entry(name).or_default();
+        entry.since_analyze += n;
+        if let Some(rows) = analyzed_rows {
+            let threshold = STALE_MIN_WRITES.max((rows as f64 * STALE_FRACTION) as u64);
+            if entry.since_analyze > threshold && !entry.stale_announced {
+                entry.stale_announced = true;
+                drop(writes);
+                self.bump_stats_version();
+            }
+        }
+    }
+
+    /// Writes recorded against a table since its last ANALYZE.
+    pub fn writes_since_analyze(&self, name: &str) -> u64 {
+        self.writes
+            .lock()
+            .get(&name.to_lowercase())
+            .map(|w| w.since_analyze)
+            .unwrap_or(0)
+    }
+
+    /// Whether a table's stats are stale: it has been analyzed, and
+    /// writes since then exceed the staleness threshold.
+    pub fn stats_stale(&self, name: &str) -> bool {
+        let name = name.to_lowercase();
+        let analyzed_rows = match self.tables.lock().get(&name) {
+            Some((_, meta)) => match &meta.stats {
+                Some(s) => s.row_count,
+                None => return false,
+            },
+            None => return false,
+        };
+        let threshold = STALE_MIN_WRITES.max((analyzed_rows as f64 * STALE_FRACTION) as u64);
+        self.writes_since_analyze(&name) > threshold
     }
 
     /// Re-read all catalog records from disk into the cache.
@@ -195,6 +316,7 @@ impl Catalog {
             .remove(&name)
             .ok_or_else(|| ServiceError::InvalidInput(format!("no such table `{name}`")))?;
         self.heap.delete(rid)?;
+        self.writes.lock().remove(&name);
         self.bump_version();
         Ok(meta)
     }
@@ -271,6 +393,7 @@ mod tests {
             .unwrap(),
             heap_dir_page,
             indexes: vec![],
+            stats: None,
         }
     }
 

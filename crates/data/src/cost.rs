@@ -1,0 +1,513 @@
+//! The cost model: cardinality and cost estimation over physical plans.
+//!
+//! The [`Estimator`] walks a [`Plan`] bottom-up, tracking per-position
+//! *provenance* — which base-table column (if any) each output position
+//! carries — so predicate selectivities can probe the ANALYZE statistics
+//! ([`crate::stats`]). Costs are abstract row-work units: sequential row
+//! touches cost [`COST_SEQ_ROW`], index fetches pay the random-access
+//! penalty [`COST_IDX_ROW`], sorts pay `n·log2 n`. The planner compares
+//! candidate joins and access paths with the same estimator that
+//! annotates `EXPLAIN` output, so the numbers shown are the numbers the
+//! choice was made from.
+
+use sbdms_access::exec::expr::{BinOp, Expr, UnaryOp};
+use sbdms_access::exec::join::{BuildSide, JoinAlgorithm};
+use sbdms_access::record::Datum;
+
+use crate::planner::{CatalogView, Plan};
+use crate::stats::TableStats;
+
+/// Assumed row count for tables that have never been ANALYZEd.
+pub const DEFAULT_TABLE_ROWS: f64 = 1000.0;
+/// Cost of touching one row in a sequential scan.
+pub const COST_SEQ_ROW: f64 = 1.0;
+/// Cost of fetching one row through an index (random heap access).
+pub const COST_IDX_ROW: f64 = 4.0;
+/// Fixed cost of descending a B-tree to start a probe or range scan.
+pub const COST_IDX_PROBE: f64 = 10.0;
+/// Cost of inserting one row into a hash-join build table.
+pub const COST_HASH_BUILD: f64 = 2.0;
+/// Cost of probing the hash table with one row.
+pub const COST_HASH_PROBE: f64 = 1.0;
+/// Cost of advancing one row through a merge join.
+pub const COST_MERGE_ROW: f64 = 1.0;
+/// Cost of evaluating a predicate against one row.
+pub const COST_PRED_EVAL: f64 = 0.2;
+/// Cost of materialising one output row of a join.
+pub const COST_OUT_ROW: f64 = 0.5;
+
+/// Default selectivity of an equality predicate when stats are absent.
+const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Default selectivity of a range predicate when stats are absent.
+const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity of an arbitrary predicate.
+const DEFAULT_SEL: f64 = 0.5;
+
+/// Estimated output of a plan node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated cumulative cost in abstract row-work units.
+    pub cost: f64,
+}
+
+/// Per-position provenance: the base-table column an output position
+/// carries, when the plan preserves it.
+type ColRef = Option<(String, String)>;
+
+/// Internal estimation state for one node.
+struct NodeEst {
+    rows: f64,
+    cost: f64,
+    cols: Vec<ColRef>,
+    /// Output position the stream is sorted on, if any (index scans and
+    /// merge joins produce ordered output; hash joins preserve the
+    /// probe side's order).
+    sorted_on: Option<usize>,
+}
+
+/// Cardinality and cost estimator over a [`CatalogView`].
+pub struct Estimator<'a> {
+    catalog: &'a dyn CatalogView,
+}
+
+impl<'a> Estimator<'a> {
+    /// Build an estimator reading stats through `catalog`.
+    pub fn new(catalog: &'a dyn CatalogView) -> Estimator<'a> {
+        Estimator { catalog }
+    }
+
+    /// Estimate a plan's output rows and total cost.
+    pub fn estimate(&self, plan: &Plan) -> Estimate {
+        let node = self.node(plan);
+        Estimate {
+            rows: node.rows,
+            cost: node.cost,
+        }
+    }
+
+    /// The output position `plan` is sorted on, if statically known.
+    pub fn sorted_on(&self, plan: &Plan) -> Option<usize> {
+        self.node(plan).sorted_on
+    }
+
+    /// Estimated selectivity of `predicate` over `plan`'s output.
+    pub fn selectivity(&self, predicate: &Expr, plan: &Plan) -> f64 {
+        let node = self.node(plan);
+        self.predicate_selectivity(predicate, &node.cols)
+    }
+
+    /// Render the plan one line per node with estimated rows and cost
+    /// appended, using `| ` depth markers (stable under whitespace
+    /// trimming, so sqllogictest scripts can match it).
+    pub fn explain_annotated(&self, plan: &Plan) -> Vec<String> {
+        let mut out = Vec::new();
+        self.annotate_into(plan, 0, &mut out);
+        out
+    }
+
+    fn annotate_into(&self, plan: &Plan, depth: usize, out: &mut Vec<String>) {
+        let node = self.node(plan);
+        out.push(format!(
+            "{}{} [rows={} cost={}]",
+            "| ".repeat(depth),
+            plan.node_label(),
+            round(node.rows),
+            round(node.cost),
+        ));
+        for child in plan.children() {
+            self.annotate_into(child, depth + 1, out);
+        }
+    }
+
+    fn stats_of(&self, table: &str) -> Option<TableStats> {
+        self.catalog.table_stats(table)
+    }
+
+    fn table_rows(&self, table: &str) -> f64 {
+        self.stats_of(table)
+            .map(|s| s.row_count as f64)
+            .unwrap_or(DEFAULT_TABLE_ROWS)
+    }
+
+    fn node(&self, plan: &Plan) -> NodeEst {
+        match plan {
+            Plan::TableScan { table } => {
+                let rows = self.table_rows(table);
+                NodeEst {
+                    rows,
+                    cost: rows * COST_SEQ_ROW,
+                    cols: self.table_cols(table),
+                    sorted_on: None,
+                }
+            }
+            Plan::IndexScan {
+                table,
+                column,
+                lo,
+                hi,
+                hi_inclusive,
+            } => {
+                let n = self.table_rows(table);
+                let sel = self.range_selectivity(table, column, lo, hi, *hi_inclusive);
+                let rows = (n * sel).max(0.0);
+                let cols = self.table_cols(table);
+                let sorted_on = cols
+                    .iter()
+                    .position(|c| matches!(c, Some((_, col)) if col == &column.to_lowercase()));
+                NodeEst {
+                    rows,
+                    cost: COST_IDX_PROBE + rows * COST_IDX_ROW,
+                    cols,
+                    sorted_on,
+                }
+            }
+            Plan::Values { rows } => NodeEst {
+                rows: rows.len() as f64,
+                cost: rows.len() as f64 * 0.01,
+                cols: vec![None; rows.first().map(|r| r.len()).unwrap_or(0)],
+                sorted_on: None,
+            },
+            Plan::Filter { input, predicate } => {
+                let inp = self.node(input);
+                let sel = self.predicate_selectivity(predicate, &inp.cols);
+                NodeEst {
+                    rows: inp.rows * sel,
+                    cost: inp.cost + inp.rows * COST_PRED_EVAL,
+                    cols: inp.cols,
+                    sorted_on: inp.sorted_on,
+                }
+            }
+            Plan::EquiJoin {
+                left,
+                right,
+                algorithm,
+                left_col,
+                right_col,
+                left_width,
+                build,
+            } => {
+                let l = self.node(left);
+                let r = self.node(right);
+                let rows = self.equi_join_rows(&l, &r, *left_col, *right_col);
+                let input_cost = l.cost + r.cost;
+                let (op_cost, sorted_on) = match algorithm {
+                    JoinAlgorithm::Hash => {
+                        let (build_rows, probe_rows, sorted) = match build {
+                            BuildSide::Left => {
+                                (l.rows, r.rows, r.sorted_on.map(|i| i + left_width))
+                            }
+                            BuildSide::Right => (r.rows, l.rows, l.sorted_on),
+                            BuildSide::Auto => (l.rows.min(r.rows), l.rows.max(r.rows), None),
+                        };
+                        (
+                            build_rows * COST_HASH_BUILD + probe_rows * COST_HASH_PROBE,
+                            sorted,
+                        )
+                    }
+                    JoinAlgorithm::Merge => {
+                        let sort_l = if l.sorted_on == Some(*left_col) {
+                            0.0
+                        } else {
+                            sort_cost(l.rows)
+                        };
+                        let sort_r = if r.sorted_on == Some(*right_col) {
+                            0.0
+                        } else {
+                            sort_cost(r.rows)
+                        };
+                        (
+                            sort_l + sort_r + (l.rows + r.rows) * COST_MERGE_ROW,
+                            Some(*left_col),
+                        )
+                    }
+                    JoinAlgorithm::NestedLoop => (l.rows * r.rows * COST_PRED_EVAL, None),
+                };
+                let mut cols = l.cols;
+                cols.extend(r.cols);
+                NodeEst {
+                    rows,
+                    cost: input_cost + op_cost + rows * COST_OUT_ROW,
+                    cols,
+                    sorted_on,
+                }
+            }
+            Plan::NlJoin {
+                left,
+                right,
+                predicate,
+                ..
+            } => {
+                let l = self.node(left);
+                let r = self.node(right);
+                let mut cols = l.cols.clone();
+                cols.extend(r.cols.clone());
+                let sel = self.predicate_selectivity(predicate, &cols);
+                let rows = l.rows * r.rows * sel;
+                NodeEst {
+                    rows,
+                    cost: l.cost + r.cost + l.rows * r.rows * COST_PRED_EVAL + rows * COST_OUT_ROW,
+                    cols,
+                    sorted_on: None,
+                }
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let inp = self.node(input);
+                let rows = if group_by.is_empty() {
+                    1.0
+                } else {
+                    let mut groups = 1.0f64;
+                    for g in group_by {
+                        groups *= self.expr_ndv(g, &inp.cols).unwrap_or(10.0);
+                    }
+                    groups.min(inp.rows).max(1.0)
+                };
+                NodeEst {
+                    rows,
+                    cost: inp.cost + inp.rows * (1.0 + aggs.len() as f64 * COST_PRED_EVAL),
+                    cols: vec![None; group_by.len() + aggs.len()],
+                    sorted_on: None,
+                }
+            }
+            Plan::Project { input, exprs } => {
+                let inp = self.node(input);
+                let cols: Vec<ColRef> = exprs
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Col(i) => inp.cols.get(*i).cloned().flatten(),
+                        _ => None,
+                    })
+                    .collect();
+                let sorted_on = inp.sorted_on.and_then(|s| {
+                    exprs.iter().position(|e| matches!(e, Expr::Col(i) if *i == s))
+                });
+                NodeEst {
+                    rows: inp.rows,
+                    cost: inp.cost + inp.rows * COST_PRED_EVAL * exprs.len() as f64,
+                    cols,
+                    sorted_on,
+                }
+            }
+            Plan::Distinct { input } => {
+                let inp = self.node(input);
+                NodeEst {
+                    rows: inp.rows, // upper bound; duplicates unknown
+                    cost: inp.cost + inp.rows,
+                    cols: inp.cols,
+                    sorted_on: inp.sorted_on,
+                }
+            }
+            Plan::Sort { input, keys } => {
+                let inp = self.node(input);
+                let sorted_on = keys
+                    .first()
+                    .filter(|k| k.order == sbdms_access::sort::SortOrder::Asc)
+                    .map(|k| k.column);
+                NodeEst {
+                    rows: inp.rows,
+                    cost: inp.cost + sort_cost(inp.rows),
+                    cols: inp.cols,
+                    sorted_on,
+                }
+            }
+            Plan::Limit { input, n, .. } => {
+                let inp = self.node(input);
+                NodeEst {
+                    rows: inp.rows.min(*n as f64),
+                    cost: inp.cost,
+                    cols: inp.cols,
+                    sorted_on: inp.sorted_on,
+                }
+            }
+        }
+    }
+
+    fn table_cols(&self, table: &str) -> Vec<ColRef> {
+        match self.catalog.table_schema(table) {
+            Ok(schema) => schema
+                .columns
+                .iter()
+                .map(|c| Some((table.to_lowercase(), c.name.to_lowercase())))
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn range_selectivity(
+        &self,
+        table: &str,
+        column: &str,
+        lo: &Option<Datum>,
+        hi: &Option<Datum>,
+        hi_inclusive: bool,
+    ) -> f64 {
+        if let Some(stats) = self.stats_of(table) {
+            if let Some(col) = stats.column(column) {
+                let rows = stats.row_count as f64;
+                // A point probe (lo == hi, inclusive) is an equality.
+                if let (Some(l), Some(h)) = (lo, hi) {
+                    if hi_inclusive && l.order(h) == std::cmp::Ordering::Equal {
+                        return col.selectivity_eq(rows, l);
+                    }
+                }
+                return col.selectivity_range(
+                    rows,
+                    lo.as_ref().map(|d| (d, true)),
+                    hi.as_ref().map(|d| (d, hi_inclusive)),
+                );
+            }
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) if hi_inclusive && l.order(h) == std::cmp::Ordering::Equal => {
+                DEFAULT_EQ_SEL
+            }
+            (Some(_), Some(_)) => DEFAULT_RANGE_SEL * DEFAULT_RANGE_SEL,
+            _ => DEFAULT_RANGE_SEL,
+        }
+    }
+
+    /// NDV of an expression over an input, when it is a column with
+    /// known provenance and stats.
+    fn expr_ndv(&self, e: &Expr, cols: &[ColRef]) -> Option<f64> {
+        let Expr::Col(i) = e else { return None };
+        let (table, column) = cols.get(*i)?.as_ref()?.clone();
+        let stats = self.stats_of(&table)?;
+        Some(stats.column(&column)?.distinct.max(1) as f64)
+    }
+
+    fn col_stats(&self, cols: &[ColRef], i: usize) -> Option<(f64, crate::stats::ColumnStats)> {
+        let (table, column) = cols.get(i)?.as_ref()?.clone();
+        let stats = self.stats_of(&table)?;
+        let col = stats.column(&column)?.clone();
+        Some((stats.row_count as f64, col))
+    }
+
+    /// Estimated join output: `|L|·|R| / max(ndv(l), ndv(r))`, with each
+    /// missing NDV defaulting to its own side's cardinality (the
+    /// foreign-key assumption).
+    fn equi_join_rows(&self, l: &NodeEst, r: &NodeEst, left_col: usize, right_col: usize) -> f64 {
+        let ndv_l = self
+            .col_stats(&l.cols, left_col)
+            .map(|(_, c)| c.distinct.max(1) as f64)
+            .unwrap_or_else(|| l.rows.max(1.0));
+        let ndv_r = self
+            .col_stats(&r.cols, right_col)
+            .map(|(_, c)| c.distinct.max(1) as f64)
+            .unwrap_or_else(|| r.rows.max(1.0));
+        l.rows * r.rows / ndv_l.max(ndv_r).max(1.0)
+    }
+
+    /// Selectivity of a predicate over an input with column provenance.
+    /// Conjuncts multiply (independence), disjuncts add inclusion-
+    /// exclusion; leaf comparisons probe histograms/NDV where possible.
+    fn predicate_selectivity(&self, e: &Expr, cols: &[ColRef]) -> f64 {
+        match e {
+            Expr::Lit(Datum::Bool(true)) => 1.0,
+            Expr::Lit(Datum::Bool(false)) | Expr::Lit(Datum::Null) => 0.0,
+            Expr::Lit(_) => DEFAULT_SEL,
+            Expr::Col(_) => DEFAULT_SEL,
+            Expr::Unary(UnaryOp::Not, inner) => {
+                1.0 - self.predicate_selectivity(inner, cols)
+            }
+            Expr::Unary(UnaryOp::IsNull, inner) => match inner.as_ref() {
+                Expr::Col(i) => match self.col_stats(cols, *i) {
+                    Some((rows, c)) if rows > 0.0 => c.null_count as f64 / rows,
+                    _ => DEFAULT_EQ_SEL,
+                },
+                _ => DEFAULT_EQ_SEL,
+            },
+            Expr::Unary(UnaryOp::IsNotNull, inner) => match inner.as_ref() {
+                Expr::Col(i) => match self.col_stats(cols, *i) {
+                    Some((rows, c)) if rows > 0.0 => 1.0 - c.null_count as f64 / rows,
+                    _ => 1.0 - DEFAULT_EQ_SEL,
+                },
+                _ => 1.0 - DEFAULT_EQ_SEL,
+            },
+            Expr::Unary(_, _) => DEFAULT_SEL,
+            Expr::Binary(BinOp::And, l, r) => {
+                self.predicate_selectivity(l, cols) * self.predicate_selectivity(r, cols)
+            }
+            Expr::Binary(BinOp::Or, l, r) => {
+                let a = self.predicate_selectivity(l, cols);
+                let b = self.predicate_selectivity(r, cols);
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            Expr::Binary(op, l, r) => self.comparison_selectivity(*op, l, r, cols),
+        }
+    }
+
+    fn comparison_selectivity(&self, op: BinOp, l: &Expr, r: &Expr, cols: &[ColRef]) -> f64 {
+        // Normalise to column-vs-literal / column-vs-column.
+        let (col, lit, op) = match (l, r) {
+            (Expr::Col(i), Expr::Lit(d)) => (Some(*i), Some(d), op),
+            (Expr::Lit(d), Expr::Col(i)) => (Some(*i), Some(d), flip_cmp(op)),
+            (Expr::Col(a), Expr::Col(b)) => {
+                if op == BinOp::Eq {
+                    let ndv_a = self.col_stats(cols, *a).map(|(_, c)| c.distinct.max(1) as f64);
+                    let ndv_b = self.col_stats(cols, *b).map(|(_, c)| c.distinct.max(1) as f64);
+                    if let (Some(a), Some(b)) = (ndv_a, ndv_b) {
+                        return (1.0 / a.max(b)).clamp(0.0, 1.0);
+                    }
+                }
+                return default_cmp_sel(op);
+            }
+            _ => return default_cmp_sel(op),
+        };
+        let (Some(i), Some(lit)) = (col, lit) else {
+            return default_cmp_sel(op);
+        };
+        let Some((rows, stats)) = self.col_stats(cols, i) else {
+            return default_cmp_sel(op);
+        };
+        match op {
+            BinOp::Eq => stats.selectivity_eq(rows, lit),
+            BinOp::Ne => (1.0 - stats.selectivity_eq(rows, lit)).clamp(0.0, 1.0),
+            BinOp::Lt => stats.selectivity_range(rows, None, Some((lit, false))),
+            BinOp::Le => stats.selectivity_range(rows, None, Some((lit, true))),
+            BinOp::Gt => stats.selectivity_range(rows, Some((lit, false)), None),
+            BinOp::Ge => stats.selectivity_range(rows, Some((lit, true)), None),
+            _ => default_cmp_sel(op),
+        }
+    }
+}
+
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn default_cmp_sel(op: BinOp) -> f64 {
+    match op {
+        BinOp::Eq => DEFAULT_EQ_SEL,
+        BinOp::Ne => 1.0 - DEFAULT_EQ_SEL,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => DEFAULT_RANGE_SEL,
+        BinOp::Like => 0.25,
+        _ => DEFAULT_SEL,
+    }
+}
+
+/// `n·log2 n` sort cost.
+fn sort_cost(rows: f64) -> f64 {
+    let n = rows.max(2.0);
+    n * n.log2()
+}
+
+/// Render an estimate value compactly and deterministically: integers up
+/// to six digits exactly, larger or fractional values with one decimal.
+fn round(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1_000_000.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}

@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -13,15 +14,20 @@ use sbdms_access::exec::{self, TupleStream};
 use sbdms_access::heap::Rid;
 use sbdms_access::record::{Datum, Tuple};
 use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_kernel::events::{Event, EventBus};
 use sbdms_storage::replacement::PolicyKind;
 use sbdms_storage::services::StorageEngine;
 
 use crate::ast::{AstExpr, Select, Statement};
 use crate::catalog::{Catalog, ViewMeta};
+use crate::cost::Estimator;
 use crate::parser::parse;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
-use crate::planner::{compile_expr, plan_select, BindEnv, CatalogView, Plan, PlannedQuery};
+use crate::planner::{
+    compile_expr, plan_select, BindEnv, CatalogView, Plan, PlannedQuery, PlannerKnobs,
+};
 use crate::schema::Schema;
+use crate::stats::TableStats;
 use crate::table::Table;
 use crate::txn::{Durability, TableResolver, TransactionManager, TxnId, UndoOp};
 
@@ -66,6 +72,10 @@ pub struct DbOptions {
     pub parallelism: usize,
     /// Plan cache entries (0 disables plan caching).
     pub plan_cache_capacity: usize,
+    /// Equi-depth histogram buckets per column collected by `ANALYZE`
+    /// (0 keeps row counts/min/max/NDV but disables histograms — the
+    /// embedded profile's cheaper setting).
+    pub histogram_buckets: usize,
 }
 
 impl Default for DbOptions {
@@ -77,6 +87,7 @@ impl Default for DbOptions {
             sort_budget: 8 << 20,
             parallelism: 1,
             plan_cache_capacity: 64,
+            histogram_buckets: crate::stats::HISTOGRAM_BUCKETS,
         }
     }
 }
@@ -89,10 +100,13 @@ pub struct Database {
     /// The session's explicit transaction, if one is open.
     current_txn: Mutex<Option<TxnId>>,
     tables: Mutex<HashMap<String, Arc<Table>>>,
-    join_algorithm: Mutex<JoinAlgorithm>,
+    knobs: Mutex<PlannerKnobs>,
     plan_cache: PlanCache,
     sort_budget: usize,
     parallelism: usize,
+    histogram_buckets: usize,
+    event_bus: Mutex<Option<EventBus>>,
+    plans_selected: AtomicU64,
 }
 
 impl Database {
@@ -159,10 +173,13 @@ impl Database {
             txns,
             current_txn: Mutex::new(None),
             tables: Mutex::new(HashMap::new()),
-            join_algorithm: Mutex::new(JoinAlgorithm::Hash),
+            knobs: Mutex::new(PlannerKnobs::default()),
             plan_cache: PlanCache::new(opts.plan_cache_capacity),
             sort_budget: opts.sort_budget.max(1),
             parallelism: opts.parallelism.max(1),
+            histogram_buckets: opts.histogram_buckets,
+            event_bus: Mutex::new(None),
+            plans_selected: AtomicU64::new(0),
         };
         let rolled_back = db.txns.recover(&DbResolver { db: &db })?;
         if !rolled_back.is_empty() {
@@ -194,10 +211,64 @@ impl Database {
         self.txns.set_durability(d);
     }
 
-    /// Choose the equi-join algorithm the planner uses (hash by default;
-    /// merge and nested-loop are available for experiments/ablations).
+    /// Choose the equi-join algorithm the planner falls back to when no
+    /// statistics cover the joined tables (hash by default). Once the
+    /// tables are `ANALYZE`d the cost model decides instead; use
+    /// [`Database::force_join_algorithm`] to override it. The override
+    /// order is: forced hint > cost model > this knob.
     pub fn set_join_algorithm(&self, algorithm: JoinAlgorithm) {
-        *self.join_algorithm.lock() = algorithm;
+        self.knobs.lock().fallback_join = algorithm;
+    }
+
+    /// Force every equi-join onto one algorithm regardless of cost
+    /// estimates (`None` hands control back to the cost model). The
+    /// strongest override tier — used by experiments to build forced
+    /// baselines against the cost-based plans.
+    pub fn force_join_algorithm(&self, algorithm: Option<JoinAlgorithm>) {
+        self.knobs.lock().forced_join = algorithm;
+    }
+
+    /// Enable or disable cost-based join reordering (on by default;
+    /// only takes effect once every joined table has statistics).
+    pub fn set_join_reordering(&self, on: bool) {
+        self.knobs.lock().join_reordering = on;
+    }
+
+    /// Enable or disable index access-path selection (on by default).
+    /// Off forces sequential scans everywhere — the forced baseline for
+    /// the access-path experiments.
+    pub fn set_index_selection(&self, on: bool) {
+        self.knobs.lock().index_selection = on;
+    }
+
+    /// Enable or disable use of stored statistics. Off reverts the
+    /// planner to the purely syntactic seed behaviour even on analyzed
+    /// tables.
+    pub fn set_use_stats(&self, on: bool) {
+        self.knobs.lock().use_stats = on;
+    }
+
+    /// Attach a kernel event bus: each freshly planned query publishes a
+    /// `plan.selected` event describing why its plan was chosen.
+    pub fn set_event_bus(&self, bus: EventBus) {
+        *self.event_bus.lock() = Some(bus);
+    }
+
+    /// Number of plans selected (planned fresh, not served from cache)
+    /// since open — the planner's decision counter.
+    pub fn plans_selected(&self) -> u64 {
+        self.plans_selected.load(Ordering::Relaxed)
+    }
+
+    /// Sample `table` and store optimizer statistics (row count and
+    /// per-column min/max/NDV/null-count/histogram) in the catalog.
+    /// Bumps the statistics version so cached plans are re-costed.
+    pub fn analyze(&self, table: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let schema = t.schema().clone();
+        let rows: Vec<Tuple> = t.scan()?.into_iter().map(|(_, row)| row).collect();
+        let stats = TableStats::collect(&rows, &schema, self.histogram_buckets);
+        self.catalog.update_stats(&table.to_lowercase(), stats)
     }
 
     /// Begin an explicit transaction (one per session).
@@ -247,15 +318,52 @@ impl Database {
     }
 
     /// The epoch cached plans are valid under: the catalog schema
-    /// version, salted with the planner's join-algorithm setting so
-    /// `set_join_algorithm` invalidates plans like DDL does.
+    /// version and the statistics version (so both DDL and `ANALYZE`
+    /// invalidate plans), salted with the planner knobs so flipping any
+    /// of them re-plans too.
     fn plan_epoch(&self) -> u64 {
-        let join = match *self.join_algorithm.lock() {
-            JoinAlgorithm::NestedLoop => 0u64,
-            JoinAlgorithm::Hash => 1,
-            JoinAlgorithm::Merge => 2,
-        };
-        (self.catalog.version() << 2) | join
+        fn join_code(j: JoinAlgorithm) -> u64 {
+            match j {
+                JoinAlgorithm::NestedLoop => 0,
+                JoinAlgorithm::Hash => 1,
+                JoinAlgorithm::Merge => 2,
+            }
+        }
+        let k = self.knobs.lock();
+        let forced = k.forced_join.map_or(0, |j| join_code(j) + 1);
+        let knob_bits = (forced << 5)
+            | (join_code(k.fallback_join) << 3)
+            | ((k.join_reordering as u64) << 2)
+            | ((k.index_selection as u64) << 1)
+            | (k.use_stats as u64);
+        (self.catalog.version() << 40) ^ (self.catalog.stats_version() << 8) ^ knob_bits
+    }
+
+    /// Re-`ANALYZE` any base table referenced by `select` whose
+    /// statistics have gone stale (enough writes since the last sample).
+    /// Only previously analyzed tables refresh — statistics stay opt-in.
+    fn refresh_stale_stats(&self, select: &Select) -> Result<()> {
+        let names = select.from.iter().chain(select.joins.iter().map(|j| &j.table));
+        for name in names {
+            if self.catalog.stats_stale(name) {
+                self.analyze(name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Count a fresh planning decision and publish it on the event bus.
+    fn note_plan_selected(&self, sql: &str, decisions: &[String]) {
+        self.plans_selected.fetch_add(1, Ordering::Relaxed);
+        if decisions.is_empty() {
+            return;
+        }
+        if let Some(bus) = self.event_bus.lock().as_ref() {
+            bus.publish(Event::Custom {
+                topic: "plan.selected".into(),
+                detail: format!("{sql} :: {}", decisions.join("; ")),
+            });
+        }
     }
 
     /// Parse and execute one SQL statement. SELECT plans are cached by
@@ -278,8 +386,11 @@ impl Database {
         }
         let stmt = parse(sql)?;
         if let Statement::Select(select) = stmt {
+            self.refresh_stale_stats(&select)?;
             let planned = Arc::new(plan_select(&select, self)?);
-            self.plan_cache.insert(sql, epoch, planned.clone());
+            // Re-read the epoch: a stale-stats refresh above bumps it.
+            self.plan_cache.insert(sql, self.plan_epoch(), planned.clone());
+            self.note_plan_selected(sql, &planned.decisions);
             return self.run_planned(&planned);
         }
         self.execute_statement(stmt)
@@ -323,7 +434,30 @@ impl Database {
             Statement::Update { table, set, filter } => self.run_update(&table, set, filter),
             Statement::Delete { table, filter } => self.run_delete(&table, filter),
             Statement::Select(select) => self.run_select(&select),
+            Statement::Analyze { table } => {
+                self.analyze(&table)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::Explain(select) => self.run_explain(&select),
         }
+    }
+
+    /// Plan a SELECT and return its annotated plan (one row per line)
+    /// instead of executing it. Each node line carries the estimated
+    /// rows and cost; the planner's selection decisions follow as
+    /// `-- ...` comment lines.
+    fn run_explain(&self, select: &Select) -> Result<QueryResult> {
+        let planned = plan_select(select, self)?;
+        let estimator = Estimator::new(self);
+        let mut lines = estimator.explain_annotated(&planned.plan);
+        for d in &planned.decisions {
+            lines.push(format!("-- {d}"));
+        }
+        Ok(QueryResult {
+            columns: vec!["plan".into()],
+            rows: lines.into_iter().map(|l| vec![Datum::Str(l)]).collect(),
+            affected: 0,
+        })
     }
 
     /// Execute a SELECT and materialise the result.
@@ -405,6 +539,7 @@ impl Database {
             self.log_if_txn(|| UndoOp::insert(table, &row_for_log))?;
             inserted += 1;
         }
+        self.catalog.note_writes(table, inserted as u64);
         Ok(QueryResult::affected(inserted))
     }
 
@@ -444,6 +579,7 @@ impl Database {
             self.log_if_txn(|| UndoOp::update(table, &old, &stored))?;
             affected += 1;
         }
+        self.catalog.note_writes(table, affected as u64);
         Ok(QueryResult::affected(affected))
     }
 
@@ -461,6 +597,7 @@ impl Database {
             self.log_if_txn(|| UndoOp::delete(table, &old))?;
             affected += 1;
         }
+        self.catalog.note_writes(table, affected as u64);
         Ok(QueryResult::affected(affected))
     }
 
@@ -524,6 +661,7 @@ impl Database {
                 left_col,
                 right_col,
                 left_width,
+                build,
             } => exec::equi_join(
                 *algorithm,
                 self.run_plan(left)?,
@@ -531,6 +669,7 @@ impl Database {
                 *left_col,
                 *right_col,
                 *left_width,
+                *build,
             ),
             Plan::NlJoin {
                 left,
@@ -587,7 +726,15 @@ impl CatalogView for Database {
     }
 
     fn preferred_equi_join(&self) -> JoinAlgorithm {
-        *self.join_algorithm.lock()
+        self.knobs.lock().fallback_join
+    }
+
+    fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.catalog.stats(name)
+    }
+
+    fn knobs(&self) -> PlannerKnobs {
+        self.knobs.lock().clone()
     }
 }
 

@@ -7,7 +7,9 @@
 //! * [`catalog`]: persistent metadata for tables, indexes and views,
 //! * [`table`]: schema-checked row storage with index maintenance,
 //! * [`ast`] / [`parser`]: a compact SQL dialect,
-//! * [`planner`]: name resolution, index selection, join planning,
+//! * [`stats`] / [`cost`]: ANALYZE statistics and the cost model,
+//! * [`planner`]: name resolution, cost-based access-path, join
+//!   algorithm and join-order selection,
 //! * [`executor`]: the [`executor::Database`] engine executing plans,
 //! * [`txn`]: WAL-logged transactions (undo rollback + crash recovery),
 //! * [`services`]: the query-service facade for the kernel bus.
@@ -16,12 +18,14 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod cost;
 pub mod executor;
 pub mod parser;
 pub mod plan_cache;
 pub mod planner;
 pub mod schema;
 pub mod services;
+pub mod stats;
 pub mod table;
 pub mod txn;
 
@@ -29,7 +33,9 @@ pub use catalog::{Catalog, IndexMeta, TableMeta, ViewMeta};
 pub use executor::{Database, DbOptions, QueryResult};
 pub use parser::parse;
 pub use plan_cache::{PlanCache, PlanCacheStats};
-pub use planner::{plan_select, Plan, PlannedQuery};
+pub use cost::{Estimate, Estimator};
+pub use planner::{plan_select, Plan, PlannedQuery, PlannerKnobs};
+pub use stats::{ColumnStats, Histogram, TableStats};
 pub use schema::{Column, ColumnType, Schema};
 pub use services::QueryService;
 pub use table::Table;

@@ -301,6 +301,13 @@ impl<'a> Parser<'a> {
             let select = self.select()?;
             return Ok(Statement::Select(Box::new(select)));
         }
+        if self.eat_kw("analyze") {
+            return Ok(Statement::Analyze { table: self.ident()? });
+        }
+        if self.eat_kw("explain") {
+            let select = self.select()?;
+            return Ok(Statement::Explain(Box::new(select)));
+        }
         Err(err(format!("unexpected statement start {:?}", self.peek())))
     }
 

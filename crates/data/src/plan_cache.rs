@@ -146,6 +146,7 @@ mod tests {
         Arc::new(PlannedQuery {
             plan: Plan::Values { rows: vec![] },
             columns: vec![label.to_string()],
+            decisions: vec![],
         })
     }
 

@@ -31,6 +31,16 @@ pub fn query_interface() -> Interface {
             Operation::new("rollback", vec![], TypeTag::Null),
             Operation::new("checkpoint", vec![], TypeTag::Null),
             Operation::new("tables", vec![], TypeTag::List),
+            Operation::new(
+                "analyze",
+                vec![Param::required("table", TypeTag::Str)],
+                TypeTag::Null,
+            ),
+            Operation::new(
+                "explain",
+                vec![Param::required("sql", TypeTag::Str)],
+                TypeTag::List,
+            ),
         ],
     )
 }
@@ -123,6 +133,25 @@ impl Service for QueryService {
                     .map(Value::Str)
                     .collect(),
             )),
+            "analyze" => {
+                let table = input.require("table")?.as_str()?;
+                self.db.analyze(table)?;
+                Ok(Value::Null)
+            }
+            "explain" => {
+                // `sql` is the SELECT to explain; returns the annotated
+                // plan as a list of text lines.
+                let sql = input.require("sql")?.as_str()?;
+                let result = self.db.execute(&format!("EXPLAIN {sql}"))?;
+                Ok(Value::List(
+                    result
+                        .rows
+                        .iter()
+                        .filter_map(|row| row.first())
+                        .map(|d| Value::Str(d.to_string()))
+                        .collect(),
+                ))
+            }
             other => Err(unknown_op(&self.descriptor, other)),
         }
     }

@@ -29,6 +29,7 @@ impl Table {
             schema,
             heap_dir_page: heap.dir_page(),
             indexes: vec![],
+            stats: None,
         };
         catalog.create_table(meta.clone())?;
         Ok(Table {

@@ -1,0 +1,193 @@
+//! Differential tests for cost-based plan selection: whatever plan the
+//! cost model picks, the answer must be byte-identical to every forced
+//! baseline (forced join algorithms, textual join order, sequential
+//! scans only, statistics disabled). A proptest closes the loop on the
+//! ANALYZE lifecycle: fresh statistics must change the chosen plan for
+//! a non-selective indexed predicate and invalidate cached plans.
+
+use proptest::prelude::*;
+use sbdms_access::exec::join::JoinAlgorithm;
+use sbdms_data::executor::{Database, DbOptions};
+use sbdms_storage::{SimBackend, SimConfig};
+
+fn open_db(seed: u64) -> Database {
+    let sim = SimBackend::new(SimConfig::seeded(seed));
+    Database::open_at(&*sim, DbOptions::default()).unwrap()
+}
+
+/// A star-ish schema with skewed sizes: a 600-row fact table, a 3-row
+/// dimension and a 120-row dimension, plus indexes the access-path
+/// selector can pick or reject.
+fn load_workload(db: &Database) {
+    db.execute("CREATE TABLE fact (id INT NOT NULL, d1 INT NOT NULL, d2 INT NOT NULL, val INT NOT NULL)")
+        .unwrap();
+    db.execute("CREATE TABLE dim_small (id INT NOT NULL, name TEXT NOT NULL)")
+        .unwrap();
+    db.execute("CREATE TABLE dim_big (id INT NOT NULL, label TEXT NOT NULL)")
+        .unwrap();
+    db.execute("CREATE INDEX fact_val ON fact (val)").unwrap();
+    db.execute("CREATE INDEX dim_big_id ON dim_big (id)").unwrap();
+    for chunk in (0..600i64).collect::<Vec<_>>().chunks(150) {
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, {}, {})", i % 3, i % 120, (i * 7) % 600))
+            .collect();
+        db.execute(&format!("INSERT INTO fact VALUES {}", vals.join(", ")))
+            .unwrap();
+    }
+    let vals: Vec<String> = (0..3i64).map(|i| format!("({i}, 'n{i}')")).collect();
+    db.execute(&format!("INSERT INTO dim_small VALUES {}", vals.join(", ")))
+        .unwrap();
+    let vals: Vec<String> = (0..120i64).map(|i| format!("({i}, 'l{i}')")).collect();
+    db.execute(&format!("INSERT INTO dim_big VALUES {}", vals.join(", ")))
+        .unwrap();
+}
+
+/// Queries spanning the decisions the cost model makes: join algorithm,
+/// join order (fact listed first = worst textual order), access path
+/// (selective range, non-selective range, point probe, BETWEEN).
+const QUERIES: &[&str] = &[
+    "SELECT fact.id, dim_small.name FROM fact JOIN dim_small ON fact.d1 = dim_small.id",
+    "SELECT fact.id, dim_big.label FROM fact JOIN dim_big ON fact.d2 = dim_big.id WHERE dim_big.id < 4",
+    "SELECT fact.id, dim_small.name, dim_big.label FROM fact \
+     JOIN dim_small ON fact.d1 = dim_small.id \
+     JOIN dim_big ON fact.d2 = dim_big.id \
+     WHERE dim_big.id < 10 AND fact.val < 300",
+    "SELECT id FROM fact WHERE val >= 590",
+    "SELECT id FROM fact WHERE val >= 0",
+    "SELECT id FROM fact WHERE val >= 100 AND val <= 110",
+    "SELECT fact.id FROM fact JOIN dim_big ON fact.d2 = dim_big.id WHERE fact.val = 7",
+];
+
+fn sorted_rows(db: &Database, sql: &str) -> (Vec<String>, Vec<String>) {
+    let result = db.execute(sql).unwrap();
+    let mut rows: Vec<String> = result
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    rows.sort();
+    (result.columns, rows)
+}
+
+#[test]
+fn cost_based_plans_match_every_forced_baseline() {
+    let db = open_db(11);
+    load_workload(&db);
+    for table in ["fact", "dim_small", "dim_big"] {
+        db.execute(&format!("ANALYZE {table}")).unwrap();
+    }
+
+    // Reference answers under full cost-based selection.
+    let reference: Vec<_> = QUERIES.iter().map(|q| sorted_rows(&db, q)).collect();
+
+    // Forced-join baselines: every equi-join runs the named algorithm.
+    for forced in [
+        JoinAlgorithm::Hash,
+        JoinAlgorithm::Merge,
+        JoinAlgorithm::NestedLoop,
+    ] {
+        db.force_join_algorithm(Some(forced));
+        for (q, want) in QUERIES.iter().zip(&reference) {
+            let got = sorted_rows(&db, q);
+            assert_eq!(&got, want, "forced {forced:?} diverged on `{q}`");
+        }
+        db.force_join_algorithm(None);
+    }
+
+    // Textual join order.
+    db.set_join_reordering(false);
+    for (q, want) in QUERIES.iter().zip(&reference) {
+        let got = sorted_rows(&db, q);
+        assert_eq!(&got, want, "textual join order diverged on `{q}`");
+    }
+    db.set_join_reordering(true);
+
+    // Sequential scans only.
+    db.set_index_selection(false);
+    for (q, want) in QUERIES.iter().zip(&reference) {
+        let got = sorted_rows(&db, q);
+        assert_eq!(&got, want, "seq-scan-only diverged on `{q}`");
+    }
+    db.set_index_selection(true);
+
+    // Statistics ignored entirely (the seed's syntactic planner).
+    db.set_use_stats(false);
+    for (q, want) in QUERIES.iter().zip(&reference) {
+        let got = sorted_rows(&db, q);
+        assert_eq!(&got, want, "stats-off planning diverged on `{q}`");
+    }
+}
+
+#[test]
+fn knob_flips_invalidate_cached_plans() {
+    let db = open_db(12);
+    load_workload(&db);
+    let sql = QUERIES[0];
+    db.execute(sql).unwrap();
+    let hits_before = db.plan_cache_stats().hits;
+    db.execute(sql).unwrap();
+    assert_eq!(db.plan_cache_stats().hits, hits_before + 1, "repeat should hit");
+    // Any knob change moves the epoch: the cached plan no longer serves.
+    db.force_join_algorithm(Some(JoinAlgorithm::Merge));
+    db.execute(sql).unwrap();
+    assert_eq!(db.plan_cache_stats().hits, hits_before + 1, "knob flip must miss");
+}
+
+fn explain_text(db: &Database, sql: &str) -> String {
+    db.execute(&format!("EXPLAIN {sql}"))
+        .unwrap()
+        .rows
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// After a bulk load, ANALYZE (a) changes the chosen plan for a
+    /// non-selective predicate on an indexed column — the syntactic
+    /// planner always takes the index, the cost model rejects it once
+    /// row counts say a sequential scan is cheaper — and (b) bumps the
+    /// plan-cache epoch so the stale cached plan stops serving.
+    #[test]
+    fn analyze_changes_plan_and_invalidates_cache(
+        rows in 100i64..400,
+        seed in 0u64..1_000,
+    ) {
+        let db = open_db(0x5eed ^ seed);
+        db.execute("CREATE TABLE t (k INT NOT NULL, v INT NOT NULL)").unwrap();
+        db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+        for chunk in (0..rows).collect::<Vec<_>>().chunks(200) {
+            let vals: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({i}, {})", (i * 13 + seed as i64) % 50))
+                .collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", vals.join(", "))).unwrap();
+        }
+        // k >= 0 matches every row: a seq scan is the right plan, but
+        // only statistics can prove it.
+        let sql = "SELECT v FROM t WHERE k >= 0";
+        let before = explain_text(&db, sql);
+        prop_assert!(before.contains("IndexScan"), "syntactic planner should take the index:\n{before}");
+
+        db.execute(sql).unwrap();
+        let hits0 = db.plan_cache_stats().hits;
+        db.execute(sql).unwrap();
+        prop_assert_eq!(db.plan_cache_stats().hits, hits0 + 1, "repeat before ANALYZE should hit");
+
+        db.execute("ANALYZE t").unwrap();
+        let after = explain_text(&db, sql);
+        prop_assert!(after.contains("TableScan"), "cost model should reject the index:\n{after}");
+        prop_assert_ne!(&before, &after, "ANALYZE must change the chosen plan");
+
+        // The cached pre-ANALYZE plan must not serve the post-ANALYZE query.
+        db.execute(sql).unwrap();
+        prop_assert_eq!(db.plan_cache_stats().hits, hits0 + 1, "ANALYZE must invalidate the cached plan");
+        // And the refreshed plan caches normally again.
+        db.execute(sql).unwrap();
+        prop_assert_eq!(db.plan_cache_stats().hits, hits0 + 2);
+    }
+}

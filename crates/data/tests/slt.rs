@@ -280,8 +280,10 @@ fn oracle_apply(tables: &mut OracleTables, sql: &str) {
     } else if strip_keyword(sql, "CREATE INDEX").is_some()
         || strip_keyword(sql, "CREATE VIEW").is_some()
         || strip_keyword(sql, "DROP VIEW").is_some()
+        || strip_keyword(sql, "ANALYZE").is_some()
     {
-        // No effect on base-table contents.
+        // No effect on base-table contents (ANALYZE only refreshes
+        // optimizer statistics).
     } else {
         panic!("oracle: statement `{sql}` is outside the oracle dialect");
     }

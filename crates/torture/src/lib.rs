@@ -278,6 +278,7 @@ fn opts(config: &TortureConfig) -> DbOptions {
         sort_budget: 64 << 10,
         parallelism: 1,
         plan_cache_capacity: 0,
+        histogram_buckets: 0,
     }
 }
 
