@@ -44,9 +44,10 @@ impl AggSpec {
     }
 }
 
-/// Running state of one aggregate.
+/// Running state of one aggregate. Shared with the vectorized engine
+/// (`exec::batch`), which feeds it whole columns via [`AggState::update_slice`].
 #[derive(Debug, Clone)]
-enum AggState {
+pub(super) enum AggState {
     Count(i64),
     Sum { total: f64, all_int: bool, seen: bool },
     Avg { total: f64, n: i64 },
@@ -54,7 +55,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(super) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::CountAll | AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
@@ -74,7 +75,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, func: AggFunc, value: Datum) -> Result<()> {
+    pub(super) fn update(&mut self, func: AggFunc, value: Datum) -> Result<()> {
         if func == AggFunc::CountAll {
             if let AggState::Count(n) = self {
                 *n += 1;
@@ -133,7 +134,88 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Datum {
+    /// COUNT(*) fast path: a batch contributes its row count in one add.
+    pub(super) fn add_count(&mut self, n: i64) {
+        if let AggState::Count(c) = self {
+            *c += n;
+        }
+    }
+
+    /// Fold a whole column into the state with one tight loop per
+    /// aggregate kind — the vectorized engine's replacement for a
+    /// per-row `update` dispatch.
+    pub(super) fn update_slice(&mut self, values: &[Datum]) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                *n += values.iter().filter(|v| !v.is_null()).count() as i64;
+            }
+            AggState::Sum { total, all_int, seen } => {
+                for value in values {
+                    match value {
+                        Datum::Null => {}
+                        Datum::Int(i) => {
+                            *total += *i as f64;
+                            *seen = true;
+                        }
+                        Datum::Float(x) => {
+                            *total += x;
+                            *all_int = false;
+                            *seen = true;
+                        }
+                        other => {
+                            return Err(ServiceError::InvalidInput(format!(
+                                "SUM requires numbers, got {other}"
+                            )))
+                        }
+                    }
+                }
+            }
+            AggState::Avg { total, n } => {
+                for value in values {
+                    match value {
+                        Datum::Null => {}
+                        Datum::Int(i) => {
+                            *total += *i as f64;
+                            *n += 1;
+                        }
+                        Datum::Float(x) => {
+                            *total += x;
+                            *n += 1;
+                        }
+                        other => {
+                            return Err(ServiceError::InvalidInput(format!(
+                                "AVG requires numbers, got {other}"
+                            )))
+                        }
+                    }
+                }
+            }
+            AggState::MinMax { best, is_min } => {
+                for value in values {
+                    if value.is_null() {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let c = value.order(b);
+                            if *is_min {
+                                c == std::cmp::Ordering::Less
+                            } else {
+                                c == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if better {
+                        *best = Some(value.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(super) fn finish(self) -> Datum {
         match self {
             AggState::Count(n) => Datum::Int(n),
             AggState::Sum { total, all_int, seen } => {

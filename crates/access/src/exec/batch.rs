@@ -1,0 +1,838 @@
+//! Vectorized batch execution: operators over fixed-capacity columnar
+//! chunks instead of single tuples.
+//!
+//! The paper's *flexibility by selection* (Fig. 6) lets several services
+//! provide the same task; this module is the second provider of the
+//! execution task. A [`Batch`] holds up to [`BATCH_ROWS`] rows
+//! column-major, so expression evaluation ([`Expr::eval_batch`]) and
+//! aggregation loop tight over one column at a time instead of
+//! re-dispatching through the operator tree per row. Every operator here
+//! mirrors its tuple twin in `ops`/`join`/`aggregate` exactly — same
+//! output rows, same order, same errors — which the differential suite
+//! in the data layer enforces byte-for-byte.
+
+use std::collections::{HashMap, HashSet};
+
+use sbdms_kernel::error::{Result, ServiceError};
+
+use super::aggregate::{AggFunc, AggSpec, AggState};
+use super::expr::Expr;
+use super::join::{hash_key, merge_join_rows, BuildSide, HashKey, JoinAlgorithm};
+use crate::heap::HeapFile;
+use crate::record::{decode_tuple, Datum, Tuple};
+use crate::sort::{ExternalSorter, SortKey};
+
+/// Default batch capacity: large enough to amortise per-batch overhead,
+/// small enough that a batch of wide tuples stays cache-resident.
+pub const BATCH_ROWS: usize = 1024;
+
+/// A fixed-capacity chunk of rows stored column-major.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// One `Vec<Datum>` per column, all the same length.
+    columns: Vec<Vec<Datum>>,
+    /// Row count, tracked explicitly so zero-column batches still know
+    /// their cardinality.
+    rows: usize,
+}
+
+impl Batch {
+    /// Empty batch with `width` columns.
+    pub fn new(width: usize) -> Batch {
+        Batch {
+            columns: vec![Vec::new(); width],
+            rows: 0,
+        }
+    }
+
+    /// Build from row-major tuples (all the same width).
+    pub fn from_rows(rows: Vec<Tuple>) -> Batch {
+        let width = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut batch = Batch {
+            columns: (0..width)
+                .map(|_| Vec::with_capacity(rows.len()))
+                .collect(),
+            rows: 0,
+        };
+        for row in rows {
+            batch.push(row);
+        }
+        batch
+    }
+
+    /// Build from pre-transposed columns of `rows` length each.
+    pub fn from_columns(columns: Vec<Vec<Datum>>, rows: usize) -> Batch {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Batch { columns, rows }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// One column as a slice, if in range.
+    pub fn column(&self, i: usize) -> Option<&[Datum]> {
+        self.columns.get(i).map(|c| c.as_slice())
+    }
+
+    /// One column as a slice, with the same error a row-expression
+    /// column reference raises.
+    pub fn try_column(&self, i: usize) -> Result<&[Datum]> {
+        self.column(i)
+            .ok_or_else(|| ServiceError::InvalidInput(format!("column {i} out of range")))
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, row: Tuple) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Materialise one row (cloning).
+    pub fn row(&self, r: usize) -> Tuple {
+        self.columns.iter().map(|c| c[r].clone()).collect()
+    }
+
+    /// Transpose back to row-major tuples.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        let width = self.columns.len();
+        let mut rows: Vec<Tuple> = (0..self.rows).map(|_| Vec::with_capacity(width)).collect();
+        for col in self.columns {
+            for (row, v) in rows.iter_mut().zip(col) {
+                row.push(v);
+            }
+        }
+        rows
+    }
+
+    /// Decompose into columns plus the row count (no transposition).
+    pub fn into_columns(self) -> (Vec<Vec<Datum>>, usize) {
+        (self.columns, self.rows)
+    }
+
+    /// Keep only rows whose mask entry is true, preserving order.
+    /// In place; the all-true mask is free.
+    pub fn retain(mut self, keep: &[bool]) -> Batch {
+        debug_assert_eq!(keep.len(), self.rows);
+        if keep.iter().all(|k| *k) {
+            return self;
+        }
+        for col in &mut self.columns {
+            let mut mask = keep.iter();
+            col.retain(|_| *mask.next().expect("mask shorter than column"));
+        }
+        self.rows = keep.iter().filter(|k| **k).count();
+        self
+    }
+
+    /// Copy out `len` rows starting at `start`.
+    pub fn slice(&self, start: usize, len: usize) -> Batch {
+        Batch {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c[start..start + len].to_vec())
+                .collect(),
+            rows: len,
+        }
+    }
+
+    /// Canonical encoding of one row — identical bytes to
+    /// `encode_tuple(&self.row(r))` without materialising the row.
+    pub fn encode_row(&self, r: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.columns.len() * 9);
+        out.extend_from_slice(&(self.columns.len() as u16).to_le_bytes());
+        for col in &self.columns {
+            col[r].encode_into(&mut out);
+        }
+        out
+    }
+}
+
+/// A stream of batches, the vectorized engine's execution currency.
+pub type BatchStream = Box<dyn Iterator<Item = Result<Batch>> + Send>;
+
+/// Collect a batch stream back into row-major tuples.
+pub fn collect_rows(input: BatchStream) -> Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    for batch in input {
+        out.extend(batch?.into_rows());
+    }
+    Ok(out)
+}
+
+/// Drain a batch stream into materialised batches, staying columnar.
+fn collect_batches(input: BatchStream) -> Result<Vec<Batch>> {
+    input.collect()
+}
+
+/// Chunk pre-materialised tuples into batches of `batch_rows`.
+pub fn values_batches(rows: Vec<Tuple>, batch_rows: usize) -> BatchStream {
+    let mut rows = rows.into_iter();
+    Box::new(std::iter::from_fn(move || {
+        let first = rows.next()?;
+        let mut batch = Batch::new(first.len());
+        batch.push(first);
+        while batch.rows() < batch_rows {
+            match rows.next() {
+                Some(row) => batch.push(row),
+                None => break,
+            }
+        }
+        Some(Ok(batch))
+    }))
+}
+
+/// Sequential scan of a heap file into batches. Streams page-at-a-time:
+/// memory is bounded by one batch plus one page of decoded rows.
+pub fn scan_batches(heap: &HeapFile, batch_rows: usize) -> Result<BatchStream> {
+    let buffer = heap.buffer().clone();
+    let mut pages = heap.data_pages()?.into_iter();
+    let mut pending: Vec<Tuple> = Vec::new();
+    Ok(Box::new(std::iter::from_fn(move || {
+        while pending.len() < batch_rows {
+            let Some(page) = pages.next() else { break };
+            match HeapFile::page_records(&buffer, page) {
+                Ok(records) => {
+                    for (_, bytes) in records {
+                        match decode_tuple(&bytes) {
+                            Ok(tuple) => pending.push(tuple),
+                            Err(e) => return Some(Err(e)),
+                        }
+                    }
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        if pending.is_empty() {
+            return None;
+        }
+        let take = pending.len().min(batch_rows);
+        let rest = pending.split_off(take);
+        let rows = std::mem::replace(&mut pending, rest);
+        Some(Ok(Batch::from_rows(rows)))
+    })))
+}
+
+/// Keep rows for which `predicate` evaluates to TRUE (NULL drops).
+pub fn filter_batches(input: BatchStream, predicate: Expr) -> BatchStream {
+    Box::new(input.filter_map(move |batch| {
+        let batch = match batch {
+            Ok(b) => b,
+            Err(e) => return Some(Err(e)),
+        };
+        let mask = match predicate.eval_batch(&batch) {
+            Ok(vals) => vals.iter().map(|v| v.is_true()).collect::<Vec<_>>(),
+            Err(e) => return Some(Err(e)),
+        };
+        let out = batch.retain(&mask);
+        if out.is_empty() {
+            None
+        } else {
+            Some(Ok(out))
+        }
+    }))
+}
+
+/// Evaluate one expression per output column, whole columns at a time.
+pub fn project_batches(input: BatchStream, exprs: Vec<Expr>) -> BatchStream {
+    Box::new(input.map(move |batch| {
+        let batch = batch?;
+        let rows = batch.rows();
+        let columns = exprs
+            .iter()
+            .map(|e| e.eval_batch(&batch))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Batch::from_columns(columns, rows))
+    }))
+}
+
+/// Sort the input (materialising). Runs the same [`ExternalSorter`] as
+/// the tuple engine — identical output, including tie order and spills.
+pub fn sort_batches(
+    input: BatchStream,
+    keys: Vec<SortKey>,
+    memory_budget: usize,
+    workers: usize,
+) -> Result<BatchStream> {
+    let rows = collect_rows(input)?;
+    let sorter = ExternalSorter::new(memory_budget);
+    let out = if workers > 1 {
+        sorter.sort_parallel(rows, &keys, workers)?
+    } else {
+        sorter.sort(rows, &keys)?
+    };
+    Ok(values_batches(out.tuples, BATCH_ROWS))
+}
+
+/// Pass at most `n` rows after skipping `offset`, slicing batches at the
+/// boundaries.
+pub fn limit_batches(input: BatchStream, n: usize, offset: usize) -> BatchStream {
+    let mut input = input;
+    let mut to_skip = offset;
+    let mut remaining = n;
+    Box::new(std::iter::from_fn(move || {
+        if remaining == 0 {
+            return None;
+        }
+        loop {
+            let batch = match input.next()? {
+                Ok(b) => b,
+                Err(e) => return Some(Err(e)),
+            };
+            let rows = batch.rows();
+            if to_skip >= rows {
+                to_skip -= rows;
+                continue;
+            }
+            let start = to_skip;
+            to_skip = 0;
+            let take = remaining.min(rows - start);
+            remaining -= take;
+            let out = if start == 0 && take == rows {
+                batch
+            } else {
+                batch.slice(start, take)
+            };
+            return Some(Ok(out));
+        }
+    }))
+}
+
+/// Remove duplicate rows, streaming in first-occurrence order. Keys on
+/// the same canonical encoding as the tuple engine's `distinct`.
+pub fn distinct_batches(input: BatchStream) -> BatchStream {
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    Box::new(input.filter_map(move |batch| {
+        let batch = match batch {
+            Ok(b) => b,
+            Err(e) => return Some(Err(e)),
+        };
+        let mask: Vec<bool> = (0..batch.rows())
+            .map(|r| seen.insert(batch.encode_row(r)))
+            .collect();
+        let out = batch.retain(&mask);
+        if out.is_empty() {
+            None
+        } else {
+            Some(Ok(out))
+        }
+    }))
+}
+
+/// Nested-loop join with an arbitrary predicate over the concatenated
+/// row (left columns first). Candidate pairs are generated in the same
+/// left-outer/right-inner order as the tuple engine, batched, and
+/// filtered with one vectorized predicate evaluation per batch.
+pub fn nested_loop_join_batches(
+    left: BatchStream,
+    right: BatchStream,
+    predicate: Expr,
+) -> Result<BatchStream> {
+    let left_rows = collect_rows(left)?;
+    let right_rows = collect_rows(right)?;
+    let width = left_rows.first().map(|r| r.len()).unwrap_or(0)
+        + right_rows.first().map(|r| r.len()).unwrap_or(0);
+    let (mut li, mut ri) = (0usize, 0usize);
+    Ok(Box::new(std::iter::from_fn(move || {
+        if right_rows.is_empty() {
+            return None;
+        }
+        loop {
+            if li >= left_rows.len() {
+                return None;
+            }
+            let mut candidates = Batch::new(width);
+            while candidates.rows() < BATCH_ROWS && li < left_rows.len() {
+                let mut row = Vec::with_capacity(width);
+                row.extend_from_slice(&left_rows[li]);
+                row.extend_from_slice(&right_rows[ri]);
+                candidates.push(row);
+                ri += 1;
+                if ri == right_rows.len() {
+                    ri = 0;
+                    li += 1;
+                }
+            }
+            let mask = match predicate.eval_batch(&candidates) {
+                Ok(vals) => vals.iter().map(|v| v.is_true()).collect::<Vec<_>>(),
+                Err(e) => return Some(Err(e)),
+            };
+            let out = candidates.retain(&mask);
+            if !out.is_empty() {
+                return Some(Ok(out));
+            }
+        }
+    })))
+}
+
+/// Hash equi-join over batches. Same contract as the tuple engine's
+/// `hash_join`: NULL keys never match, output columns are always
+/// left-then-right, output order follows the probe input, and `Auto`
+/// builds from the smaller materialised side.
+pub fn hash_join_batches(
+    left: BatchStream,
+    right: BatchStream,
+    left_col: usize,
+    right_col: usize,
+    build: BuildSide,
+) -> Result<BatchStream> {
+    match build {
+        BuildSide::Left => hash_join_batches_directed(left, left_col, right, right_col, true),
+        BuildSide::Right => hash_join_batches_directed(right, right_col, left, left_col, false),
+        BuildSide::Auto => {
+            // Materialise both sides as batches (no row transposition)
+            // just to count rows; the smaller side builds.
+            let l = collect_batches(left)?;
+            let r = collect_batches(right)?;
+            let l_rows: usize = l.iter().map(Batch::rows).sum();
+            let r_rows: usize = r.iter().map(Batch::rows).sum();
+            let build_left = l_rows <= r_rows;
+            let l: BatchStream = Box::new(l.into_iter().map(Ok));
+            let r: BatchStream = Box::new(r.into_iter().map(Ok));
+            if build_left {
+                hash_join_batches_directed(l, left_col, r, right_col, true)
+            } else {
+                hash_join_batches_directed(r, right_col, l, left_col, false)
+            }
+        }
+    }
+}
+
+/// Hash-join core: build from one input, probe batch-at-a-time. One
+/// output batch per probe batch (possibly larger on duplicate-heavy
+/// keys); `build_is_left` keeps output columns `left ++ right`.
+///
+/// Output assembly is column-wise: the probe pass collects match index
+/// pairs, then every output column is gathered in one tight loop — no
+/// per-row allocation or row/column transposition.
+fn hash_join_batches_directed(
+    build: BatchStream,
+    build_col: usize,
+    probe: BatchStream,
+    probe_col: usize,
+    build_is_left: bool,
+) -> Result<BatchStream> {
+    // Materialise the build side columnar: batches concatenate
+    // column-wise, no row round trip.
+    let mut build_cols: Vec<Vec<Datum>> = Vec::new();
+    for batch in build {
+        let (cols, _) = batch?.into_columns();
+        if build_cols.is_empty() {
+            build_cols = cols;
+        } else {
+            for (dst, src) in build_cols.iter_mut().zip(cols) {
+                dst.extend(src);
+            }
+        }
+    }
+    let build_width = build_cols.len();
+    let mut table: HashMap<HashKey, Vec<u32>> = HashMap::new();
+    if let Some(keys) = build_cols.get(build_col) {
+        for (i, v) in keys.iter().enumerate() {
+            if let Some(key) = hash_key(v) {
+                table.entry(key).or_default().push(i as u32);
+            }
+        }
+    }
+    let mut probe = probe;
+    Ok(Box::new(std::iter::from_fn(move || loop {
+        let batch = match probe.next()? {
+            Ok(b) => b,
+            Err(e) => return Some(Err(e)),
+        };
+        let keys = match batch.column(probe_col) {
+            Some(col) => col,
+            // Out-of-range probe column: the tuple engine's `tuple.get`
+            // silently matches nothing; mirror that.
+            None => continue,
+        };
+        // Match pairs in probe order, build-insertion order per key —
+        // the tuple engine's output order exactly.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (r, probe_key) in keys.iter().enumerate() {
+            let Some(key) = hash_key(probe_key) else {
+                continue;
+            };
+            let Some(matches) = table.get(&key) else {
+                continue;
+            };
+            for &bi in matches {
+                // Hash collisions across numeric types are resolved by
+                // a real comparison.
+                if probe_key.sql_eq(&build_cols[build_col][bi as usize]) {
+                    pairs.push((r as u32, bi));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            continue;
+        }
+        let gather = |col: &[Datum], from_build: bool| -> Vec<Datum> {
+            pairs
+                .iter()
+                .map(|&(pr, bi)| col[if from_build { bi } else { pr } as usize].clone())
+                .collect()
+        };
+        let mut columns: Vec<Vec<Datum>> = Vec::with_capacity(build_width + batch.width());
+        if build_is_left {
+            columns.extend(build_cols.iter().map(|c| gather(c, true)));
+            columns.extend((0..batch.width()).map(|c| gather(batch.column(c).unwrap(), false)));
+        } else {
+            columns.extend((0..batch.width()).map(|c| gather(batch.column(c).unwrap(), false)));
+            columns.extend(build_cols.iter().map(|c| gather(c, true)));
+        }
+        let rows = pairs.len();
+        return Some(Ok(Batch::from_columns(columns, rows)));
+    })))
+}
+
+/// Sort-merge equi-join over batches; delegates to the shared
+/// [`merge_join_rows`] core, so output is identical to the tuple engine.
+pub fn merge_join_batches(
+    left: BatchStream,
+    right: BatchStream,
+    left_col: usize,
+    right_col: usize,
+) -> Result<BatchStream> {
+    let out = merge_join_rows(
+        collect_rows(left)?,
+        collect_rows(right)?,
+        left_col,
+        right_col,
+    )?;
+    Ok(values_batches(out, BATCH_ROWS))
+}
+
+/// Run an equi-join with the chosen algorithm (batch counterpart of
+/// `equi_join`). `build` only applies to hash joins.
+pub fn equi_join_batches(
+    algorithm: JoinAlgorithm,
+    left: BatchStream,
+    right: BatchStream,
+    left_col: usize,
+    right_col: usize,
+    right_offset_for_nl: usize,
+    build: BuildSide,
+) -> Result<BatchStream> {
+    match algorithm {
+        JoinAlgorithm::Hash => hash_join_batches(left, right, left_col, right_col, build),
+        JoinAlgorithm::Merge => merge_join_batches(left, right, left_col, right_col),
+        JoinAlgorithm::NestedLoop => {
+            let predicate = Expr::col(left_col).eq(Expr::col(right_offset_for_nl + right_col));
+            nested_loop_join_batches(left, right, predicate)
+        }
+    }
+}
+
+/// Hash-aggregate batches grouped by `group_by` expressions; output rows
+/// are `group values ++ aggregate values` in first-seen group order —
+/// identical to the tuple engine's `hash_aggregate`. The global
+/// (ungrouped) case folds whole columns into each [`AggState`] with one
+/// tight loop per batch.
+pub fn aggregate_batches(
+    input: BatchStream,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+) -> Result<BatchStream> {
+    if group_by.is_empty() {
+        let mut states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.func)).collect();
+        for batch in input {
+            let batch = batch?;
+            for (state, spec) in states.iter_mut().zip(&aggs) {
+                if spec.func == AggFunc::CountAll {
+                    state.add_count(batch.rows() as i64);
+                } else {
+                    let vals = spec.arg.eval_batch(&batch)?;
+                    state.update_slice(&vals)?;
+                }
+            }
+        }
+        let row: Tuple = states.into_iter().map(AggState::finish).collect();
+        return Ok(values_batches(vec![row], BATCH_ROWS));
+    }
+
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut groups: HashMap<Vec<u8>, (Tuple, Vec<AggState>)> = HashMap::new();
+    for batch in input {
+        let batch = batch?;
+        let group_cols: Vec<Vec<Datum>> = group_by
+            .iter()
+            .map(|e| e.eval_batch(&batch))
+            .collect::<Result<_>>()?;
+        let agg_cols: Vec<Option<Vec<Datum>>> = aggs
+            .iter()
+            .map(|a| {
+                if a.func == AggFunc::CountAll {
+                    Ok(None)
+                } else {
+                    a.arg.eval_batch(&batch).map(Some)
+                }
+            })
+            .collect::<Result<_>>()?;
+        for r in 0..batch.rows() {
+            let mut key = Vec::new();
+            for col in &group_cols {
+                col[r].encode_into(&mut key);
+            }
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (
+                    group_cols.iter().map(|col| col[r].clone()).collect(),
+                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                )
+            });
+            for (state, (spec, col)) in entry.1.iter_mut().zip(aggs.iter().zip(&agg_cols)) {
+                let v = match col {
+                    None => Datum::Null,
+                    Some(col) => col[r].clone(),
+                };
+                state.update(spec.func, v)?;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let (group_vals, states) = groups.remove(&key).expect("group vanished");
+        let mut row = group_vals;
+        row.extend(states.into_iter().map(AggState::finish));
+        out.push(row);
+    }
+    Ok(values_batches(out, BATCH_ROWS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::expr::BinOp;
+
+    fn rows(vals: &[(i64, &str)]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|(a, b)| vec![Datum::Int(*a), Datum::Str(b.to_string())])
+            .collect()
+    }
+
+    fn collect(s: BatchStream) -> Vec<Tuple> {
+        collect_rows(s).unwrap()
+    }
+
+    #[test]
+    fn batch_round_trips_rows() {
+        let input = rows(&[(1, "a"), (2, "b"), (3, "c")]);
+        let batch = Batch::from_rows(input.clone());
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.width(), 2);
+        assert_eq!(batch.column(0).unwrap()[1], Datum::Int(2));
+        assert_eq!(batch.row(2), input[2]);
+        assert_eq!(batch.into_rows(), input);
+    }
+
+    #[test]
+    fn values_batches_chunk_at_capacity() {
+        let input: Vec<Tuple> = (0..10).map(|i| vec![Datum::Int(i)]).collect();
+        let batches: Vec<Batch> = values_batches(input.clone(), 4)
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(
+            batches.iter().map(Batch::rows).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let flat: Vec<Tuple> = batches.into_iter().flat_map(Batch::into_rows).collect();
+        assert_eq!(flat, input);
+    }
+
+    #[test]
+    fn encode_row_matches_tuple_encoding() {
+        let batch = Batch::from_rows(vec![vec![
+            Datum::Int(7),
+            Datum::Null,
+            Datum::Str("x".into()),
+        ]]);
+        assert_eq!(batch.encode_row(0), crate::record::encode_tuple(&batch.row(0)));
+    }
+
+    #[test]
+    fn filter_retains_true_rows_in_order() {
+        let input = values_batches(rows(&[(1, "a"), (5, "b"), (3, "c")]), 2);
+        let out = collect(filter_batches(input, Expr::col(0).ge(Expr::int(3))));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][0], Datum::Int(5));
+        assert_eq!(out[1][0], Datum::Int(3));
+    }
+
+    #[test]
+    fn project_computes_columns() {
+        let input = values_batches(rows(&[(2, "x"), (3, "y")]), BATCH_ROWS);
+        let out = collect(project_batches(
+            input,
+            vec![
+                Expr::col(1),
+                Expr::bin(BinOp::Mul, Expr::col(0), Expr::int(10)),
+            ],
+        ));
+        assert_eq!(out[0], vec![Datum::Str("x".into()), Datum::Int(20)]);
+        assert_eq!(out[1], vec![Datum::Str("y".into()), Datum::Int(30)]);
+    }
+
+    #[test]
+    fn limit_slices_across_batches() {
+        let input: Vec<Tuple> = (0..10).map(|i| vec![Datum::Int(i)]).collect();
+        let out = collect(limit_batches(values_batches(input, 3), 4, 5));
+        assert_eq!(
+            out,
+            (5..9).map(|i| vec![Datum::Int(i)]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn distinct_first_seen_order_across_batches() {
+        let input = values_batches(rows(&[(1, "a"), (2, "b"), (1, "a"), (1, "c")]), 2);
+        let out = collect(distinct_batches(input));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0][0], Datum::Int(1));
+        assert_eq!(out[1][0], Datum::Int(2));
+    }
+
+    #[test]
+    fn joins_match_tuple_engine() {
+        use crate::exec::ops::values_scan;
+        let users: Vec<Tuple> = vec![
+            vec![Datum::Int(1), Datum::Str("alice".into())],
+            vec![Datum::Int(2), Datum::Str("bob".into())],
+            vec![Datum::Null, Datum::Str("ghost".into())],
+        ];
+        let orders: Vec<Tuple> = vec![
+            vec![Datum::Int(10), Datum::Int(1)],
+            vec![Datum::Int(11), Datum::Int(1)],
+            vec![Datum::Int(12), Datum::Null],
+            vec![Datum::Int(13), Datum::Int(2)],
+        ];
+        for algo in [
+            JoinAlgorithm::Hash,
+            JoinAlgorithm::Merge,
+            JoinAlgorithm::NestedLoop,
+        ] {
+            let tuple_out: Vec<Tuple> = super::super::join::equi_join(
+                algo,
+                values_scan(users.clone()),
+                values_scan(orders.clone()),
+                0,
+                1,
+                2,
+                BuildSide::Auto,
+            )
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+            let batch_out = collect(
+                equi_join_batches(
+                    algo,
+                    values_batches(users.clone(), 2),
+                    values_batches(orders.clone(), 3),
+                    0,
+                    1,
+                    2,
+                    BuildSide::Auto,
+                )
+                .unwrap(),
+            );
+            assert_eq!(batch_out, tuple_out, "{algo:?} must match tuple engine");
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_tuple_engine() {
+        use crate::exec::aggregate::hash_aggregate;
+        use crate::exec::ops::values_scan;
+        let sales: Vec<Tuple> = vec![
+            vec![Datum::Str("eu".into()), Datum::Int(10)],
+            vec![Datum::Str("us".into()), Datum::Int(20)],
+            vec![Datum::Str("eu".into()), Datum::Null],
+            vec![Datum::Str("eu".into()), Datum::Float(0.5)],
+        ];
+        let aggs = || {
+            vec![
+                AggSpec::new(AggFunc::CountAll, Expr::int(0)),
+                AggSpec::new(AggFunc::Count, Expr::col(1)),
+                AggSpec::new(AggFunc::Sum, Expr::col(1)),
+                AggSpec::new(AggFunc::Avg, Expr::col(1)),
+                AggSpec::new(AggFunc::Min, Expr::col(1)),
+                AggSpec::new(AggFunc::Max, Expr::col(1)),
+            ]
+        };
+        for group_by in [vec![], vec![Expr::col(0)]] {
+            let tuple_out: Vec<Tuple> =
+                hash_aggregate(values_scan(sales.clone()), group_by.clone(), aggs())
+                    .unwrap()
+                    .collect::<Result<_>>()
+                    .unwrap();
+            let batch_out = collect(
+                aggregate_batches(values_batches(sales.clone(), 2), group_by, aggs()).unwrap(),
+            );
+            assert_eq!(batch_out, tuple_out);
+        }
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_identity_row() {
+        let out = collect(
+            aggregate_batches(
+                values_batches(vec![], BATCH_ROWS),
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::CountAll, Expr::int(0)),
+                    AggSpec::new(AggFunc::Sum, Expr::col(0)),
+                ],
+            )
+            .unwrap(),
+        );
+        assert_eq!(out, vec![vec![Datum::Int(0), Datum::Null]]);
+    }
+
+    #[test]
+    fn eval_batch_matches_row_eval() {
+        let input = vec![
+            vec![Datum::Int(1), Datum::Null, Datum::Str("ab".into())],
+            vec![Datum::Int(5), Datum::Int(5), Datum::Str("cd".into())],
+            vec![Datum::Null, Datum::Int(2), Datum::Str("ab".into())],
+        ];
+        let exprs = vec![
+            Expr::col(0).eq(Expr::int(5)),
+            Expr::col(0).lt(Expr::col(1)),
+            Expr::bin(BinOp::Add, Expr::col(0), Expr::col(1)),
+            Expr::bin(BinOp::Like, Expr::col(2), Expr::str("a%")),
+            Expr::col(0).ge(Expr::int(2)).and(Expr::col(1).eq(Expr::int(2))),
+            Expr::Unary(super::super::expr::UnaryOp::IsNull, Box::new(Expr::col(1))),
+        ];
+        let batch = Batch::from_rows(input.clone());
+        for e in exprs {
+            let vectorized = e.eval_batch(&batch).unwrap();
+            let scalar: Vec<Datum> = input.iter().map(|t| e.eval(t).unwrap()).collect();
+            assert_eq!(vectorized, scalar, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn eval_batch_propagates_errors() {
+        let batch = Batch::from_rows(vec![vec![Datum::Int(1)]]);
+        assert!(Expr::col(9).eval_batch(&batch).is_err());
+        assert!(Expr::bin(BinOp::Div, Expr::col(0), Expr::int(0))
+            .eval_batch(&batch)
+            .is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! The execution engine as a selectable service.
+//!
+//! Paper Fig. 6 (*flexibility by selection*): several services may
+//! provide the same task and the architecture picks one by quality and
+//! resources. Here the task is "execute a physical plan" and the two
+//! providers are the [`TupleEngine`] (pull-based tuple-at-a-time
+//! iterators — lean, lazy, minimal footprint: the embedded profile) and
+//! the [`VectorEngine`] (columnar [`Batch`](super::batch::Batch) chunks
+//! with tight per-column loops — cache-friendly throughput: the
+//! full-fledged profile). Both implement [`Engine`], so the data layer's
+//! plan interpreter is written once, generically, and the engines are
+//! interchangeable with byte-identical results.
+
+use sbdms_kernel::error::Result;
+
+use super::aggregate::AggSpec;
+use super::batch::{self, BatchStream, BATCH_ROWS};
+use super::expr::Expr;
+use super::join::{BuildSide, JoinAlgorithm};
+use super::ops;
+use super::TupleStream;
+use crate::heap::HeapFile;
+use crate::record::Tuple;
+use crate::sort::SortKey;
+
+/// Which execution engine runs a statement. The vectorized engine is
+/// the built-in default; profiles and per-statement hints override it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Tuple-at-a-time pull iterators.
+    Tuple,
+    /// Columnar batch execution.
+    #[default]
+    Vectorized,
+}
+
+impl EngineKind {
+    /// Parse a user-facing name ("tuple" / "vectorized").
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tuple" => Some(EngineKind::Tuple),
+            "vectorized" | "vector" | "batch" => Some(EngineKind::Vectorized),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Tuple => write!(f, "tuple"),
+            EngineKind::Vectorized => write!(f, "vectorized"),
+        }
+    }
+}
+
+/// One provider of the execution task: a full set of physical operators
+/// over the engine's own stream currency. Implementations must agree on
+/// results byte-for-byte — rows, order, and errors — so the planner may
+/// choose either engine for any statement.
+pub trait Engine: Send + Sync {
+    /// The engine's execution currency (tuple stream or batch stream).
+    type Stream;
+
+    /// Which engine this is, for plan decisions and contracts.
+    fn kind(&self) -> EngineKind;
+
+    /// Sequential scan of a heap file (page-at-a-time, memory bounded).
+    fn seq_scan(&self, heap: &HeapFile) -> Result<Self::Stream>;
+
+    /// Stream of pre-materialised tuples (index scans, VALUES, tests).
+    fn values(&self, rows: Vec<Tuple>) -> Self::Stream;
+
+    /// Keep rows for which `predicate` is TRUE (NULL drops).
+    fn filter(&self, input: Self::Stream, predicate: Expr) -> Self::Stream;
+
+    /// Evaluate one expression per output column.
+    fn project(&self, input: Self::Stream, exprs: Vec<Expr>) -> Self::Stream;
+
+    /// Sort (materialising; spills past `memory_budget`; `workers > 1`
+    /// sorts chunks in parallel with identical output).
+    fn sort(
+        &self,
+        input: Self::Stream,
+        keys: Vec<SortKey>,
+        memory_budget: usize,
+        workers: usize,
+    ) -> Result<Self::Stream>;
+
+    /// Pass at most `n` rows after skipping `offset`.
+    fn limit(&self, input: Self::Stream, n: usize, offset: usize) -> Self::Stream;
+
+    /// Remove duplicate rows in first-occurrence order.
+    fn distinct(&self, input: Self::Stream) -> Self::Stream;
+
+    /// Equi-join with the chosen algorithm; `build` applies to hash
+    /// joins, `right_offset_for_nl` is the left width for the
+    /// nested-loop fallback predicate.
+    #[allow(clippy::too_many_arguments)]
+    fn equi_join(
+        &self,
+        algorithm: JoinAlgorithm,
+        left: Self::Stream,
+        right: Self::Stream,
+        left_col: usize,
+        right_col: usize,
+        right_offset_for_nl: usize,
+        build: BuildSide,
+    ) -> Result<Self::Stream>;
+
+    /// Nested-loop join with an arbitrary predicate over `left ++ right`.
+    fn nested_loop_join(
+        &self,
+        left: Self::Stream,
+        right: Self::Stream,
+        predicate: Expr,
+    ) -> Result<Self::Stream>;
+
+    /// Hash aggregation grouped by `group_by`, first-seen group order.
+    fn hash_aggregate(
+        &self,
+        input: Self::Stream,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+    ) -> Result<Self::Stream>;
+
+    /// Drain the stream into materialised rows.
+    fn collect(&self, input: Self::Stream) -> Result<Vec<Tuple>>;
+}
+
+/// The tuple-at-a-time engine: thin delegation to the classic operators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TupleEngine;
+
+impl Engine for TupleEngine {
+    type Stream = TupleStream;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Tuple
+    }
+
+    fn seq_scan(&self, heap: &HeapFile) -> Result<TupleStream> {
+        ops::seq_scan(heap)
+    }
+
+    fn values(&self, rows: Vec<Tuple>) -> TupleStream {
+        ops::values_scan(rows)
+    }
+
+    fn filter(&self, input: TupleStream, predicate: Expr) -> TupleStream {
+        ops::filter(input, predicate)
+    }
+
+    fn project(&self, input: TupleStream, exprs: Vec<Expr>) -> TupleStream {
+        ops::project(input, exprs)
+    }
+
+    fn sort(
+        &self,
+        input: TupleStream,
+        keys: Vec<SortKey>,
+        memory_budget: usize,
+        workers: usize,
+    ) -> Result<TupleStream> {
+        if workers > 1 {
+            ops::sort_parallel(input, keys, memory_budget, workers)
+        } else {
+            ops::sort(input, keys, memory_budget)
+        }
+    }
+
+    fn limit(&self, input: TupleStream, n: usize, offset: usize) -> TupleStream {
+        ops::limit(input, n, offset)
+    }
+
+    fn distinct(&self, input: TupleStream) -> TupleStream {
+        ops::distinct(input)
+    }
+
+    fn equi_join(
+        &self,
+        algorithm: JoinAlgorithm,
+        left: TupleStream,
+        right: TupleStream,
+        left_col: usize,
+        right_col: usize,
+        right_offset_for_nl: usize,
+        build: BuildSide,
+    ) -> Result<TupleStream> {
+        super::join::equi_join(
+            algorithm,
+            left,
+            right,
+            left_col,
+            right_col,
+            right_offset_for_nl,
+            build,
+        )
+    }
+
+    fn nested_loop_join(
+        &self,
+        left: TupleStream,
+        right: TupleStream,
+        predicate: Expr,
+    ) -> Result<TupleStream> {
+        super::join::nested_loop_join(left, right, predicate)
+    }
+
+    fn hash_aggregate(
+        &self,
+        input: TupleStream,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+    ) -> Result<TupleStream> {
+        super::aggregate::hash_aggregate(input, group_by, aggs)
+    }
+
+    fn collect(&self, input: TupleStream) -> Result<Vec<Tuple>> {
+        input.collect()
+    }
+}
+
+/// The vectorized engine: columnar batches of [`BATCH_ROWS`] rows.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorEngine {
+    /// Rows per batch; [`BATCH_ROWS`] unless a test shrinks it to force
+    /// chunk boundaries.
+    pub batch_rows: usize,
+}
+
+impl Default for VectorEngine {
+    fn default() -> VectorEngine {
+        VectorEngine {
+            batch_rows: BATCH_ROWS,
+        }
+    }
+}
+
+impl Engine for VectorEngine {
+    type Stream = BatchStream;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Vectorized
+    }
+
+    fn seq_scan(&self, heap: &HeapFile) -> Result<BatchStream> {
+        batch::scan_batches(heap, self.batch_rows)
+    }
+
+    fn values(&self, rows: Vec<Tuple>) -> BatchStream {
+        batch::values_batches(rows, self.batch_rows)
+    }
+
+    fn filter(&self, input: BatchStream, predicate: Expr) -> BatchStream {
+        batch::filter_batches(input, predicate)
+    }
+
+    fn project(&self, input: BatchStream, exprs: Vec<Expr>) -> BatchStream {
+        batch::project_batches(input, exprs)
+    }
+
+    fn sort(
+        &self,
+        input: BatchStream,
+        keys: Vec<SortKey>,
+        memory_budget: usize,
+        workers: usize,
+    ) -> Result<BatchStream> {
+        batch::sort_batches(input, keys, memory_budget, workers)
+    }
+
+    fn limit(&self, input: BatchStream, n: usize, offset: usize) -> BatchStream {
+        batch::limit_batches(input, n, offset)
+    }
+
+    fn distinct(&self, input: BatchStream) -> BatchStream {
+        batch::distinct_batches(input)
+    }
+
+    fn equi_join(
+        &self,
+        algorithm: JoinAlgorithm,
+        left: BatchStream,
+        right: BatchStream,
+        left_col: usize,
+        right_col: usize,
+        right_offset_for_nl: usize,
+        build: BuildSide,
+    ) -> Result<BatchStream> {
+        batch::equi_join_batches(
+            algorithm,
+            left,
+            right,
+            left_col,
+            right_col,
+            right_offset_for_nl,
+            build,
+        )
+    }
+
+    fn nested_loop_join(
+        &self,
+        left: BatchStream,
+        right: BatchStream,
+        predicate: Expr,
+    ) -> Result<BatchStream> {
+        batch::nested_loop_join_batches(left, right, predicate)
+    }
+
+    fn hash_aggregate(
+        &self,
+        input: BatchStream,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+    ) -> Result<BatchStream> {
+        batch::aggregate_batches(input, group_by, aggs)
+    }
+
+    fn collect(&self, input: BatchStream) -> Result<Vec<Tuple>> {
+        batch::collect_rows(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Datum;
+
+    fn sample() -> Vec<Tuple> {
+        (0..10)
+            .map(|i| vec![Datum::Int(i % 4), Datum::Int(i)])
+            .collect()
+    }
+
+    /// Generic pipeline exercising every trait method — compiled once
+    /// per engine, results must agree.
+    fn pipeline<E: Engine>(engine: &E) -> Vec<Tuple> {
+        let scan = engine.values(sample());
+        let filtered = engine.filter(scan, Expr::col(1).ge(Expr::int(2)));
+        let joined = engine
+            .equi_join(
+                JoinAlgorithm::Hash,
+                filtered,
+                engine.values(sample()),
+                0,
+                0,
+                2,
+                BuildSide::Auto,
+            )
+            .unwrap();
+        let distinct = engine.distinct(joined);
+        let sorted = engine
+            .sort(
+                distinct,
+                vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(3)],
+                1 << 20,
+                1,
+            )
+            .unwrap();
+        let limited = engine.limit(sorted, 5, 2);
+        engine.collect(limited).unwrap()
+    }
+
+    #[test]
+    fn engines_agree_on_a_full_pipeline() {
+        let tuple = pipeline(&TupleEngine);
+        let vector = pipeline(&VectorEngine::default());
+        // A tiny batch size forces chunk boundaries through every operator.
+        let tiny = pipeline(&VectorEngine { batch_rows: 3 });
+        assert_eq!(tuple, vector);
+        assert_eq!(tuple, tiny);
+        assert_eq!(tuple.len(), 5);
+    }
+
+    #[test]
+    fn engine_kind_parses_and_displays() {
+        assert_eq!(EngineKind::parse("tuple"), Some(EngineKind::Tuple));
+        assert_eq!(EngineKind::parse("Vectorized"), Some(EngineKind::Vectorized));
+        assert_eq!(EngineKind::parse("batch"), Some(EngineKind::Vectorized));
+        assert_eq!(EngineKind::parse("rowwise"), None);
+        assert_eq!(EngineKind::Tuple.to_string(), "tuple");
+        assert_eq!(EngineKind::default(), EngineKind::Vectorized);
+        assert_eq!(EngineKind::default().to_string(), "vectorized");
+    }
+}

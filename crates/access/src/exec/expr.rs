@@ -8,6 +8,7 @@
 
 use sbdms_kernel::error::{Result, ServiceError};
 
+use super::batch::Batch;
 use crate::record::{Datum, Tuple};
 
 /// Binary operators.
@@ -130,6 +131,36 @@ impl Expr {
         }
     }
 
+    /// Evaluate against every row of a batch, producing one output
+    /// column. Same semantics as [`Expr::eval`] row by row — both paths
+    /// share the scalar kernels — but the expression tree is walked once
+    /// per batch, not once per row, and the common comparison shapes
+    /// (column vs literal, column vs column) run as tight loops over the
+    /// column slices without cloning their operands.
+    pub fn eval_batch(&self, batch: &Batch) -> Result<Vec<Datum>> {
+        if let Expr::Binary(op, l, r) = self {
+            if let Some(out) = eval_cmp_batch(*op, l, r, batch)? {
+                return Ok(out);
+            }
+        }
+        match self {
+            Expr::Col(i) => Ok(batch.try_column(*i)?.to_vec()),
+            Expr::Lit(d) => Ok(vec![d.clone(); batch.rows()]),
+            Expr::Unary(op, e) => {
+                let vals = e.eval_batch(batch)?;
+                vals.into_iter().map(|v| eval_unary(*op, v)).collect()
+            }
+            Expr::Binary(op, l, r) => {
+                let lv = l.eval_batch(batch)?;
+                let rv = r.eval_batch(batch)?;
+                lv.into_iter()
+                    .zip(rv)
+                    .map(|(a, b)| eval_binary(*op, a, b))
+                    .collect()
+            }
+        }
+    }
+
     /// Greatest column index referenced, if any; used by planners to
     /// validate expressions against schemas.
     pub fn max_column(&self) -> Option<usize> {
@@ -142,6 +173,46 @@ impl Expr {
                 (a, b) => a.or(b),
             },
         }
+    }
+}
+
+/// Comparison fast paths for batches: when one side is a column and the
+/// other a column or literal, compare the slices directly — no operand
+/// clones, no per-row tree dispatch. Returns `None` for shapes the
+/// general path must handle.
+fn eval_cmp_batch(op: BinOp, l: &Expr, r: &Expr, batch: &Batch) -> Result<Option<Vec<Datum>>> {
+    use std::cmp::Ordering;
+    let test: fn(Ordering) -> bool = match op {
+        BinOp::Eq => |o| o == Ordering::Equal,
+        BinOp::Ne => |o| o != Ordering::Equal,
+        BinOp::Lt => |o| o == Ordering::Less,
+        BinOp::Le => |o| o != Ordering::Greater,
+        BinOp::Gt => |o| o == Ordering::Greater,
+        BinOp::Ge => |o| o != Ordering::Less,
+        _ => return Ok(None),
+    };
+    let cmp = move |a: &Datum, b: &Datum| {
+        if a.is_null() || b.is_null() {
+            Datum::Null
+        } else {
+            Datum::Bool(test(a.order(b)))
+        }
+    };
+    match (l, r) {
+        (Expr::Col(i), Expr::Lit(d)) => {
+            let col = batch.try_column(*i)?;
+            Ok(Some(col.iter().map(|v| cmp(v, d)).collect()))
+        }
+        (Expr::Lit(d), Expr::Col(i)) => {
+            let col = batch.try_column(*i)?;
+            Ok(Some(col.iter().map(|v| cmp(d, v)).collect()))
+        }
+        (Expr::Col(i), Expr::Col(j)) => {
+            let a = batch.try_column(*i)?;
+            let b = batch.try_column(*j)?;
+            Ok(Some(a.iter().zip(b).map(|(x, y)| cmp(x, y)).collect()))
+        }
+        _ => Ok(None),
     }
 }
 

@@ -16,7 +16,8 @@ use crate::sort::{compare_tuples, ExternalSorter, SortKey};
 
 /// Hash key for equi-joins: a datum rendered into a hashable form.
 /// (f64 is hashed by bits; NULL never matches so it gets no entry.)
-fn hash_key(d: &Datum) -> Option<HashKey> {
+/// Shared with the vectorized hash join in `exec::batch`.
+pub(super) fn hash_key(d: &Datum) -> Option<HashKey> {
     match d {
         Datum::Null => None,
         Datum::Bool(b) => Some(HashKey::Bool(*b)),
@@ -27,7 +28,7 @@ fn hash_key(d: &Datum) -> Option<HashKey> {
 }
 
 #[derive(Hash, PartialEq, Eq)]
-enum HashKey {
+pub(super) enum HashKey {
     Bool(bool),
     Num(u64),
     Str(String),
@@ -152,13 +153,26 @@ pub fn merge_join(
     left_col: usize,
     right_col: usize,
 ) -> Result<TupleStream> {
+    let out = merge_join_rows(
+        left.collect::<Result<_>>()?,
+        right.collect::<Result<_>>()?,
+        left_col,
+        right_col,
+    )?;
+    Ok(Box::new(out.into_iter().map(Ok)))
+}
+
+/// Sort-merge core over materialised rows; both engines run this exact
+/// code so their output (including tie order) is byte-identical.
+pub(super) fn merge_join_rows(
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    left_col: usize,
+    right_col: usize,
+) -> Result<Vec<Tuple>> {
     let sorter = ExternalSorter::new(1 << 22);
-    let l = sorter
-        .sort(left.collect::<Result<_>>()?, &[SortKey::asc(left_col)])?
-        .tuples;
-    let r = sorter
-        .sort(right.collect::<Result<_>>()?, &[SortKey::asc(right_col)])?
-        .tuples;
+    let l = sorter.sort(left, &[SortKey::asc(left_col)])?.tuples;
+    let r = sorter.sort(right, &[SortKey::asc(right_col)])?.tuples;
 
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
@@ -187,7 +201,7 @@ pub fn merge_join(
             }
         }
     }
-    Ok(Box::new(out.into_iter().map(Ok)))
+    Ok(out)
 }
 
 /// Which join algorithm to run; used by planners and experiment sweeps.

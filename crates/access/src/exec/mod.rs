@@ -5,6 +5,8 @@
 //! Everything here is a pull-based iterator over [`TupleStream`].
 
 pub mod aggregate;
+pub mod batch;
+pub mod engine;
 pub mod expr;
 pub mod join;
 pub mod ops;
@@ -13,10 +15,12 @@ use sbdms_kernel::error::Result;
 
 use crate::record::Tuple;
 
-/// A stream of tuples, the execution currency of the access layer.
+/// A stream of tuples, the execution currency of the tuple engine.
 pub type TupleStream = Box<dyn Iterator<Item = Result<Tuple>> + Send>;
 
 pub use aggregate::{hash_aggregate, AggFunc, AggSpec};
+pub use batch::{Batch, BatchStream, BATCH_ROWS};
+pub use engine::{Engine, EngineKind, TupleEngine, VectorEngine};
 pub use expr::{BinOp, Expr, UnaryOp};
 pub use join::{equi_join, hash_join, merge_join, nested_loop_join, BuildSide, JoinAlgorithm};
 pub use ops::{distinct, filter, limit, project, seq_scan, sort, sort_parallel, values_scan};

@@ -3,20 +3,39 @@
 //! Operators consume and produce [`TupleStream`]s (pull-based iterators of
 //! `Result<Tuple>`), the access layer's execution currency.
 
+use std::collections::HashSet;
+
 use sbdms_kernel::error::Result;
 
 use super::expr::Expr;
 use super::TupleStream;
 use crate::heap::HeapFile;
-use crate::record::{decode_tuple, Tuple};
+use crate::record::{decode_tuple, encode_tuple, Tuple};
 use crate::sort::{ExternalSorter, SortKey};
 
 /// Sequential scan of a heap file, decoding each record as a tuple.
+/// Streams page-at-a-time: memory is bounded by one page of decoded
+/// rows, never the whole heap.
 pub fn seq_scan(heap: &HeapFile) -> Result<TupleStream> {
-    let rows = heap.scan()?;
-    Ok(Box::new(
-        rows.into_iter().map(|(_, bytes)| decode_tuple(&bytes)),
-    ))
+    let buffer = heap.buffer().clone();
+    let mut pages = heap.data_pages()?.into_iter();
+    let mut current: std::vec::IntoIter<Result<Tuple>> = Vec::new().into_iter();
+    Ok(Box::new(std::iter::from_fn(move || loop {
+        if let Some(row) = current.next() {
+            return Some(row);
+        }
+        let page = pages.next()?;
+        match HeapFile::page_records(&buffer, page) {
+            Ok(records) => {
+                current = records
+                    .into_iter()
+                    .map(|(_, bytes)| decode_tuple(&bytes))
+                    .collect::<Vec<_>>()
+                    .into_iter();
+            }
+            Err(e) => return Some(Err(e)),
+        }
+    })))
 }
 
 /// Scan of pre-materialised tuples (index scans and tests).
@@ -70,28 +89,16 @@ pub fn limit(input: TupleStream, n: usize, offset: usize) -> TupleStream {
     Box::new(input.skip(offset).take(n))
 }
 
-/// Remove duplicate tuples (materialising; order of first occurrence).
+/// Remove duplicate tuples, streaming in first-occurrence order. The
+/// seen-set keys on the canonical tuple encoding: O(1) per row instead
+/// of the old O(n) list probe, and the same grouping rule GROUP BY uses
+/// (NULLs equal, types distinct).
 pub fn distinct(input: TupleStream) -> TupleStream {
-    let mut seen: Vec<Tuple> = Vec::new();
-    let mut out: Vec<Result<Tuple>> = Vec::new();
-    for row in input {
-        match row {
-            Ok(tuple) => {
-                let dup = seen.iter().any(|s| {
-                    s.len() == tuple.len()
-                        && s.iter()
-                            .zip(&tuple)
-                            .all(|(a, b)| a.order(b) == std::cmp::Ordering::Equal)
-                });
-                if !dup {
-                    seen.push(tuple.clone());
-                    out.push(Ok(tuple));
-                }
-            }
-            Err(e) => out.push(Err(e)),
-        }
-    }
-    Box::new(out.into_iter())
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    Box::new(input.filter(move |row| match row {
+        Ok(tuple) => seen.insert(encode_tuple(tuple)),
+        Err(_) => true,
+    }))
 }
 
 #[cfg(test)]

@@ -243,21 +243,32 @@ impl HeapFile {
         Ok(self.len()? == 0)
     }
 
+    /// All live records of one data page, decoded, in slot order. The
+    /// building block for page-at-a-time scans: streaming callers hold at
+    /// most one page of records in memory. An associated function (not a
+    /// method) so `'static` iterators can capture only the `Arc`'d buffer
+    /// pool and a page list, not a heap handle.
+    pub fn page_records(buffer: &Arc<BufferPool>, page: PageId) -> Result<Vec<(Rid, Vec<u8>)>> {
+        // Collect stored forms first: decoding may follow overflow
+        // chains, which must not nest inside the page access.
+        let mut raw = Vec::new();
+        buffer.with_page(page, |p| {
+            for (slot, record) in p.iter() {
+                raw.push((Rid::new(page, slot), record.to_vec()));
+            }
+        })?;
+        raw.into_iter()
+            .map(|(rid, stored)| Ok((rid, Self::decode_stored(buffer, &stored)?)))
+            .collect()
+    }
+
     /// Materialised scan of all live records in storage order.
     pub fn scan(&self) -> Result<Vec<(Rid, Vec<u8>)>> {
-        let mut raw = Vec::new();
+        let mut out = Vec::new();
         for page in self.data_pages()? {
-            // Collect stored forms first: decoding may follow overflow
-            // chains, which must not nest inside the page access.
-            self.buffer.with_page(page, |p| {
-                for (slot, record) in p.iter() {
-                    raw.push((Rid::new(page, slot), record.to_vec()));
-                }
-            })?;
+            out.extend(Self::page_records(&self.buffer, page)?);
         }
-        raw.into_iter()
-            .map(|(rid, stored)| Ok((rid, Self::decode_stored(&self.buffer, &stored)?)))
-            .collect()
+        Ok(out)
     }
 
     /// Morsel-driven parallel scan: `workers` threads pull fixed-size
@@ -290,17 +301,7 @@ impl HeapFile {
                             };
                             let mut out = Vec::new();
                             for &page in morsel {
-                                // Stored forms first; overflow decoding
-                                // must not nest inside the page access.
-                                let mut raw = Vec::new();
-                                self.buffer.with_page(page, |p| {
-                                    for (slot, record) in p.iter() {
-                                        raw.push((Rid::new(page, slot), record.to_vec()));
-                                    }
-                                })?;
-                                for (rid, stored) in raw {
-                                    out.push((rid, Self::decode_stored(&self.buffer, &stored)?));
-                                }
+                                out.extend(Self::page_records(&self.buffer, page)?);
                             }
                             local.push((m, out));
                         }

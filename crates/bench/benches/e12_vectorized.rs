@@ -1,0 +1,61 @@
+//! E12: vectorized batch execution vs tuple-at-a-time iterators.
+//!
+//! Both engines run the identical logical pipelines over identical
+//! pre-materialised rows (page decoding is shared code and would dilute
+//! the contrast):
+//! * scan→filter→aggregate — where per-row dispatch dominates the tuple
+//!   engine and the batch engine's column kernels pay off;
+//! * hash join — build + probe, where the win is smaller because the
+//!   hash table touches dominate either way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::access::exec::engine::{TupleEngine, VectorEngine};
+use sbdms_bench::experiments::{e12_dim, e12_fact, e12_join, e12_scan_filter_aggregate};
+
+const ROWS: usize = 200_000;
+const GROUPS: usize = 64;
+
+fn bench_scan_filter_aggregate(c: &mut Criterion) {
+    let fact = e12_fact(ROWS);
+    let threshold = (ROWS / 2) as i64;
+    let mut group = c.benchmark_group("e12_scan_filter_aggregate");
+    group.sample_size(10);
+    group.bench_function("tuple", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_scan_filter_aggregate(
+                &TupleEngine,
+                fact.clone(),
+                threshold,
+            ))
+        })
+    });
+    group.bench_function("vectorized", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_scan_filter_aggregate(
+                &VectorEngine::default(),
+                fact.clone(),
+                threshold,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let fact = e12_fact(ROWS);
+    let dim = e12_dim(GROUPS);
+    let mut group = c.benchmark_group("e12_join");
+    group.sample_size(10);
+    group.bench_function("tuple", |b| {
+        b.iter(|| std::hint::black_box(e12_join(&TupleEngine, fact.clone(), dim.clone())))
+    });
+    group.bench_function("vectorized", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_join(&VectorEngine::default(), fact.clone(), dim.clone()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_filter_aggregate, bench_join);
+criterion_main!(benches);

@@ -693,6 +693,78 @@ pub mod experiments {
         };
         n
     }
+
+    // --- E12: vectorized vs tuple-at-a-time execution -------------------
+
+    use sbdms::access::exec::aggregate::{AggFunc, AggSpec};
+    use sbdms::access::exec::engine::Engine;
+    use sbdms::access::exec::expr::Expr;
+    use sbdms::access::exec::join::BuildSide;
+    use sbdms::access::record::{Datum, Tuple};
+
+    /// E12 fact rows `(id, grp, val)`: grp fans into 64 groups, val is a
+    /// 7919-step permutation-ish spread over `0..n`. Pre-materialised so
+    /// the engines are measured on pure execution, not page decoding
+    /// (which both engines share byte-for-byte).
+    pub fn e12_fact(n: usize) -> Vec<Tuple> {
+        (0..n as i64)
+            .map(|i| {
+                vec![
+                    Datum::Int(i),
+                    Datum::Int(i % 64),
+                    Datum::Int(i.wrapping_mul(7919) % n as i64),
+                ]
+            })
+            .collect()
+    }
+
+    /// E12 dimension rows `(grp, weight)`, one per group.
+    pub fn e12_dim(groups: usize) -> Vec<Tuple> {
+        (0..groups as i64)
+            .map(|g| vec![Datum::Int(g), Datum::Int(g * 10)])
+            .collect()
+    }
+
+    /// E12 scan→filter→aggregate, generic over the engine:
+    /// `SELECT grp, COUNT(*), SUM(val), MIN(val) WHERE val < threshold
+    /// GROUP BY grp`. Returns the number of groups.
+    pub fn e12_scan_filter_aggregate<E: Engine>(
+        engine: &E,
+        rows: Vec<Tuple>,
+        threshold: i64,
+    ) -> usize {
+        let scan = engine.values(rows);
+        let filtered = engine.filter(scan, Expr::col(2).lt(Expr::int(threshold)));
+        let grouped = engine
+            .hash_aggregate(
+                filtered,
+                vec![Expr::col(1)],
+                vec![
+                    AggSpec::new(AggFunc::CountAll, Expr::int(0)),
+                    AggSpec::new(AggFunc::Sum, Expr::col(2)),
+                    AggSpec::new(AggFunc::Min, Expr::col(2)),
+                ],
+            )
+            .unwrap();
+        engine.collect(grouped).unwrap().len()
+    }
+
+    /// E12 join throughput: fact ⋈ dim on grp (hash join, auto build
+    /// side). Returns the joined row count.
+    pub fn e12_join<E: Engine>(engine: &E, fact: Vec<Tuple>, dim: Vec<Tuple>) -> usize {
+        let joined = engine
+            .equi_join(
+                JoinAlgorithm::Hash,
+                engine.values(fact),
+                engine.values(dim),
+                1,
+                0,
+                3,
+                BuildSide::Auto,
+            )
+            .unwrap();
+        engine.collect(joined).unwrap().len()
+    }
 }
 
 #[cfg(test)]
@@ -855,6 +927,23 @@ mod tests {
             assert_eq!(e11_count(&db, E11_IDX_SEL_Q), sel_ref, "{config:?}");
             assert_eq!(e11_count(&db, E11_IDX_NONSEL_Q), nonsel_ref, "{config:?}");
         }
+    }
+
+    #[test]
+    fn e12_harness_runs_and_engines_agree() {
+        use sbdms::access::exec::engine::{TupleEngine, VectorEngine};
+        let fact = e12_fact(2_000);
+        let dim = e12_dim(64);
+        let tuple_groups =
+            e12_scan_filter_aggregate(&TupleEngine, fact.clone(), 1_000);
+        let vector_groups =
+            e12_scan_filter_aggregate(&VectorEngine::default(), fact.clone(), 1_000);
+        assert_eq!(tuple_groups, vector_groups);
+        assert_eq!(tuple_groups, 64, "every group survives a 50% filter");
+        let tuple_rows = e12_join(&TupleEngine, fact.clone(), dim.clone());
+        let vector_rows = e12_join(&VectorEngine::default(), fact, dim);
+        assert_eq!(tuple_rows, vector_rows);
+        assert_eq!(tuple_rows, 2_000, "every fact row has its dimension");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use sbdms_access::exec::engine::EngineKind;
 use sbdms_kernel::binding::BindingKind;
 use sbdms_kernel::resilience::{BreakerConfig, InvokePolicy};
 use sbdms_storage::replacement::PolicyKind;
@@ -184,6 +185,11 @@ pub struct ArchitectureConfig {
     /// (0 keeps row counts/min/max/NDV but skips histograms — the
     /// embedded profile's cheaper setting).
     pub histogram_buckets: usize,
+    /// Which execution engine runs statements: the cache-friendly
+    /// vectorized batch engine or the lean tuple-at-a-time engine.
+    /// Flexibility by selection (paper Fig. 6): two services provide the
+    /// execution task and the profile picks by quality/resources.
+    pub execution_engine: EngineKind,
     /// Memory budget tracked by the resource manager, bytes.
     pub memory_budget: u64,
     /// Memory alert threshold, bytes.
@@ -214,6 +220,9 @@ impl ArchitectureConfig {
                 parallelism: 4,
                 plan_cache: 64,
                 histogram_buckets: 32,
+                // Throughput-oriented: batch execution amortises the
+                // operator dispatch and keeps columns cache-resident.
+                execution_engine: EngineKind::Vectorized,
                 memory_budget: 64 << 20,
                 memory_alert_below: 4 << 20,
                 enforce_policies: true,
@@ -245,6 +254,9 @@ impl ArchitectureConfig {
                 // few words per column); histograms are the part whose
                 // memory scales with bucket count, so they stay off.
                 histogram_buckets: 0,
+                // Tuple-at-a-time: lazy, no batch buffers — the smaller
+                // footprint wins on a constrained device.
+                execution_engine: EngineKind::Tuple,
                 memory_budget: 1 << 20,
                 memory_alert_below: 128 << 10,
                 enforce_policies: true,
@@ -307,6 +319,12 @@ impl ArchitectureConfig {
         self
     }
 
+    /// Builder: override the execution engine.
+    pub fn with_execution_engine(mut self, engine: EngineKind) -> ArchitectureConfig {
+        self.execution_engine = engine;
+        self
+    }
+
     /// Builder: override the resilience tuning.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> ArchitectureConfig {
         self.resilience = resilience;
@@ -341,6 +359,10 @@ mod tests {
         // Full deployments afford histograms; embedded keeps only the
         // cheap scalar statistics.
         assert!(full.histogram_buckets > 0 && embedded.histogram_buckets == 0);
+        // Flexibility by selection: the execution task binds to the
+        // vectorized provider on the server, the tuple provider embedded.
+        assert_eq!(full.execution_engine, EngineKind::Vectorized);
+        assert_eq!(embedded.execution_engine, EngineKind::Tuple);
         // The embedded profile fails fast; the full profile tries harder.
         assert!(full.resilience.retries > embedded.resilience.retries);
         assert!(full.resilience.deadline_ms > embedded.resilience.deadline_ms);
@@ -375,8 +397,10 @@ mod tests {
             .with_buffer_shards(2)
             .with_parallelism(0)
             .with_sort_budget(0)
-            .with_plan_cache(7);
+            .with_plan_cache(7)
+            .with_execution_engine(EngineKind::Tuple);
         assert_eq!(c.binding, BindingKind::Channel);
+        assert_eq!(c.execution_engine, EngineKind::Tuple);
         assert_eq!(c.buffer_frames, 8);
         assert_eq!(c.buffer_shards, Some(2));
         // Degenerate values clamp to the serial minimum.

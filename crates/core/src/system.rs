@@ -111,6 +111,7 @@ impl Sbdms {
             parallelism: config.parallelism,
             plan_cache_capacity: config.plan_cache,
             histogram_buckets: config.histogram_buckets,
+            execution_engine: Some(config.execution_engine),
         };
         let db = Arc::new(match config.storage_mode {
             crate::config::StorageMode::File => Database::open_opts(&config.data_dir, opts)?,

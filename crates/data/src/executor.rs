@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use sbdms_access::exec::engine::{Engine, EngineKind, TupleEngine, VectorEngine};
 use sbdms_access::exec::join::JoinAlgorithm;
 use sbdms_access::exec::{self, TupleStream};
 use sbdms_access::heap::Rid;
@@ -76,6 +77,11 @@ pub struct DbOptions {
     /// (0 keeps row counts/min/max/NDV but disables histograms — the
     /// embedded profile's cheaper setting).
     pub histogram_buckets: usize,
+    /// The profile's execution-engine choice (full-fledged →
+    /// vectorized, embedded → tuple). `None` falls through to the
+    /// built-in default (vectorized);
+    /// [`Database::force_execution_engine`] overrides per session.
+    pub execution_engine: Option<EngineKind>,
 }
 
 impl Default for DbOptions {
@@ -88,6 +94,7 @@ impl Default for DbOptions {
             parallelism: 1,
             plan_cache_capacity: 64,
             histogram_buckets: crate::stats::HISTOGRAM_BUCKETS,
+            execution_engine: None,
         }
     }
 }
@@ -173,7 +180,10 @@ impl Database {
             txns,
             current_txn: Mutex::new(None),
             tables: Mutex::new(HashMap::new()),
-            knobs: Mutex::new(PlannerKnobs::default()),
+            knobs: Mutex::new(PlannerKnobs {
+                profile_engine: opts.execution_engine,
+                ..PlannerKnobs::default()
+            }),
             plan_cache: PlanCache::new(opts.plan_cache_capacity),
             sort_budget: opts.sort_budget.max(1),
             parallelism: opts.parallelism.max(1),
@@ -246,6 +256,27 @@ impl Database {
     /// tables.
     pub fn set_use_stats(&self, on: bool) {
         self.knobs.lock().use_stats = on;
+    }
+
+    /// Force the execution engine for subsequent statements (`None`
+    /// hands control back to the profile knob / built-in default). The
+    /// strongest tier of the engine override order:
+    /// hint > profile knob > default.
+    pub fn force_execution_engine(&self, engine: Option<EngineKind>) {
+        self.knobs.lock().forced_engine = engine;
+    }
+
+    /// The engine that will execute the next statement, after resolving
+    /// the override order.
+    pub fn execution_engine(&self) -> EngineKind {
+        self.knobs.lock().resolve_engine().0
+    }
+
+    /// The engine decision recorded on planned queries: surfaces in
+    /// `EXPLAIN` output and `plan.selected` events.
+    fn engine_decision(&self) -> String {
+        let (engine, why) = self.knobs.lock().resolve_engine();
+        format!("engine: {engine} ({why})")
     }
 
     /// Attach a kernel event bus: each freshly planned query publishes a
@@ -331,12 +362,20 @@ impl Database {
         }
         let k = self.knobs.lock();
         let forced = k.forced_join.map_or(0, |j| join_code(j) + 1);
-        let knob_bits = (forced << 5)
+        // Only the runtime-mutable engine hint needs epoch bits; the
+        // profile engine is fixed at open.
+        let engine = match k.forced_engine {
+            None => 0u64,
+            Some(EngineKind::Tuple) => 1,
+            Some(EngineKind::Vectorized) => 2,
+        };
+        let knob_bits = (engine << 7)
+            | (forced << 5)
             | (join_code(k.fallback_join) << 3)
             | ((k.join_reordering as u64) << 2)
             | ((k.index_selection as u64) << 1)
             | (k.use_stats as u64);
-        (self.catalog.version() << 40) ^ (self.catalog.stats_version() << 8) ^ knob_bits
+        (self.catalog.version() << 40) ^ (self.catalog.stats_version() << 10) ^ knob_bits
     }
 
     /// Re-`ANALYZE` any base table referenced by `select` whose
@@ -387,7 +426,9 @@ impl Database {
         let stmt = parse(sql)?;
         if let Statement::Select(select) = stmt {
             self.refresh_stale_stats(&select)?;
-            let planned = Arc::new(plan_select(&select, self)?);
+            let mut planned = plan_select(&select, self)?;
+            planned.decisions.push(self.engine_decision());
+            let planned = Arc::new(planned);
             // Re-read the epoch: a stale-stats refresh above bumps it.
             self.plan_cache.insert(sql, self.plan_epoch(), planned.clone());
             self.note_plan_selected(sql, &planned.decisions);
@@ -447,7 +488,8 @@ impl Database {
     /// rows and cost; the planner's selection decisions follow as
     /// `-- ...` comment lines.
     fn run_explain(&self, select: &Select) -> Result<QueryResult> {
-        let planned = plan_select(select, self)?;
+        let mut planned = plan_select(select, self)?;
+        planned.decisions.push(self.engine_decision());
         let estimator = Estimator::new(self);
         let mut lines = estimator.explain_annotated(&planned.plan);
         for d in &planned.decisions {
@@ -462,13 +504,28 @@ impl Database {
 
     /// Execute a SELECT and materialise the result.
     pub fn run_select(&self, select: &Select) -> Result<QueryResult> {
-        let planned = plan_select(select, self)?;
+        let mut planned = plan_select(select, self)?;
+        planned.decisions.push(self.engine_decision());
         self.run_planned(&planned)
     }
 
+    /// Run a planned query on whichever engine the knobs select. The
+    /// engine is resolved at run time, which is cache-consistent: the
+    /// only runtime-mutable input (the forced-engine hint) is folded
+    /// into the plan epoch.
     fn run_planned(&self, planned: &PlannedQuery) -> Result<QueryResult> {
-        let stream = self.run_plan(&planned.plan)?;
-        let rows: Vec<Tuple> = stream.collect::<Result<_>>()?;
+        let rows = match self.execution_engine() {
+            EngineKind::Tuple => {
+                let engine = TupleEngine;
+                let stream = self.run_plan_with(&engine, &planned.plan)?;
+                engine.collect(stream)?
+            }
+            EngineKind::Vectorized => {
+                let engine = VectorEngine::default();
+                let stream = self.run_plan_with(&engine, &planned.plan)?;
+                engine.collect(stream)?
+            }
+        };
         Ok(QueryResult {
             columns: planned.columns.clone(),
             rows,
@@ -619,18 +676,29 @@ impl Database {
         Ok(out)
     }
 
-    /// Evaluate a physical plan into a tuple stream.
+    /// Evaluate a physical plan into a tuple stream on the tuple
+    /// engine — the stable entry point for callers that want rows.
     pub fn run_plan(&self, plan: &Plan) -> Result<TupleStream> {
+        self.run_plan_with(&TupleEngine, plan)
+    }
+
+    /// Evaluate a physical plan on an explicit engine. Written once,
+    /// generically: the interpreter monomorphises per engine, so both
+    /// providers of the execution task share one plan walk.
+    pub fn run_plan_with<E: Engine>(&self, engine: &E, plan: &Plan) -> Result<E::Stream> {
         match plan {
             Plan::TableScan { table } => {
                 let t = self.table(table)?;
-                let scanned = if self.parallelism > 1 {
-                    t.scan_parallel(self.parallelism)?
+                if self.parallelism > 1 {
+                    let rows: Vec<Tuple> = t
+                        .scan_parallel(self.parallelism)?
+                        .into_iter()
+                        .map(|(_, row)| row)
+                        .collect();
+                    Ok(engine.values(rows))
                 } else {
-                    t.scan()?
-                };
-                let rows: Vec<Tuple> = scanned.into_iter().map(|(_, row)| row).collect();
-                Ok(exec::values_scan(rows))
+                    engine.seq_scan(t.heap())
+                }
             }
             Plan::IndexScan {
                 table,
@@ -648,12 +716,13 @@ impl Database {
                     .into_iter()
                     .map(|(_, rid)| t.get(rid))
                     .collect::<Result<_>>()?;
-                Ok(exec::values_scan(rows))
+                Ok(engine.values(rows))
             }
-            Plan::Values { rows } => Ok(exec::values_scan(rows.clone())),
-            Plan::Filter { input, predicate } => {
-                Ok(exec::filter(self.run_plan(input)?, predicate.clone()))
-            }
+            Plan::Values { rows } => Ok(engine.values(rows.clone())),
+            Plan::Filter { input, predicate } => Ok(engine.filter(
+                self.run_plan_with(engine, input)?,
+                predicate.clone(),
+            )),
             Plan::EquiJoin {
                 left,
                 right,
@@ -662,10 +731,10 @@ impl Database {
                 right_col,
                 left_width,
                 build,
-            } => exec::equi_join(
+            } => engine.equi_join(
                 *algorithm,
-                self.run_plan(left)?,
-                self.run_plan(right)?,
+                self.run_plan_with(engine, left)?,
+                self.run_plan_with(engine, right)?,
                 *left_col,
                 *right_col,
                 *left_width,
@@ -676,31 +745,38 @@ impl Database {
                 right,
                 predicate,
                 left_width: _,
-            } => exec::nested_loop_join(
-                self.run_plan(left)?,
-                self.run_plan(right)?,
+            } => engine.nested_loop_join(
+                self.run_plan_with(engine, left)?,
+                self.run_plan_with(engine, right)?,
                 predicate.clone(),
             ),
             Plan::Aggregate {
                 input,
                 group_by,
                 aggs,
-            } => exec::hash_aggregate(self.run_plan(input)?, group_by.clone(), aggs.clone()),
-            Plan::Project { input, exprs } => {
-                Ok(exec::project(self.run_plan(input)?, exprs.clone()))
+            } => engine.hash_aggregate(
+                self.run_plan_with(engine, input)?,
+                group_by.clone(),
+                aggs.clone(),
+            ),
+            Plan::Project { input, exprs } => Ok(engine.project(
+                self.run_plan_with(engine, input)?,
+                exprs.clone(),
+            )),
+            Plan::Distinct { input } => {
+                Ok(engine.distinct(self.run_plan_with(engine, input)?))
             }
-            Plan::Distinct { input } => Ok(exec::distinct(self.run_plan(input)?)),
-            Plan::Sort { input, keys } => {
-                let input = self.run_plan(input)?;
-                if self.parallelism > 1 {
-                    exec::sort_parallel(input, keys.clone(), self.sort_budget, self.parallelism)
-                } else {
-                    exec::sort(input, keys.clone(), self.sort_budget)
-                }
-            }
-            Plan::Limit { input, n, offset } => {
-                Ok(exec::limit(self.run_plan(input)?, *n, *offset))
-            }
+            Plan::Sort { input, keys } => engine.sort(
+                self.run_plan_with(engine, input)?,
+                keys.clone(),
+                self.sort_budget,
+                self.parallelism,
+            ),
+            Plan::Limit { input, n, offset } => Ok(engine.limit(
+                self.run_plan_with(engine, input)?,
+                *n,
+                *offset,
+            )),
         }
     }
 }

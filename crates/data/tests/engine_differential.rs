@@ -1,0 +1,272 @@
+//! Cross-engine differential suite: the tuple-at-a-time and vectorized
+//! execution engines must produce byte-identical answers on every
+//! workload. Three attacks:
+//!
+//! 1. every `tests/slt/*.slt` script is replayed on two databases over
+//!    identically-seeded simulated devices, one forced to each engine;
+//!    every statement must agree on success/failure and every query on
+//!    its exact row order (crash directives power-cycle both replicas);
+//! 2. the cost-differential star workload's query shapes run under both
+//!    engines on one database, compared in exact order;
+//! 3. a proptest over random filters, joins, sorts, and aggregates.
+//!
+//! The only tolerated difference is the `-- engine:` decision line in
+//! EXPLAIN output, which names the engine by design.
+
+mod slt_common;
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sbdms_access::exec::engine::EngineKind;
+use sbdms_data::executor::{Database, DbOptions};
+use sbdms_data::txn::Durability;
+use sbdms_storage::{SimBackend, SimConfig};
+
+use slt_common::{format_rows, parse_script, script_seed, Directive};
+
+/// One engine's replica of a script run: a seeded simulated device plus
+/// a database handle forced to that engine.
+struct Replica {
+    engine: EngineKind,
+    sim: Arc<SimBackend>,
+    db: Option<Database>,
+}
+
+impl Replica {
+    fn new(engine: EngineKind, seed: u64) -> Replica {
+        let sim = SimBackend::new(SimConfig::seeded(seed));
+        let mut replica = Replica { engine, sim, db: None };
+        replica.open();
+        replica
+    }
+
+    fn open(&mut self) {
+        let db = Database::open_at(&*self.sim, DbOptions::default())
+            .unwrap_or_else(|e| panic!("{}: open failed: {e}", self.engine));
+        db.set_durability(Durability::Full);
+        db.force_execution_engine(Some(self.engine));
+        self.db = Some(db);
+    }
+
+    fn db(&self) -> &Database {
+        self.db.as_ref().unwrap()
+    }
+
+    /// Power loss: drop the handle, lose unsynced writes, recover.
+    fn crash(&mut self) {
+        self.db = None;
+        self.sim.power_cycle();
+        self.open();
+    }
+}
+
+/// EXPLAIN names the engine in its decision line; redact it so the rest
+/// of the output must still match byte for byte.
+fn redact_engine_line(rows: Vec<String>) -> Vec<String> {
+    rows.into_iter()
+        .map(|l| if l.starts_with("-- engine:") { "-- engine: <engine>".to_string() } else { l })
+        .collect()
+}
+
+fn replay_script(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let directives = parse_script(&text, path);
+    let seed = script_seed(path);
+    let mut tuple = Replica::new(EngineKind::Tuple, seed);
+    let mut vector = Replica::new(EngineKind::Vectorized, seed);
+
+    for directive in directives {
+        match directive {
+            Directive::Statement { sql, expect_ok, line } => {
+                let ctx = format!("{}:{line}", path.display());
+                for replica in [&tuple, &vector] {
+                    let handle = replica.db();
+                    let upper = sql.to_ascii_uppercase();
+                    let result = match upper.as_str() {
+                        "BEGIN" => handle.begin().map(|_| ()),
+                        "COMMIT" => handle.commit(),
+                        "ROLLBACK" => handle.rollback(),
+                        _ => handle.execute(&sql).map(|_| ()),
+                    };
+                    match (expect_ok, result) {
+                        (true, Err(e)) => {
+                            panic!("{ctx} [{}]: expected ok, got error: {e}", replica.engine)
+                        }
+                        (false, Ok(())) => {
+                            panic!("{ctx} [{}]: expected an error, got ok", replica.engine)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Directive::Query { sql, line, .. } => {
+                let ctx = format!("{}:{line}", path.display());
+                let t = tuple
+                    .db()
+                    .execute(&sql)
+                    .unwrap_or_else(|e| panic!("{ctx} [tuple]: query failed: {e}"));
+                let v = vector
+                    .db()
+                    .execute(&sql)
+                    .unwrap_or_else(|e| panic!("{ctx} [vectorized]: query failed: {e}"));
+                assert_eq!(t.columns, v.columns, "{ctx}: column headers diverged on `{sql}`");
+                assert_eq!(
+                    redact_engine_line(format_rows(&t)),
+                    redact_engine_line(format_rows(&v)),
+                    "{ctx}: engines diverged on `{sql}`"
+                );
+            }
+            Directive::Crash { .. } => {
+                tuple.crash();
+                vector.crash();
+            }
+        }
+    }
+}
+
+#[test]
+fn slt_scripts_agree_across_engines() {
+    for script in slt_common::slt_scripts() {
+        println!("replaying {}", script.display());
+        replay_script(&script);
+    }
+}
+
+/// Mirrors the star workload in `cost_differential.rs`: a 600-row fact
+/// table, a 3-row and a 120-row dimension, indexes on `fact.val` and
+/// `dim_big.id`.
+fn load_star_workload(db: &Database) {
+    db.execute("CREATE TABLE fact (id INT NOT NULL, d1 INT NOT NULL, d2 INT NOT NULL, val INT NOT NULL)")
+        .unwrap();
+    db.execute("CREATE TABLE dim_small (id INT NOT NULL, name TEXT NOT NULL)")
+        .unwrap();
+    db.execute("CREATE TABLE dim_big (id INT NOT NULL, label TEXT NOT NULL)")
+        .unwrap();
+    db.execute("CREATE INDEX fact_val ON fact (val)").unwrap();
+    db.execute("CREATE INDEX dim_big_id ON dim_big (id)").unwrap();
+    for chunk in (0..600i64).collect::<Vec<_>>().chunks(150) {
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, {}, {})", i % 3, i % 120, (i * 7) % 600))
+            .collect();
+        db.execute(&format!("INSERT INTO fact VALUES {}", vals.join(", ")))
+            .unwrap();
+    }
+    let vals: Vec<String> = (0..3i64).map(|i| format!("({i}, 'n{i}')")).collect();
+    db.execute(&format!("INSERT INTO dim_small VALUES {}", vals.join(", ")))
+        .unwrap();
+    let vals: Vec<String> = (0..120i64).map(|i| format!("({i}, 'l{i}')")).collect();
+    db.execute(&format!("INSERT INTO dim_big VALUES {}", vals.join(", ")))
+        .unwrap();
+}
+
+/// The `cost_differential.rs` query shapes: join algorithm, join order,
+/// and access-path decisions all get exercised under both engines.
+const STAR_QUERIES: &[&str] = &[
+    "SELECT fact.id, dim_small.name FROM fact JOIN dim_small ON fact.d1 = dim_small.id",
+    "SELECT fact.id, dim_big.label FROM fact JOIN dim_big ON fact.d2 = dim_big.id WHERE dim_big.id < 4",
+    "SELECT fact.id, dim_small.name, dim_big.label FROM fact \
+     JOIN dim_small ON fact.d1 = dim_small.id \
+     JOIN dim_big ON fact.d2 = dim_big.id \
+     WHERE dim_big.id < 10 AND fact.val < 300",
+    "SELECT id FROM fact WHERE val >= 590",
+    "SELECT id FROM fact WHERE val >= 0",
+    "SELECT id FROM fact WHERE val >= 100 AND val <= 110",
+    "SELECT fact.id FROM fact JOIN dim_big ON fact.d2 = dim_big.id WHERE fact.val = 7",
+];
+
+/// Run `sql` with the executor forced to `engine`; rows in exact order.
+fn rows_under(db: &Database, engine: EngineKind, sql: &str) -> (Vec<String>, Vec<String>) {
+    db.force_execution_engine(Some(engine));
+    let result = db
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("[{engine}] `{sql}` failed: {e}"));
+    let rows = format_rows(&result);
+    (result.columns, rows)
+}
+
+#[test]
+fn star_workload_queries_agree_across_engines() {
+    let sim = SimBackend::new(SimConfig::seeded(0xe12));
+    let db = Database::open_at(&*sim, DbOptions::default()).unwrap();
+    load_star_workload(&db);
+    for table in ["fact", "dim_small", "dim_big"] {
+        db.execute(&format!("ANALYZE {table}")).unwrap();
+    }
+    for sql in STAR_QUERIES {
+        let t = rows_under(&db, EngineKind::Tuple, sql);
+        let v = rows_under(&db, EngineKind::Vectorized, sql);
+        assert_eq!(t, v, "engines diverged on `{sql}`");
+    }
+}
+
+/// An INT literal or NULL, biased toward a small range so filters and
+/// joins actually select and match.
+fn small_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        8 => (-9i64..10).prop_map(|v| v.to_string()),
+        1 => Just("NULL".to_string()),
+    ]
+}
+
+fn comparison_op() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("<"),
+        Just("<="),
+        Just("="),
+        Just(">="),
+        Just(">"),
+        Just("<>"),
+    ]
+}
+
+fn insert_rows(db: &Database, table: &str, rows: &[String]) {
+    if rows.is_empty() {
+        return;
+    }
+    db.execute(&format!("INSERT INTO {table} VALUES {}", rows.join(", ")))
+        .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random data, random query shapes, both engines, exact row order.
+    #[test]
+    fn random_queries_agree_across_engines(
+        t_rows in proptest::collection::vec((small_value(), 0i64..6), 0..48),
+        u_rows in proptest::collection::vec((0i64..6, -9i64..10), 0..24),
+        op in comparison_op(),
+        lit in -5i64..6,
+        seed in 0u64..1_000,
+    ) {
+        let sim = SimBackend::new(SimConfig::seeded(0xd1ff ^ seed));
+        let db = Database::open_at(&*sim, DbOptions::default()).unwrap();
+        db.execute("CREATE TABLE t (a INT, b INT NOT NULL)").unwrap();
+        db.execute("CREATE TABLE u (k INT NOT NULL, w INT NOT NULL)").unwrap();
+        let t_vals: Vec<String> =
+            t_rows.iter().map(|(a, b)| format!("({a}, {b})")).collect();
+        let u_vals: Vec<String> =
+            u_rows.iter().map(|(k, w)| format!("({k}, {w})")).collect();
+        insert_rows(&db, "t", &t_vals);
+        insert_rows(&db, "u", &u_vals);
+
+        let queries = [
+            format!("SELECT a, b FROM t WHERE a {op} {lit}"),
+            format!("SELECT t.a, u.w FROM t JOIN u ON t.b = u.k WHERE u.w {op} {lit}"),
+            "SELECT t.a, u.w FROM t JOIN u ON t.b = u.k".to_string(),
+            "SELECT b, COUNT(*), COUNT(a), SUM(a), MIN(a), MAX(a) FROM t GROUP BY b"
+                .to_string(),
+            "SELECT COUNT(*), SUM(a), AVG(a) FROM t".to_string(),
+            "SELECT DISTINCT b FROM t".to_string(),
+            "SELECT a FROM t ORDER BY a DESC LIMIT 5".to_string(),
+        ];
+        for sql in &queries {
+            let t = rows_under(&db, EngineKind::Tuple, sql);
+            let v = rows_under(&db, EngineKind::Vectorized, sql);
+            prop_assert_eq!(t, v, "engines diverged on `{}`", sql);
+        }
+    }
+}

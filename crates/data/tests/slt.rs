@@ -35,13 +35,18 @@
 //! oracle exactly. Golden `query` blocks check the relational surface
 //! (joins, aggregates, expressions) that the oracle does not model.
 
+mod slt_common;
+
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
+use sbdms_access::exec::engine::EngineKind;
 use sbdms_data::executor::{Database, DbOptions};
 use sbdms_data::txn::Durability;
 use sbdms_storage::{SimBackend, SimConfig};
+
+use slt_common::{format_rows, parse_script, script_seed, Directive};
 
 /// One oracle table: column names plus rows of display-formatted values.
 #[derive(Clone, Debug, PartialEq)]
@@ -289,15 +294,6 @@ fn oracle_apply(tables: &mut OracleTables, sql: &str) {
     }
 }
 
-/// Format engine result rows the way expected blocks are written.
-fn format_rows(result: &sbdms_data::executor::QueryResult) -> Vec<String> {
-    result
-        .rows
-        .iter()
-        .map(|row| row.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" "))
-        .collect()
-}
-
 /// Assert every oracle table matches the engine's view of it, as a
 /// sorted multiset of formatted rows.
 fn cross_check(db: &Database, tables: &OracleTables, ctx: &str) {
@@ -313,97 +309,22 @@ fn cross_check(db: &Database, tables: &OracleTables, ctx: &str) {
     }
 }
 
-/// One parsed directive from a script.
-enum Directive {
-    Statement { sql: String, expect_ok: bool, line: usize },
-    Query { sql: String, expected: Vec<String>, rowsort: bool, line: usize },
-    Crash { line: usize },
-}
-
-fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
-    let lines: Vec<&str> = text.lines().collect();
-    let mut directives = Vec::new();
-    let mut i = 0;
-    let bad = |line: usize, msg: &str| -> ! { panic!("{}:{line}: {msg}", path.display()) };
-    while i < lines.len() {
-        let line = lines[i].trim();
-        let lineno = i + 1;
-        if line.is_empty() || line.starts_with('#') {
-            i += 1;
-            continue;
-        }
-        if line == "crash" {
-            directives.push(Directive::Crash { line: lineno });
-            i += 1;
-        } else if let Some(rest) = line.strip_prefix("statement") {
-            let expect_ok = match rest.trim() {
-                "ok" => true,
-                "error" => false,
-                other => bad(lineno, &format!("unknown statement kind `{other}`")),
-            };
-            let mut sql = String::new();
-            i += 1;
-            while i < lines.len() && !lines[i].trim().is_empty() {
-                if !sql.is_empty() {
-                    sql.push(' ');
-                }
-                sql.push_str(lines[i].trim());
-                i += 1;
-            }
-            if sql.is_empty() {
-                bad(lineno, "statement directive without SQL");
-            }
-            directives.push(Directive::Statement { sql, expect_ok, line: lineno });
-        } else if let Some(rest) = line.strip_prefix("query") {
-            let rowsort = rest.contains("rowsort");
-            let mut sql = String::new();
-            i += 1;
-            while i < lines.len() && lines[i].trim() != "----" {
-                if lines[i].trim().is_empty() {
-                    bad(lineno, "query directive without a ---- separator");
-                }
-                if !sql.is_empty() {
-                    sql.push(' ');
-                }
-                sql.push_str(lines[i].trim());
-                i += 1;
-            }
-            if i >= lines.len() {
-                bad(lineno, "query directive without a ---- separator");
-            }
-            i += 1; // past ----
-            let mut expected = Vec::new();
-            while i < lines.len() && !lines[i].trim().is_empty() {
-                expected.push(lines[i].trim().to_string());
-                i += 1;
-            }
-            directives.push(Directive::Query { sql, expected, rowsort, line: lineno });
-        } else {
-            bad(lineno, &format!("unknown directive `{line}`"));
-        }
-    }
-    directives
-}
-
-/// Seed the per-script simulator deterministically from the file name.
-fn script_seed(path: &Path) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in path.file_name().unwrap().to_string_lossy().bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 fn run_script(path: &Path) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     let directives = parse_script(&text, path);
     let sim: Arc<SimBackend> = SimBackend::new(SimConfig::seeded(script_seed(path)));
+    // CI runs the suite once per engine: `SBDMS_ENGINE=tuple` (or
+    // `vectorized`) forces the executor, overriding the default.
+    let forced_engine = std::env::var("SBDMS_ENGINE").ok().map(|v| {
+        EngineKind::parse(&v)
+            .unwrap_or_else(|| panic!("SBDMS_ENGINE=`{v}` is not `tuple` or `vectorized`"))
+    });
     let open = |sim: &SimBackend| {
         let db = Database::open_at(sim, DbOptions::default())
             .unwrap_or_else(|e| panic!("{}: open failed: {e}", path.display()));
         db.set_durability(Durability::Full);
+        db.force_execution_engine(forced_engine);
         db
     };
     let mut db = Some(open(&sim));
@@ -454,7 +375,17 @@ fn run_script(path: &Path) {
                     .execute(&sql)
                     .unwrap_or_else(|e| panic!("{ctx}: query failed: {e}"));
                 let mut rows = format_rows(&result);
-                let mut expected = expected;
+                // Golden EXPLAIN output is written for the default
+                // engine; a forced engine changes the decision line.
+                let mut expected: Vec<String> = expected
+                    .into_iter()
+                    .map(|l| match forced_engine {
+                        Some(kind) if l.starts_with("-- engine:") => {
+                            format!("-- engine: {kind} (forced)")
+                        }
+                        _ => l,
+                    })
+                    .collect();
                 if rowsort {
                     rows.sort();
                     expected.sort();
@@ -484,15 +415,7 @@ fn run_script(path: &Path) {
 
 #[test]
 fn run_all_slt_scripts() {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/slt");
-    let mut scripts: Vec<_> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
-        .map(|entry| entry.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "slt"))
-        .collect();
-    scripts.sort();
-    assert!(scripts.len() >= 6, "expected at least 6 .slt scripts, found {}", scripts.len());
-    for script in scripts {
+    for script in slt_common::slt_scripts() {
         println!("running {}", script.display());
         run_script(&script);
     }

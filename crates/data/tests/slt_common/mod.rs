@@ -1,0 +1,115 @@
+//! Shared plumbing for the sqllogictest-style runners: the directive
+//! parser, the per-script deterministic seed, and result formatting.
+//! `slt.rs` replays scripts against golden output and an in-memory
+//! oracle; `engine_differential.rs` replays the same scripts under both
+//! execution engines and asserts byte-identical answers.
+
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+
+use sbdms_data::executor::QueryResult;
+
+/// One parsed directive from a script.
+pub enum Directive {
+    Statement { sql: String, expect_ok: bool, line: usize },
+    Query { sql: String, expected: Vec<String>, rowsort: bool, line: usize },
+    Crash { line: usize },
+}
+
+pub fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut directives = Vec::new();
+    let mut i = 0;
+    let bad = |line: usize, msg: &str| -> ! { panic!("{}:{line}: {msg}", path.display()) };
+    while i < lines.len() {
+        let line = lines[i].trim();
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            i += 1;
+            continue;
+        }
+        if line == "crash" {
+            directives.push(Directive::Crash { line: lineno });
+            i += 1;
+        } else if let Some(rest) = line.strip_prefix("statement") {
+            let expect_ok = match rest.trim() {
+                "ok" => true,
+                "error" => false,
+                other => bad(lineno, &format!("unknown statement kind `{other}`")),
+            };
+            let mut sql = String::new();
+            i += 1;
+            while i < lines.len() && !lines[i].trim().is_empty() {
+                if !sql.is_empty() {
+                    sql.push(' ');
+                }
+                sql.push_str(lines[i].trim());
+                i += 1;
+            }
+            if sql.is_empty() {
+                bad(lineno, "statement directive without SQL");
+            }
+            directives.push(Directive::Statement { sql, expect_ok, line: lineno });
+        } else if let Some(rest) = line.strip_prefix("query") {
+            let rowsort = rest.contains("rowsort");
+            let mut sql = String::new();
+            i += 1;
+            while i < lines.len() && lines[i].trim() != "----" {
+                if lines[i].trim().is_empty() {
+                    bad(lineno, "query directive without a ---- separator");
+                }
+                if !sql.is_empty() {
+                    sql.push(' ');
+                }
+                sql.push_str(lines[i].trim());
+                i += 1;
+            }
+            if i >= lines.len() {
+                bad(lineno, "query directive without a ---- separator");
+            }
+            i += 1; // past ----
+            let mut expected = Vec::new();
+            while i < lines.len() && !lines[i].trim().is_empty() {
+                expected.push(lines[i].trim().to_string());
+                i += 1;
+            }
+            directives.push(Directive::Query { sql, expected, rowsort, line: lineno });
+        } else {
+            bad(lineno, &format!("unknown directive `{line}`"));
+        }
+    }
+    directives
+}
+
+/// Seed the per-script simulator deterministically from the file name.
+pub fn script_seed(path: &Path) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.file_name().unwrap().to_string_lossy().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Format engine result rows the way expected blocks are written.
+pub fn format_rows(result: &QueryResult) -> Vec<String> {
+    result
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" "))
+        .collect()
+}
+
+/// All `.slt` scripts in this crate's `tests/slt` directory, sorted.
+pub fn slt_scripts() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/slt");
+    let mut scripts: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "slt"))
+        .collect();
+    scripts.sort();
+    assert!(scripts.len() >= 6, "expected at least 6 .slt scripts, found {}", scripts.len());
+    scripts
+}

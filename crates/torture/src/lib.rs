@@ -279,6 +279,7 @@ fn opts(config: &TortureConfig) -> DbOptions {
         parallelism: 1,
         plan_cache_capacity: 0,
         histogram_buckets: 0,
+        execution_engine: None,
     }
 }
 
