@@ -8,7 +8,7 @@
 use sbdms_kernel::error::{Result, ServiceError};
 
 use super::expr::Expr;
-use super::TupleStream;
+use super::{approx_tuple_bytes, ExecContext, TupleStream, CANCEL_QUANTUM};
 use crate::record::{Datum, Tuple};
 
 /// Aggregate functions.
@@ -247,6 +247,19 @@ pub fn hash_aggregate(
     group_by: Vec<Expr>,
     aggs: Vec<AggSpec>,
 ) -> Result<TupleStream> {
+    hash_aggregate_ctx(input, group_by, aggs, ExecContext::default())
+}
+
+/// [`hash_aggregate`] under a governor context: the group table is the
+/// memory footprint (proportional to distinct groups, not input rows),
+/// so each new group is charged against the query's account, and every
+/// [`CANCEL_QUANTUM`] input rows is a cancellation point.
+pub fn hash_aggregate_ctx(
+    input: TupleStream,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    ctx: ExecContext,
+) -> Result<TupleStream> {
     // Group key = encoded group datums (Datum has no Eq/Hash; its binary
     // encoding is canonical enough for grouping — NULL groups together,
     // which matches SQL GROUP BY).
@@ -254,13 +267,21 @@ pub fn hash_aggregate(
     let mut groups: std::collections::HashMap<Vec<u8>, (Tuple, Vec<AggState>)> =
         std::collections::HashMap::new();
 
-    for row in input {
+    for (i, row) in input.enumerate() {
+        if i % CANCEL_QUANTUM == 0 {
+            ctx.check()?;
+        }
         let tuple = row?;
         let key_vals: Tuple = group_by
             .iter()
             .map(|e| e.eval(&tuple))
             .collect::<Result<_>>()?;
         let key: Vec<u8> = key_vals.iter().flat_map(|d| d.encode()).collect();
+        if !groups.contains_key(&key) {
+            // Key bytes (stored twice: map + order list), the group
+            // tuple, and one aggregate state per column.
+            ctx.charge(2 * key.len() as u64 + approx_tuple_bytes(&key_vals) + 48 * aggs.len() as u64)?;
+        }
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
             (

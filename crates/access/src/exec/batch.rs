@@ -18,6 +18,7 @@ use sbdms_kernel::error::{Result, ServiceError};
 use super::aggregate::{AggFunc, AggSpec, AggState};
 use super::expr::Expr;
 use super::join::{hash_key, merge_join_rows, BuildSide, HashKey, JoinAlgorithm};
+use super::ExecContext;
 use crate::heap::HeapFile;
 use crate::record::{decode_tuple, Datum, Tuple};
 use crate::sort::{ExternalSorter, SortKey};
@@ -200,12 +201,26 @@ pub fn values_batches(rows: Vec<Tuple>, batch_rows: usize) -> BatchStream {
 /// Sequential scan of a heap file into batches. Streams page-at-a-time:
 /// memory is bounded by one batch plus one page of decoded rows.
 pub fn scan_batches(heap: &HeapFile, batch_rows: usize) -> Result<BatchStream> {
+    scan_batches_ctx(heap, batch_rows, ExecContext::default())
+}
+
+/// [`scan_batches`] under a governor context: every page boundary is one
+/// cooperative cancellation point, matching the tuple engine's
+/// `seq_scan_ctx` cadence.
+pub fn scan_batches_ctx(
+    heap: &HeapFile,
+    batch_rows: usize,
+    ctx: ExecContext,
+) -> Result<BatchStream> {
     let buffer = heap.buffer().clone();
     let mut pages = heap.data_pages()?.into_iter();
     let mut pending: Vec<Tuple> = Vec::new();
     Ok(Box::new(std::iter::from_fn(move || {
         while pending.len() < batch_rows {
             let Some(page) = pages.next() else { break };
+            if let Err(e) = ctx.check() {
+                return Some(Err(e));
+            }
             match HeapFile::page_records(&buffer, page) {
                 Ok(records) => {
                     for (_, bytes) in records {
@@ -269,8 +284,21 @@ pub fn sort_batches(
     memory_budget: usize,
     workers: usize,
 ) -> Result<BatchStream> {
+    sort_batches_ctx(input, keys, memory_budget, workers, ExecContext::default())
+}
+
+/// [`sort_batches`] under a governor context: the shared
+/// [`ExternalSorter`] checks for cancellation and accounts (or spills)
+/// buffered runs, exactly as in the tuple engine.
+pub fn sort_batches_ctx(
+    input: BatchStream,
+    keys: Vec<SortKey>,
+    memory_budget: usize,
+    workers: usize,
+    ctx: ExecContext,
+) -> Result<BatchStream> {
     let rows = collect_rows(input)?;
-    let sorter = ExternalSorter::new(memory_budget);
+    let sorter = ExternalSorter::new(memory_budget).with_context(ctx);
     let out = if workers > 1 {
         sorter.sort_parallel(rows, &keys, workers)?
     } else {
@@ -316,15 +344,37 @@ pub fn limit_batches(input: BatchStream, n: usize, offset: usize) -> BatchStream
 /// Remove duplicate rows, streaming in first-occurrence order. Keys on
 /// the same canonical encoding as the tuple engine's `distinct`.
 pub fn distinct_batches(input: BatchStream) -> BatchStream {
+    distinct_batches_ctx(input, ExecContext::default())
+}
+
+/// [`distinct_batches`] under a governor context: every batch is a
+/// cancellation point and each retained key is charged against the
+/// query's memory account, mirroring the tuple engine's `distinct_ctx`.
+pub fn distinct_batches_ctx(input: BatchStream, ctx: ExecContext) -> BatchStream {
     let mut seen: HashSet<Vec<u8>> = HashSet::new();
     Box::new(input.filter_map(move |batch| {
         let batch = match batch {
             Ok(b) => b,
             Err(e) => return Some(Err(e)),
         };
-        let mask: Vec<bool> = (0..batch.rows())
-            .map(|r| seen.insert(batch.encode_row(r)))
-            .collect();
+        if let Err(e) = ctx.check() {
+            return Some(Err(e));
+        }
+        let mut mask = Vec::with_capacity(batch.rows());
+        for r in 0..batch.rows() {
+            let enc = batch.encode_row(r);
+            if seen.contains(&enc) {
+                mask.push(false);
+                continue;
+            }
+            // Key bytes plus fixed hash-set entry overhead, the same
+            // formula the tuple engine charges.
+            if let Err(e) = ctx.charge(enc.len() as u64 + 48) {
+                return Some(Err(e));
+            }
+            seen.insert(enc);
+            mask.push(true);
+        }
         let out = batch.retain(&mask);
         if out.is_empty() {
             None
@@ -343,6 +393,18 @@ pub fn nested_loop_join_batches(
     right: BatchStream,
     predicate: Expr,
 ) -> Result<BatchStream> {
+    nested_loop_join_batches_ctx(left, right, predicate, ExecContext::default())
+}
+
+/// [`nested_loop_join_batches`] under a governor context: every
+/// candidate batch is one cooperative cancellation point, so even a
+/// cross-product aborts within one batch of its deadline.
+pub fn nested_loop_join_batches_ctx(
+    left: BatchStream,
+    right: BatchStream,
+    predicate: Expr,
+    ctx: ExecContext,
+) -> Result<BatchStream> {
     let left_rows = collect_rows(left)?;
     let right_rows = collect_rows(right)?;
     let width = left_rows.first().map(|r| r.len()).unwrap_or(0)
@@ -355,6 +417,9 @@ pub fn nested_loop_join_batches(
         loop {
             if li >= left_rows.len() {
                 return None;
+            }
+            if let Err(e) = ctx.check() {
+                return Some(Err(e));
             }
             let mut candidates = Batch::new(width);
             while candidates.rows() < BATCH_ROWS && li < left_rows.len() {
@@ -391,9 +456,25 @@ pub fn hash_join_batches(
     right_col: usize,
     build: BuildSide,
 ) -> Result<BatchStream> {
+    hash_join_batches_ctx(left, right, left_col, right_col, build, ExecContext::default())
+}
+
+/// [`hash_join_batches`] under a governor context: the build side is
+/// charged against the query's memory account and every build/probe
+/// batch is a cancellation point.
+pub fn hash_join_batches_ctx(
+    left: BatchStream,
+    right: BatchStream,
+    left_col: usize,
+    right_col: usize,
+    build: BuildSide,
+    ctx: ExecContext,
+) -> Result<BatchStream> {
     match build {
-        BuildSide::Left => hash_join_batches_directed(left, left_col, right, right_col, true),
-        BuildSide::Right => hash_join_batches_directed(right, right_col, left, left_col, false),
+        BuildSide::Left => hash_join_batches_directed(left, left_col, right, right_col, true, ctx),
+        BuildSide::Right => {
+            hash_join_batches_directed(right, right_col, left, left_col, false, ctx)
+        }
         BuildSide::Auto => {
             // Materialise both sides as batches (no row transposition)
             // just to count rows; the smaller side builds.
@@ -405,12 +486,29 @@ pub fn hash_join_batches(
             let l: BatchStream = Box::new(l.into_iter().map(Ok));
             let r: BatchStream = Box::new(r.into_iter().map(Ok));
             if build_left {
-                hash_join_batches_directed(l, left_col, r, right_col, true)
+                hash_join_batches_directed(l, left_col, r, right_col, true, ctx)
             } else {
-                hash_join_batches_directed(r, right_col, l, left_col, false)
+                hash_join_batches_directed(r, right_col, l, left_col, false, ctx)
             }
         }
     }
+}
+
+/// Memory charge for one materialised batch: the same per-tuple formula
+/// as `approx_tuple_bytes` plus the hash-table entry overhead the tuple
+/// engine's `hash_join_directed` adds, computed column-wise.
+fn batch_build_bytes(columns: &[Vec<Datum>], rows: usize) -> u64 {
+    let payload: u64 = columns
+        .iter()
+        .flat_map(|col| col.iter())
+        .map(|d| {
+            16 + match d {
+                Datum::Str(s) => s.len() as u64,
+                _ => 0,
+            }
+        })
+        .sum();
+    (24 + 32) * rows as u64 + payload
 }
 
 /// Hash-join core: build from one input, probe batch-at-a-time. One
@@ -426,12 +524,15 @@ fn hash_join_batches_directed(
     probe: BatchStream,
     probe_col: usize,
     build_is_left: bool,
+    ctx: ExecContext,
 ) -> Result<BatchStream> {
     // Materialise the build side columnar: batches concatenate
     // column-wise, no row round trip.
     let mut build_cols: Vec<Vec<Datum>> = Vec::new();
     for batch in build {
-        let (cols, _) = batch?.into_columns();
+        ctx.check()?;
+        let (cols, rows) = batch?.into_columns();
+        ctx.charge(batch_build_bytes(&cols, rows))?;
         if build_cols.is_empty() {
             build_cols = cols;
         } else {
@@ -455,6 +556,9 @@ fn hash_join_batches_directed(
             Ok(b) => b,
             Err(e) => return Some(Err(e)),
         };
+        if let Err(e) = ctx.check() {
+            return Some(Err(e));
+        }
         let keys = match batch.column(probe_col) {
             Some(col) => col,
             // Out-of-range probe column: the tuple engine's `tuple.get`
@@ -509,11 +613,25 @@ pub fn merge_join_batches(
     left_col: usize,
     right_col: usize,
 ) -> Result<BatchStream> {
+    merge_join_batches_ctx(left, right, left_col, right_col, ExecContext::default())
+}
+
+/// [`merge_join_batches`] under a governor context: the shared
+/// [`merge_join_rows`] core sorts with accounting/spilling and checks
+/// for cancellation during the merge.
+pub fn merge_join_batches_ctx(
+    left: BatchStream,
+    right: BatchStream,
+    left_col: usize,
+    right_col: usize,
+    ctx: ExecContext,
+) -> Result<BatchStream> {
     let out = merge_join_rows(
         collect_rows(left)?,
         collect_rows(right)?,
         left_col,
         right_col,
+        ctx,
     )?;
     Ok(values_batches(out, BATCH_ROWS))
 }
@@ -529,12 +647,37 @@ pub fn equi_join_batches(
     right_offset_for_nl: usize,
     build: BuildSide,
 ) -> Result<BatchStream> {
+    equi_join_batches_ctx(
+        algorithm,
+        left,
+        right,
+        left_col,
+        right_col,
+        right_offset_for_nl,
+        build,
+        ExecContext::default(),
+    )
+}
+
+/// [`equi_join_batches`] under a governor context (batch counterpart of
+/// `equi_join_ctx`).
+#[allow(clippy::too_many_arguments)]
+pub fn equi_join_batches_ctx(
+    algorithm: JoinAlgorithm,
+    left: BatchStream,
+    right: BatchStream,
+    left_col: usize,
+    right_col: usize,
+    right_offset_for_nl: usize,
+    build: BuildSide,
+    ctx: ExecContext,
+) -> Result<BatchStream> {
     match algorithm {
-        JoinAlgorithm::Hash => hash_join_batches(left, right, left_col, right_col, build),
-        JoinAlgorithm::Merge => merge_join_batches(left, right, left_col, right_col),
+        JoinAlgorithm::Hash => hash_join_batches_ctx(left, right, left_col, right_col, build, ctx),
+        JoinAlgorithm::Merge => merge_join_batches_ctx(left, right, left_col, right_col, ctx),
         JoinAlgorithm::NestedLoop => {
             let predicate = Expr::col(left_col).eq(Expr::col(right_offset_for_nl + right_col));
-            nested_loop_join_batches(left, right, predicate)
+            nested_loop_join_batches_ctx(left, right, predicate, ctx)
         }
     }
 }
@@ -549,9 +692,22 @@ pub fn aggregate_batches(
     group_by: Vec<Expr>,
     aggs: Vec<AggSpec>,
 ) -> Result<BatchStream> {
+    aggregate_batches_ctx(input, group_by, aggs, ExecContext::default())
+}
+
+/// [`aggregate_batches`] under a governor context: every input batch is
+/// a cancellation point and each new group is charged with the same
+/// formula as the tuple engine's `hash_aggregate_ctx`.
+pub fn aggregate_batches_ctx(
+    input: BatchStream,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    ctx: ExecContext,
+) -> Result<BatchStream> {
     if group_by.is_empty() {
         let mut states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.func)).collect();
         for batch in input {
+            ctx.check()?;
             let batch = batch?;
             for (state, spec) in states.iter_mut().zip(&aggs) {
                 if spec.func == AggFunc::CountAll {
@@ -569,6 +725,7 @@ pub fn aggregate_batches(
     let mut order: Vec<Vec<u8>> = Vec::new();
     let mut groups: HashMap<Vec<u8>, (Tuple, Vec<AggState>)> = HashMap::new();
     for batch in input {
+        ctx.check()?;
         let batch = batch?;
         let group_cols: Vec<Vec<Datum>> = group_by
             .iter()
@@ -588,6 +745,21 @@ pub fn aggregate_batches(
             let mut key = Vec::new();
             for col in &group_cols {
                 col[r].encode_into(&mut key);
+            }
+            if !groups.contains_key(&key) {
+                // Same formula as the tuple engine: key bytes stored
+                // twice, the group tuple, one state per aggregate.
+                let group_bytes: u64 = 24
+                    + group_cols
+                        .iter()
+                        .map(|col| {
+                            16 + match &col[r] {
+                                Datum::Str(s) => s.len() as u64,
+                                _ => 0,
+                            }
+                        })
+                        .sum::<u64>();
+                ctx.charge(2 * key.len() as u64 + group_bytes + 48 * aggs.len() as u64)?;
             }
             let entry = groups.entry(key.clone()).or_insert_with(|| {
                 order.push(key);

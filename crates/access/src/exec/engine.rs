@@ -18,7 +18,7 @@ use super::batch::{self, BatchStream, BATCH_ROWS};
 use super::expr::Expr;
 use super::join::{BuildSide, JoinAlgorithm};
 use super::ops;
-use super::TupleStream;
+use super::{ExecContext, TupleStream};
 use crate::heap::HeapFile;
 use crate::record::Tuple;
 use crate::sort::SortKey;
@@ -129,8 +129,19 @@ pub trait Engine: Send + Sync {
 }
 
 /// The tuple-at-a-time engine: thin delegation to the classic operators.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct TupleEngine;
+#[derive(Debug, Clone, Default)]
+pub struct TupleEngine {
+    /// Governor context: cancellation checks and memory accounting for
+    /// every operator this engine builds. Default is unlimited.
+    pub ctx: ExecContext,
+}
+
+impl TupleEngine {
+    /// Engine whose operators run under `ctx`.
+    pub fn with_context(ctx: ExecContext) -> TupleEngine {
+        TupleEngine { ctx }
+    }
+}
 
 impl Engine for TupleEngine {
     type Stream = TupleStream;
@@ -140,7 +151,7 @@ impl Engine for TupleEngine {
     }
 
     fn seq_scan(&self, heap: &HeapFile) -> Result<TupleStream> {
-        ops::seq_scan(heap)
+        ops::seq_scan_ctx(heap, self.ctx.clone())
     }
 
     fn values(&self, rows: Vec<Tuple>) -> TupleStream {
@@ -163,9 +174,9 @@ impl Engine for TupleEngine {
         workers: usize,
     ) -> Result<TupleStream> {
         if workers > 1 {
-            ops::sort_parallel(input, keys, memory_budget, workers)
+            ops::sort_parallel_ctx(input, keys, memory_budget, workers, self.ctx.clone())
         } else {
-            ops::sort(input, keys, memory_budget)
+            ops::sort_ctx(input, keys, memory_budget, self.ctx.clone())
         }
     }
 
@@ -174,7 +185,7 @@ impl Engine for TupleEngine {
     }
 
     fn distinct(&self, input: TupleStream) -> TupleStream {
-        ops::distinct(input)
+        ops::distinct_ctx(input, self.ctx.clone())
     }
 
     fn equi_join(
@@ -187,7 +198,7 @@ impl Engine for TupleEngine {
         right_offset_for_nl: usize,
         build: BuildSide,
     ) -> Result<TupleStream> {
-        super::join::equi_join(
+        super::join::equi_join_ctx(
             algorithm,
             left,
             right,
@@ -195,6 +206,7 @@ impl Engine for TupleEngine {
             right_col,
             right_offset_for_nl,
             build,
+            self.ctx.clone(),
         )
     }
 
@@ -204,7 +216,7 @@ impl Engine for TupleEngine {
         right: TupleStream,
         predicate: Expr,
     ) -> Result<TupleStream> {
-        super::join::nested_loop_join(left, right, predicate)
+        super::join::nested_loop_join_ctx(left, right, predicate, self.ctx.clone())
     }
 
     fn hash_aggregate(
@@ -213,7 +225,7 @@ impl Engine for TupleEngine {
         group_by: Vec<Expr>,
         aggs: Vec<AggSpec>,
     ) -> Result<TupleStream> {
-        super::aggregate::hash_aggregate(input, group_by, aggs)
+        super::aggregate::hash_aggregate_ctx(input, group_by, aggs, self.ctx.clone())
     }
 
     fn collect(&self, input: TupleStream) -> Result<Vec<Tuple>> {
@@ -222,17 +234,31 @@ impl Engine for TupleEngine {
 }
 
 /// The vectorized engine: columnar batches of [`BATCH_ROWS`] rows.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct VectorEngine {
     /// Rows per batch; [`BATCH_ROWS`] unless a test shrinks it to force
     /// chunk boundaries.
     pub batch_rows: usize,
+    /// Governor context: cancellation checks and memory accounting for
+    /// every operator this engine builds. Default is unlimited.
+    pub ctx: ExecContext,
 }
 
 impl Default for VectorEngine {
     fn default() -> VectorEngine {
         VectorEngine {
             batch_rows: BATCH_ROWS,
+            ctx: ExecContext::default(),
+        }
+    }
+}
+
+impl VectorEngine {
+    /// Engine whose operators run under `ctx`.
+    pub fn with_context(ctx: ExecContext) -> VectorEngine {
+        VectorEngine {
+            batch_rows: BATCH_ROWS,
+            ctx,
         }
     }
 }
@@ -245,7 +271,7 @@ impl Engine for VectorEngine {
     }
 
     fn seq_scan(&self, heap: &HeapFile) -> Result<BatchStream> {
-        batch::scan_batches(heap, self.batch_rows)
+        batch::scan_batches_ctx(heap, self.batch_rows, self.ctx.clone())
     }
 
     fn values(&self, rows: Vec<Tuple>) -> BatchStream {
@@ -267,7 +293,7 @@ impl Engine for VectorEngine {
         memory_budget: usize,
         workers: usize,
     ) -> Result<BatchStream> {
-        batch::sort_batches(input, keys, memory_budget, workers)
+        batch::sort_batches_ctx(input, keys, memory_budget, workers, self.ctx.clone())
     }
 
     fn limit(&self, input: BatchStream, n: usize, offset: usize) -> BatchStream {
@@ -275,7 +301,7 @@ impl Engine for VectorEngine {
     }
 
     fn distinct(&self, input: BatchStream) -> BatchStream {
-        batch::distinct_batches(input)
+        batch::distinct_batches_ctx(input, self.ctx.clone())
     }
 
     fn equi_join(
@@ -288,7 +314,7 @@ impl Engine for VectorEngine {
         right_offset_for_nl: usize,
         build: BuildSide,
     ) -> Result<BatchStream> {
-        batch::equi_join_batches(
+        batch::equi_join_batches_ctx(
             algorithm,
             left,
             right,
@@ -296,6 +322,7 @@ impl Engine for VectorEngine {
             right_col,
             right_offset_for_nl,
             build,
+            self.ctx.clone(),
         )
     }
 
@@ -305,7 +332,7 @@ impl Engine for VectorEngine {
         right: BatchStream,
         predicate: Expr,
     ) -> Result<BatchStream> {
-        batch::nested_loop_join_batches(left, right, predicate)
+        batch::nested_loop_join_batches_ctx(left, right, predicate, self.ctx.clone())
     }
 
     fn hash_aggregate(
@@ -314,7 +341,7 @@ impl Engine for VectorEngine {
         group_by: Vec<Expr>,
         aggs: Vec<AggSpec>,
     ) -> Result<BatchStream> {
-        batch::aggregate_batches(input, group_by, aggs)
+        batch::aggregate_batches_ctx(input, group_by, aggs, self.ctx.clone())
     }
 
     fn collect(&self, input: BatchStream) -> Result<Vec<Tuple>> {
@@ -364,13 +391,80 @@ mod tests {
 
     #[test]
     fn engines_agree_on_a_full_pipeline() {
-        let tuple = pipeline(&TupleEngine);
+        let tuple = pipeline(&TupleEngine::default());
         let vector = pipeline(&VectorEngine::default());
         // A tiny batch size forces chunk boundaries through every operator.
-        let tiny = pipeline(&VectorEngine { batch_rows: 3 });
+        let tiny = pipeline(&VectorEngine {
+            batch_rows: 3,
+            ..Default::default()
+        });
         assert_eq!(tuple, vector);
         assert_eq!(tuple, tiny);
         assert_eq!(tuple.len(), 5);
+    }
+
+    #[test]
+    fn engines_abort_on_cancelled_context() {
+        // A pre-cancelled token: the first cooperative check aborts.
+        let make_ctx = || {
+            let ctx = ExecContext::default();
+            ctx.cancel.cancel("test abort");
+            ctx
+        };
+        let e = TupleEngine::with_context(make_ctx());
+        let err = e
+            .hash_aggregate(e.values(sample()), vec![Expr::col(0)], vec![])
+            .and_then(|s| e.collect(s))
+            .unwrap_err();
+        assert_eq!(err.code(), "cancelled");
+        let e = VectorEngine::with_context(make_ctx());
+        let err = e
+            .hash_aggregate(e.values(sample()), vec![Expr::col(0)], vec![])
+            .and_then(|s| e.collect(s))
+            .unwrap_err();
+        assert_eq!(err.code(), "cancelled");
+        // An armed token fires on the n-th check regardless of operator.
+        let ctx = ExecContext::default();
+        ctx.cancel.cancel_after_checks(1);
+        let e = TupleEngine::with_context(ctx);
+        let err = e
+            .sort(e.values(sample()), vec![SortKey::asc(1)], 1 << 20, 1)
+            .and_then(|s| e.collect(s))
+            .unwrap_err();
+        assert_eq!(err.code(), "cancelled");
+    }
+
+    #[test]
+    fn engines_enforce_memory_limit_on_distinct_but_sort_spills() {
+        use sbdms_kernel::governor::{CancelToken, QueryMemory};
+        let tight = || ExecContext {
+            cancel: CancelToken::new(),
+            memory: QueryMemory::new(64, None),
+        };
+        // DISTINCT cannot spill: over budget it fails recoverably.
+        let e = TupleEngine::with_context(tight());
+        let err = e.collect(e.distinct(e.values(sample()))).unwrap_err();
+        assert_eq!(err.code(), "resources");
+        assert!(err.is_recoverable());
+        let e = VectorEngine::with_context(tight());
+        let err = e.collect(e.distinct(e.values(sample()))).unwrap_err();
+        assert_eq!(err.code(), "resources");
+        // Sort trades memory for disk: the same tight budget spills and
+        // still produces the full sorted output.
+        let e = TupleEngine::with_context(tight());
+        let sorted = e
+            .sort(e.values(sample()), vec![SortKey::asc(1)], 1 << 20, 1)
+            .and_then(|s| e.collect(s))
+            .unwrap();
+        assert_eq!(sorted.len(), 10);
+        let keys: Vec<i64> = sorted
+            .iter()
+            .map(|t| match t[1] {
+                Datum::Int(v) => v,
+                _ => panic!("int key"),
+            })
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use sbdms_kernel::error::Result;
 
 use super::expr::Expr;
-use super::TupleStream;
+use super::{approx_tuple_bytes, ExecContext, TupleStream, CANCEL_QUANTUM};
 use crate::record::{Datum, Tuple};
 use crate::sort::{compare_tuples, ExternalSorter, SortKey};
 
@@ -48,11 +48,28 @@ pub fn nested_loop_join(
     right: TupleStream,
     predicate: Expr,
 ) -> Result<TupleStream> {
+    nested_loop_join_ctx(left, right, predicate, ExecContext::default())
+}
+
+/// [`nested_loop_join`] under a governor context: the quadratic
+/// candidate loop is the runaway-query case, so every
+/// [`CANCEL_QUANTUM`] candidate pairs is a cancellation point.
+pub fn nested_loop_join_ctx(
+    left: TupleStream,
+    right: TupleStream,
+    predicate: Expr,
+    ctx: ExecContext,
+) -> Result<TupleStream> {
     let left_rows: Vec<Tuple> = left.collect::<Result<_>>()?;
     let right_rows: Vec<Tuple> = right.collect::<Result<_>>()?;
     let mut out = Vec::new();
+    let mut candidates = 0usize;
     for l in &left_rows {
         for r in &right_rows {
+            candidates += 1;
+            if candidates.is_multiple_of(CANCEL_QUANTUM) {
+                ctx.check()?;
+            }
             let joined = concat(l, r);
             if predicate.eval(&joined)?.is_true() {
                 out.push(joined);
@@ -89,9 +106,23 @@ pub fn hash_join(
     right_col: usize,
     build: BuildSide,
 ) -> Result<TupleStream> {
+    hash_join_ctx(left, right, left_col, right_col, build, ExecContext::default())
+}
+
+/// [`hash_join`] under a governor context: the build-side hash table is
+/// the memory footprint, charged per retained tuple, and both the build
+/// and probe loops are cancellation points.
+pub fn hash_join_ctx(
+    left: TupleStream,
+    right: TupleStream,
+    left_col: usize,
+    right_col: usize,
+    build: BuildSide,
+    ctx: ExecContext,
+) -> Result<TupleStream> {
     match build {
-        BuildSide::Left => hash_join_directed(left, left_col, right, right_col, true),
-        BuildSide::Right => hash_join_directed(right, right_col, left, left_col, false),
+        BuildSide::Left => hash_join_directed(left, left_col, right, right_col, true, ctx),
+        BuildSide::Right => hash_join_directed(right, right_col, left, left_col, false, ctx),
         BuildSide::Auto => {
             let l: Vec<Tuple> = left.collect::<Result<_>>()?;
             let r: Vec<Tuple> = right.collect::<Result<_>>()?;
@@ -99,9 +130,9 @@ pub fn hash_join(
             let l: TupleStream = Box::new(l.into_iter().map(Ok));
             let r: TupleStream = Box::new(r.into_iter().map(Ok));
             if build_left {
-                hash_join_directed(l, left_col, r, right_col, true)
+                hash_join_directed(l, left_col, r, right_col, true, ctx)
             } else {
-                hash_join_directed(r, right_col, l, left_col, false)
+                hash_join_directed(r, right_col, l, left_col, false, ctx)
             }
         }
     }
@@ -116,16 +147,24 @@ fn hash_join_directed(
     probe: TupleStream,
     probe_col: usize,
     build_is_left: bool,
+    ctx: ExecContext,
 ) -> Result<TupleStream> {
     let mut table: HashMap<HashKey, Vec<Tuple>> = HashMap::new();
-    for row in build {
+    for (i, row) in build.enumerate() {
+        if i % CANCEL_QUANTUM == 0 {
+            ctx.check()?;
+        }
         let tuple = row?;
         if let Some(key) = tuple.get(build_col).and_then(hash_key) {
+            ctx.charge(approx_tuple_bytes(&tuple) + 32)?;
             table.entry(key).or_default().push(tuple);
         }
     }
     let mut out = Vec::new();
-    for row in probe {
+    for (i, row) in probe.enumerate() {
+        if i % CANCEL_QUANTUM == 0 {
+            ctx.check()?;
+        }
         let tuple = row?;
         if let Some(key) = tuple.get(probe_col).and_then(hash_key) {
             if let Some(matches) = table.get(&key) {
@@ -158,25 +197,32 @@ pub fn merge_join(
         right.collect::<Result<_>>()?,
         left_col,
         right_col,
+        ExecContext::default(),
     )?;
     Ok(Box::new(out.into_iter().map(Ok)))
 }
 
 /// Sort-merge core over materialised rows; both engines run this exact
-/// code so their output (including tie order) is byte-identical.
+/// code so their output (including tie order) is byte-identical. The
+/// context reaches the two input sorts (cancellation + spill-on-charge)
+/// and the merge loop.
 pub(super) fn merge_join_rows(
     left: Vec<Tuple>,
     right: Vec<Tuple>,
     left_col: usize,
     right_col: usize,
+    ctx: ExecContext,
 ) -> Result<Vec<Tuple>> {
-    let sorter = ExternalSorter::new(1 << 22);
+    let sorter = ExternalSorter::new(1 << 22).with_context(ctx.clone());
     let l = sorter.sort(left, &[SortKey::asc(left_col)])?.tuples;
     let r = sorter.sort(right, &[SortKey::asc(right_col)])?.tuples;
 
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < l.len() && j < r.len() {
+        if (i + j) % CANCEL_QUANTUM == 0 {
+            ctx.check()?;
+        }
         let lk = &l[i][left_col];
         let rk = &r[j][right_col];
         if lk.is_null() {
@@ -226,13 +272,47 @@ pub fn equi_join(
     right_offset_for_nl: usize,
     build: BuildSide,
 ) -> Result<TupleStream> {
+    equi_join_ctx(
+        algorithm,
+        left,
+        right,
+        left_col,
+        right_col,
+        right_offset_for_nl,
+        build,
+        ExecContext::default(),
+    )
+}
+
+/// [`equi_join`] under a governor context (see the per-algorithm `_ctx`
+/// variants for what the context buys).
+#[allow(clippy::too_many_arguments)]
+pub fn equi_join_ctx(
+    algorithm: JoinAlgorithm,
+    left: TupleStream,
+    right: TupleStream,
+    left_col: usize,
+    right_col: usize,
+    right_offset_for_nl: usize,
+    build: BuildSide,
+    ctx: ExecContext,
+) -> Result<TupleStream> {
     match algorithm {
-        JoinAlgorithm::Hash => hash_join(left, right, left_col, right_col, build),
-        JoinAlgorithm::Merge => merge_join(left, right, left_col, right_col),
+        JoinAlgorithm::Hash => hash_join_ctx(left, right, left_col, right_col, build, ctx),
+        JoinAlgorithm::Merge => {
+            let out = merge_join_rows(
+                left.collect::<Result<_>>()?,
+                right.collect::<Result<_>>()?,
+                left_col,
+                right_col,
+                ctx,
+            )?;
+            Ok(Box::new(out.into_iter().map(Ok)))
+        }
         JoinAlgorithm::NestedLoop => {
             let predicate =
                 Expr::col(left_col).eq(Expr::col(right_offset_for_nl + right_col));
-            nested_loop_join(left, right, predicate)
+            nested_loop_join_ctx(left, right, predicate, ctx)
         }
     }
 }

@@ -13,10 +13,30 @@ pub mod ops;
 
 use sbdms_kernel::error::Result;
 
-use crate::record::Tuple;
+use crate::record::{Datum, Tuple};
 
 /// A stream of tuples, the execution currency of the tuple engine.
 pub type TupleStream = Box<dyn Iterator<Item = Result<Tuple>> + Send>;
+
+/// How many rows an operator processes between cooperative
+/// cancellation checks — one "scheduling quantum" of the governor.
+pub const CANCEL_QUANTUM: usize = 256;
+
+/// Rough in-memory footprint of one materialised tuple, used by the
+/// memory-accounting operators (hash-join build, hash aggregate,
+/// DISTINCT). Deliberately simple and deterministic: a vector header
+/// plus a fixed cost per datum plus string payloads.
+pub fn approx_tuple_bytes(t: &Tuple) -> u64 {
+    24 + t
+        .iter()
+        .map(|d| {
+            16 + match d {
+                Datum::Str(s) => s.len() as u64,
+                _ => 0,
+            }
+        })
+        .sum::<u64>()
+}
 
 pub use aggregate::{hash_aggregate, AggFunc, AggSpec};
 pub use batch::{Batch, BatchStream, BATCH_ROWS};
@@ -24,3 +44,4 @@ pub use engine::{Engine, EngineKind, TupleEngine, VectorEngine};
 pub use expr::{BinOp, Expr, UnaryOp};
 pub use join::{equi_join, hash_join, merge_join, nested_loop_join, BuildSide, JoinAlgorithm};
 pub use ops::{distinct, filter, limit, project, seq_scan, sort, sort_parallel, values_scan};
+pub use sbdms_kernel::governor::ExecContext;

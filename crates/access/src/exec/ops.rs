@@ -8,7 +8,7 @@ use std::collections::HashSet;
 use sbdms_kernel::error::Result;
 
 use super::expr::Expr;
-use super::TupleStream;
+use super::{ExecContext, TupleStream, CANCEL_QUANTUM};
 use crate::heap::HeapFile;
 use crate::record::{decode_tuple, encode_tuple, Tuple};
 use crate::sort::{ExternalSorter, SortKey};
@@ -17,6 +17,13 @@ use crate::sort::{ExternalSorter, SortKey};
 /// Streams page-at-a-time: memory is bounded by one page of decoded
 /// rows, never the whole heap.
 pub fn seq_scan(heap: &HeapFile) -> Result<TupleStream> {
+    seq_scan_ctx(heap, ExecContext::default())
+}
+
+/// [`seq_scan`] under a governor context: every page boundary is one
+/// cooperative cancellation point, so a scan aborts within one page of
+/// its deadline or cancellation.
+pub fn seq_scan_ctx(heap: &HeapFile, ctx: ExecContext) -> Result<TupleStream> {
     let buffer = heap.buffer().clone();
     let mut pages = heap.data_pages()?.into_iter();
     let mut current: std::vec::IntoIter<Result<Tuple>> = Vec::new().into_iter();
@@ -25,6 +32,9 @@ pub fn seq_scan(heap: &HeapFile) -> Result<TupleStream> {
             return Some(row);
         }
         let page = pages.next()?;
+        if let Err(e) = ctx.check() {
+            return Some(Err(e));
+        }
         match HeapFile::page_records(&buffer, page) {
             Ok(records) => {
                 current = records
@@ -65,8 +75,22 @@ pub fn project(input: TupleStream, exprs: Vec<Expr>) -> TupleStream {
 
 /// Sort the input (materialising; spills past `memory_budget` bytes).
 pub fn sort(input: TupleStream, keys: Vec<SortKey>, memory_budget: usize) -> Result<TupleStream> {
+    sort_ctx(input, keys, memory_budget, ExecContext::default())
+}
+
+/// [`sort`] under a governor context: the sorter checks for
+/// cancellation per run/merge step and accounts buffered tuples,
+/// spilling early when the query's memory budget is exhausted.
+pub fn sort_ctx(
+    input: TupleStream,
+    keys: Vec<SortKey>,
+    memory_budget: usize,
+    ctx: ExecContext,
+) -> Result<TupleStream> {
     let tuples: Vec<Tuple> = input.collect::<Result<_>>()?;
-    let out = ExternalSorter::new(memory_budget).sort(tuples, &keys)?;
+    let out = ExternalSorter::new(memory_budget)
+        .with_context(ctx)
+        .sort(tuples, &keys)?;
     Ok(values_scan(out.tuples))
 }
 
@@ -79,8 +103,21 @@ pub fn sort_parallel(
     memory_budget: usize,
     workers: usize,
 ) -> Result<TupleStream> {
+    sort_parallel_ctx(input, keys, memory_budget, workers, ExecContext::default())
+}
+
+/// [`sort_parallel`] under a governor context (see [`sort_ctx`]).
+pub fn sort_parallel_ctx(
+    input: TupleStream,
+    keys: Vec<SortKey>,
+    memory_budget: usize,
+    workers: usize,
+    ctx: ExecContext,
+) -> Result<TupleStream> {
     let tuples: Vec<Tuple> = input.collect::<Result<_>>()?;
-    let out = ExternalSorter::new(memory_budget).sort_parallel(tuples, &keys, workers)?;
+    let out = ExternalSorter::new(memory_budget)
+        .with_context(ctx)
+        .sort_parallel(tuples, &keys, workers)?;
     Ok(values_scan(out.tuples))
 }
 
@@ -94,10 +131,38 @@ pub fn limit(input: TupleStream, n: usize, offset: usize) -> TupleStream {
 /// of the old O(n) list probe, and the same grouping rule GROUP BY uses
 /// (NULLs equal, types distinct).
 pub fn distinct(input: TupleStream) -> TupleStream {
+    distinct_ctx(input, ExecContext::default())
+}
+
+/// [`distinct`] under a governor context: the seen-set is the memory
+/// footprint, so each retained key is charged against the query's
+/// account (DISTINCT cannot spill — over budget it fails with the
+/// recoverable resource error), and every [`CANCEL_QUANTUM`] rows is a
+/// cancellation point.
+pub fn distinct_ctx(input: TupleStream, ctx: ExecContext) -> TupleStream {
     let mut seen: HashSet<Vec<u8>> = HashSet::new();
-    Box::new(input.filter(move |row| match row {
-        Ok(tuple) => seen.insert(encode_tuple(tuple)),
-        Err(_) => true,
+    let mut n = 0usize;
+    Box::new(input.filter_map(move |row| {
+        let tuple = match row {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        n += 1;
+        if n.is_multiple_of(CANCEL_QUANTUM) {
+            if let Err(e) = ctx.check() {
+                return Some(Err(e));
+            }
+        }
+        let enc = encode_tuple(&tuple);
+        if seen.contains(&enc) {
+            return None;
+        }
+        // Key bytes plus fixed hash-set entry overhead.
+        if let Err(e) = ctx.charge(enc.len() as u64 + 48) {
+            return Some(Err(e));
+        }
+        seen.insert(enc);
+        Some(Ok(tuple))
     }))
 }
 

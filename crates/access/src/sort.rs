@@ -10,8 +10,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_kernel::governor::ExecContext;
 
 use crate::record::{decode_tuple, encode_tuple, Datum, Tuple};
+
+/// Tuples between cooperative cancellation checks in the accumulate and
+/// merge loops (mirrors `exec::CANCEL_QUANTUM`; kept local because this
+/// module sits below `exec`).
+const CANCEL_EVERY: usize = 256;
 
 /// Disambiguates spill files created in the same instant (parallel sort
 /// workers spill concurrently within one process).
@@ -75,6 +81,9 @@ pub struct ExternalSorter {
     /// Maximum bytes of tuple data held in memory before spilling.
     memory_budget: usize,
     spill_dir: PathBuf,
+    /// Cancellation + memory accounting; the default context is
+    /// unlimited and never cancels, so unmanaged callers pay nothing.
+    ctx: ExecContext,
 }
 
 impl ExternalSorter {
@@ -83,7 +92,18 @@ impl ExternalSorter {
         ExternalSorter {
             memory_budget: memory_budget.max(1),
             spill_dir: std::env::temp_dir().join("sbdms-sort-spill"),
+            ctx: ExecContext::default(),
         }
+    }
+
+    /// Attach a governor context: the accumulate and merge loops become
+    /// cancellation points, and in-memory run bytes are charged against
+    /// the query's memory account — a failed charge spills the run
+    /// early instead of failing the query (sort is the one operator
+    /// that can always trade memory for disk).
+    pub fn with_context(mut self, ctx: ExecContext) -> ExternalSorter {
+        self.ctx = ctx;
+        self
     }
 
     /// Sort tuples by `keys`, stable within equal keys. Statistics about
@@ -92,16 +112,28 @@ impl ExternalSorter {
         // Estimate memory as encoded size (stable, deterministic).
         let mut run: Vec<(Vec<u8>, Tuple)> = Vec::new();
         let mut run_bytes = 0usize;
+        // Bytes of the current run actually reserved with the governor;
+        // returned to the account whenever the run spills.
+        let mut charged = 0u64;
         let mut run_files: Vec<PathBuf> = Vec::new();
 
         std::fs::create_dir_all(&self.spill_dir)?;
-        for tuple in tuples {
+        for (i, tuple) in tuples.into_iter().enumerate() {
+            if i % CANCEL_EVERY == 0 {
+                self.ctx.check()?;
+            }
             let enc = encode_tuple(&tuple);
             run_bytes += enc.len();
+            let over_account = !self.ctx.try_charge(enc.len() as u64);
+            if !over_account {
+                charged += enc.len() as u64;
+            }
             run.push((enc, tuple));
-            if run_bytes > self.memory_budget {
+            if run_bytes > self.memory_budget || over_account {
                 run_files.push(self.spill_run(&mut run, keys)?);
                 run_bytes = 0;
+                self.ctx.release(charged);
+                charged = 0;
             }
         }
 
@@ -116,6 +148,7 @@ impl ExternalSorter {
         }
         if !run.is_empty() {
             run_files.push(self.spill_run(&mut run, keys)?);
+            self.ctx.release(charged);
         }
 
         // K-way merge of the run files.
@@ -131,6 +164,11 @@ impl ExternalSorter {
 
         let mut out = Vec::new();
         loop {
+            // The k-way merge is the long tail of a spilled sort; every
+            // CANCEL_EVERY merged tuples is one cancellation point.
+            if out.len() % CANCEL_EVERY == 0 {
+                self.ctx.check()?;
+            }
             let mut best: Option<usize> = None;
             for (i, head) in heads.iter().enumerate() {
                 if let Some(t) = head {
@@ -200,6 +238,7 @@ impl ExternalSorter {
                     let worker = ExternalSorter {
                         memory_budget: share,
                         spill_dir: self.spill_dir.clone(),
+                        ctx: self.ctx.clone(),
                     };
                     scope.spawn(move || worker.sort(chunk, keys))
                 })
@@ -219,6 +258,9 @@ impl ExternalSorter {
         let mut heads: Vec<Option<Tuple>> = iters.iter_mut().map(|i| i.next()).collect();
         let mut out = Vec::new();
         loop {
+            if out.len() % CANCEL_EVERY == 0 {
+                self.ctx.check()?;
+            }
             let mut best: Option<usize> = None;
             for (i, head) in heads.iter().enumerate() {
                 if let Some(t) = head {
@@ -245,6 +287,7 @@ impl ExternalSorter {
     }
 
     fn spill_run(&self, run: &mut Vec<(Vec<u8>, Tuple)>, keys: &[SortKey]) -> Result<PathBuf> {
+        self.ctx.check()?;
         run.sort_by(|(_, a), (_, b)| compare_tuples(a, b, keys));
         let path = self.spill_dir.join(format!(
             "run-{}-{:x}-{}",

@@ -23,7 +23,7 @@ fn bench_scan_filter_aggregate(c: &mut Criterion) {
     group.bench_function("tuple", |b| {
         b.iter(|| {
             std::hint::black_box(e12_scan_filter_aggregate(
-                &TupleEngine,
+                &TupleEngine::default(),
                 fact.clone(),
                 threshold,
             ))
@@ -47,7 +47,7 @@ fn bench_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_join");
     group.sample_size(10);
     group.bench_function("tuple", |b| {
-        b.iter(|| std::hint::black_box(e12_join(&TupleEngine, fact.clone(), dim.clone())))
+        b.iter(|| std::hint::black_box(e12_join(&TupleEngine::default(), fact.clone(), dim.clone())))
     });
     group.bench_function("vectorized", |b| {
         b.iter(|| {

@@ -1,0 +1,58 @@
+//! E13: overload protection.
+//!
+//! Two questions, one per group:
+//! * oversubscription — with concurrent sessions at 1x/2x/4x of the
+//!   governor's admission capacity, how does completed-query latency
+//!   behave with the governor off (everything queues on raw locks)
+//!   versus on (excess load sheds at the admission gate)?
+//! * degraded admission — what does the degraded contract cost when
+//!   overload is absorbed on the cheaper plan instead of shed?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms_bench::experiments::{e13_db, e13_drive, E13_MAX_CONCURRENT};
+
+const ROWS: usize = 4_000;
+const PER_SESSION: usize = 3;
+
+fn bench_oversubscription(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_oversubscription");
+    group.sample_size(10);
+    for (label, governor_on) in [("governor-off", false), ("governor-on", true)] {
+        let db = e13_db(ROWS, governor_on);
+        for mult in [1usize, 2, 4] {
+            group.bench_function(format!("{label}/{mult}x"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(e13_drive(
+                        &db,
+                        E13_MAX_CONCURRENT * mult,
+                        PER_SESSION,
+                        false,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_degraded_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_degraded_admission");
+    group.sample_size(10);
+    let db = e13_db(ROWS, true);
+    for (label, allow_degraded) in [("strict", false), ("degraded", true)] {
+        group.bench_function(format!("{label}/4x"), |b| {
+            b.iter(|| {
+                std::hint::black_box(e13_drive(
+                    &db,
+                    E13_MAX_CONCURRENT * 4,
+                    PER_SESSION,
+                    allow_degraded,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oversubscription, bench_degraded_admission);
+criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! The experiment report: runs every experiment (E1–E12) with plain
+//! The experiment report: runs every experiment (E1–E13) with plain
 //! timers and prints the tables recorded in EXPERIMENTS.md.
 //!
 //! `cargo run --release -p sbdms-bench --bin report`
 //!
-//! `--only <name>` runs a single experiment (`e1` … `e12`, `a1`);
-//! `--smoke` shrinks the workloads for a fast CI sanity pass. E12 also
-//! writes its measured table to `BENCH_e12.json` at the workspace root.
+//! `--only <name>` runs a single experiment (`e1` … `e13`, `a1`);
+//! `--smoke` shrinks the workloads for a fast CI sanity pass. E12 and
+//! E13 also write their measured tables to `BENCH_e12.json` /
+//! `BENCH_e13.json` at the workspace root.
 //!
 //! Criterion gives careful statistics per data point (`cargo bench`);
 //! this binary gives the complete paper-vs-measured picture in one run.
@@ -50,7 +51,7 @@ fn main() {
                 only = Some(
                     it.next()
                         .unwrap_or_else(|| {
-                            eprintln!("--only requires an experiment name (e1..e12, a1)");
+                            eprintln!("--only requires an experiment name (e1..e13, a1)");
                             std::process::exit(2);
                         })
                         .to_lowercase(),
@@ -103,6 +104,9 @@ fn main() {
     }
     if run("e12") {
         e12(smoke);
+    }
+    if run("e13") {
+        e13(smoke);
     }
     if run("a1") {
         a1();
@@ -514,7 +518,7 @@ fn e12(smoke: bool) {
     let fact = e12_fact(rows);
     let dim = e12_dim(GROUPS);
     let threshold = (rows / 2) as i64;
-    let tuple = TupleEngine;
+    let tuple = TupleEngine::default();
     let vector = VectorEngine::default();
 
     // Each timed closure clones its input (the engines consume rows);
@@ -632,6 +636,122 @@ fn e12(smoke: bool) {
     match std::fs::write(path, json) {
         Ok(()) => println!("  wrote BENCH_e12.json"),
         Err(e) => eprintln!("  could not write BENCH_e12.json: {e}"),
+    }
+}
+
+fn e13(smoke: bool) {
+    use sbdms_bench::experiments::{e13_db, e13_drive, E13Outcome, E13_MAX_CONCURRENT};
+
+    println!("\nE13 — overload protection: resource governor under oversubscription");
+    let (rows, per_session) = if smoke { (1_000usize, 3usize) } else { (20_000, 12) };
+    let multipliers = [1usize, 2, 4];
+
+    // Three configurations: no governor (every session queues on raw
+    // locks), governor with strict admission (excess load sheds), and
+    // governor with the degraded contract (excess load admits on the
+    // cheaper plan).
+    let configs: [(&str, bool, bool); 3] = [
+        ("governor off", false, false),
+        ("governor on", true, false),
+        ("on + degraded", true, true),
+    ];
+    println!(
+        "  {:<16} {:>9} {:>10} {:>6} {:>9} {:>10} {:>10}",
+        "config", "sessions", "completed", "shed", "degraded", "p50", "p99"
+    );
+    let mut table: Vec<(String, usize, E13Outcome)> = Vec::new();
+    for (label, governor_on, allow_degraded) in configs {
+        let db = e13_db(rows, governor_on);
+        for mult in multipliers {
+            let sessions = E13_MAX_CONCURRENT * mult;
+            let outcome = e13_drive(&db, sessions, per_session, allow_degraded);
+            println!(
+                "  {:<16} {:>7}x {:>10} {:>6} {:>9} {:>8.2}ms {:>8.2}ms",
+                label,
+                mult,
+                outcome.completed,
+                outcome.shed,
+                outcome.degraded,
+                outcome.p50_ms,
+                outcome.p99_ms
+            );
+            table.push((label.to_string(), mult, outcome));
+        }
+    }
+
+    if smoke {
+        // A smoke pass sanity-checks the harness; don't overwrite the
+        // recorded full-workload artifact with shrunken numbers.
+        return;
+    }
+    let cell = |label: &str, mult: usize| -> &E13Outcome {
+        &table.iter().find(|(l, m, _)| l == label && *m == mult).unwrap().2
+    };
+    let off4 = cell("governor off", 4);
+    let on4 = cell("governor on", 4);
+    let deg4 = cell("on + degraded", 4);
+    let runs: Vec<String> = table
+        .iter()
+        .map(|(label, mult, o)| {
+            format!(
+                r#"    {{
+      "config": "{label}",
+      "capacity_multiple": {mult},
+      "sessions": {sessions},
+      "completed": {completed},
+      "shed": {shed},
+      "degraded": {degraded},
+      "p50_ms": {p50:.2},
+      "p99_ms": {p99:.2}
+    }}"#,
+                sessions = sbdms_bench::experiments::E13_MAX_CONCURRENT * mult,
+                completed = o.completed,
+                shed = o.shed,
+                degraded = o.degraded,
+                p50 = o.p50_ms,
+                p99 = o.p99_ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "experiment": "E13",
+  "title": "Overload protection: resource governor, shedding, and degraded admission",
+  "date": "{date}",
+  "build": "cargo run --release -p sbdms-bench --bin report -- --only e13",
+  "workload": {{
+    "query": "SELECT grp, COUNT(*), MIN(label) FROM t GROUP BY grp ORDER BY grp",
+    "rows": {rows},
+    "queries_per_session": {per_session},
+    "admission_capacity": {cap},
+    "queue_depth": {queue},
+    "queue_wait_ms": 40,
+    "note": "sessions = capacity x multiple; shed queries are counted, not retried"
+  }},
+  "runs": [
+{runs}
+  ],
+  "acceptance": {{
+    "p99_bounded_with_governor_at_4x": {accept},
+    "off_p99_ms_at_4x": {off_p99:.2},
+    "on_p99_ms_at_4x": {on_p99:.2},
+    "degraded_admissions_at_4x": {deg_count}
+  }}
+}}
+"#,
+        date = today_utc(),
+        cap = sbdms_bench::experiments::E13_MAX_CONCURRENT,
+        queue = sbdms_bench::experiments::E13_MAX_CONCURRENT * 2,
+        runs = runs.join(",\n"),
+        accept = on4.p99_ms <= off4.p99_ms,
+        off_p99 = off4.p99_ms,
+        on_p99 = on4.p99_ms,
+        deg_count = deg4.degraded,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e13.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote BENCH_e13.json"),
+        Err(e) => eprintln!("  could not write BENCH_e13.json: {e}"),
     }
 }
 

@@ -765,6 +765,133 @@ pub mod experiments {
             .unwrap();
         engine.collect(joined).unwrap().len()
     }
+
+    // --- E13: overload protection under concurrent sessions -------------
+
+    use sbdms::kernel::governor::GovernorConfig;
+
+    /// E13 admission capacity. Session counts are expressed as
+    /// multiples of this, so 2x/4x genuinely oversubscribe the slots.
+    pub const E13_MAX_CONCURRENT: usize = 4;
+
+    /// The E13 governor: a small fixed concurrency with a short queue,
+    /// so an oversubscribed burst sheds (or degrades) fast instead of
+    /// piling up unbounded.
+    pub fn e13_governor() -> GovernorConfig {
+        GovernorConfig {
+            enabled: true,
+            max_concurrent: E13_MAX_CONCURRENT,
+            queue_depth: E13_MAX_CONCURRENT * 2,
+            queue_wait_ms: 40,
+            ..GovernorConfig::default()
+        }
+    }
+
+    /// E13 database: `t (id, grp, label)` sized so the probe query
+    /// holds its admission slot for a visible quantum.
+    pub fn e13_db(rows: usize, governor_on: bool) -> Database {
+        let db = Database::open_opts(
+            bench_dir(&format!("e13-db-{rows}-{governor_on}")),
+            DbOptions {
+                buffer_frames: 512,
+                governor: if governor_on {
+                    e13_governor()
+                } else {
+                    GovernorConfig::default()
+                },
+                ..DbOptions::default()
+            },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL, label TEXT NOT NULL)")
+            .unwrap();
+        for chunk in (0..rows as i64).collect::<Vec<_>>().chunks(200) {
+            let values: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({i}, {}, 'row-{i}')", i % 64))
+                .collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+                .unwrap();
+        }
+        db
+    }
+
+    /// One E13 overload drive, aggregated over every session.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct E13Outcome {
+        /// Queries that returned rows.
+        pub completed: u64,
+        /// Queries shed with the typed `Overloaded` error.
+        pub shed: u64,
+        /// Queries admitted under the degraded contract (cheaper plan).
+        pub degraded: u64,
+        /// Median latency of completed queries, milliseconds.
+        pub p50_ms: f64,
+        /// 99th-percentile latency of completed queries, milliseconds.
+        pub p99_ms: f64,
+    }
+
+    /// Drive `sessions` concurrent sessions, each issuing
+    /// `per_session` aggregate queries against the shared database.
+    /// Shed queries are counted, not retried — the client-visible
+    /// contract under overload.
+    pub fn e13_drive(
+        db: &Database,
+        sessions: usize,
+        per_session: usize,
+        allow_degraded: bool,
+    ) -> E13Outcome {
+        db.set_allow_degraded(allow_degraded);
+        let before = db.governor().snapshot();
+        let per_thread: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut lat = Vec::with_capacity(per_session);
+                        let mut shed = 0u64;
+                        for _ in 0..per_session {
+                            let start = Instant::now();
+                            match db.execute(
+                                "SELECT grp, COUNT(*), MIN(label) FROM t GROUP BY grp ORDER BY grp",
+                            ) {
+                                Ok(out) => {
+                                    assert!(!out.rows.is_empty());
+                                    lat.push(start.elapsed().as_secs_f64() * 1e3);
+                                }
+                                Err(e) if e.code() == "overloaded" => shed += 1,
+                                Err(e) => panic!("E13 query failed: {e}"),
+                            }
+                        }
+                        (lat, shed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        db.set_allow_degraded(false);
+        let after = db.governor().snapshot();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut shed = 0u64;
+        for (lat, s) in per_thread {
+            latencies.extend(lat);
+            shed += s;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx]
+        };
+        E13Outcome {
+            completed: latencies.len() as u64,
+            shed,
+            degraded: after.degraded - before.degraded,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -935,15 +1062,40 @@ mod tests {
         let fact = e12_fact(2_000);
         let dim = e12_dim(64);
         let tuple_groups =
-            e12_scan_filter_aggregate(&TupleEngine, fact.clone(), 1_000);
+            e12_scan_filter_aggregate(&TupleEngine::default(), fact.clone(), 1_000);
         let vector_groups =
             e12_scan_filter_aggregate(&VectorEngine::default(), fact.clone(), 1_000);
         assert_eq!(tuple_groups, vector_groups);
         assert_eq!(tuple_groups, 64, "every group survives a 50% filter");
-        let tuple_rows = e12_join(&TupleEngine, fact.clone(), dim.clone());
+        let tuple_rows = e12_join(&TupleEngine::default(), fact.clone(), dim.clone());
         let vector_rows = e12_join(&VectorEngine::default(), fact, dim);
         assert_eq!(tuple_rows, vector_rows);
         assert_eq!(tuple_rows, 2_000, "every fact row has its dimension");
+    }
+
+    #[test]
+    fn e13_harness_sheds_under_oversubscription_and_degrades_on_contract() {
+        let db = e13_db(600, true);
+        // Within capacity: everything completes.
+        let calm = e13_drive(&db, E13_MAX_CONCURRENT, 2, false);
+        assert_eq!(calm.completed, (E13_MAX_CONCURRENT * 2) as u64);
+        assert_eq!(calm.shed + calm.degraded, 0, "{calm:?}");
+        assert!(calm.p99_ms >= calm.p50_ms);
+        // Far past capacity with strict admission, a single held slot
+        // makes the shed path deterministic even on one core.
+        let blocker = db.governor().admit(false).unwrap();
+        let strict = e13_drive(&db, E13_MAX_CONCURRENT * 4, 1, false);
+        // Under the degraded contract the same pressure is absorbed on
+        // the cheaper plan instead.
+        let degraded = e13_drive(&db, E13_MAX_CONCURRENT * 4, 1, true);
+        drop(blocker);
+        assert!(strict.shed + strict.completed > 0, "{strict:?}");
+        assert!(degraded.degraded > 0, "{degraded:?}");
+        // Governor off: nothing sheds, nothing degrades.
+        let off = e13_db(600, false);
+        let unprotected = e13_drive(&off, E13_MAX_CONCURRENT * 2, 2, false);
+        assert_eq!(unprotected.shed + unprotected.degraded, 0);
+        assert_eq!(unprotected.completed, (E13_MAX_CONCURRENT * 2 * 2) as u64);
     }
 
     #[test]

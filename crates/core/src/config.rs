@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use sbdms_access::exec::engine::EngineKind;
 use sbdms_kernel::binding::BindingKind;
+use sbdms_kernel::governor::GovernorConfig;
 use sbdms_kernel::resilience::{BreakerConfig, InvokePolicy};
 use sbdms_storage::replacement::PolicyKind;
 
@@ -196,6 +197,11 @@ pub struct ArchitectureConfig {
     pub memory_alert_below: u64,
     /// Whether policy assertions are enforced on the hot path.
     pub enforce_policies: bool,
+    /// Overload protection: the resource governor's admission control,
+    /// load shedding, and memory budgets. The full-fledged profile
+    /// (concurrent sessions, finite memory) turns it on; the embedded
+    /// profile (one caller, one core) runs ungoverned.
+    pub governor: GovernorConfig,
     /// Resilient invocation tuning.
     pub resilience: ResilienceConfig,
     /// Storage device: real files or the deterministic simulator.
@@ -226,6 +232,19 @@ impl ArchitectureConfig {
                 memory_budget: 64 << 20,
                 memory_alert_below: 4 << 20,
                 enforce_policies: true,
+                // A server deployment shares finite memory across many
+                // sessions: admit a bounded number of queries, queue a
+                // few more, and shed (or degrade, per contract) the rest
+                // rather than thrash.
+                governor: GovernorConfig {
+                    enabled: true,
+                    max_concurrent: 8,
+                    queue_depth: 16,
+                    queue_wait_ms: 100,
+                    memory_capacity: 64 << 20,
+                    query_memory: 16 << 20,
+                    degraded_sort_budget: 1 << 20,
+                },
                 // Plenty of headroom: retry generously and hedge away
                 // from degraded providers.
                 resilience: ResilienceConfig {
@@ -260,6 +279,10 @@ impl ArchitectureConfig {
                 memory_budget: 1 << 20,
                 memory_alert_below: 128 << 10,
                 enforce_policies: true,
+                // One embedded caller cannot overload itself: no
+                // admission queue, no shedding, no per-query accounting
+                // overhead.
+                governor: GovernorConfig::default(),
                 // Constrained device: fail fast (tight deadline, single
                 // retry, eager breaker) rather than burn battery on
                 // backoff loops; no hedging — redundant providers are
@@ -331,6 +354,12 @@ impl ArchitectureConfig {
         self
     }
 
+    /// Builder: override the resource-governor tuning.
+    pub fn with_governor(mut self, governor: GovernorConfig) -> ArchitectureConfig {
+        self.governor = governor;
+        self
+    }
+
     /// Builder: deploy onto the deterministic simulation backend with the
     /// given fault seed instead of real files. `data_dir` is ignored.
     pub fn with_sim_storage(mut self, seed: u64) -> ArchitectureConfig {
@@ -367,6 +396,24 @@ mod tests {
         assert!(full.resilience.retries > embedded.resilience.retries);
         assert!(full.resilience.deadline_ms > embedded.resilience.deadline_ms);
         assert!(full.resilience.hedge_on_degraded && !embedded.resilience.hedge_on_degraded);
+        // Overload protection guards the shared server; the embedded
+        // single-caller deployment runs ungoverned.
+        assert!(full.governor.enabled && !embedded.governor.enabled);
+        assert!(full.governor.max_concurrent > 1);
+        assert!(full.governor.queue_depth > 0);
+    }
+
+    #[test]
+    fn governor_builder_override() {
+        let c = ArchitectureConfig::for_profile(Profile::Embedded, "/tmp/x").with_governor(
+            GovernorConfig {
+                enabled: true,
+                max_concurrent: 2,
+                ..GovernorConfig::default()
+            },
+        );
+        assert!(c.governor.enabled);
+        assert_eq!(c.governor.max_concurrent, 2);
     }
 
     #[test]

@@ -116,7 +116,11 @@ mod tests {
         let embedded = Sbdms::open(Profile::Embedded, dir).unwrap();
 
         let full = system("to-downsize");
-        downsize(&full, &["xml", "stream", "procedures", "monitor", "heap", "index"]).unwrap();
+        downsize(
+            &full,
+            &["xml", "stream", "procedures", "monitor", "governor-monitor", "heap", "index"],
+        )
+        .unwrap();
         assert_eq!(
             footprint(&full).enabled_services,
             footprint(&embedded).enabled_services

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use sbdms_data::catalog::ViewMeta;
 use sbdms_data::executor::{Database, DbOptions};
 use sbdms_data::QueryService;
-use sbdms_extension::monitoring::StorageMonitorService;
+use sbdms_extension::monitoring::{GovernorMonitorService, StorageMonitorService};
 use sbdms_extension::procedures::{ProcedureEngine, ProcedureService};
 use sbdms_extension::stream::{StreamEngine, StreamService};
 use sbdms_extension::xml::{XmlService, XmlStore};
@@ -112,6 +112,7 @@ impl Sbdms {
             plan_cache_capacity: config.plan_cache,
             histogram_buckets: config.histogram_buckets,
             execution_engine: Some(config.execution_engine),
+            governor: config.governor.clone(),
         };
         let db = Arc::new(match config.storage_mode {
             crate::config::StorageMode::File => Database::open_opts(&config.data_dir, opts)?,
@@ -264,6 +265,18 @@ impl Sbdms {
                 )
                 .with_reference(Reference::required("buffer", BUFFER_INTERFACE)),
             );
+            // The overload half of the monitoring concern: admission,
+            // shedding, degradation, and memory-pool counters.
+            extension_layer = extension_layer.with(component(
+                "governor-monitor",
+                GovernorMonitorService::new(
+                    "governor-monitor",
+                    self.db.governor().clone(),
+                    self.bus.properties().clone(),
+                    "main",
+                )
+                .into_ref(),
+            ));
         }
 
         // The coordinator itself is a service (paper §4: "developers
@@ -469,8 +482,8 @@ mod tests {
     #[test]
     fn full_profile_deploys_all_layers() {
         let system = Sbdms::open(Profile::FullFledged, data_dir("full")).unwrap();
-        // 10 selected + coordinator.
-        assert_eq!(system.service_keys().len(), 11);
+        // 11 selected + coordinator.
+        assert_eq!(system.service_keys().len(), 12);
         for layer in ["storage", "access", "data", "extension"] {
             assert!(
                 !system.bus().registry().find_by_layer(layer).is_empty(),

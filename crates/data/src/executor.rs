@@ -16,6 +16,7 @@ use sbdms_access::heap::Rid;
 use sbdms_access::record::{Datum, Tuple};
 use sbdms_kernel::error::{Result, ServiceError};
 use sbdms_kernel::events::{Event, EventBus};
+use sbdms_kernel::governor::{CancelToken, ExecContext, Governor, GovernorConfig};
 use sbdms_storage::replacement::PolicyKind;
 use sbdms_storage::services::StorageEngine;
 
@@ -82,6 +83,10 @@ pub struct DbOptions {
     /// built-in default (vectorized);
     /// [`Database::force_execution_engine`] overrides per session.
     pub execution_engine: Option<EngineKind>,
+    /// Resource-governor configuration: admission control, load
+    /// shedding, and memory budgets. Disabled by default (the embedded
+    /// profile's setting); the full-fledged profile enables it.
+    pub governor: GovernorConfig,
 }
 
 impl Default for DbOptions {
@@ -95,8 +100,17 @@ impl Default for DbOptions {
             plan_cache_capacity: 64,
             histogram_buckets: crate::stats::HISTOGRAM_BUCKETS,
             execution_engine: None,
+            governor: GovernorConfig::default(),
         }
     }
+}
+
+/// How one admitted statement runs: its cancellation/memory context and
+/// whether the governor degraded it to the cheaper execution path.
+#[derive(Debug, Clone, Default)]
+struct RunMode {
+    ctx: ExecContext,
+    degraded: bool,
 }
 
 /// An embedded SBDMS database engine.
@@ -114,6 +128,17 @@ pub struct Database {
     histogram_buckets: usize,
     event_bus: Mutex<Option<EventBus>>,
     plans_selected: AtomicU64,
+    governor: Governor,
+    /// Session deadline applied to each statement, in milliseconds.
+    statement_deadline_ms: Mutex<Option<u64>>,
+    /// Session per-statement memory limit, in bytes.
+    statement_memory_limit: Mutex<Option<u64>>,
+    /// Whether this session's contract accepts degraded quality under
+    /// overload (cheaper plan instead of shedding).
+    allow_degraded: std::sync::atomic::AtomicBool,
+    /// Session cancel-token override: when set, every statement runs
+    /// under this token (deterministic cancellation injection).
+    session_cancel: Mutex<Option<CancelToken>>,
 }
 
 impl Database {
@@ -190,6 +215,11 @@ impl Database {
             histogram_buckets: opts.histogram_buckets,
             event_bus: Mutex::new(None),
             plans_selected: AtomicU64::new(0),
+            governor: Governor::new(opts.governor),
+            statement_deadline_ms: Mutex::new(None),
+            statement_memory_limit: Mutex::new(None),
+            allow_degraded: std::sync::atomic::AtomicBool::new(false),
+            session_cancel: Mutex::new(None),
         };
         let rolled_back = db.txns.recover(&DbResolver { db: &db })?;
         if !rolled_back.is_empty() {
@@ -280,9 +310,63 @@ impl Database {
     }
 
     /// Attach a kernel event bus: each freshly planned query publishes a
-    /// `plan.selected` event describing why its plan was chosen.
+    /// `plan.selected` event describing why its plan was chosen, and the
+    /// governor publishes `governor.shed` / `governor.degraded` events.
     pub fn set_event_bus(&self, bus: EventBus) {
+        self.governor.set_event_bus(bus.clone());
         *self.event_bus.lock() = Some(bus);
+    }
+
+    /// The resource governor (admission control, load shedding, memory
+    /// budgets) — for monitoring and experiments.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    /// Apply a deadline to each subsequent statement (`None` clears).
+    /// An expired deadline cancels the statement cooperatively — it
+    /// aborts within one scheduling quantum with a `cancelled` error.
+    pub fn set_statement_deadline_ms(&self, ms: Option<u64>) {
+        *self.statement_deadline_ms.lock() = ms;
+    }
+
+    /// Cap each subsequent statement's operator memory (`None` clears).
+    /// Operators that can spill (sort) trade memory for disk; the rest
+    /// fail with a recoverable resource error.
+    pub fn set_statement_memory_limit(&self, bytes: Option<u64>) {
+        *self.statement_memory_limit.lock() = bytes;
+    }
+
+    /// Declare whether this session's contract accepts degraded quality
+    /// under overload: instead of shedding, the governor may admit the
+    /// query on the cheaper tuple engine with a reduced sort budget.
+    pub fn set_allow_degraded(&self, on: bool) {
+        self.allow_degraded
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Run every subsequent statement under `token` (`None` restores
+    /// per-statement tokens). The deterministic cancellation-injection
+    /// hook the torture suite drives.
+    pub fn set_session_cancel_token(&self, token: Option<CancelToken>) {
+        *self.session_cancel.lock() = token;
+    }
+
+    /// The cancellation/memory context for one statement.
+    fn exec_context(&self) -> ExecContext {
+        let cancel = if let Some(tok) = self.session_cancel.lock().clone() {
+            tok
+        } else if let Some(ms) = *self.statement_deadline_ms.lock() {
+            CancelToken::with_deadline(std::time::Duration::from_millis(ms))
+        } else {
+            CancelToken::new()
+        };
+        ExecContext {
+            cancel,
+            memory: self
+                .governor
+                .query_memory(*self.statement_memory_limit.lock()),
+        }
     }
 
     /// Number of plans selected (planned fresh, not served from cache)
@@ -408,7 +492,36 @@ impl Database {
     /// Parse and execute one SQL statement. SELECT plans are cached by
     /// SQL text: a repeat of the same statement skips parsing and
     /// planning unless the catalog changed underneath it.
+    ///
+    /// Every statement passes the resource governor first: over the
+    /// high-watermark the governor queues, sheds (typed `Overloaded`
+    /// error), or — when the session contract allows degraded quality —
+    /// admits on the cheaper execution path. A statement cancelled
+    /// mid-transaction (deadline or injected token) rolls the open
+    /// transaction back, leaving the same invariants as a crash.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let admission = self
+            .governor
+            .admit(self.allow_degraded.load(std::sync::atomic::Ordering::Relaxed))?;
+        let mode = RunMode {
+            ctx: self.exec_context(),
+            degraded: admission.is_degraded(),
+        };
+        let out = self.execute_with(sql, &mode);
+        if matches!(out, Err(ServiceError::Cancelled { .. })) {
+            self.governor.note_cancelled();
+            if self.current_txn.lock().is_some() {
+                // Unwind through the transaction rollback path: the
+                // session stays usable and committed data stays intact.
+                let _ = self.rollback();
+            }
+        }
+        drop(admission);
+        out
+    }
+
+    /// [`Database::execute`] past admission, under one run mode.
+    fn execute_with(&self, sql: &str, mode: &RunMode) -> Result<QueryResult> {
         // Only SELECTs are cacheable; the keyword peek keeps DML and DDL
         // off the cache (and out of its hit/miss accounting) without
         // parsing first.
@@ -417,11 +530,12 @@ impl Database {
             .get(..6)
             .is_some_and(|kw| kw.eq_ignore_ascii_case("select"));
         if !is_select {
-            return self.execute_statement(parse(sql)?);
+            return self.execute_statement_with(parse(sql)?, mode);
         }
         let epoch = self.plan_epoch();
         if let Some(planned) = self.plan_cache.get(sql, epoch) {
-            return self.run_planned(&planned);
+            self.note_degraded_run(sql, mode);
+            return self.run_planned_with(&planned, mode);
         }
         let stmt = parse(sql)?;
         if let Statement::Select(select) = stmt {
@@ -432,13 +546,34 @@ impl Database {
             // Re-read the epoch: a stale-stats refresh above bumps it.
             self.plan_cache.insert(sql, self.plan_epoch(), planned.clone());
             self.note_plan_selected(sql, &planned.decisions);
-            return self.run_planned(&planned);
+            self.note_degraded_run(sql, mode);
+            return self.run_planned_with(&planned, mode);
         }
-        self.execute_statement(stmt)
+        self.execute_statement_with(stmt, mode)
+    }
+
+    /// Publish the degradation decision for this run. Cached plans keep
+    /// their normal decision strings (the cache is shared across runs),
+    /// so a degraded admission announces itself per execution.
+    fn note_degraded_run(&self, sql: &str, mode: &RunMode) {
+        if !mode.degraded {
+            return;
+        }
+        if let Some(bus) = self.event_bus.lock().as_ref() {
+            bus.publish(Event::Custom {
+                topic: "plan.selected".into(),
+                detail: format!("{sql} :: engine: tuple (degraded: overload)"),
+            });
+        }
     }
 
     /// Execute a pre-parsed statement.
     pub fn execute_statement(&self, stmt: Statement) -> Result<QueryResult> {
+        self.execute_statement_with(stmt, &RunMode::default())
+    }
+
+    /// [`Database::execute_statement`] under one run mode.
+    fn execute_statement_with(&self, stmt: Statement, mode: &RunMode) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(columns)?;
@@ -471,15 +606,17 @@ impl Database {
                 self.catalog.drop_view(&name)?;
                 Ok(QueryResult::affected(0))
             }
-            Statement::Insert { table, columns, rows } => self.run_insert(&table, columns, rows),
-            Statement::Update { table, set, filter } => self.run_update(&table, set, filter),
-            Statement::Delete { table, filter } => self.run_delete(&table, filter),
-            Statement::Select(select) => self.run_select(&select),
+            Statement::Insert { table, columns, rows } => {
+                self.run_insert(&table, columns, rows, mode)
+            }
+            Statement::Update { table, set, filter } => self.run_update(&table, set, filter, mode),
+            Statement::Delete { table, filter } => self.run_delete(&table, filter, mode),
+            Statement::Select(select) => self.run_select_with(&select, mode),
             Statement::Analyze { table } => {
                 self.analyze(&table)?;
                 Ok(QueryResult::affected(0))
             }
-            Statement::Explain(select) => self.run_explain(&select),
+            Statement::Explain(select) => self.run_explain(&select, mode),
         }
     }
 
@@ -487,9 +624,13 @@ impl Database {
     /// instead of executing it. Each node line carries the estimated
     /// rows and cost; the planner's selection decisions follow as
     /// `-- ...` comment lines.
-    fn run_explain(&self, select: &Select) -> Result<QueryResult> {
+    fn run_explain(&self, select: &Select, mode: &RunMode) -> Result<QueryResult> {
         let mut planned = plan_select(select, self)?;
-        planned.decisions.push(self.engine_decision());
+        planned.decisions.push(if mode.degraded {
+            "engine: tuple (degraded: overload)".to_string()
+        } else {
+            self.engine_decision()
+        });
         let estimator = Estimator::new(self);
         let mut lines = estimator.explain_annotated(&planned.plan);
         for d in &planned.decisions {
@@ -504,25 +645,40 @@ impl Database {
 
     /// Execute a SELECT and materialise the result.
     pub fn run_select(&self, select: &Select) -> Result<QueryResult> {
+        self.run_select_with(select, &RunMode::default())
+    }
+
+    /// [`Database::run_select`] under one run mode.
+    fn run_select_with(&self, select: &Select, mode: &RunMode) -> Result<QueryResult> {
         let mut planned = plan_select(select, self)?;
         planned.decisions.push(self.engine_decision());
-        self.run_planned(&planned)
+        self.run_planned_with(&planned, mode)
     }
 
     /// Run a planned query on whichever engine the knobs select. The
     /// engine is resolved at run time, which is cache-consistent: the
     /// only runtime-mutable input (the forced-engine hint) is folded
-    /// into the plan epoch.
-    fn run_planned(&self, planned: &PlannedQuery) -> Result<QueryResult> {
-        let rows = match self.execution_engine() {
+    /// into the plan epoch. A degraded admission overrides both knobs
+    /// and profile: the tuple engine (lean, lazy, minimal footprint)
+    /// with the governor's reduced sort budget.
+    fn run_planned_with(&self, planned: &PlannedQuery, mode: &RunMode) -> Result<QueryResult> {
+        let (kind, sort_budget) = if mode.degraded {
+            (
+                EngineKind::Tuple,
+                self.governor.config().degraded_sort_budget.max(1),
+            )
+        } else {
+            (self.execution_engine(), self.sort_budget)
+        };
+        let rows = match kind {
             EngineKind::Tuple => {
-                let engine = TupleEngine;
-                let stream = self.run_plan_with(&engine, &planned.plan)?;
+                let engine = TupleEngine::with_context(mode.ctx.clone());
+                let stream = self.run_plan_budgeted(&engine, &planned.plan, sort_budget)?;
                 engine.collect(stream)?
             }
             EngineKind::Vectorized => {
-                let engine = VectorEngine::default();
-                let stream = self.run_plan_with(&engine, &planned.plan)?;
+                let engine = VectorEngine::with_context(mode.ctx.clone());
+                let stream = self.run_plan_budgeted(&engine, &planned.plan, sort_budget)?;
                 engine.collect(stream)?
             }
         };
@@ -560,7 +716,12 @@ impl Database {
         table: &str,
         columns: Option<Vec<String>>,
         rows: Vec<Vec<AstExpr>>,
+        mode: &RunMode,
     ) -> Result<QueryResult> {
+        // Check cancellation before any row mutates: an auto-commit
+        // INSERT either runs or aborts cleanly, never half-applies
+        // without undo coverage.
+        mode.ctx.check()?;
         let t = self.table(table)?;
         let schema = t.schema().clone();
         // Map provided columns onto schema positions; missing -> NULL.
@@ -605,6 +766,7 @@ impl Database {
         table: &str,
         set: Vec<(String, AstExpr)>,
         filter: Option<AstExpr>,
+        mode: &RunMode,
     ) -> Result<QueryResult> {
         let t = self.table(table)?;
         let schema = t.schema().clone();
@@ -622,7 +784,7 @@ impl Database {
             .collect::<Result<_>>()?;
         let predicate = filter.map(|f| compile_expr(&f, &env)).transpose()?;
 
-        let matches = self.matching_rids(&t, &predicate)?;
+        let matches = self.matching_rids(&t, &predicate, mode)?;
         let mut affected = 0;
         for (rid, old) in matches {
             let mut new = old.clone();
@@ -640,14 +802,19 @@ impl Database {
         Ok(QueryResult::affected(affected))
     }
 
-    fn run_delete(&self, table: &str, filter: Option<AstExpr>) -> Result<QueryResult> {
+    fn run_delete(
+        &self,
+        table: &str,
+        filter: Option<AstExpr>,
+        mode: &RunMode,
+    ) -> Result<QueryResult> {
         let t = self.table(table)?;
         let schema = t.schema().clone();
         let mut env = BindEnv::default();
         env_push(&mut env, table, &schema);
         let predicate = filter.map(|f| compile_expr(&f, &env)).transpose()?;
 
-        let matches = self.matching_rids(&t, &predicate)?;
+        let matches = self.matching_rids(&t, &predicate, mode)?;
         let mut affected = 0;
         for (rid, old) in matches {
             t.delete(rid)?;
@@ -658,13 +825,20 @@ impl Database {
         Ok(QueryResult::affected(affected))
     }
 
+    /// Scan for DML targets. All cancellation checks happen here, before
+    /// any mutation: a cancelled auto-commit UPDATE/DELETE aborts with
+    /// zero rows touched, and an explicit transaction unwinds via undo.
     fn matching_rids(
         &self,
         t: &Table,
         predicate: &Option<exec::Expr>,
+        mode: &RunMode,
     ) -> Result<Vec<(Rid, Tuple)>> {
         let mut out = Vec::new();
-        for (rid, tuple) in t.scan()? {
+        for (i, (rid, tuple)) in t.scan()?.into_iter().enumerate() {
+            if i % exec::CANCEL_QUANTUM == 0 {
+                mode.ctx.check()?;
+            }
             let keep = match predicate {
                 None => true,
                 Some(p) => p.eval(&tuple)?.is_true(),
@@ -679,13 +853,24 @@ impl Database {
     /// Evaluate a physical plan into a tuple stream on the tuple
     /// engine — the stable entry point for callers that want rows.
     pub fn run_plan(&self, plan: &Plan) -> Result<TupleStream> {
-        self.run_plan_with(&TupleEngine, plan)
+        self.run_plan_with(&TupleEngine::default(), plan)
     }
 
     /// Evaluate a physical plan on an explicit engine. Written once,
     /// generically: the interpreter monomorphises per engine, so both
     /// providers of the execution task share one plan walk.
     pub fn run_plan_with<E: Engine>(&self, engine: &E, plan: &Plan) -> Result<E::Stream> {
+        self.run_plan_budgeted(engine, plan, self.sort_budget)
+    }
+
+    /// [`Database::run_plan_with`] with an explicit sort budget — the
+    /// hook a degraded admission uses to shrink operator memory.
+    fn run_plan_budgeted<E: Engine>(
+        &self,
+        engine: &E,
+        plan: &Plan,
+        sort_budget: usize,
+    ) -> Result<E::Stream> {
         match plan {
             Plan::TableScan { table } => {
                 let t = self.table(table)?;
@@ -720,7 +905,7 @@ impl Database {
             }
             Plan::Values { rows } => Ok(engine.values(rows.clone())),
             Plan::Filter { input, predicate } => Ok(engine.filter(
-                self.run_plan_with(engine, input)?,
+                self.run_plan_budgeted(engine, input, sort_budget)?,
                 predicate.clone(),
             )),
             Plan::EquiJoin {
@@ -733,8 +918,8 @@ impl Database {
                 build,
             } => engine.equi_join(
                 *algorithm,
-                self.run_plan_with(engine, left)?,
-                self.run_plan_with(engine, right)?,
+                self.run_plan_budgeted(engine, left, sort_budget)?,
+                self.run_plan_budgeted(engine, right, sort_budget)?,
                 *left_col,
                 *right_col,
                 *left_width,
@@ -746,8 +931,8 @@ impl Database {
                 predicate,
                 left_width: _,
             } => engine.nested_loop_join(
-                self.run_plan_with(engine, left)?,
-                self.run_plan_with(engine, right)?,
+                self.run_plan_budgeted(engine, left, sort_budget)?,
+                self.run_plan_budgeted(engine, right, sort_budget)?,
                 predicate.clone(),
             ),
             Plan::Aggregate {
@@ -755,25 +940,25 @@ impl Database {
                 group_by,
                 aggs,
             } => engine.hash_aggregate(
-                self.run_plan_with(engine, input)?,
+                self.run_plan_budgeted(engine, input, sort_budget)?,
                 group_by.clone(),
                 aggs.clone(),
             ),
             Plan::Project { input, exprs } => Ok(engine.project(
-                self.run_plan_with(engine, input)?,
+                self.run_plan_budgeted(engine, input, sort_budget)?,
                 exprs.clone(),
             )),
             Plan::Distinct { input } => {
-                Ok(engine.distinct(self.run_plan_with(engine, input)?))
+                Ok(engine.distinct(self.run_plan_budgeted(engine, input, sort_budget)?))
             }
             Plan::Sort { input, keys } => engine.sort(
-                self.run_plan_with(engine, input)?,
+                self.run_plan_budgeted(engine, input, sort_budget)?,
                 keys.clone(),
-                self.sort_budget,
+                sort_budget,
                 self.parallelism,
             ),
             Plan::Limit { input, n, offset } => Ok(engine.limit(
-                self.run_plan_with(engine, input)?,
+                self.run_plan_budgeted(engine, input, sort_budget)?,
                 *n,
                 *offset,
             )),

@@ -79,7 +79,7 @@ fn replay_script(path: &std::path::Path) {
 
     for directive in directives {
         match directive {
-            Directive::Statement { sql, expect_ok, line } => {
+            Directive::Statement { sql, expect_ok, error_contains, line } => {
                 let ctx = format!("{}:{line}", path.display());
                 for replica in [&tuple, &vector] {
                     let handle = replica.db();
@@ -97,8 +97,27 @@ fn replay_script(path: &std::path::Path) {
                         (false, Ok(())) => {
                             panic!("{ctx} [{}]: expected an error, got ok", replica.engine)
                         }
-                        _ => {}
+                        (false, Err(e)) => {
+                            if let Some(text) = &error_contains {
+                                assert!(
+                                    e.to_string().contains(text),
+                                    "{ctx} [{}]: error `{e}` does not contain `{text}`",
+                                    replica.engine
+                                );
+                            }
+                        }
+                        (true, Ok(())) => {}
                     }
+                }
+            }
+            Directive::Deadline { ms, .. } => {
+                for replica in [&tuple, &vector] {
+                    replica.db().set_statement_deadline_ms(ms);
+                }
+            }
+            Directive::MemLimit { bytes, .. } => {
+                for replica in [&tuple, &vector] {
+                    replica.db().set_statement_memory_limit(bytes);
                 }
             }
             Directive::Query { sql, line, .. } => {

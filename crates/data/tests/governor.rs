@@ -1,0 +1,254 @@
+//! Overload-protection integration tests: admission control, load
+//! shedding, degraded-quality admission, statement deadlines and
+//! memory limits, and cancellation unwinding through the transaction
+//! rollback path — on real directories and on the deterministic sim
+//! backend.
+
+use std::time::Duration;
+
+use sbdms_access::exec::engine::EngineKind;
+use sbdms_access::record::Datum;
+use sbdms_data::executor::{Database, DbOptions};
+use sbdms_kernel::error::ServiceError;
+use sbdms_kernel::events::{Event, EventBus};
+use sbdms_kernel::governor::{CancelToken, GovernorConfig};
+use sbdms_storage::{SimBackend, SimConfig};
+
+fn db(name: &str) -> Database {
+    db_opts(name, DbOptions::default())
+}
+
+fn db_opts(name: &str, opts: DbOptions) -> Database {
+    let dir = std::env::temp_dir()
+        .join("sbdms-governor-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Database::open_opts(&dir, opts).unwrap()
+}
+
+fn seed(db: &Database, rows: i64) {
+    db.execute("CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL, label TEXT NOT NULL)")
+        .unwrap();
+    let mut batch = Vec::new();
+    for i in 0..rows {
+        batch.push(format!("({i}, {}, 'row-{i}')", i % 7));
+        if batch.len() == 200 {
+            db.execute(&format!("INSERT INTO t VALUES {}", batch.join(", ")))
+                .unwrap();
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        db.execute(&format!("INSERT INTO t VALUES {}", batch.join(", ")))
+            .unwrap();
+    }
+}
+
+/// A governor sized so one pinned slot saturates it immediately.
+fn tiny_governor(queue_depth: usize) -> GovernorConfig {
+    GovernorConfig {
+        enabled: true,
+        max_concurrent: 1,
+        queue_depth,
+        queue_wait_ms: 5,
+        ..GovernorConfig::default()
+    }
+}
+
+#[test]
+fn deadline_expired_query_aborts_midscan_on_both_engines() {
+    let db = db("deadline-engines");
+    seed(&db, 800);
+    for kind in [EngineKind::Tuple, EngineKind::Vectorized] {
+        db.force_execution_engine(Some(kind));
+        // An already-expired deadline: the first cooperative check (one
+        // page into the scan) aborts the statement.
+        db.set_statement_deadline_ms(Some(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = db.execute("SELECT * FROM t").unwrap_err();
+        assert_eq!(err.code(), "cancelled", "{kind}: {err}");
+        assert!(err.to_string().contains("deadline"), "{kind}: {err}");
+        assert!(!err.is_recoverable(), "cancellation must not invite retry");
+        // The session survives: clearing the deadline, the same
+        // statement runs to completion.
+        db.set_statement_deadline_ms(None);
+        let rows = db.execute("SELECT * FROM t").unwrap().rows;
+        assert_eq!(rows.len(), 800, "{kind}");
+    }
+}
+
+#[test]
+fn cancel_mid_transaction_rolls_back_like_a_crash() {
+    let db = db("cancel-txn");
+    seed(&db, 400);
+    db.execute("CREATE TABLE audit (id INT NOT NULL)").unwrap();
+
+    db.begin().unwrap();
+    db.execute("INSERT INTO audit VALUES (1)").unwrap();
+    // Arm a token that fires during the next statement's scan.
+    let token = CancelToken::new();
+    token.cancel_after_checks(2);
+    db.set_session_cancel_token(Some(token));
+    let err = db.execute("SELECT * FROM t ORDER BY label").unwrap_err();
+    assert_eq!(err.code(), "cancelled");
+    db.set_session_cancel_token(None);
+
+    // The open transaction was rolled back by the cancellation: the
+    // uncommitted insert is gone and the session has no open txn.
+    assert!(db.commit().is_err(), "txn must already be closed");
+    let rows = db.execute("SELECT * FROM audit").unwrap().rows;
+    assert!(rows.is_empty(), "uncommitted insert must be undone");
+    // Committed data is intact and the session still works.
+    assert_eq!(db.execute("SELECT * FROM t").unwrap().rows.len(), 400);
+}
+
+#[test]
+fn deadline_abort_on_sim_backend_preserves_invariants() {
+    let sim = SimBackend::new(SimConfig::seeded(0x60f));
+    let db = Database::open_at(&*sim, DbOptions::default()).unwrap();
+    seed(&db, 300);
+    db.begin().unwrap();
+    db.execute("INSERT INTO t VALUES (9999, 0, 'phantom')").unwrap();
+    let token = CancelToken::new();
+    token.cancel_after_checks(1);
+    db.set_session_cancel_token(Some(token));
+    let err = db.execute("SELECT * FROM t").unwrap_err();
+    assert_eq!(err.code(), "cancelled");
+    db.set_session_cancel_token(None);
+    // Same invariants as a crash, without a reopen: committed rows
+    // visible, the uncommitted insert absent.
+    let rows = db.execute("SELECT * FROM t").unwrap().rows;
+    assert_eq!(rows.len(), 300);
+    assert!(rows.iter().all(|r| r[0] != Datum::Int(9999)));
+}
+
+#[test]
+fn overload_sheds_with_typed_error_and_session_survives() {
+    let db = db_opts(
+        "shed",
+        DbOptions {
+            governor: tiny_governor(0),
+            ..DbOptions::default()
+        },
+    );
+    seed(&db, 50);
+    // Pin the only slot: with queue depth 0 the next statement sheds
+    // immediately with the typed, retryable Overloaded error.
+    let blocker = db.governor().admit(false).unwrap();
+    let err = db.execute("SELECT * FROM t").unwrap_err();
+    assert!(matches!(err, ServiceError::Overloaded { .. }), "{err}");
+    assert_eq!(err.code(), "overloaded");
+    assert!(err.is_recoverable(), "shed load invites retry with backoff");
+    drop(blocker);
+    // Slot freed: the same session executes normally.
+    assert_eq!(db.execute("SELECT * FROM t").unwrap().rows.len(), 50);
+    let snap = db.governor().snapshot();
+    assert_eq!(snap.shed, 1);
+    assert!(snap.admitted >= 1);
+}
+
+#[test]
+fn degraded_admission_uses_tuple_engine_and_announces_itself() {
+    let db = db_opts(
+        "degraded",
+        DbOptions {
+            execution_engine: Some(EngineKind::Vectorized),
+            governor: tiny_governor(2),
+            ..DbOptions::default()
+        },
+    );
+    seed(&db, 50);
+    let bus = EventBus::new();
+    let events = bus.subscribe();
+    db.set_event_bus(bus);
+    db.set_allow_degraded(true);
+
+    // Saturate the governor, then run under the degraded contract.
+    let blocker = db.governor().admit(false).unwrap();
+    let explain = db.execute("EXPLAIN SELECT grp FROM t ORDER BY grp").unwrap();
+    let plan_text: Vec<String> = explain.rows.iter().map(|r| r[0].to_string()).collect();
+    assert!(
+        plan_text
+            .iter()
+            .any(|l| l.contains("engine: tuple (degraded: overload)")),
+        "EXPLAIN must show the degradation decision: {plan_text:?}"
+    );
+    let rows = db
+        .execute("SELECT grp FROM t ORDER BY grp")
+        .unwrap()
+        .rows;
+    assert_eq!(rows.len(), 50, "degraded result is still correct");
+    drop(blocker);
+
+    let snap = db.governor().snapshot();
+    assert!(snap.degraded >= 2, "both statements were degraded: {snap:?}");
+    assert_eq!(snap.shed, 0);
+
+    // The degradation surfaced on the event bus too: a plan.selected
+    // event names the cheaper engine, and governor.degraded fired.
+    let mut saw_plan = false;
+    let mut saw_governor = false;
+    while let Ok(ev) = events.try_recv() {
+        if let Event::Custom { topic, detail } = ev {
+            if topic == "plan.selected" && detail.contains("engine: tuple (degraded: overload)") {
+                saw_plan = true;
+            }
+            if topic == "governor.degraded" {
+                saw_governor = true;
+            }
+        }
+    }
+    assert!(saw_plan, "plan.selected must announce the degraded engine");
+    assert!(saw_governor, "governor.degraded event must fire");
+
+    // Off the overload, the profile engine is back in charge.
+    db.set_allow_degraded(false);
+    let explain = db.execute("EXPLAIN SELECT grp FROM t").unwrap();
+    assert!(explain
+        .rows
+        .iter()
+        .any(|r| r[0].to_string().contains("engine: vectorized")));
+}
+
+#[test]
+fn statement_memory_limit_fails_recoverably_and_clears() {
+    let db = db("memlimit");
+    seed(&db, 300);
+    db.set_statement_memory_limit(Some(64));
+    let err = db.execute("SELECT DISTINCT label FROM t").unwrap_err();
+    assert_eq!(err.code(), "resources", "{err}");
+    assert!(err.is_recoverable());
+    // Sort spills instead of failing under the same limit.
+    let rows = db
+        .execute("SELECT label FROM t ORDER BY label")
+        .unwrap()
+        .rows;
+    assert_eq!(rows.len(), 300);
+    db.set_statement_memory_limit(None);
+    let rows = db.execute("SELECT DISTINCT label FROM t").unwrap().rows;
+    assert_eq!(rows.len(), 300);
+}
+
+#[test]
+fn governor_counters_track_admissions() {
+    let db = db_opts(
+        "counters",
+        DbOptions {
+            governor: tiny_governor(4),
+            ..DbOptions::default()
+        },
+    );
+    seed(&db, 20);
+    for _ in 0..5 {
+        db.execute("SELECT * FROM t").unwrap();
+    }
+    let snap = db.governor().snapshot();
+    assert!(snap.enabled);
+    assert!(snap.admitted >= 5);
+    assert_eq!(snap.in_flight, 0, "admissions release on completion");
+    assert_eq!(snap.shed, 0);
+    assert_eq!(snap.cancelled, 0);
+    // Memory pool saw the DISTINCT/sort traffic only when charged; at
+    // rest nothing is held.
+    assert_eq!(snap.mem_used, 0);
+}

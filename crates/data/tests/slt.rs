@@ -333,7 +333,7 @@ fn run_script(path: &Path) {
 
     for directive in directives {
         match directive {
-            Directive::Statement { sql, expect_ok, line } => {
+            Directive::Statement { sql, expect_ok, error_contains, line } => {
                 let ctx = format!("{}:{line}", path.display());
                 let handle = db.as_ref().unwrap();
                 let upper = sql.to_ascii_uppercase();
@@ -346,7 +346,15 @@ fn run_script(path: &Path) {
                 match (expect_ok, result) {
                     (true, Err(e)) => panic!("{ctx}: expected ok, got error: {e}"),
                     (false, Ok(())) => panic!("{ctx}: expected an error, statement succeeded"),
-                    (false, Err(_)) => continue,
+                    (false, Err(e)) => {
+                        if let Some(text) = &error_contains {
+                            assert!(
+                                e.to_string().contains(text),
+                                "{ctx}: error `{e}` does not contain `{text}`"
+                            );
+                        }
+                        continue;
+                    }
                     (true, Ok(())) => {}
                 }
                 match upper.as_str() {
@@ -391,6 +399,12 @@ fn run_script(path: &Path) {
                     expected.sort();
                 }
                 assert_eq!(rows, expected, "{ctx}: query result mismatch");
+            }
+            Directive::Deadline { ms, .. } => {
+                db.as_ref().unwrap().set_statement_deadline_ms(ms);
+            }
+            Directive::MemLimit { bytes, .. } => {
+                db.as_ref().unwrap().set_statement_memory_limit(bytes);
             }
             Directive::Crash { line } => {
                 let ctx = format!("{}:{line}", path.display());

@@ -12,9 +12,22 @@ use sbdms_data::executor::QueryResult;
 
 /// One parsed directive from a script.
 pub enum Directive {
-    Statement { sql: String, expect_ok: bool, line: usize },
+    Statement {
+        sql: String,
+        expect_ok: bool,
+        /// For `statement error <substring>`: the typed error text the
+        /// failure must contain.
+        error_contains: Option<String>,
+        line: usize,
+    },
     Query { sql: String, expected: Vec<String>, rowsort: bool, line: usize },
     Crash { line: usize },
+    /// `deadline <ms>` / `deadline none`: statement deadline for every
+    /// following statement until changed.
+    Deadline { ms: Option<u64>, line: usize },
+    /// `memlimit <bytes>` / `memlimit none`: per-statement memory limit
+    /// for every following statement until changed.
+    MemLimit { bytes: Option<u64>, line: usize },
 }
 
 pub fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
@@ -32,11 +45,32 @@ pub fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
         if line == "crash" {
             directives.push(Directive::Crash { line: lineno });
             i += 1;
+        } else if let Some(rest) = line.strip_prefix("deadline") {
+            let ms = match rest.trim() {
+                "none" => None,
+                n => Some(n.parse().unwrap_or_else(|_| {
+                    bad(lineno, &format!("deadline wants milliseconds or `none`, got `{n}`"))
+                })),
+            };
+            directives.push(Directive::Deadline { ms, line: lineno });
+            i += 1;
+        } else if let Some(rest) = line.strip_prefix("memlimit") {
+            let bytes = match rest.trim() {
+                "none" => None,
+                n => Some(n.parse().unwrap_or_else(|_| {
+                    bad(lineno, &format!("memlimit wants bytes or `none`, got `{n}`"))
+                })),
+            };
+            directives.push(Directive::MemLimit { bytes, line: lineno });
+            i += 1;
         } else if let Some(rest) = line.strip_prefix("statement") {
-            let expect_ok = match rest.trim() {
-                "ok" => true,
-                "error" => false,
-                other => bad(lineno, &format!("unknown statement kind `{other}`")),
+            let (expect_ok, error_contains) = match rest.trim() {
+                "ok" => (true, None),
+                "error" => (false, None),
+                other => match other.strip_prefix("error ") {
+                    Some(text) => (false, Some(text.trim().to_string())),
+                    None => bad(lineno, &format!("unknown statement kind `{other}`")),
+                },
             };
             let mut sql = String::new();
             i += 1;
@@ -50,7 +84,7 @@ pub fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
             if sql.is_empty() {
                 bad(lineno, "statement directive without SQL");
             }
-            directives.push(Directive::Statement { sql, expect_ok, line: lineno });
+            directives.push(Directive::Statement { sql, expect_ok, error_contains, line: lineno });
         } else if let Some(rest) = line.strip_prefix("query") {
             let rowsort = rest.contains("rowsort");
             let mut sql = String::new();

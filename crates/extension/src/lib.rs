@@ -25,7 +25,7 @@ pub mod replication;
 pub mod stream;
 pub mod xml;
 
-pub use monitoring::StorageMonitorService;
+pub use monitoring::{GovernorMonitorService, StorageMonitorService};
 pub use procedures::{ProcedureEngine, ProcedureService};
 pub use replication::{ReplicationGroup, ReplicationService};
 pub use stream::{StreamEngine, StreamService, WindowAgg};

@@ -114,6 +114,106 @@ impl Service for StorageMonitorService {
     }
 }
 
+/// Interface name of the governor monitor.
+pub const GOVERNOR_MONITOR_INTERFACE: &str = "sbdms.extension.GovernorMonitor";
+
+/// The canonical governor-monitor interface.
+pub fn governor_monitor_interface() -> Interface {
+    Interface::new(
+        GOVERNOR_MONITOR_INTERFACE,
+        1,
+        vec![Operation::new("sample", vec![], TypeTag::Map)],
+    )
+}
+
+/// A monitoring service over the resource governor: surfaces admission,
+/// shedding, degradation, and memory-pool counters — the overload
+/// half of the paper's "work load" monitoring concern.
+pub struct GovernorMonitorService {
+    descriptor: Descriptor,
+    governor: sbdms_kernel::governor::Governor,
+    properties: PropertyStore,
+    prefix: String,
+}
+
+impl GovernorMonitorService {
+    /// Create a monitor publishing under `governor.<prefix>.*`.
+    pub fn new(
+        name: &str,
+        governor: sbdms_kernel::governor::Governor,
+        properties: PropertyStore,
+        prefix: &str,
+    ) -> GovernorMonitorService {
+        let contract = Contract::for_interface(governor_monitor_interface())
+            .describe(
+                "samples admission, shed, degraded, cancelled and memory counters",
+                "extension",
+            )
+            .capability("task:monitoring")
+            .quality(Quality {
+                expected_latency_ns: 1_000,
+                footprint_bytes: 1024,
+                ..Quality::default()
+            });
+        GovernorMonitorService {
+            descriptor: Descriptor::new(name, contract),
+            governor,
+            properties,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> ServiceRef {
+        Arc::new(self)
+    }
+
+    /// Take one sample: returns the governor counters and mirrors them
+    /// into the property store for policy gating.
+    pub fn sample(&self) -> Value {
+        let s = self.governor.snapshot();
+        let p = &self.prefix;
+        self.properties
+            .set(&format!("governor.{p}.enabled"), s.enabled);
+        self.properties
+            .set(&format!("governor.{p}.in_flight"), s.in_flight as i64);
+        self.properties
+            .set(&format!("governor.{p}.admitted"), s.admitted as i64);
+        self.properties
+            .set(&format!("governor.{p}.shed"), s.shed as i64);
+        self.properties
+            .set(&format!("governor.{p}.degraded"), s.degraded as i64);
+        self.properties
+            .set(&format!("governor.{p}.cancelled"), s.cancelled as i64);
+        self.properties
+            .set(&format!("governor.{p}.mem_peak"), s.mem_peak as i64);
+        Value::map()
+            .with("enabled", s.enabled)
+            .with("in_flight", s.in_flight as i64)
+            .with("waiting", s.waiting as i64)
+            .with("admitted", s.admitted as i64)
+            .with("shed", s.shed as i64)
+            .with("degraded", s.degraded as i64)
+            .with("cancelled", s.cancelled as i64)
+            .with("mem_used", s.mem_used as i64)
+            .with("mem_peak", s.mem_peak as i64)
+            .with("mem_capacity", s.mem_capacity as i64)
+    }
+}
+
+impl Service for GovernorMonitorService {
+    fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, op: &str, _input: Value) -> Result<Value> {
+        match op {
+            "sample" => Ok(self.sample()),
+            other => Err(unknown_op(&self.descriptor, other)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +260,47 @@ mod tests {
             props.get_int("storage.main.page_size"),
             Some(PAGE_SIZE as i64)
         );
+    }
+
+    #[test]
+    fn governor_monitor_samples_counters_and_mirrors_properties() {
+        use sbdms_kernel::governor::{Governor, GovernorConfig};
+
+        let governor = Governor::new(GovernorConfig {
+            enabled: true,
+            max_concurrent: 2,
+            queue_depth: 0,
+            queue_wait_ms: 1,
+            ..GovernorConfig::default()
+        });
+        let bus = sbdms_kernel::bus::ServiceBus::new();
+        let monitor = GovernorMonitorService::new(
+            "gov-mon",
+            governor.clone(),
+            bus.properties().clone(),
+            "main",
+        );
+        let id = bus.deploy(monitor.into_ref()).unwrap();
+
+        // Drive some admissions: two held tickets fill both slots, the
+        // third sheds.
+        let a = governor.admit(false).unwrap();
+        let b = governor.admit(false).unwrap();
+        assert!(governor.admit(false).is_err());
+        drop(a);
+        drop(b);
+
+        let sample = bus.invoke(id, "sample", Value::map()).unwrap();
+        assert_eq!(sample.get("admitted").unwrap().as_int().unwrap(), 2);
+        assert_eq!(sample.get("shed").unwrap().as_int().unwrap(), 1);
+        assert_eq!(sample.get("in_flight").unwrap().as_int().unwrap(), 0);
+        assert!(sample.get("mem_capacity").unwrap().as_int().unwrap() > 0);
+
+        // Mirrored into architecture properties for policy gating.
+        let props = bus.properties();
+        assert_eq!(props.get_int("governor.main.admitted"), Some(2));
+        assert_eq!(props.get_int("governor.main.shed"), Some(1));
+        assert!(bus.invoke(id, "explode", Value::map()).is_err());
     }
 
     #[test]

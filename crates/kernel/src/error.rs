@@ -74,6 +74,24 @@ pub enum ServiceError {
         /// The deadline that was exceeded, in milliseconds.
         budget_ms: u64,
     },
+    /// The admission governor shed this query: the system is over its
+    /// concurrency watermark and the bounded queue is full (or the wait
+    /// timed out). Recoverable — retry with backoff once load drains.
+    Overloaded {
+        /// Queries in flight when the query was shed.
+        in_flight: u64,
+        /// Queries already waiting in the admission queue.
+        waiting: u64,
+    },
+    /// The query was cancelled cooperatively — statement deadline
+    /// expiry, explicit cancel, or injected cancellation. Not
+    /// recoverable: the caller asked for the abort (or its deadline
+    /// passed); blind retry would just burn the budget again.
+    Cancelled {
+        /// Why the query was cancelled ("deadline of Nms exceeded",
+        /// "user request", ...).
+        reason: String,
+    },
 }
 
 impl ServiceError {
@@ -97,6 +115,7 @@ impl ServiceError {
             ServiceError::ServiceUnavailable { .. } => true,
             ServiceError::ResourceExhausted { .. } => true,
             ServiceError::StaleService(_) => true,
+            ServiceError::Overloaded { .. } => true,
             ServiceError::UnknownOperation { .. } => false,
             ServiceError::InvalidInput(_) => false,
             ServiceError::PolicyViolation(_) => false,
@@ -106,6 +125,7 @@ impl ServiceError {
             ServiceError::Transaction(_) => false,
             ServiceError::Internal(_) => false,
             ServiceError::DeadlineExceeded { .. } => false,
+            ServiceError::Cancelled { .. } => false,
         }
     }
 
@@ -125,6 +145,8 @@ impl ServiceError {
             ServiceError::Internal(_) => "internal",
             ServiceError::StaleService(_) => "stale",
             ServiceError::DeadlineExceeded { .. } => "deadline",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::Cancelled { .. } => "cancelled",
         }
     }
 }
@@ -162,6 +184,11 @@ impl fmt::Display for ServiceError {
             ServiceError::DeadlineExceeded { service, budget_ms } => {
                 write!(f, "deadline of {budget_ms}ms exceeded invoking {service}")
             }
+            ServiceError::Overloaded { in_flight, waiting } => write!(
+                f,
+                "system overloaded: {in_flight} queries in flight, {waiting} waiting"
+            ),
+            ServiceError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
         }
     }
 }
@@ -250,6 +277,19 @@ mod tests {
                 },
                 false,
             ),
+            (
+                ServiceError::Overloaded {
+                    in_flight: 4,
+                    waiting: 8,
+                },
+                true,
+            ),
+            (
+                ServiceError::Cancelled {
+                    reason: "deadline of 50ms exceeded".into(),
+                },
+                false,
+            ),
         ];
         // One row per variant: a variant added to the enum without a row
         // here shows up as a count mismatch.
@@ -265,6 +305,27 @@ mod tests {
                 err.code()
             );
         }
+    }
+
+    /// The overload-protection classification, pinned on its own: a
+    /// shed query is the provider's fault (retry with backoff once load
+    /// drains), a cancelled query is the caller's decision (never
+    /// retried blindly).
+    #[test]
+    fn overload_errors_classify_for_backoff() {
+        let shed = ServiceError::Overloaded {
+            in_flight: 4,
+            waiting: 8,
+        };
+        assert!(shed.is_recoverable());
+        assert_eq!(shed.code(), "overloaded");
+        assert!(shed.to_string().contains("overloaded"));
+        let cancelled = ServiceError::Cancelled {
+            reason: "deadline of 50ms exceeded".into(),
+        };
+        assert!(!cancelled.is_recoverable());
+        assert_eq!(cancelled.code(), "cancelled");
+        assert!(cancelled.to_string().contains("deadline of 50ms exceeded"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod coordinator;
 pub mod error;
 pub mod events;
 pub mod faults;
+pub mod governor;
 pub mod interface;
 pub mod metrics;
 pub mod monitor;
@@ -55,6 +56,10 @@ pub use binding::{Binding, BindingKind, BindingRef};
 pub use bus::ServiceBus;
 pub use contract::{Assertion, Contract, Description, Policy, Quality};
 pub use error::{Result, ServiceError};
+pub use governor::{
+    Admission, AdmissionKind, CancelToken, ExecContext, Governor, GovernorConfig,
+    GovernorSnapshot, MemoryPool, QueryMemory,
+};
 pub use interface::{Interface, Operation, Param};
 pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, InvokePolicy, Resilience};
 pub use service::{Descriptor, FnService, Health, Service, ServiceId, ServiceRef};

@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 use sbdms_data::executor::{Database, DbOptions};
 use sbdms_data::table::Table;
 use sbdms_data::txn::{Durability, TxnId, KIND_COMMIT};
+use sbdms_kernel::governor::{CancelToken, GovernorConfig};
 use sbdms_storage::replacement::PolicyKind;
 use sbdms_storage::{SimBackend, SimConfig, SimStats};
 
@@ -280,6 +281,7 @@ fn opts(config: &TortureConfig) -> DbOptions {
         plan_cache_capacity: 0,
         histogram_buckets: 0,
         execution_engine: None,
+        governor: GovernorConfig::default(),
     }
 }
 
@@ -436,6 +438,92 @@ pub fn torture(seed: u64, config: TortureConfig) -> TortureReport {
     report
 }
 
+/// What one cancellation-torture run covered.
+#[derive(Debug, Clone, Copy)]
+pub struct CancelReport {
+    /// The seed everything derived from.
+    pub seed: u64,
+    /// Cooperative check quanta the workload passes through — each one
+    /// became an injected cancellation (one run + check each).
+    pub cancel_points: u64,
+}
+
+/// The cancellation half of the torture suite: inject a cooperative
+/// cancellation at *every* check quantum the workload passes through,
+/// in turn, and verify — on the same handle, without a reopen — that
+/// the unwinding left exactly the crash invariants:
+///
+/// * every transaction whose `commit()` returned `Ok` is fully visible;
+/// * no effect of the cancelled (auto-rolled-back) transaction
+///   survives;
+/// * the B-tree validates and every index agrees with its heap;
+/// * the session stays usable (transactions open and commit again).
+///
+/// Cancellation never lands inside a commit call — checks sit in
+/// statement execution only — so there is no ambiguous case to settle.
+pub fn cancel_torture(seed: u64, config: TortureConfig) -> CancelReport {
+    let workload = Workload::generate(seed, config.txns);
+    // Profile on a fault-free run: count the cooperative checks the
+    // workload consumes; each one is an injection point.
+    let sim = SimBackend::new(SimConfig::seeded(seed));
+    let db = setup(&sim, &config);
+    let probe = CancelToken::new();
+    db.set_session_cancel_token(Some(probe.clone()));
+    let run = run_until_crash(&db, &workload);
+    assert!(
+        run.error.is_none(),
+        "seed={seed:#x}: cancellation profiling run failed: {:?}",
+        run.error
+    );
+    let span = probe.checks();
+    assert!(span > 0, "seed={seed:#x}: workload passed no cancellation points");
+    drop(db);
+
+    for point in 1..=span {
+        let ctx = format!("seed={seed:#x} cancel_point={point}");
+        let sim = SimBackend::new(SimConfig::seeded(seed));
+        let db = setup(&sim, &config);
+        let token = CancelToken::new();
+        token.cancel_after_checks(point);
+        db.set_session_cancel_token(Some(token));
+        let run = run_until_crash(&db, &workload);
+        let error = run
+            .error
+            .unwrap_or_else(|| panic!("{ctx}: armed run finished uncancelled"));
+        assert!(error.contains("cancelled"), "{ctx}: unexpected error: {error}");
+        assert!(
+            run.ambiguous.is_none(),
+            "{ctx}: cancellation must not interrupt a commit call"
+        );
+        // No reopen: the cancellation already unwound via transaction
+        // rollback, so this very handle shows the committed state.
+        db.set_session_cancel_token(None);
+        let observed = observed_state(&db, &ctx);
+        assert_eq!(
+            observed, run.committed,
+            "{ctx}: state after cancellation diverges from the oracle"
+        );
+        let table = Table::open(db.catalog(), "kv")
+            .unwrap_or_else(|e| panic!("{ctx}: catalog lost table `kv`: {e}"));
+        table
+            .validate()
+            .unwrap_or_else(|e| panic!("{ctx}: structural validation failed: {e}"));
+        // The session keeps working: the transaction machinery is not
+        // wedged by the unwound statement.
+        db.begin().unwrap_or_else(|e| panic!("{ctx}: begin after cancel: {e}"));
+        db.execute("DELETE FROM kv")
+            .unwrap_or_else(|e| panic!("{ctx}: statement after cancel: {e}"));
+        db.rollback()
+            .unwrap_or_else(|e| panic!("{ctx}: rollback after cancel: {e}"));
+        assert_eq!(
+            observed_state(&db, &ctx),
+            run.committed,
+            "{ctx}: probe transaction leaked"
+        );
+    }
+    CancelReport { seed, cancel_points: span }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +592,18 @@ mod tests {
             Some((_, alt)) => assert!(observed == run.committed || observed == *alt),
         }
         Table::open(db.catalog(), "kv").unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn a_short_cancellation_torture_run_passes() {
+        let report = cancel_torture(
+            0xCA11,
+            TortureConfig {
+                txns: 6,
+                buffer_frames: 16,
+            },
+        );
+        assert!(report.cancel_points > 10, "{report:?}");
     }
 
     #[test]

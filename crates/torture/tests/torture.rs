@@ -7,7 +7,7 @@
 //! seeds from the clock (the CI fuzz job). Any failure panics with the
 //! `seed=… crash_point=…` pair that reproduces it.
 
-use sbdms_torture::{torture, TortureConfig};
+use sbdms_torture::{cancel_torture, torture, TortureConfig};
 
 /// The pinned regression seeds run on every CI build.
 const PINNED: [u64; 3] = [0xC0FFEE, 0xBADF00D, 42];
@@ -32,6 +32,30 @@ fn seeds() -> Vec<u64> {
             (0..3).map(|i| now ^ (i * 0x9E37_79B9_7F4A_7C15)).collect()
         }
         Ok(v) => v.split(',').map(parse_seed).collect(),
+    }
+}
+
+#[test]
+fn every_cancellation_point_unwinds_to_a_consistent_state() {
+    // The cancellation half: inject a cooperative cancellation at each
+    // check quantum in turn, and verify committed-visible /
+    // uncommitted-absent on the same handle, without a reopen. A
+    // smaller workload than the crash suite — every point replays the
+    // workload from the start, and the point count grows with it.
+    for seed in seeds() {
+        let report = cancel_torture(
+            seed,
+            TortureConfig {
+                txns: 12,
+                ..TortureConfig::default()
+            },
+        );
+        assert!(
+            report.cancel_points >= 30,
+            "seed={seed:#x}: only {} cancellation points injected",
+            report.cancel_points
+        );
+        println!("seed={seed:#x}: {} cancellation points", report.cancel_points);
     }
 }
 
