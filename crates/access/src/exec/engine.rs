@@ -43,6 +43,16 @@ impl EngineKind {
             _ => None,
         }
     }
+
+    /// The hash-join kernel this engine runs, surfaced on EXPLAIN
+    /// decision lines: the vectorized engine's columnar open-addressing
+    /// table vs the tuple engine's per-key row hash map.
+    pub fn join_kernel(&self) -> &'static str {
+        match self {
+            EngineKind::Tuple => "row-hash",
+            EngineKind::Vectorized => "columnar-oa",
+        }
+    }
 }
 
 impl std::fmt::Display for EngineKind {

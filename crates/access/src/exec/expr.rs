@@ -131,10 +131,11 @@ impl Expr {
         }
     }
 
-    /// Evaluate against every row of a batch, producing one output
-    /// column. Same semantics as [`Expr::eval`] row by row — both paths
-    /// share the scalar kernels — but the expression tree is walked once
-    /// per batch, not once per row, and the common comparison shapes
+    /// Evaluate against every *logical* row of a batch (reading through
+    /// its selection vector, if any), producing one output column. Same
+    /// semantics as [`Expr::eval`] row by row — both paths share the
+    /// scalar kernels — but the expression tree is walked once per
+    /// batch, not once per row, and the common comparison shapes
     /// (column vs literal, column vs column) run as tight loops over the
     /// column slices without cloning their operands.
     pub fn eval_batch(&self, batch: &Batch) -> Result<Vec<Datum>> {
@@ -144,7 +145,13 @@ impl Expr {
             }
         }
         match self {
-            Expr::Col(i) => Ok(batch.try_column(*i)?.to_vec()),
+            Expr::Col(i) => {
+                let col = batch.try_column(*i)?;
+                Ok(match batch.sel() {
+                    None => col.to_vec(),
+                    Some(sel) => sel.iter().map(|&p| col[p as usize].clone()).collect(),
+                })
+            }
             Expr::Lit(d) => Ok(vec![d.clone(); batch.rows()]),
             Expr::Unary(op, e) => {
                 let vals = e.eval_batch(batch)?;
@@ -158,6 +165,40 @@ impl Expr {
                     .map(|(a, b)| eval_binary(*op, a, b))
                     .collect()
             }
+        }
+    }
+
+    /// Direct selection kernels for filter predicates: produce the
+    /// *logical* row indices (relative to the batch's current selection)
+    /// for which the predicate is TRUE, without materialising a boolean
+    /// column. Supported shapes are the comparison fast paths of
+    /// [`eval_cmp_batch`] and `AND`-conjunctions of them; returns
+    /// `Ok(None)` for anything else so the caller can fall back to
+    /// [`Expr::eval_batch`] plus a mask.
+    ///
+    /// Conjunctions evaluate the right side only on left-side survivors.
+    /// That is observationally identical to the general path (which
+    /// evaluates both sides on every row) because the supported shapes
+    /// can only fail on an out-of-range column — a row-independent error
+    /// the kernels still raise via `try_column` before scanning.
+    pub fn filter_indices(&self, batch: &Batch) -> Result<Option<Vec<u32>>> {
+        self.select_indices(batch, None)
+    }
+
+    fn select_indices(
+        &self,
+        batch: &Batch,
+        candidates: Option<Vec<u32>>,
+    ) -> Result<Option<Vec<u32>>> {
+        match self {
+            Expr::Binary(BinOp::And, l, r) => {
+                let Some(lhs) = l.select_indices(batch, candidates)? else {
+                    return Ok(None);
+                };
+                r.select_indices(batch, Some(lhs))
+            }
+            Expr::Binary(op, l, r) => select_cmp_indices(*op, l, r, batch, candidates),
+            _ => Ok(None),
         }
     }
 
@@ -181,15 +222,8 @@ impl Expr {
 /// clones, no per-row tree dispatch. Returns `None` for shapes the
 /// general path must handle.
 fn eval_cmp_batch(op: BinOp, l: &Expr, r: &Expr, batch: &Batch) -> Result<Option<Vec<Datum>>> {
-    use std::cmp::Ordering;
-    let test: fn(Ordering) -> bool = match op {
-        BinOp::Eq => |o| o == Ordering::Equal,
-        BinOp::Ne => |o| o != Ordering::Equal,
-        BinOp::Lt => |o| o == Ordering::Less,
-        BinOp::Le => |o| o != Ordering::Greater,
-        BinOp::Gt => |o| o == Ordering::Greater,
-        BinOp::Ge => |o| o != Ordering::Less,
-        _ => return Ok(None),
+    let Some(test) = cmp_test(op) else {
+        return Ok(None);
     };
     let cmp = move |a: &Datum, b: &Datum| {
         if a.is_null() || b.is_null() {
@@ -198,22 +232,147 @@ fn eval_cmp_batch(op: BinOp, l: &Expr, r: &Expr, batch: &Batch) -> Result<Option
             Datum::Bool(test(a.order(b)))
         }
     };
+    let sel = batch.sel();
+    // Each shape runs as one tight loop, dense or gathered through the
+    // selection vector.
+    macro_rules! map_rows {
+        (|$p:ident| $body:expr) => {
+            match sel {
+                None => (0..batch.rows())
+                    .map(|$p| $body)
+                    .collect::<Vec<Datum>>(),
+                Some(sel) => sel
+                    .iter()
+                    .map(|&p| {
+                        let $p = p as usize;
+                        $body
+                    })
+                    .collect::<Vec<Datum>>(),
+            }
+        };
+    }
     match (l, r) {
         (Expr::Col(i), Expr::Lit(d)) => {
             let col = batch.try_column(*i)?;
-            Ok(Some(col.iter().map(|v| cmp(v, d)).collect()))
+            Ok(Some(map_rows!(|p| cmp(&col[p], d))))
         }
         (Expr::Lit(d), Expr::Col(i)) => {
             let col = batch.try_column(*i)?;
-            Ok(Some(col.iter().map(|v| cmp(d, v)).collect()))
+            Ok(Some(map_rows!(|p| cmp(d, &col[p]))))
         }
         (Expr::Col(i), Expr::Col(j)) => {
             let a = batch.try_column(*i)?;
             let b = batch.try_column(*j)?;
-            Ok(Some(a.iter().zip(b).map(|(x, y)| cmp(x, y)).collect()))
+            Ok(Some(map_rows!(|p| cmp(&a[p], &b[p]))))
         }
         _ => Ok(None),
     }
+}
+
+/// The ordering predicate for a comparison operator, if `op` is one.
+fn cmp_test(op: BinOp) -> Option<fn(std::cmp::Ordering) -> bool> {
+    use std::cmp::Ordering;
+    Some(match op {
+        BinOp::Eq => |o| o == Ordering::Equal,
+        BinOp::Ne => |o| o != Ordering::Equal,
+        BinOp::Lt => |o| o == Ordering::Less,
+        BinOp::Le => |o| o != Ordering::Greater,
+        BinOp::Gt => |o| o == Ordering::Greater,
+        BinOp::Ge => |o| o != Ordering::Less,
+        _ => return None,
+    })
+}
+
+/// Selection kernel for one comparison: append passing logical row
+/// indices directly, no boolean column. `candidates` restricts the scan
+/// to previously surviving logical rows (conjunction chaining). The
+/// all-Int column/literal shape — the hot analytic filter — runs a
+/// specialised loop whose compare is a branch-free `i64` test, so only
+/// the enum unwrap branches (perfectly predicted on homogeneous
+/// columns); mixed rows fall back to the scalar comparator per row.
+fn select_cmp_indices(
+    op: BinOp,
+    l: &Expr,
+    r: &Expr,
+    batch: &Batch,
+    candidates: Option<Vec<u32>>,
+) -> Result<Option<Vec<u32>>> {
+    let Some(test) = cmp_test(op) else {
+        return Ok(None);
+    };
+    let sel = batch.sel();
+    let phys = |li: u32| -> usize {
+        match sel {
+            Some(sel) => sel[li as usize] as usize,
+            None => li as usize,
+        }
+    };
+    // One pass over either the candidate list or all logical rows,
+    // pushing survivors.
+    let run = |pass: &dyn Fn(usize) -> bool| -> Vec<u32> {
+        match &candidates {
+            Some(cands) => {
+                let mut out = Vec::with_capacity(cands.len());
+                for &li in cands {
+                    if pass(phys(li)) {
+                        out.push(li);
+                    }
+                }
+                out
+            }
+            None => {
+                let rows = batch.rows() as u32;
+                let mut out = Vec::with_capacity(rows as usize);
+                for li in 0..rows {
+                    if pass(phys(li)) {
+                        out.push(li);
+                    }
+                }
+                out
+            }
+        }
+    };
+    let out = match (l, r) {
+        (Expr::Col(i), Expr::Lit(d)) => {
+            let col = batch.try_column(*i)?;
+            if let Datum::Int(k) = d {
+                let k = *k;
+                run(&|p| match &col[p] {
+                    Datum::Int(v) => test(v.cmp(&k)),
+                    Datum::Null => false,
+                    v => test(v.order(d)),
+                })
+            } else if d.is_null() {
+                Vec::new()
+            } else {
+                run(&|p| {
+                    let v = &col[p];
+                    !v.is_null() && test(v.order(d))
+                })
+            }
+        }
+        (Expr::Lit(d), Expr::Col(i)) => {
+            let col = batch.try_column(*i)?;
+            if d.is_null() {
+                Vec::new()
+            } else {
+                run(&|p| {
+                    let v = &col[p];
+                    !v.is_null() && test(d.order(v))
+                })
+            }
+        }
+        (Expr::Col(i), Expr::Col(j)) => {
+            let a = batch.try_column(*i)?;
+            let b = batch.try_column(*j)?;
+            run(&|p| {
+                let (x, y) = (&a[p], &b[p]);
+                !x.is_null() && !y.is_null() && test(x.order(y))
+            })
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(out))
 }
 
 fn eval_unary(op: UnaryOp, v: Datum) -> Result<Datum> {
@@ -483,6 +642,75 @@ mod tests {
         assert!(e.eval(&row()).is_err());
         let e = Expr::bin(BinOp::Add, Expr::col(4), Expr::int(1));
         assert!(e.eval(&row()).is_err());
+    }
+
+    #[test]
+    fn filter_indices_matches_mask_path() {
+        let rows: Vec<Tuple> = vec![
+            vec![Datum::Int(1), Datum::Int(5), Datum::Float(0.5)],
+            vec![Datum::Int(7), Datum::Null, Datum::Float(9.0)],
+            vec![Datum::Null, Datum::Int(7), Datum::Float(2.0)],
+            vec![Datum::Int(3), Datum::Int(3), Datum::Float(3.0)],
+            vec![Datum::Int(9), Datum::Int(2), Datum::Float(-1.0)],
+        ];
+        let dense = Batch::from_rows(rows);
+        let selected = dense.clone().select(vec![0, 2, 3, 4]);
+        let preds = vec![
+            Expr::col(0).ge(Expr::int(3)),
+            Expr::col(0).eq(Expr::col(1)),
+            Expr::bin(BinOp::Lt, Expr::int(4), Expr::col(0)),
+            Expr::col(0).lt(Expr::Lit(Datum::Float(5.0))),
+            Expr::col(0).eq(Expr::Lit(Datum::Null)),
+            Expr::col(0).ge(Expr::int(2)).and(Expr::col(1).lt(Expr::int(6))),
+            Expr::col(2).ge(Expr::Lit(Datum::Float(0.0))).and(Expr::col(0).ge(Expr::int(2))),
+        ];
+        for batch in [&dense, &selected] {
+            for pred in &preds {
+                let direct = pred
+                    .filter_indices(batch)
+                    .unwrap()
+                    .expect("shape should be supported");
+                let mask: Vec<u32> = pred
+                    .eval_batch(batch)
+                    .unwrap()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_true())
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(direct, mask, "{pred:?}");
+            }
+        }
+        // Unsupported shapes decline rather than guess.
+        assert!(Expr::col(0)
+            .ge(Expr::int(1))
+            .and(Expr::Unary(UnaryOp::IsNull, Box::new(Expr::col(1))))
+            .filter_indices(&dense)
+            .unwrap()
+            .is_none());
+        // Out-of-range columns error exactly like the general path.
+        assert!(Expr::col(9).ge(Expr::int(1)).filter_indices(&dense).is_err());
+    }
+
+    #[test]
+    fn eval_batch_reads_through_selection() {
+        let rows: Vec<Tuple> = (0..6).map(|i| vec![Datum::Int(i)]).collect();
+        let batch = Batch::from_rows(rows).select(vec![1, 3, 5]);
+        assert_eq!(
+            Expr::col(0).eval_batch(&batch).unwrap(),
+            vec![Datum::Int(1), Datum::Int(3), Datum::Int(5)]
+        );
+        assert_eq!(
+            Expr::col(0).eq(Expr::int(3)).eval_batch(&batch).unwrap(),
+            vec![Datum::Bool(false), Datum::Bool(true), Datum::Bool(false)]
+        );
+        // General (arithmetic) path is logical too.
+        assert_eq!(
+            Expr::bin(BinOp::Add, Expr::col(0), Expr::col(0))
+                .eval_batch(&batch)
+                .unwrap(),
+            vec![Datum::Int(2), Datum::Int(6), Datum::Int(10)]
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@ use crate::sort::{compare_tuples, ExternalSorter, SortKey};
 
 /// Hash key for equi-joins: a datum rendered into a hashable form.
 /// (f64 is hashed by bits; NULL never matches so it gets no entry.)
-/// Shared with the vectorized hash join in `exec::batch`.
+///
+/// The vectorized join does not use this type — its columnar table in
+/// `exec::vhash` normalises keys to raw `(tag, u64)` pairs — but the
+/// two must define the same equivalence classes: any change here must
+/// be mirrored in `vhash::norm_datum`, or the engines' join outputs
+/// diverge and the differential suite fails.
 pub(super) fn hash_key(d: &Datum) -> Option<HashKey> {
     match d {
         Datum::Null => None,

@@ -10,6 +10,7 @@ pub mod engine;
 pub mod expr;
 pub mod join;
 pub mod ops;
+mod vhash;
 
 use sbdms_kernel::error::Result;
 
@@ -39,7 +40,7 @@ pub fn approx_tuple_bytes(t: &Tuple) -> u64 {
 }
 
 pub use aggregate::{hash_aggregate, AggFunc, AggSpec};
-pub use batch::{Batch, BatchStream, BATCH_ROWS};
+pub use batch::{hash_join_phases, Batch, BatchStream, BATCH_ROWS};
 pub use engine::{Engine, EngineKind, TupleEngine, VectorEngine};
 pub use expr::{BinOp, Expr, UnaryOp};
 pub use join::{equi_join, hash_join, merge_join, nested_loop_join, BuildSide, JoinAlgorithm};

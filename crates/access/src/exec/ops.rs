@@ -10,7 +10,7 @@ use sbdms_kernel::error::Result;
 use super::expr::Expr;
 use super::{ExecContext, TupleStream, CANCEL_QUANTUM};
 use crate::heap::HeapFile;
-use crate::record::{decode_tuple, encode_tuple, Tuple};
+use crate::record::{decode_tuple, encode_tuple_into, Tuple};
 use crate::sort::{ExternalSorter, SortKey};
 
 /// Sequential scan of a heap file, decoding each record as a tuple.
@@ -141,6 +141,7 @@ pub fn distinct(input: TupleStream) -> TupleStream {
 /// cancellation point.
 pub fn distinct_ctx(input: TupleStream, ctx: ExecContext) -> TupleStream {
     let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut scratch: Vec<u8> = Vec::new();
     let mut n = 0usize;
     Box::new(input.filter_map(move |row| {
         let tuple = match row {
@@ -153,15 +154,18 @@ pub fn distinct_ctx(input: TupleStream, ctx: ExecContext) -> TupleStream {
                 return Some(Err(e));
             }
         }
-        let enc = encode_tuple(&tuple);
-        if seen.contains(&enc) {
+        // Encode into a reused scratch buffer: duplicate rows (the
+        // common case on high-duplication inputs) cost no allocation.
+        scratch.clear();
+        encode_tuple_into(&tuple, &mut scratch);
+        if seen.contains(scratch.as_slice()) {
             return None;
         }
         // Key bytes plus fixed hash-set entry overhead.
-        if let Err(e) = ctx.charge(enc.len() as u64 + 48) {
+        if let Err(e) = ctx.charge(scratch.len() as u64 + 48) {
             return Some(Err(e));
         }
-        seen.insert(enc);
+        seen.insert(scratch.clone());
         Some(Ok(tuple))
     }))
 }

@@ -193,11 +193,17 @@ impl fmt::Display for Datum {
 /// Encode a tuple: field count then each datum.
 pub fn encode_tuple(tuple: &[Datum]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + tuple.len() * 9);
+    encode_tuple_into(tuple, &mut out);
+    out
+}
+
+/// [`encode_tuple`] into a caller-owned buffer (appending), so per-row
+/// encoders can reuse one allocation across rows.
+pub fn encode_tuple_into(tuple: &[Datum], out: &mut Vec<u8>) {
     out.extend_from_slice(&(tuple.len() as u16).to_le_bytes());
     for d in tuple {
-        d.encode_into(&mut out);
+        d.encode_into(out);
     }
-    out
 }
 
 /// Decode a tuple produced by [`encode_tuple`].

@@ -5,15 +5,23 @@
 //! the contrast):
 //! * scan→filter→aggregate — where per-row dispatch dominates the tuple
 //!   engine and the batch engine's column kernels pay off;
-//! * hash join — build + probe, where the win is smaller because the
-//!   hash table touches dominate either way.
+//! * join→aggregate — the columnar open-addressing join feeding a
+//!   global aggregate, in three key distributions (base ×64 dim,
+//!   duplicate-heavy, high-NDV) plus a materialise-every-row variant
+//!   where the row-major transpose dominates both engines;
+//! * the vectorized join's build/probe/gather phases in isolation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sbdms::access::exec::engine::{TupleEngine, VectorEngine};
-use sbdms_bench::experiments::{e12_dim, e12_fact, e12_join, e12_scan_filter_aggregate};
+use sbdms::access::exec::hash_join_phases;
+use sbdms_bench::experiments::{
+    e12_dim, e12_dim_dup, e12_dim_highndv, e12_fact, e12_join, e12_join_highndv, e12_join_rows,
+    e12_scan_filter_aggregate,
+};
 
 const ROWS: usize = 200_000;
 const GROUPS: usize = 64;
+const DUPS: usize = 8;
 
 fn bench_scan_filter_aggregate(c: &mut Criterion) {
     let fact = e12_fact(ROWS);
@@ -57,5 +65,71 @@ fn bench_join(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan_filter_aggregate, bench_join);
+fn bench_join_variants(c: &mut Criterion) {
+    let fact = e12_fact(ROWS);
+    let dup = e12_dim_dup(GROUPS, DUPS);
+    let hi = e12_dim_highndv(ROWS);
+    let dim = e12_dim(GROUPS);
+    let mut group = c.benchmark_group("e12_join_variants");
+    group.sample_size(10);
+    group.bench_function("dup/tuple", |b| {
+        b.iter(|| std::hint::black_box(e12_join(&TupleEngine::default(), fact.clone(), dup.clone())))
+    });
+    group.bench_function("dup/vectorized", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_join(&VectorEngine::default(), fact.clone(), dup.clone()))
+        })
+    });
+    group.bench_function("high_ndv/tuple", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_join_highndv(&TupleEngine::default(), fact.clone(), hi.clone()))
+        })
+    });
+    group.bench_function("high_ndv/vectorized", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_join_highndv(
+                &VectorEngine::default(),
+                fact.clone(),
+                hi.clone(),
+            ))
+        })
+    });
+    group.bench_function("materialise_rows/tuple", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_join_rows(&TupleEngine::default(), fact.clone(), dim.clone()))
+        })
+    });
+    group.bench_function("materialise_rows/vectorized", |b| {
+        b.iter(|| {
+            std::hint::black_box(e12_join_rows(&VectorEngine::default(), fact.clone(), dim.clone()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_join_phases(c: &mut Criterion) {
+    let fact = e12_fact(ROWS);
+    let dim = e12_dim(GROUPS);
+    let hi = e12_dim_highndv(ROWS);
+    let mut group = c.benchmark_group("e12_join_phases");
+    group.sample_size(10);
+    // hash_join_phases reports per-phase durations; criterion times the
+    // whole decomposed join so regressions in any phase surface here,
+    // and the phase split itself is printed by the report binary.
+    group.bench_function("base", |b| {
+        b.iter(|| std::hint::black_box(hash_join_phases(&dim, &fact, 0, 1)))
+    });
+    group.bench_function("high_ndv", |b| {
+        b.iter(|| std::hint::black_box(hash_join_phases(&hi, &fact, 0, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_filter_aggregate,
+    bench_join,
+    bench_join_variants,
+    bench_join_phases
+);
 criterion_main!(benches);

@@ -725,6 +725,26 @@ pub mod experiments {
             .collect()
     }
 
+    /// E12 duplicate-key dimension: each group appears `dups` times, so
+    /// every probe hit walks a `dups`-long chain and the join fans out
+    /// `dups`×.
+    pub fn e12_dim_dup(groups: usize, dups: usize) -> Vec<Tuple> {
+        (0..groups as i64)
+            .flat_map(|g| {
+                (0..dups as i64).map(move |d| vec![Datum::Int(g), Datum::Int(g * 10 + d)])
+            })
+            .collect()
+    }
+
+    /// E12 high-NDV dimension `(id, weight)`: one row per fact id, so
+    /// the build side holds `n` distinct keys — the stress case for
+    /// per-key allocation in a hash-map build.
+    pub fn e12_dim_highndv(n: usize) -> Vec<Tuple> {
+        (0..n as i64)
+            .map(|id| vec![Datum::Int(id), Datum::Int(id * 3)])
+            .collect()
+    }
+
     /// E12 scan→filter→aggregate, generic over the engine:
     /// `SELECT grp, COUNT(*), SUM(val), MIN(val) WHERE val < threshold
     /// GROUP BY grp`. Returns the number of groups.
@@ -749,9 +769,65 @@ pub mod experiments {
         engine.collect(grouped).unwrap().len()
     }
 
-    /// E12 join throughput: fact ⋈ dim on grp (hash join, auto build
-    /// side). Returns the joined row count.
+    /// Shared E12 join pipeline: fact ⋈ dim on `fact_col` = dim col 0
+    /// (hash join, auto build side), then a global
+    /// `COUNT(*), SUM(weight)` — the standard star-join shape, where
+    /// the join's output feeds an aggregate instead of being shipped
+    /// back to the client row by row. Returns the joined row count
+    /// (the COUNT(*) value).
+    fn e12_join_on<E: Engine>(
+        engine: &E,
+        fact: Vec<Tuple>,
+        dim: Vec<Tuple>,
+        fact_col: usize,
+    ) -> usize {
+        let joined = engine
+            .equi_join(
+                JoinAlgorithm::Hash,
+                engine.values(fact),
+                engine.values(dim),
+                fact_col,
+                0,
+                3,
+                BuildSide::Auto,
+            )
+            .unwrap();
+        // Joined rows are fact(id, grp, val) ++ dim(key, weight):
+        // weight is column 4.
+        let agg = engine
+            .hash_aggregate(
+                joined,
+                vec![],
+                vec![
+                    AggSpec::new(AggFunc::CountAll, Expr::int(0)),
+                    AggSpec::new(AggFunc::Sum, Expr::col(4)),
+                ],
+            )
+            .unwrap();
+        let out = engine.collect(agg).unwrap();
+        let Datum::Int(n) = out[0][0] else {
+            panic!("E12 join aggregate did not return an integer count");
+        };
+        std::hint::black_box(&out[0][1]);
+        n as usize
+    }
+
+    /// E12 join throughput: fact ⋈ dim on grp, feeding a global
+    /// `COUNT(*), SUM(weight)` aggregate. Returns the joined row count.
     pub fn e12_join<E: Engine>(engine: &E, fact: Vec<Tuple>, dim: Vec<Tuple>) -> usize {
+        e12_join_on(engine, fact, dim, 1)
+    }
+
+    /// E12 high-NDV join: fact ⋈ dim on the unique id column, so the
+    /// build side has one chain per fact row.
+    pub fn e12_join_highndv<E: Engine>(engine: &E, fact: Vec<Tuple>, dim: Vec<Tuple>) -> usize {
+        e12_join_on(engine, fact, dim, 0)
+    }
+
+    /// E12 join with full row materialisation: the same fact ⋈ dim join
+    /// but collecting every joined row back to row-major tuples —
+    /// isolates the transpose-out cost the aggregate pipeline avoids.
+    pub fn e12_join_rows<E: Engine>(engine: &E, fact: Vec<Tuple>, dim: Vec<Tuple>) -> usize {
         let joined = engine
             .equi_join(
                 JoinAlgorithm::Hash,
@@ -1068,9 +1144,24 @@ mod tests {
         assert_eq!(tuple_groups, vector_groups);
         assert_eq!(tuple_groups, 64, "every group survives a 50% filter");
         let tuple_rows = e12_join(&TupleEngine::default(), fact.clone(), dim.clone());
-        let vector_rows = e12_join(&VectorEngine::default(), fact, dim);
+        let vector_rows = e12_join(&VectorEngine::default(), fact.clone(), dim.clone());
         assert_eq!(tuple_rows, vector_rows);
         assert_eq!(tuple_rows, 2_000, "every fact row has its dimension");
+        assert_eq!(
+            e12_join_rows(&VectorEngine::default(), fact.clone(), dim),
+            2_000,
+            "materialised join yields the same row count"
+        );
+        let dup = e12_dim_dup(64, 4);
+        assert_eq!(
+            e12_join(&TupleEngine::default(), fact.clone(), dup.clone()),
+            e12_join(&VectorEngine::default(), fact.clone(), dup),
+        );
+        let hi = e12_dim_highndv(2_000);
+        let tuple_hi = e12_join_highndv(&TupleEngine::default(), fact.clone(), hi.clone());
+        let vector_hi = e12_join_highndv(&VectorEngine::default(), fact, hi);
+        assert_eq!(tuple_hi, vector_hi);
+        assert_eq!(tuple_hi, 2_000, "unique ids join one-to-one");
     }
 
     #[test]

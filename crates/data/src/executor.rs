@@ -309,6 +309,21 @@ impl Database {
         format!("engine: {engine} ({why})")
     }
 
+    /// Push the engine decision, plus — when the plan contains a hash
+    /// equi-join — the join-kernel decision: which hash-table
+    /// implementation the resolved engine's join will use (the tuple
+    /// engine's row-at-a-time `HashMap`, or the vectorized engine's
+    /// columnar open-addressing table).
+    fn push_engine_decisions(&self, planned: &mut PlannedQuery) {
+        planned.decisions.push(self.engine_decision());
+        if plan_has_hash_join(&planned.plan) {
+            let kind = self.execution_engine();
+            planned
+                .decisions
+                .push(format!("join kernel: {}", kind.join_kernel()));
+        }
+    }
+
     /// Attach a kernel event bus: each freshly planned query publishes a
     /// `plan.selected` event describing why its plan was chosen, and the
     /// governor publishes `governor.shed` / `governor.degraded` events.
@@ -541,7 +556,7 @@ impl Database {
         if let Statement::Select(select) = stmt {
             self.refresh_stale_stats(&select)?;
             let mut planned = plan_select(&select, self)?;
-            planned.decisions.push(self.engine_decision());
+            self.push_engine_decisions(&mut planned);
             let planned = Arc::new(planned);
             // Re-read the epoch: a stale-stats refresh above bumps it.
             self.plan_cache.insert(sql, self.plan_epoch(), planned.clone());
@@ -626,11 +641,18 @@ impl Database {
     /// `-- ...` comment lines.
     fn run_explain(&self, select: &Select, mode: &RunMode) -> Result<QueryResult> {
         let mut planned = plan_select(select, self)?;
-        planned.decisions.push(if mode.degraded {
-            "engine: tuple (degraded: overload)".to_string()
+        if mode.degraded {
+            planned
+                .decisions
+                .push("engine: tuple (degraded: overload)".to_string());
+            if plan_has_hash_join(&planned.plan) {
+                planned
+                    .decisions
+                    .push(format!("join kernel: {}", EngineKind::Tuple.join_kernel()));
+            }
         } else {
-            self.engine_decision()
-        });
+            self.push_engine_decisions(&mut planned);
+        }
         let estimator = Estimator::new(self);
         let mut lines = estimator.explain_annotated(&planned.plan);
         for d in &planned.decisions {
@@ -651,7 +673,7 @@ impl Database {
     /// [`Database::run_select`] under one run mode.
     fn run_select_with(&self, select: &Select, mode: &RunMode) -> Result<QueryResult> {
         let mut planned = plan_select(select, self)?;
-        planned.decisions.push(self.engine_decision());
+        self.push_engine_decisions(&mut planned);
         self.run_planned_with(&planned, mode)
     }
 
@@ -968,6 +990,18 @@ impl Database {
 
 fn env_push(env: &mut BindEnv, table: &str, schema: &Schema) {
     env.push_table(table, schema);
+}
+
+/// Whether the plan contains a hash equi-join anywhere — the one plan
+/// shape whose per-engine kernel choice is surfaced in EXPLAIN.
+fn plan_has_hash_join(plan: &Plan) -> bool {
+    matches!(
+        plan,
+        Plan::EquiJoin {
+            algorithm: JoinAlgorithm::Hash,
+            ..
+        }
+    ) || plan.children().into_iter().any(plan_has_hash_join)
 }
 
 impl CatalogView for Database {

@@ -10,8 +10,9 @@
 //!    engines on one database, compared in exact order;
 //! 3. a proptest over random filters, joins, sorts, and aggregates.
 //!
-//! The only tolerated difference is the `-- engine:` decision line in
-//! EXPLAIN output, which names the engine by design.
+//! The only tolerated differences are the `-- engine:` and
+//! `-- join kernel:` decision lines in EXPLAIN output, which name the
+//! engine (and its hash-join implementation) by design.
 
 mod slt_common;
 
@@ -61,11 +62,20 @@ impl Replica {
     }
 }
 
-/// EXPLAIN names the engine in its decision line; redact it so the rest
-/// of the output must still match byte for byte.
-fn redact_engine_line(rows: Vec<String>) -> Vec<String> {
+/// EXPLAIN names the engine (and its hash-join kernel) in decision
+/// lines; redact both so the rest of the output must still match byte
+/// for byte.
+fn redact_engine_lines(rows: Vec<String>) -> Vec<String> {
     rows.into_iter()
-        .map(|l| if l.starts_with("-- engine:") { "-- engine: <engine>".to_string() } else { l })
+        .map(|l| {
+            if l.starts_with("-- engine:") {
+                "-- engine: <engine>".to_string()
+            } else if l.starts_with("-- join kernel:") {
+                "-- join kernel: <kernel>".to_string()
+            } else {
+                l
+            }
+        })
         .collect()
 }
 
@@ -132,8 +142,8 @@ fn replay_script(path: &std::path::Path) {
                     .unwrap_or_else(|e| panic!("{ctx} [vectorized]: query failed: {e}"));
                 assert_eq!(t.columns, v.columns, "{ctx}: column headers diverged on `{sql}`");
                 assert_eq!(
-                    redact_engine_line(format_rows(&t)),
-                    redact_engine_line(format_rows(&v)),
+                    redact_engine_lines(format_rows(&t)),
+                    redact_engine_lines(format_rows(&v)),
                     "{ctx}: engines diverged on `{sql}`"
                 );
             }
@@ -276,6 +286,16 @@ proptest! {
             format!("SELECT a, b FROM t WHERE a {op} {lit}"),
             format!("SELECT t.a, u.w FROM t JOIN u ON t.b = u.k WHERE u.w {op} {lit}"),
             "SELECT t.a, u.w FROM t JOIN u ON t.b = u.k".to_string(),
+            // Join on the nullable column: NULL keys must never match,
+            // and duplicate build keys must fan out in the same order.
+            "SELECT t.a, u.w FROM t JOIN u ON t.a = u.k".to_string(),
+            // Selection-vector edge cases feeding the join: a filter
+            // every row passes (the selection is elided), one no row
+            // passes (empty probe side), and one that leaves few
+            // survivors (sparse selection into the probe kernel).
+            "SELECT t.a, u.w FROM t JOIN u ON t.b = u.k WHERE t.b >= 0".to_string(),
+            "SELECT t.a, u.w FROM t JOIN u ON t.b = u.k WHERE t.b < 0".to_string(),
+            format!("SELECT t.a, u.w FROM t JOIN u ON t.b = u.k WHERE t.a = {lit}"),
             "SELECT b, COUNT(*), COUNT(a), SUM(a), MIN(a), MAX(a) FROM t GROUP BY b"
                 .to_string(),
             "SELECT COUNT(*), SUM(a), AVG(a) FROM t".to_string(),

@@ -230,6 +230,34 @@ fn statement_memory_limit_fails_recoverably_and_clears() {
 }
 
 #[test]
+fn memory_limited_hash_join_fails_recoverably_on_both_engines() {
+    let db = db("memlimit-join");
+    seed(&db, 400);
+    db.execute("CREATE TABLE g (grp INT NOT NULL, name TEXT NOT NULL)")
+        .unwrap();
+    let vals: Vec<String> = (0..7).map(|g| format!("({g}, 'g{g}')")).collect();
+    db.execute(&format!("INSERT INTO g VALUES {}", vals.join(", ")))
+        .unwrap();
+    let join = "SELECT t.id, g.name FROM t JOIN g ON t.grp = g.grp";
+    for kind in [EngineKind::Tuple, EngineKind::Vectorized] {
+        db.force_execution_engine(Some(kind));
+        // The build side cannot fit in 64 bytes: both engines charge
+        // the hash build identically (valid-key rows only), so both
+        // fail with the typed, recoverable resource error.
+        db.set_statement_memory_limit(Some(64));
+        let err = db.execute(join).unwrap_err();
+        assert_eq!(err.code(), "resources", "{kind}: {err}");
+        assert!(err.is_recoverable(), "{kind}: memory limits invite retry");
+        // Clearing the limit, the same session joins normally.
+        db.set_statement_memory_limit(None);
+        let rows = db.execute(join).unwrap().rows;
+        assert_eq!(rows.len(), 400, "{kind}");
+    }
+    let snap = db.governor().snapshot();
+    assert_eq!(snap.mem_used, 0, "join memory released on both paths");
+}
+
+#[test]
 fn governor_counters_track_admissions() {
     let db = db_opts(
         "counters",

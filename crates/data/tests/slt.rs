@@ -384,12 +384,16 @@ fn run_script(path: &Path) {
                     .unwrap_or_else(|e| panic!("{ctx}: query failed: {e}"));
                 let mut rows = format_rows(&result);
                 // Golden EXPLAIN output is written for the default
-                // engine; a forced engine changes the decision line.
+                // engine; a forced engine changes the decision lines
+                // (and with them the hash-join kernel choice).
                 let mut expected: Vec<String> = expected
                     .into_iter()
                     .map(|l| match forced_engine {
                         Some(kind) if l.starts_with("-- engine:") => {
                             format!("-- engine: {kind} (forced)")
+                        }
+                        Some(kind) if l.starts_with("-- join kernel:") => {
+                            format!("-- join kernel: {}", kind.join_kernel())
                         }
                         _ => l,
                     })
