@@ -1,0 +1,49 @@
+//! E14: concurrency control as a kernel service.
+//!
+//! Two questions, one per group:
+//! * reader isolation — with a writer committing update transactions in
+//!   a loop, what happens to reader latency under the MVCC snapshot
+//!   service (readers see snapshots, never block) versus the embedded
+//!   single-writer service (readers are locked out and retry)?
+//! * group commit — how many fsyncs does a burst of concurrent commits
+//!   cost with and without the 200µs coalescing window?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms::data::ConcurrencyControl;
+use sbdms_bench::experiments::{e14_db, e14_drive, e14_syncs_per_commit, E14_READERS};
+
+const ROWS: usize = 2_000;
+const PER_READER: usize = 6;
+
+fn bench_reader_isolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_reader_isolation");
+    group.sample_size(10);
+    for (label, cc) in [
+        ("mvcc", ConcurrencyControl::Mvcc),
+        ("single-writer", ConcurrencyControl::SingleWriter),
+    ] {
+        let db = e14_db(ROWS, cc);
+        for (mode, with_writer) in [("read-only", false), ("with-writer", true)] {
+            group.bench_function(format!("{label}/{mode}"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(e14_drive(&db, E14_READERS, PER_READER, with_writer))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_group_commit");
+    group.sample_size(10);
+    for (label, window_micros) in [("no-window", 0u64), ("window-200us", 200)] {
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(e14_syncs_per_commit(4, 8, window_micros)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reader_isolation, bench_group_commit);
+criterion_main!(benches);

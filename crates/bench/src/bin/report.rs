@@ -1,14 +1,16 @@
-//! The experiment report: runs every experiment (E1–E13) with plain
+//! The experiment report: runs every experiment (E1–E14) with plain
 //! timers and prints the tables recorded in EXPERIMENTS.md.
 //!
 //! `cargo run --release -p sbdms-bench --bin report`
 //!
-//! `--only <name>` runs a single experiment (`e1` … `e13`, `a1`);
+//! `--only <name>` runs a single experiment (`e1` … `e14`, `a1`);
 //! `--smoke` shrinks the workloads for a fast CI sanity pass;
 //! `--gate-join <min>` exits nonzero if E12's base join speedup falls
-//! below `min` (the CI perf gate). E12 and E13 also write their
-//! measured tables to `BENCH_e12.json` / `BENCH_e13.json` at the
-//! workspace root.
+//! below `min`, and `--gate-mvcc <max>` if E14's MVCC reader latency
+//! under a concurrent writer exceeds `max` times the read-only
+//! baseline (the CI perf gates). E12, E13, and E14 also write their
+//! measured tables to `BENCH_e12.json` / `BENCH_e13.json` /
+//! `BENCH_e14.json` at the workspace root.
 //!
 //! Criterion gives careful statistics per data point (`cargo bench`);
 //! this binary gives the complete paper-vs-measured picture in one run.
@@ -47,6 +49,7 @@ fn main() {
     let mut only: Option<String> = None;
     let mut smoke = false;
     let mut gate_join: Option<f64> = None;
+    let mut gate_mvcc: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,7 +57,7 @@ fn main() {
                 only = Some(
                     it.next()
                         .unwrap_or_else(|| {
-                            eprintln!("--only requires an experiment name (e1..e13, a1)");
+                            eprintln!("--only requires an experiment name (e1..e14, a1)");
                             std::process::exit(2);
                         })
                         .to_lowercase(),
@@ -68,9 +71,17 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--gate-mvcc" => {
+                let max = it.next().and_then(|v| v.parse::<f64>().ok());
+                gate_mvcc = Some(max.unwrap_or_else(|| {
+                    eprintln!("--gate-mvcc requires a maximum reader-latency ratio (e.g. 2.0)");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
-                    "unknown argument `{other}` (expected --only <name> / --smoke / --gate-join <min>)"
+                    "unknown argument `{other}` (expected --only <name> / --smoke / \
+                     --gate-join <min> / --gate-mvcc <max>)"
                 );
                 std::process::exit(2);
             }
@@ -128,6 +139,19 @@ fn main() {
     }
     if run("e13") {
         e13(smoke);
+    }
+    if run("e14") {
+        let reader_overhead = e14(smoke);
+        if let Some(max) = gate_mvcc {
+            if reader_overhead > max {
+                eprintln!(
+                    "E14 MVCC gate FAILED: reader latency under a concurrent writer is \
+                     {reader_overhead:.2}x the read-only baseline (max {max:.2}x)"
+                );
+                std::process::exit(1);
+            }
+            println!("E14 MVCC gate passed: {reader_overhead:.2}x <= {max:.2}x");
+        }
     }
     if run("a1") {
         a1();
@@ -910,6 +934,133 @@ fn e13(smoke: bool) {
         Ok(()) => println!("  wrote BENCH_e13.json"),
         Err(e) => eprintln!("  could not write BENCH_e13.json: {e}"),
     }
+}
+
+/// Returns the MVCC reader-latency overhead under a concurrent writer
+/// (median with writer / median read-only) for `--gate-mvcc`.
+fn e14(smoke: bool) -> f64 {
+    use sbdms::data::ConcurrencyControl;
+    use sbdms_bench::experiments::{
+        e14_db, e14_drive, e14_syncs_per_commit, E14Outcome, E14_READERS,
+    };
+
+    println!("\nE14 — concurrency control: MVCC snapshot readers vs the single-writer lock");
+    let (rows, per_reader, commits_per) =
+        if smoke { (1_000usize, 24usize, 25usize) } else { (8_000, 120, 200) };
+
+    // Each concurrency-control service gets a read-only baseline and a
+    // drive against one writer committing update transactions in a loop.
+    let configs: [(&str, ConcurrencyControl, bool); 4] = [
+        ("mvcc read-only", ConcurrencyControl::Mvcc, false),
+        ("mvcc + writer", ConcurrencyControl::Mvcc, true),
+        ("single-writer read-only", ConcurrencyControl::SingleWriter, false),
+        ("single-writer + writer", ConcurrencyControl::SingleWriter, true),
+    ];
+    println!(
+        "  {:<24} {:>6} {:>10} {:>10} {:>8} {:>8}",
+        "config", "reads", "p50", "p99", "retries", "commits"
+    );
+    let mut table: Vec<(String, E14Outcome)> = Vec::new();
+    for (label, cc, with_writer) in configs {
+        let db = e14_db(rows, cc);
+        let outcome = e14_drive(&db, E14_READERS, per_reader, with_writer);
+        println!(
+            "  {:<24} {:>6} {:>8.2}ms {:>8.2}ms {:>8} {:>8}",
+            label,
+            outcome.reads,
+            outcome.read_p50_ms,
+            outcome.read_p99_ms,
+            outcome.reader_retries,
+            outcome.writer_commits
+        );
+        table.push((label.to_string(), outcome));
+    }
+    let cell = |label: &str| -> &E14Outcome {
+        &table.iter().find(|(l, _)| l == label).unwrap().1
+    };
+    let reader_overhead =
+        cell("mvcc + writer").read_p50_ms / cell("mvcc read-only").read_p50_ms.max(1e-6);
+    println!("  mvcc reader overhead under a concurrent writer: {reader_overhead:.2}x (p50)");
+
+    // Group commit: fsyncs per commit with and without the coalescing
+    // window, on a simulated device that counts its sync barriers.
+    let gc_off = e14_syncs_per_commit(4, commits_per, 0);
+    let gc_on = e14_syncs_per_commit(4, commits_per, 200);
+    println!(
+        "  group commit (4 committers): {gc_off:.2} syncs/commit without window, \
+         {gc_on:.2} with the 200µs window"
+    );
+
+    if smoke {
+        // A smoke pass sanity-checks the harness; don't overwrite the
+        // recorded full-workload artifact with shrunken numbers.
+        return reader_overhead;
+    }
+    let runs: Vec<String> = table
+        .iter()
+        .map(|(label, o)| {
+            format!(
+                r#"    {{
+      "config": "{label}",
+      "readers": {readers},
+      "reads": {reads},
+      "read_p50_ms": {p50:.3},
+      "read_p99_ms": {p99:.3},
+      "reader_retries": {retries},
+      "writer_commits": {commits}
+    }}"#,
+                readers = E14_READERS,
+                reads = o.reads,
+                p50 = o.read_p50_ms,
+                p99 = o.read_p99_ms,
+                retries = o.reader_retries,
+                commits = o.writer_commits,
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "experiment": "E14",
+  "title": "Concurrency control as a kernel service: MVCC snapshot readers vs the single-writer lock",
+  "date": "{date}",
+  "build": "cargo run --release -p sbdms-bench --bin report -- --only e14",
+  "workload": {{
+    "query": "SELECT COUNT(*), SUM(v), MAX(v) FROM t",
+    "rows": {rows},
+    "reads_per_reader": {per_reader},
+    "writer": "loop of 4-row UPDATE transactions, 100us apart",
+    "note": "reader latency is timed start-to-success; single-writer lockout retries are charged to the read that suffered them"
+  }},
+  "runs": [
+{runs}
+  ],
+  "group_commit": {{
+    "committers": 4,
+    "commits_per_committer": {commits_per},
+    "syncs_per_commit_no_window": {gc_off:.3},
+    "syncs_per_commit_200us_window": {gc_on:.3}
+  }},
+  "acceptance": {{
+    "mvcc_reader_overhead_p50": {overhead:.3},
+    "mvcc_readers_within_2x_of_baseline": {within},
+    "mvcc_reader_lockouts": {lockouts},
+    "group_commit_coalesces": {coalesces}
+  }}
+}}
+"#,
+        date = today_utc(),
+        runs = runs.join(",\n"),
+        overhead = reader_overhead,
+        within = reader_overhead <= 2.0,
+        lockouts = cell("mvcc + writer").reader_retries,
+        coalesces = gc_on < gc_off,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e14.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote BENCH_e14.json"),
+        Err(e) => eprintln!("  could not write BENCH_e14.json: {e}"),
+    }
+    reader_overhead
 }
 
 fn a1() {

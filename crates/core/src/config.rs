@@ -11,6 +11,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use sbdms_access::exec::engine::EngineKind;
+use sbdms_data::ConcurrencyControl;
 use sbdms_kernel::binding::BindingKind;
 use sbdms_kernel::governor::GovernorConfig;
 use sbdms_kernel::resilience::{BreakerConfig, InvokePolicy};
@@ -191,6 +192,17 @@ pub struct ArchitectureConfig {
     /// Flexibility by selection (paper Fig. 6): two services provide the
     /// execution task and the profile picks by quality/resources.
     pub execution_engine: EngineKind,
+    /// Which concurrency-control service arbitrates transactions: the
+    /// embedded profile keeps the cheap single-writer WAL-undo path
+    /// (other sessions fail busy while one transaction is open); the
+    /// full-fledged profile deploys the kernel MVCC service — snapshot
+    /// reads that never block behind writers, first-committer-wins
+    /// conflicts surfaced as typed recoverable errors.
+    pub concurrency: ConcurrencyControl,
+    /// Group-commit window in microseconds: how long a commit leader
+    /// holds the WAL sync barrier open so concurrent committers share
+    /// one fsync. 0 keeps one sync per commit.
+    pub commit_window_micros: u64,
     /// Memory budget tracked by the resource manager, bytes.
     pub memory_budget: u64,
     /// Memory alert threshold, bytes.
@@ -229,6 +241,12 @@ impl ArchitectureConfig {
                 // Throughput-oriented: batch execution amortises the
                 // operator dispatch and keeps columns cache-resident.
                 execution_engine: EngineKind::Vectorized,
+                // Concurrent sessions are the point of a server profile:
+                // snapshot isolation keeps readers off writers' backs,
+                // and a small group-commit window amortises fsyncs
+                // across concurrent committers.
+                concurrency: ConcurrencyControl::Mvcc,
+                commit_window_micros: 200,
                 memory_budget: 64 << 20,
                 memory_alert_below: 4 << 20,
                 enforce_policies: true,
@@ -276,6 +294,11 @@ impl ArchitectureConfig {
                 // Tuple-at-a-time: lazy, no batch buffers — the smaller
                 // footprint wins on a constrained device.
                 execution_engine: EngineKind::Tuple,
+                // One caller at a time: version chains and snapshot
+                // bookkeeping buy nothing, so transactions stay on the
+                // single-writer undo path and commits sync immediately.
+                concurrency: ConcurrencyControl::SingleWriter,
+                commit_window_micros: 0,
                 memory_budget: 1 << 20,
                 memory_alert_below: 128 << 10,
                 enforce_policies: true,
@@ -348,6 +371,18 @@ impl ArchitectureConfig {
         self
     }
 
+    /// Builder: override the concurrency-control service.
+    pub fn with_concurrency(mut self, concurrency: ConcurrencyControl) -> ArchitectureConfig {
+        self.concurrency = concurrency;
+        self
+    }
+
+    /// Builder: override the group-commit window.
+    pub fn with_commit_window_micros(mut self, micros: u64) -> ArchitectureConfig {
+        self.commit_window_micros = micros;
+        self
+    }
+
     /// Builder: override the resilience tuning.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> ArchitectureConfig {
         self.resilience = resilience;
@@ -392,6 +427,12 @@ mod tests {
         // vectorized provider on the server, the tuple provider embedded.
         assert_eq!(full.execution_engine, EngineKind::Vectorized);
         assert_eq!(embedded.execution_engine, EngineKind::Tuple);
+        // Concurrency control is a profile-selected kernel service:
+        // snapshot isolation (plus a group-commit window) on the server,
+        // the cheap single-writer path embedded.
+        assert_eq!(full.concurrency, ConcurrencyControl::Mvcc);
+        assert_eq!(embedded.concurrency, ConcurrencyControl::SingleWriter);
+        assert!(full.commit_window_micros > 0 && embedded.commit_window_micros == 0);
         // The embedded profile fails fast; the full profile tries harder.
         assert!(full.resilience.retries > embedded.resilience.retries);
         assert!(full.resilience.deadline_ms > embedded.resilience.deadline_ms);

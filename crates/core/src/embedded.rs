@@ -118,7 +118,16 @@ mod tests {
         let full = system("to-downsize");
         downsize(
             &full,
-            &["xml", "stream", "procedures", "monitor", "governor-monitor", "heap", "index"],
+            &[
+                "xml",
+                "stream",
+                "procedures",
+                "monitor",
+                "governor-monitor",
+                "heap",
+                "index",
+                "concurrency",
+            ],
         )
         .unwrap();
         assert_eq!(

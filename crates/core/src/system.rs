@@ -113,6 +113,8 @@ impl Sbdms {
             histogram_buckets: config.histogram_buckets,
             execution_engine: Some(config.execution_engine),
             governor: config.governor.clone(),
+            concurrency: config.concurrency,
+            commit_window_micros: config.commit_window_micros,
         };
         let db = Arc::new(match config.storage_mode {
             crate::config::StorageMode::File => Database::open_opts(&config.data_dir, opts)?,
@@ -222,6 +224,17 @@ impl Sbdms {
                 component("query", QueryService::new("query", self.db.clone()).into_ref())
                     .with_reference(Reference::required("buffer", BUFFER_INTERFACE)),
             );
+        }
+        // The concurrency-control service the data layer's transactions
+        // run through: published on the bus whenever the profile
+        // selected MVCC, so coordinators and monitors can observe the
+        // snapshot/conflict counters of the transactional component.
+        if let Some(mvcc) = self.db.mvcc() {
+            data_layer = data_layer.with(component(
+                "concurrency",
+                sbdms_kernel::mvcc::ConcurrencyControlService::new("concurrency", mvcc.clone())
+                    .into_ref(),
+            ));
         }
 
         let mut extension_layer = Composite::new("extension-layer");
@@ -482,8 +495,8 @@ mod tests {
     #[test]
     fn full_profile_deploys_all_layers() {
         let system = Sbdms::open(Profile::FullFledged, data_dir("full")).unwrap();
-        // 11 selected + coordinator.
-        assert_eq!(system.service_keys().len(), 12);
+        // 12 selected + coordinator.
+        assert_eq!(system.service_keys().len(), 13);
         for layer in ["storage", "access", "data", "extension"] {
             assert!(
                 !system.bus().registry().find_by_layer(layer).is_empty(),

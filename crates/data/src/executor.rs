@@ -2,7 +2,7 @@
 //! transactions. This is the object both the monolithic baseline and the
 //! data-layer services wrap.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,10 +13,11 @@ use sbdms_access::exec::engine::{Engine, EngineKind, TupleEngine, VectorEngine};
 use sbdms_access::exec::join::JoinAlgorithm;
 use sbdms_access::exec::{self, TupleStream};
 use sbdms_access::heap::Rid;
-use sbdms_access::record::{Datum, Tuple};
+use sbdms_access::record::{decode_tuple, encode_tuple, Datum, Tuple};
 use sbdms_kernel::error::{Result, ServiceError};
 use sbdms_kernel::events::{Event, EventBus};
 use sbdms_kernel::governor::{CancelToken, ExecContext, Governor, GovernorConfig};
+use sbdms_kernel::mvcc::{Mvcc, Visibility};
 use sbdms_storage::replacement::PolicyKind;
 use sbdms_storage::services::StorageEngine;
 
@@ -29,6 +30,10 @@ use crate::planner::{
     compile_expr, plan_select, BindEnv, CatalogView, Plan, PlannedQuery, PlannerKnobs,
 };
 use crate::schema::Schema;
+use crate::session::{
+    key_rid, rid_key, ActiveTxn, ConcurrencyControl, MvccTxnState, OwnWrite, RowKey, Session,
+    SessionCore,
+};
 use crate::stats::TableStats;
 use crate::table::Table;
 use crate::txn::{Durability, TableResolver, TransactionManager, TxnId, UndoOp};
@@ -87,6 +92,14 @@ pub struct DbOptions {
     /// shedding, and memory budgets. Disabled by default (the embedded
     /// profile's setting); the full-fledged profile enables it.
     pub governor: GovernorConfig,
+    /// The profile's concurrency-control service: single-writer WAL-undo
+    /// (embedded default) or kernel MVCC snapshot isolation
+    /// (full-fledged).
+    pub concurrency: ConcurrencyControl,
+    /// Group-commit window in microseconds: how long a commit leader
+    /// holds the WAL sync barrier open for other committers to share the
+    /// fsync. 0 (default) keeps one sync per commit.
+    pub commit_window_micros: u64,
 }
 
 impl Default for DbOptions {
@@ -101,16 +114,20 @@ impl Default for DbOptions {
             histogram_buckets: crate::stats::HISTOGRAM_BUCKETS,
             execution_engine: None,
             governor: GovernorConfig::default(),
+            concurrency: ConcurrencyControl::default(),
+            commit_window_micros: 0,
         }
     }
 }
 
-/// How one admitted statement runs: its cancellation/memory context and
-/// whether the governor degraded it to the cheaper execution path.
-#[derive(Debug, Clone, Default)]
+/// How one admitted statement runs: its cancellation/memory context,
+/// whether the governor degraded it to the cheaper execution path, and
+/// which session issued it (`None` = the default session).
+#[derive(Clone, Default)]
 struct RunMode {
     ctx: ExecContext,
     degraded: bool,
+    session: Option<Arc<SessionCore>>,
 }
 
 /// An embedded SBDMS database engine.
@@ -118,8 +135,19 @@ pub struct Database {
     engine: StorageEngine,
     catalog: Catalog,
     txns: TransactionManager,
-    /// The session's explicit transaction, if one is open.
-    current_txn: Mutex<Option<TxnId>>,
+    /// The profile's concurrency-control choice (fixed at open).
+    concurrency: ConcurrencyControl,
+    /// The kernel MVCC service (`Some` iff `concurrency` is MVCC).
+    mvcc: Option<Arc<Mvcc>>,
+    /// The session behind the session-free legacy API
+    /// ([`Database::execute`], [`Database::begin`], ...).
+    default_session: Arc<SessionCore>,
+    /// Id allocator for [`Database::session`].
+    next_session: AtomicU64,
+    /// Under single-writer: the session currently holding the one open
+    /// transaction. Statements from any other session fail busy with a
+    /// recoverable `SerializationConflict` while it is set.
+    single_owner: Mutex<Option<u64>>,
     tables: Mutex<HashMap<String, Arc<Table>>>,
     knobs: Mutex<PlannerKnobs>,
     plan_cache: PlanCache,
@@ -199,11 +227,19 @@ impl Database {
             .set_write_hook(Some(Arc::new(move || wal.sync())));
         let catalog = Catalog::open(engine.buffer.clone())?;
         let txns = TransactionManager::new(engine.wal.clone(), engine.buffer.clone());
+        txns.set_commit_window(std::time::Duration::from_micros(opts.commit_window_micros));
         let db = Database {
             engine,
             catalog,
             txns,
-            current_txn: Mutex::new(None),
+            concurrency: opts.concurrency,
+            mvcc: match opts.concurrency {
+                ConcurrencyControl::Mvcc => Some(Arc::new(Mvcc::new())),
+                ConcurrencyControl::SingleWriter => None,
+            },
+            default_session: SessionCore::new(0),
+            next_session: AtomicU64::new(1),
+            single_owner: Mutex::new(None),
             tables: Mutex::new(HashMap::new()),
             knobs: Mutex::new(PlannerKnobs {
                 profile_engine: opts.execution_engine,
@@ -401,40 +437,128 @@ impl Database {
         self.catalog.update_stats(&table.to_lowercase(), stats)
     }
 
-    /// Begin an explicit transaction (one per session).
+    /// The profile's concurrency-control choice.
+    pub fn concurrency(&self) -> ConcurrencyControl {
+        self.concurrency
+    }
+
+    /// The kernel MVCC service, when the profile selected it.
+    pub fn mvcc(&self) -> Option<&Arc<Mvcc>> {
+        self.mvcc.as_ref()
+    }
+
+    /// Open a new session: an independent logical client with its own
+    /// transaction. Sessions interleave under the profile's
+    /// concurrency-control service.
+    pub fn session(&self) -> Session<'_> {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        Session {
+            db: self,
+            core: SessionCore::new(id),
+        }
+    }
+
+    /// Begin an explicit transaction on the default session.
     pub fn begin(&self) -> Result<TxnId> {
-        let mut current = self.current_txn.lock();
+        let core = self.default_session.clone();
+        self.begin_on(&core)
+    }
+
+    /// Commit the default session's open transaction.
+    pub fn commit(&self) -> Result<()> {
+        let core = self.default_session.clone();
+        self.commit_on(&core)
+    }
+
+    /// Roll back the default session's open transaction.
+    pub fn rollback(&self) -> Result<()> {
+        let core = self.default_session.clone();
+        self.rollback_on(&core)
+    }
+
+    /// The busy check of the single-writer service: while another
+    /// session holds the open transaction, every statement from this one
+    /// fails immediately with a recoverable conflict (no blocking, no
+    /// deadlocks — the caller retries). A no-op under MVCC.
+    fn check_single_writer_busy(&self, core: &SessionCore) -> Result<()> {
+        if self.concurrency != ConcurrencyControl::SingleWriter {
+            return Ok(());
+        }
+        match *self.single_owner.lock() {
+            Some(owner) if owner != core.id => Err(ServiceError::SerializationConflict {
+                reason: "single-writer: database is locked by another session".into(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Begin an explicit transaction on one session.
+    pub(crate) fn begin_on(&self, core: &Arc<SessionCore>) -> Result<TxnId> {
+        let mut current = core.txn.lock();
         if current.is_some() {
             return Err(ServiceError::Transaction("transaction already open".into()));
         }
-        let txn = self.txns.begin();
-        *current = Some(txn);
-        Ok(txn)
+        match self.concurrency {
+            ConcurrencyControl::SingleWriter => {
+                self.check_single_writer_busy(core)?;
+                let txn = self.txns.begin();
+                *self.single_owner.lock() = Some(core.id);
+                *current = Some(ActiveTxn::Single(txn));
+                Ok(txn)
+            }
+            ConcurrencyControl::Mvcc => {
+                let mvcc = self.mvcc.as_ref().expect("mvcc profile");
+                let txn = mvcc.begin();
+                let token = txn.token;
+                *current = Some(ActiveTxn::Mvcc(MvccTxnState::new(txn)));
+                Ok(token)
+            }
+        }
     }
 
-    /// Commit the open transaction.
-    pub fn commit(&self) -> Result<()> {
-        let txn = self
-            .current_txn
+    /// Commit one session's open transaction. Under MVCC this is where
+    /// the buffered write set reaches the heap and the WAL.
+    pub(crate) fn commit_on(&self, core: &Arc<SessionCore>) -> Result<()> {
+        let active = core
+            .txn
             .lock()
             .take()
             .ok_or_else(|| ServiceError::Transaction("no open transaction".into()))?;
-        self.txns.commit(txn)
+        match active {
+            ActiveTxn::Single(txn) => {
+                let out = self.txns.commit(txn);
+                *self.single_owner.lock() = None;
+                out
+            }
+            ActiveTxn::Mvcc(state) => self.commit_mvcc(state),
+        }
     }
 
-    /// Roll back the open transaction.
-    pub fn rollback(&self) -> Result<()> {
-        let txn = self
-            .current_txn
+    /// Roll back one session's open transaction.
+    pub(crate) fn rollback_on(&self, core: &Arc<SessionCore>) -> Result<()> {
+        let active = core
+            .txn
             .lock()
             .take()
             .ok_or_else(|| ServiceError::Transaction("no open transaction".into()))?;
-        self.txns.rollback(txn, &DbResolver { db: self })
+        match active {
+            ActiveTxn::Single(txn) => {
+                let out = self.txns.rollback(txn, &DbResolver { db: self });
+                *self.single_owner.lock() = None;
+                out
+            }
+            ActiveTxn::Mvcc(state) => {
+                // Buffered writes never touched the heap: discarding the
+                // overlay and releasing locks/snapshot is the whole undo.
+                self.mvcc.as_ref().expect("mvcc profile").rollback(&state.txn);
+                Ok(())
+            }
+        }
     }
 
     /// Flush everything and truncate the log.
     pub fn checkpoint(&self) -> Result<()> {
-        if self.current_txn.lock().is_some() {
+        if self.single_owner.lock().is_some() || self.default_session.txn.lock().is_some() {
             return Err(ServiceError::Transaction(
                 "cannot checkpoint inside a transaction".into(),
             ));
@@ -515,20 +639,30 @@ impl Database {
     /// mid-transaction (deadline or injected token) rolls the open
     /// transaction back, leaving the same invariants as a crash.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let core = self.default_session.clone();
+        self.execute_on(&core, sql)
+    }
+
+    /// [`Database::execute`] on one session.
+    pub(crate) fn execute_on(&self, core: &Arc<SessionCore>, sql: &str) -> Result<QueryResult> {
+        // The single-writer busy check comes before admission: a locked
+        // database is a concurrency outcome, not governor load.
+        self.check_single_writer_busy(core)?;
         let admission = self
             .governor
             .admit(self.allow_degraded.load(std::sync::atomic::Ordering::Relaxed))?;
         let mode = RunMode {
             ctx: self.exec_context(),
             degraded: admission.is_degraded(),
+            session: Some(core.clone()),
         };
         let out = self.execute_with(sql, &mode);
         if matches!(out, Err(ServiceError::Cancelled { .. })) {
             self.governor.note_cancelled();
-            if self.current_txn.lock().is_some() {
+            if core.txn.lock().is_some() {
                 // Unwind through the transaction rollback path: the
                 // session stays usable and committed data stays intact.
-                let _ = self.rollback();
+                let _ = self.rollback_on(core);
             }
         }
         drop(admission);
@@ -589,6 +723,24 @@ impl Database {
 
     /// [`Database::execute_statement`] under one run mode.
     fn execute_statement_with(&self, stmt: Statement, mode: &RunMode) -> Result<QueryResult> {
+        // DDL versions neither the catalog nor the schema: inside an
+        // open snapshot transaction it cannot be isolated or rolled
+        // back, so MVCC rejects it there (autocommit DDL is fine).
+        if self.mvcc.is_some()
+            && !matches!(
+                stmt,
+                Statement::Insert { .. }
+                    | Statement::Update { .. }
+                    | Statement::Delete { .. }
+                    | Statement::Select(_)
+                    | Statement::Explain(_)
+            )
+            && self.run_session(mode).txn.lock().is_some()
+        {
+            return Err(ServiceError::Transaction(
+                "DDL is not allowed inside a transaction under mvcc".into(),
+            ));
+        }
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(columns)?;
@@ -615,6 +767,9 @@ impl Database {
                 let table = Table::open(&self.catalog, &name)?;
                 table.drop(&self.catalog)?;
                 self.tables.lock().remove(&name);
+                if let Some(mvcc) = &self.mvcc {
+                    mvcc.forget_table(&name.to_lowercase());
+                }
                 Ok(QueryResult::affected(0))
             }
             Statement::DropView { name } => {
@@ -653,6 +808,9 @@ impl Database {
         } else {
             self.push_engine_decisions(&mut planned);
         }
+        planned
+            .decisions
+            .push(format!("concurrency: {} (profile)", self.concurrency));
         let estimator = Estimator::new(self);
         let mut lines = estimator.explain_annotated(&planned.plan);
         for d in &planned.decisions {
@@ -695,12 +853,12 @@ impl Database {
         let rows = match kind {
             EngineKind::Tuple => {
                 let engine = TupleEngine::with_context(mode.ctx.clone());
-                let stream = self.run_plan_budgeted(&engine, &planned.plan, sort_budget)?;
+                let stream = self.run_plan_budgeted(&engine, &planned.plan, sort_budget, mode)?;
                 engine.collect(stream)?
             }
             EngineKind::Vectorized => {
                 let engine = VectorEngine::with_context(mode.ctx.clone());
-                let stream = self.run_plan_budgeted(&engine, &planned.plan, sort_budget)?;
+                let stream = self.run_plan_budgeted(&engine, &planned.plan, sort_budget, mode)?;
                 engine.collect(stream)?
             }
         };
@@ -722,15 +880,341 @@ impl Database {
         Ok(t)
     }
 
-    fn active_txn(&self) -> Option<TxnId> {
-        *self.current_txn.lock()
+    /// The session a run mode belongs to (default session when unset).
+    fn run_session<'a>(&'a self, mode: &'a RunMode) -> &'a Arc<SessionCore> {
+        mode.session.as_ref().unwrap_or(&self.default_session)
     }
 
-    fn log_if_txn(&self, op: impl FnOnce() -> UndoOp) -> Result<()> {
-        if let Some(txn) = self.active_txn() {
+    /// The open single-writer transaction of the statement's session.
+    fn open_single_txn(&self, mode: &RunMode) -> Option<TxnId> {
+        match &*self.run_session(mode).txn.lock() {
+            Some(ActiveTxn::Single(txn)) => Some(*txn),
+            _ => None,
+        }
+    }
+
+    fn log_if_txn(&self, txn: Option<TxnId>, op: impl FnOnce() -> UndoOp) -> Result<()> {
+        if let Some(txn) = txn {
             self.txns.record(txn, op())?;
         }
         Ok(())
+    }
+
+    /// Run `f` against the session's open MVCC transaction — or, in
+    /// autocommit, against a fresh implicit one that commits (or rolls
+    /// back) around it.
+    fn with_mvcc_txn<R>(
+        &self,
+        mode: &RunMode,
+        f: impl FnOnce(&mut MvccTxnState) -> Result<R>,
+    ) -> Result<R> {
+        let core = self.run_session(mode).clone();
+        {
+            let mut guard = core.txn.lock();
+            if let Some(active) = guard.as_mut() {
+                return match active {
+                    ActiveTxn::Mvcc(state) => f(state),
+                    ActiveTxn::Single(_) => Err(ServiceError::Internal(
+                        "single-writer transaction open under mvcc".into(),
+                    )),
+                };
+            }
+        }
+        let mvcc = self.mvcc.as_ref().expect("mvcc profile").clone();
+        let mut state = MvccTxnState::new(mvcc.begin());
+        match f(&mut state) {
+            Ok(out) => {
+                self.commit_mvcc(state)?;
+                Ok(out)
+            }
+            Err(e) => {
+                mvcc.rollback(&state.txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply a buffered MVCC write set: take the commit window (apply
+    /// latch + commit timestamp), write the heap under a WAL-undo
+    /// transaction, install the version bookkeeping, release the latch —
+    /// and only then wait on the (group) fsync, so the durability stall
+    /// never blocks snapshot readers. Version ops are staged in a plain
+    /// vec and replayed onto the guard only after the whole heap apply
+    /// succeeded: a failed apply rolls back the heap and aborts the MVCC
+    /// transaction with its chains untouched.
+    fn commit_mvcc(&self, state: MvccTxnState) -> Result<()> {
+        enum VersionOp {
+            Supersede(String, u64, Vec<u8>),
+            Install(String, u64),
+        }
+        let mvcc = self.mvcc.as_ref().expect("mvcc profile");
+        let guard = mvcc.commit_begin(&state.txn);
+        if state.buffered_rows() == 0 {
+            guard.finish();
+            return Ok(());
+        }
+        let data_txn = self.txns.begin();
+        let mut pending: Vec<VersionOp> = Vec::new();
+        let mut apply = || -> Result<()> {
+            for (table, rows) in &state.overlay {
+                let t = self.table(table)?;
+                let mut writes = 0u64;
+                for (key, w) in rows {
+                    match (key, w) {
+                        (RowKey::Heap(rid), OwnWrite::Heap { old, new: Some(img) }) => {
+                            t.update(*rid, img.clone())?;
+                            self.txns.record(data_txn, UndoOp::update(table, old, img))?;
+                            pending.push(VersionOp::Supersede(
+                                table.clone(),
+                                rid_key(*rid),
+                                encode_tuple(old),
+                            ));
+                        }
+                        (RowKey::Heap(rid), OwnWrite::Heap { old, new: None }) => {
+                            t.delete(*rid)?;
+                            self.txns.record(data_txn, UndoOp::delete(table, old))?;
+                            pending.push(VersionOp::Supersede(
+                                table.clone(),
+                                rid_key(*rid),
+                                encode_tuple(old),
+                            ));
+                        }
+                        (RowKey::Local(_), OwnWrite::Local(img)) => {
+                            let rid = t.insert(img.clone())?;
+                            self.txns.record(data_txn, UndoOp::insert(table, img))?;
+                            pending.push(VersionOp::Install(table.clone(), rid_key(rid)));
+                        }
+                        _ => {
+                            return Err(ServiceError::Internal(
+                                "mismatched mvcc write-set entry".into(),
+                            ))
+                        }
+                    }
+                    writes += 1;
+                }
+                self.catalog.note_writes(table, writes);
+            }
+            Ok(())
+        };
+        if let Err(e) = apply() {
+            let _ = self.txns.rollback(data_txn, &DbResolver { db: self });
+            drop(guard); // abort: locks and snapshot released, no versions installed
+            return Err(e);
+        }
+        let barrier = match self.txns.commit_publish(data_txn) {
+            Ok(barrier) => barrier,
+            Err(e) => {
+                let _ = self.txns.rollback(data_txn, &DbResolver { db: self });
+                drop(guard);
+                return Err(e);
+            }
+        };
+        for op in pending {
+            match op {
+                VersionOp::Supersede(table, key, old) => guard.record_supersede(&table, key, old),
+                VersionOp::Install(table, key) => guard.record_install(&table, key),
+            }
+        }
+        guard.finish();
+        self.txns.commit_sync(barrier)
+    }
+
+    /// Materialize the rows of `table` visible to `state` — its pinned
+    /// snapshot overlaid with its own uncommitted writes — or the
+    /// latest-committed state when no transaction is open. Runs under
+    /// the MVCC read latch so no commit applies mid-scan.
+    fn mvcc_visible_rows(
+        &self,
+        t: &Table,
+        table: &str,
+        state: Option<&MvccTxnState>,
+    ) -> Result<Vec<(RowKey, Tuple)>> {
+        let mvcc = self.mvcc.as_ref().expect("mvcc profile");
+        let _latch = mvcc.read_latch();
+        let heap = t.scan()?;
+        let Some(state) = state else {
+            // Autocommit read: the latest committed state is the heap.
+            return Ok(heap
+                .into_iter()
+                .map(|(rid, row)| (RowKey::Heap(rid), row))
+                .collect());
+        };
+        let own = state.overlay.get(table);
+        let ov = mvcc.scan_overlay(table, state.txn.snapshot);
+        let mut out = Vec::with_capacity(heap.len());
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        for (rid, row) in heap {
+            let key = rid_key(rid);
+            seen.insert(key);
+            if let Some(w) = own.and_then(|m| m.get(&RowKey::Heap(rid))) {
+                // Own writes win over the snapshot (we hold the lock, so
+                // the heap occupant cannot change underneath them).
+                if let Some(img) = own_image(w) {
+                    out.push((RowKey::Heap(rid), img.clone()));
+                }
+                continue;
+            }
+            match ov.visibility(key) {
+                Visibility::Current => out.push((RowKey::Heap(rid), row)),
+                Visibility::Replaced(bytes) => {
+                    out.push((RowKey::Heap(rid), decode_tuple(&bytes)?))
+                }
+                Visibility::Hidden => {}
+            }
+        }
+        // Keys whose visible version lives only in the chains: rows a
+        // later commit deleted, still visible to this snapshot.
+        let mut chain: Vec<u64> = ov.chain_keys().filter(|k| !seen.contains(k)).collect();
+        chain.sort_unstable();
+        for key in chain {
+            let rid = key_rid(key);
+            if let Some(w) = own.and_then(|m| m.get(&RowKey::Heap(rid))) {
+                if let Some(img) = own_image(w) {
+                    out.push((RowKey::Heap(rid), img.clone()));
+                }
+                continue;
+            }
+            if let Visibility::Replaced(bytes) = ov.visibility(key) {
+                out.push((RowKey::Heap(rid), decode_tuple(&bytes)?));
+            }
+        }
+        // This transaction's own pending inserts.
+        if let Some(own) = own {
+            for (k, w) in own {
+                if let (RowKey::Local(_), OwnWrite::Local(img)) = (k, w) {
+                    out.push((*k, img.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// An index scan with snapshot semantics. The B-tree indexes only
+    /// committed heap state, so the probe is a superset/subset of the
+    /// truth in three ways, each patched here: probed rids may be
+    /// invisible (resolve through the overlay), chain keys the probe
+    /// missed may hold a visible older image whose key is in range, and
+    /// this transaction's own buffered writes are not indexed at all.
+    /// The range re-check mirrors `BTree::range` exactly
+    /// (`Datum::order`, inclusive lo, configurable hi).
+    #[allow(clippy::too_many_arguments)]
+    fn mvcc_index_scan(
+        &self,
+        t: &Table,
+        table: &str,
+        column: &str,
+        lo: Option<&Datum>,
+        hi: Option<&Datum>,
+        hi_inclusive: bool,
+        mode: &RunMode,
+    ) -> Result<Vec<Tuple>> {
+        let mvcc = self.mvcc.as_ref().expect("mvcc profile");
+        let tree = t
+            .index_on(column)
+            .ok_or_else(|| ServiceError::Internal(format!("lost index on {column}")))?;
+        let col = t
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| ServiceError::Internal(format!("lost column {column}")))?;
+        let table_lc = table.to_lowercase();
+        let core = self.run_session(mode).clone();
+        let guard = core.txn.lock();
+        let state = match &*guard {
+            Some(ActiveTxn::Mvcc(state)) => Some(state),
+            _ => None,
+        };
+        let _latch = mvcc.read_latch();
+        let probed = tree.range(lo, hi, hi_inclusive)?;
+        let Some(state) = state else {
+            // Autocommit read: the probe is exact against the heap.
+            return probed.into_iter().map(|(_, rid)| t.get(rid)).collect();
+        };
+        let own = state.overlay.get(&table_lc);
+        let ov = mvcc.scan_overlay(&table_lc, state.txn.snapshot);
+        let in_range = |d: &Datum| datum_in_range(d, lo, hi, hi_inclusive);
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<RowKey> = BTreeSet::new();
+        for (_, rid) in probed {
+            let key = RowKey::Heap(rid);
+            if !seen.insert(key) {
+                continue;
+            }
+            if let Some(w) = own.and_then(|m| m.get(&key)) {
+                if let Some(img) = own_image(w) {
+                    if in_range(&img[col]) {
+                        out.push(img.clone());
+                    }
+                }
+                continue;
+            }
+            match ov.visibility(rid_key(rid)) {
+                Visibility::Current => out.push(t.get(rid)?),
+                Visibility::Replaced(bytes) => {
+                    let img = decode_tuple(&bytes)?;
+                    if in_range(&img[col]) {
+                        out.push(img);
+                    }
+                }
+                Visibility::Hidden => {}
+            }
+        }
+        let mut chain: Vec<u64> = ov.chain_keys().collect();
+        chain.sort_unstable();
+        for k in chain {
+            let key = RowKey::Heap(key_rid(k));
+            if !seen.insert(key) || own.is_some_and(|m| m.contains_key(&key)) {
+                continue;
+            }
+            if let Visibility::Replaced(bytes) = ov.visibility(k) {
+                let img = decode_tuple(&bytes)?;
+                if in_range(&img[col]) {
+                    out.push(img);
+                }
+            }
+        }
+        if let Some(own) = own {
+            for (key, w) in own {
+                if seen.contains(key) {
+                    continue;
+                }
+                if let Some(img) = own_image(w) {
+                    if in_range(&img[col]) {
+                        out.push(img.clone());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Visible rows of `table` matching `predicate`, with row keys — the
+    /// MVCC counterpart of [`Database::matching_rids`].
+    fn mvcc_matching(
+        &self,
+        t: &Table,
+        table: &str,
+        state: &MvccTxnState,
+        predicate: &Option<exec::Expr>,
+        mode: &RunMode,
+    ) -> Result<Vec<(RowKey, Tuple)>> {
+        let mut out = Vec::new();
+        for (i, (key, tuple)) in self
+            .mvcc_visible_rows(t, table, Some(state))?
+            .into_iter()
+            .enumerate()
+        {
+            if i % exec::CANCEL_QUANTUM == 0 {
+                mode.ctx.check()?;
+            }
+            let keep = match predicate {
+                None => true,
+                Some(p) => p.eval(&tuple)?.is_true(),
+            };
+            if keep {
+                out.push((key, tuple));
+            }
+        }
+        Ok(out)
     }
 
     fn run_insert(
@@ -759,7 +1243,7 @@ impl Database {
                 .collect::<Result<_>>()?,
         };
         let empty_env = BindEnv::default();
-        let mut inserted = 0;
+        let mut tuples: Vec<Tuple> = Vec::with_capacity(rows.len());
         for row in rows {
             if row.len() != positions.len() {
                 return Err(err(format!(
@@ -774,9 +1258,34 @@ impl Database {
                 let compiled = compile_expr(expr, &empty_env)?;
                 tuple[pos] = compiled.eval(&vec![])?;
             }
+            tuples.push(tuple);
+        }
+        if self.mvcc.is_some() {
+            // Buffer into the write set; the heap is untouched until
+            // commit. Validate now so the overlay holds stored images.
+            let stored: Vec<Tuple> = tuples
+                .into_iter()
+                .map(|tuple| schema.validate(tuple))
+                .collect::<Result<_>>()?;
+            let n = stored.len();
+            let table_lc = table.to_lowercase();
+            self.with_mvcc_txn(mode, |state| {
+                let entry = state.overlay.entry(table_lc.clone()).or_default();
+                for img in stored {
+                    let k = RowKey::Local(state.next_local);
+                    state.next_local += 1;
+                    entry.insert(k, OwnWrite::Local(img));
+                }
+                Ok(())
+            })?;
+            return Ok(QueryResult::affected(n));
+        }
+        let txn = self.open_single_txn(mode);
+        let mut inserted = 0;
+        for tuple in tuples {
             let row_for_log = tuple.clone();
             t.insert(tuple)?;
-            self.log_if_txn(|| UndoOp::insert(table, &row_for_log))?;
+            self.log_if_txn(txn, || UndoOp::insert(table, &row_for_log))?;
             inserted += 1;
         }
         self.catalog.note_writes(table, inserted as u64);
@@ -806,7 +1315,39 @@ impl Database {
             .collect::<Result<_>>()?;
         let predicate = filter.map(|f| compile_expr(&f, &env)).transpose()?;
 
+        if self.mvcc.is_some() {
+            let table_lc = table.to_lowercase();
+            return self.with_mvcc_txn(mode, |state| {
+                let matches = self.mvcc_matching(&t, &table_lc, state, &predicate, mode)?;
+                // Evaluate every new image first (fallible), then take
+                // every write lock (fallible), then mutate the overlay
+                // (infallible): a conflict or eval error leaves the
+                // statement a no-op and the transaction open.
+                let mut staged = Vec::with_capacity(matches.len());
+                for (key, old) in matches {
+                    let mut new = old.clone();
+                    for (pos, expr) in &assignments {
+                        new[*pos] = expr.eval(&old)?;
+                    }
+                    staged.push((key, old, schema.validate(new)?));
+                }
+                let mvcc = self.mvcc.as_ref().expect("mvcc profile");
+                for (key, _, _) in &staged {
+                    if let RowKey::Heap(rid) = key {
+                        mvcc.lock_write(&state.txn, &table_lc, rid_key(*rid))?;
+                    }
+                }
+                let affected = staged.len();
+                let entry = state.overlay.entry(table_lc.clone()).or_default();
+                for (key, old, stored) in staged {
+                    apply_own_write(entry, key, old, Some(stored));
+                }
+                Ok(QueryResult::affected(affected))
+            });
+        }
+
         let matches = self.matching_rids(&t, &predicate, mode)?;
+        let txn = self.open_single_txn(mode);
         let mut affected = 0;
         for (rid, old) in matches {
             let mut new = old.clone();
@@ -817,7 +1358,7 @@ impl Database {
             // widening), so log what validation actually stores.
             let stored = schema.validate(new)?;
             t.update(rid, stored.clone())?;
-            self.log_if_txn(|| UndoOp::update(table, &old, &stored))?;
+            self.log_if_txn(txn, || UndoOp::update(table, &old, &stored))?;
             affected += 1;
         }
         self.catalog.note_writes(table, affected as u64);
@@ -836,11 +1377,31 @@ impl Database {
         env_push(&mut env, table, &schema);
         let predicate = filter.map(|f| compile_expr(&f, &env)).transpose()?;
 
+        if self.mvcc.is_some() {
+            let table_lc = table.to_lowercase();
+            return self.with_mvcc_txn(mode, |state| {
+                let matches = self.mvcc_matching(&t, &table_lc, state, &predicate, mode)?;
+                let mvcc = self.mvcc.as_ref().expect("mvcc profile");
+                for (key, _) in &matches {
+                    if let RowKey::Heap(rid) = key {
+                        mvcc.lock_write(&state.txn, &table_lc, rid_key(*rid))?;
+                    }
+                }
+                let affected = matches.len();
+                let entry = state.overlay.entry(table_lc.clone()).or_default();
+                for (key, old) in matches {
+                    apply_own_write(entry, key, old, None);
+                }
+                Ok(QueryResult::affected(affected))
+            });
+        }
+
         let matches = self.matching_rids(&t, &predicate, mode)?;
+        let txn = self.open_single_txn(mode);
         let mut affected = 0;
         for (rid, old) in matches {
             t.delete(rid)?;
-            self.log_if_txn(|| UndoOp::delete(table, &old))?;
+            self.log_if_txn(txn, || UndoOp::delete(table, &old))?;
             affected += 1;
         }
         self.catalog.note_writes(table, affected as u64);
@@ -882,7 +1443,7 @@ impl Database {
     /// generically: the interpreter monomorphises per engine, so both
     /// providers of the execution task share one plan walk.
     pub fn run_plan_with<E: Engine>(&self, engine: &E, plan: &Plan) -> Result<E::Stream> {
-        self.run_plan_budgeted(engine, plan, self.sort_budget)
+        self.run_plan_budgeted(engine, plan, self.sort_budget, &RunMode::default())
     }
 
     /// [`Database::run_plan_with`] with an explicit sort budget — the
@@ -892,8 +1453,30 @@ impl Database {
         engine: &E,
         plan: &Plan,
         sort_budget: usize,
+        mode: &RunMode,
     ) -> Result<E::Stream> {
         match plan {
+            // MVCC scans materialize eagerly under the read latch: the
+            // result is a consistent snapshot no concurrent commit can
+            // tear, and no latch outlives this arm (streams stay lazy
+            // only over the materialized rows).
+            Plan::TableScan { table } if self.mvcc.is_some() => {
+                let t = self.table(table)?;
+                let table_lc = table.to_lowercase();
+                let core = self.run_session(mode).clone();
+                let guard = core.txn.lock();
+                let state = match &*guard {
+                    Some(ActiveTxn::Mvcc(state)) => Some(state),
+                    _ => None,
+                };
+                let rows: Vec<Tuple> = self
+                    .mvcc_visible_rows(&t, &table_lc, state)?
+                    .into_iter()
+                    .map(|(_, row)| row)
+                    .collect();
+                drop(guard);
+                Ok(engine.values(rows))
+            }
             Plan::TableScan { table } => {
                 let t = self.table(table)?;
                 if self.parallelism > 1 {
@@ -906,6 +1489,18 @@ impl Database {
                 } else {
                     engine.seq_scan(t.heap())
                 }
+            }
+            Plan::IndexScan {
+                table,
+                column,
+                lo,
+                hi,
+                hi_inclusive,
+            } if self.mvcc.is_some() => {
+                let t = self.table(table)?;
+                let rows =
+                    self.mvcc_index_scan(&t, table, column, lo.as_ref(), hi.as_ref(), *hi_inclusive, mode)?;
+                Ok(engine.values(rows))
             }
             Plan::IndexScan {
                 table,
@@ -927,7 +1522,7 @@ impl Database {
             }
             Plan::Values { rows } => Ok(engine.values(rows.clone())),
             Plan::Filter { input, predicate } => Ok(engine.filter(
-                self.run_plan_budgeted(engine, input, sort_budget)?,
+                self.run_plan_budgeted(engine, input, sort_budget, mode)?,
                 predicate.clone(),
             )),
             Plan::EquiJoin {
@@ -940,8 +1535,8 @@ impl Database {
                 build,
             } => engine.equi_join(
                 *algorithm,
-                self.run_plan_budgeted(engine, left, sort_budget)?,
-                self.run_plan_budgeted(engine, right, sort_budget)?,
+                self.run_plan_budgeted(engine, left, sort_budget, mode)?,
+                self.run_plan_budgeted(engine, right, sort_budget, mode)?,
                 *left_col,
                 *right_col,
                 *left_width,
@@ -953,8 +1548,8 @@ impl Database {
                 predicate,
                 left_width: _,
             } => engine.nested_loop_join(
-                self.run_plan_budgeted(engine, left, sort_budget)?,
-                self.run_plan_budgeted(engine, right, sort_budget)?,
+                self.run_plan_budgeted(engine, left, sort_budget, mode)?,
+                self.run_plan_budgeted(engine, right, sort_budget, mode)?,
                 predicate.clone(),
             ),
             Plan::Aggregate {
@@ -962,25 +1557,25 @@ impl Database {
                 group_by,
                 aggs,
             } => engine.hash_aggregate(
-                self.run_plan_budgeted(engine, input, sort_budget)?,
+                self.run_plan_budgeted(engine, input, sort_budget, mode)?,
                 group_by.clone(),
                 aggs.clone(),
             ),
             Plan::Project { input, exprs } => Ok(engine.project(
-                self.run_plan_budgeted(engine, input, sort_budget)?,
+                self.run_plan_budgeted(engine, input, sort_budget, mode)?,
                 exprs.clone(),
             )),
             Plan::Distinct { input } => {
-                Ok(engine.distinct(self.run_plan_budgeted(engine, input, sort_budget)?))
+                Ok(engine.distinct(self.run_plan_budgeted(engine, input, sort_budget, mode)?))
             }
             Plan::Sort { input, keys } => engine.sort(
-                self.run_plan_budgeted(engine, input, sort_budget)?,
+                self.run_plan_budgeted(engine, input, sort_budget, mode)?,
                 keys.clone(),
                 sort_budget,
                 self.parallelism,
             ),
             Plan::Limit { input, n, offset } => Ok(engine.limit(
-                self.run_plan_budgeted(engine, input, sort_budget)?,
+                self.run_plan_budgeted(engine, input, sort_budget, mode)?,
                 *n,
                 *offset,
             )),
@@ -990,6 +1585,63 @@ impl Database {
 
 fn env_push(env: &mut BindEnv, table: &str, schema: &Schema) {
     env.push_table(table, schema);
+}
+
+/// The pending image an own-write presents to its transaction (`None`
+/// once deleted).
+fn own_image(w: &OwnWrite) -> Option<&Tuple> {
+    match w {
+        OwnWrite::Heap { new, .. } => new.as_ref(),
+        OwnWrite::Local(img) => Some(img),
+    }
+}
+
+/// Fold one statement's write into a table's overlay. `new = None` is a
+/// delete. Rewrites of an existing own write keep the original committed
+/// `old` image (the one the lock was taken against); deleting an own
+/// insert removes it from the write set entirely.
+fn apply_own_write(
+    entry: &mut BTreeMap<RowKey, OwnWrite>,
+    key: RowKey,
+    old: Tuple,
+    new: Option<Tuple>,
+) {
+    match key {
+        RowKey::Local(_) => match new {
+            Some(img) => {
+                entry.insert(key, OwnWrite::Local(img));
+            }
+            None => {
+                entry.remove(&key);
+            }
+        },
+        RowKey::Heap(_) => {
+            if let Some(OwnWrite::Heap { new: slot, .. }) = entry.get_mut(&key) {
+                *slot = new;
+            } else {
+                entry.insert(key, OwnWrite::Heap { old, new });
+            }
+        }
+    }
+}
+
+/// Whether a key falls in an index-scan range — the exact semantics of
+/// `BTree::range`: inclusive lower bound, upper bound per
+/// `hi_inclusive`, ordered by `Datum::order`.
+fn datum_in_range(d: &Datum, lo: Option<&Datum>, hi: Option<&Datum>, hi_inclusive: bool) -> bool {
+    if let Some(lo) = lo {
+        if d.order(lo) == std::cmp::Ordering::Less {
+            return false;
+        }
+    }
+    if let Some(hi) = hi {
+        match d.order(hi) {
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal if !hi_inclusive => return false,
+            _ => {}
+        }
+    }
+    true
 }
 
 /// Whether the plan contains a hash equi-join anywhere — the one plan

@@ -11,6 +11,8 @@
 //! * [`planner`]: name resolution, cost-based access-path, join
 //!   algorithm and join-order selection,
 //! * [`executor`]: the [`executor::Database`] engine executing plans,
+//! * [`session`]: sessions and the profile's concurrency-control choice
+//!   (single-writer vs kernel MVCC snapshot isolation),
 //! * [`txn`]: WAL-logged transactions (undo rollback + crash recovery),
 //! * [`services`]: the query-service facade for the kernel bus.
 
@@ -25,12 +27,14 @@ pub mod plan_cache;
 pub mod planner;
 pub mod schema;
 pub mod services;
+pub mod session;
 pub mod stats;
 pub mod table;
 pub mod txn;
 
 pub use catalog::{Catalog, IndexMeta, TableMeta, ViewMeta};
 pub use executor::{Database, DbOptions, QueryResult};
+pub use session::{ConcurrencyControl, Session};
 pub use parser::parse;
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use cost::{Estimate, Estimator};

@@ -96,6 +96,7 @@ impl QueryService {
             .describe("SQL over tables and views", "data")
             .capability("task:query")
             .capability(&format!("engine:{engine}"))
+            .capability(&format!("cc:{}", db.concurrency()))
             .depends_on(sbdms_storage::services::BUFFER_INTERFACE)
             .quality(quality);
         QueryService {

@@ -22,7 +22,7 @@ use sbdms_access::heap::Rid;
 use sbdms_access::record::Tuple;
 use sbdms_kernel::error::{Result, ServiceError};
 use sbdms_storage::buffer::BufferPool;
-use sbdms_storage::wal::Wal;
+use sbdms_storage::wal::{Lsn, Wal};
 
 use crate::table::Table;
 
@@ -99,6 +99,11 @@ pub struct TransactionManager {
     next_txn: AtomicU64,
     active: Mutex<HashMap<TxnId, Vec<UndoOp>>>,
     durability: Mutex<Durability>,
+    /// Group-commit window: how long a commit leader holds the WAL
+    /// barrier open for concurrent committers to pile on. Zero keeps
+    /// the classic one-sync-per-commit behaviour (and deterministic
+    /// single-threaded schedules).
+    commit_window: Mutex<std::time::Duration>,
 }
 
 impl TransactionManager {
@@ -110,6 +115,7 @@ impl TransactionManager {
             next_txn: AtomicU64::new(1),
             active: Mutex::new(HashMap::new()),
             durability: Mutex::new(Durability::Relaxed),
+            commit_window: Mutex::new(std::time::Duration::ZERO),
         }
     }
 
@@ -121,6 +127,11 @@ impl TransactionManager {
     /// Current durability level.
     pub fn durability(&self) -> Durability {
         *self.durability.lock()
+    }
+
+    /// Set the group-commit window (see [`Wal::sync_coalesced`]).
+    pub fn set_commit_window(&self, window: std::time::Duration) {
+        *self.commit_window.lock() = window;
     }
 
     /// Begin a transaction.
@@ -164,18 +175,40 @@ impl TransactionManager {
     /// from its durable undo records. On error the transaction stays
     /// active, so the caller may still roll back.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let barrier = self.commit_publish(txn)?;
+        self.commit_sync(barrier)
+    }
+
+    /// First half of a commit: flush data pages (force-then-commit) and
+    /// append the commit record, returning the durability barrier the
+    /// second half must reach (`None` under relaxed durability). Split
+    /// from [`TransactionManager::commit_sync`] so the MVCC commit path
+    /// can publish visibility before waiting on the (group) fsync —
+    /// keeping the apply latch out of the sync window.
+    pub(crate) fn commit_publish(&self, txn: TxnId) -> Result<Option<Lsn>> {
         if !self.active.lock().contains_key(&txn) {
             return Err(ServiceError::Transaction(format!("txn {txn} is not active")));
         }
-        if self.durability() == Durability::Full {
+        let barrier = if self.durability() == Durability::Full {
             self.buffer.flush_all()?;
             self.wal.append(KIND_COMMIT, &txn.to_le_bytes())?;
-            self.wal.sync()?;
+            Some(self.wal.next_lsn())
         } else {
             self.wal.append(KIND_COMMIT, &txn.to_le_bytes())?;
-        }
+            None
+        };
         self.active.lock().remove(&txn);
-        Ok(())
+        Ok(barrier)
+    }
+
+    /// Second half of a commit: wait until the WAL is durable up to the
+    /// barrier. Group commit: one leader's sync can cover many
+    /// committers' records (see [`Wal::sync_coalesced`]).
+    pub(crate) fn commit_sync(&self, barrier: Option<Lsn>) -> Result<()> {
+        match barrier {
+            Some(upto) => self.wal.sync_coalesced(upto, *self.commit_window.lock()),
+            None => Ok(()),
+        }
     }
 
     /// Roll back: apply the undo log in reverse, then mark aborted.

@@ -18,32 +18,39 @@ mod slt_common;
 
 use std::sync::Arc;
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 use sbdms_access::exec::engine::EngineKind;
 use sbdms_data::executor::{Database, DbOptions};
 use sbdms_data::txn::Durability;
+use sbdms_data::{ConcurrencyControl, Session};
 use sbdms_storage::{SimBackend, SimConfig};
 
-use slt_common::{format_rows, parse_script, script_seed, Directive};
+use slt_common::{
+    format_rows, parse_script, script_concurrency, script_seed, uses_sessions, Directive,
+};
 
 /// One engine's replica of a script run: a seeded simulated device plus
 /// a database handle forced to that engine.
 struct Replica {
     engine: EngineKind,
+    concurrency: ConcurrencyControl,
     sim: Arc<SimBackend>,
     db: Option<Database>,
 }
 
 impl Replica {
-    fn new(engine: EngineKind, seed: u64) -> Replica {
+    fn new(engine: EngineKind, concurrency: ConcurrencyControl, seed: u64) -> Replica {
         let sim = SimBackend::new(SimConfig::seeded(seed));
-        let mut replica = Replica { engine, sim, db: None };
+        let mut replica = Replica { engine, concurrency, sim, db: None };
         replica.open();
         replica
     }
 
     fn open(&mut self) {
-        let db = Database::open_at(&*self.sim, DbOptions::default())
+        let opts = DbOptions { concurrency: self.concurrency, ..DbOptions::default() };
+        let db = Database::open_at(&*self.sim, opts)
             .unwrap_or_else(|e| panic!("{}: open failed: {e}", self.engine));
         db.set_durability(Durability::Full);
         db.force_execution_engine(Some(self.engine));
@@ -84,8 +91,13 @@ fn replay_script(path: &std::path::Path) {
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     let directives = parse_script(&text, path);
     let seed = script_seed(path);
-    let mut tuple = Replica::new(EngineKind::Tuple, seed);
-    let mut vector = Replica::new(EngineKind::Vectorized, seed);
+    let concurrency = script_concurrency(&directives);
+    let mut tuple = Replica::new(EngineKind::Tuple, concurrency, seed);
+    let mut vector = Replica::new(EngineKind::Vectorized, concurrency, seed);
+    if uses_sessions(&directives) {
+        replay_session_script(path, &directives, tuple.db(), vector.db());
+        return;
+    }
 
     for directive in directives {
         match directive {
@@ -150,6 +162,80 @@ fn replay_script(path: &std::path::Path) {
             Directive::Crash { .. } => {
                 tuple.crash();
                 vector.crash();
+            }
+            Directive::Concurrency { .. } => {}
+            Directive::Session { .. } => unreachable!("session scripts take the session replay"),
+        }
+    }
+}
+
+/// Replay a multi-session script on both engines: each replica keeps
+/// its own named sessions, every statement must agree on
+/// success/failure, and every query on its exact rows (modulo the
+/// EXPLAIN decision-line redaction).
+fn replay_session_script(
+    path: &std::path::Path,
+    directives: &[Directive],
+    tuple: &Database,
+    vector: &Database,
+) {
+    let mut sessions: Vec<(EngineKind, &Database, BTreeMap<String, Session<'_>>)> = vec![
+        (EngineKind::Tuple, tuple, BTreeMap::new()),
+        (EngineKind::Vectorized, vector, BTreeMap::new()),
+    ];
+    let mut current = "main".to_string();
+    for directive in directives {
+        match directive {
+            Directive::Session { name, .. } => current = name.clone(),
+            Directive::Concurrency { .. } => {}
+            Directive::Statement { sql, expect_ok, error_contains, line } => {
+                let ctx = format!("{}:{line}", path.display());
+                for (engine, db, map) in &mut sessions {
+                    let session = map.entry(current.clone()).or_insert_with(|| db.session());
+                    let result = match sql.to_ascii_uppercase().as_str() {
+                        "BEGIN" => session.begin().map(|_| ()),
+                        "COMMIT" => session.commit(),
+                        "ROLLBACK" => session.rollback(),
+                        _ => session.execute(sql).map(|_| ()),
+                    };
+                    match (expect_ok, result) {
+                        (true, Err(e)) => {
+                            panic!("{ctx} [{engine}/{current}]: expected ok, got error: {e}")
+                        }
+                        (false, Ok(())) => {
+                            panic!("{ctx} [{engine}/{current}]: expected an error, got ok")
+                        }
+                        (false, Err(e)) => {
+                            if let Some(text) = error_contains {
+                                assert!(
+                                    e.to_string().contains(text),
+                                    "{ctx} [{engine}/{current}]: error `{e}` misses `{text}`"
+                                );
+                            }
+                        }
+                        (true, Ok(())) => {}
+                    }
+                }
+            }
+            Directive::Query { sql, line, .. } => {
+                let ctx = format!("{}:{line}", path.display());
+                let mut answers = Vec::new();
+                for (engine, db, map) in &mut sessions {
+                    let session = map.entry(current.clone()).or_insert_with(|| db.session());
+                    let result = session
+                        .execute(sql)
+                        .unwrap_or_else(|e| panic!("{ctx} [{engine}/{current}]: query failed: {e}"));
+                    answers.push((result.columns.clone(), redact_engine_lines(format_rows(&result))));
+                }
+                assert_eq!(
+                    answers[0], answers[1],
+                    "{ctx}: engines diverged on `{sql}` in session `{current}`"
+                );
+            }
+            Directive::Deadline { line, .. }
+            | Directive::MemLimit { line, .. }
+            | Directive::Crash { line } => {
+                panic!("{}:{line}: directive not supported in session scripts", path.display())
             }
         }
     }

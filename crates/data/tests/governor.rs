@@ -258,6 +258,71 @@ fn memory_limited_hash_join_fails_recoverably_on_both_engines() {
 }
 
 #[test]
+fn conflict_abort_releases_governor_tickets_and_memory() {
+    // A serialization conflict under MVCC unwinds through the same
+    // admission guard as a successful statement: no ticket and no
+    // memory reservation may leak, and both sessions stay usable.
+    let db = db_opts(
+        "conflict-release",
+        DbOptions {
+            concurrency: sbdms_data::ConcurrencyControl::Mvcc,
+            governor: tiny_governor(4),
+            ..DbOptions::default()
+        },
+    );
+    seed(&db, 50);
+    let a = db.session();
+    let b = db.session();
+    a.begin().unwrap();
+    a.execute("UPDATE t SET grp = 100 WHERE id = 1").unwrap();
+    b.begin().unwrap();
+    // First-committer-wins: b hits a's write lock on the same row.
+    let err = b.execute("UPDATE t SET grp = 200 WHERE id = 1").unwrap_err();
+    assert_eq!(err.code(), "conflict", "{err}");
+    assert!(err.is_recoverable(), "conflicts invite retry");
+    let snap = db.governor().snapshot();
+    assert_eq!(snap.in_flight, 0, "conflict must release its ticket");
+    assert_eq!(snap.mem_used, 0, "conflict must release its memory");
+    assert_eq!(snap.shed, 0);
+    // The losing transaction rolls back cleanly; the winner commits,
+    // and a retry of the loser's statement now succeeds.
+    b.rollback().unwrap();
+    a.commit().unwrap();
+    b.execute("UPDATE t SET grp = 200 WHERE id = 1").unwrap();
+    let rows = db.execute("SELECT grp FROM t WHERE id = 1").unwrap().rows;
+    assert_eq!(rows, vec![vec![Datum::Int(200)]]);
+    let snap = db.governor().snapshot();
+    assert_eq!(snap.in_flight, 0);
+    assert_eq!(snap.mem_used, 0);
+}
+
+#[test]
+fn single_writer_busy_rejection_releases_governor_state() {
+    // The embedded profile's single-writer path reports the same typed
+    // conflict when another session holds the database, checked before
+    // admission — nothing may be held afterwards either way.
+    let db = db_opts(
+        "busy-release",
+        DbOptions {
+            governor: tiny_governor(4),
+            ..DbOptions::default()
+        },
+    );
+    seed(&db, 20);
+    let a = db.session();
+    let b = db.session();
+    a.begin().unwrap();
+    let err = b.execute("SELECT * FROM t").unwrap_err();
+    assert_eq!(err.code(), "conflict", "{err}");
+    assert!(err.is_recoverable());
+    let snap = db.governor().snapshot();
+    assert_eq!(snap.in_flight, 0);
+    assert_eq!(snap.mem_used, 0);
+    a.rollback().unwrap();
+    assert_eq!(b.execute("SELECT * FROM t").unwrap().rows.len(), 20);
+}
+
+#[test]
 fn governor_counters_track_admissions() {
     let db = db_opts(
         "counters",

@@ -44,9 +44,12 @@ use std::sync::Arc;
 use sbdms_access::exec::engine::EngineKind;
 use sbdms_data::executor::{Database, DbOptions};
 use sbdms_data::txn::Durability;
+use sbdms_data::Session;
 use sbdms_storage::{SimBackend, SimConfig};
 
-use slt_common::{format_rows, parse_script, script_seed, Directive};
+use slt_common::{
+    format_rows, parse_script, script_concurrency, script_seed, uses_sessions, Directive,
+};
 
 /// One oracle table: column names plus rows of display-formatted values.
 #[derive(Clone, Debug, PartialEq)]
@@ -313,6 +316,7 @@ fn run_script(path: &Path) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     let directives = parse_script(&text, path);
+    let concurrency = script_concurrency(&directives);
     let sim: Arc<SimBackend> = SimBackend::new(SimConfig::seeded(script_seed(path)));
     // CI runs the suite once per engine: `SBDMS_ENGINE=tuple` (or
     // `vectorized`) forces the executor, overriding the default.
@@ -321,12 +325,21 @@ fn run_script(path: &Path) {
             .unwrap_or_else(|| panic!("SBDMS_ENGINE=`{v}` is not `tuple` or `vectorized`"))
     });
     let open = |sim: &SimBackend| {
-        let db = Database::open_at(sim, DbOptions::default())
+        let db = Database::open_at(sim, DbOptions { concurrency, ..DbOptions::default() })
             .unwrap_or_else(|e| panic!("{}: open failed: {e}", path.display()));
         db.set_durability(Durability::Full);
         db.force_execution_engine(forced_engine);
         db
     };
+    if uses_sessions(&directives) {
+        // Multi-session scripts exercise concurrency-control semantics
+        // (snapshot visibility, conflicts, busy rejection); the simple
+        // staged oracle models a single serial session, so they replay
+        // on a dedicated runner checked by golden blocks only.
+        let db = open(&sim);
+        run_session_script(path, &directives, &db);
+        return;
+    }
     let mut db = Some(open(&sim));
     let mut oracle = Oracle::default();
     let mut in_txn = false;
@@ -426,9 +439,74 @@ fn run_script(path: &Path) {
                 db = Some(open(&sim));
                 cross_check(db.as_ref().unwrap(), &oracle.committed, &ctx);
             }
+            // Pre-scanned into the open options.
+            Directive::Concurrency { .. } => {}
+            Directive::Session { .. } => unreachable!("session scripts take the session runner"),
         }
     }
     assert!(!in_txn, "{}: script ended inside a transaction", path.display());
+}
+
+/// Replay a multi-session script: statements and queries route through
+/// named [`Session`]s (created on first mention), golden blocks carry
+/// the verification. No oracle, no crash directives — concurrency
+/// semantics are exactly what these scripts pin down.
+fn run_session_script(path: &Path, directives: &[Directive], db: &Database) {
+    let mut sessions: BTreeMap<String, Session<'_>> = BTreeMap::new();
+    let mut current = "main".to_string();
+    for directive in directives {
+        match directive {
+            Directive::Session { name, .. } => current = name.clone(),
+            Directive::Concurrency { .. } => {}
+            Directive::Statement { sql, expect_ok, error_contains, line } => {
+                let ctx = format!("{}:{line}", path.display());
+                let session = sessions.entry(current.clone()).or_insert_with(|| db.session());
+                let result = match sql.to_ascii_uppercase().as_str() {
+                    "BEGIN" => session.begin().map(|_| ()),
+                    "COMMIT" => session.commit(),
+                    "ROLLBACK" => session.rollback(),
+                    _ => session.execute(sql).map(|_| ()),
+                };
+                match (expect_ok, result) {
+                    (true, Err(e)) => panic!("{ctx} [{current}]: expected ok, got error: {e}"),
+                    (false, Ok(())) => {
+                        panic!("{ctx} [{current}]: expected an error, statement succeeded")
+                    }
+                    (false, Err(e)) => {
+                        if let Some(text) = error_contains {
+                            assert!(
+                                e.to_string().contains(text),
+                                "{ctx} [{current}]: error `{e}` does not contain `{text}`"
+                            );
+                        }
+                    }
+                    (true, Ok(())) => {}
+                }
+            }
+            Directive::Query { sql, expected, rowsort, line } => {
+                let ctx = format!("{}:{line}", path.display());
+                let session = sessions.entry(current.clone()).or_insert_with(|| db.session());
+                let result = session
+                    .execute(sql)
+                    .unwrap_or_else(|e| panic!("{ctx} [{current}]: query failed: {e}"));
+                let mut rows = format_rows(&result);
+                let mut expected = expected.clone();
+                if *rowsort {
+                    rows.sort();
+                    expected.sort();
+                }
+                assert_eq!(rows, expected, "{ctx} [{current}]: query result mismatch");
+            }
+            Directive::Deadline { line, .. }
+            | Directive::MemLimit { line, .. }
+            | Directive::Crash { line } => {
+                panic!("{}:{line}: directive not supported in session scripts", path.display())
+            }
+        }
+    }
+    for (name, session) in &sessions {
+        assert!(!session.in_txn(), "{}: session `{name}` ended inside a transaction", path.display());
+    }
 }
 
 #[test]

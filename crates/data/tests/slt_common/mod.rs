@@ -9,6 +9,7 @@
 use std::path::{Path, PathBuf};
 
 use sbdms_data::executor::QueryResult;
+use sbdms_data::ConcurrencyControl;
 
 /// One parsed directive from a script.
 pub enum Directive {
@@ -28,6 +29,14 @@ pub enum Directive {
     /// `memlimit <bytes>` / `memlimit none`: per-statement memory limit
     /// for every following statement until changed.
     MemLimit { bytes: Option<u64>, line: usize },
+    /// `concurrency mvcc` / `concurrency single-writer`: the
+    /// concurrency-control service the whole script runs under (must
+    /// appear before the first statement; default is single-writer).
+    Concurrency { mode: ConcurrencyControl, line: usize },
+    /// `session <name>`: route following statements and queries through
+    /// the named session (created on first use). Scripts without any
+    /// `session` directive run on the database's default session.
+    Session { name: String, line: usize },
 }
 
 pub fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
@@ -62,6 +71,24 @@ pub fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
                 })),
             };
             directives.push(Directive::MemLimit { bytes, line: lineno });
+            i += 1;
+        } else if let Some(rest) = line.strip_prefix("concurrency") {
+            let mode = match rest.trim() {
+                "mvcc" => ConcurrencyControl::Mvcc,
+                "single-writer" => ConcurrencyControl::SingleWriter,
+                other => bad(
+                    lineno,
+                    &format!("concurrency wants `mvcc` or `single-writer`, got `{other}`"),
+                ),
+            };
+            directives.push(Directive::Concurrency { mode, line: lineno });
+            i += 1;
+        } else if let Some(rest) = line.strip_prefix("session") {
+            let name = rest.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                bad(lineno, &format!("session wants a simple name, got `{name}`"));
+            }
+            directives.push(Directive::Session { name: name.to_string(), line: lineno });
             i += 1;
         } else if let Some(rest) = line.strip_prefix("statement") {
             let (expect_ok, error_contains) = match rest.trim() {
@@ -114,6 +141,22 @@ pub fn parse_script(text: &str, path: &Path) -> Vec<Directive> {
         }
     }
     directives
+}
+
+/// The concurrency-control mode a script pinned (default single-writer).
+pub fn script_concurrency(directives: &[Directive]) -> ConcurrencyControl {
+    directives
+        .iter()
+        .find_map(|d| match d {
+            Directive::Concurrency { mode, .. } => Some(*mode),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
+/// Whether the script routes statements through named sessions.
+pub fn uses_sessions(directives: &[Directive]) -> bool {
+    directives.iter().any(|d| matches!(d, Directive::Session { .. }))
 }
 
 /// Seed the per-script simulator deterministically from the file name.

@@ -92,6 +92,16 @@ pub enum ServiceError {
         /// "user request", ...).
         reason: String,
     },
+    /// The concurrency-control service aborted this transaction:
+    /// first-committer-wins under snapshot isolation detected a
+    /// write-write conflict, or the single-writer path found the
+    /// database locked by another session. Recoverable — the aborted
+    /// transaction left no effects, so the caller retries it on a
+    /// fresh snapshot.
+    SerializationConflict {
+        /// What conflicted ("write-write on kv", "single-writer busy").
+        reason: String,
+    },
 }
 
 impl ServiceError {
@@ -116,6 +126,11 @@ impl ServiceError {
             ServiceError::ResourceExhausted { .. } => true,
             ServiceError::StaleService(_) => true,
             ServiceError::Overloaded { .. } => true,
+            // A conflict-aborted transaction left no effects behind
+            // (first-committer-wins aborts before any install), so a
+            // retry on a fresh snapshot is always safe — unlike the
+            // generic `Transaction` variant, whose effects are unknown.
+            ServiceError::SerializationConflict { .. } => true,
             ServiceError::UnknownOperation { .. } => false,
             ServiceError::InvalidInput(_) => false,
             ServiceError::PolicyViolation(_) => false,
@@ -147,6 +162,7 @@ impl ServiceError {
             ServiceError::DeadlineExceeded { .. } => "deadline",
             ServiceError::Overloaded { .. } => "overloaded",
             ServiceError::Cancelled { .. } => "cancelled",
+            ServiceError::SerializationConflict { .. } => "conflict",
         }
     }
 }
@@ -189,6 +205,9 @@ impl fmt::Display for ServiceError {
                 "system overloaded: {in_flight} queries in flight, {waiting} waiting"
             ),
             ServiceError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
+            ServiceError::SerializationConflict { reason } => {
+                write!(f, "serialization conflict: {reason}")
+            }
         }
     }
 }
@@ -290,6 +309,12 @@ mod tests {
                 },
                 false,
             ),
+            (
+                ServiceError::SerializationConflict {
+                    reason: "write-write on kv".into(),
+                },
+                true,
+            ),
         ];
         // One row per variant: a variant added to the enum without a row
         // here shows up as a count mismatch.
@@ -326,6 +351,24 @@ mod tests {
         assert!(!cancelled.is_recoverable());
         assert_eq!(cancelled.code(), "cancelled");
         assert!(cancelled.to_string().contains("deadline of 50ms exceeded"));
+    }
+
+    /// The concurrency-control classification, pinned on its own (same
+    /// pattern as the overload pin above): a conflict-aborted
+    /// transaction is recoverable by construction — first-committer-wins
+    /// aborts before installing anything, so a retry on a fresh snapshot
+    /// cannot duplicate effects. The generic `Transaction` variant stays
+    /// non-recoverable because its effects are unknown.
+    #[test]
+    fn serialization_conflict_classifies_for_retry() {
+        let conflict = ServiceError::SerializationConflict {
+            reason: "write-write on kv".into(),
+        };
+        assert!(conflict.is_recoverable());
+        assert_eq!(conflict.code(), "conflict");
+        assert!(conflict.to_string().contains("serialization conflict"));
+        assert!(conflict.to_string().contains("write-write on kv"));
+        assert!(!ServiceError::Transaction("conflict".into()).is_recoverable());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod governor;
 pub mod interface;
 pub mod metrics;
 pub mod monitor;
+pub mod mvcc;
 pub mod property;
 pub mod registry;
 pub mod repository;

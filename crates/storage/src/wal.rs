@@ -20,6 +20,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use sbdms_kernel::error::{Result, ServiceError};
@@ -88,9 +89,21 @@ struct WalInner {
     next_lsn: Lsn,
 }
 
+/// Group-commit coordination: at most one *leader* thread flushes and
+/// issues the durability barrier at a time; committers that arrive while
+/// a leader is in flight wait on the condvar, and return without issuing
+/// their own sync when the leader's barrier already covers their record.
+struct GroupCommit {
+    /// True while some thread is flushing + syncing as the leader.
+    /// (std primitives: the vendored `parking_lot` shim has no condvar.)
+    leader_active: std::sync::Mutex<bool>,
+    cond: std::sync::Condvar,
+}
+
 /// An append-only, checksummed write-ahead log.
 pub struct Wal {
     inner: Mutex<WalInner>,
+    group: GroupCommit,
     file: Arc<dyn BackendFile>,
     path: PathBuf,
 }
@@ -122,6 +135,10 @@ impl Wal {
                 synced_len: valid_len,
                 next_lsn: valid_len,
             }),
+            group: GroupCommit {
+                leader_active: std::sync::Mutex::new(false),
+                cond: std::sync::Condvar::new(),
+            },
             file,
             path,
         })
@@ -178,6 +195,57 @@ impl Wal {
         self.file.sync()?;
         inner.synced_len = inner.flushed_len;
         Ok(())
+    }
+
+    /// Bytes covered by the last durability barrier. A record whose
+    /// frame ends at or before this offset survives any crash.
+    pub fn synced_lsn(&self) -> Lsn {
+        self.inner.lock().synced_len
+    }
+
+    /// Group-commit sync: make the log durable at least up to byte
+    /// offset `upto` (callers pass [`Wal::next_lsn`] captured after
+    /// appending their commit record), amortizing the barrier across
+    /// concurrent committers.
+    ///
+    /// The first committer to arrive becomes the *leader*: it may hold
+    /// the commit window open for `window` so committers landing in the
+    /// meantime get their records flushed under the same barrier, then
+    /// it flushes + syncs everything pending. Committers that arrive
+    /// while a leader is in flight wait on a condvar; when the leader's
+    /// barrier already covers their record they return without issuing
+    /// a sync of their own, otherwise one of them takes over as the
+    /// next leader. With `window == 0` and a single thread this is
+    /// byte-for-byte identical to [`Wal::sync`] — which keeps the
+    /// deterministic torture schedules unchanged.
+    pub fn sync_coalesced(&self, upto: Lsn, window: Duration) -> Result<()> {
+        if self.inner.lock().synced_len >= upto {
+            return Ok(());
+        }
+        let mut leader_active = self.group.leader_active.lock().unwrap();
+        loop {
+            if self.inner.lock().synced_len >= upto {
+                return Ok(());
+            }
+            if !*leader_active {
+                break;
+            }
+            leader_active = self.group.cond.wait(leader_active).unwrap();
+        }
+        *leader_active = true;
+        drop(leader_active);
+
+        // Leader: hold the window open so concurrent committers can
+        // append and ride this barrier, then issue one sync for all.
+        if !window.is_zero() {
+            std::thread::sleep(window);
+        }
+        let result = self.sync();
+        let mut leader_active = self.group.leader_active.lock().unwrap();
+        *leader_active = false;
+        self.group.cond.notify_all();
+        drop(leader_active);
+        result
     }
 
     /// Read every valid record from the start of the log. Scanning stops
@@ -501,6 +569,51 @@ mod tests {
             }
         }
         assert!(vanished, "no seed ever dropped the unsynced tail");
+    }
+
+    #[test]
+    fn sync_coalesced_zero_window_matches_sync() {
+        let sim = SimBackend::new(SimConfig::seeded(7));
+        let wal = Wal::open_backend(sim.open("wal.log").unwrap()).unwrap();
+        wal.append(1, b"commit").unwrap();
+        let upto = wal.next_lsn();
+        wal.sync_coalesced(upto, Duration::ZERO).unwrap();
+        assert!(wal.synced_lsn() >= upto);
+        let syncs = sim.stats().syncs;
+        // Already durable: a second coalesced sync is a no-op.
+        wal.sync_coalesced(upto, Duration::ZERO).unwrap();
+        assert_eq!(sim.stats().syncs, syncs);
+    }
+
+    #[test]
+    fn concurrent_committers_share_barriers() {
+        // 8 threads each append a commit record and demand durability
+        // through the group-commit path. Every record must be durable at
+        // the end, and the barrier count must come in under one sync per
+        // committer (the whole point of the commit window).
+        let sim = SimBackend::new(SimConfig::seeded(8));
+        let wal = Arc::new(Wal::open_backend(sim.open("wal.log").unwrap()).unwrap());
+        let syncs_before = sim.stats().syncs;
+        const COMMITTERS: usize = 8;
+        std::thread::scope(|scope| {
+            for i in 0..COMMITTERS {
+                let wal = Arc::clone(&wal);
+                scope.spawn(move || {
+                    let payload = format!("commit-{i}");
+                    wal.append(2, payload.as_bytes()).unwrap();
+                    let upto = wal.next_lsn();
+                    wal.sync_coalesced(upto, Duration::from_millis(2)).unwrap();
+                    assert!(wal.synced_lsn() >= upto, "committer {i} not durable");
+                });
+            }
+        });
+        let records = wal.records().unwrap();
+        assert_eq!(records.len(), COMMITTERS);
+        let syncs = sim.stats().syncs - syncs_before;
+        assert!(
+            (1..COMMITTERS as u64).contains(&syncs),
+            "expected coalesced barriers, got {syncs} syncs for {COMMITTERS} commits"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use std::collections::BTreeMap;
 
 use sbdms_data::executor::{Database, DbOptions};
+use sbdms_data::session::{ConcurrencyControl, Session};
 use sbdms_data::table::Table;
 use sbdms_data::txn::{Durability, TxnId, KIND_COMMIT};
 use sbdms_kernel::governor::{CancelToken, GovernorConfig};
@@ -243,6 +244,10 @@ pub struct TortureConfig {
     /// Buffer pool frames — small, so steal evictions (dirty
     /// write-back before commit) happen under torture.
     pub buffer_frames: usize,
+    /// Concurrency-control service the database deploys. Single-writer
+    /// keeps the historical torture behaviour; MVCC is exercised by the
+    /// concurrent-interleaving mode.
+    pub concurrency: ConcurrencyControl,
 }
 
 impl Default for TortureConfig {
@@ -250,6 +255,7 @@ impl Default for TortureConfig {
         TortureConfig {
             txns: 48,
             buffer_frames: 8,
+            concurrency: ConcurrencyControl::SingleWriter,
         }
     }
 }
@@ -282,6 +288,9 @@ fn opts(config: &TortureConfig) -> DbOptions {
         histogram_buckets: 0,
         execution_engine: None,
         governor: GovernorConfig::default(),
+        concurrency: config.concurrency,
+        // Torture needs deterministic sync schedules: no commit window.
+        commit_window_micros: 0,
     }
 }
 
@@ -524,6 +533,387 @@ pub fn cancel_torture(seed: u64, config: TortureConfig) -> CancelReport {
     CancelReport { seed, cancel_points: span }
 }
 
+/// Keys in the private insert range of concurrent transaction `i`:
+/// `CONC_OWN_BASE + i * CONC_OWN_SLOTS + slot`. Disjoint per
+/// transaction, so no concurrent transaction's predicate can match
+/// another's insert — the phantom-free precondition that makes the
+/// commit-order model below exact under snapshot isolation.
+const CONC_OWN_BASE: i64 = KEY_SPACE;
+const CONC_OWN_SLOTS: i64 = 4;
+
+/// One transaction of the concurrent workload.
+#[derive(Debug, Clone)]
+pub struct ConcurrentTxn {
+    /// The mutations, in order.
+    pub ops: Vec<Op>,
+    /// `true` → commit, `false` → roll back.
+    pub commit: bool,
+}
+
+/// A deterministic multi-session workload: per-transaction programs
+/// plus the seeded pick stream that interleaves their steps.
+///
+/// Shared-key updates and deletes contend across transactions (the
+/// first-committer-wins conflicts under torture), inserts land in
+/// per-transaction private ranges, and — like [`Workload`] — every
+/// inserted or updated value is globally unique, preserving the
+/// distinct-row precondition of value-based undo recovery.
+#[derive(Debug, Clone)]
+pub struct ConcurrentWorkload {
+    /// The transaction programs, indexed by session.
+    pub programs: Vec<ConcurrentTxn>,
+    /// Seeded stream the scheduler draws interleaving decisions from.
+    pub picks: Vec<u64>,
+}
+
+impl ConcurrentWorkload {
+    /// Generate `txns` concurrent transactions from `seed`.
+    pub fn generate(seed: u64, txns: usize) -> ConcurrentWorkload {
+        // A third stream: independent of both the sim device and the
+        // serial workload generator.
+        let mut rng = Rng(seed ^ 0xa076_1d64_78bd_642f);
+        let mut next_v: i64 = 500_000;
+        let mut programs = Vec::with_capacity(txns);
+        for i in 0..txns {
+            let mut ops = Vec::new();
+            let mut free_slots: Vec<i64> = (0..CONC_OWN_SLOTS).collect();
+            for _ in 0..(1 + rng.below(4)) {
+                let roll = rng.below(5);
+                let op = if roll < 2 && !free_slots.is_empty() {
+                    let slot = free_slots.remove(rng.below(free_slots.len() as u64) as usize);
+                    next_v += 1;
+                    Op::Insert {
+                        k: CONC_OWN_BASE + i as i64 * CONC_OWN_SLOTS + slot,
+                        v: next_v,
+                    }
+                } else if roll < 4 {
+                    next_v += 1;
+                    Op::Update { k: rng.below(KEY_SPACE as u64) as i64, v: next_v }
+                } else {
+                    Op::Delete { k: rng.below(KEY_SPACE as u64) as i64 }
+                };
+                ops.push(op);
+            }
+            let commit = rng.below(5) < 4;
+            programs.push(ConcurrentTxn { ops, commit });
+        }
+        let picks = (0..64).map(|_| rng.next()).collect();
+        ConcurrentWorkload { programs, picks }
+    }
+
+    /// The interleaving: step `order[n]` advances that transaction by
+    /// one step (its ops, then its commit/rollback).
+    fn schedule(&self) -> Vec<usize> {
+        let mut remaining: Vec<usize> =
+            self.programs.iter().map(|p| p.ops.len() + 1).collect();
+        let mut order = Vec::new();
+        let mut picks = self.picks.iter().cycle();
+        while remaining.iter().any(|&r| r > 0) {
+            let alive: Vec<usize> =
+                (0..remaining.len()).filter(|&i| remaining[i] > 0).collect();
+            let i = alive[(*picks.next().expect("cycle") % alive.len() as u64) as usize];
+            remaining[i] -= 1;
+            order.push(i);
+        }
+        order
+    }
+}
+
+/// Apply a committed program to the model with the engine's statement
+/// semantics (an UPDATE or DELETE of an absent key affects nothing),
+/// returning whether any row actually changed. Exact at commit time:
+/// first-committer-wins guarantees no key this transaction matched was
+/// concurrently modified, and private insert ranges rule out phantoms.
+fn apply_concurrent(model: &BTreeMap<i64, i64>, ops: &[Op]) -> (BTreeMap<i64, i64>, bool) {
+    let mut m = model.clone();
+    let mut effectful = false;
+    for op in ops {
+        match *op {
+            Op::Insert { k, v } => {
+                m.insert(k, v);
+                effectful = true;
+            }
+            Op::Update { k, v } => {
+                if let Some(slot) = m.get_mut(&k) {
+                    *slot = v;
+                    effectful = true;
+                }
+            }
+            Op::Delete { k } => {
+                effectful |= m.remove(&k).is_some();
+            }
+        }
+    }
+    (m, effectful)
+}
+
+/// Outcome of driving a concurrent workload until completion or power
+/// loss.
+#[derive(Debug, Clone)]
+pub struct ConcurrentCrashRun {
+    /// Exact state as of the last commit that returned `Ok`.
+    pub committed: BTreeMap<i64, i64>,
+    /// Commits that returned `Ok` *and* wrote rows — each appended
+    /// exactly one durable commit record to the WAL.
+    pub durable_commits: u64,
+    /// Set when the power failed inside a commit call: the state if
+    /// that commit's record turns out to have become durable.
+    pub ambiguous: Option<BTreeMap<i64, i64>>,
+    /// Statements aborted by first-committer-wins (each rolled its
+    /// transaction back; losers are retried serially at the end).
+    pub conflicts: u64,
+    /// The error that stopped the run (`None` = ran to completion).
+    pub error: Option<String>,
+}
+
+/// Drive the interleaved workload against `db` (one [`Session`] per
+/// transaction), stopping at the first non-conflict error. Conflict
+/// losers roll back and are retried serially after the schedule — under
+/// snapshot isolation an update may be aborted, but never lost.
+pub fn run_concurrent_until_crash(
+    db: &Database,
+    workload: &ConcurrentWorkload,
+    initial: &BTreeMap<i64, i64>,
+) -> ConcurrentCrashRun {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Pending,
+        Active,
+        Closed,
+        ConflictAborted,
+    }
+    let sessions: Vec<Session<'_>> = workload.programs.iter().map(|_| db.session()).collect();
+    let mut status = vec![St::Pending; workload.programs.len()];
+    let mut cursor = vec![0usize; workload.programs.len()];
+    let mut aborted: Vec<usize> = Vec::new();
+    let mut run = ConcurrentCrashRun {
+        committed: initial.clone(),
+        durable_commits: 0,
+        ambiguous: None,
+        conflicts: 0,
+        error: None,
+    };
+    // One closing step for transaction `i`: commit (settling the model)
+    // or roll back. Returns `false` when the run must stop.
+    let close = |i: usize, run: &mut ConcurrentCrashRun| -> bool {
+        let program = &workload.programs[i];
+        if program.commit {
+            let (post, effectful) = apply_concurrent(&run.committed, &program.ops);
+            match sessions[i].commit() {
+                Ok(()) => {
+                    run.committed = post;
+                    run.durable_commits += u64::from(effectful);
+                    true
+                }
+                Err(e) => {
+                    run.ambiguous = Some(post);
+                    run.error = Some(e.to_string());
+                    false
+                }
+            }
+        } else {
+            match sessions[i].rollback() {
+                Ok(()) => true,
+                Err(e) => {
+                    run.error = Some(e.to_string());
+                    false
+                }
+            }
+        }
+    };
+    for i in workload.schedule() {
+        if status[i] != St::Pending && status[i] != St::Active {
+            continue; // closed or conflict-aborted: steps already settled
+        }
+        if status[i] == St::Pending {
+            if let Err(e) = sessions[i].begin() {
+                run.error = Some(e.to_string());
+                return run;
+            }
+            status[i] = St::Active;
+        }
+        let step = cursor[i];
+        cursor[i] += 1;
+        if step == workload.programs[i].ops.len() {
+            if !close(i, &mut run) {
+                return run;
+            }
+            status[i] = St::Closed;
+            continue;
+        }
+        match sessions[i].execute(&workload.programs[i].ops[step].sql()) {
+            Ok(_) => {}
+            Err(e) if e.code() == "conflict" => {
+                run.conflicts += 1;
+                if let Err(e) = sessions[i].rollback() {
+                    run.error = Some(e.to_string());
+                    return run;
+                }
+                status[i] = St::ConflictAborted;
+                aborted.push(i);
+            }
+            Err(e) => {
+                run.error = Some(e.to_string());
+                return run;
+            }
+        }
+    }
+    // The serial retry tail: conflict losers rerun one at a time. With
+    // no concurrent writer left, a retry must never conflict again —
+    // snapshot isolation may abort an update, but never lose it.
+    for i in aborted {
+        if let Err(e) = sessions[i].begin() {
+            run.error = Some(e.to_string());
+            return run;
+        }
+        for op in &workload.programs[i].ops {
+            if let Err(e) = sessions[i].execute(&op.sql()) {
+                assert!(
+                    e.code() != "conflict",
+                    "txn {i}: conflict on the serial retry: {e}"
+                );
+                run.error = Some(e.to_string());
+                return run;
+            }
+        }
+        if !close(i, &mut run) {
+            return run;
+        }
+    }
+    run
+}
+
+/// What one concurrent-torture run covered.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentReport {
+    /// The seed everything derived from.
+    pub seed: u64,
+    /// Distinct crash points simulated (one reopen + check each).
+    pub crash_points: u64,
+    /// First-committer-wins conflicts the fault-free run hit (each one
+    /// rolled a transaction back and retried it serially).
+    pub conflicts: u64,
+    /// Crash points that landed inside a commit call.
+    pub ambiguous_commits: u64,
+    /// Ambiguous commits whose commit record survived the power loss.
+    pub ambiguous_kept: u64,
+    /// Summed device statistics across all crash points.
+    pub stats: SimStats,
+}
+
+/// The durable setup phase of the concurrent suite: the serial setup
+/// plus a seeded shared key range the transactions contend on, all
+/// checkpointed so the crash scheduler never points into it. Returns
+/// the handle and the initial model state.
+fn setup_concurrent(sim: &SimBackend, config: &TortureConfig) -> (Database, BTreeMap<i64, i64>) {
+    let db = setup(sim, config);
+    let mut initial = BTreeMap::new();
+    let vals: Vec<String> = (0..KEY_SPACE / 2)
+        .map(|k| {
+            initial.insert(k, k + 1);
+            format!("({k}, {})", k + 1)
+        })
+        .collect();
+    db.execute(&format!("INSERT INTO kv VALUES {}", vals.join(", ")))
+        .expect("setup seed rows");
+    db.checkpoint().expect("setup checkpoint");
+    (db, initial)
+}
+
+/// Commit records in the durable WAL image — read with the same scan
+/// recovery uses. Every effectful commit that returned `Ok` synced
+/// exactly one, so the count settles an in-flight commit: expected
+/// count → lost, expected + 1 → kept.
+fn durable_commit_count(sim: &SimBackend) -> u64 {
+    let bytes = sim.durable_bytes("wal.log").unwrap_or_default();
+    sbdms_storage::wal::scan_bytes(&bytes)
+        .iter()
+        .filter(|r| r.kind == KIND_COMMIT)
+        .count() as u64
+}
+
+/// The concurrent-interleaving torture suite: a multi-session MVCC
+/// workload replayed with a power loss at *every* durability event, the
+/// database reopened through ordinary recovery each time, and the
+/// recovered state checked for committed-visible, uncommitted-absent,
+/// no-lost-update, and structural integrity. In-flight commits are
+/// settled against the durable WAL image before recovery truncates it.
+/// Panics (printing `seed` and `crash_point`) on the first violation.
+pub fn concurrent_torture(seed: u64, config: TortureConfig) -> ConcurrentReport {
+    let config = TortureConfig { concurrency: ConcurrencyControl::Mvcc, ..config };
+    let workload = ConcurrentWorkload::generate(seed, config.txns);
+    // Fault-free profiling run: the durability-event span of the
+    // workload (= the crash-point count) and the conflict pattern.
+    let sim = SimBackend::new(SimConfig::seeded(seed));
+    let (db, initial) = setup_concurrent(&sim, &config);
+    let base = sim.io_events();
+    let profile_run = run_concurrent_until_crash(&db, &workload, &initial);
+    assert!(
+        profile_run.error.is_none(),
+        "seed={seed:#x}: fault-free concurrent profiling run failed: {:?}",
+        profile_run.error
+    );
+    let span = sim.io_events() - base;
+    drop(db);
+
+    let mut report = ConcurrentReport {
+        seed,
+        crash_points: span,
+        conflicts: profile_run.conflicts,
+        ambiguous_commits: 0,
+        ambiguous_kept: 0,
+        stats: SimStats::default(),
+    };
+    for point in 1..=span {
+        let ctx = format!("seed={seed:#x} crash_point={point} (concurrent)");
+        let sim = SimBackend::new(SimConfig::seeded(seed));
+        let (db, initial) = setup_concurrent(&sim, &config);
+        assert_eq!(sim.io_events(), base, "{ctx}: nondeterministic setup phase");
+        sim.crash_after_events(base + point - 1);
+        let run = run_concurrent_until_crash(&db, &workload, &initial);
+        let error = run
+            .error
+            .clone()
+            .unwrap_or_else(|| panic!("{ctx}: armed run finished without crashing"));
+        assert!(
+            error.contains("power loss"),
+            "{ctx}: crashed with an unexpected error: {error}"
+        );
+        assert!(sim.halted(), "{ctx}: device not halted after crash");
+        drop(db);
+        sim.power_cycle();
+        let expected = match &run.ambiguous {
+            None => run.committed.clone(),
+            Some(post) => {
+                report.ambiguous_commits += 1;
+                let durable = durable_commit_count(&sim);
+                if durable == run.durable_commits + 1 {
+                    report.ambiguous_kept += 1;
+                    post.clone()
+                } else {
+                    assert_eq!(
+                        durable, run.durable_commits,
+                        "{ctx}: durable commit-record count is neither outcome"
+                    );
+                    run.committed.clone()
+                }
+            }
+        };
+        let db = Database::open_at(&*sim, opts(&config))
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed to open: {e}"));
+        check_recovered(&db, &expected, &ctx);
+        let s = sim.stats();
+        report.stats.reads += s.reads;
+        report.stats.writes += s.writes;
+        report.stats.syncs += s.syncs;
+        report.stats.power_cycles += s.power_cycles;
+        report.stats.writes_dropped += s.writes_dropped;
+        report.stats.writes_torn += s.writes_torn;
+        report.stats.bits_flipped += s.bits_flipped;
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,9 +991,60 @@ mod tests {
             TortureConfig {
                 txns: 6,
                 buffer_frames: 16,
+                ..TortureConfig::default()
             },
         );
         assert!(report.cancel_points > 10, "{report:?}");
+    }
+
+    #[test]
+    fn concurrent_workload_generation_is_deterministic() {
+        let a = ConcurrentWorkload::generate(7, 12);
+        let b = ConcurrentWorkload::generate(7, 12);
+        for (x, y) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(x.ops, y.ops);
+            assert_eq!(x.commit, y.commit);
+        }
+        assert_eq!(a.picks, b.picks);
+        assert_eq!(a.schedule(), b.schedule());
+        // Private insert ranges really are disjoint per transaction.
+        for (i, txn) in a.programs.iter().enumerate() {
+            for op in &txn.ops {
+                if let Op::Insert { k, .. } = op {
+                    let owner = (k - CONC_OWN_BASE) / CONC_OWN_SLOTS;
+                    assert_eq!(owner as usize, i, "insert key {k} leaked across txns");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_fault_free_run_matches_oracle() {
+        let config = TortureConfig {
+            concurrency: ConcurrencyControl::Mvcc,
+            ..TortureConfig::default()
+        };
+        let sim = SimBackend::new(SimConfig::seeded(21));
+        let (db, initial) = setup_concurrent(&sim, &config);
+        let wl = ConcurrentWorkload::generate(21, config.txns);
+        let run = run_concurrent_until_crash(&db, &wl, &initial);
+        assert!(run.error.is_none(), "{:?}", run.error);
+        assert_eq!(observed_state(&db, "concurrent fault-free"), run.committed);
+        Table::open(db.catalog(), "kv").unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn a_short_concurrent_torture_run_passes() {
+        let report = concurrent_torture(
+            0xC0C0A,
+            TortureConfig {
+                txns: 5,
+                buffer_frames: 16,
+                ..TortureConfig::default()
+            },
+        );
+        assert!(report.crash_points > 20, "{report:?}");
+        assert_eq!(report.stats.power_cycles, report.crash_points);
     }
 
     #[test]
@@ -613,6 +1054,7 @@ mod tests {
             TortureConfig {
                 txns: 6,
                 buffer_frames: 16,
+                ..TortureConfig::default()
             },
         );
         assert!(report.crash_points > 20, "{report:?}");

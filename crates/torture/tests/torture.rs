@@ -7,7 +7,7 @@
 //! seeds from the clock (the CI fuzz job). Any failure panics with the
 //! `seed=… crash_point=…` pair that reproduces it.
 
-use sbdms_torture::{cancel_torture, torture, TortureConfig};
+use sbdms_torture::{cancel_torture, concurrent_torture, torture, TortureConfig};
 
 /// The pinned regression seeds run on every CI build.
 const PINNED: [u64; 3] = [0xC0FFEE, 0xBADF00D, 42];
@@ -56,6 +56,40 @@ fn every_cancellation_point_unwinds_to_a_consistent_state() {
             report.cancel_points
         );
         println!("seed={seed:#x}: {} cancellation points", report.cancel_points);
+    }
+}
+
+#[test]
+fn every_concurrent_crash_point_recovers_to_a_consistent_state() {
+    // The concurrent-interleaving half: a multi-session workload under
+    // the kernel MVCC service, a power loss at every durability event,
+    // and committed-visible / uncommitted-absent / no-lost-update
+    // checked on each recovered state. A smaller transaction count than
+    // the serial suite — snapshot bookkeeping and the per-commit apply
+    // phase make each crash point replay costlier.
+    for seed in seeds() {
+        let report = concurrent_torture(
+            seed,
+            TortureConfig {
+                txns: 16,
+                ..TortureConfig::default()
+            },
+        );
+        assert!(
+            report.crash_points >= 60,
+            "seed={seed:#x}: only {} concurrent crash points simulated",
+            report.crash_points
+        );
+        assert_eq!(report.stats.power_cycles, report.crash_points);
+        println!(
+            "seed={seed:#x}: {} concurrent crash points, {} conflicts, \
+             {} in-flight commits ({} kept), {} writes dropped",
+            report.crash_points,
+            report.conflicts,
+            report.ambiguous_commits,
+            report.ambiguous_kept,
+            report.stats.writes_dropped,
+        );
     }
 }
 
