@@ -1,15 +1,29 @@
-//! Page-backed B+tree index.
+//! Page-backed B+tree index over composite keys.
 //!
 //! Paper §3.1: "Access Services manage ... access path structure, such as
 //! B-trees". Each node occupies one slotted page (the serialised node is
 //! the page's single record), so all index I/O flows through the buffer
 //! pool like every other page access.
 //!
+//! Keys are *composite*: an ordered tuple of datums, one per indexed
+//! column, compared lexicographically component-by-component with
+//! [`Datum::order`]. The on-page encoding is the record codec's tuple
+//! format (count-prefixed, each datum length-delimited), which is
+//! order-preserving under that comparator by construction — the tree
+//! never compares raw bytes, it decodes and compares datums, so numeric
+//! cross-type order (`2 = 2.0`) and NULL-sorts-first survive composition.
+//! A single-column index is simply a composite key of arity one.
+//!
 //! Entries are `(key, rid)` composites ordered by key then rid, which
 //! makes duplicate keys unambiguous: separators in internal nodes carry
 //! the rid too, so equal keys never straddle a split boundary ambiguously.
 //! Deletion removes entries without rebalancing (underfull nodes are
 //! tolerated; classic simplification, noted in DESIGN.md).
+//!
+//! Search and range bounds may be *prefixes* of the key: a bound of
+//! `[a]` against an `(a, b)` index matches every key whose first
+//! component equals `a` — the basis of the planner's prefix-range and
+//! composite-probe access paths.
 
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -20,22 +34,52 @@ use sbdms_storage::buffer::BufferPool;
 use sbdms_storage::page::PageId;
 
 use crate::heap::Rid;
-use crate::record::Datum;
+use crate::record::{decode_tuple, encode_tuple, Datum};
 
 /// Serialised nodes above this size split. Leaves headroom under the
 /// single-record page capacity (~4084 bytes).
 const MAX_NODE_BYTES: usize = 3500;
 
-/// One index entry: key plus the rid it points at.
+/// Lexicographic order of two composite keys: component-by-component
+/// [`Datum::order`], a shorter tuple sorting before any extension of it.
+pub fn key_order(a: &[Datum], b: &[Datum]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.order(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Compare a full key against a (possibly shorter) *bound*: only the
+/// bound's components participate, so `Equal` means "the key starts with
+/// the bound". This is what makes a bound of `[5]` select every
+/// `(5, _, ...)` key in a multi-column index.
+fn prefix_order(key: &[Datum], bound: &[Datum]) -> Ordering {
+    for (x, y) in key.iter().zip(bound.iter()) {
+        match x.order(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    if key.len() < bound.len() {
+        Ordering::Less
+    } else {
+        Ordering::Equal
+    }
+}
+
+/// One index entry: composite key plus the rid it points at.
 #[derive(Debug, Clone, PartialEq)]
 struct Entry {
-    key: Datum,
+    key: Vec<Datum>,
     rid: Rid,
 }
 
 impl Entry {
     fn cmp(&self, other: &Entry) -> Ordering {
-        self.key.order(&other.key).then(self.rid.cmp(&other.rid))
+        key_order(&self.key, &other.key).then(self.rid.cmp(&other.rid))
     }
 }
 
@@ -100,7 +144,7 @@ impl Node {
 }
 
 fn encode_entry(out: &mut Vec<u8>, e: &Entry) {
-    let kbytes = e.key.encode();
+    let kbytes = encode_tuple(&e.key);
     out.extend_from_slice(&(kbytes.len() as u16).to_le_bytes());
     out.extend_from_slice(&kbytes);
     out.extend_from_slice(&e.rid.page.to_le_bytes());
@@ -112,7 +156,7 @@ fn decode_entry(data: &[u8], pos: &mut usize) -> Result<Entry> {
     let corrupt = || ServiceError::Storage("corrupt btree entry".into());
     let kbytes = data.get(*pos..*pos + klen).ok_or_else(corrupt)?;
     *pos += klen;
-    let key = Datum::decode(kbytes)?;
+    let key = decode_tuple(kbytes)?;
     let page = read_u64(data, pos)?;
     let slot = read_u16(data, pos)?;
     Ok(Entry {
@@ -137,7 +181,8 @@ fn read_u16(data: &[u8], pos: &mut usize) -> Result<u16> {
     Ok(u16::from_le_bytes(bytes.try_into().unwrap()))
 }
 
-/// A persistent B+tree mapping datum keys to rids (duplicates allowed).
+/// A persistent B+tree mapping composite datum keys to rids (duplicates
+/// allowed).
 pub struct BTree {
     buffer: Arc<BufferPool>,
     meta_page: PageId,
@@ -190,12 +235,12 @@ impl BTree {
 
     /// Insert an entry (duplicate keys allowed; the (key, rid) pair must
     /// be unique, duplicates of the exact pair are ignored).
-    pub fn insert(&self, key: &Datum, rid: Rid) -> Result<()> {
+    pub fn insert(&self, key: &[Datum], rid: Rid) -> Result<()> {
         let root_guard = self.root.lock();
         let root = *root_guard;
         drop(root_guard);
         let entry = Entry {
-            key: key.clone(),
+            key: key.to_vec(),
             rid,
         };
         if let Some((sep, new_right)) = self.insert_rec(root, &entry)? {
@@ -217,8 +262,10 @@ impl BTree {
         Ok(())
     }
 
-    /// All rids stored under `key`.
-    pub fn search(&self, key: &Datum) -> Result<Vec<Rid>> {
+    /// All rids stored under `key`. The key may be a *prefix* of the
+    /// index key: `search(&[a])` on an `(a, b)` index returns every rid
+    /// whose first component equals `a`.
+    pub fn search(&self, key: &[Datum]) -> Result<Vec<Rid>> {
         let mut out = Vec::new();
         let mut page = self.find_leaf(key)?;
         loop {
@@ -228,7 +275,7 @@ impl BTree {
             };
             let mut past_key = false;
             for e in &entries {
-                match e.key.order(key) {
+                match prefix_order(&e.key, key) {
                     Ordering::Less => {}
                     Ordering::Equal => out.push(e.rid),
                     Ordering::Greater => {
@@ -245,14 +292,19 @@ impl BTree {
         Ok(out)
     }
 
-    /// Range scan: entries with `lo <= key <= hi` (bounds optional;
-    /// `hi_inclusive` controls the upper comparison).
+    /// Range scan over composite keys. Bounds may be key *prefixes*:
+    /// a bound compares only its own components, so `lo = [5]` starts at
+    /// the first `(5, ...)` key and `hi = [5]` (inclusive) ends after the
+    /// last one. `lo_inclusive` / `hi_inclusive` decide whether keys
+    /// prefix-equal to the bound are kept. Returns `(key, rid)` pairs in
+    /// key order — the key tuples feed covering index-only scans.
     pub fn range(
         &self,
-        lo: Option<&Datum>,
-        hi: Option<&Datum>,
+        lo: Option<&[Datum]>,
+        hi: Option<&[Datum]>,
+        lo_inclusive: bool,
         hi_inclusive: bool,
-    ) -> Result<Vec<(Datum, Rid)>> {
+    ) -> Result<Vec<(Vec<Datum>, Rid)>> {
         let mut out = Vec::new();
         let mut page = match lo {
             Some(k) => self.find_leaf(k)?,
@@ -265,12 +317,13 @@ impl BTree {
             };
             for e in entries {
                 if let Some(lo) = lo {
-                    if e.key.order(lo) == Ordering::Less {
+                    let c = prefix_order(&e.key, lo);
+                    if c == Ordering::Less || (c == Ordering::Equal && !lo_inclusive) {
                         continue;
                     }
                 }
                 if let Some(hi) = hi {
-                    let c = e.key.order(hi);
+                    let c = prefix_order(&e.key, hi);
                     if c == Ordering::Greater || (c == Ordering::Equal && !hi_inclusive) {
                         return Ok(out);
                     }
@@ -284,10 +337,11 @@ impl BTree {
         }
     }
 
-    /// Remove one `(key, rid)` entry. Returns whether it existed.
-    pub fn delete(&self, key: &Datum, rid: Rid) -> Result<bool> {
+    /// Remove one `(key, rid)` entry (full key). Returns whether it
+    /// existed.
+    pub fn delete(&self, key: &[Datum], rid: Rid) -> Result<bool> {
         let target = Entry {
-            key: key.clone(),
+            key: key.to_vec(),
             rid,
         };
         let mut page = self.find_leaf(key)?;
@@ -304,7 +358,7 @@ impl BTree {
             // Entry may live in a later leaf when duplicates span nodes.
             let continue_scan = entries
                 .last()
-                .map(|e| e.key.order(key) != Ordering::Greater)
+                .map(|e| key_order(&e.key, key) != Ordering::Greater)
                 .unwrap_or(true);
             if !continue_scan || next == 0 {
                 return Ok(false);
@@ -516,8 +570,9 @@ impl BTree {
         }
     }
 
-    /// Leaf that may contain the *leftmost* occurrence of `key`.
-    fn find_leaf(&self, key: &Datum) -> Result<PageId> {
+    /// Leaf that may contain the *leftmost* occurrence of `key` (which
+    /// may be a prefix of the stored keys).
+    fn find_leaf(&self, key: &[Datum]) -> Result<PageId> {
         let mut page = *self.root.lock();
         loop {
             match self.read_node(page)? {
@@ -525,7 +580,8 @@ impl BTree {
                 Node::Internal { seps, children } => {
                     // Descend left of any separator whose key >= key so
                     // leftmost duplicates are not skipped.
-                    let idx = seps.partition_point(|s| s.key.order(key) == Ordering::Less);
+                    let idx =
+                        seps.partition_point(|s| prefix_order(&s.key, key) == Ordering::Less);
                     page = children[idx];
                 }
             }
@@ -581,15 +637,19 @@ mod tests {
         Rid::new(n, (n % 100) as u16)
     }
 
+    fn k1(v: i64) -> Vec<Datum> {
+        vec![Datum::Int(v)]
+    }
+
     #[test]
     fn insert_and_search() {
         let t = btree("basic");
-        t.insert(&Datum::Int(5), rid(1)).unwrap();
-        t.insert(&Datum::Int(3), rid(2)).unwrap();
-        t.insert(&Datum::Int(7), rid(3)).unwrap();
-        assert_eq!(t.search(&Datum::Int(3)).unwrap(), vec![rid(2)]);
-        assert_eq!(t.search(&Datum::Int(5)).unwrap(), vec![rid(1)]);
-        assert!(t.search(&Datum::Int(4)).unwrap().is_empty());
+        t.insert(&k1(5), rid(1)).unwrap();
+        t.insert(&k1(3), rid(2)).unwrap();
+        t.insert(&k1(7), rid(3)).unwrap();
+        assert_eq!(t.search(&k1(3)).unwrap(), vec![rid(2)]);
+        assert_eq!(t.search(&k1(5)).unwrap(), vec![rid(1)]);
+        assert!(t.search(&k1(4)).unwrap().is_empty());
         assert_eq!(t.len().unwrap(), 3);
     }
 
@@ -597,25 +657,25 @@ mod tests {
     fn duplicate_keys_supported() {
         let t = btree("dups");
         for i in 0..10 {
-            t.insert(&Datum::Int(42), rid(i)).unwrap();
+            t.insert(&k1(42), rid(i)).unwrap();
         }
-        let found = t.search(&Datum::Int(42)).unwrap();
+        let found = t.search(&k1(42)).unwrap();
         assert_eq!(found.len(), 10);
         // Exact duplicate (key, rid) is idempotent.
-        t.insert(&Datum::Int(42), rid(0)).unwrap();
-        assert_eq!(t.search(&Datum::Int(42)).unwrap().len(), 10);
+        t.insert(&k1(42), rid(0)).unwrap();
+        assert_eq!(t.search(&k1(42)).unwrap().len(), 10);
     }
 
     #[test]
     fn splits_grow_the_tree() {
         let t = btree("split");
         for i in 0..2000i64 {
-            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+            t.insert(&k1(i), rid(i as u64)).unwrap();
         }
         assert!(t.height().unwrap() >= 2, "2000 entries must split");
         assert_eq!(t.len().unwrap(), 2000);
         for i in (0..2000i64).step_by(97) {
-            assert_eq!(t.search(&Datum::Int(i)).unwrap(), vec![rid(i as u64)]);
+            assert_eq!(t.search(&k1(i)).unwrap(), vec![rid(i as u64)]);
         }
     }
 
@@ -629,13 +689,13 @@ mod tests {
             keys.swap(i, j);
         }
         for &k in &keys {
-            t.insert(&Datum::Int(k), rid(k as u64)).unwrap();
+            t.insert(&k1(k), rid(k as u64)).unwrap();
         }
-        let all = t.range(None, None, true).unwrap();
+        let all = t.range(None, None, true, true).unwrap();
         assert_eq!(all.len(), 1000);
         // Range output is sorted.
         for w in all.windows(2) {
-            assert_ne!(w[0].0.order(&w[1].0), Ordering::Greater);
+            assert_ne!(key_order(&w[0].0, &w[1].0), Ordering::Greater);
         }
     }
 
@@ -643,44 +703,150 @@ mod tests {
     fn range_bounds() {
         let t = btree("range");
         for i in 0..100i64 {
-            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+            t.insert(&k1(i), rid(i as u64)).unwrap();
         }
         let r = t
-            .range(Some(&Datum::Int(10)), Some(&Datum::Int(20)), true)
+            .range(Some(&k1(10)), Some(&k1(20)), true, true)
             .unwrap();
         assert_eq!(r.len(), 11);
-        assert_eq!(r[0].0, Datum::Int(10));
-        assert_eq!(r[10].0, Datum::Int(20));
+        assert_eq!(r[0].0, k1(10));
+        assert_eq!(r[10].0, k1(20));
 
         let r = t
-            .range(Some(&Datum::Int(10)), Some(&Datum::Int(20)), false)
+            .range(Some(&k1(10)), Some(&k1(20)), true, false)
             .unwrap();
         assert_eq!(r.len(), 10);
 
-        let r = t.range(None, Some(&Datum::Int(5)), true).unwrap();
+        // Exclusive lower bound: 10 < x <= 20.
+        let r = t
+            .range(Some(&k1(10)), Some(&k1(20)), false, true)
+            .unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, k1(11));
+
+        let r = t.range(None, Some(&k1(5)), true, true).unwrap();
         assert_eq!(r.len(), 6);
-        let r = t.range(Some(&Datum::Int(95)), None, true).unwrap();
+        let r = t.range(Some(&k1(95)), None, true, true).unwrap();
         assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn composite_keys_order_and_probe() {
+        let t = btree("composite");
+        // (region, score) pairs; several rows per region.
+        for region in 0..20i64 {
+            for score in 0..30i64 {
+                t.insert(
+                    &[Datum::Int(region), Datum::Int(score)],
+                    rid((region * 100 + score) as u64),
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(t.len().unwrap(), 600);
+        assert!(t.height().unwrap() >= 2, "600 two-column entries split");
+
+        // Full-key probe: exactly one row.
+        assert_eq!(
+            t.search(&[Datum::Int(7), Datum::Int(13)]).unwrap(),
+            vec![rid(713)]
+        );
+        // Prefix probe: the whole region.
+        assert_eq!(t.search(&[Datum::Int(7)]).unwrap().len(), 30);
+
+        // Prefix range: region 7, score in [10, 20).
+        let r = t
+            .range(
+                Some(&[Datum::Int(7), Datum::Int(10)]),
+                Some(&[Datum::Int(7), Datum::Int(20)]),
+                true,
+                false,
+            )
+            .unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, vec![Datum::Int(7), Datum::Int(10)]);
+
+        // Prefix-only bounds: everything in regions [3, 5].
+        let r = t
+            .range(Some(&[Datum::Int(3)]), Some(&[Datum::Int(5)]), true, true)
+            .unwrap();
+        assert_eq!(r.len(), 90);
+        // Exclusive prefix hi bound stops before region 5.
+        let r = t
+            .range(Some(&[Datum::Int(3)]), Some(&[Datum::Int(5)]), true, false)
+            .unwrap();
+        assert_eq!(r.len(), 60);
+    }
+
+    #[test]
+    fn composite_keys_with_nulls() {
+        let t = btree("composite-null");
+        t.insert(&[Datum::Null, Datum::Int(1)], rid(1)).unwrap();
+        t.insert(&[Datum::Int(1), Datum::Null], rid(2)).unwrap();
+        t.insert(&[Datum::Int(1), Datum::Int(0)], rid(3)).unwrap();
+        t.insert(&[Datum::Int(2), Datum::Int(0)], rid(4)).unwrap();
+        // NULL sorts first in each component.
+        let all = t.range(None, None, true, true).unwrap();
+        let keys: Vec<Vec<Datum>> = all.into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                vec![Datum::Null, Datum::Int(1)],
+                vec![Datum::Int(1), Datum::Null],
+                vec![Datum::Int(1), Datum::Int(0)],
+                vec![Datum::Int(2), Datum::Int(0)],
+            ]
+        );
+        // Probing the NULL prefix finds the NULL-keyed entry (index
+        // maintenance stores NULLs; SQL-level filters exclude them).
+        assert_eq!(t.search(&[Datum::Null]).unwrap(), vec![rid(1)]);
+        // Delete with a full composite key.
+        assert!(t.delete(&[Datum::Int(1), Datum::Null], rid(2)).unwrap());
+        assert_eq!(t.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn mixed_type_composite_keys() {
+        let t = btree("composite-mixed");
+        for (i, name) in ["ash", "birch", "cedar", "fir"].iter().enumerate() {
+            t.insert(&[Datum::Str(name.to_string()), Datum::Int(i as i64)], rid(i as u64))
+                .unwrap();
+        }
+        assert_eq!(
+            t.search(&[Datum::Str("cedar".into())]).unwrap(),
+            vec![rid(2)]
+        );
+        let r = t
+            .range(
+                Some(&[Datum::Str("birch".into())]),
+                Some(&[Datum::Str("cedar".into())]),
+                true,
+                true,
+            )
+            .unwrap();
+        assert_eq!(r.len(), 2);
     }
 
     #[test]
     fn string_keys() {
         let t = btree("strings");
         for name in ["mercury", "venus", "earth", "mars", "jupiter"] {
-            t.insert(&Datum::Str(name.into()), rid(name.len() as u64)).unwrap();
+            t.insert(&[Datum::Str(name.into())], rid(name.len() as u64))
+                .unwrap();
         }
         assert_eq!(
-            t.search(&Datum::Str("earth".into())).unwrap(),
+            t.search(&[Datum::Str("earth".into())]).unwrap(),
             vec![rid(5)]
         );
         let r = t
             .range(
-                Some(&Datum::Str("earth".into())),
-                Some(&Datum::Str("mercury".into())),
+                Some(&[Datum::Str("earth".into())]),
+                Some(&[Datum::Str("mercury".into())]),
+                true,
                 true,
             )
             .unwrap();
-        let keys: Vec<String> = r.iter().map(|(k, _)| k.to_string()).collect();
+        let keys: Vec<String> = r.iter().map(|(k, _)| k[0].to_string()).collect();
         assert_eq!(keys, vec!["earth", "jupiter", "mars", "mercury"]);
     }
 
@@ -688,13 +854,13 @@ mod tests {
     fn delete_specific_entries() {
         let t = btree("delete");
         for i in 0..50i64 {
-            t.insert(&Datum::Int(i % 10), rid(i as u64)).unwrap();
+            t.insert(&k1(i % 10), rid(i as u64)).unwrap();
         }
-        assert_eq!(t.search(&Datum::Int(3)).unwrap().len(), 5);
-        assert!(t.delete(&Datum::Int(3), rid(3)).unwrap());
-        assert_eq!(t.search(&Datum::Int(3)).unwrap().len(), 4);
-        assert!(!t.delete(&Datum::Int(3), rid(3)).unwrap(), "already gone");
-        assert!(!t.delete(&Datum::Int(99), rid(0)).unwrap(), "never existed");
+        assert_eq!(t.search(&k1(3)).unwrap().len(), 5);
+        assert!(t.delete(&k1(3), rid(3)).unwrap());
+        assert_eq!(t.search(&k1(3)).unwrap().len(), 4);
+        assert!(!t.delete(&k1(3), rid(3)).unwrap(), "already gone");
+        assert!(!t.delete(&k1(99), rid(0)).unwrap(), "never existed");
         assert_eq!(t.len().unwrap(), 49);
     }
 
@@ -703,12 +869,12 @@ mod tests {
         let t = btree("validate-ok");
         t.validate().unwrap(); // empty tree
         for i in 0..2000i64 {
-            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+            t.insert(&k1(i), rid(i as u64)).unwrap();
         }
         assert!(t.height().unwrap() >= 2);
         t.validate().unwrap();
         for i in (0..2000i64).step_by(3) {
-            t.delete(&Datum::Int(i), rid(i as u64)).unwrap();
+            t.delete(&k1(i), rid(i as u64)).unwrap();
         }
         t.validate().unwrap();
     }
@@ -722,7 +888,7 @@ mod tests {
         let engine = StorageEngine::open(&dir, 64, PolicyKind::Lru).unwrap();
         let t = BTree::create(engine.buffer.clone()).unwrap();
         for i in 0..100i64 {
-            t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+            t.insert(&k1(i), rid(i as u64)).unwrap();
         }
         // Clobber the root node's record with garbage.
         let root = {
@@ -753,14 +919,14 @@ mod tests {
         let meta = {
             let t = BTree::create(buffer.clone()).unwrap();
             for i in 0..500i64 {
-                t.insert(&Datum::Int(i), rid(i as u64)).unwrap();
+                t.insert(&k1(i), rid(i as u64)).unwrap();
             }
             buffer.flush_all().unwrap();
             t.meta_page()
         };
         let t = BTree::open(buffer, meta).unwrap();
         assert_eq!(t.len().unwrap(), 500);
-        assert_eq!(t.search(&Datum::Int(123)).unwrap(), vec![rid(123)]);
+        assert_eq!(t.search(&k1(123)).unwrap(), vec![rid(123)]);
     }
 
     #[test]
@@ -768,12 +934,12 @@ mod tests {
         let t = btree("bigkeys");
         for i in 0..200 {
             let key = format!("{:03}-{}", i, "k".repeat(200));
-            t.insert(&Datum::Str(key), rid(i)).unwrap();
+            t.insert(&[Datum::Str(key)], rid(i)).unwrap();
         }
         assert!(t.height().unwrap() >= 2);
         assert_eq!(t.len().unwrap(), 200);
         let key = format!("{:03}-{}", 150, "k".repeat(200));
-        assert_eq!(t.search(&Datum::Str(key)).unwrap(), vec![rid(150)]);
+        assert_eq!(t.search(&[Datum::Str(key)]).unwrap(), vec![rid(150)]);
     }
 
     proptest! {
@@ -797,7 +963,7 @@ mod tests {
 
             let mut model: std::collections::BTreeSet<(i64, u64)> = Default::default();
             for (i, &k) in keys.iter().enumerate() {
-                t.insert(&Datum::Int(k), rid(i as u64)).unwrap();
+                t.insert(&k1(k), rid(i as u64)).unwrap();
                 model.insert((k, i as u64));
             }
             for idx in &deletions {
@@ -805,7 +971,7 @@ mod tests {
                     break;
                 }
                 let &(k, r) = idx.get(&model.iter().copied().collect::<Vec<_>>());
-                t.delete(&Datum::Int(k), rid(r)).unwrap();
+                t.delete(&k1(k), rid(r)).unwrap();
                 model.remove(&(k, r));
             }
 
@@ -813,7 +979,7 @@ mod tests {
             // Point lookups agree.
             for &k in keys.iter().take(20) {
                 let got: std::collections::BTreeSet<u64> = t
-                    .search(&Datum::Int(k))
+                    .search(&k1(k))
                     .unwrap()
                     .into_iter()
                     .map(|r| r.page)
@@ -826,8 +992,45 @@ mod tests {
                 prop_assert_eq!(got, want);
             }
             // Full range agrees and is sorted.
-            let all = t.range(None, None, true).unwrap();
+            let all = t.range(None, None, true, true).unwrap();
             prop_assert_eq!(all.len(), model.len());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn prop_composite_prefix_agrees_with_model(
+            pairs in proptest::collection::vec((-20i64..20, -20i64..20), 1..200),
+            probe in -20i64..20,
+        ) {
+            let dir = std::env::temp_dir().join("sbdms-btree-tests").join(format!(
+                "prop2-{}-{:x}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let engine = StorageEngine::open(&dir, 32, PolicyKind::Clock).unwrap();
+            let t = BTree::create(engine.buffer).unwrap();
+            let mut model: std::collections::BTreeSet<(i64, i64, u64)> = Default::default();
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                t.insert(&[Datum::Int(a), Datum::Int(b)], rid(i as u64)).unwrap();
+                model.insert((a, b, i as u64));
+            }
+            // Prefix probe on the first component.
+            let got = t.search(&[Datum::Int(probe)]).unwrap().len();
+            let want = model.iter().filter(|(a, _, _)| *a == probe).count();
+            prop_assert_eq!(got, want);
+            // Prefix range [probe, probe+3] inclusive.
+            let r = t.range(
+                Some(&[Datum::Int(probe)]),
+                Some(&[Datum::Int(probe + 3)]),
+                true,
+                true,
+            ).unwrap();
+            let want = model.iter().filter(|(a, _, _)| *a >= probe && *a <= probe + 3).count();
+            prop_assert_eq!(r.len(), want);
             let _ = std::fs::remove_dir_all(&dir);
         }
     }

@@ -312,6 +312,34 @@ pub fn values_batches(rows: Vec<Tuple>, batch_rows: usize) -> BatchStream {
     }))
 }
 
+/// Chunk pre-transposed columns into batches of `batch_rows` without
+/// ever materialising row tuples — the covering index-only scan's entry
+/// point into the vectorized engine. All columns must be `rows` long.
+pub fn columnar_batches(columns: Vec<Vec<Datum>>, rows: usize, batch_rows: usize) -> BatchStream {
+    debug_assert!(columns.iter().all(|c| c.len() == rows));
+    let width = columns.len();
+    let mut columns: Vec<std::vec::IntoIter<Datum>> =
+        columns.into_iter().map(|c| c.into_iter()).collect();
+    let mut remaining = rows;
+    Box::new(std::iter::from_fn(move || {
+        if remaining == 0 {
+            return None;
+        }
+        let chunk = batch_rows.max(1).min(remaining);
+        remaining -= chunk;
+        let cols: Vec<Vec<Datum>> = columns
+            .iter_mut()
+            .map(|c| c.by_ref().take(chunk).collect())
+            .collect();
+        debug_assert_eq!(cols.len(), width);
+        Some(Ok(Batch {
+            columns: cols,
+            rows: chunk,
+            sel: None,
+        }))
+    }))
+}
+
 /// Sequential scan of a heap file into batches. Streams page-at-a-time:
 /// memory is bounded by one batch plus one page of decoded rows.
 pub fn scan_batches(heap: &HeapFile, batch_rows: usize) -> Result<BatchStream> {

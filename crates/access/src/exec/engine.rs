@@ -20,7 +20,7 @@ use super::join::{BuildSide, JoinAlgorithm};
 use super::ops;
 use super::{ExecContext, TupleStream};
 use crate::heap::HeapFile;
-use crate::record::Tuple;
+use crate::record::{Datum, Tuple};
 use crate::sort::SortKey;
 
 /// Which execution engine runs a statement. The vectorized engine is
@@ -80,6 +80,26 @@ pub trait Engine: Send + Sync {
 
     /// Stream of pre-materialised tuples (index scans, VALUES, tests).
     fn values(&self, rows: Vec<Tuple>) -> Self::Stream;
+
+    /// Stream of pre-materialised *columns*, all `rows` long — the
+    /// covering index-only scan's currency. The vectorized engine turns
+    /// the columns straight into batches; the tuple engine transposes
+    /// to rows. Results must match `values` on the transposed input.
+    fn values_columnar(&self, columns: Vec<Vec<Datum>>, rows: usize) -> Self::Stream {
+        let width = columns.len();
+        let mut iters: Vec<std::vec::IntoIter<Datum>> =
+            columns.into_iter().map(|c| c.into_iter()).collect();
+        let tuples: Vec<Tuple> = (0..rows)
+            .map(|_| {
+                let mut row = Vec::with_capacity(width);
+                for it in iters.iter_mut() {
+                    row.push(it.next().expect("columns shorter than rows"));
+                }
+                row
+            })
+            .collect();
+        self.values(tuples)
+    }
 
     /// Keep rows for which `predicate` is TRUE (NULL drops).
     fn filter(&self, input: Self::Stream, predicate: Expr) -> Self::Stream;
@@ -288,6 +308,10 @@ impl Engine for VectorEngine {
         batch::values_batches(rows, self.batch_rows)
     }
 
+    fn values_columnar(&self, columns: Vec<Vec<Datum>>, rows: usize) -> BatchStream {
+        batch::columnar_batches(columns, rows, self.batch_rows)
+    }
+
     fn filter(&self, input: BatchStream, predicate: Expr) -> BatchStream {
         batch::filter_batches(input, predicate)
     }
@@ -411,6 +435,27 @@ mod tests {
         assert_eq!(tuple, vector);
         assert_eq!(tuple, tiny);
         assert_eq!(tuple.len(), 5);
+    }
+
+    #[test]
+    fn values_columnar_matches_values_on_both_engines() {
+        let cols = vec![
+            (0..10).map(Datum::Int).collect::<Vec<_>>(),
+            (0..10).map(|i| Datum::Str(format!("s{i}"))).collect(),
+        ];
+        let rows: Vec<Tuple> = (0..10)
+            .map(|i| vec![Datum::Int(i), Datum::Str(format!("s{i}"))])
+            .collect();
+        let t = TupleEngine::default();
+        let from_cols = t.collect(t.values_columnar(cols.clone(), 10)).unwrap();
+        assert_eq!(from_cols, rows);
+        // Tiny batches force chunk boundaries through the columnar path.
+        let v = VectorEngine {
+            batch_rows: 3,
+            ..Default::default()
+        };
+        let from_cols = v.collect(v.values_columnar(cols, 10)).unwrap();
+        assert_eq!(from_cols, rows);
     }
 
     #[test]

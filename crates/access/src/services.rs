@@ -307,14 +307,17 @@ impl Service for IndexService {
             "insert" => {
                 let tree = self.index(input.require("index")?.as_u64()?)?;
                 let key = Self::key_from(&input, "key")?;
-                tree.insert(&key, rid_from(&input)?)?;
+                tree.insert(std::slice::from_ref(&key), rid_from(&input)?)?;
                 Ok(Value::Null)
             }
             "search" => {
                 let tree = self.index(input.require("index")?.as_u64()?)?;
                 let key = Self::key_from(&input, "key")?;
                 Ok(Value::List(
-                    tree.search(&key)?.into_iter().map(rid_value).collect(),
+                    tree.search(std::slice::from_ref(&key))?
+                        .into_iter()
+                        .map(rid_value)
+                        .collect(),
                 ))
             }
             "range" => {
@@ -332,17 +335,26 @@ impl Service for IndexService {
                     .map(|v| v.as_bool())
                     .transpose()?
                     .unwrap_or(true);
-                let rows = tree.range(lo.as_ref(), hi.as_ref(), hi_inclusive)?;
+                let rows = tree.range(
+                    lo.as_ref().map(std::slice::from_ref),
+                    hi.as_ref().map(std::slice::from_ref),
+                    true,
+                    hi_inclusive,
+                )?;
+                // Service-level indexes are single-column; surface the
+                // key's one component as the payload value.
                 Ok(Value::List(
                     rows.into_iter()
-                        .map(|(key, rid)| rid_value(rid).with("key", key.to_value()))
+                        .map(|(key, rid)| rid_value(rid).with("key", key[0].to_value()))
                         .collect(),
                 ))
             }
             "delete" => {
                 let tree = self.index(input.require("index")?.as_u64()?)?;
                 let key = Self::key_from(&input, "key")?;
-                Ok(Value::Bool(tree.delete(&key, rid_from(&input)?)?))
+                Ok(Value::Bool(
+                    tree.delete(std::slice::from_ref(&key), rid_from(&input)?)?,
+                ))
             }
             "count" => {
                 let tree = self.index(input.require("index")?.as_u64()?)?;

@@ -1,0 +1,47 @@
+//! E15: richer access paths.
+//!
+//! Each group races one predicate shape on two databases: `previous`
+//! carries only the single-column indexes a pre-composite planner
+//! could use (with per-shape knobs pinning the plan that planner would
+//! actually have produced — seq scan for IN-lists, one index for
+//! two-column conjunctions), `current` replaces the tenant index with
+//! the composite (tenant, ts) key and plans fully cost-based, so the
+//! new paths — composite-equality probes, prefix ranges, IndexOr
+//! unions, IndexAnd intersections, covering index-only scans — carry
+//! the query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbdms_bench::experiments::{
+    e11_apply, e11_count, e15_db, E11Config, E15_AND_Q, E15_COVER_Q, E15_INLIST_Q, E15_POINT_Q,
+    E15_PREFIX_Q,
+};
+
+const ROWS: usize = 200_000;
+
+fn bench_access_paths(c: &mut Criterion) {
+    let previous = e15_db(ROWS, false);
+    let current = e15_db(ROWS, true);
+    let shapes: [(&str, &str, E11Config); 5] = [
+        ("point", E15_POINT_Q, E11Config::CostBased),
+        ("prefix-range", E15_PREFIX_Q, E11Config::CostBased),
+        ("in-list", E15_INLIST_Q, E11Config::NoIndex),
+        ("intersection", E15_AND_Q, E11Config::StatsOff),
+        ("covering", E15_COVER_Q, E11Config::CostBased),
+    ];
+    let mut group = c.benchmark_group("e15_access_paths");
+    group.sample_size(10);
+    for (name, sql, prev_knob) in shapes {
+        e11_apply(&previous, prev_knob);
+        group.bench_function(format!("{name}/previous"), |b| {
+            b.iter(|| std::hint::black_box(e11_count(&previous, sql)))
+        });
+        e11_apply(&current, E11Config::CostBased);
+        group.bench_function(format!("{name}/current"), |b| {
+            b.iter(|| std::hint::black_box(e11_count(&current, sql)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

@@ -1,16 +1,18 @@
-//! The experiment report: runs every experiment (E1–E14) with plain
+//! The experiment report: runs every experiment (E1–E15) with plain
 //! timers and prints the tables recorded in EXPERIMENTS.md.
 //!
 //! `cargo run --release -p sbdms-bench --bin report`
 //!
-//! `--only <name>` runs a single experiment (`e1` … `e14`, `a1`);
+//! `--only <name>` runs a single experiment (`e1` … `e15`, `a1`);
 //! `--smoke` shrinks the workloads for a fast CI sanity pass;
 //! `--gate-join <min>` exits nonzero if E12's base join speedup falls
-//! below `min`, and `--gate-mvcc <max>` if E14's MVCC reader latency
+//! below `min`, `--gate-mvcc <max>` if E14's MVCC reader latency
 //! under a concurrent writer exceeds `max` times the read-only
-//! baseline (the CI perf gates). E12, E13, and E14 also write their
-//! measured tables to `BENCH_e12.json` / `BENCH_e13.json` /
-//! `BENCH_e14.json` at the workspace root.
+//! baseline, and `--gate-index <min>` if fewer than two of E15's
+//! headline access-path shapes reach a `min`-fold speedup over the
+//! best previously available plan (the CI perf gates). E12–E15 also
+//! write their measured tables to `BENCH_e12.json` … `BENCH_e15.json`
+//! at the workspace root.
 //!
 //! Criterion gives careful statistics per data point (`cargo bench`);
 //! this binary gives the complete paper-vs-measured picture in one run.
@@ -50,6 +52,7 @@ fn main() {
     let mut smoke = false;
     let mut gate_join: Option<f64> = None;
     let mut gate_mvcc: Option<f64> = None;
+    let mut gate_index: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -57,7 +60,7 @@ fn main() {
                 only = Some(
                     it.next()
                         .unwrap_or_else(|| {
-                            eprintln!("--only requires an experiment name (e1..e14, a1)");
+                            eprintln!("--only requires an experiment name (e1..e15, a1)");
                             std::process::exit(2);
                         })
                         .to_lowercase(),
@@ -78,10 +81,17 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--gate-index" => {
+                let min = it.next().and_then(|v| v.parse::<f64>().ok());
+                gate_index = Some(min.unwrap_or_else(|| {
+                    eprintln!("--gate-index requires a minimum speedup (e.g. 5.0)");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown argument `{other}` (expected --only <name> / --smoke / \
-                     --gate-join <min> / --gate-mvcc <max>)"
+                     --gate-join <min> / --gate-mvcc <max> / --gate-index <min>)"
                 );
                 std::process::exit(2);
             }
@@ -151,6 +161,19 @@ fn main() {
                 std::process::exit(1);
             }
             println!("E14 MVCC gate passed: {reader_overhead:.2}x <= {max:.2}x");
+        }
+    }
+    if run("e15") {
+        let index_speedup = e15(smoke);
+        if let Some(min) = gate_index {
+            if index_speedup < min {
+                eprintln!(
+                    "E15 index gate FAILED: only the single best access-path shape beats \
+                     {min:.2}x (2nd-best speedup {index_speedup:.2}x)"
+                );
+                std::process::exit(1);
+            }
+            println!("E15 index gate passed: {index_speedup:.2}x >= {min:.2}x (2nd-best shape)");
         }
     }
     if run("a1") {
@@ -1061,6 +1084,134 @@ fn e14(smoke: bool) -> f64 {
         Err(e) => eprintln!("  could not write BENCH_e14.json: {e}"),
     }
     reader_overhead
+}
+
+/// Returns the 2nd-best speedup among the three headline shapes
+/// (composite point probe, IN-list IndexOr, covering scan) so
+/// `--gate-index <min>` enforces "at least two of three beat min".
+fn e15(smoke: bool) -> f64 {
+    use sbdms_bench::experiments::{
+        e11_apply, e11_count, e15_db, e15_path, E11Config, E15_AND_Q, E15_COVER_Q, E15_INLIST_Q,
+        E15_POINT_Q, E15_PREFIX_Q,
+    };
+
+    println!("\nE15 — richer access paths: composite keys, IndexOr/IndexAnd, covering scans");
+    let (rows, iters) = if smoke { (20_000usize, 3u32) } else { (200_000, 30) };
+    // `previous` has only the single-column indexes a pre-composite
+    // planner could use; `current` replaces the tenant index with the
+    // composite (tenant, ts) key. Per shape, the baseline knob pins the
+    // plan the old planner would actually have produced: IN-lists were
+    // seq scans (no IndexOr existed), and two-column conjunctions took
+    // one index (no IndexAnd), which the syntactic stats-off rule
+    // reproduces.
+    let previous = e15_db(rows, false);
+    let current = e15_db(rows, true);
+
+    let shapes: [(&str, &str, E11Config, bool); 5] = [
+        ("composite point probe", E15_POINT_Q, E11Config::CostBased, true),
+        ("prefix + range", E15_PREFIX_Q, E11Config::CostBased, false),
+        ("IN-list (IndexOr)", E15_INLIST_Q, E11Config::NoIndex, true),
+        ("intersection (IndexAnd)", E15_AND_Q, E11Config::StatsOff, false),
+        ("covering index-only", E15_COVER_Q, E11Config::CostBased, true),
+    ];
+    println!(
+        "  {:<24} {:>10} {:>10} {:>8}  chosen path ({rows} rows)",
+        "shape", "previous", "new", "speedup"
+    );
+    let mut gated: Vec<f64> = Vec::new();
+    let mut measured: Vec<(String, f64, f64, f64, String, String)> = Vec::new();
+    for (name, sql, prev_knob, gate) in shapes {
+        e11_apply(&previous, prev_knob);
+        let prev_path = e15_path(&previous, sql);
+        let mut n_prev = 0;
+        let d_prev = time(iters, || {
+            n_prev = e11_count(&previous, sql);
+        });
+        e11_apply(&current, E11Config::CostBased);
+        let new_path = e15_path(&current, sql);
+        let mut n_new = 0;
+        let d_new = time(iters, || {
+            n_new = e11_count(&current, sql);
+        });
+        assert_eq!(n_prev, n_new, "{name}: access paths changed the answer");
+        let speedup = d_prev.as_nanos() as f64 / d_new.as_nanos().max(1) as f64;
+        if gate {
+            gated.push(speedup);
+        }
+        let short = new_path.split(" [rows").next().unwrap_or(&new_path).to_string();
+        println!(
+            "  {:<24} {:>8.1}µs {:>8.1}µs {:>7.1}x  {short}",
+            name,
+            d_prev.as_nanos() as f64 / 1e3,
+            d_new.as_nanos() as f64 / 1e3,
+            speedup,
+        );
+        let prev_short = prev_path.split(" [rows").next().unwrap_or(&prev_path).to_string();
+        measured.push((
+            name.to_string(),
+            d_prev.as_nanos() as f64 / 1e3,
+            d_new.as_nanos() as f64 / 1e3,
+            speedup,
+            prev_short,
+            short,
+        ));
+    }
+    gated.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let second_best = gated[1];
+    println!(
+        "  gate metric: 2nd-best of {{point, IN-list, covering}} speedups = {second_best:.2}x"
+    );
+
+    if smoke {
+        // A smoke pass sanity-checks the harness; don't overwrite the
+        // recorded full-workload artifact with shrunken numbers.
+        return second_best;
+    }
+    let runs: Vec<String> = measured
+        .iter()
+        .map(|(name, prev_us, new_us, speedup, prev_path, new_path)| {
+            format!(
+                r#"    {{
+      "shape": "{name}",
+      "previous_us": {prev_us:.1},
+      "new_us": {new_us:.1},
+      "speedup": {speedup:.2},
+      "previous_path": "{prev_path}",
+      "new_path": "{new_path}"
+    }}"#
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "experiment": "E15",
+  "title": "Richer access paths: composite keys, IndexOr/IndexAnd, covering index-only scans",
+  "date": "{date}",
+  "build": "cargo run --release -p sbdms-bench --bin report -- --only e15",
+  "workload": {{
+    "rows": {rows},
+    "table": "ev (tenant 100-way, ts unique, kind rows/100-way, cat 97-way, pad text)",
+    "baseline": "best plan available before composite keys: single-column probes, seq scan for IN-lists, one index for two-column conjunctions"
+  }},
+  "runs": [
+{runs}
+  ],
+  "acceptance": {{
+    "second_best_headline_speedup": {second_best:.2},
+    "two_of_three_beat_5x": {pass}
+  }}
+}}
+"#,
+        date = today_utc(),
+        runs = runs.join(",\n"),
+        pass = second_best >= 5.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e15.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote BENCH_e15.json"),
+        Err(e) => eprintln!("  could not write BENCH_e15.json: {e}"),
+    }
+    second_best
 }
 
 fn a1() {

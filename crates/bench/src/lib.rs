@@ -1159,6 +1159,90 @@ pub mod experiments {
         let syncs = sim.stats().syncs - before;
         syncs as f64 / (committers * commits_per) as f64
     }
+
+    // --- E15: richer access paths -----------------------------------------
+
+    /// E15 composite point probe: both key columns of `ev_tenant_ts`
+    /// consumed as an equality prefix; matches exactly one row.
+    pub const E15_POINT_Q: &str = "SELECT COUNT(*) FROM ev WHERE tenant = 37 AND ts = 1037";
+
+    /// E15 prefix + range: equality on the leading key column, a range
+    /// on the second.
+    pub const E15_PREFIX_Q: &str =
+        "SELECT COUNT(*) FROM ev WHERE tenant = 37 AND ts >= 5000 AND ts <= 15000";
+
+    /// E15 IN-list: a probe union over the single-column `ev_kind`
+    /// index (pre-PR planners had no IndexOr — this was a seq scan).
+    pub const E15_INLIST_Q: &str = "SELECT COUNT(*) FROM ev \
+        WHERE kind IN (11, 211, 411, 611, 811, 1011, 1211, 1411)";
+
+    /// E15 intersection: equality on the leading columns of two indexes
+    /// whose postings are each large but whose intersection is tiny.
+    pub const E15_AND_Q: &str = "SELECT COUNT(*) FROM ev WHERE tenant = 37 AND cat = 41";
+
+    /// E15 covering: the composite key answers the aggregate by itself,
+    /// so the index-only scan never touches the heap.
+    pub const E15_COVER_Q: &str = "SELECT SUM(ts) FROM ev WHERE tenant = 37";
+
+    /// E15: one statistics-bearing events table. `tenant` fans 100 ways,
+    /// `ts` is unique, `kind` fans `rows/100` ways (ndv scales with the
+    /// table so IN-lists stay selective), `cat` fans 97 ways, and `pad`
+    /// gives seq scans a realistic per-row decode cost. When
+    /// `composite` is false only the single-column indexes a pre-PR
+    /// planner could use exist — that database's plans are the "best
+    /// previously available" baseline.
+    pub fn e15_db(rows: usize, composite: bool) -> Database {
+        let db = Database::open_opts(bench_dir("e15"), DbOptions::default()).unwrap();
+        db.execute(
+            "CREATE TABLE ev (tenant INT NOT NULL, ts INT NOT NULL, \
+             kind INT NOT NULL, cat INT NOT NULL, pad TEXT NOT NULL)",
+        )
+        .unwrap();
+        let kinds = (rows / 100).max(1) as i64;
+        for chunk in (0..rows as i64).collect::<Vec<_>>().chunks(250) {
+            let vals: Vec<String> = chunk
+                .iter()
+                .map(|i| {
+                    format!(
+                        "({}, {i}, {}, {}, 'payload-{i}-xxxxxxxxxxxxxxxx')",
+                        i % 100,
+                        i % kinds,
+                        i % 97
+                    )
+                })
+                .collect();
+            db.execute(&format!("INSERT INTO ev VALUES {}", vals.join(", ")))
+                .unwrap();
+        }
+        // The composite database *replaces* the single-column tenant
+        // index (the natural migration); the baseline keeps what a
+        // single-column-only planner could use.
+        if composite {
+            db.execute("CREATE INDEX ev_tenant_ts ON ev (tenant, ts)").unwrap();
+        } else {
+            db.execute("CREATE INDEX ev_tenant ON ev (tenant)").unwrap();
+        }
+        db.execute("CREATE INDEX ev_kind ON ev (kind)").unwrap();
+        db.execute("CREATE INDEX ev_cat ON ev (cat)").unwrap();
+        db.execute("ANALYZE ev").unwrap();
+        db
+    }
+
+    /// E15: the access-path label EXPLAIN reports for `sql` — the first
+    /// IndexScan/IndexOr/IndexAnd/TableScan node in the plan.
+    pub fn e15_path(db: &Database, sql: &str) -> String {
+        let out = db.execute(&format!("EXPLAIN {sql}")).unwrap();
+        out.rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .find(|line| {
+                ["IndexScan", "IndexOr", "IndexAnd", "TableScan"]
+                    .iter()
+                    .any(|n| line.contains(n))
+            })
+            .map(|line| line.trim_start_matches(['|', ' ']).to_string())
+            .unwrap_or_else(|| "?".into())
+    }
 }
 
 #[cfg(test)]
@@ -1320,6 +1404,38 @@ mod tests {
             assert_eq!(e11_count(&db, E11_JOIN_Q), join_ref, "{config:?}");
             assert_eq!(e11_count(&db, E11_IDX_SEL_Q), sel_ref, "{config:?}");
             assert_eq!(e11_count(&db, E11_IDX_NONSEL_Q), nonsel_ref, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn e15_harness_picks_each_new_path_and_answers_agree() {
+        let previous = e15_db(16_000, false);
+        let current = e15_db(16_000, true);
+        // The composite database must take each new access path.
+        for (sql, marker) in [
+            (E15_POINT_Q, "IndexScan ev.ev_tenant_ts(tenant,ts) eq=[Int(37), Int(1037)]"),
+            (E15_PREFIX_Q, "eq=[Int(37)] lo=Some(Int(5000)) hi=Some(Int(15000))"),
+            (E15_INLIST_Q, "IndexOr ev.ev_kind (8 keys)"),
+            (E15_AND_Q, "IndexAnd ev [ev_tenant_ts ∩ ev_cat]"),
+            (E15_COVER_Q, "covering"),
+        ] {
+            e11_apply(&current, E11Config::CostBased);
+            let path = e15_path(&current, sql);
+            assert!(path.contains(marker), "{sql}: got `{path}`");
+        }
+        // The per-shape baseline knobs must reproduce the same answers.
+        for (sql, prev_knob) in [
+            (E15_POINT_Q, E11Config::CostBased),
+            (E15_PREFIX_Q, E11Config::CostBased),
+            (E15_INLIST_Q, E11Config::NoIndex),
+            (E15_AND_Q, E11Config::StatsOff),
+            (E15_COVER_Q, E11Config::CostBased),
+        ] {
+            e11_apply(&previous, prev_knob);
+            e11_apply(&current, E11Config::CostBased);
+            let want = e11_count(&previous, sql);
+            assert!(want > 0, "{sql}: baseline found no rows");
+            assert_eq!(e11_count(&current, sql), want, "{sql}");
         }
     }
 

@@ -74,11 +74,11 @@ impl Engine {
     fn insert(&self, id: i64, payload: &str) -> Result<()> {
         let tuple = vec![Datum::Int(id), Datum::Str(payload.to_string())];
         let rid = self.heap.insert(&encode_tuple(&tuple))?;
-        self.index.insert(&Datum::Int(id), rid)
+        self.index.insert(&[Datum::Int(id)], rid)
     }
 
     fn point_read(&self, id: i64) -> Result<Option<String>> {
-        let rids = self.index.search(&Datum::Int(id))?;
+        let rids = self.index.search(&[Datum::Int(id)])?;
         match rids.first() {
             None => Ok(None),
             Some(rid) => {

@@ -118,14 +118,21 @@ pub enum Statement {
         /// Column definitions.
         columns: Vec<Column>,
     },
-    /// `CREATE INDEX name ON table (column)`.
+    /// `CREATE INDEX name ON table (col [, col ...])`.
     CreateIndex {
         /// Index name.
         name: String,
         /// Table name.
         table: String,
-        /// Indexed column.
-        column: String,
+        /// Indexed columns, leading column first.
+        columns: Vec<String>,
+    },
+    /// `DROP INDEX name ON table`.
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
     },
     /// `CREATE VIEW name AS SELECT ...`.
     CreateView {

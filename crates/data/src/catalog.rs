@@ -20,15 +20,31 @@ use sbdms_storage::page::PageId;
 use crate::schema::Schema;
 use crate::stats::TableStats;
 
-/// Metadata of one secondary index.
+/// Metadata of one secondary index: the *descriptor* the planner
+/// matches predicates against. An index covers one or more columns in
+/// declaration order; the B+tree key is the tuple of those columns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IndexMeta {
     /// Index name (unique per table).
     pub name: String,
-    /// Indexed column name.
-    pub column: String,
+    /// Indexed column names (lower-cased), leading column first.
+    pub columns: Vec<String>,
     /// B+tree meta page.
     pub meta_page: PageId,
+}
+
+impl IndexMeta {
+    /// Position of `column` in the key, if indexed.
+    pub fn column_position(&self, column: &str) -> Option<usize> {
+        let column = column.to_lowercase();
+        self.columns.iter().position(|c| *c == column)
+    }
+
+    /// Whether every name in `needed` is an index key column (the
+    /// covering-scan test).
+    pub fn covers<'a>(&self, mut needed: impl Iterator<Item = &'a str>) -> bool {
+        needed.all(|n| self.column_position(n).is_some())
+    }
 }
 
 /// Metadata of one table.
@@ -449,7 +465,7 @@ mod tests {
         let mut meta = catalog.table("users").unwrap();
         meta.indexes.push(IndexMeta {
             name: "users_id".into(),
-            column: "id".into(),
+            columns: vec!["id".into(), "name".into()],
             meta_page: 99,
         });
         catalog.update_table(meta).unwrap();
@@ -497,7 +513,7 @@ mod tests {
         let mut meta = catalog.table("users").unwrap();
         meta.indexes.push(IndexMeta {
             name: "i".into(),
-            column: "id".into(),
+            columns: vec!["id".into()],
             meta_page: 9,
         });
         catalog.update_table(meta).unwrap();

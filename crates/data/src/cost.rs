@@ -23,8 +23,14 @@ pub const DEFAULT_TABLE_ROWS: f64 = 1000.0;
 pub const COST_SEQ_ROW: f64 = 1.0;
 /// Cost of fetching one row through an index (random heap access).
 pub const COST_IDX_ROW: f64 = 4.0;
+/// Cost of emitting one row straight from index entries (covering
+/// index-only scans: no heap access, the key bytes are already in hand).
+pub const COST_IDX_KEY_ROW: f64 = 0.5;
 /// Fixed cost of descending a B-tree to start a probe or range scan.
 pub const COST_IDX_PROBE: f64 = 10.0;
+/// Cost of pushing one rowid through an IndexOr dedup set or an
+/// IndexAnd sorted intersection.
+pub const COST_RID_MERGE: f64 = 0.1;
 /// Cost of inserting one row into a hash-join build table.
 pub const COST_HASH_BUILD: f64 = 2.0;
 /// Cost of probing the hash table with one row.
@@ -135,32 +141,96 @@ impl<'a> Estimator<'a> {
         match plan {
             Plan::TableScan { table } => {
                 let rows = self.table_rows(table);
+                // Long MVCC version chains make every heap page carry
+                // dead versions the scan must step over.
+                let mvcc = self.catalog.mvcc_scan_multiplier(table);
                 NodeEst {
                     rows,
-                    cost: rows * COST_SEQ_ROW,
+                    cost: rows * COST_SEQ_ROW * mvcc,
                     cols: self.table_cols(table),
                     sorted_on: None,
                 }
             }
             Plan::IndexScan {
                 table,
-                column,
+                key_columns,
+                eq,
                 lo,
                 hi,
                 hi_inclusive,
+                covering,
+                ..
             } => {
                 let n = self.table_rows(table);
-                let sel = self.range_selectivity(table, column, lo, hi, *hi_inclusive);
+                let mut sel = self.eq_prefix_selectivity(table, key_columns, eq);
+                if lo.is_some() || hi.is_some() {
+                    if let Some(col) = key_columns.get(eq.len()) {
+                        sel *= self.range_selectivity(table, col, lo, hi, *hi_inclusive);
+                    }
+                }
                 let rows = (n * sel).max(0.0);
-                let cols = self.table_cols(table);
-                let sorted_on = cols
-                    .iter()
-                    .position(|c| matches!(c, Some((_, col)) if col == &column.to_lowercase()));
+                let (cols, sorted_on, per_row) = if *covering {
+                    // Output carries the key columns only, in key order.
+                    let cols: Vec<ColRef> = key_columns
+                        .iter()
+                        .map(|c| Some((table.to_lowercase(), c.to_lowercase())))
+                        .collect();
+                    (cols, Some(0), COST_IDX_KEY_ROW)
+                } else {
+                    let cols = self.table_cols(table);
+                    let sorted_on = key_columns.first().and_then(|lead| {
+                        cols.iter().position(
+                            |c| matches!(c, Some((_, col)) if col == &lead.to_lowercase()),
+                        )
+                    });
+                    (cols, sorted_on, COST_IDX_ROW)
+                };
                 NodeEst {
                     rows,
-                    cost: COST_IDX_PROBE + rows * COST_IDX_ROW,
+                    cost: COST_IDX_PROBE + rows * per_row,
                     cols,
                     sorted_on,
+                }
+            }
+            Plan::IndexOr {
+                table,
+                key_columns,
+                keys,
+                ..
+            } => {
+                let n = self.table_rows(table);
+                let sel = keys
+                    .iter()
+                    .map(|k| self.eq_prefix_selectivity(table, key_columns, k))
+                    .sum::<f64>()
+                    .min(1.0);
+                let rows = (n * sel).max(0.0);
+                NodeEst {
+                    rows,
+                    cost: keys.len() as f64 * COST_IDX_PROBE
+                        + rows * (COST_RID_MERGE + COST_IDX_ROW),
+                    cols: self.table_cols(table),
+                    // Rowids are deduplicated and fetched in rid order.
+                    sorted_on: None,
+                }
+            }
+            Plan::IndexAnd { table, probes } => {
+                let n = self.table_rows(table);
+                let sels: Vec<f64> = probes
+                    .iter()
+                    .map(|p| self.eq_prefix_selectivity(table, &p.key_columns, &p.eq))
+                    .collect();
+                let rows = (n * sels.iter().product::<f64>()).max(0.0);
+                // Each probe streams its rid list through the sorted
+                // intersection; only survivors touch the heap.
+                let probed: f64 = sels.iter().map(|s| n * s).sum();
+                NodeEst {
+                    rows,
+                    cost: probes.len() as f64 * COST_IDX_PROBE
+                        + probed * COST_RID_MERGE
+                        + rows * COST_IDX_ROW,
+                    cols: self.table_cols(table),
+                    sorted_on: None,
                 }
             }
             Plan::Values { rows } => NodeEst {
@@ -336,6 +406,26 @@ impl<'a> Estimator<'a> {
                 .collect(),
             Err(_) => Vec::new(),
         }
+    }
+
+    /// Combined selectivity of equality constraints on the leading
+    /// `eq.len()` key columns (independence assumption: per-column
+    /// selectivities multiply). A weak prefix — a low-NDV leading
+    /// column — yields a high product and therefore a high cost, which
+    /// is exactly the penalty that steers the planner off such indexes.
+    fn eq_prefix_selectivity(&self, table: &str, key_columns: &[String], eq: &[Datum]) -> f64 {
+        let stats = self.stats_of(table);
+        let rows = stats.as_ref().map(|s| s.row_count as f64).unwrap_or(0.0);
+        eq.iter()
+            .enumerate()
+            .map(|(k, d)| {
+                key_columns
+                    .get(k)
+                    .and_then(|c| stats.as_ref().and_then(|s| s.column(c).cloned()))
+                    .map(|cs| cs.selectivity_eq(rows, d))
+                    .unwrap_or(DEFAULT_EQ_SEL)
+            })
+            .product()
     }
 
     fn range_selectivity(

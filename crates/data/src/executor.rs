@@ -27,7 +27,7 @@ use crate::cost::Estimator;
 use crate::parser::parse;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::planner::{
-    compile_expr, plan_select, BindEnv, CatalogView, Plan, PlannedQuery, PlannerKnobs,
+    compile_expr, plan_select, BindEnv, CatalogView, IndexDesc, Plan, PlannedQuery, PlannerKnobs,
 };
 use crate::schema::Schema;
 use crate::session::{
@@ -748,9 +748,15 @@ impl Database {
                 self.tables.lock().remove(&name);
                 Ok(QueryResult::affected(0))
             }
-            Statement::CreateIndex { name, table, column } => {
+            Statement::CreateIndex { name, table, columns } => {
                 let mut t = Table::open(&self.catalog, &table)?;
-                t.create_index(&self.catalog, &name, &column)?;
+                t.create_index(&self.catalog, &name, &columns)?;
+                self.tables.lock().remove(&table);
+                Ok(QueryResult::affected(0))
+            }
+            Statement::DropIndex { name, table } => {
+                let mut t = Table::open(&self.catalog, &table)?;
+                t.drop_index(&self.catalog, &name)?;
                 self.tables.lock().remove(&table);
                 Ok(QueryResult::affected(0))
             }
@@ -1089,33 +1095,26 @@ impl Database {
         Ok(out)
     }
 
-    /// An index scan with snapshot semantics. The B-tree indexes only
-    /// committed heap state, so the probe is a superset/subset of the
-    /// truth in three ways, each patched here: probed rids may be
+    /// An index probe with snapshot semantics. The B-tree indexes only
+    /// committed heap state, so the probed rid set is a superset/subset
+    /// of the truth in three ways, each patched here: probed rids may be
     /// invisible (resolve through the overlay), chain keys the probe
-    /// missed may hold a visible older image whose key is in range, and
-    /// this transaction's own buffered writes are not indexed at all.
-    /// The range re-check mirrors `BTree::range` exactly
-    /// (`Datum::order`, inclusive lo, configurable hi).
-    #[allow(clippy::too_many_arguments)]
-    fn mvcc_index_scan(
+    /// missed may hold a visible older image that matches, and this
+    /// transaction's own buffered writes are not indexed at all.
+    /// `probe` runs under the read latch and yields candidate rids from
+    /// the index; `matches` re-checks a row *image* (replaced version or
+    /// buffered write) against the probe's key constraints, mirroring
+    /// B-tree semantics exactly (`Datum::order` comparisons, not SQL
+    /// equality — a NULL key component matches a NULL constraint).
+    fn mvcc_index_probe(
         &self,
         t: &Table,
         table: &str,
-        column: &str,
-        lo: Option<&Datum>,
-        hi: Option<&Datum>,
-        hi_inclusive: bool,
+        probe: &dyn Fn() -> Result<Vec<Rid>>,
+        matches: &dyn Fn(&Tuple) -> bool,
         mode: &RunMode,
     ) -> Result<Vec<Tuple>> {
         let mvcc = self.mvcc.as_ref().expect("mvcc profile");
-        let tree = t
-            .index_on(column)
-            .ok_or_else(|| ServiceError::Internal(format!("lost index on {column}")))?;
-        let col = t
-            .schema()
-            .index_of(column)
-            .ok_or_else(|| ServiceError::Internal(format!("lost column {column}")))?;
         let table_lc = table.to_lowercase();
         let core = self.run_session(mode).clone();
         let guard = core.txn.lock();
@@ -1124,24 +1123,23 @@ impl Database {
             _ => None,
         };
         let _latch = mvcc.read_latch();
-        let probed = tree.range(lo, hi, hi_inclusive)?;
+        let probed = probe()?;
         let Some(state) = state else {
             // Autocommit read: the probe is exact against the heap.
-            return probed.into_iter().map(|(_, rid)| t.get(rid)).collect();
+            return probed.into_iter().map(|rid| t.get(rid)).collect();
         };
         let own = state.overlay.get(&table_lc);
         let ov = mvcc.scan_overlay(&table_lc, state.txn.snapshot);
-        let in_range = |d: &Datum| datum_in_range(d, lo, hi, hi_inclusive);
         let mut out = Vec::new();
         let mut seen: BTreeSet<RowKey> = BTreeSet::new();
-        for (_, rid) in probed {
+        for rid in probed {
             let key = RowKey::Heap(rid);
             if !seen.insert(key) {
                 continue;
             }
             if let Some(w) = own.and_then(|m| m.get(&key)) {
                 if let Some(img) = own_image(w) {
-                    if in_range(&img[col]) {
+                    if matches(img) {
                         out.push(img.clone());
                     }
                 }
@@ -1151,7 +1149,7 @@ impl Database {
                 Visibility::Current => out.push(t.get(rid)?),
                 Visibility::Replaced(bytes) => {
                     let img = decode_tuple(&bytes)?;
-                    if in_range(&img[col]) {
+                    if matches(&img) {
                         out.push(img);
                     }
                 }
@@ -1167,7 +1165,7 @@ impl Database {
             }
             if let Visibility::Replaced(bytes) = ov.visibility(k) {
                 let img = decode_tuple(&bytes)?;
-                if in_range(&img[col]) {
+                if matches(&img) {
                     out.push(img);
                 }
             }
@@ -1178,7 +1176,7 @@ impl Database {
                     continue;
                 }
                 if let Some(img) = own_image(w) {
-                    if in_range(&img[col]) {
+                    if matches(img) {
                         out.push(img.clone());
                     }
                 }
@@ -1492,32 +1490,150 @@ impl Database {
             }
             Plan::IndexScan {
                 table,
-                column,
+                index,
+                key_columns,
+                eq,
                 lo,
                 hi,
                 hi_inclusive,
-            } if self.mvcc.is_some() => {
-                let t = self.table(table)?;
-                let rows =
-                    self.mvcc_index_scan(&t, table, column, lo.as_ref(), hi.as_ref(), *hi_inclusive, mode)?;
-                Ok(engine.values(rows))
-            }
-            Plan::IndexScan {
-                table,
-                column,
-                lo,
-                hi,
-                hi_inclusive,
+                covering,
             } => {
                 let t = self.table(table)?;
-                let tree = t
-                    .index_on(column)
-                    .ok_or_else(|| ServiceError::Internal(format!("lost index on {column}")))?;
-                let rids = tree.range(lo.as_ref(), hi.as_ref(), *hi_inclusive)?;
-                let rows: Vec<Tuple> = rids
+                let lo_key = index_bound(eq, lo);
+                let hi_key = index_bound(eq, hi);
+                // A bare equality prefix is an inclusive prefix bound on
+                // both ends; an explicit range keeps its own hi flag.
+                let hi_flag = if hi.is_some() { *hi_inclusive } else { true };
+                if self.mvcc.is_some() {
+                    let positions = key_positions(&t, key_columns)?;
+                    let probe = || -> Result<Vec<Rid>> {
+                        let tree = index_tree(&t, index)?;
+                        Ok(tree
+                            .range(lo_key.as_deref(), hi_key.as_deref(), true, hi_flag)?
+                            .into_iter()
+                            .map(|(_, rid)| rid)
+                            .collect())
+                    };
+                    let matches = |img: &Tuple| {
+                        for (d, &p) in eq.iter().zip(&positions) {
+                            if img[p].order(d) != std::cmp::Ordering::Equal {
+                                return false;
+                            }
+                        }
+                        match positions.get(eq.len()) {
+                            Some(&p) if lo.is_some() || hi.is_some() => {
+                                datum_in_range(&img[p], lo.as_ref(), hi.as_ref(), *hi_inclusive)
+                            }
+                            _ => true,
+                        }
+                    };
+                    let rows = self.mvcc_index_probe(&t, table, &probe, &matches, mode)?;
+                    if *covering {
+                        // Index-only output under MVCC still resolves
+                        // visibility through the heap/overlay; project
+                        // the visible rows down to the key columns.
+                        let rows: Vec<Tuple> = rows
+                            .into_iter()
+                            .map(|r| positions.iter().map(|&p| r[p].clone()).collect())
+                            .collect();
+                        return Ok(engine.values(rows));
+                    }
+                    return Ok(engine.values(rows));
+                }
+                let tree = index_tree(&t, index)?;
+                let probed = tree.range(lo_key.as_deref(), hi_key.as_deref(), true, hi_flag)?;
+                if *covering {
+                    // The B-tree entries already carry the key columns:
+                    // emit them without ever touching the heap. The
+                    // vectorized engine receives them columnar.
+                    let nrows = probed.len();
+                    let mut columns: Vec<Vec<Datum>> =
+                        vec![Vec::with_capacity(nrows); key_columns.len()];
+                    for (key, _) in probed {
+                        for (c, d) in key.into_iter().enumerate() {
+                            columns[c].push(d);
+                        }
+                    }
+                    return Ok(engine.values_columnar(columns, nrows));
+                }
+                let rows: Vec<Tuple> = probed
                     .into_iter()
                     .map(|(_, rid)| t.get(rid))
                     .collect::<Result<_>>()?;
+                Ok(engine.values(rows))
+            }
+            Plan::IndexOr {
+                table,
+                index,
+                key_columns,
+                keys,
+            } => {
+                let t = self.table(table)?;
+                // Union of probes, deduplicated: each rid is fetched
+                // once, in heap (rid) order.
+                let probe = || -> Result<Vec<Rid>> {
+                    let tree = index_tree(&t, index)?;
+                    let mut rids: BTreeSet<Rid> = BTreeSet::new();
+                    for key in keys {
+                        rids.extend(tree.search(key)?);
+                    }
+                    Ok(rids.into_iter().collect())
+                };
+                let rows: Vec<Tuple> = if self.mvcc.is_some() {
+                    let positions = key_positions(&t, key_columns)?;
+                    let matches = |img: &Tuple| {
+                        keys.iter().any(|key| {
+                            key.iter()
+                                .zip(&positions)
+                                .all(|(d, &p)| img[p].order(d) == std::cmp::Ordering::Equal)
+                        })
+                    };
+                    self.mvcc_index_probe(&t, table, &probe, &matches, mode)?
+                } else {
+                    probe()?
+                        .into_iter()
+                        .map(|rid| t.get(rid))
+                        .collect::<Result<_>>()?
+                };
+                Ok(engine.values(rows))
+            }
+            Plan::IndexAnd { table, probes } => {
+                let t = self.table(table)?;
+                // Sorted-rid intersection: each probe yields its rid
+                // list; only rids present in every list touch the heap.
+                let probe = || -> Result<Vec<Rid>> {
+                    let mut acc: Option<Vec<Rid>> = None;
+                    for p in probes {
+                        let tree = index_tree(&t, &p.index)?;
+                        let mut rids = tree.search(&p.eq)?;
+                        rids.sort_unstable();
+                        rids.dedup();
+                        acc = Some(match acc {
+                            None => rids,
+                            Some(prev) => intersect_sorted(prev, rids),
+                        });
+                    }
+                    Ok(acc.unwrap_or_default())
+                };
+                let rows: Vec<Tuple> = if self.mvcc.is_some() {
+                    let positions: Vec<Vec<usize>> = probes
+                        .iter()
+                        .map(|p| key_positions(&t, &p.key_columns))
+                        .collect::<Result<_>>()?;
+                    let matches = |img: &Tuple| {
+                        probes.iter().zip(&positions).all(|(p, pos)| {
+                            p.eq.iter()
+                                .zip(pos)
+                                .all(|(d, &c)| img[c].order(d) == std::cmp::Ordering::Equal)
+                        })
+                    };
+                    self.mvcc_index_probe(&t, table, &probe, &matches, mode)?
+                } else {
+                    probe()?
+                        .into_iter()
+                        .map(|rid| t.get(rid))
+                        .collect::<Result<_>>()?
+                };
                 Ok(engine.values(rows))
             }
             Plan::Values { rows } => Ok(engine.values(rows.clone())),
@@ -1625,6 +1741,58 @@ fn apply_own_write(
     }
 }
 
+/// B-tree bound for an index scan: the equality prefix extended by the
+/// optional range endpoint; `None` when that side is unconstrained.
+/// The resulting bound may be a key *prefix* — `BTree::range` compares
+/// only the bound's own components.
+fn index_bound(eq: &[Datum], end: &Option<Datum>) -> Option<Vec<Datum>> {
+    if eq.is_empty() && end.is_none() {
+        return None;
+    }
+    let mut key = eq.to_vec();
+    if let Some(d) = end {
+        key.push(d.clone());
+    }
+    Some(key)
+}
+
+/// The B-tree of a named index on an open table.
+fn index_tree<'t>(t: &'t Table, index: &str) -> Result<&'t sbdms_access::btree::BTree> {
+    t.index_named(index)
+        .map(|(_, tree)| tree)
+        .ok_or_else(|| ServiceError::Internal(format!("lost index {index}")))
+}
+
+/// Schema positions of an index's key columns.
+fn key_positions(t: &Table, key_columns: &[String]) -> Result<Vec<usize>> {
+    key_columns
+        .iter()
+        .map(|c| {
+            t.schema()
+                .index_of(c)
+                .ok_or_else(|| ServiceError::Internal(format!("lost column {c}")))
+        })
+        .collect()
+}
+
+/// Intersection of two sorted, deduplicated rid lists.
+fn intersect_sorted(a: Vec<Rid>, b: Vec<Rid>) -> Vec<Rid> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Whether a key falls in an index-scan range — the exact semantics of
 /// `BTree::range`: inclusive lower bound, upper bound per
 /// `hi_inclusive`, ordered by `Datum::order`.
@@ -1665,11 +1833,37 @@ impl CatalogView for Database {
         self.catalog.view(name).map(|v| v.query)
     }
 
-    fn has_index(&self, table: &str, column: &str) -> bool {
+    fn indexes(&self, table: &str) -> Vec<IndexDesc> {
         self.catalog
             .table(table)
-            .map(|m| m.indexes.iter().any(|i| i.column == column.to_lowercase()))
-            .unwrap_or(false)
+            .map(|m| {
+                m.indexes
+                    .iter()
+                    .map(|i| IndexDesc {
+                        name: i.name.clone(),
+                        columns: i.columns.clone(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn mvcc_scan_multiplier(&self, table: &str) -> f64 {
+        let Some(mvcc) = &self.mvcc else { return 1.0 };
+        let versions = mvcc.table_versions_live(&table.to_lowercase()) as f64;
+        if versions == 0.0 {
+            return 1.0;
+        }
+        let rows = self
+            .catalog
+            .stats(table)
+            .map(|s| s.row_count as f64)
+            .unwrap_or(crate::cost::DEFAULT_TABLE_ROWS)
+            .max(1.0);
+        // Each live chained version is an extra image the scan resolves
+        // through the overlay; cap the penalty so a pathological chain
+        // cannot make sequential scans look infinitely bad.
+        (1.0 + versions / rows).min(10.0)
     }
 
     fn preferred_equi_join(&self) -> JoinAlgorithm {

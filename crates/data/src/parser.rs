@@ -285,6 +285,12 @@ impl<'a> Parser<'a> {
             if self.eat_kw("table") {
                 return Ok(Statement::DropTable { name: self.ident()? });
             }
+            if self.eat_kw("index") {
+                let name = self.ident()?;
+                self.expect_kw("on")?;
+                let table = self.ident()?;
+                return Ok(Statement::DropIndex { name, table });
+            }
             self.expect_kw("view")?;
             return Ok(Statement::DropView { name: self.ident()? });
         }
@@ -345,9 +351,15 @@ impl<'a> Parser<'a> {
             self.expect_kw("on")?;
             let table = self.ident()?;
             self.expect_symbol("(")?;
-            let column = self.ident()?;
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
             self.expect_symbol(")")?;
-            return Ok(Statement::CreateIndex { name, table, column });
+            return Ok(Statement::CreateIndex { name, table, columns });
         }
         self.expect_kw("view")?;
         let name = self.ident()?;
@@ -910,9 +922,32 @@ mod tests {
             Statement::CreateIndex {
                 name: "users_id".into(),
                 table: "users".into(),
-                column: "id".into()
+                columns: vec!["id".into()]
             }
         );
+    }
+
+    #[test]
+    fn composite_index_and_drop_index_parse() {
+        let stmt = parse("CREATE INDEX ix ON t (a, b, c)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateIndex {
+                name: "ix".into(),
+                table: "t".into(),
+                columns: vec!["a".into(), "b".into(), "c".into()]
+            }
+        );
+        let stmt = parse("DROP INDEX ix ON t").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::DropIndex {
+                name: "ix".into(),
+                table: "t".into()
+            }
+        );
+        assert!(parse("CREATE INDEX ix ON t ()").is_err());
+        assert!(parse("DROP INDEX ix").is_err());
     }
 
     #[test]

@@ -91,14 +91,33 @@ impl PlannerKnobs {
     }
 }
 
+/// One secondary index as the planner sees it: the name and the ordered
+/// key columns (leading column first, lower-cased). The physical side
+/// (meta page, B-tree handle) stays in the catalog/table layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDesc {
+    /// Index name.
+    pub name: String,
+    /// Key columns in key order.
+    pub columns: Vec<String>,
+}
+
 /// What the planner needs to know about the database.
 pub trait CatalogView {
     /// Schema of a table (error if absent).
     fn table_schema(&self, name: &str) -> Result<Schema>;
     /// Stored query text of a view, if `name` is a view.
     fn view_query(&self, name: &str) -> Option<String>;
-    /// Whether `table.column` has a secondary index.
-    fn has_index(&self, table: &str, column: &str) -> bool;
+    /// Descriptors of every secondary index on `table`, in creation
+    /// order (empty when the table has none or does not exist).
+    fn indexes(&self, table: &str) -> Vec<IndexDesc>;
+    /// Multiplier on sequential-scan row cost for `table` under MVCC:
+    /// retained version chains make every scan patch visibility, so a
+    /// dense table scans slower than its row count suggests. `1.0`
+    /// (the default) means no retained versions / not under MVCC.
+    fn mvcc_scan_multiplier(&self, _table: &str) -> f64 {
+        1.0
+    }
     /// ANALYZE statistics for a table, if collected.
     fn table_stats(&self, _name: &str) -> Option<TableStats> {
         None
@@ -126,18 +145,50 @@ pub enum Plan {
         /// Table name.
         table: String,
     },
-    /// Index range scan; `predicate` is re-applied as a residual filter.
+    /// Index scan over a (possibly composite) B-tree: equality on a key
+    /// prefix, optional range on the next key column. The bounds are a
+    /// superset of the true predicate — the caller re-applies it as a
+    /// residual filter. Output is in index-key order. With `covering`
+    /// the scan emits the index key columns only (positions follow
+    /// `key_columns`) and never touches the heap; the planner wraps it
+    /// in a width-restoring projection.
     IndexScan {
         /// Table name.
         table: String,
-        /// Indexed column name.
-        column: String,
-        /// Inclusive lower bound.
+        /// Index name.
+        index: String,
+        /// Index key columns, leading column first (lower-cased).
+        key_columns: Vec<String>,
+        /// Equality values for the leading `eq.len()` key columns.
+        eq: Vec<Datum>,
+        /// Inclusive lower bound on key column `eq.len()`.
         lo: Option<Datum>,
-        /// Upper bound.
+        /// Upper bound on key column `eq.len()`.
         hi: Option<Datum>,
         /// Whether the upper bound is inclusive.
         hi_inclusive: bool,
+        /// Index-only scan: emit key columns, skip the heap.
+        covering: bool,
+    },
+    /// Union of equality probes on one index (`OR` chains, `IN` lists):
+    /// rowids are deduplicated and fetched in heap (rid) order.
+    IndexOr {
+        /// Table name.
+        table: String,
+        /// Index name.
+        index: String,
+        /// Index key columns, leading column first.
+        key_columns: Vec<String>,
+        /// Probe keys (full or prefix), deduplicated at plan time.
+        keys: Vec<Vec<Datum>>,
+    },
+    /// Sorted-rowid intersection of two equality probes on different
+    /// indexes; surviving rowids are fetched in heap (rid) order.
+    IndexAnd {
+        /// Table name.
+        table: String,
+        /// The two probes.
+        probes: Vec<IndexProbe>,
     },
     /// Literal rows.
     Values {
@@ -220,6 +271,17 @@ pub enum Plan {
     },
 }
 
+/// One equality probe of an [`Plan::IndexAnd`] intersection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexProbe {
+    /// Index name.
+    pub index: String,
+    /// Index key columns, leading column first.
+    pub key_columns: Vec<String>,
+    /// Equality values for the leading `eq.len()` key columns.
+    pub eq: Vec<Datum>,
+}
+
 impl Plan {
     /// One-line-per-node rendering (EXPLAIN-style), for tests and docs.
     pub fn explain(&self) -> String {
@@ -233,8 +295,30 @@ impl Plan {
     pub fn node_label(&self) -> String {
         match self {
             Plan::TableScan { table } => format!("TableScan {table}"),
-            Plan::IndexScan { table, column, lo, hi, hi_inclusive } => format!(
-                "IndexScan {table}.{column} lo={lo:?} hi={hi:?} hi_inc={hi_inclusive}"
+            Plan::IndexScan {
+                table,
+                index,
+                key_columns,
+                eq,
+                lo,
+                hi,
+                hi_inclusive,
+                covering,
+            } => format!(
+                "IndexScan {table}.{index}({}) eq={eq:?} lo={lo:?} hi={hi:?} hi_inc={hi_inclusive}{}",
+                key_columns.join(","),
+                if *covering { " covering" } else { "" }
+            ),
+            Plan::IndexOr { table, index, keys, .. } => {
+                format!("IndexOr {table}.{index} ({} keys)", keys.len())
+            }
+            Plan::IndexAnd { table, probes } => format!(
+                "IndexAnd {table} [{}]",
+                probes
+                    .iter()
+                    .map(|p| p.index.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ∩ ")
             ),
             Plan::Values { rows } => format!("Values ({} rows)", rows.len()),
             Plan::Filter { .. } => "Filter".to_string(),
@@ -680,6 +764,14 @@ fn plan_select_depth(
     }
 
     let plan = push_down_filters(plan);
+    // Covering rewrite runs last: only after filter pushdown are the
+    // residual predicates in place, and only the finished tree reveals
+    // which columns each index scan must actually produce.
+    let plan = if catalog.knobs().index_selection {
+        apply_covering(plan, catalog, &mut decisions)
+    } else {
+        plan
+    };
     Ok(PlannedQuery {
         plan,
         columns,
@@ -1419,21 +1511,158 @@ fn order_key(key: &OrderKey, columns: &[String]) -> Result<SortKey> {
     })
 }
 
-/// Candidate index bounds for one column, merged across conjuncts.
-struct IndexCandidate {
-    column: String,
+/// Widest `OR`/`IN` list the planner will turn into an [`Plan::IndexOr`]
+/// probe union. Past this fanout the per-probe descent cost and the rid
+/// dedup dominate, so the candidate is declined outright (with a
+/// decision line) rather than costed.
+pub const MAX_INDEX_OR_FANOUT: usize = 32;
+
+/// Range bounds extracted for one column, merged across conjuncts.
+#[derive(Default, Clone)]
+struct ColBounds {
     lo: Option<Datum>,
     hi: Option<Datum>,
     hi_inclusive: bool,
 }
 
+/// Per-column constraints a relation's local predicates imply: equality
+/// values, range bounds, and OR'd equality lists (from `IN` desugaring
+/// or explicit `OR` chains). Column names are schema-cased.
+#[derive(Default)]
+struct PredConstraints {
+    eq: Vec<(String, Datum)>,
+    ranges: Vec<(String, ColBounds)>,
+    or_eq: Vec<(String, Vec<Datum>)>,
+}
+
+impl PredConstraints {
+    fn eq_of(&self, col: &str) -> Option<&Datum> {
+        self.eq
+            .iter()
+            .find(|(c, _)| c.eq_ignore_ascii_case(col))
+            .map(|(_, d)| d)
+    }
+
+    fn range_of(&self, col: &str) -> Option<&ColBounds> {
+        self.ranges
+            .iter()
+            .find(|(c, _)| c.eq_ignore_ascii_case(col))
+            .map(|(_, b)| b)
+    }
+
+    fn extract(preds: &[Expr], schema: &Schema) -> PredConstraints {
+        let mut out = PredConstraints::default();
+        for p in preds {
+            // An OR chain whose every leaf is `col = lit` on one column.
+            if let Some((i, lits)) = as_or_equalities(p) {
+                if let Some(col) = schema.columns.get(i) {
+                    out.or_eq.push((col.name.clone(), lits));
+                }
+                continue;
+            }
+            let Expr::Binary(op, l, r) = p else { continue };
+            let (i, lit, op) = match (l.as_ref(), r.as_ref()) {
+                (Expr::Col(i), Expr::Lit(d)) => (*i, d, *op),
+                (Expr::Lit(d), Expr::Col(i)) => (*i, d, flip(*op)),
+                _ => continue,
+            };
+            let Some(col) = schema.columns.get(i) else { continue };
+            if op == BinOp::Eq {
+                if out.eq_of(&col.name).is_none() {
+                    out.eq.push((col.name.clone(), lit.clone()));
+                }
+                continue;
+            }
+            let bounds = match out.ranges.iter().position(|(c, _)| *c == col.name) {
+                Some(pos) => &mut out.ranges[pos].1,
+                None => {
+                    out.ranges.push((col.name.clone(), ColBounds::default()));
+                    &mut out.ranges.last_mut().unwrap().1
+                }
+            };
+            // Any single conjunct's bound is a superset of the
+            // conjunction; one-sided bounds keep the first seen per side
+            // (so `BETWEEN`-style pairs close both ends).
+            match op {
+                BinOp::Lt if bounds.hi.is_none() => {
+                    bounds.hi = Some(lit.clone());
+                    bounds.hi_inclusive = false;
+                }
+                BinOp::Le if bounds.hi.is_none() => {
+                    bounds.hi = Some(lit.clone());
+                    bounds.hi_inclusive = true;
+                }
+                // Inclusive lower bound is a superset for Gt; the
+                // residual filter removes the boundary row.
+                BinOp::Gt | BinOp::Ge if bounds.lo.is_none() => {
+                    bounds.lo = Some(lit.clone());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Flatten an OR tree into its disjuncts.
+fn flatten_or(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary(BinOp::Or, l, r) = e {
+        flatten_or(l, out);
+        flatten_or(r, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// Recognise `col = l1 OR col = l2 OR ...` (the shape `IN` desugars to):
+/// one column position and the deduplicated literal list, sorted by
+/// `Datum::order` for deterministic probing.
+fn as_or_equalities(e: &Expr) -> Option<(usize, Vec<Datum>)> {
+    if !matches!(e, Expr::Binary(BinOp::Or, _, _)) {
+        return None;
+    }
+    let mut leaves = Vec::new();
+    flatten_or(e, &mut leaves);
+    let mut col: Option<usize> = None;
+    let mut lits: Vec<Datum> = Vec::with_capacity(leaves.len());
+    for leaf in &leaves {
+        let Expr::Binary(BinOp::Eq, l, r) = leaf else { return None };
+        let (i, d) = match (l.as_ref(), r.as_ref()) {
+            (Expr::Col(i), Expr::Lit(d)) | (Expr::Lit(d), Expr::Col(i)) => (*i, d),
+            _ => return None,
+        };
+        if *col.get_or_insert(i) != i {
+            return None;
+        }
+        lits.push(d.clone());
+    }
+    lits.sort_by(|a, b| a.order(b));
+    lits.dedup_by(|a, b| a.order(b) == std::cmp::Ordering::Equal);
+    Some((col?, lits))
+}
+
+/// One access-path candidate under consideration.
+struct PathCand {
+    plan: Plan,
+    /// Compact label for the decision line.
+    label: String,
+    /// Equality-prefix length (index scans; used by the no-stats rule).
+    eq_len: usize,
+}
+
 /// Choose the access path for a base-table relation from its local
-/// predicates: sequential scan, B-tree point probe (`lo == hi`) or range
-/// scan. With stats, candidates are costed (rows fetched through the
-/// index pay the random-access penalty) against the sequential scan;
-/// without stats, the pre-stats syntactic rule applies (first indexed
-/// conjunct wins). Bounds are a superset of the true predicate — the
-/// caller re-applies the full predicate as a residual filter.
+/// predicates. Candidates per index: composite-equality probe (full or
+/// prefix), prefix-range scan (equality on a key prefix + range on the
+/// next key column), plain range scan; plus [`Plan::IndexOr`] for
+/// OR/`IN` equality lists on a leading column and [`Plan::IndexAnd`]
+/// for pairs of selective equality probes on different indexes. With
+/// stats every candidate is costed (heap rows fetched through an index
+/// pay the random-access penalty) against the sequential scan; without
+/// stats the syntactic rule picks the longest equality prefix. Bounds
+/// are a superset of the true predicate — the caller re-applies the
+/// full predicate as a residual filter. Covering (index-only) scans are
+/// rewritten in afterwards by [`apply_covering`], once the needed
+/// columns are known.
 fn choose_access_path(
     table: &str,
     preds: &[Expr],
@@ -1442,100 +1671,182 @@ fn choose_access_path(
     est: &Estimator,
     decisions: &mut Vec<String>,
 ) -> Result<Plan> {
+    let table_lc = table.to_lowercase();
     let seq = Plan::TableScan {
-        table: table.to_lowercase(),
+        table: table_lc.clone(),
     };
     if !knobs.index_selection {
         return Ok(seq);
     }
+    let indexes = catalog.indexes(table);
+    if indexes.is_empty() {
+        return Ok(seq);
+    }
     let schema = catalog.table_schema(table)?;
-    let mut cands: Vec<IndexCandidate> = Vec::new();
-    for p in preds {
-        let Expr::Binary(op, l, r) = p else { continue };
-        let (i, lit, op) = match (l.as_ref(), r.as_ref()) {
-            (Expr::Col(i), Expr::Lit(d)) => (*i, d, *op),
-            (Expr::Lit(d), Expr::Col(i)) => (*i, d, flip(*op)),
-            _ => continue,
-        };
-        let Some(col) = schema.columns.get(i) else { continue };
-        if !catalog.has_index(table, &col.name) {
+    let cons = PredConstraints::extract(preds, &schema);
+
+    let mut cands: Vec<PathCand> = Vec::new();
+    // Per-index scan candidates: longest equality prefix, then a range
+    // on the next key column when one is bounded.
+    for idx in &indexes {
+        let mut eq: Vec<Datum> = Vec::new();
+        for col in &idx.columns {
+            match cons.eq_of(col) {
+                Some(d) => eq.push(d.clone()),
+                None => break,
+            }
+        }
+        let bounds = idx
+            .columns
+            .get(eq.len())
+            .and_then(|c| cons.range_of(c))
+            .cloned()
+            .unwrap_or_default();
+        if eq.is_empty() && bounds.lo.is_none() && bounds.hi.is_none() {
             continue;
         }
-        let cand = match cands.iter().position(|c| c.column == col.name) {
-            Some(pos) => &mut cands[pos],
-            None => {
-                cands.push(IndexCandidate {
-                    column: col.name.clone(),
-                    lo: None,
-                    hi: None,
-                    hi_inclusive: true,
-                });
-                cands.last_mut().unwrap()
-            }
+        let has_range = bounds.lo.is_some() || bounds.hi.is_some();
+        let hi_inclusive = if bounds.hi.is_some() { bounds.hi_inclusive } else { true };
+        cands.push(PathCand {
+            label: format!(
+                "{}(eq={}{})",
+                idx.name,
+                eq.len(),
+                if has_range { "+range" } else { "" }
+            ),
+            eq_len: eq.len(),
+            plan: Plan::IndexScan {
+                table: table_lc.clone(),
+                index: idx.name.clone(),
+                key_columns: idx.columns.clone(),
+                eq,
+                lo: bounds.lo,
+                hi: bounds.hi,
+                hi_inclusive,
+                covering: false,
+            },
+        });
+    }
+    // IndexOr: an OR'd equality list on some index's leading column.
+    for (col, lits) in &cons.or_eq {
+        let Some(idx) = indexes
+            .iter()
+            .filter(|i| i.columns.first().is_some_and(|c| c.eq_ignore_ascii_case(col)))
+            .min_by_key(|i| (i.columns.len(), i.name.clone()))
+        else {
+            continue;
         };
-        // Any single conjunct's bound is a superset of the conjunction;
-        // an equality is the tightest, one-sided bounds keep the first
-        // seen per side (so `BETWEEN`-style pairs close both ends).
-        match op {
-            BinOp::Eq => {
-                cand.lo = Some(lit.clone());
-                cand.hi = Some(lit.clone());
-                cand.hi_inclusive = true;
+        if lits.is_empty() {
+            continue;
+        }
+        if lits.len() > MAX_INDEX_OR_FANOUT {
+            decisions.push(format!(
+                "access {table}: declined index-or({}) — fanout {} > {MAX_INDEX_OR_FANOUT}",
+                idx.name,
+                lits.len()
+            ));
+            continue;
+        }
+        cands.push(PathCand {
+            label: format!("{}(or×{})", idx.name, lits.len()),
+            eq_len: 0,
+            plan: Plan::IndexOr {
+                table: table_lc.clone(),
+                index: idx.name.clone(),
+                key_columns: idx.columns.clone(),
+                keys: lits.iter().map(|l| vec![l.clone()]).collect(),
+            },
+        });
+    }
+    let with_stats = knobs.use_stats && catalog.table_stats(table).is_some();
+    // IndexAnd: pairs of equality probes on indexes with different
+    // leading columns. Only costed selection can justify the double
+    // probe + intersection, so the candidates exist only with stats.
+    if with_stats {
+        let probes: Vec<(&IndexDesc, Vec<Datum>)> = indexes
+            .iter()
+            .filter_map(|idx| {
+                let mut eq = Vec::new();
+                for col in &idx.columns {
+                    match cons.eq_of(col) {
+                        Some(d) => eq.push(d.clone()),
+                        None => break,
+                    }
+                }
+                (!eq.is_empty()).then_some((idx, eq))
+            })
+            .collect();
+        for a in 0..probes.len() {
+            for b in a + 1..probes.len() {
+                let (ia, ea) = &probes[a];
+                let (ib, eb) = &probes[b];
+                if ia.columns[0].eq_ignore_ascii_case(&ib.columns[0]) {
+                    continue;
+                }
+                cands.push(PathCand {
+                    label: format!("{}∩{}", ia.name, ib.name),
+                    eq_len: 0,
+                    plan: Plan::IndexAnd {
+                        table: table_lc.clone(),
+                        probes: vec![
+                            IndexProbe {
+                                index: ia.name.clone(),
+                                key_columns: ia.columns.clone(),
+                                eq: ea.clone(),
+                            },
+                            IndexProbe {
+                                index: ib.name.clone(),
+                                key_columns: ib.columns.clone(),
+                                eq: eb.clone(),
+                            },
+                        ],
+                    },
+                });
             }
-            BinOp::Lt if cand.hi.is_none() => {
-                cand.hi = Some(lit.clone());
-                cand.hi_inclusive = false;
-            }
-            BinOp::Le if cand.hi.is_none() => {
-                cand.hi = Some(lit.clone());
-                cand.hi_inclusive = true;
-            }
-            // Inclusive lower bound is a superset for Gt; the residual
-            // filter removes the boundary row.
-            BinOp::Gt | BinOp::Ge if cand.lo.is_none() => {
-                cand.lo = Some(lit.clone());
-            }
-            _ => {}
         }
     }
-    cands.retain(|c| c.lo.is_some() || c.hi.is_some());
     if cands.is_empty() {
         return Ok(seq);
     }
-    let to_plan = |c: &IndexCandidate| Plan::IndexScan {
-        table: table.to_lowercase(),
-        column: c.column.clone(),
-        lo: c.lo.clone(),
-        hi: c.hi.clone(),
-        hi_inclusive: c.hi_inclusive,
-    };
 
-    if !(knobs.use_stats && catalog.table_stats(table).is_some()) {
-        // Pre-stats syntactic rule: first indexed conjunct wins.
-        return Ok(to_plan(&cands[0]));
+    if !with_stats {
+        // Syntactic rule (no statistics): the longest equality prefix
+        // wins; ties keep index creation order. An OR probe union only
+        // applies when no single-index candidate does.
+        let best = cands
+            .iter()
+            .filter(|c| matches!(c.plan, Plan::IndexScan { .. }))
+            .max_by_key(|c| c.eq_len)
+            .or_else(|| cands.first())
+            .unwrap();
+        return Ok(best.plan.clone());
     }
+
     let seq_cost = est.estimate(&seq).cost;
-    let (idx_plan, idx_cost) = cands
+    let costed: Vec<(usize, f64)> = cands
         .iter()
-        .map(|c| {
-            let p = to_plan(c);
-            let cost = est.estimate(&p).cost;
-            (p, cost)
-        })
+        .enumerate()
+        .map(|(i, c)| (i, est.estimate(&c.plan).cost))
+        .collect();
+    let parts: Vec<String> = costed
+        .iter()
+        .map(|(i, cost)| format!("{}={cost:.0}", cands[*i].label))
+        .collect();
+    let &(best, best_cost) = costed
+        .iter()
         .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .unwrap();
-    if idx_cost < seq_cost {
+    if best_cost < seq_cost {
         decisions.push(format!(
-            "access {table}: index({}) (cost model: index={idx_cost:.0} seq={seq_cost:.0})",
-            match &idx_plan {
-                Plan::IndexScan { column, .. } => column.as_str(),
-                _ => "?",
-            }
+            "access {table}: {} (cost model: {} seq={seq_cost:.0})",
+            cands[best].label,
+            parts.join(" ")
         ));
-        Ok(idx_plan)
+        Ok(cands[best].plan.clone())
     } else {
         decisions.push(format!(
-            "access {table}: seq scan (cost model: index={idx_cost:.0} seq={seq_cost:.0})"
+            "access {table}: seq scan (cost model: {} seq={seq_cost:.0})",
+            parts.join(" ")
         ));
         Ok(seq)
     }
@@ -1548,6 +1859,203 @@ fn flip(op: BinOp) -> BinOp {
         BinOp::Gt => BinOp::Lt,
         BinOp::Ge => BinOp::Le,
         other => other,
+    }
+}
+
+/// Which input columns a node needs: an exact set, or `None` for "all"
+/// (nodes like DISTINCT that compare whole rows).
+type Needed = Option<BTreeSet<usize>>;
+
+/// Covering rewrite: walk the finished plan top-down computing which
+/// columns each subtree must actually produce; when every column needed
+/// from an [`Plan::IndexScan`] is a key column of its index, flip the
+/// scan to `covering` (index-only — the B-tree entries already carry
+/// the values, so the heap is never touched) and wrap it in a
+/// width-restoring projection (key columns at their table positions,
+/// NULL padding elsewhere — the padding is provably never read).
+pub fn apply_covering(
+    plan: Plan,
+    catalog: &dyn CatalogView,
+    decisions: &mut Vec<String>,
+) -> Plan {
+    cover(plan, None, catalog, decisions)
+}
+
+fn needed_union(needed: &Needed, extra: impl IntoIterator<Item = usize>) -> Needed {
+    needed.as_ref().map(|set| {
+        let mut set = set.clone();
+        set.extend(extra);
+        set
+    })
+}
+
+fn cover(
+    plan: Plan,
+    needed: Needed,
+    catalog: &dyn CatalogView,
+    decisions: &mut Vec<String>,
+) -> Plan {
+    match plan {
+        Plan::Project { input, exprs } => {
+            let mut used: BTreeSet<usize> = BTreeSet::new();
+            for e in &exprs {
+                used.extend(expr_columns(e));
+            }
+            Plan::Project {
+                input: Box::new(cover(*input, Some(used), catalog, decisions)),
+                exprs,
+            }
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let mut used: BTreeSet<usize> = BTreeSet::new();
+            for e in group_by.iter().chain(aggs.iter().map(|a| &a.arg)) {
+                used.extend(expr_columns(e));
+            }
+            Plan::Aggregate {
+                input: Box::new(cover(*input, Some(used), catalog, decisions)),
+                group_by,
+                aggs,
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            let needed = needed_union(&needed, expr_columns(&predicate));
+            Plan::Filter {
+                input: Box::new(cover(*input, needed, catalog, decisions)),
+                predicate,
+            }
+        }
+        Plan::Sort { input, keys } => {
+            let needed = needed_union(&needed, keys.iter().map(|k| k.column));
+            Plan::Sort {
+                input: Box::new(cover(*input, needed, catalog, decisions)),
+                keys,
+            }
+        }
+        Plan::Limit { input, n, offset } => Plan::Limit {
+            input: Box::new(cover(*input, needed, catalog, decisions)),
+            n,
+            offset,
+        },
+        // DISTINCT compares entire rows: every input column is read.
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(cover(*input, None, catalog, decisions)),
+        },
+        Plan::EquiJoin {
+            left,
+            right,
+            algorithm,
+            left_col,
+            right_col,
+            left_width,
+            build,
+        } => {
+            let (ln, rn) = split_needed(&needed, left_width, [left_col], [right_col]);
+            Plan::EquiJoin {
+                left: Box::new(cover(*left, ln, catalog, decisions)),
+                right: Box::new(cover(*right, rn, catalog, decisions)),
+                algorithm,
+                left_col,
+                right_col,
+                left_width,
+                build,
+            }
+        }
+        Plan::NlJoin {
+            left,
+            right,
+            predicate,
+            left_width,
+        } => {
+            let pred_cols = expr_columns(&predicate);
+            let needed = needed_union(&needed, pred_cols);
+            let (ln, rn) = split_needed(&needed, left_width, [], []);
+            Plan::NlJoin {
+                left: Box::new(cover(*left, ln, catalog, decisions)),
+                right: Box::new(cover(*right, rn, catalog, decisions)),
+                predicate,
+                left_width,
+            }
+        }
+        Plan::IndexScan {
+            table,
+            index,
+            key_columns,
+            eq,
+            lo,
+            hi,
+            hi_inclusive,
+            covering: false,
+        } => {
+            let scan = |covering| Plan::IndexScan {
+                table: table.clone(),
+                index: index.clone(),
+                key_columns: key_columns.clone(),
+                eq: eq.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                hi_inclusive,
+                covering,
+            };
+            let Some(set) = needed else { return scan(false) };
+            let Ok(schema) = catalog.table_schema(&table) else {
+                return scan(false);
+            };
+            let covered = set.iter().all(|&i| {
+                schema
+                    .columns
+                    .get(i)
+                    .is_some_and(|c| key_columns.iter().any(|k| k.eq_ignore_ascii_case(&c.name)))
+            });
+            if !covered {
+                return scan(false);
+            }
+            let exprs: Vec<Expr> = schema
+                .columns
+                .iter()
+                .map(|c| {
+                    match key_columns
+                        .iter()
+                        .position(|k| k.eq_ignore_ascii_case(&c.name))
+                    {
+                        Some(k) => Expr::Col(k),
+                        None => Expr::Lit(Datum::Null),
+                    }
+                })
+                .collect();
+            decisions.push(format!(
+                "access {table}: covering index-only scan via {index} (heap never read)"
+            ));
+            Plan::Project {
+                input: Box::new(scan(true)),
+                exprs,
+            }
+        }
+        leaf => leaf,
+    }
+}
+
+/// Split a join's needed set into per-side sets, adding each side's own
+/// key columns.
+fn split_needed(
+    needed: &Needed,
+    left_width: usize,
+    extra_left: impl IntoIterator<Item = usize>,
+    extra_right: impl IntoIterator<Item = usize>,
+) -> (Needed, Needed) {
+    match needed {
+        None => (None, None),
+        Some(set) => {
+            let mut l: BTreeSet<usize> = set.iter().copied().filter(|&p| p < left_width).collect();
+            let mut r: BTreeSet<usize> = set
+                .iter()
+                .copied()
+                .filter(|&p| p >= left_width)
+                .map(|p| p - left_width)
+                .collect();
+            l.extend(extra_left);
+            r.extend(extra_right);
+            (Some(l), Some(r))
+        }
     }
 }
 
@@ -1581,8 +2089,15 @@ mod tests {
                 .then(|| "SELECT user_id, amount FROM orders WHERE amount > 100".to_string())
         }
 
-        fn has_index(&self, table: &str, column: &str) -> bool {
-            table == "users" && column == "id"
+        fn indexes(&self, table: &str) -> Vec<IndexDesc> {
+            if table == "users" {
+                vec![IndexDesc {
+                    name: "users_id".into(),
+                    columns: vec!["id".into()],
+                }]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -1611,7 +2126,7 @@ mod tests {
     fn equality_on_indexed_column_uses_index() {
         let p = plan("SELECT * FROM users WHERE id = 5");
         let explain = p.plan.explain();
-        assert!(explain.contains("IndexScan users.id"), "{explain}");
+        assert!(explain.contains("IndexScan users.users_id(id) eq=[Int(5)]"), "{explain}");
         assert!(explain.contains("Filter"), "residual filter kept: {explain}");
     }
 
@@ -1793,8 +2308,18 @@ mod tests {
             None
         }
 
-        fn has_index(&self, table: &str, column: &str) -> bool {
-            (table == "users" && column == "id") || (table == "orders" && column == "amount")
+        fn indexes(&self, table: &str) -> Vec<IndexDesc> {
+            match table {
+                "users" => vec![IndexDesc {
+                    name: "users_id".into(),
+                    columns: vec!["id".into()],
+                }],
+                "orders" => vec![IndexDesc {
+                    name: "orders_amount".into(),
+                    columns: vec!["amount".into()],
+                }],
+                _ => Vec::new(),
+            }
         }
 
         fn table_stats(&self, name: &str) -> Option<TableStats> {
@@ -1934,5 +2459,250 @@ mod tests {
             "{:?}",
             p.decisions
         );
+    }
+
+    // ── Composite indexes, IndexOr/IndexAnd, covering ─────────────────
+
+    /// `events` (1000 rows): `tenant` i%10 (NDV 10), `ts` i (NDV 1000),
+    /// `kind` i%50 (NDV 50), `payload` unindexed text. Indexes: the
+    /// composite `ev_tenant_ts(tenant, ts)` and single `ev_kind(kind)`.
+    struct CompositeCatalog {
+        with_stats: bool,
+    }
+
+    impl CatalogView for CompositeCatalog {
+        fn table_schema(&self, name: &str) -> Result<Schema> {
+            if name != "events" {
+                return Err(err(format!("no such table `{name}`")));
+            }
+            Schema::new(vec![
+                Column::not_null("tenant", ColumnType::Int),
+                Column::not_null("ts", ColumnType::Int),
+                Column::not_null("kind", ColumnType::Int),
+                Column::not_null("payload", ColumnType::Text),
+            ])
+        }
+
+        fn view_query(&self, _name: &str) -> Option<String> {
+            None
+        }
+
+        fn indexes(&self, table: &str) -> Vec<IndexDesc> {
+            if table != "events" {
+                return Vec::new();
+            }
+            vec![
+                IndexDesc {
+                    name: "ev_tenant_ts".into(),
+                    columns: vec!["tenant".into(), "ts".into()],
+                },
+                IndexDesc {
+                    name: "ev_kind".into(),
+                    columns: vec!["kind".into()],
+                },
+            ]
+        }
+
+        fn table_stats(&self, name: &str) -> Option<TableStats> {
+            if !self.with_stats || name != "events" {
+                return None;
+            }
+            let schema = self.table_schema(name).ok()?;
+            let rows: Vec<Vec<Datum>> = (0..1000)
+                .map(|i| {
+                    vec![
+                        Datum::Int(i % 10),
+                        Datum::Int(i),
+                        Datum::Int(i % 50),
+                        Datum::Str(format!("p{i}")),
+                    ]
+                })
+                .collect();
+            Some(TableStats::collect(&rows, &schema, 16))
+        }
+    }
+
+    fn plan_events(sql: &str, with_stats: bool) -> PlannedQuery {
+        plan_with(sql, &CompositeCatalog { with_stats })
+    }
+
+    #[test]
+    fn composite_equality_probes_both_key_columns() {
+        let p = plan_events("SELECT * FROM events WHERE tenant = 3 AND ts = 55", true);
+        let explain = p.plan.explain();
+        assert!(
+            explain.contains("IndexScan events.ev_tenant_ts(tenant,ts) eq=[Int(3), Int(55)]"),
+            "{explain}"
+        );
+    }
+
+    #[test]
+    fn prefix_equality_plus_range_on_next_key_column() {
+        let p = plan_events(
+            "SELECT * FROM events WHERE tenant = 3 AND ts >= 100 AND ts <= 200",
+            true,
+        );
+        let explain = p.plan.explain();
+        assert!(
+            explain.contains("eq=[Int(3)] lo=Some(Int(100)) hi=Some(Int(200)) hi_inc=true"),
+            "{explain}"
+        );
+    }
+
+    #[test]
+    fn syntactic_rule_prefers_longest_equality_prefix() {
+        // Without stats: ev_tenant_ts matches a 2-column prefix,
+        // ev_kind only 1 — the longer prefix wins.
+        let p = plan_events(
+            "SELECT * FROM events WHERE kind = 7 AND tenant = 3 AND ts = 5",
+            false,
+        );
+        let explain = p.plan.explain();
+        assert!(explain.contains("IndexScan events.ev_tenant_ts"), "{explain}");
+    }
+
+    #[test]
+    fn in_list_on_selective_column_uses_index_or() {
+        let p = plan_events("SELECT * FROM events WHERE kind IN (7, 3, 11)", true);
+        let explain = p.plan.explain();
+        assert!(explain.contains("IndexOr events.ev_kind (3 keys)"), "{explain}");
+        // Probe keys are deduplicated and sorted for determinism.
+        fn find_or(plan: &Plan) -> Option<&Plan> {
+            if matches!(plan, Plan::IndexOr { .. }) {
+                return Some(plan);
+            }
+            plan.children().iter().find_map(|c| find_or(c))
+        }
+        let Some(Plan::IndexOr { keys, .. }) = find_or(&p.plan) else {
+            panic!("{explain}");
+        };
+        assert_eq!(
+            keys,
+            &vec![
+                vec![Datum::Int(3)],
+                vec![Datum::Int(7)],
+                vec![Datum::Int(11)]
+            ]
+        );
+    }
+
+    #[test]
+    fn non_selective_or_declined_by_cost() {
+        // tenant has NDV 10: three probes cover ~30% of the table, and
+        // random fetches at that selectivity lose to one sequential
+        // pass. The decision line shows both numbers.
+        let p = plan_events("SELECT * FROM events WHERE tenant IN (1, 2, 3)", true);
+        let explain = p.plan.explain();
+        assert!(explain.contains("TableScan events"), "{explain}");
+        assert!(!explain.contains("IndexOr"), "{explain}");
+        assert!(
+            p.decisions.iter().any(|d| d.contains("seq scan")),
+            "{:?}",
+            p.decisions
+        );
+    }
+
+    #[test]
+    fn wide_in_list_fanout_gated() {
+        let lits: Vec<String> = (0..(MAX_INDEX_OR_FANOUT as i64 + 1))
+            .map(|i| i.to_string())
+            .collect();
+        let sql = format!(
+            "SELECT * FROM events WHERE kind IN ({})",
+            lits.join(", ")
+        );
+        let p = plan_events(&sql, true);
+        assert!(!p.plan.explain().contains("IndexOr"), "{}", p.plan.explain());
+        assert!(
+            p.decisions.iter().any(|d| d.contains("fanout")),
+            "{:?}",
+            p.decisions
+        );
+    }
+
+    #[test]
+    fn two_probe_intersection_uses_index_and() {
+        // tenant=3 alone fetches ~100 rows, kind=7 alone ~20; the
+        // intersection streams both rid lists cheaply and fetches only
+        // the ~2 surviving rows.
+        let p = plan_events("SELECT * FROM events WHERE tenant = 3 AND kind = 7", true);
+        let explain = p.plan.explain();
+        assert!(
+            explain.contains("IndexAnd events [ev_tenant_ts ∩ ev_kind]"),
+            "{explain}"
+        );
+    }
+
+    #[test]
+    fn covering_scan_when_keys_answer_the_query() {
+        let p = plan_events("SELECT tenant, ts FROM events WHERE tenant = 3", true);
+        let explain = p.plan.explain();
+        assert!(explain.contains("covering"), "{explain}");
+        assert!(
+            p.decisions.iter().any(|d| d.contains("covering index-only")),
+            "{:?}",
+            p.decisions
+        );
+    }
+
+    #[test]
+    fn covering_declined_when_non_key_column_needed() {
+        let p = plan_events("SELECT payload FROM events WHERE tenant = 3", true);
+        let explain = p.plan.explain();
+        assert!(explain.contains("IndexScan events.ev_tenant_ts"), "{explain}");
+        assert!(!explain.contains("covering"), "{explain}");
+    }
+
+    #[test]
+    fn distinct_star_blocks_covering() {
+        // DISTINCT compares whole rows: every column is "needed", so the
+        // scan must stay a heap fetch even though the filter and output
+        // could be key-only. (The projection above DISTINCT is SELECT *.)
+        let p = plan_events("SELECT DISTINCT * FROM events WHERE tenant = 3", true);
+        assert!(!p.plan.explain().contains("covering"), "{}", p.plan.explain());
+    }
+
+    /// StatsCatalog with a forced MVCC version-chain density multiplier,
+    /// as a dense update-heavy table would report.
+    struct DenseMvccCatalog {
+        inner: StatsCatalog,
+        multiplier: f64,
+    }
+
+    impl CatalogView for DenseMvccCatalog {
+        fn table_schema(&self, name: &str) -> Result<Schema> {
+            self.inner.table_schema(name)
+        }
+        fn view_query(&self, name: &str) -> Option<String> {
+            self.inner.view_query(name)
+        }
+        fn indexes(&self, table: &str) -> Vec<IndexDesc> {
+            self.inner.indexes(table)
+        }
+        fn table_stats(&self, name: &str) -> Option<TableStats> {
+            self.inner.table_stats(name)
+        }
+        fn mvcc_scan_multiplier(&self, _table: &str) -> f64 {
+            self.multiplier
+        }
+    }
+
+    #[test]
+    fn mvcc_chain_density_penalizes_seq_scans() {
+        let dense = DenseMvccCatalog {
+            inner: StatsCatalog::new(),
+            multiplier: 5.0,
+        };
+        let est = Estimator::new(&dense);
+        let seq = Plan::TableScan {
+            table: "orders".into(),
+        };
+        // 1000 rows × COST_SEQ_ROW × 5.0 forced-dense multiplier.
+        assert_eq!(est.estimate(&seq).cost, 5000.0);
+        // The non-selective range that loses to a clean seq scan (see
+        // cost_rejects_index_for_nonselective_range) wins once the heap
+        // is littered with dead versions: 10 + 1000×4 < 5000.
+        let p = plan_with("SELECT oid FROM orders WHERE amount >= 0", &dense);
+        assert!(p.plan.explain().contains("IndexScan"), "{}", p.plan.explain());
     }
 }

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use sbdms_access::btree::BTree;
 use sbdms_access::heap::{HeapFile, Rid};
-use sbdms_access::record::{decode_tuple, encode_tuple, Tuple};
+use sbdms_access::record::{decode_tuple, encode_tuple, Datum, Tuple};
 use sbdms_kernel::error::{Result, ServiceError};
 use sbdms_storage::buffer::BufferPool;
 
@@ -72,13 +72,34 @@ impl Table {
         &self.heap
     }
 
-    /// Open index on a column, if any.
+    /// All open indexes with their descriptors.
+    pub fn indexes(&self) -> &[(IndexMeta, BTree)] {
+        &self.indexes
+    }
+
+    /// Open index by name, if any.
+    pub fn index_named(&self, name: &str) -> Option<&(IndexMeta, BTree)> {
+        let name = name.to_lowercase();
+        self.indexes.iter().find(|(m, _)| m.name == name)
+    }
+
+    /// Open index whose *leading* key column is `column`, if any
+    /// (single-column convenience; prefers the shortest such key).
     pub fn index_on(&self, column: &str) -> Option<&BTree> {
         let column = column.to_lowercase();
         self.indexes
             .iter()
-            .find(|(m, _)| m.column == column)
+            .filter(|(m, _)| m.columns.first() == Some(&column))
+            .min_by_key(|(m, _)| m.columns.len())
             .map(|(_, t)| t)
+    }
+
+    /// The composite index key of `row` under descriptor `im`.
+    fn index_key(&self, im: &IndexMeta, row: &Tuple) -> Result<Vec<Datum>> {
+        im.columns
+            .iter()
+            .map(|c| Ok(row[self.column_index(c)?].clone()))
+            .collect()
     }
 
     /// Insert a row (validated against the schema). Returns its rid.
@@ -86,8 +107,7 @@ impl Table {
         let row = self.meta.schema.validate(row)?;
         let rid = self.heap.insert(&encode_tuple(&row))?;
         for (im, tree) in &self.indexes {
-            let col = self.column_index(&im.column)?;
-            tree.insert(&row[col], rid)?;
+            tree.insert(&self.index_key(im, &row)?, rid)?;
         }
         Ok(rid)
     }
@@ -101,8 +121,7 @@ impl Table {
     pub fn delete(&self, rid: Rid) -> Result<Tuple> {
         let old = self.get(rid)?;
         for (im, tree) in &self.indexes {
-            let col = self.column_index(&im.column)?;
-            tree.delete(&old[col], rid)?;
+            tree.delete(&self.index_key(im, &old)?, rid)?;
         }
         self.heap.delete(rid)?;
         Ok(old)
@@ -115,10 +134,11 @@ impl Table {
         let old = self.get(rid)?;
         self.heap.update(rid, &encode_tuple(&row))?;
         for (im, tree) in &self.indexes {
-            let col = self.column_index(&im.column)?;
-            if old[col] != row[col] {
-                tree.delete(&old[col], rid)?;
-                tree.insert(&row[col], rid)?;
+            let old_key = self.index_key(im, &old)?;
+            let new_key = self.index_key(im, &row)?;
+            if old_key != new_key {
+                tree.delete(&old_key, rid)?;
+                tree.insert(&new_key, rid)?;
             }
         }
         Ok(old)
@@ -153,28 +173,72 @@ impl Table {
         self.heap.is_empty()
     }
 
-    /// Create a secondary index on `column`, backfilling existing rows,
-    /// and persist the new metadata.
-    pub fn create_index(&mut self, catalog: &Catalog, name: &str, column: &str) -> Result<()> {
-        let column = column.to_lowercase();
-        let col = self.column_index(&column)?;
-        if self.indexes.iter().any(|(m, _)| m.column == column) {
+    /// Create a secondary index over `columns` (leading column first),
+    /// backfilling existing rows, and persist the new metadata.
+    pub fn create_index(&mut self, catalog: &Catalog, name: &str, columns: &[String]) -> Result<()> {
+        if columns.is_empty() {
+            return Err(ServiceError::InvalidInput("index needs at least one column".into()));
+        }
+        let name = name.to_lowercase();
+        let columns: Vec<String> = columns.iter().map(|c| c.to_lowercase()).collect();
+        let mut cols = Vec::with_capacity(columns.len());
+        for c in &columns {
+            let i = self.column_index(c)?;
+            if cols.contains(&i) {
+                return Err(ServiceError::InvalidInput(format!(
+                    "column `{c}` repeated in index key"
+                )));
+            }
+            cols.push(i);
+        }
+        if self.indexes.iter().any(|(m, _)| m.name == name) {
             return Err(ServiceError::InvalidInput(format!(
-                "column `{column}` is already indexed"
+                "index `{name}` already exists on `{}`",
+                self.meta.name
+            )));
+        }
+        if self.indexes.iter().any(|(m, _)| m.columns == columns) {
+            return Err(ServiceError::InvalidInput(format!(
+                "columns ({}) are already indexed",
+                columns.join(", ")
             )));
         }
         let tree = BTree::create(self.buffer.clone())?;
         for (rid, row) in self.scan()? {
-            tree.insert(&row[col], rid)?;
+            let key: Vec<Datum> = cols.iter().map(|&i| row[i].clone()).collect();
+            tree.insert(&key, rid)?;
         }
         let im = IndexMeta {
-            name: name.to_lowercase(),
-            column,
+            name,
+            columns,
             meta_page: tree.meta_page(),
         };
         self.meta.indexes.push(im.clone());
         catalog.update_table(self.meta.clone())?;
         self.indexes.push((im, tree));
+        Ok(())
+    }
+
+    /// Drop a secondary index by name, persisting the new metadata. The
+    /// tree's meta page is freed; node pages are leaked like
+    /// [`rebuild_indexes`](Table::rebuild_indexes) (bounded by the next
+    /// checkpoint's fresh baseline).
+    pub fn drop_index(&mut self, catalog: &Catalog, name: &str) -> Result<()> {
+        let name = name.to_lowercase();
+        let pos = self
+            .indexes
+            .iter()
+            .position(|(m, _)| m.name == name)
+            .ok_or_else(|| {
+                ServiceError::InvalidInput(format!(
+                    "no such index `{name}` on `{}`",
+                    self.meta.name
+                ))
+            })?;
+        let (im, _) = self.indexes.remove(pos);
+        self.meta.indexes.retain(|m| m.name != name);
+        catalog.update_table(self.meta.clone())?;
+        let _ = self.buffer.free_page(im.meta_page);
         Ok(())
     }
 
@@ -193,8 +257,7 @@ impl Table {
         }
         for (im, tree) in &self.indexes {
             tree.validate()?;
-            let col = self.column_index(&im.column)?;
-            let entries = tree.range(None, None, true)?;
+            let entries = tree.range(None, None, true, true)?;
             if entries.len() != rows.len() {
                 return Err(ServiceError::Storage(format!(
                     "index `{}` on `{}` has {} entries for {} rows",
@@ -208,7 +271,7 @@ impl Table {
                 rows.iter().map(|(rid, row)| (*rid, row)).collect();
             for (key, rid) in entries {
                 match by_rid.get(&rid) {
-                    Some(row) if row[col] == key => {}
+                    Some(row) if self.index_key(im, row)? == key => {}
                     Some(_) => {
                         return Err(ServiceError::Storage(format!(
                             "index `{}` on `{}`: stale key for {rid:?}",
@@ -242,10 +305,9 @@ impl Table {
         let rows = self.scan()?;
         let mut rebuilt = Vec::with_capacity(self.indexes.len());
         for (im, _) in &self.indexes {
-            let col = self.column_index(&im.column)?;
             let tree = BTree::create(self.buffer.clone())?;
             for (rid, row) in &rows {
-                tree.insert(&row[col], *rid)?;
+                tree.insert(&self.index_key(im, row)?, *rid)?;
             }
             let mut im = im.clone();
             im.meta_page = tree.meta_page();
@@ -336,6 +398,10 @@ mod tests {
         assert!(table.insert(vec![Datum::Null, Datum::Str("x".into())]).is_err());
     }
 
+    fn cols(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn index_maintenance_through_dml() {
         let catalog = setup("index");
@@ -343,33 +409,80 @@ mod tests {
         for i in 0..50 {
             table.insert(row(i, &format!("user{i}"))).unwrap();
         }
-        table.create_index(&catalog, "users_id", "id").unwrap();
+        table.create_index(&catalog, "users_id", &cols(&["id"])).unwrap();
 
         let tree = table.index_on("id").unwrap();
         assert_eq!(tree.len().unwrap(), 50, "backfill indexed existing rows");
-        let hits = tree.search(&Datum::Int(7)).unwrap();
+        let hits = tree.search(&[Datum::Int(7)]).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(table.get(hits[0]).unwrap(), row(7, "user7"));
 
         // Insert/update/delete maintain the index.
         let rid = table.insert(row(100, "newbie")).unwrap();
-        assert_eq!(table.index_on("id").unwrap().search(&Datum::Int(100)).unwrap(), vec![rid]);
+        assert_eq!(table.index_on("id").unwrap().search(&[Datum::Int(100)]).unwrap(), vec![rid]);
 
         table.update(rid, row(200, "renamed")).unwrap();
-        assert!(table.index_on("id").unwrap().search(&Datum::Int(100)).unwrap().is_empty());
-        assert_eq!(table.index_on("id").unwrap().search(&Datum::Int(200)).unwrap(), vec![rid]);
+        assert!(table.index_on("id").unwrap().search(&[Datum::Int(100)]).unwrap().is_empty());
+        assert_eq!(table.index_on("id").unwrap().search(&[Datum::Int(200)]).unwrap(), vec![rid]);
 
         table.delete(rid).unwrap();
-        assert!(table.index_on("id").unwrap().search(&Datum::Int(200)).unwrap().is_empty());
+        assert!(table.index_on("id").unwrap().search(&[Datum::Int(200)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn composite_index_maintenance_and_drop() {
+        let catalog = setup("composite-index");
+        let mut table = Table::create(&catalog, "users", users_schema()).unwrap();
+        for i in 0..30 {
+            table.insert(row(i % 3, &format!("user{i}"))).unwrap();
+        }
+        table
+            .create_index(&catalog, "users_id_name", &cols(&["id", "name"]))
+            .unwrap();
+        let (im, tree) = table.index_named("users_id_name").unwrap();
+        assert_eq!(im.columns, vec!["id", "name"]);
+        assert_eq!(tree.len().unwrap(), 30);
+        // Full composite probe hits exactly one row.
+        let hits = tree
+            .search(&[Datum::Int(1), Datum::Str("user7".into())])
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        // Prefix probe hits the whole id group.
+        assert_eq!(tree.search(&[Datum::Int(1)]).unwrap().len(), 10);
+
+        // Update that changes only the second key column re-keys the index.
+        let rid = hits[0];
+        table.update(rid, row(1, "renamed")).unwrap();
+        let (_, tree) = table.index_named("users_id_name").unwrap();
+        assert!(tree
+            .search(&[Datum::Int(1), Datum::Str("user7".into())])
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            tree.search(&[Datum::Int(1), Datum::Str("renamed".into())]).unwrap(),
+            vec![rid]
+        );
+        table.validate().unwrap();
+
+        // Drop removes it from the handle and the catalog.
+        table.drop_index(&catalog, "users_id_name").unwrap();
+        assert!(table.index_named("users_id_name").is_none());
+        assert!(catalog.table("users").unwrap().indexes.is_empty());
+        assert!(table.drop_index(&catalog, "users_id_name").is_err());
     }
 
     #[test]
     fn duplicate_index_rejected() {
         let catalog = setup("dup-index");
         let mut table = Table::create(&catalog, "users", users_schema()).unwrap();
-        table.create_index(&catalog, "i1", "id").unwrap();
-        assert!(table.create_index(&catalog, "i2", "id").is_err());
-        assert!(table.create_index(&catalog, "i3", "ghost").is_err());
+        table.create_index(&catalog, "i1", &cols(&["id"])).unwrap();
+        assert!(table.create_index(&catalog, "i2", &cols(&["id"])).is_err(), "same column set");
+        assert!(table.create_index(&catalog, "i1", &cols(&["name"])).is_err(), "same name");
+        assert!(table.create_index(&catalog, "i3", &cols(&["ghost"])).is_err());
+        assert!(table.create_index(&catalog, "i4", &cols(&["id", "id"])).is_err(), "repeated column");
+        assert!(table.create_index(&catalog, "i5", &[]).is_err());
+        // A composite over the same leading column is allowed.
+        table.create_index(&catalog, "i6", &cols(&["id", "name"])).unwrap();
     }
 
     #[test]
@@ -385,14 +498,14 @@ mod tests {
             for i in 0..20 {
                 table.insert(row(i, &format!("u{i}"))).unwrap();
             }
-            table.create_index(&catalog, "users_id", "id").unwrap();
+            table.create_index(&catalog, "users_id", &cols(&["id"])).unwrap();
             engine.buffer.flush_all().unwrap();
         }
         let engine = StorageEngine::open(&dir, 64, PolicyKind::Lru).unwrap();
         let catalog = Catalog::open(engine.buffer).unwrap();
         let table = Table::open(&catalog, "users").unwrap();
         assert_eq!(table.len().unwrap(), 20);
-        let hits = table.index_on("id").unwrap().search(&Datum::Int(13)).unwrap();
+        let hits = table.index_on("id").unwrap().search(&[Datum::Int(13)]).unwrap();
         assert_eq!(table.get(hits[0]).unwrap(), row(13, "u13"));
     }
 
@@ -411,8 +524,8 @@ mod tests {
         let catalog = setup("noop");
         let mut table = Table::create(&catalog, "users", users_schema()).unwrap();
         let rid = table.insert(row(1, "a")).unwrap();
-        table.create_index(&catalog, "i", "id").unwrap();
+        table.create_index(&catalog, "i", &cols(&["id"])).unwrap();
         table.update(rid, row(1, "b")).unwrap();
-        assert_eq!(table.index_on("id").unwrap().search(&Datum::Int(1)).unwrap(), vec![rid]);
+        assert_eq!(table.index_on("id").unwrap().search(&[Datum::Int(1)]).unwrap(), vec![rid]);
     }
 }

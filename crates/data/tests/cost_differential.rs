@@ -144,6 +144,103 @@ fn explain_text(db: &Database, sql: &str) -> String {
         .join("\n")
 }
 
+/// The richer access paths — composite-equality probes, prefix-range
+/// scans, IndexOr probe unions, IndexAnd intersections, covering
+/// index-only scans — must each be provably *chosen* by the cost model
+/// on a shape built for it, and byte-identical to the forced
+/// sequential-scan baseline. The data includes NULLs in an indexed
+/// column (NULL keys live in the B-tree but `= NULL` is never true in
+/// SQL: the residual filter must drop what the probe admits) and the
+/// IN list carries a duplicate literal (plan-time key dedup).
+#[test]
+fn new_access_paths_chosen_and_differentially_correct() {
+    let db = open_db(21);
+    db.execute(
+        "CREATE TABLE ev (tenant INT NOT NULL, ts INT NOT NULL, kind INT, payload TEXT)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX ev_tenant_ts ON ev (tenant, ts)").unwrap();
+    db.execute("CREATE INDEX ev_kind ON ev (kind)").unwrap();
+    for chunk in (0..900i64).collect::<Vec<_>>().chunks(150) {
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| {
+                let kind = if i % 97 == 0 {
+                    "NULL".to_string()
+                } else {
+                    (i % 45).to_string()
+                };
+                format!("({}, {i}, {kind}, 'p{i}')", i % 9)
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO ev VALUES {}", vals.join(", ")))
+            .unwrap();
+    }
+    db.execute("ANALYZE ev").unwrap();
+
+    // (query, marker the chosen plan must carry)
+    let cases: &[(&str, &str)] = &[
+        // Composite equality on both key columns.
+        (
+            "SELECT payload FROM ev WHERE tenant = 4 AND ts = 400",
+            "eq=[Int(4), Int(400)]",
+        ),
+        // Equality prefix + range on the next key column.
+        (
+            "SELECT payload FROM ev WHERE tenant = 4 AND ts >= 100 AND ts <= 140",
+            "eq=[Int(4)] lo=Some(Int(100)) hi=Some(Int(140)) hi_inc=true",
+        ),
+        // IN list → IndexOr; the duplicate literal dedups to 2 keys.
+        (
+            "SELECT payload FROM ev WHERE kind IN (3, 3, 7)",
+            "IndexOr ev.ev_kind (2 keys)",
+        ),
+        // Two moderately selective equalities → sorted-rid intersection.
+        // (tenant = i%9 and kind = i%45 correlate: kind 7 rows all live
+        // in tenant 7, so the intersection is non-empty.)
+        (
+            "SELECT payload FROM ev WHERE tenant = 7 AND kind = 7",
+            "IndexAnd ev [ev_tenant_ts ∩ ev_kind]",
+        ),
+        // Key columns answer the query → index-only scan.
+        (
+            "SELECT tenant, ts FROM ev WHERE tenant = 7",
+            "covering",
+        ),
+    ];
+    for (sql, marker) in cases {
+        let explain = explain_text(&db, sql);
+        assert!(explain.contains(marker), "`{sql}` should plan {marker}:\n{explain}");
+        let chosen = sorted_rows(&db, sql);
+        db.set_index_selection(false);
+        let baseline = sorted_rows(&db, sql);
+        db.set_index_selection(true);
+        assert_eq!(chosen, baseline, "`{sql}` diverged from seq-scan baseline");
+        assert!(!chosen.1.is_empty(), "`{sql}` should return rows");
+    }
+
+    // NULL keys sit in ev_kind's B-tree, but SQL `=` never matches NULL:
+    // the probes above must not leak the 10 NULL-kind rows, and IS NULL
+    // (not index-eligible) still finds them.
+    let (_, nulls) = sorted_rows(&db, "SELECT payload FROM ev WHERE kind IS NULL");
+    assert_eq!(nulls.len(), 10);
+
+    // Adversarial shapes: the cost model must *decline* the new paths.
+    // A 4-of-9-tenants OR covers ~44% of the table — random fetches
+    // lose to one sequential pass.
+    let explain = explain_text(&db, "SELECT payload FROM ev WHERE tenant IN (1, 2, 3, 4)");
+    assert!(
+        explain.contains("TableScan ev") && !explain.contains("IndexOr"),
+        "non-selective OR must fall back to seq scan:\n{explain}"
+    );
+    // ts is not a leading key column anywhere: no candidate exists.
+    let explain = explain_text(&db, "SELECT payload FROM ev WHERE ts = 400");
+    assert!(
+        explain.contains("TableScan ev") && !explain.contains("IndexScan"),
+        "weak prefix (non-leading column) must not probe:\n{explain}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -286,6 +286,7 @@ fn oracle_apply(tables: &mut OracleTables, sql: &str) {
             }
         }
     } else if strip_keyword(sql, "CREATE INDEX").is_some()
+        || strip_keyword(sql, "DROP INDEX").is_some()
         || strip_keyword(sql, "CREATE VIEW").is_some()
         || strip_keyword(sql, "DROP VIEW").is_some()
         || strip_keyword(sql, "ANALYZE").is_some()

@@ -340,6 +340,19 @@ impl Mvcc {
         }
     }
 
+    /// Live superseded versions retained in `table`'s chains — the
+    /// version-chain density input to MVCC-aware scan costing: every
+    /// retained version is extra visibility-patching work a scan of that
+    /// table must do.
+    pub fn table_versions_live(&self, table: &str) -> u64 {
+        self.state
+            .lock()
+            .tables
+            .get(table)
+            .map(|cc| cc.chains.values().map(Vec::len).sum::<usize>() as u64)
+            .unwrap_or(0)
+    }
+
     /// Release locks and the pinned snapshot, then garbage-collect.
     fn release(&self, txn: &MvccTxn) {
         let clock = self.clock.load(Ordering::SeqCst);
