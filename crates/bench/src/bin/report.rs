@@ -1,18 +1,20 @@
-//! The experiment report: runs every experiment (E1–E15) with plain
+//! The experiment report: runs every experiment (E1–E16) with plain
 //! timers and prints the tables recorded in EXPERIMENTS.md.
 //!
 //! `cargo run --release -p sbdms-bench --bin report`
 //!
-//! `--only <name>` runs a single experiment (`e1` … `e15`, `a1`);
+//! `--only <name>` runs a single experiment (`e1` … `e16`, `a1`);
 //! `--smoke` shrinks the workloads for a fast CI sanity pass;
 //! `--gate-join <min>` exits nonzero if E12's base join speedup falls
 //! below `min`, `--gate-mvcc <max>` if E14's MVCC reader latency
 //! under a concurrent writer exceeds `max` times the read-only
 //! baseline, and `--gate-index <min>` if fewer than two of E15's
 //! headline access-path shapes reach a `min`-fold speedup over the
-//! best previously available plan (the CI perf gates). E12–E15 also
-//! write their measured tables to `BENCH_e12.json` … `BENCH_e15.json`
-//! at the workspace root.
+//! best previously available plan, and `--gate-wire <max_us>` if
+//! E16's median TCP per-statement latency exceeds `max_us`
+//! microseconds (the CI perf gates). E12–E16 also write their
+//! measured tables to `BENCH_e12.json` … `BENCH_e16.json` at the
+//! workspace root.
 //!
 //! Criterion gives careful statistics per data point (`cargo bench`);
 //! this binary gives the complete paper-vs-measured picture in one run.
@@ -53,6 +55,7 @@ fn main() {
     let mut gate_join: Option<f64> = None;
     let mut gate_mvcc: Option<f64> = None;
     let mut gate_index: Option<f64> = None;
+    let mut gate_wire: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -60,7 +63,7 @@ fn main() {
                 only = Some(
                     it.next()
                         .unwrap_or_else(|| {
-                            eprintln!("--only requires an experiment name (e1..e15, a1)");
+                            eprintln!("--only requires an experiment name (e1..e16, a1)");
                             std::process::exit(2);
                         })
                         .to_lowercase(),
@@ -88,10 +91,18 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--gate-wire" => {
+                let max = it.next().and_then(|v| v.parse::<f64>().ok());
+                gate_wire = Some(max.unwrap_or_else(|| {
+                    eprintln!("--gate-wire requires a maximum median latency in µs (e.g. 2000)");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown argument `{other}` (expected --only <name> / --smoke / \
-                     --gate-join <min> / --gate-mvcc <max> / --gate-index <min>)"
+                     --gate-join <min> / --gate-mvcc <max> / --gate-index <min> / \
+                     --gate-wire <max_us>)"
                 );
                 std::process::exit(2);
             }
@@ -174,6 +185,21 @@ fn main() {
                 std::process::exit(1);
             }
             println!("E15 index gate passed: {index_speedup:.2}x >= {min:.2}x (2nd-best shape)");
+        }
+    }
+    if run("e16") {
+        let wire_p50_us = e16(smoke);
+        if let Some(max) = gate_wire {
+            if wire_p50_us > max {
+                eprintln!(
+                    "E16 wire gate FAILED: median TCP per-statement latency \
+                     {wire_p50_us:.0}µs > {max:.0}µs"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "E16 wire gate passed: {wire_p50_us:.0}µs <= {max:.0}µs (median TCP statement)"
+            );
         }
     }
     if run("a1") {
@@ -1212,6 +1238,150 @@ fn e15(smoke: bool) -> f64 {
         Err(e) => eprintln!("  could not write BENCH_e15.json: {e}"),
     }
     second_best
+}
+
+fn e16(smoke: bool) -> f64 {
+    use sbdms_bench::experiments::{
+        e16_binding_call_cost, e16_db, e16_inproc_drive, e16_statement_overhead, e16_wire_drive,
+    };
+    use sbdms::kernel::binding::Binding as _;
+    use sbdms_server::{NetworkBinding, Server, ServerConfig};
+
+    println!("\nE16 — the network data plane: owned sessions behind a real TCP wire protocol");
+    let db = e16_db(10_000);
+    let server = Server::start(db.clone(), ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Layer 1: raw binding cost, engine excluded — a 1 KiB echo through
+    // every binding family plus the real socket. This is the SCA
+    // "communication separated from functionality" ladder with the real
+    // network as its measured top rung.
+    let iters = if smoke { 30u32 } else { 300 };
+    println!("  per-call binding overhead, 1KiB echo payload:");
+    let mut binding_rows: Vec<(String, f64)> = Vec::new();
+    for kind in BindingKind::all() {
+        let b = kind.build();
+        let cost = e16_binding_call_cost(&*b, 1024, iters);
+        let name = b.protocol().to_string();
+        println!("    {:<22} {:>9.1}µs", name, cost.as_nanos() as f64 / 1e3);
+        binding_rows.push((name, cost.as_nanos() as f64 / 1e3));
+    }
+    let tcp_binding = NetworkBinding::new().unwrap();
+    let cost = e16_binding_call_cost(&tcp_binding, 1024, iters);
+    println!("    {:<22} {:>9.1}µs", tcp_binding.protocol(), cost.as_nanos() as f64 / 1e3);
+    binding_rows.push(("tcp-loopback".into(), cost.as_nanos() as f64 / 1e3));
+
+    // Layer 2: one indexed point SELECT, per statement — the engine's
+    // work plus whatever each path adds on top.
+    let (inproc_us, wire_text_us, wire_prepared_us) = e16_statement_overhead(&db, addr, iters);
+    println!("  per-statement cost, indexed point SELECT:");
+    println!("    {:<22} {:>9.1}µs", "in-process session", inproc_us);
+    println!(
+        "    {:<22} {:>9.1}µs  (+{:.1}µs wire overhead)",
+        "tcp, query text",
+        wire_text_us,
+        wire_text_us - inproc_us
+    );
+    println!(
+        "    {:<22} {:>9.1}µs  (+{:.1}µs wire overhead)",
+        "tcp, prepared stmt",
+        wire_prepared_us,
+        wire_prepared_us - inproc_us
+    );
+
+    // Layer 3: throughput and latency as connections scale. On a
+    // single-core host this measures contention and scheduling cost,
+    // not parallel speedup.
+    let counts: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 64, 256] };
+    let per_conn = if smoke { 20 } else { 50 };
+    println!(
+        "  {:<6} {:>12} {:>12} {:>10} {:>10}   ({per_conn} point SELECTs per connection)",
+        "conns", "tcp stmt/s", "inproc st/s", "tcp p50", "tcp p99"
+    );
+    let mut scale_rows = Vec::new();
+    let mut wire_p50_1conn = f64::NAN;
+    for &n in counts {
+        let wire = e16_wire_drive(addr, n, per_conn);
+        let inproc = e16_inproc_drive(&db, n, per_conn);
+        if n == 1 {
+            wire_p50_1conn = wire.p50_us;
+        }
+        println!(
+            "  {:<6} {:>12.0} {:>12.0} {:>8.1}µs {:>8.1}µs",
+            n, wire.per_sec, inproc.per_sec, wire.p50_us, wire.p99_us
+        );
+        scale_rows.push((n, wire, inproc));
+    }
+    let stats = server.stats();
+    println!(
+        "  server lifecycle: {} accepted, {} refused, {} teardown rollbacks",
+        stats.accepted, stats.refused, stats.teardown_rollbacks
+    );
+
+    if smoke {
+        // Smoke sanity-checks the harness; keep the recorded artifact
+        // from the full workload.
+        return wire_p50_1conn;
+    }
+    let bindings_json: Vec<String> = binding_rows
+        .iter()
+        .map(|(name, us)| format!(r#"    {{ "binding": "{name}", "per_call_us": {us:.1} }}"#))
+        .collect();
+    let scale_json: Vec<String> = scale_rows
+        .iter()
+        .map(|(n, w, i)| {
+            format!(
+                r#"    {{
+      "connections": {n},
+      "tcp_stmts_per_sec": {:.0},
+      "inproc_stmts_per_sec": {:.0},
+      "tcp_p50_us": {:.1},
+      "tcp_p99_us": {:.1},
+      "inproc_p50_us": {:.1}
+    }}"#,
+                w.per_sec, i.per_sec, w.p50_us, w.p99_us, i.p50_us
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "experiment": "E16",
+  "title": "The network data plane: TCP wire protocol vs in-process and simulated bindings",
+  "date": "{date}",
+  "build": "cargo run --release -p sbdms-bench --bin report -- --only e16",
+  "workload": {{
+    "rows": 10000,
+    "statement": "indexed point SELECT",
+    "host": "single-core container; connection scaling measures contention, not parallelism"
+  }},
+  "binding_overhead": [
+{bindings}
+  ],
+  "per_statement_us": {{
+    "in_process": {inproc_us:.1},
+    "tcp_query_text": {wire_text_us:.1},
+    "tcp_prepared": {wire_prepared_us:.1}
+  }},
+  "connection_scaling": [
+{scale}
+  ],
+  "acceptance": {{
+    "max_connections_measured": {max_conns},
+    "tcp_p50_us_at_1_conn": {wire_p50_1conn:.1}
+  }}
+}}
+"#,
+        date = today_utc(),
+        bindings = bindings_json.join(",\n"),
+        scale = scale_json.join(",\n"),
+        max_conns = counts.last().copied().unwrap_or(0),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e16.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote BENCH_e16.json"),
+        Err(e) => eprintln!("  could not write BENCH_e16.json: {e}"),
+    }
+    wire_p50_1conn
 }
 
 fn a1() {

@@ -428,7 +428,7 @@ pub mod experiments {
     /// E9: a database for scan and plan-cache experiments — `rows` rows
     /// in one table, pool striped into `shards`, morsel `parallelism`
     /// for scans/sorts, and the plan cache on or off.
-    pub fn e9_db(rows: usize, shards: usize, parallelism: usize, plan_cache: bool) -> Database {
+    pub fn e9_db(rows: usize, shards: usize, parallelism: usize, plan_cache: bool) -> Arc<Database> {
         let db = Database::open_opts(
             bench_dir(&format!("e9-db-{shards}-{parallelism}-{plan_cache}")),
             DbOptions {
@@ -599,7 +599,7 @@ pub mod experiments {
     /// the 100-row `tiny`); `item_rows` sizes the indexed lookup table.
     /// Every table is ANALYZEd, so planning is fully cost-based until a
     /// knob says otherwise.
-    pub fn e11_db(big_rows: usize, item_rows: usize) -> Database {
+    pub fn e11_db(big_rows: usize, item_rows: usize) -> Arc<Database> {
         let db = Database::open_opts(bench_dir("e11"), DbOptions::default()).unwrap();
         for ddl in [
             "CREATE TABLE big1 (id INT NOT NULL, x INT NOT NULL, y INT NOT NULL)",
@@ -865,7 +865,7 @@ pub mod experiments {
 
     /// E13 database: `t (id, grp, label)` sized so the probe query
     /// holds its admission slot for a visible quantum.
-    pub fn e13_db(rows: usize, governor_on: bool) -> Database {
+    pub fn e13_db(rows: usize, governor_on: bool) -> Arc<Database> {
         let db = Database::open_opts(
             bench_dir(&format!("e13-db-{rows}-{governor_on}")),
             DbOptions {
@@ -981,7 +981,7 @@ pub mod experiments {
     /// service, with the same window pairing the profiles select — MVCC
     /// gets the full-fledged profile's 200µs group-commit coalescing,
     /// single-writer commits synchronously.
-    pub fn e14_db(rows: usize, concurrency: ConcurrencyControl) -> Database {
+    pub fn e14_db(rows: usize, concurrency: ConcurrencyControl) -> Arc<Database> {
         let db = Database::open_opts(
             bench_dir(&format!("e14-db-{rows}-{concurrency}")),
             DbOptions {
@@ -1030,7 +1030,7 @@ pub mod experiments {
     /// the retry spin is charged to that read's latency — the
     /// client-visible cost of being locked out.
     pub fn e14_drive(
-        db: &Database,
+        db: &Arc<Database>,
         readers: usize,
         per_reader: usize,
         with_writer: bool,
@@ -1191,7 +1191,7 @@ pub mod experiments {
     /// `composite` is false only the single-column indexes a pre-PR
     /// planner could use exist — that database's plans are the "best
     /// previously available" baseline.
-    pub fn e15_db(rows: usize, composite: bool) -> Database {
+    pub fn e15_db(rows: usize, composite: bool) -> Arc<Database> {
         let db = Database::open_opts(bench_dir("e15"), DbOptions::default()).unwrap();
         db.execute(
             "CREATE TABLE ev (tenant INT NOT NULL, ts INT NOT NULL, \
@@ -1242,6 +1242,180 @@ pub mod experiments {
             })
             .map(|line| line.trim_start_matches(['|', ' ']).to_string())
             .unwrap_or_else(|| "?".into())
+    }
+
+    /// E16 database: MVCC (the server profile), indexed point reads.
+    pub fn e16_db(rows: usize) -> Arc<Database> {
+        let db = Database::open_opts(
+            bench_dir(&format!("e16-db-{rows}")),
+            DbOptions {
+                buffer_frames: 512,
+                concurrency: ConcurrencyControl::Mvcc,
+                ..DbOptions::default()
+            },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (k INT NOT NULL, v INT NOT NULL)").unwrap();
+        db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+        for chunk in (0..rows as i64).collect::<Vec<_>>().chunks(200) {
+            let values: Vec<String> = chunk.iter().map(|k| format!("({k}, {})", k + 1)).collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+        }
+        db
+    }
+
+    /// E16: per-call cost of one binding for an `echo` service with a
+    /// `bytes`-sized opaque payload — the protocol overhead isolated
+    /// from any engine work. Used to line the real TCP binding up
+    /// against in-process, channel and the simulated network models.
+    pub fn e16_binding_call_cost(
+        binding: &dyn sbdms::kernel::binding::Binding,
+        bytes: usize,
+        iters: u32,
+    ) -> Duration {
+        let iface = Interface::new("e16.echo", 1, vec![Operation::opaque("echo")]);
+        let svc: ServiceRef =
+            FnService::new("echo", Contract::for_interface(iface), |_, input| Ok(input))
+                .into_ref();
+        let input = Value::map().with("payload", Value::Bytes(payload(16, bytes)));
+        binding.call(&svc, "echo", input.clone()).unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            binding.call(&svc, "echo", input.clone()).unwrap();
+        }
+        start.elapsed() / iters
+    }
+
+    /// One E16 drive outcome: aggregate throughput plus the latency
+    /// distribution of individual statements.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct E16Outcome {
+        /// Statements completed across all sessions/connections.
+        pub statements: u64,
+        /// Wall-clock of the whole drive, seconds.
+        pub elapsed_s: f64,
+        /// Aggregate statements per second.
+        pub per_sec: f64,
+        /// Median per-statement latency, microseconds.
+        pub p50_us: f64,
+        /// 99th-percentile per-statement latency, microseconds.
+        pub p99_us: f64,
+    }
+
+    fn e16_outcome(mut latencies_ns: Vec<u64>, elapsed: Duration) -> E16Outcome {
+        latencies_ns.sort_unstable();
+        let n = latencies_ns.len().max(1);
+        let pct = |p: f64| latencies_ns[((n - 1) as f64 * p) as usize] as f64 / 1e3;
+        E16Outcome {
+            statements: latencies_ns.len() as u64,
+            elapsed_s: elapsed.as_secs_f64(),
+            per_sec: latencies_ns.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+        }
+    }
+
+    /// E16: `sessions` in-process sessions each running `per_session`
+    /// point SELECTs concurrently — the no-network baseline the TCP
+    /// numbers are compared against.
+    pub fn e16_inproc_drive(db: &Arc<Database>, sessions: usize, per_session: usize) -> E16Outcome {
+        let rows = 10_000i64;
+        let started = Instant::now();
+        let mut all: Vec<u64> = Vec::with_capacity(sessions * per_session);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let session = db.session();
+                        let mut lat = Vec::with_capacity(per_session);
+                        for i in 0..per_session {
+                            let k = ((s * per_session + i) as i64 * 37) % rows;
+                            let sql = format!("SELECT v FROM t WHERE k = {k}");
+                            let t = Instant::now();
+                            session.execute(&sql).unwrap();
+                            lat.push(t.elapsed().as_nanos() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+        });
+        e16_outcome(all, started.elapsed())
+    }
+
+    /// E16: `connections` real TCP connections each running
+    /// `per_connection` point SELECTs concurrently against a live
+    /// [`sbdms_server::Server`].
+    pub fn e16_wire_drive(
+        addr: std::net::SocketAddr,
+        connections: usize,
+        per_connection: usize,
+    ) -> E16Outcome {
+        let rows = 10_000i64;
+        let started = Instant::now();
+        let mut all: Vec<u64> = Vec::with_capacity(connections * per_connection);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..connections)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = sbdms_server::Client::connect(addr).unwrap();
+                        let mut lat = Vec::with_capacity(per_connection);
+                        for i in 0..per_connection {
+                            let k = ((c * per_connection + i) as i64 * 37) % rows;
+                            let sql = format!("SELECT v FROM t WHERE k = {k}");
+                            let t = Instant::now();
+                            client.query(&sql).unwrap();
+                            lat.push(t.elapsed().as_nanos() as u64);
+                        }
+                        let _ = client.close();
+                        lat
+                    })
+                })
+                .collect();
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+        });
+        e16_outcome(all, started.elapsed())
+    }
+
+    /// E16: per-statement cost of one prepared statement executed over
+    /// the wire vs the same SQL executed in-process, microseconds
+    /// `(in_process, wire_text, wire_prepared)`.
+    pub fn e16_statement_overhead(
+        db: &Arc<Database>,
+        addr: std::net::SocketAddr,
+        iters: u32,
+    ) -> (f64, f64, f64) {
+        const SQL: &str = "SELECT v FROM t WHERE k = 42";
+        let session = db.session();
+        session.execute(SQL).unwrap();
+        let t = Instant::now();
+        for _ in 0..iters {
+            session.execute(SQL).unwrap();
+        }
+        let inproc = t.elapsed().as_nanos() as f64 / iters as f64 / 1e3;
+
+        let mut client = sbdms_server::Client::connect(addr).unwrap();
+        client.query(SQL).unwrap();
+        let t = Instant::now();
+        for _ in 0..iters {
+            client.query(SQL).unwrap();
+        }
+        let wire_text = t.elapsed().as_nanos() as f64 / iters as f64 / 1e3;
+
+        let prepared = client.prepare(SQL).unwrap();
+        client.execute(&prepared).unwrap();
+        let t = Instant::now();
+        for _ in 0..iters {
+            client.execute(&prepared).unwrap();
+        }
+        let wire_prepared = t.elapsed().as_nanos() as f64 / iters as f64 / 1e3;
+        let _ = client.close();
+        (inproc, wire_text, wire_prepared)
     }
 }
 

@@ -116,14 +116,14 @@ impl Sbdms {
             concurrency: config.concurrency,
             commit_window_micros: config.commit_window_micros,
         };
-        let db = Arc::new(match config.storage_mode {
+        let db = match config.storage_mode {
             crate::config::StorageMode::File => Database::open_opts(&config.data_dir, opts)?,
             crate::config::StorageMode::Sim { seed } => {
                 let backend =
                     sbdms_storage::SimBackend::new(sbdms_storage::SimConfig::seeded(seed));
                 Database::open_at(&*backend, opts)?
             }
-        });
+        };
         let bus = ServiceBus::new();
         // Planner decisions surface on the kernel bus: every freshly
         // planned query publishes a `plan.selected` event explaining the

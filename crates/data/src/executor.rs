@@ -157,22 +157,16 @@ pub struct Database {
     event_bus: Mutex<Option<EventBus>>,
     plans_selected: AtomicU64,
     governor: Governor,
-    /// Session deadline applied to each statement, in milliseconds.
-    statement_deadline_ms: Mutex<Option<u64>>,
-    /// Session per-statement memory limit, in bytes.
-    statement_memory_limit: Mutex<Option<u64>>,
-    /// Whether this session's contract accepts degraded quality under
-    /// overload (cheaper plan instead of shedding).
-    allow_degraded: std::sync::atomic::AtomicBool,
-    /// Session cancel-token override: when set, every statement runs
-    /// under this token (deterministic cancellation injection).
-    session_cancel: Mutex<Option<CancelToken>>,
 }
 
 impl Database {
     /// Open (or create) a database in `dir` with default settings
     /// (256-frame LRU buffer pool). Runs crash recovery.
-    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+    ///
+    /// All open paths return `Arc<Database>`: sessions own a clone of
+    /// the handle ([`Database::session`]), so a server can hand
+    /// thousands of independently-lived connections their own handles.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Arc<Database>> {
         Database::open_opts(dir, DbOptions::default())
     }
 
@@ -181,7 +175,7 @@ impl Database {
         dir: impl AsRef<Path>,
         buffer_frames: usize,
         policy: PolicyKind,
-    ) -> Result<Database> {
+    ) -> Result<Arc<Database>> {
         Database::open_opts(
             dir,
             DbOptions {
@@ -193,7 +187,7 @@ impl Database {
     }
 
     /// Open with the full option set. Runs crash recovery.
-    pub fn open_opts(dir: impl AsRef<Path>, opts: DbOptions) -> Result<Database> {
+    pub fn open_opts(dir: impl AsRef<Path>, opts: DbOptions) -> Result<Arc<Database>> {
         let engine = match opts.buffer_shards {
             Some(shards) => {
                 StorageEngine::open_sharded(dir, opts.buffer_frames, opts.replacement, shards)?
@@ -206,7 +200,10 @@ impl Database {
     /// Open over an arbitrary storage backend — the reopen path the
     /// crash torture suite drives against the deterministic sim device.
     /// Runs crash recovery exactly like the directory-based opens.
-    pub fn open_at(backend: &dyn sbdms_storage::backend::StorageBackend, opts: DbOptions) -> Result<Database> {
+    pub fn open_at(
+        backend: &dyn sbdms_storage::backend::StorageBackend,
+        opts: DbOptions,
+    ) -> Result<Arc<Database>> {
         let engine = StorageEngine::open_with_backend(
             backend,
             opts.buffer_frames,
@@ -216,7 +213,7 @@ impl Database {
         Database::from_engine(engine, opts)
     }
 
-    fn from_engine(engine: StorageEngine, opts: DbOptions) -> Result<Database> {
+    fn from_engine(engine: StorageEngine, opts: DbOptions) -> Result<Arc<Database>> {
         // The write-ahead rule: before any dirty data page is written
         // back (commit force or steal eviction), sync the WAL so the
         // undo records covering that page are durable first. The hook is
@@ -252,10 +249,6 @@ impl Database {
             event_bus: Mutex::new(None),
             plans_selected: AtomicU64::new(0),
             governor: Governor::new(opts.governor),
-            statement_deadline_ms: Mutex::new(None),
-            statement_memory_limit: Mutex::new(None),
-            allow_degraded: std::sync::atomic::AtomicBool::new(false),
-            session_cancel: Mutex::new(None),
         };
         let rolled_back = db.txns.recover(&DbResolver { db: &db })?;
         if !rolled_back.is_empty() {
@@ -269,7 +262,7 @@ impl Database {
             }
             db.engine.buffer.flush_all()?;
         }
-        Ok(db)
+        Ok(Arc::new(db))
     }
 
     /// The underlying storage engine (for services and monitoring).
@@ -374,49 +367,51 @@ impl Database {
         &self.governor
     }
 
-    /// Apply a deadline to each subsequent statement (`None` clears).
-    /// An expired deadline cancels the statement cooperatively — it
-    /// aborts within one scheduling quantum with a `cancelled` error.
+    /// Apply a deadline to each subsequent *default-session* statement
+    /// (`None` clears). An expired deadline cancels the statement
+    /// cooperatively — it aborts within one scheduling quantum with a
+    /// `cancelled` error. Knobs are per-session: other sessions set
+    /// their own via [`Session::set_statement_deadline_ms`].
     pub fn set_statement_deadline_ms(&self, ms: Option<u64>) {
-        *self.statement_deadline_ms.lock() = ms;
+        *self.default_session.deadline_ms.lock() = ms;
     }
 
-    /// Cap each subsequent statement's operator memory (`None` clears).
-    /// Operators that can spill (sort) trade memory for disk; the rest
-    /// fail with a recoverable resource error.
+    /// Cap each subsequent default-session statement's operator memory
+    /// (`None` clears). Operators that can spill (sort) trade memory for
+    /// disk; the rest fail with a recoverable resource error.
     pub fn set_statement_memory_limit(&self, bytes: Option<u64>) {
-        *self.statement_memory_limit.lock() = bytes;
+        *self.default_session.memory_limit.lock() = bytes;
     }
 
-    /// Declare whether this session's contract accepts degraded quality
-    /// under overload: instead of shedding, the governor may admit the
-    /// query on the cheaper tuple engine with a reduced sort budget.
+    /// Declare whether the default session's contract accepts degraded
+    /// quality under overload: instead of shedding, the governor may
+    /// admit the query on the cheaper tuple engine with a reduced sort
+    /// budget.
     pub fn set_allow_degraded(&self, on: bool) {
-        self.allow_degraded
+        self.default_session
+            .allow_degraded
             .store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// Run every subsequent statement under `token` (`None` restores
-    /// per-statement tokens). The deterministic cancellation-injection
-    /// hook the torture suite drives.
+    /// Run every subsequent default-session statement under `token`
+    /// (`None` restores per-statement tokens). The deterministic
+    /// cancellation-injection hook the torture suite drives.
     pub fn set_session_cancel_token(&self, token: Option<CancelToken>) {
-        *self.session_cancel.lock() = token;
+        *self.default_session.cancel.lock() = token;
     }
 
-    /// The cancellation/memory context for one statement.
-    fn exec_context(&self) -> ExecContext {
-        let cancel = if let Some(tok) = self.session_cancel.lock().clone() {
+    /// The cancellation/memory context for one statement of one session.
+    fn exec_context(&self, core: &SessionCore) -> ExecContext {
+        let cancel = if let Some(tok) = core.cancel.lock().clone() {
             tok
-        } else if let Some(ms) = *self.statement_deadline_ms.lock() {
+        } else if let Some(ms) = *core.deadline_ms.lock() {
             CancelToken::with_deadline(std::time::Duration::from_millis(ms))
         } else {
             CancelToken::new()
         };
         ExecContext {
             cancel,
-            memory: self
-                .governor
-                .query_memory(*self.statement_memory_limit.lock()),
+            memory: self.governor.query_memory(*core.memory_limit.lock()),
         }
     }
 
@@ -448,14 +443,48 @@ impl Database {
     }
 
     /// Open a new session: an independent logical client with its own
-    /// transaction. Sessions interleave under the profile's
-    /// concurrency-control service.
-    pub fn session(&self) -> Session<'_> {
+    /// transaction and statement knobs. The session *owns* a database
+    /// handle, so it is `Send + 'static` — move it onto a connection
+    /// thread and drop it whenever the client goes away. Sessions
+    /// interleave under the profile's concurrency-control service.
+    pub fn session(self: &Arc<Self>) -> Session {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         Session {
-            db: self,
+            db: self.clone(),
             core: SessionCore::new(id),
         }
+    }
+
+    /// Parse and plan `sql` without executing it, returning the result
+    /// columns (empty for non-SELECT statements, which are validated
+    /// only). A planned SELECT lands in the shared per-database plan
+    /// cache, so the subsequent `execute` — from *any* session or
+    /// connection — is a cache hit: the server's prepared-statement
+    /// handles all resolve here.
+    pub fn prepare(&self, sql: &str) -> Result<Vec<String>> {
+        let is_select = sql
+            .trim_start()
+            .get(..6)
+            .is_some_and(|kw| kw.eq_ignore_ascii_case("select"));
+        if !is_select {
+            parse(sql)?;
+            return Ok(Vec::new());
+        }
+        let epoch = self.plan_epoch();
+        if let Some(planned) = self.plan_cache.get(sql, epoch) {
+            return Ok(planned.columns.clone());
+        }
+        let stmt = parse(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Ok(Vec::new());
+        };
+        self.refresh_stale_stats(&select)?;
+        let mut planned = plan_select(&select, self)?;
+        self.push_engine_decisions(&mut planned);
+        let planned = Arc::new(planned);
+        self.plan_cache.insert(sql, self.plan_epoch(), planned.clone());
+        self.note_plan_selected(sql, &planned.decisions);
+        Ok(planned.columns.clone())
     }
 
     /// Begin an explicit transaction on the default session.
@@ -648,11 +677,12 @@ impl Database {
         // The single-writer busy check comes before admission: a locked
         // database is a concurrency outcome, not governor load.
         self.check_single_writer_busy(core)?;
-        let admission = self
-            .governor
-            .admit(self.allow_degraded.load(std::sync::atomic::Ordering::Relaxed))?;
+        let admission = self.governor.admit(
+            core.allow_degraded
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )?;
         let mode = RunMode {
-            ctx: self.exec_context(),
+            ctx: self.exec_context(core),
             degraded: admission.is_degraded(),
             session: Some(core.clone()),
         };

@@ -111,14 +111,26 @@ pub(crate) enum ActiveTxn {
     Mvcc(MvccTxnState),
 }
 
-/// Shared per-session state. The `Database` holds one default session
-/// (serving its session-free legacy API) and hands out more via
-/// [`Database::session`].
+/// Shared per-session state: the open transaction plus the session's
+/// statement knobs (deadline, memory cap, degraded-quality contract,
+/// cancel token). The `Database` holds one default session (serving its
+/// session-free legacy API) and hands out more via [`Database::session`];
+/// a network server holds one per connection.
 pub(crate) struct SessionCore {
     /// Session id, for the single-writer ownership check.
     pub id: u64,
     /// The open transaction.
     pub txn: Mutex<Option<ActiveTxn>>,
+    /// Deadline applied to each statement, in milliseconds.
+    pub deadline_ms: Mutex<Option<u64>>,
+    /// Per-statement operator memory limit, in bytes.
+    pub memory_limit: Mutex<Option<u64>>,
+    /// Whether this session's contract accepts degraded quality under
+    /// overload (cheaper plan instead of shedding).
+    pub allow_degraded: std::sync::atomic::AtomicBool,
+    /// Cancel-token override: when set, every statement runs under this
+    /// token (deterministic cancellation injection).
+    pub cancel: Mutex<Option<sbdms_kernel::governor::CancelToken>>,
 }
 
 impl SessionCore {
@@ -126,19 +138,31 @@ impl SessionCore {
         Arc::new(SessionCore {
             id,
             txn: Mutex::new(None),
+            deadline_ms: Mutex::new(None),
+            memory_limit: Mutex::new(None),
+            allow_degraded: std::sync::atomic::AtomicBool::new(false),
+            cancel: Mutex::new(None),
         })
     }
 }
 
-/// One logical client connection to a [`Database`]. Cheap to create;
-/// safe to move across threads. Statements from different sessions
-/// interleave under the profile's concurrency-control service.
-pub struct Session<'a> {
-    pub(crate) db: &'a Database,
+/// One logical client connection to a [`Database`]. The handle *owns*
+/// its database reference (`Arc`), so it is `Send + 'static`: a server
+/// can hold thousands of sessions with independent lifetimes, park them
+/// on connection threads, and drop them in any order relative to each
+/// other. Cheap to create. Statements from different sessions interleave
+/// under the profile's concurrency-control service.
+///
+/// Dropping a session does *not* roll back an open transaction — the
+/// crash-torture suite depends on abandoned sessions leaving the same
+/// state as a power loss. Callers that own a connection lifecycle (the
+/// TCP server) roll back explicitly on teardown.
+pub struct Session {
+    pub(crate) db: Arc<Database>,
     pub(crate) core: Arc<SessionCore>,
 }
 
-impl Session<'_> {
+impl Session {
     /// Execute one SQL statement in this session.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         self.db.execute_on(&self.core, sql)
@@ -163,6 +187,42 @@ impl Session<'_> {
     /// Whether this session has an open transaction.
     pub fn in_txn(&self) -> bool {
         self.core.txn.lock().is_some()
+    }
+
+    /// The database this session belongs to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Parse and plan `sql` without executing it, warming the shared
+    /// per-database plan cache, and return the statement's result
+    /// columns — the server side of a wire-protocol `prepare`.
+    pub fn prepare(&self, sql: &str) -> Result<Vec<String>> {
+        self.db.prepare(sql)
+    }
+
+    /// Apply a deadline to each subsequent statement (`None` clears).
+    pub fn set_statement_deadline_ms(&self, ms: Option<u64>) {
+        *self.core.deadline_ms.lock() = ms;
+    }
+
+    /// Cap each subsequent statement's operator memory (`None` clears).
+    pub fn set_statement_memory_limit(&self, bytes: Option<u64>) {
+        *self.core.memory_limit.lock() = bytes;
+    }
+
+    /// Declare whether this session's contract accepts degraded quality
+    /// under overload.
+    pub fn set_allow_degraded(&self, on: bool) {
+        self.core
+            .allow_degraded
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Run every subsequent statement under `token` (`None` restores
+    /// per-statement tokens).
+    pub fn set_cancel_token(&self, token: Option<sbdms_kernel::governor::CancelToken>) {
+        *self.core.cancel.lock() = token;
     }
 }
 

@@ -10,7 +10,7 @@ use sbdms_access::exec::join::JoinAlgorithm;
 use sbdms_data::executor::{Database, DbOptions};
 use sbdms_storage::{SimBackend, SimConfig};
 
-fn open_db(seed: u64) -> Database {
+fn open_db(seed: u64) -> std::sync::Arc<Database> {
     let sim = SimBackend::new(SimConfig::seeded(seed));
     Database::open_at(&*sim, DbOptions::default()).unwrap()
 }

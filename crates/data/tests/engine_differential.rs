@@ -37,7 +37,7 @@ struct Replica {
     engine: EngineKind,
     concurrency: ConcurrencyControl,
     sim: Arc<SimBackend>,
-    db: Option<Database>,
+    db: Option<Arc<Database>>,
 }
 
 impl Replica {
@@ -57,7 +57,7 @@ impl Replica {
         self.db = Some(db);
     }
 
-    fn db(&self) -> &Database {
+    fn db(&self) -> &Arc<Database> {
         self.db.as_ref().unwrap()
     }
 
@@ -176,10 +176,10 @@ fn replay_script(path: &std::path::Path) {
 fn replay_session_script(
     path: &std::path::Path,
     directives: &[Directive],
-    tuple: &Database,
-    vector: &Database,
+    tuple: &Arc<Database>,
+    vector: &Arc<Database>,
 ) {
-    let mut sessions: Vec<(EngineKind, &Database, BTreeMap<String, Session<'_>>)> = vec![
+    let mut sessions: Vec<(EngineKind, &Arc<Database>, BTreeMap<String, Session>)> = vec![
         (EngineKind::Tuple, tuple, BTreeMap::new()),
         (EngineKind::Vectorized, vector, BTreeMap::new()),
     ];

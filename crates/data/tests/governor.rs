@@ -14,11 +14,11 @@ use sbdms_kernel::events::{Event, EventBus};
 use sbdms_kernel::governor::{CancelToken, GovernorConfig};
 use sbdms_storage::{SimBackend, SimConfig};
 
-fn db(name: &str) -> Database {
+fn db(name: &str) -> std::sync::Arc<Database> {
     db_opts(name, DbOptions::default())
 }
 
-fn db_opts(name: &str, opts: DbOptions) -> Database {
+fn db_opts(name: &str, opts: DbOptions) -> std::sync::Arc<Database> {
     let dir = std::env::temp_dir()
         .join("sbdms-governor-tests")
         .join(format!("{name}-{}", std::process::id()));

@@ -15,6 +15,7 @@
 //! must never lose an update.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use sbdms_data::executor::{Database, DbOptions};
@@ -67,7 +68,7 @@ fn op_strategy() -> impl Strategy<Value = MvccOp> {
     ]
 }
 
-fn open_mvcc(seed: u64) -> Database {
+fn open_mvcc(seed: u64) -> Arc<Database> {
     let sim = SimBackend::new(SimConfig::seeded(seed));
     let db = Database::open_at(
         &*sim,
@@ -78,7 +79,7 @@ fn open_mvcc(seed: u64) -> Database {
     db
 }
 
-fn open_single(seed: u64) -> Database {
+fn open_single(seed: u64) -> Arc<Database> {
     let sim = SimBackend::new(SimConfig::seeded(seed));
     Database::open_at(&*sim, DbOptions::default()).unwrap()
 }
@@ -119,8 +120,8 @@ fn schedule(txn_steps: &[usize], picks: &[u8]) -> Vec<usize> {
 
 /// Drive the interleaved run; returns the committed programs in commit
 /// order (retries of conflict-aborted transactions appended serially).
-fn run_interleaved(db: &Database, programs: &[Vec<MvccOp>], order: &[usize]) -> Vec<usize> {
-    let sessions: Vec<Session<'_>> = programs.iter().map(|_| db.session()).collect();
+fn run_interleaved(db: &Arc<Database>, programs: &[Vec<MvccOp>], order: &[usize]) -> Vec<usize> {
+    let sessions: Vec<Session> = programs.iter().map(|_| db.session()).collect();
     for session in &sessions {
         session.begin().unwrap();
     }

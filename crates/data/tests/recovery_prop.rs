@@ -197,7 +197,7 @@ fn sim_state(db: &Database) -> BTreeMap<i64, i64> {
     out
 }
 
-fn sim_open(sim: &SimBackend) -> Database {
+fn sim_open(sim: &SimBackend) -> std::sync::Arc<Database> {
     let db = Database::open_at(sim, DbOptions::default()).expect("open on sim backend");
     db.set_durability(Durability::Full);
     db

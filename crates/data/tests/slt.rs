@@ -452,8 +452,8 @@ fn run_script(path: &Path) {
 /// named [`Session`]s (created on first mention), golden blocks carry
 /// the verification. No oracle, no crash directives — concurrency
 /// semantics are exactly what these scripts pin down.
-fn run_session_script(path: &Path, directives: &[Directive], db: &Database) {
-    let mut sessions: BTreeMap<String, Session<'_>> = BTreeMap::new();
+fn run_session_script(path: &Path, directives: &[Directive], db: &Arc<Database>) {
+    let mut sessions: BTreeMap<String, Session> = BTreeMap::new();
     let mut current = "main".to_string();
     for directive in directives {
         match directive {

@@ -5,7 +5,7 @@ use sbdms_data::executor::Database;
 use sbdms_data::txn::Durability;
 use sbdms_storage::replacement::PolicyKind;
 
-fn db(name: &str) -> Database {
+fn db(name: &str) -> std::sync::Arc<Database> {
     let dir = std::env::temp_dir()
         .join("sbdms-sql-tests")
         .join(format!("{name}-{}", std::process::id()));

@@ -302,7 +302,7 @@ mod tests {
             .join("sbdms-proc-tests")
             .join(format!("{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let db = Arc::new(Database::open(&dir).unwrap());
+        let db = Database::open(&dir).unwrap();
         db.execute("CREATE TABLE accounts (id INT NOT NULL, balance INT NOT NULL)")
             .unwrap();
         db.execute("INSERT INTO accounts VALUES (1, 100), (2, 50)").unwrap();

@@ -214,7 +214,7 @@ mod tests {
             .join(format!("{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         let dbs = (0..nodes)
-            .map(|i| Arc::new(Database::open(base.join(format!("node{i}"))).unwrap()))
+            .map(|i| Database::open(base.join(format!("node{i}"))).unwrap())
             .collect();
         Arc::new(ReplicationGroup::new(dbs).unwrap())
     }

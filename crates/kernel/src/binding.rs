@@ -151,9 +151,11 @@ fn precise_delay(d: Duration) {
     }
 }
 
-/// Simulated network binding: marshals the request and response through the
-/// open wire format (JSON), charging the latency model for the transfer.
-/// Stands in for SOAP / web-service bindings (DESIGN.md §4).
+/// Simulated network binding: marshals the request and response through
+/// the shared frame codec ([`crate::wire`]) — the exact byte sequence
+/// the real TCP binding writes to its socket — charging the latency
+/// model for the transfer. Stands in for SOAP / web-service bindings
+/// (DESIGN.md §4); contrasted against the real socket in experiment E16.
 pub struct SimulatedNetworkBinding {
     model: LatencyModel,
     name: String,
@@ -169,19 +171,21 @@ impl SimulatedNetworkBinding {
 
 impl Binding for SimulatedNetworkBinding {
     fn call(&self, service: &ServiceRef, op: &str, input: Value) -> Result<Value> {
-        // Marshal request, charge the wire, unmarshal on the "server".
-        let request_bytes = input.to_wire()?;
-        precise_delay(self.model.delay_for(request_bytes.len()));
-        let server_input = Value::from_wire(&request_bytes)?;
+        // Marshal the request as one complete frame (header included, so
+        // the charged byte count matches the real socket), charge the
+        // wire, unmarshal on the "server".
+        let request_frame = crate::wire::frame_bytes(&input)?;
+        precise_delay(self.model.delay_for(request_frame.len()));
+        let server_input = crate::wire::parse_frame(&request_frame)?;
 
         let output = service.invoke(op, server_input)?;
 
         // Marshal response and charge the return leg (RTT already charged).
-        let response_bytes = output.to_wire()?;
+        let response_frame = crate::wire::frame_bytes(&output)?;
         precise_delay(Duration::from_nanos(
-            self.model.ns_per_byte * response_bytes.len() as u64,
+            self.model.ns_per_byte * response_frame.len() as u64,
         ));
-        Value::from_wire(&response_bytes)
+        crate::wire::parse_frame(&response_frame)
     }
 
     fn protocol(&self) -> &str {

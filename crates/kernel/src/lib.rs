@@ -51,6 +51,7 @@ pub mod resilience;
 pub mod resource;
 pub mod service;
 pub mod value;
+pub mod wire;
 pub mod workflow;
 
 pub use binding::{Binding, BindingKind, BindingRef};

@@ -1,0 +1,344 @@
+//! The one wire format: length-prefixed frames carrying [`Value`]s.
+//!
+//! Paper §3.6: a binding "separates the communication from the
+//! functionality". Every network-shaped path in the system — the
+//! [`crate::binding::SimulatedNetworkBinding`] used by experiments and
+//! the real TCP server binding — marshals through this module, so the
+//! serialisation cost the simulator charges is the cost the socket
+//! actually pays, byte for byte.
+//!
+//! ## Framing
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 LE    | payload: len bytes (JSON) |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The payload is the open wire encoding of one [`Value`]
+//! ([`Value::to_wire`], JSON). Frames are self-delimiting, so a stream
+//! of them needs no other synchronisation; a length above
+//! [`MAX_FRAME_LEN`] is a protocol error (and a defence against a
+//! corrupt or malicious peer making the server allocate gigabytes).
+//!
+//! ## Typed errors
+//!
+//! [`error_value`] / [`value_to_error`] round-trip a [`ServiceError`]
+//! through a `Value` map carrying the stable machine code
+//! ([`ServiceError::code`]), the display message, and the
+//! `is_recoverable` classification — so a client on the far side of a
+//! socket can distinguish "retry with backoff" (`conflict`,
+//! `overloaded`) from caller errors exactly like an in-process caller.
+
+use std::io::{Read, Write};
+
+use crate::error::{Result, ServiceError};
+use crate::value::Value;
+
+/// Version of the frame/handshake protocol.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// Upper bound on one frame's payload (16 MiB). Result sets larger than
+/// this must page; a length beyond it is treated as a corrupt stream.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Encode one value as a complete frame (header + payload). This is the
+/// byte sequence a real socket writes and the byte count the simulated
+/// network binding charges its latency model for.
+pub fn frame_bytes(value: &Value) -> Result<Vec<u8>> {
+    let payload = value.to_wire()?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ServiceError::InvalidInput(format!(
+            "frame payload of {} bytes exceeds the {} byte limit",
+            payload.len(),
+            MAX_FRAME_LEN
+        )));
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decode one complete frame produced by [`frame_bytes`].
+pub fn parse_frame(bytes: &[u8]) -> Result<Value> {
+    if bytes.len() < 4 {
+        return Err(ServiceError::InvalidInput("truncated frame header".into()));
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if len > MAX_FRAME_LEN || bytes.len() != 4 + len {
+        return Err(ServiceError::InvalidInput(format!(
+            "frame length {len} does not match payload of {} bytes",
+            bytes.len().saturating_sub(4)
+        )));
+    }
+    Value::from_wire(&bytes[4..])
+}
+
+/// Write one frame to a stream (socket, pipe, buffer).
+pub fn write_frame(w: &mut impl Write, value: &Value) -> Result<()> {
+    let bytes = frame_bytes(value)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from a stream. A clean EOF before the first header
+/// byte returns `Storage("connection closed")`; a torn frame is a
+/// protocol error.
+pub fn read_frame(r: &mut impl Read) -> Result<Value> {
+    let mut header = [0u8; 4];
+    read_exact_or_closed(r, &mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ServiceError::InvalidInput(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN} byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Value::from_wire(&payload)
+}
+
+fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ServiceError::Storage(if filled == 0 {
+                    "connection closed".into()
+                } else {
+                    "connection closed mid-frame".into()
+                }))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Marshal a [`ServiceError`] into the typed error payload carried in
+/// error frames: stable code, display message, recoverable bit, and the
+/// variant's structured fields — enough to reconstruct the *identical*
+/// error on the far side, so a remote caller's retry logic (and its
+/// error text) cannot drift from an in-process caller's.
+pub fn error_value(err: &ServiceError) -> Value {
+    let v = Value::map()
+        .with("code", err.code())
+        .with("message", err.to_string())
+        .with("recoverable", err.is_recoverable());
+    match err {
+        ServiceError::ServiceNotFound(name) => v.with("detail", name.as_str()),
+        ServiceError::ServiceUnavailable { service, reason } => v
+            .with("service", service.as_str())
+            .with("detail", reason.as_str()),
+        ServiceError::UnknownOperation { service, operation } => v
+            .with("service", service.as_str())
+            .with("detail", operation.as_str()),
+        ServiceError::InvalidInput(msg) => v.with("detail", msg.as_str()),
+        ServiceError::PolicyViolation(msg) => v.with("detail", msg.as_str()),
+        ServiceError::IncompatibleInterface { expected, found } => v
+            .with("expected", expected.as_str())
+            .with("detail", found.as_str()),
+        ServiceError::ResourceExhausted {
+            resource,
+            requested,
+            available,
+        } => v
+            .with("detail", resource.as_str())
+            .with("requested", *requested as i64)
+            .with("available", *available as i64),
+        ServiceError::Storage(msg) => v.with("detail", msg.as_str()),
+        ServiceError::NoAlternateWorkflow(task) => v.with("detail", task.as_str()),
+        ServiceError::Transaction(msg) => v.with("detail", msg.as_str()),
+        ServiceError::Internal(msg) => v.with("detail", msg.as_str()),
+        ServiceError::StaleService(id) => v.with("id", id.0 as i64),
+        ServiceError::DeadlineExceeded { service, budget_ms } => v
+            .with("service", service.as_str())
+            .with("budget_ms", *budget_ms as i64),
+        ServiceError::Overloaded { in_flight, waiting } => v
+            .with("in_flight", *in_flight as i64)
+            .with("waiting", *waiting as i64),
+        ServiceError::Cancelled { reason } => v.with("detail", reason.as_str()),
+        ServiceError::SerializationConflict { reason } => v.with("detail", reason.as_str()),
+    }
+}
+
+/// Reconstruct a typed [`ServiceError`] from an [`error_value`] payload.
+/// The variant is chosen by code and refilled from the structured
+/// fields, so `is_recoverable`, `code` *and* the display text behave
+/// identically on both sides of the wire (pinned by a round-trip test
+/// over every variant).
+pub fn value_to_error(v: &Value) -> ServiceError {
+    let code = v
+        .get("code")
+        .and_then(|c| c.as_str().ok())
+        .unwrap_or("internal");
+    let text = |k: &str, fallback: &str| {
+        v.get(k)
+            .and_then(|m| m.as_str().ok())
+            .unwrap_or(fallback)
+            .to_string()
+    };
+    // Single-payload variants carry their inner string in `detail`;
+    // falling back to the display message keeps frames from older or
+    // foreign peers readable.
+    let detail = || text("detail", &text("message", "malformed error frame"));
+    let int = |k: &str| v.get(k).and_then(|n| n.as_int().ok()).unwrap_or(0) as u64;
+    match code {
+        "not_found" => ServiceError::ServiceNotFound(detail()),
+        "unavailable" => ServiceError::ServiceUnavailable {
+            service: text("service", "remote"),
+            reason: detail(),
+        },
+        "unknown_op" => ServiceError::UnknownOperation {
+            service: text("service", "remote"),
+            operation: detail(),
+        },
+        "invalid_input" => ServiceError::InvalidInput(detail()),
+        "policy" => ServiceError::PolicyViolation(detail()),
+        "incompatible" => ServiceError::IncompatibleInterface {
+            expected: text("expected", "remote"),
+            found: detail(),
+        },
+        "resources" => ServiceError::ResourceExhausted {
+            resource: detail(),
+            requested: int("requested"),
+            available: int("available"),
+        },
+        "storage" => ServiceError::Storage(detail()),
+        "no_workflow" => ServiceError::NoAlternateWorkflow(detail()),
+        "txn" => ServiceError::Transaction(detail()),
+        "stale" => ServiceError::StaleService(crate::service::ServiceId(int("id"))),
+        "deadline" => ServiceError::DeadlineExceeded {
+            service: text("service", "remote"),
+            budget_ms: int("budget_ms"),
+        },
+        "overloaded" => ServiceError::Overloaded {
+            in_flight: int("in_flight"),
+            waiting: int("waiting"),
+        },
+        "cancelled" => ServiceError::Cancelled { reason: detail() },
+        "conflict" => ServiceError::SerializationConflict { reason: detail() },
+        _ => ServiceError::Internal(detail()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceId;
+
+    #[test]
+    fn frame_round_trips() {
+        let v = Value::map()
+            .with("t", "query")
+            .with("sql", "SELECT 1")
+            .with("bytes", Value::Bytes(vec![0, 1, 255]));
+        let bytes = frame_bytes(&v).unwrap();
+        assert_eq!(
+            u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize,
+            bytes.len() - 4
+        );
+        assert_eq!(parse_frame(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn frames_stream_through_readers_and_writers() {
+        let mut buf = Vec::new();
+        for i in 0..10i64 {
+            write_frame(&mut buf, &Value::map().with("i", i)).unwrap();
+        }
+        let mut r = std::io::Cursor::new(buf);
+        for i in 0..10i64 {
+            assert_eq!(read_frame(&mut r).unwrap(), Value::map().with("i", i));
+        }
+        let e = read_frame(&mut r).unwrap_err();
+        assert!(e.to_string().contains("connection closed"), "{e}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"x");
+        assert!(parse_frame(&bytes).is_err());
+        let mut r = std::io::Cursor::new(bytes);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    /// Every error variant must keep its code and recoverable bit across
+    /// the wire — the typed-error contract of the protocol.
+    #[test]
+    fn errors_round_trip_code_and_recoverability() {
+        let errors = vec![
+            ServiceError::ServiceNotFound("s".into()),
+            ServiceError::ServiceUnavailable {
+                service: "s".into(),
+                reason: "down".into(),
+            },
+            ServiceError::UnknownOperation {
+                service: "s".into(),
+                operation: "op".into(),
+            },
+            ServiceError::InvalidInput("bad".into()),
+            ServiceError::PolicyViolation("p".into()),
+            ServiceError::IncompatibleInterface {
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            ServiceError::ResourceExhausted {
+                resource: "memory".into(),
+                requested: 64,
+                available: 1,
+            },
+            ServiceError::Storage("io".into()),
+            ServiceError::NoAlternateWorkflow("t".into()),
+            ServiceError::Transaction("no open transaction".into()),
+            ServiceError::Internal("bug".into()),
+            ServiceError::StaleService(ServiceId(9)),
+            ServiceError::DeadlineExceeded {
+                service: "s".into(),
+                budget_ms: 250,
+            },
+            ServiceError::Overloaded {
+                in_flight: 8,
+                waiting: 16,
+            },
+            ServiceError::Cancelled {
+                reason: "deadline of 50ms exceeded".into(),
+            },
+            ServiceError::SerializationConflict {
+                reason: "write-write on kv".into(),
+            },
+        ];
+        for err in errors {
+            let back = value_to_error(&parse_frame(&frame_bytes(&error_value(&err)).unwrap()).unwrap());
+            assert_eq!(back.code(), err.code(), "{err:?} -> {back:?}");
+            assert_eq!(
+                back.is_recoverable(),
+                err.is_recoverable(),
+                "{err:?} -> {back:?}"
+            );
+            // Display fidelity: a remote caller reads the same error
+            // text an in-process caller would (the prepared-statement
+            // differential test depends on this).
+            assert_eq!(back.to_string(), err.to_string(), "{err:?} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn overloaded_carries_backoff_fields() {
+        let err = ServiceError::Overloaded {
+            in_flight: 3,
+            waiting: 7,
+        };
+        match value_to_error(&error_value(&err)) {
+            ServiceError::Overloaded { in_flight, waiting } => {
+                assert_eq!((in_flight, waiting), (3, 7));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

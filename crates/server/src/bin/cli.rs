@@ -1,0 +1,108 @@
+//! `sbdms-cli`: interactive REPL (or one-shot `-e`) against a running
+//! `sbdms-server`.
+//!
+//! ```text
+//! sbdms-cli --addr 127.0.0.1:7878            # REPL
+//! sbdms-cli --addr 127.0.0.1:7878 -e "SELECT 1"
+//! ```
+//!
+//! REPL commands: `.help`, `.quit`. Everything else is sent as one
+//! statement per line (`BEGIN` / `COMMIT` / `ROLLBACK` included).
+//! Recoverable server errors print their machine code so a user can see
+//! what a retry loop would see.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use sbdms_server::{Client, QueryOutcome};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sbdms-cli --addr <host:port> [-e <sql>]");
+    ExitCode::from(2)
+}
+
+fn print_outcome(out: &QueryOutcome) {
+    if !out.columns.is_empty() {
+        println!("{}", out.columns.join(" "));
+        println!("{}", "-".repeat(out.columns.join(" ").len().max(4)));
+    }
+    for row in out.formatted_rows() {
+        println!("{row}");
+    }
+    if out.columns.is_empty() {
+        println!("ok ({} row(s) affected)", out.affected);
+    } else {
+        println!("({} row(s))", out.rows.len());
+    }
+}
+
+fn run_statement(client: &mut Client, sql: &str) {
+    match client.query(sql) {
+        Ok(out) => print_outcome(&out),
+        Err(e) => {
+            let kind = if e.is_recoverable() { "recoverable" } else { "fatal" };
+            println!("error [{} / {kind}]: {e}", e.code());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut one_shot: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "-e" | "--execute" => one_shot = args.next(),
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sbdms-cli: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(sql) = one_shot {
+        run_statement(&mut client, &sql);
+        let _ = client.close();
+        return ExitCode::SUCCESS;
+    }
+
+    println!("connected to {addr} (connection {})", client.connection_id);
+    println!("type .help for help, .quit to exit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("sbdms> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".help" => {
+                println!(".quit          close the connection and exit");
+                println!(".help          this text");
+                println!("<sql>          run one statement (BEGIN/COMMIT/ROLLBACK included)");
+            }
+            sql => run_statement(&mut client, sql),
+        }
+    }
+    let _ = client.close();
+    ExitCode::SUCCESS
+}

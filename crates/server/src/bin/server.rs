@@ -1,0 +1,83 @@
+//! `sbdms-server`: serve a database directory over the wire protocol.
+//!
+//! ```text
+//! sbdms-server --data-dir ./db [--bind 127.0.0.1:7878] [--max-connections 1024]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sbdms_data::executor::Database;
+use sbdms_server::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sbdms-server --data-dir <dir> [--bind <addr:port>] [--max-connections <n>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut data_dir: Option<String> = None;
+    let mut bind = "127.0.0.1:7878".to_string();
+    let mut max_connections = ServerConfig::default().max_connections;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data-dir" => data_dir = args.next(),
+            "--bind" => match args.next() {
+                Some(b) => bind = b,
+                None => return usage(),
+            },
+            "--max-connections" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => max_connections = n,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(data_dir) = data_dir else {
+        return usage();
+    };
+
+    let db = match Database::open(&data_dir) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("sbdms-server: cannot open {data_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServerConfig {
+        max_connections,
+        ..ServerConfig::default()
+    };
+    let server = match Server::start_on(db, cfg, &bind) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sbdms-server: cannot bind {bind}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sbdms-server: serving {} on {} (max {} connections)",
+        data_dir,
+        server.addr(),
+        max_connections
+    );
+
+    // Serve until interrupted. Without a signal-handling dependency the
+    // accept loop runs on its own thread; this thread just parks.
+    let running = Arc::new(AtomicBool::new(true));
+    while running.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+    server.shutdown();
+    ExitCode::SUCCESS
+}

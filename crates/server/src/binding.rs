@@ -1,0 +1,229 @@
+//! A [`Binding`] that crosses a real socket.
+//!
+//! [`NetworkBinding`] is the measured counterpart of the kernel's
+//! [`sbdms_kernel::binding::SimulatedNetworkBinding`]: the same frame
+//! codec, but the bytes genuinely traverse a loopback TCP connection to
+//! a dispatcher thread that performs the invoke and frames the reply
+//! back. Experiment E16 contrasts the two — the simulator's model
+//! parameters against what the kernel's TCP stack actually costs.
+//!
+//! The binding hosts its own single-purpose dispatch server. Services
+//! are registered on first call (keyed by the service's address) and
+//! stay registered for the binding's lifetime; calls share one pooled
+//! connection under a lock, which serialises callers exactly like a
+//! single-channel RPC client would.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use sbdms_kernel::binding::Binding;
+use sbdms_kernel::error::{Result, ServiceError};
+use sbdms_kernel::service::ServiceRef;
+use sbdms_kernel::value::Value;
+use sbdms_kernel::wire::{read_frame, write_frame};
+
+type Registry = Arc<Mutex<HashMap<u64, ServiceRef>>>;
+
+/// Stable key for a service handle: the address of its shared object.
+fn service_key(service: &ServiceRef) -> u64 {
+    Arc::as_ptr(service) as *const () as u64
+}
+
+/// A binding whose calls traverse a real loopback TCP socket.
+pub struct NetworkBinding {
+    registry: Registry,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// The caller-side pooled connection, created lazily.
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl NetworkBinding {
+    /// Start the dispatcher on a loopback port and return the binding.
+    pub fn new() -> std::io::Result<NetworkBinding> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let dispatch_registry = registry.clone();
+        let dispatch_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("sbdms-net-binding".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if dispatch_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = dispatch_registry.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("sbdms-net-dispatch".into())
+                        .spawn(move || dispatch(stream, registry));
+                }
+            })?;
+        Ok(NetworkBinding {
+            registry,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conn: Mutex::new(None),
+        })
+    }
+
+    /// The dispatcher's listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Binding for NetworkBinding {
+    fn call(&self, service: &ServiceRef, op: &str, input: Value) -> Result<Value> {
+        let key = service_key(service);
+        self.registry.lock().entry(key).or_insert_with(|| service.clone());
+
+        let request = Value::map()
+            .with("service", key as i64)
+            .with("op", op)
+            .with("input", input);
+
+        let mut conn = self.conn.lock();
+        if conn.is_none() {
+            let stream = TcpStream::connect(self.addr)
+                .map_err(|e| ServiceError::Storage(format!("binding connect: {e}")))?;
+            let _ = stream.set_nodelay(true);
+            *conn = Some(stream);
+        }
+        let stream = conn.as_mut().expect("pooled connection just created");
+        let outcome = write_frame(stream, &request).and_then(|()| read_frame(stream));
+        let reply = match outcome {
+            Ok(reply) => reply,
+            Err(e) => {
+                // A broken pooled connection must not poison later
+                // calls: drop it so the next call redials.
+                *conn = None;
+                return Err(e);
+            }
+        };
+        match reply.get("ok").and_then(|o| o.as_bool().ok()) {
+            Some(true) => Ok(reply.get("output").cloned().unwrap_or(Value::Null)),
+            _ => Err(reply
+                .get("error")
+                .map(sbdms_kernel::wire::value_to_error)
+                .unwrap_or_else(|| {
+                    ServiceError::Internal("binding reply without error".into())
+                })),
+        }
+    }
+
+    fn protocol(&self) -> &str {
+        "tcp-loopback"
+    }
+}
+
+impl Drop for NetworkBinding {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Server half: read call frames, invoke the registered service, frame
+/// the reply (typed errors included) back.
+fn dispatch(mut stream: TcpStream, registry: Registry) {
+    let _ = stream.set_nodelay(true);
+    while let Ok(request) = read_frame(&mut stream) {
+        let reply = dispatch_one(&request, &registry);
+        if write_frame(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+fn dispatch_one(request: &Value, registry: &Registry) -> Value {
+    let key = request.get("service").and_then(|s| s.as_int().ok()).map(|k| k as u64);
+    let op = request.get("op").and_then(|o| o.as_str().ok()).unwrap_or("");
+    let input = request.get("input").cloned().unwrap_or(Value::Null);
+    let service = key.and_then(|k| registry.lock().get(&k).cloned());
+    let outcome = match service {
+        Some(service) => service.invoke(op, input),
+        None => Err(ServiceError::ServiceNotFound(format!(
+            "binding dispatch: unregistered service {key:?}"
+        ))),
+    };
+    match outcome {
+        Ok(output) => Value::map().with("ok", true).with("output", output),
+        Err(e) => Value::map()
+            .with("ok", false)
+            .with("error", sbdms_kernel::wire::error_value(&e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbdms_kernel::contract::Contract;
+    use sbdms_kernel::interface::{Interface, Operation};
+    use sbdms_kernel::service::FnService;
+
+    fn echo() -> ServiceRef {
+        let iface = Interface::new("t.echo", 1, vec![Operation::opaque("echo")]);
+        FnService::new("echo", Contract::for_interface(iface), |_, input| Ok(input)).into_ref()
+    }
+
+    fn failing() -> ServiceRef {
+        let iface = Interface::new("t.fail", 1, vec![Operation::opaque("fail")]);
+        FnService::new("fail", Contract::for_interface(iface), |_, _| {
+            Err(ServiceError::SerializationConflict { reason: "contended".into() })
+        })
+        .into_ref()
+    }
+
+    #[test]
+    fn network_binding_round_trips_over_tcp() {
+        let binding = NetworkBinding::new().unwrap();
+        let svc = echo();
+        for i in 0..50i64 {
+            let v = Value::map().with("n", i).with("s", format!("row {i}"));
+            assert_eq!(binding.call(&svc, "echo", v.clone()).unwrap(), v);
+        }
+        assert_eq!(binding.protocol(), "tcp-loopback");
+    }
+
+    #[test]
+    fn network_binding_keeps_errors_typed() {
+        let binding = NetworkBinding::new().unwrap();
+        let svc = failing();
+        let err = binding.call(&svc, "fail", Value::Null).unwrap_err();
+        assert_eq!(err.code(), "conflict");
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn network_binding_shared_across_threads() {
+        let binding = Arc::new(NetworkBinding::new().unwrap());
+        let svc = echo();
+        let mut handles = vec![];
+        for t in 0..4i64 {
+            let binding = binding.clone();
+            let svc = svc.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let v = Value::Int(t * 1000 + i);
+                    assert_eq!(binding.call(&svc, "echo", v.clone()).unwrap(), v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The network data plane: a real TCP wire protocol over the kernel's
+//! shared frame codec ([`sbdms_kernel::wire`]).
+//!
+//! Paper §3.6 (SCA) separates *bindings* — how a call travels — from
+//! functionality. The kernel models that with in-process, channel and
+//! simulated-network bindings; this crate supplies the missing end of
+//! the spectrum: an actual socket. It contains
+//!
+//! * [`server::Server`] — a thread-per-connection TCP server wrapping
+//!   any [`sbdms_data::Database`]. Each connection owns one
+//!   [`sbdms_data::Session`]; `BEGIN`/`COMMIT`/`ROLLBACK` are
+//!   intercepted as statement text exactly like the embedded test
+//!   runners do, prepared statements warm the per-database plan cache
+//!   shared across every connection, and a connection that dies
+//!   mid-transaction is rolled back on teardown.
+//! * [`client::Client`] — the blocking client library the CLI/REPL and
+//!   tests use. Server-side failures arrive as typed
+//!   [`sbdms_kernel::error::ServiceError`]s with their recoverability
+//!   classification intact, so a remote caller retries `conflict` and
+//!   `overloaded` exactly like an in-process one.
+//! * [`binding::NetworkBinding`] — a [`sbdms_kernel::binding::Binding`]
+//!   that routes every service call through a real loopback socket, the
+//!   measured counterpart of the simulated network binding in
+//!   experiment E16.
+
+pub mod binding;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use binding::NetworkBinding;
+pub use client::{Client, Prepared, QueryOutcome};
+pub use server::{Server, ServerConfig, ServerStats};

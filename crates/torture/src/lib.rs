@@ -23,6 +23,7 @@
 //! the `seed=… crash_point=…` pair its panic message prints.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use sbdms_data::executor::{Database, DbOptions};
 use sbdms_data::session::{ConcurrencyControl, Session};
@@ -297,7 +298,7 @@ fn opts(config: &TortureConfig) -> DbOptions {
 /// Open a fresh database on `sim` and run the durable setup phase
 /// (DDL is not undo-logged, so it is confined to a checkpointed
 /// prefix the crash scheduler never points into).
-fn setup(sim: &SimBackend, config: &TortureConfig) -> Database {
+fn setup(sim: &SimBackend, config: &TortureConfig) -> Arc<Database> {
     let db = Database::open_at(sim, opts(config)).expect("setup open");
     db.set_durability(Durability::Full);
     db.execute("CREATE TABLE kv (k INT, v INT)").expect("setup ddl");
@@ -671,7 +672,7 @@ pub struct ConcurrentCrashRun {
 /// losers roll back and are retried serially after the schedule — under
 /// snapshot isolation an update may be aborted, but never lost.
 pub fn run_concurrent_until_crash(
-    db: &Database,
+    db: &Arc<Database>,
     workload: &ConcurrentWorkload,
     initial: &BTreeMap<i64, i64>,
 ) -> ConcurrentCrashRun {
@@ -682,7 +683,7 @@ pub fn run_concurrent_until_crash(
         Closed,
         ConflictAborted,
     }
-    let sessions: Vec<Session<'_>> = workload.programs.iter().map(|_| db.session()).collect();
+    let sessions: Vec<Session> = workload.programs.iter().map(|_| db.session()).collect();
     let mut status = vec![St::Pending; workload.programs.len()];
     let mut cursor = vec![0usize; workload.programs.len()];
     let mut aborted: Vec<usize> = Vec::new();
@@ -805,7 +806,7 @@ pub struct ConcurrentReport {
 /// plus a seeded shared key range the transactions contend on, all
 /// checkpointed so the crash scheduler never points into it. Returns
 /// the handle and the initial model state.
-fn setup_concurrent(sim: &SimBackend, config: &TortureConfig) -> (Database, BTreeMap<i64, i64>) {
+fn setup_concurrent(sim: &SimBackend, config: &TortureConfig) -> (Arc<Database>, BTreeMap<i64, i64>) {
     let db = setup(sim, config);
     let mut initial = BTreeMap::new();
     let vals: Vec<String> = (0..KEY_SPACE / 2)
